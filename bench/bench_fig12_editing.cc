@@ -1,0 +1,96 @@
+// Fig. 12 — fixing rules vs (automated) editing rules, on hosp with 100
+// rules and 10% noise.
+//
+//  (a) errors corrected per fixing rule. Each correction by rule phi
+//      would have cost one user interaction under editing rules, so a
+//      rule fixing 50+ tuples stands for 50+ saved prompts.
+//  (b) precision/recall of Fix vs Edit, where Edit strips the negative
+//      patterns and auto-answers "yes" (the paper's simulation).
+
+#include <algorithm>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "baselines/editing.h"
+#include "bench_util.h"
+#include "eval/metrics.h"
+#include "eval/text_table.h"
+#include "repair/lrepair.h"
+
+namespace fixrep::bench {
+namespace {
+
+void PerRuleFixes(const Workload& workload) {
+  FastRepairer repairer(&workload.rules);
+  Table repaired = workload.dirty;
+  repairer.RepairTable(&repaired);
+  std::vector<size_t> fixes = repairer.stats().per_rule_applications;
+  std::sort(fixes.rbegin(), fixes.rend());
+  std::cout << "\n-- Fig. 12(a): errors corrected per fixing rule ("
+            << workload.rules.size() << " rules) --\n";
+  TextTable table({"rule rank", "tuples repaired",
+                   "user interactions an editing rule would need"});
+  for (const size_t rank : {0u, 1u, 2u, 4u, 9u, 24u, 49u, 99u}) {
+    if (rank >= fixes.size()) break;
+    table.AddRow({"#" + std::to_string(rank + 1),
+                  std::to_string(fixes[rank]),
+                  std::to_string(fixes[rank])});
+  }
+  table.Print(std::cout);
+  size_t total = 0;
+  size_t active_rules = 0;
+  for (const size_t f : fixes) {
+    total += f;
+    active_rules += f > 0;
+  }
+  std::cout << "total repairs " << total << " across " << active_rules
+            << " firing rules; every one is a saved user interaction\n";
+}
+
+void FixVsEdit(const Workload& workload) {
+  std::cout << "\n-- Fig. 12(b): Fix vs automated Edit --\n";
+  Table by_fix = workload.dirty;
+  FastRepairer fix(&workload.rules);
+  fix.RepairTable(&by_fix);
+  const Accuracy fix_acc =
+      EvaluateRepair(workload.data.clean, workload.dirty, by_fix);
+
+  Table by_edit = workload.dirty;
+  AutoEditRepairer edit(&workload.rules);
+  edit.RepairTable(&by_edit);
+  const Accuracy edit_acc =
+      EvaluateRepair(workload.data.clean, workload.dirty, by_edit);
+
+  TextTable table({"method", "precision", "recall", "changed", "broken"});
+  table.AddRow({"Fix", FormatDouble(fix_acc.precision()),
+                FormatDouble(fix_acc.recall()),
+                std::to_string(fix_acc.cells_changed),
+                std::to_string(fix_acc.cells_broken)});
+  table.AddRow({"Edit", FormatDouble(edit_acc.precision()),
+                FormatDouble(edit_acc.recall()),
+                std::to_string(edit_acc.cells_changed),
+                std::to_string(edit_acc.cells_broken)});
+  table.Print(std::cout);
+}
+
+void Run() {
+  const ExperimentScale scale = GetExperimentScale();
+  std::cout << "Fig. 12 reproduction — " << DescribeScale(scale) << "\n";
+  // The paper uses 100 rules and 10% noise for this experiment.
+  const Workload workload = MakeHospWorkload(scale.hosp_rows, 100);
+  PerRuleFixes(workload);
+  FixVsEdit(workload);
+  std::cout << "\nShape check vs paper: top rules repair tens of tuples "
+               "(editing rules would ask the user once per tuple); Fix "
+               "dominates Edit on precision, with Edit breaking correct "
+               "cells whenever errors sit in the evidence.\n";
+}
+
+}  // namespace
+}  // namespace fixrep::bench
+
+int main() {
+  fixrep::bench::Run();
+  return 0;
+}

@@ -1,0 +1,79 @@
+// Fig. 13 — repair efficiency: cRepair vs lRepair while the rule count
+// grows (hosp 100..1000 rules, uis 10..100 rules).
+//
+// Paper shape: lRepair is the faster engine except at very small rule
+// counts, where the index overhead lets cRepair keep up; both are linear
+// in the data size.
+
+#include <memory>
+
+#include <benchmark/benchmark.h>
+
+#include "bench_util.h"
+#include "repair/crepair.h"
+#include "repair/lrepair.h"
+
+namespace fixrep::bench {
+namespace {
+
+// Workloads are expensive to build; cache one per dataset and bench rule
+// prefixes out of it. google-benchmark may re-enter the function, so the
+// cache is a function-local static.
+const Workload& HospWorkload() {
+  static const Workload* workload = [] {
+    const ExperimentScale scale = GetExperimentScale();
+    return new Workload(
+        MakeHospWorkload(scale.hosp_rows, scale.hosp_rules));
+  }();
+  return *workload;
+}
+
+const Workload& UisWorkload() {
+  static const Workload* workload = [] {
+    const ExperimentScale scale = GetExperimentScale();
+    return new Workload(MakeUisWorkload(scale.uis_rows, scale.uis_rules));
+  }();
+  return *workload;
+}
+
+template <typename Repairer>
+void RepairWholeTable(::benchmark::State& state, const Workload& workload) {
+  const RuleSet rules =
+      workload.rules.Prefix(static_cast<size_t>(state.range(0)));
+  for (auto _ : state) {
+    state.PauseTiming();
+    Table copy = workload.dirty;  // repairs mutate; measure on a fresh copy
+    Repairer repairer(&rules);
+    state.ResumeTiming();
+    repairer.RepairTable(&copy);
+    ::benchmark::DoNotOptimize(copy);
+  }
+  state.SetItemsProcessed(
+      static_cast<int64_t>(state.iterations() * workload.dirty.num_rows()));
+  state.counters["rules"] = static_cast<double>(rules.size());
+}
+
+void BM_Hosp_cRepair(::benchmark::State& state) {
+  RepairWholeTable<ChaseRepairer>(state, HospWorkload());
+}
+void BM_Hosp_lRepair(::benchmark::State& state) {
+  RepairWholeTable<FastRepairer>(state, HospWorkload());
+}
+void BM_Uis_cRepair(::benchmark::State& state) {
+  RepairWholeTable<ChaseRepairer>(state, UisWorkload());
+}
+void BM_Uis_lRepair(::benchmark::State& state) {
+  RepairWholeTable<FastRepairer>(state, UisWorkload());
+}
+
+BENCHMARK(BM_Hosp_cRepair)->DenseRange(100, 1000, 300)
+    ->Unit(::benchmark::kMillisecond);
+BENCHMARK(BM_Hosp_lRepair)->DenseRange(100, 1000, 300)
+    ->Unit(::benchmark::kMillisecond);
+BENCHMARK(BM_Uis_cRepair)->DenseRange(10, 100, 30)
+    ->Unit(::benchmark::kMillisecond);
+BENCHMARK(BM_Uis_lRepair)->DenseRange(10, 100, 30)
+    ->Unit(::benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace fixrep::bench

@@ -1,0 +1,138 @@
+// Engineering microbenchmarks (not a paper figure): the hot paths of the
+// library, plus the interned-vs-string matching ablation motivating the
+// ValuePool design.
+
+#include <memory>
+#include <sstream>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include <benchmark/benchmark.h>
+
+#include "bench_util.h"
+#include "datagen/travel.h"
+#include "relation/csv.h"
+#include "repair/lrepair.h"
+#include "rules/consistency.h"
+
+namespace fixrep::bench {
+namespace {
+
+const Workload& HospWorkload() {
+  static const Workload* workload =
+      new Workload(MakeHospWorkload(20000, 1000));
+  return *workload;
+}
+
+void BM_ValuePoolIntern(::benchmark::State& state) {
+  std::vector<std::string> keys;
+  for (int i = 0; i < 1000; ++i) keys.push_back("key_" + std::to_string(i));
+  for (auto _ : state) {
+    ValuePool pool;
+    for (const auto& key : keys) {
+      ::benchmark::DoNotOptimize(pool.Intern(key));
+    }
+  }
+  state.SetItemsProcessed(
+      static_cast<int64_t>(state.iterations() * keys.size()));
+}
+BENCHMARK(BM_ValuePoolIntern);
+
+void BM_RuleMatch(::benchmark::State& state) {
+  const TravelExample example;
+  const FixingRule& rule = example.rules.rule(0);
+  const Tuple& r2 = example.dirty.row(1);
+  for (auto _ : state) {
+    ::benchmark::DoNotOptimize(rule.Matches(r2));
+  }
+}
+BENCHMARK(BM_RuleMatch);
+
+// Ablation: the same match evaluated over strings, as a naive
+// implementation without interning would.
+void BM_RuleMatchStrings(::benchmark::State& state) {
+  const std::vector<std::string> tuple = {"Ian", "China", "Shanghai",
+                                          "Hongkong", "ICDE"};
+  const std::string evidence_value = "China";
+  const std::vector<std::string> negatives = {"Hongkong", "Shanghai"};
+  for (auto _ : state) {
+    bool match = tuple[1] == evidence_value;
+    if (match) {
+      bool in_negatives = false;
+      for (const auto& negative : negatives) {
+        in_negatives |= tuple[2] == negative;
+      }
+      match = in_negatives;
+    }
+    ::benchmark::DoNotOptimize(match);
+  }
+}
+BENCHMARK(BM_RuleMatchStrings);
+
+void BM_InvertedIndexBuild(::benchmark::State& state) {
+  const Workload& workload = HospWorkload();
+  for (auto _ : state) {
+    FastRepairer repairer(&workload.rules);
+    ::benchmark::DoNotOptimize(&repairer);
+  }
+  state.counters["rules"] = static_cast<double>(workload.rules.size());
+}
+BENCHMARK(BM_InvertedIndexBuild);
+
+void BM_LRepairSingleTuple(::benchmark::State& state) {
+  const Workload& workload = HospWorkload();
+  FastRepairer repairer(&workload.rules);
+  size_t row = 0;
+  for (auto _ : state) {
+    Tuple t = workload.dirty.row(row);
+    ::benchmark::DoNotOptimize(repairer.RepairTuple(&t));
+    row = (row + 1) % workload.dirty.num_rows();
+  }
+}
+BENCHMARK(BM_LRepairSingleTuple);
+
+void BM_PairConsistencyChar(::benchmark::State& state) {
+  const Workload& workload = HospWorkload();
+  const size_t n = workload.rules.size();
+  size_t i = 0;
+  for (auto _ : state) {
+    const size_t j = (i * 7919 + 13) % n;
+    ::benchmark::DoNotOptimize(PairConsistentChar(
+        workload.rules.rule(i), workload.rules.rule(j),
+        workload.rules.schema().arity(), nullptr));
+    i = (i + 1) % n;
+  }
+}
+BENCHMARK(BM_PairConsistencyChar);
+
+void BM_PairConsistencyEnum(::benchmark::State& state) {
+  const Workload& workload = HospWorkload();
+  const size_t n = workload.rules.size();
+  size_t i = 0;
+  for (auto _ : state) {
+    const size_t j = (i * 7919 + 13) % n;
+    ::benchmark::DoNotOptimize(PairConsistentEnum(
+        workload.rules.rule(i), workload.rules.rule(j),
+        workload.rules.schema().arity(), nullptr));
+    i = (i + 1) % n;
+  }
+}
+BENCHMARK(BM_PairConsistencyEnum);
+
+void BM_CsvRoundTrip(::benchmark::State& state) {
+  const TravelExample example;
+  std::ostringstream serialized;
+  WriteCsv(example.dirty, serialized);
+  const std::string text = serialized.str();
+  for (auto _ : state) {
+    std::istringstream in(text);
+    auto pool = std::make_shared<ValuePool>();
+    Table table = ReadCsv(in, "Travel", pool);
+    ::benchmark::DoNotOptimize(table.num_rows());
+  }
+}
+BENCHMARK(BM_CsvRoundTrip);
+
+}  // namespace
+}  // namespace fixrep::bench

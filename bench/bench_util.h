@@ -1,0 +1,80 @@
+#ifndef FIXREP_BENCH_BENCH_UTIL_H_
+#define FIXREP_BENCH_BENCH_UTIL_H_
+
+#include <utility>
+
+#include "datagen/hosp.h"
+#include "datagen/noise.h"
+#include "datagen/uis.h"
+#include "eval/experiment.h"
+#include "rulegen/rulegen.h"
+#include "rules/rule_set.h"
+
+namespace fixrep::bench {
+
+// One experiment workload: clean data, its dirty copy, the FDs, and a
+// generated consistent rule set, all sharing one value pool.
+struct Workload {
+  GeneratedData data;
+  Table dirty;
+  RuleSet rules;
+  NoiseReport noise;
+
+  Workload(GeneratedData generated, Table dirty_table, RuleSet rule_set,
+           NoiseReport noise_report)
+      : data(std::move(generated)),
+        dirty(std::move(dirty_table)),
+        rules(std::move(rule_set)),
+        noise(noise_report) {}
+};
+
+inline Workload MakeHospWorkload(size_t rows, size_t max_rules,
+                                 double noise_rate = 0.10,
+                                 double typo_share = 0.5,
+                                 uint64_t seed = 0x4051) {
+  HospOptions hosp;
+  hosp.rows = rows;
+  hosp.num_hospitals = std::max<size_t>(rows / 30, 50);
+  hosp.seed = seed;
+  GeneratedData data = GenerateHosp(hosp);
+  Table dirty = data.clean;
+  NoiseOptions noise;
+  noise.noise_rate = noise_rate;
+  noise.typo_share = typo_share;
+  noise.seed = seed ^ 0xd1e7;
+  const NoiseReport report = InjectNoise(
+      &dirty, ConstraintAttributes(*data.schema, data.fds), noise);
+  RuleGenOptions rulegen;
+  rulegen.max_rules = max_rules;
+  rulegen.seed = seed ^ 0x9e37;
+  RuleSet rules = GenerateRules(data.clean, dirty, data.fds, rulegen);
+  return Workload(std::move(data), std::move(dirty), std::move(rules),
+                  report);
+}
+
+inline Workload MakeUisWorkload(size_t rows, size_t max_rules,
+                                double noise_rate = 0.10,
+                                double typo_share = 0.5,
+                                uint64_t seed = 0x0715) {
+  UisOptions uis;
+  uis.rows = rows;
+  uis.seed = seed;
+  GeneratedData data = GenerateUis(uis);
+  Table dirty = data.clean;
+  NoiseOptions noise;
+  noise.noise_rate = noise_rate;
+  noise.typo_share = typo_share;
+  noise.seed = seed ^ 0xd1e7;
+  const NoiseReport report = InjectNoise(
+      &dirty, ConstraintAttributes(*data.schema, data.fds), noise);
+  RuleGenOptions rulegen;
+  rulegen.max_rules = max_rules;
+  rulegen.seed = seed ^ 0x9e37;
+  RuleSet rules = GenerateRules(data.clean, dirty, data.fds, rulegen);
+  return Workload(std::move(data), std::move(dirty), std::move(rules),
+                  report);
+}
+
+}  // namespace fixrep::bench
+
+#endif  // FIXREP_BENCH_BENCH_UTIL_H_

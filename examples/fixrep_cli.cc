@@ -1,0 +1,290 @@
+// fixrep_cli — the end-to-end command-line front door to the library.
+//
+//   fixrep_cli gen-data  --dataset hosp|uis|travel --rows N --seed S
+//                        --out clean.csv [--dirty dirty.csv]
+//                        [--noise 0.1] [--typos 0.5] [--fds-out fds.txt]
+//   fixrep_cli gen-rules --clean clean.csv --dirty dirty.csv
+//                        --fds fds.txt --out rules.txt [--max N]
+//   fixrep_cli discover  --dirty dirty.csv --fds fds.txt --out rules.txt
+//                        [--max N] [--confidence 0.8]
+//   fixrep_cli check     --rules rules.txt --data any.csv [--strict]
+//                        [--resolve pruned_rules.txt]
+//   fixrep_cli repair    --rules rules.txt --in dirty.csv --out fixed.csv
+//                        [--engine lrepair|crepair] [--threads N] [--log]
+//   fixrep_cli eval      --truth truth.csv --dirty dirty.csv
+//                        --repaired fixed.csv
+//
+// CSV files are self-describing (header row = schema); the rule and FD
+// files use the formats of rules/rule_io.h and deps/fd.h. All inputs of
+// one invocation share a value pool, so cross-file cell comparisons are
+// exact.
+
+#include <fstream>
+#include <iostream>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/timer.h"
+#include "datagen/hosp.h"
+#include "datagen/noise.h"
+#include "datagen/travel.h"
+#include "datagen/uis.h"
+#include "deps/fd.h"
+#include "eval/metrics.h"
+#include "eval/text_table.h"
+#include "relation/csv.h"
+#include "repair/crepair.h"
+#include "repair/lrepair.h"
+#include "repair/parallel.h"
+#include "repair/provenance.h"
+#include "rulegen/discovery.h"
+#include "rulegen/rulegen.h"
+#include "rules/consistency.h"
+#include "rules/resolution.h"
+#include "rules/rule_io.h"
+
+namespace fixrep::cli {
+namespace {
+
+// Minimal --flag value / --flag parser.
+class Args {
+ public:
+  Args(int argc, char** argv) {
+    for (int i = 2; i < argc; ++i) {
+      std::string key = argv[i];
+      if (key.rfind("--", 0) != 0) {
+        std::cerr << "unexpected argument '" << key << "'\n";
+        std::exit(2);
+      }
+      key = key.substr(2);
+      if (i + 1 < argc && std::string(argv[i + 1]).rfind("--", 0) != 0) {
+        values_[key] = argv[++i];
+      } else {
+        values_[key] = "";  // boolean flag
+      }
+    }
+  }
+
+  bool Has(const std::string& key) const { return values_.count(key) > 0; }
+
+  std::string Get(const std::string& key,
+                  const std::string& fallback = "") const {
+    const auto it = values_.find(key);
+    return it == values_.end() ? fallback : it->second;
+  }
+
+  std::string Require(const std::string& key) const {
+    const auto it = values_.find(key);
+    if (it == values_.end() || it->second.empty()) {
+      std::cerr << "missing required --" << key << "\n";
+      std::exit(2);
+    }
+    return it->second;
+  }
+
+  size_t GetSizeT(const std::string& key, size_t fallback) const {
+    return Has(key) ? std::strtoull(Get(key).c_str(), nullptr, 10)
+                    : fallback;
+  }
+
+  double GetDouble(const std::string& key, double fallback) const {
+    return Has(key) ? std::strtod(Get(key).c_str(), nullptr) : fallback;
+  }
+
+ private:
+  std::map<std::string, std::string> values_;
+};
+
+int Usage() {
+  std::cerr << "usage: fixrep_cli "
+               "gen-data|gen-rules|discover|check|repair|eval [--flags]\n"
+               "see the header of examples/fixrep_cli.cc for details\n";
+  return 2;
+}
+
+int GenData(const Args& args) {
+  const std::string dataset = args.Require("dataset");
+  const uint64_t seed = args.GetSizeT("seed", 1);
+  GeneratedData data = [&]() -> GeneratedData {
+    if (dataset == "hosp") {
+      HospOptions options;
+      options.rows = args.GetSizeT("rows", 115000);
+      options.num_hospitals =
+          std::max<size_t>(options.rows / 30, 50);
+      options.seed = seed;
+      return GenerateHosp(options);
+    }
+    if (dataset == "uis") {
+      UisOptions options;
+      options.rows = args.GetSizeT("rows", 15000);
+      options.seed = seed;
+      return GenerateUis(options);
+    }
+    if (dataset == "travel") {
+      TravelExample example;
+      GeneratedData data(example.pool, example.schema);
+      data.clean = example.clean;
+      data.fds = {ParseFd(*example.schema, "country -> capital")};
+      return data;
+    }
+    std::cerr << "unknown --dataset '" << dataset << "'\n";
+    std::exit(2);
+  }();
+
+  WriteCsvFile(data.clean, args.Require("out"));
+  std::cout << "wrote " << data.clean.num_rows() << " clean rows to "
+            << args.Get("out") << "\n";
+  if (args.Has("fds-out")) {
+    std::ofstream fds(args.Get("fds-out"));
+    for (const auto& fd : data.fds) {
+      fds << FormatFd(*data.schema, fd) << "\n";
+    }
+    std::cout << "wrote " << data.fds.size() << " FDs to "
+              << args.Get("fds-out") << "\n";
+  }
+  if (args.Has("dirty")) {
+    Table dirty = data.clean;
+    NoiseOptions noise;
+    noise.noise_rate = args.GetDouble("noise", 0.10);
+    noise.typo_share = args.GetDouble("typos", 0.5);
+    noise.seed = seed ^ 0xd1e7;
+    const NoiseReport report = InjectNoise(
+        &dirty, ConstraintAttributes(*data.schema, data.fds), noise);
+    WriteCsvFile(dirty, args.Get("dirty"));
+    std::cout << "wrote dirty copy with " << report.rows_corrupted
+              << " corrupted rows to " << args.Get("dirty") << "\n";
+  }
+  return 0;
+}
+
+int GenRules(const Args& args) {
+  auto pool = std::make_shared<ValuePool>();
+  const Table clean = ReadCsvFile(args.Require("clean"), "data", pool);
+  const Table dirty = ReadCsvFile(args.Require("dirty"), "data", pool);
+  const auto fds = ParseFdListFile(clean.schema(), args.Require("fds"));
+  RuleGenOptions options;
+  options.max_rules = args.GetSizeT("max", 1000);
+  const RuleSet rules = GenerateRules(clean, dirty, fds, options);
+  WriteRulesFile(rules, args.Require("out"));
+  std::cout << "wrote " << rules.size() << " rules to " << args.Get("out")
+            << "\n";
+  return 0;
+}
+
+int Discover(const Args& args) {
+  auto pool = std::make_shared<ValuePool>();
+  const Table dirty = ReadCsvFile(args.Require("dirty"), "data", pool);
+  const auto fds = ParseFdListFile(dirty.schema(), args.Require("fds"));
+  DiscoveryOptions options;
+  options.max_rules = args.GetSizeT("max", 1000);
+  options.min_confidence = args.GetDouble("confidence", 0.8);
+  const RuleSet rules = DiscoverRules(dirty, fds, options);
+  WriteRulesFile(rules, args.Require("out"));
+  std::cout << "discovered " << rules.size() << " rules into "
+            << args.Get("out") << "\n";
+  return 0;
+}
+
+int Check(const Args& args) {
+  auto pool = std::make_shared<ValuePool>();
+  const Table data = ReadCsvFile(args.Require("data"), "data", pool);
+  RuleSet rules =
+      ParseRulesFile(args.Require("rules"), data.schema_ptr(), pool);
+  std::vector<Conflict> conflicts;
+  const bool strict = args.Has("strict");
+  const bool consistent =
+      strict ? IsConsistentStrict(rules, &conflicts, /*find_all=*/true)
+             : IsConsistentChar(rules, &conflicts, /*find_all=*/true);
+  std::cout << rules.size() << " rules: "
+            << (consistent ? "consistent" : "INCONSISTENT")
+            << (strict ? " (strict)" : "") << "\n";
+  for (const auto& conflict : conflicts) {
+    std::cout << conflict.Describe(rules) << "\n";
+  }
+  if (!consistent && args.Has("resolve")) {
+    const auto report = ResolveByPruning(&rules);
+    std::cout << "resolved: " << report.patterns_removed
+              << " negative patterns removed, "
+              << report.dropped_rules.size() << " rules dropped\n";
+    WriteRulesFile(rules, args.Get("resolve"));
+    std::cout << "wrote " << rules.size() << " consistent rules to "
+              << args.Get("resolve") << "\n";
+  }
+  return consistent ? 0 : 1;
+}
+
+int Repair(const Args& args) {
+  auto pool = std::make_shared<ValuePool>();
+  Table table = ReadCsvFile(args.Require("in"), "data", pool);
+  const RuleSet rules =
+      ParseRulesFile(args.Require("rules"), table.schema_ptr(), pool);
+  const std::string engine = args.Get("engine", "lrepair");
+  Timer timer;
+  size_t cells_changed = 0;
+  if (args.Has("log")) {
+    const RepairLog log = RepairWithProvenance(rules, &table);
+    cells_changed = log.repairs.size();
+    for (const auto& repair : log.repairs) {
+      std::cout << log.Describe(repair, table.schema(), *pool) << "\n";
+    }
+  } else if (engine == "crepair") {
+    ChaseRepairer repairer(&rules);
+    repairer.RepairTable(&table);
+    cells_changed = repairer.stats().cells_changed;
+  } else if (args.Has("threads")) {
+    const RepairStats stats =
+        ParallelRepairTable(rules, &table, args.GetSizeT("threads", 0));
+    cells_changed = stats.cells_changed;
+  } else {
+    FastRepairer repairer(&rules);
+    repairer.RepairTable(&table);
+    cells_changed = repairer.stats().cells_changed;
+  }
+  WriteCsvFile(table, args.Require("out"));
+  std::cout << "repaired " << table.num_rows() << " rows ("
+            << cells_changed << " cells changed) in "
+            << FormatDouble(timer.ElapsedMillis(), 1) << " ms -> "
+            << args.Get("out") << "\n";
+  return 0;
+}
+
+int Eval(const Args& args) {
+  auto pool = std::make_shared<ValuePool>();
+  const Table truth = ReadCsvFile(args.Require("truth"), "data", pool);
+  const Table dirty = ReadCsvFile(args.Require("dirty"), "data", pool);
+  const Table repaired =
+      ReadCsvFile(args.Require("repaired"), "data", pool);
+  const Accuracy accuracy = EvaluateRepair(truth, dirty, repaired);
+  TextTable table({"metric", "value"});
+  table.AddRow({"erroneous cells",
+                std::to_string(accuracy.cells_erroneous)});
+  table.AddRow({"changed cells", std::to_string(accuracy.cells_changed)});
+  table.AddRow({"corrected cells",
+                std::to_string(accuracy.cells_corrected)});
+  table.AddRow({"broken cells", std::to_string(accuracy.cells_broken)});
+  table.AddRow({"precision", FormatDouble(accuracy.precision())});
+  table.AddRow({"recall", FormatDouble(accuracy.recall())});
+  table.AddRow({"f1", FormatDouble(accuracy.f1())});
+  table.Print(std::cout);
+  return 0;
+}
+
+int Main(int argc, char** argv) {
+  if (argc < 2) return Usage();
+  const std::string command = argv[1];
+  const Args args(argc, argv);
+  if (command == "gen-data") return GenData(args);
+  if (command == "gen-rules") return GenRules(args);
+  if (command == "discover") return Discover(args);
+  if (command == "check") return Check(args);
+  if (command == "repair") return Repair(args);
+  if (command == "eval") return Eval(args);
+  return Usage();
+}
+
+}  // namespace
+}  // namespace fixrep::cli
+
+int main(int argc, char** argv) { return fixrep::cli::Main(argc, argv); }

@@ -1,0 +1,120 @@
+// Rule-authoring workflow (Section 5's three-step loop):
+//
+//   parse a rule file -> check consistency -> diagnose conflicts ->
+//   resolve (pruning, mimicking the Example 10 expert) -> remove
+//   redundant rules via implication -> serialize the curated set.
+//
+// Run: ./rule_authoring [rules.txt]
+// Without an argument it authors an in-memory file containing phi_1'
+// (the Example 8 conflict) plus a redundant rule, so the full workflow
+// is exercised out of the box.
+
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "datagen/travel.h"
+#include "rules/consistency.h"
+#include "rules/implication.h"
+#include "rules/resolution.h"
+#include "rules/rule_io.h"
+
+namespace {
+
+constexpr const char kDefaultRules[] = R"(# Travel rules, with two flaws:
+# phi_1' carries Tokyo as a negative pattern (conflicts with phi_3,
+# Example 8), and the last rule is implied by phi_2.
+
+RULE
+  IF country = China
+  WRONG capital IN Shanghai | Hongkong | Tokyo
+  THEN capital = Beijing
+END
+
+RULE
+  IF country = Canada
+  WRONG capital IN Toronto
+  THEN capital = Ottawa
+END
+
+RULE
+  IF capital = Tokyo
+  IF city = Tokyo
+  IF conf = ICDE
+  WRONG country IN China
+  THEN country = Japan
+END
+
+RULE
+  IF capital = Beijing
+  IF conf = ICDE
+  WRONG city IN Hongkong
+  THEN city = Shanghai
+END
+
+# Redundant: a weaker copy of the Canada rule.
+RULE
+  IF country = Canada
+  WRONG capital IN Toronto
+  THEN capital = Ottawa
+END
+)";
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  fixrep::TravelExample example;  // supplies schema and value pool
+
+  fixrep::RuleSet rules(example.schema, example.pool);
+  if (argc > 1) {
+    std::cout << "Parsing " << argv[1] << "\n";
+    rules = fixrep::ParseRulesFile(argv[1], example.schema, example.pool);
+  } else {
+    std::cout << "Parsing built-in demo rule file\n";
+    rules = fixrep::ParseRulesFromString(kDefaultRules, example.schema,
+                                         example.pool);
+  }
+  std::cout << "Parsed " << rules.size() << " rules\n";
+
+  // Step 1: consistency check, with diagnosis.
+  std::vector<fixrep::Conflict> conflicts;
+  if (!IsConsistentStrict(rules, &conflicts, /*find_all=*/true)) {
+    std::cout << "\nStep 1: the set is INCONSISTENT ("
+              << conflicts.size() << " conflicting pair(s)):\n";
+    for (const auto& conflict : conflicts) {
+      std::cout << conflict.Describe(rules) << "\n";
+    }
+    // Step 2: resolve by pruning negative patterns (the paper's expert
+    // move: remove values, never add them).
+    const auto report = fixrep::ResolveByPruning(&rules);
+    std::cout << "\nStep 2: resolved by pruning ("
+              << report.patterns_removed << " negative pattern(s) removed, "
+              << report.dropped_rules.size() << " rule(s) dropped, "
+              << report.rounds << " round(s))\n";
+  } else {
+    std::cout << "\nStep 1: the set is consistent\n";
+  }
+  std::cout << "Step 3: consistent set of " << rules.size() << " rules\n";
+
+  // Implication pass: drop rules implied by the rest.
+  std::vector<size_t> redundant;
+  for (size_t i = rules.size(); i-- > 0;) {
+    fixrep::RuleSet rest(example.schema, example.pool);
+    for (size_t j = 0; j < rules.size(); ++j) {
+      if (j != i) rest.Add(rules.rule(j));
+    }
+    const auto result = Implies(rest, rules.rule(i));
+    if (result.implied) {
+      std::cout << "  rule #" << i << " is implied ("
+                << (result.exhaustive ? "exhaustive" : "sampled")
+                << " check) and will be dropped\n";
+      redundant.push_back(i);
+      rules = rest;
+    }
+  }
+  std::cout << "After implication pruning: " << rules.size() << " rules\n\n";
+
+  std::cout << "Curated rule set:\n" << SerializeRules(rules);
+  return 0;
+}

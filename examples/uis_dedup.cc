@@ -1,0 +1,102 @@
+// uis mailing-list cleaning with a baseline face-off.
+//
+// Generates the uis dataset (mostly-unique persons, few repeated
+// patterns), corrupts it, then repairs it four ways — fixing rules
+// (lRepair), the Heu and Csm FD-repair heuristics, and automated editing
+// rules — and prints one accuracy/runtime row per method. This is the
+// single-configuration version of the paper's Fig. 10(e)-(h) / Fig. 12(b)
+// comparisons.
+//
+// Run: ./uis_dedup [rows] [rules] [typo_share]
+
+#include <cstdlib>
+#include <iostream>
+#include <string>
+
+#include "baselines/csm.h"
+#include "baselines/editing.h"
+#include "baselines/heu.h"
+#include "common/timer.h"
+#include "datagen/noise.h"
+#include "datagen/uis.h"
+#include "eval/metrics.h"
+#include "eval/text_table.h"
+#include "repair/lrepair.h"
+#include "rulegen/rulegen.h"
+
+namespace {
+
+void Report(fixrep::TextTable* table, const std::string& name,
+            const fixrep::Accuracy& accuracy, double millis) {
+  table->AddRow({name, fixrep::FormatDouble(accuracy.precision()),
+                 fixrep::FormatDouble(accuracy.recall()),
+                 fixrep::FormatDouble(accuracy.f1()),
+                 std::to_string(accuracy.cells_changed),
+                 fixrep::FormatDouble(millis, 1) + " ms"});
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  fixrep::UisOptions uis;
+  uis.rows = argc > 1 ? std::strtoull(argv[1], nullptr, 10) : 15000;
+  fixrep::RuleGenOptions rulegen;
+  rulegen.max_rules = argc > 2 ? std::strtoull(argv[2], nullptr, 10) : 100;
+  fixrep::NoiseOptions noise;
+  noise.typo_share = argc > 3 ? std::strtod(argv[3], nullptr) : 0.5;
+
+  std::cout << "Generating " << uis.rows << " uis rows...\n";
+  fixrep::GeneratedData data = fixrep::GenerateUis(uis);
+  fixrep::Table dirty = data.clean;
+  const auto report = fixrep::InjectNoise(
+      &dirty, fixrep::ConstraintAttributes(*data.schema, data.fds), noise);
+  std::cout << "Corrupted " << report.rows_corrupted << " rows\n";
+
+  const fixrep::RuleSet rules =
+      fixrep::GenerateRules(data.clean, dirty, data.fds, rulegen);
+  std::cout << "Generated " << rules.size() << " fixing rules\n\n";
+
+  fixrep::TextTable table(
+      {"method", "precision", "recall", "f1", "changed", "time"});
+  fixrep::Timer timer;
+
+  {
+    fixrep::Table repaired = dirty;
+    fixrep::FastRepairer repairer(&rules);
+    timer.Restart();
+    repairer.RepairTable(&repaired);
+    Report(&table, "Fix (lRepair)",
+           EvaluateRepair(data.clean, dirty, repaired),
+           timer.ElapsedMillis());
+  }
+  {
+    fixrep::Table repaired = dirty;
+    fixrep::HeuRepairer heu(data.fds);
+    timer.Restart();
+    heu.Repair(&repaired);
+    Report(&table, "Heu", EvaluateRepair(data.clean, dirty, repaired),
+           timer.ElapsedMillis());
+  }
+  {
+    fixrep::Table repaired = dirty;
+    fixrep::CsmRepairer csm(data.fds);
+    timer.Restart();
+    csm.Repair(&repaired);
+    Report(&table, "Csm", EvaluateRepair(data.clean, dirty, repaired),
+           timer.ElapsedMillis());
+  }
+  {
+    fixrep::Table repaired = dirty;
+    fixrep::AutoEditRepairer edit(&rules);
+    timer.Restart();
+    edit.RepairTable(&repaired);
+    Report(&table, "Edit (auto)", EvaluateRepair(data.clean, dirty, repaired),
+           timer.ElapsedMillis());
+  }
+
+  table.Print(std::cout);
+  std::cout << "\nExpected shape (paper Fig. 10(e)-(h)): Fix has the top\n"
+               "precision; every method has low recall on uis because the\n"
+               "data has few repeated patterns per FD.\n";
+  return 0;
+}

@@ -1,0 +1,89 @@
+#include "baselines/csm.h"
+
+#include <string>
+#include <unordered_set>
+#include <utility>
+
+#include "common/logging.h"
+#include "common/random.h"
+#include "deps/violation.h"
+
+namespace fixrep {
+
+CsmRepairer::CsmRepairer(std::vector<FunctionalDependency> fds,
+                         CsmOptions options)
+    : fds_(NormalizeToSingleRhs(fds)), options_(options) {
+  FIXREP_CHECK(!fds_.empty());
+}
+
+BaselineResult CsmRepairer::Repair(Table* table) const {
+  BaselineResult result;
+  Rng rng(options_.seed);
+  const size_t arity = table->num_columns();
+  auto cell_id = [arity](size_t row, AttrId attr) {
+    return row * arity + static_cast<size_t>(attr);
+  };
+  std::unordered_set<size_t> frozen;  // cells already changed this run
+  size_t fresh_counter = 0;
+
+  auto set_fresh = [&](size_t row, AttrId attr) {
+    const ValueId fresh = table->pool().Intern(
+        "__csm_fresh_" + std::to_string(fresh_counter++));
+    table->set_cell(row, attr, fresh);
+  };
+
+  for (size_t round = 0; round < options_.max_rounds; ++round) {
+    ++result.passes;
+    size_t changed_this_round = 0;
+    std::vector<const FunctionalDependency*> fd_order;
+    for (const auto& fd : fds_) fd_order.push_back(&fd);
+    rng.Shuffle(&fd_order);
+    for (const FunctionalDependency* fd : fd_order) {
+      const AttrId rhs = fd->rhs[0];
+      auto groups = DetectViolations(*table, *fd);
+      rng.Shuffle(&groups);
+      for (const auto& group : groups) {
+        // Pick a random witness row; every other row must be made to
+        // agree with it (or leave the group).
+        const size_t witness = group.rows[rng.Uniform(group.rows.size())];
+        const ValueId witness_value = table->cell(witness, rhs);
+        for (const size_t row : group.rows) {
+          if (table->cell(row, rhs) == witness_value) continue;
+          const bool rhs_frozen = frozen.count(cell_id(row, rhs)) > 0;
+          if (!rhs_frozen && !rng.Bernoulli(options_.lhs_change_probability)) {
+            table->set_cell(row, rhs, witness_value);
+            frozen.insert(cell_id(row, rhs));
+          } else {
+            // Detach the tuple from the group via one LHS cell. Prefer
+            // an unfrozen LHS cell; if all are frozen, overwrite one
+            // anyway (the sample stops being set-minimal, but stays a
+            // repair).
+            AttrId lhs_attr = fd->lhs[rng.Uniform(fd->lhs.size())];
+            for (const AttrId candidate : fd->lhs) {
+              if (frozen.count(cell_id(row, candidate)) == 0) {
+                lhs_attr = candidate;
+                break;
+              }
+            }
+            set_fresh(row, lhs_attr);
+            frozen.insert(cell_id(row, lhs_attr));
+          }
+          ++changed_this_round;
+        }
+      }
+    }
+    result.cells_changed += changed_this_round;
+    if (changed_this_round == 0) break;
+  }
+
+  result.consistent = true;
+  for (const auto& fd : fds_) {
+    if (!Satisfies(*table, fd)) {
+      result.consistent = false;
+      break;
+    }
+  }
+  return result;
+}
+
+}  // namespace fixrep

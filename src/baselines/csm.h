@@ -1,0 +1,47 @@
+#ifndef FIXREP_BASELINES_CSM_H_
+#define FIXREP_BASELINES_CSM_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "baselines/heu.h"
+#include "deps/fd.h"
+#include "relation/table.h"
+
+namespace fixrep {
+
+struct CsmOptions {
+  uint64_t seed = 0xc5a1;
+  // Bound on violation-fixing rounds; new violations caused by a fix are
+  // handled in later rounds.
+  size_t max_rounds = 16;
+  // Probability of repairing a violating tuple by mutating one LHS cell
+  // to a fresh value (splitting the group) rather than equating its RHS
+  // cell with the group's witness value.
+  double lhs_change_probability = 0.05;
+};
+
+// Csm: sampling from cardinality-set-minimal repairs (Beskales et al.,
+// PVLDB'10), the paper's second comparison baseline. A repair is sampled
+// by visiting violations in random order and resolving each with a
+// minimal cell change: either set the deviating tuple's RHS cell to a
+// randomly chosen witness tuple's value, or (with small probability, the
+// "change a LHS cell to a variable" move of set-minimal repairs) rewrite
+// one LHS cell to a fresh value, detaching the tuple from the group.
+// Cells are changed at most once per run (set-minimality): a frozen cell
+// forces the alternative move.
+class CsmRepairer {
+ public:
+  CsmRepairer(std::vector<FunctionalDependency> fds, CsmOptions options = {});
+
+  // Samples one repair of `table` in place.
+  BaselineResult Repair(Table* table) const;
+
+ private:
+  std::vector<FunctionalDependency> fds_;  // normalized to single RHS
+  CsmOptions options_;
+};
+
+}  // namespace fixrep
+
+#endif  // FIXREP_BASELINES_CSM_H_

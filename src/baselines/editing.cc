@@ -1,0 +1,51 @@
+#include "baselines/editing.h"
+
+#include <vector>
+
+#include "common/logging.h"
+
+namespace fixrep {
+
+AutoEditRepairer::AutoEditRepairer(const RuleSet* rules) : rules_(rules) {
+  FIXREP_CHECK(rules_ != nullptr);
+  stats_.Reset(rules_->size());
+}
+
+size_t AutoEditRepairer::RepairTuple(Tuple* t) {
+  FIXREP_CHECK_EQ(t->size(), rules_->schema().arity());
+  ++stats_.tuples_examined;
+  AttrSet assured;
+  std::vector<bool> fired(rules_->size(), false);
+  size_t cells_changed = 0;
+  bool updated = true;
+  while (updated) {
+    updated = false;
+    for (size_t i = 0; i < rules_->size(); ++i) {
+      if (fired[i]) continue;
+      const FixingRule& rule = rules_->rule(i);
+      // Evidence match only — negative patterns deliberately ignored.
+      if (assured.Contains(rule.target) || !rule.MatchesEvidence(*t)) {
+        continue;
+      }
+      fired[i] = true;
+      assured.UnionWith(rule.AssuredSet());
+      updated = true;
+      if ((*t)[rule.target] != rule.fact) {
+        rule.Apply(t);
+        ++cells_changed;
+        ++stats_.per_rule_applications[i];
+      }
+    }
+  }
+  stats_.cells_changed += cells_changed;
+  if (cells_changed > 0) ++stats_.tuples_changed;
+  return cells_changed;
+}
+
+void AutoEditRepairer::RepairTable(Table* table) {
+  for (size_t r = 0; r < table->num_rows(); ++r) {
+    RepairTuple(&table->mutable_row(r));
+  }
+}
+
+}  // namespace fixrep

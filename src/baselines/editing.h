@@ -1,0 +1,41 @@
+#ifndef FIXREP_BASELINES_EDITING_H_
+#define FIXREP_BASELINES_EDITING_H_
+
+#include "relation/table.h"
+#include "repair/repair_stats.h"
+#include "rules/rule_set.h"
+
+namespace fixrep {
+
+// Automated editing rules (Exp-2(d)): the paper simulates editing rules
+// (Fan et al., VLDB J.'12) by stripping the negative patterns off fixing
+// rules and answering every user prompt with "yes". A rule then fires on
+// a bare evidence match and overwrites the target with the fact — no
+// negative patterns guard it, so errors sitting in the evidence
+// attributes cause wrong writes, which is exactly the effect Fig. 12(b)
+// measures.
+//
+// Application still honours assured attributes so the process terminates
+// and never rewrites a cell twice.
+class AutoEditRepairer {
+ public:
+  // Uses only the evidence patterns and facts of `rules`; the negative
+  // patterns are ignored by construction.
+  explicit AutoEditRepairer(const RuleSet* rules);
+
+  // Returns the number of cells changed (writes that keep the current
+  // value are fired but not counted).
+  size_t RepairTuple(Tuple* t);
+
+  void RepairTable(Table* table);
+
+  const RepairStats& stats() const { return stats_; }
+
+ private:
+  const RuleSet* rules_;
+  RepairStats stats_;
+};
+
+}  // namespace fixrep
+
+#endif  // FIXREP_BASELINES_EDITING_H_

@@ -1,0 +1,84 @@
+#include "baselines/editing_master.h"
+
+#include <utility>
+
+#include "common/logging.h"
+
+namespace fixrep {
+
+MasterEditRepairer::MasterEditRepairer(std::vector<EditingRule> rules,
+                                       const Table* master)
+    : rules_(std::move(rules)), master_(master) {
+  FIXREP_CHECK(master_ != nullptr);
+  master_index_.resize(rules_.size());
+  for (size_t i = 0; i < rules_.size(); ++i) {
+    const EditingRule& rule = rules_[i];
+    FIXREP_CHECK_EQ(rule.match_attrs.size(),
+                    rule.master_match_attrs.size());
+    FIXREP_CHECK_EQ(rule.pattern_attrs.size(), rule.pattern_values.size());
+    FIXREP_CHECK_NE(rule.update_attr, kInvalidAttr);
+    std::vector<ValueId> key(rule.master_match_attrs.size());
+    for (size_t m = 0; m < master_->num_rows(); ++m) {
+      for (size_t k = 0; k < rule.master_match_attrs.size(); ++k) {
+        key[k] = master_->cell(m, rule.master_match_attrs[k]);
+      }
+      master_index_[i].emplace(key, m);
+    }
+  }
+}
+
+EditingStats MasterEditRepairer::Repair(Table* table,
+                                        EditingUserModel user_model,
+                                        const Table* truth) const {
+  FIXREP_CHECK(table != nullptr);
+  if (user_model == EditingUserModel::kOracle) {
+    FIXREP_CHECK(truth != nullptr) << "oracle user needs the ground truth";
+    FIXREP_CHECK_EQ(truth->num_rows(), table->num_rows());
+  }
+  EditingStats stats;
+  std::vector<ValueId> key;
+  for (size_t r = 0; r < table->num_rows(); ++r) {
+    for (size_t i = 0; i < rules_.size(); ++i) {
+      const EditingRule& rule = rules_[i];
+      // Pattern condition tp[Xp].
+      bool pattern_ok = true;
+      for (size_t k = 0; k < rule.pattern_attrs.size(); ++k) {
+        if (table->cell(r, rule.pattern_attrs[k]) !=
+            rule.pattern_values[k]) {
+          pattern_ok = false;
+          break;
+        }
+      }
+      if (!pattern_ok) continue;
+      // Master lookup on t[X].
+      key.clear();
+      for (const AttrId a : rule.match_attrs) {
+        key.push_back(table->cell(r, a));
+      }
+      const auto it = master_index_[i].find(key);
+      if (it == master_index_[i].end()) continue;
+      // Certification: "is t[X] correct?" — one interaction per ask.
+      ++stats.user_interactions;
+      if (user_model == EditingUserModel::kOracle) {
+        bool match_correct = true;
+        for (const AttrId a : rule.match_attrs) {
+          if (table->cell(r, a) != truth->cell(r, a)) {
+            match_correct = false;
+            break;
+          }
+        }
+        if (!match_correct) continue;  // the oracle user says no
+      }
+      const ValueId master_value =
+          master_->cell(it->second, rule.master_update_attr);
+      ++stats.rules_fired;
+      if (table->cell(r, rule.update_attr) != master_value) {
+        table->set_cell(r, rule.update_attr, master_value);
+        ++stats.cells_changed;
+      }
+    }
+  }
+  return stats;
+}
+
+}  // namespace fixrep

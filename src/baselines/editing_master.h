@@ -1,0 +1,75 @@
+#ifndef FIXREP_BASELINES_EDITING_MASTER_H_
+#define FIXREP_BASELINES_EDITING_MASTER_H_
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "deps/violation.h"
+#include "relation/table.h"
+
+namespace fixrep {
+
+// An editing rule with master data (Fan et al., VLDB J.'12 — the paper's
+// Exp-2(d) comparison target), e.g. eR1 of the paper's introduction:
+//
+//   eR1: ((country, country) -> (capital, capital), tp[country] = ())
+//
+// For a tuple t: if t matches the pattern condition and t[match_attrs]
+// equals s[master_match_attrs] for some master tuple s, then t's
+// update_attr is set to s[master_update_attr] — PROVIDED the user
+// certifies that t[match_attrs] is correct. That certification is the
+// defining cost of editing rules: one user interaction per (tuple, rule)
+// application.
+struct EditingRule {
+  std::vector<AttrId> match_attrs;         // X in the data relation
+  std::vector<AttrId> master_match_attrs;  // Xm in the master relation
+  AttrId update_attr = kInvalidAttr;       // B
+  AttrId master_update_attr = kInvalidAttr;  // Bm
+  // Optional pattern condition tp[Xp]: constants the tuple must carry.
+  std::vector<AttrId> pattern_attrs;
+  std::vector<ValueId> pattern_values;
+};
+
+// How the "user" answers the certification question.
+enum class EditingUserModel {
+  // Oracle user: consults the ground truth, says yes only when the
+  // matched cells are genuinely correct. Repairs are then guaranteed
+  // correct (the editing-rules guarantee), at one interaction per ask.
+  kOracle,
+  // Automated simulation (the paper's Fig. 12(b) setup): always yes,
+  // no ground truth needed, correctness guarantee forfeited.
+  kAlwaysYes,
+};
+
+struct EditingStats {
+  size_t user_interactions = 0;  // certification questions asked
+  size_t cells_changed = 0;
+  size_t rules_fired = 0;
+};
+
+// Applies editing rules against one master relation.
+class MasterEditRepairer {
+ public:
+  // `master` must outlive the repairer. Rules are validated against the
+  // data schema lazily at repair time (attribute ids must be in range).
+  MasterEditRepairer(std::vector<EditingRule> rules, const Table* master);
+
+  // Repairs `table` in place. `truth` is required for (and only
+  // consulted in) the kOracle model; pass nullptr with kAlwaysYes.
+  EditingStats Repair(Table* table, EditingUserModel user_model,
+                      const Table* truth) const;
+
+ private:
+  std::vector<EditingRule> rules_;
+  const Table* master_;
+  // Per rule: hash index from the master-match projection to the master
+  // row (first match wins; master data is assumed duplicate-free on Xm).
+  std::vector<std::unordered_map<std::vector<ValueId>, size_t,
+                                 ValueVectorHash>>
+      master_index_;
+};
+
+}  // namespace fixrep
+
+#endif  // FIXREP_BASELINES_EDITING_MASTER_H_

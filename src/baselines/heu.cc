@@ -1,0 +1,129 @@
+#include "baselines/heu.h"
+
+#include <algorithm>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "baselines/union_find.h"
+#include "common/string_util.h"
+#include "common/logging.h"
+#include "deps/violation.h"
+
+namespace fixrep {
+
+HeuRepairer::HeuRepairer(std::vector<FunctionalDependency> fds,
+                         HeuOptions options)
+    : fds_(NormalizeToSingleRhs(fds)), options_(options) {
+  FIXREP_CHECK(!fds_.empty());
+}
+
+BaselineResult HeuRepairer::Repair(Table* table) const {
+  BaselineResult result;
+  const size_t arity = table->num_columns();
+  const size_t rows = table->num_rows();
+  auto cell_id = [arity](size_t row, AttrId attr) {
+    return row * arity + static_cast<size_t>(attr);
+  };
+
+  for (size_t pass = 0; pass < options_.max_passes; ++pass) {
+    ++result.passes;
+    // Step 1: union all RHS cells of rows agreeing on an FD's LHS.
+    UnionFind classes(rows * arity);
+    for (const auto& fd : fds_) {
+      const AttrId rhs = fd.rhs[0];
+      for (const auto& [lhs_values, group] : PartitionBy(*table, fd.lhs)) {
+        for (size_t i = 1; i < group.size(); ++i) {
+          classes.Union(cell_id(group[0], rhs), cell_id(group[i], rhs));
+        }
+      }
+    }
+
+    // Step 2: per class, histogram current values and choose the
+    // plurality (minimum total changes), tie-broken by the smallest
+    // string so repairs are deterministic.
+    std::unordered_map<size_t, std::unordered_map<ValueId, size_t>>
+        histograms;
+    for (const auto& fd : fds_) {
+      const AttrId rhs = fd.rhs[0];
+      for (size_t r = 0; r < rows; ++r) {
+        const size_t root = classes.Find(cell_id(r, rhs));
+        ++histograms[root][table->cell(r, rhs)];
+      }
+    }
+    std::unordered_map<size_t, ValueId> chosen;
+    chosen.reserve(histograms.size());
+    for (const auto& [root, histogram] : histograms) {
+      ValueId best = kNullValue;
+      if (options_.use_similarity_cost) {
+        // Candidate value minimizing the summed normalized edit distance
+        // to the class's current values (weighted by multiplicity).
+        double best_cost = 0;
+        for (const auto& [candidate, unused] : histogram) {
+          (void)unused;
+          double cost = 0;
+          const std::string& candidate_string =
+              table->pool().GetString(candidate);
+          for (const auto& [value, count] : histogram) {
+            if (value == candidate) continue;
+            const std::string& value_string =
+                table->pool().GetString(value);
+            const size_t longest =
+                std::max(candidate_string.size(), value_string.size());
+            const double distance =
+                longest == 0 ? 0.0
+                             : static_cast<double>(EditDistance(
+                                   candidate_string, value_string)) /
+                                   static_cast<double>(longest);
+            cost += distance * static_cast<double>(count);
+          }
+          if (best == kNullValue || cost < best_cost ||
+              (cost == best_cost && table->pool().GetString(candidate) <
+                                        table->pool().GetString(best))) {
+            best = candidate;
+            best_cost = cost;
+          }
+        }
+      } else {
+        size_t best_count = 0;
+        for (const auto& [value, count] : histogram) {
+          if (count > best_count ||
+              (count == best_count &&
+               (best == kNullValue || table->pool().GetString(value) <
+                                          table->pool().GetString(best)))) {
+            best = value;
+            best_count = count;
+          }
+        }
+      }
+      chosen[root] = best;
+    }
+
+    // Step 3: write the chosen value through each class.
+    size_t changed_this_pass = 0;
+    for (const auto& fd : fds_) {
+      const AttrId rhs = fd.rhs[0];
+      for (size_t r = 0; r < rows; ++r) {
+        const size_t root = classes.Find(cell_id(r, rhs));
+        const ValueId target = chosen.at(root);
+        if (table->cell(r, rhs) != target) {
+          table->set_cell(r, rhs, target);
+          ++changed_this_pass;
+        }
+      }
+    }
+    result.cells_changed += changed_this_pass;
+    if (changed_this_pass == 0) break;
+  }
+
+  result.consistent = true;
+  for (const auto& fd : fds_) {
+    if (!Satisfies(*table, fd)) {
+      result.consistent = false;
+      break;
+    }
+  }
+  return result;
+}
+
+}  // namespace fixrep

@@ -1,0 +1,46 @@
+#ifndef FIXREP_BASELINES_UNION_FIND_H_
+#define FIXREP_BASELINES_UNION_FIND_H_
+
+#include <cstddef>
+#include <numeric>
+#include <vector>
+
+namespace fixrep {
+
+// Disjoint-set forest with path halving and union by size; used by the
+// Heu baseline to build equivalence classes of cells.
+class UnionFind {
+ public:
+  explicit UnionFind(size_t n) : parent_(n), size_(n, 1) {
+    std::iota(parent_.begin(), parent_.end(), 0);
+  }
+
+  size_t Find(size_t x) {
+    while (parent_[x] != x) {
+      parent_[x] = parent_[parent_[x]];
+      x = parent_[x];
+    }
+    return x;
+  }
+
+  // Unions the sets of a and b; returns the new root.
+  size_t Union(size_t a, size_t b) {
+    size_t ra = Find(a);
+    size_t rb = Find(b);
+    if (ra == rb) return ra;
+    if (size_[ra] < size_[rb]) std::swap(ra, rb);
+    parent_[rb] = ra;
+    size_[ra] += size_[rb];
+    return ra;
+  }
+
+  bool Connected(size_t a, size_t b) { return Find(a) == Find(b); }
+
+ private:
+  std::vector<size_t> parent_;
+  std::vector<size_t> size_;
+};
+
+}  // namespace fixrep
+
+#endif  // FIXREP_BASELINES_UNION_FIND_H_

@@ -1,0 +1,62 @@
+#ifndef FIXREP_COMMON_LOGGING_H_
+#define FIXREP_COMMON_LOGGING_H_
+
+#include <cstdlib>
+#include <iostream>
+#include <sstream>
+#include <string>
+
+// Lightweight CHECK/DCHECK macros in the spirit of glog. A failed check
+// prints the failing condition with file/line context and aborts; these
+// guard internal invariants, not user input (user input errors surface as
+// error returns or documented exceptions at the I/O boundary).
+
+namespace fixrep::internal {
+
+// Accumulates a failure message and aborts on destruction. Used only via
+// the FIXREP_CHECK family below.
+class CheckFailure {
+ public:
+  CheckFailure(const char* file, int line, const char* condition) {
+    stream_ << file << ":" << line << " check failed: " << condition << " ";
+  }
+
+  CheckFailure(const CheckFailure&) = delete;
+  CheckFailure& operator=(const CheckFailure&) = delete;
+
+  [[noreturn]] ~CheckFailure() {
+    std::cerr << stream_.str() << std::endl;
+    std::abort();
+  }
+
+  template <typename T>
+  CheckFailure& operator<<(const T& value) {
+    stream_ << value;
+    return *this;
+  }
+
+ private:
+  std::ostringstream stream_;
+};
+
+}  // namespace fixrep::internal
+
+#define FIXREP_CHECK(condition)                                         \
+  if (!(condition))                                                     \
+  ::fixrep::internal::CheckFailure(__FILE__, __LINE__, #condition)
+
+#define FIXREP_CHECK_EQ(a, b) FIXREP_CHECK((a) == (b))
+#define FIXREP_CHECK_NE(a, b) FIXREP_CHECK((a) != (b))
+#define FIXREP_CHECK_LT(a, b) FIXREP_CHECK((a) < (b))
+#define FIXREP_CHECK_LE(a, b) FIXREP_CHECK((a) <= (b))
+#define FIXREP_CHECK_GT(a, b) FIXREP_CHECK((a) > (b))
+#define FIXREP_CHECK_GE(a, b) FIXREP_CHECK((a) >= (b))
+
+#ifndef NDEBUG
+#define FIXREP_DCHECK(condition) FIXREP_CHECK(condition)
+#else
+#define FIXREP_DCHECK(condition) \
+  if (false) ::fixrep::internal::CheckFailure(__FILE__, __LINE__, #condition)
+#endif
+
+#endif  // FIXREP_COMMON_LOGGING_H_

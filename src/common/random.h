@@ -1,0 +1,66 @@
+#ifndef FIXREP_COMMON_RANDOM_H_
+#define FIXREP_COMMON_RANDOM_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/logging.h"
+
+namespace fixrep {
+
+// Deterministic, seedable PRNG (xoshiro256** seeded via SplitMix64).
+// Every randomized component in the library takes an explicit seed so that
+// experiments are reproducible bit-for-bit across runs and platforms.
+class Rng {
+ public:
+  explicit Rng(uint64_t seed);
+
+  // Next raw 64-bit value.
+  uint64_t Next();
+
+  // Uniform integer in [0, bound), bound > 0. Uses Lemire rejection to
+  // avoid modulo bias.
+  uint64_t Uniform(uint64_t bound);
+
+  // Uniform integer in [lo, hi], inclusive. Requires lo <= hi.
+  int64_t UniformInt(int64_t lo, int64_t hi);
+
+  // Uniform double in [0, 1).
+  double UniformDouble();
+
+  // True with probability p (clamped to [0, 1]).
+  bool Bernoulli(double p);
+
+  // Zipf-distributed rank in [0, n) with exponent s (s >= 0; s == 0 is
+  // uniform). Uses an inverse-CDF table computed lazily per (n, s); callers
+  // that sweep n/s should keep one Rng per configuration.
+  uint64_t Zipf(uint64_t n, double s);
+
+  // Picks one element of v uniformly at random. v must be non-empty.
+  template <typename T>
+  const T& Pick(const std::vector<T>& v) {
+    FIXREP_CHECK(!v.empty());
+    return v[Uniform(v.size())];
+  }
+
+  // Fisher-Yates shuffle.
+  template <typename T>
+  void Shuffle(std::vector<T>* v) {
+    if (v->size() < 2) return;
+    for (size_t i = v->size() - 1; i > 0; --i) {
+      std::swap((*v)[i], (*v)[Uniform(i + 1)]);
+    }
+  }
+
+ private:
+  uint64_t state_[4];
+
+  // Cached Zipf CDF for the most recent (n, s) pair.
+  uint64_t zipf_n_ = 0;
+  double zipf_s_ = -1.0;
+  std::vector<double> zipf_cdf_;
+};
+
+}  // namespace fixrep
+
+#endif  // FIXREP_COMMON_RANDOM_H_

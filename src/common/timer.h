@@ -1,0 +1,29 @@
+#ifndef FIXREP_COMMON_TIMER_H_
+#define FIXREP_COMMON_TIMER_H_
+
+#include <chrono>
+
+namespace fixrep {
+
+// Monotonic wall-clock stopwatch used by the experiment harness; benches
+// that need statistical rigour use google-benchmark instead.
+class Timer {
+ public:
+  Timer() : start_(Clock::now()) {}
+
+  void Restart() { start_ = Clock::now(); }
+
+  double ElapsedSeconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  double ElapsedMillis() const { return ElapsedSeconds() * 1e3; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace fixrep
+
+#endif  // FIXREP_COMMON_TIMER_H_

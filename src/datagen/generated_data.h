@@ -1,0 +1,28 @@
+#ifndef FIXREP_DATAGEN_GENERATED_DATA_H_
+#define FIXREP_DATAGEN_GENERATED_DATA_H_
+
+#include <memory>
+#include <vector>
+
+#include "deps/fd.h"
+#include "relation/table.h"
+
+namespace fixrep {
+
+// A generated clean dataset: schema, FD-conformant rows, and the FDs the
+// evaluation section defines for it. The pool is shared with any dirty
+// copies, rules, and master data derived from it.
+struct GeneratedData {
+  std::shared_ptr<ValuePool> pool;
+  std::shared_ptr<const Schema> schema;
+  Table clean;
+  std::vector<FunctionalDependency> fds;
+
+  GeneratedData(std::shared_ptr<ValuePool> p,
+                std::shared_ptr<const Schema> s)
+      : pool(std::move(p)), schema(s), clean(s, pool) {}
+};
+
+}  // namespace fixrep
+
+#endif  // FIXREP_DATAGEN_GENERATED_DATA_H_

@@ -1,0 +1,193 @@
+#include "datagen/hosp.h"
+
+#include <string>
+#include <vector>
+
+#include "common/logging.h"
+#include "common/random.h"
+
+namespace fixrep {
+
+namespace {
+
+constexpr const char* kStates[] = {
+    "AL", "AK", "AZ", "AR", "CA", "CO", "CT", "DE", "FL", "GA",
+    "HI", "ID", "IL", "IN", "IA", "KS", "KY", "LA", "ME", "MD",
+    "MA", "MI", "MN", "MS", "MO", "MT", "NE", "NV", "NH", "NJ",
+    "NM", "NY", "NC", "ND", "OH", "OK", "OR", "PA", "RI", "SC",
+    "SD", "TN", "TX", "UT", "VT", "VA", "WA", "WV", "WI", "WY"};
+
+constexpr const char* kCityNames[] = {
+    "Springfield", "Riverside",  "Franklin",   "Greenville", "Bristol",
+    "Clinton",     "Fairview",   "Salem",      "Madison",    "Georgetown",
+    "Arlington",   "Ashland",    "Burlington", "Manchester", "Oxford",
+    "Clayton",     "Jackson",    "Milton",     "Auburn",     "Dayton",
+    "Lexington",   "Milford",    "Newport",    "Kingston",   "Dover",
+    "Hudson",      "Centerville", "Winchester", "Lebanon",   "Florence"};
+
+constexpr const char* kCounties[] = {
+    "Adams",  "Brown",   "Clark",  "Douglas", "Franklin", "Grant",
+    "Henry",  "Jackson", "Lake",   "Lincoln", "Marion",   "Monroe",
+    "Morgan", "Perry",   "Pike",   "Polk",    "Scott",    "Union",
+    "Warren", "Wayne"};
+
+constexpr const char* kStreets[] = {
+    "Main St",   "Oak Ave",    "Elm St",     "Maple Dr",  "Cedar Ln",
+    "Pine St",   "Park Ave",   "Lake Rd",    "Hill St",   "River Rd",
+    "Church St", "Center St",  "Walnut St",  "Spring St", "Mill Rd"};
+
+constexpr const char* kHospitalKinds[] = {"General", "Memorial", "Regional",
+                                          "Community", "University"};
+
+constexpr const char* kHospitalTypes[] = {"Acute Care Hospitals",
+                                          "Critical Access Hospitals",
+                                          "Childrens Hospitals"};
+
+constexpr const char* kOwners[] = {
+    "Voluntary non-profit - Private", "Government - State",
+    "Government - Local",             "Proprietary",
+    "Government - Federal",           "Voluntary non-profit - Church"};
+
+struct MeasureFamily {
+  const char* prefix;
+  const char* condition;
+  const char* description;
+};
+
+constexpr MeasureFamily kFamilies[] = {
+    {"AMI", "Heart Attack", "aspirin at arrival"},
+    {"HF", "Heart Failure", "discharge instructions"},
+    {"PN", "Pneumonia", "initial antibiotic timing"},
+    {"SCIP", "Surgical Infection Prevention", "prophylactic antibiotic"}};
+
+std::string PadNumber(uint64_t n, int width) {
+  std::string digits = std::to_string(n);
+  if (digits.size() < static_cast<size_t>(width)) {
+    digits.insert(0, static_cast<size_t>(width) - digits.size(), '0');
+  }
+  return digits;
+}
+
+struct Hospital {
+  ValueId pn, hn, address1, address2, address3, city, state, zip, county,
+      phn, ht, ho, es;
+};
+
+struct Measure {
+  ValueId mc, mn, condition;
+  size_t index;  // used to derive the deterministic stateAvg
+};
+
+}  // namespace
+
+GeneratedData GenerateHosp(const HospOptions& options) {
+  FIXREP_CHECK_GT(options.num_hospitals, 0u);
+  FIXREP_CHECK_GT(options.num_measures, 0u);
+  auto pool = std::make_shared<ValuePool>();
+  auto schema = std::make_shared<Schema>(
+      "hosp",
+      std::vector<std::string>{"PN", "HN", "address1", "address2",
+                               "address3", "city", "state", "zip", "county",
+                               "phn", "ht", "ho", "es", "MC", "MN",
+                               "condition", "stateAvg"});
+  GeneratedData data(pool, schema);
+  data.fds = {
+      ParseFd(*schema,
+              "PN -> HN,address1,address2,address3,city,state,zip,county,"
+              "phn,ht,ho,es"),
+      ParseFd(*schema, "phn -> zip,city,state,address1,address2,address3"),
+      ParseFd(*schema, "MC -> MN,condition"),
+      ParseFd(*schema, "PN,MC -> stateAvg"),
+      ParseFd(*schema, "state,MC -> stateAvg"),
+  };
+
+  Rng rng(options.seed);
+  constexpr size_t kNumStates = std::size(kStates);
+  constexpr size_t kNumCities = std::size(kCityNames);
+
+  std::vector<Hospital> hospitals;
+  hospitals.reserve(options.num_hospitals);
+  for (size_t h = 0; h < options.num_hospitals; ++h) {
+    Hospital hospital;
+    const size_t state_index = rng.Uniform(kNumStates);
+    const std::string state = kStates[state_index];
+    // City pool is shared across states (value repetition), but each
+    // city-in-state gets one zip so phn -> zip,city,state is honest.
+    const size_t city_index = rng.Uniform(kNumCities);
+    const std::string city = kCityNames[city_index];
+    const uint64_t zip_number =
+        10000 + (state_index * kNumCities + city_index) * 37 % 89999;
+    hospital.pn = pool->Intern("PN" + PadNumber(h, 6));
+    hospital.hn = pool->Intern(
+        city + " " + kHospitalKinds[h % std::size(kHospitalKinds)] +
+        " Hospital " + std::to_string(h));
+    hospital.address1 = pool->Intern(
+        std::to_string(100 + rng.Uniform(9900)) + " " +
+        kStreets[rng.Uniform(std::size(kStreets))]);
+    hospital.address2 =
+        pool->Intern("Bldg " + std::string(1, 'A' + char(rng.Uniform(6))));
+    hospital.address3 =
+        pool->Intern("Floor " + std::to_string(1 + rng.Uniform(9)));
+    hospital.city = pool->Intern(city);
+    hospital.state = pool->Intern(state);
+    hospital.zip = pool->Intern(PadNumber(zip_number, 5));
+    hospital.county = pool->Intern(kCounties[rng.Uniform(std::size(kCounties))]);
+    hospital.phn = pool->Intern("555" + PadNumber(1000000 + h * 17, 7));
+    hospital.ht =
+        pool->Intern(kHospitalTypes[rng.Uniform(std::size(kHospitalTypes))]);
+    hospital.ho = pool->Intern(kOwners[rng.Uniform(std::size(kOwners))]);
+    hospital.es = pool->Intern(rng.Bernoulli(0.8) ? "Yes" : "No");
+    hospitals.push_back(hospital);
+  }
+
+  std::vector<Measure> measures;
+  measures.reserve(options.num_measures);
+  for (size_t m = 0; m < options.num_measures; ++m) {
+    const MeasureFamily& family = kFamilies[m % std::size(kFamilies)];
+    Measure measure;
+    const std::string code =
+        std::string(family.prefix) + "-" + PadNumber(m, 2);
+    measure.mc = pool->Intern(code);
+    measure.mn = pool->Intern(std::string(family.description) + " (" + code +
+                              ")");
+    measure.condition = pool->Intern(family.condition);
+    measure.index = m;
+    measures.push_back(measure);
+  }
+
+  data.clean.Reserve(options.rows);
+  Tuple row(schema->arity());
+  for (size_t r = 0; r < options.rows; ++r) {
+    const Hospital& h =
+        hospitals[rng.Zipf(options.num_hospitals, options.hospital_skew)];
+    const Measure& m = measures[rng.Uniform(options.num_measures)];
+    // stateAvg is a pure function of (state, MC), which also satisfies
+    // PN,MC -> stateAvg because PN determines state.
+    const std::string& state = pool->GetString(h.state);
+    const ValueId state_avg = pool->Intern(
+        state + "_" + pool->GetString(m.mc) + "_" +
+        std::to_string(50 + (state.size() * 31 + m.index * 7) % 50) + "%");
+    size_t i = 0;
+    row[i++] = h.pn;
+    row[i++] = h.hn;
+    row[i++] = h.address1;
+    row[i++] = h.address2;
+    row[i++] = h.address3;
+    row[i++] = h.city;
+    row[i++] = h.state;
+    row[i++] = h.zip;
+    row[i++] = h.county;
+    row[i++] = h.phn;
+    row[i++] = h.ht;
+    row[i++] = h.ho;
+    row[i++] = h.es;
+    row[i++] = m.mc;
+    row[i++] = m.mn;
+    row[i++] = m.condition;
+    row[i++] = state_avg;
+    data.clean.AppendRow(row);
+  }
+  return data;
+}
+
+}  // namespace fixrep

@@ -1,0 +1,36 @@
+#ifndef FIXREP_DATAGEN_HOSP_H_
+#define FIXREP_DATAGEN_HOSP_H_
+
+#include <cstdint>
+
+#include "datagen/generated_data.h"
+
+namespace fixrep {
+
+// Synthetic stand-in for the US HHS "Hospital Compare" dataset used in
+// the paper (115K records, 17 attributes). The generator preserves the
+// properties the experiments rely on: the paper's five FDs hold exactly
+// on the clean data, values repeat heavily (hospitals are drawn with a
+// Zipf skew, cities/counties/zips come from shared pools), and every
+// record is a (hospital, measure) pairing as in the original feed.
+struct HospOptions {
+  size_t rows = 115000;
+  size_t num_hospitals = 4000;
+  size_t num_measures = 60;
+  // Zipf exponent for how often each hospital appears; >0 gives the
+  // repeated patterns that make fixing rules applicable.
+  double hospital_skew = 1.05;
+  uint64_t seed = 0x4051;
+};
+
+// Generates clean hosp data; GeneratedData::fds carries the paper's FDs:
+//   PN  -> HN,address1,address2,address3,city,state,zip,county,phn,ht,ho,es
+//   phn -> zip,city,state,address1,address2,address3
+//   MC  -> MN,condition
+//   PN,MC -> stateAvg
+//   state,MC -> stateAvg
+GeneratedData GenerateHosp(const HospOptions& options);
+
+}  // namespace fixrep
+
+#endif  // FIXREP_DATAGEN_HOSP_H_

@@ -1,0 +1,71 @@
+#include "datagen/noise.h"
+
+#include <algorithm>
+#include <unordered_set>
+
+#include "common/logging.h"
+#include "common/random.h"
+#include "common/string_util.h"
+#include "relation/active_domain.h"
+
+namespace fixrep {
+
+std::vector<AttrId> ConstraintAttributes(
+    const Schema& schema, const std::vector<FunctionalDependency>& fds) {
+  std::unordered_set<AttrId> attrs;
+  for (const auto& fd : fds) {
+    attrs.insert(fd.lhs.begin(), fd.lhs.end());
+    attrs.insert(fd.rhs.begin(), fd.rhs.end());
+  }
+  std::vector<AttrId> out(attrs.begin(), attrs.end());
+  std::sort(out.begin(), out.end());
+  for (const AttrId a : out) {
+    FIXREP_CHECK_LT(static_cast<size_t>(a), schema.arity());
+  }
+  return out;
+}
+
+NoiseReport InjectNoise(Table* table,
+                        const std::vector<AttrId>& target_attrs,
+                        const NoiseOptions& options) {
+  FIXREP_CHECK(!target_attrs.empty());
+  NoiseReport report;
+  Rng rng(options.seed);
+  // Active domains are captured before corruption so that substituted
+  // values are genuine clean-domain values, as in the paper.
+  const auto domains = ActiveDomains(*table);
+
+  for (size_t r = 0; r < table->num_rows(); ++r) {
+    if (!rng.Bernoulli(options.noise_rate)) continue;
+    const AttrId attr = target_attrs[rng.Uniform(target_attrs.size())];
+    const ValueId current = table->cell(r, attr);
+    if (current == kNullValue) continue;
+    ++report.rows_corrupted;
+    if (rng.Bernoulli(options.typo_share)) {
+      const std::string typo =
+          MakeTypo(table->pool().GetString(current), &rng);
+      table->set_cell(r, attr, table->pool().Intern(typo));
+      ++report.typos;
+    } else {
+      const auto& domain = domains[static_cast<size_t>(attr)];
+      if (domain.size() < 2) {
+        // Attribute has a single value overall; fall back to a typo so
+        // the row still carries an error.
+        const std::string typo =
+            MakeTypo(table->pool().GetString(current), &rng);
+        table->set_cell(r, attr, table->pool().Intern(typo));
+        ++report.typos;
+        continue;
+      }
+      ValueId replacement = current;
+      while (replacement == current) {
+        replacement = domain[rng.Uniform(domain.size())];
+      }
+      table->set_cell(r, attr, replacement);
+      ++report.active_domain_errors;
+    }
+  }
+  return report;
+}
+
+}  // namespace fixrep

@@ -1,0 +1,45 @@
+#ifndef FIXREP_DATAGEN_NOISE_H_
+#define FIXREP_DATAGEN_NOISE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "deps/fd.h"
+#include "relation/table.h"
+
+namespace fixrep {
+
+// Controls dirty-data generation (Section 7.1): noise is added only to
+// attributes related to some integrity constraint, at `noise_rate`, and
+// each error is either a typo or a substitution from the attribute's
+// active domain.
+struct NoiseOptions {
+  // Fraction of rows that receive exactly one corrupted cell.
+  double noise_rate = 0.10;
+  // Among corrupted cells, the fraction mutated by a typo; the rest are
+  // replaced with a different value from the attribute's active domain.
+  double typo_share = 0.5;
+  uint64_t seed = 0xd1e7;
+};
+
+struct NoiseReport {
+  size_t rows_corrupted = 0;
+  size_t typos = 0;
+  size_t active_domain_errors = 0;
+};
+
+// The attributes mentioned by any FD (LHS or RHS), sorted — the paper
+// corrupts only these.
+std::vector<AttrId> ConstraintAttributes(
+    const Schema& schema, const std::vector<FunctionalDependency>& fds);
+
+// Corrupts `table` in place: each row independently receives one error
+// with probability noise_rate, in a uniformly chosen target attribute.
+// Returns what was injected. Deterministic given options.seed.
+NoiseReport InjectNoise(Table* table,
+                        const std::vector<AttrId>& target_attrs,
+                        const NoiseOptions& options);
+
+}  // namespace fixrep
+
+#endif  // FIXREP_DATAGEN_NOISE_H_

@@ -1,0 +1,70 @@
+#include "datagen/travel.h"
+
+#include <string>
+#include <vector>
+
+namespace fixrep {
+
+namespace {
+
+std::shared_ptr<const Schema> TravelSchema() {
+  return std::make_shared<Schema>(
+      "Travel", std::vector<std::string>{"name", "country", "capital",
+                                         "city", "conf"});
+}
+
+std::shared_ptr<const Schema> CapSchema() {
+  return std::make_shared<Schema>(
+      "Cap", std::vector<std::string>{"country", "capital"});
+}
+
+}  // namespace
+
+TravelExample::TravelExample()
+    : pool(std::make_shared<ValuePool>()),
+      schema(TravelSchema()),
+      dirty(schema, pool),
+      clean(schema, pool),
+      master(CapSchema(), pool),
+      rules(schema, pool) {
+  // Fig. 1 (errors highlighted in the paper, corrections in brackets).
+  dirty.AppendRowStrings({"George", "China", "Beijing", "Shanghai", "SIGMOD"});
+  dirty.AppendRowStrings({"Ian", "China", "Shanghai", "Hongkong", "ICDE"});
+  dirty.AppendRowStrings({"Peter", "China", "Tokyo", "Tokyo", "ICDE"});
+  dirty.AppendRowStrings({"Mike", "Canada", "Toronto", "Toronto", "ICDE"});
+
+  clean.AppendRowStrings({"George", "China", "Beijing", "Shanghai", "SIGMOD"});
+  clean.AppendRowStrings({"Ian", "China", "Beijing", "Shanghai", "ICDE"});
+  clean.AppendRowStrings({"Peter", "Japan", "Tokyo", "Tokyo", "ICDE"});
+  clean.AppendRowStrings({"Mike", "Canada", "Ottawa", "Toronto", "ICDE"});
+
+  // Fig. 2: master data Dm of schema Cap.
+  master.AppendRowStrings({"China", "Beijing"});
+  master.AppendRowStrings({"Canada", "Ottawa"});
+  master.AppendRowStrings({"Japan", "Tokyo"});
+
+  // phi_1, phi_2 (Example 3).
+  rules.Add(MakeRule(*schema, pool.get(), {{"country", "China"}}, "capital",
+                     {"Shanghai", "Hongkong"}, "Beijing"));
+  rules.Add(MakeRule(*schema, pool.get(), {{"country", "Canada"}}, "capital",
+                     {"Toronto"}, "Ottawa"));
+  // phi_3 (Example 8): ICDE held in Tokyo with capital Tokyo means the
+  // country must be Japan, not China.
+  rules.Add(MakeRule(
+      *schema, pool.get(),
+      {{"capital", "Tokyo"}, {"city", "Tokyo"}, {"conf", "ICDE"}}, "country",
+      {"China"}, "Japan"));
+  // phi_4 (Section 6.2): ICDE in a country with capital Beijing was held
+  // in Shanghai, never Hongkong.
+  rules.Add(MakeRule(*schema, pool.get(),
+                     {{"capital", "Beijing"}, {"conf", "ICDE"}}, "city",
+                     {"Hongkong"}, "Shanghai"));
+}
+
+FixingRule MakeTravelPhi1Prime(TravelExample* example) {
+  return MakeRule(*example->schema, example->pool.get(),
+                  {{"country", "China"}}, "capital",
+                  {"Shanghai", "Hongkong", "Tokyo"}, "Beijing");
+}
+
+}  // namespace fixrep

@@ -1,0 +1,37 @@
+#ifndef FIXREP_DATAGEN_TRAVEL_H_
+#define FIXREP_DATAGEN_TRAVEL_H_
+
+#include <memory>
+
+#include "relation/table.h"
+#include "rules/rule_set.h"
+
+namespace fixrep {
+
+// The paper's running example, reconstructed exactly:
+// * `dirty`  — the Travel instance of Fig. 1 (r1 clean; r2[capital],
+//   r2[city], r3[country], r4[capital] wrong);
+// * `clean`  — the corrected instance (bracketed values of Fig. 1);
+// * `master` — the Cap(country, capital) master data of Fig. 2;
+// * `rules`  — phi_1..phi_4 (Examples 3 and the lRepair walkthrough of
+//   Fig. 8), a consistent set whose unique fixes turn `dirty` into
+//   `clean`.
+struct TravelExample {
+  std::shared_ptr<ValuePool> pool;
+  std::shared_ptr<const Schema> schema;  // Travel(name,country,capital,city,conf)
+  Table dirty;
+  Table clean;
+  Table master;  // Cap(country, capital)
+  RuleSet rules;
+
+  TravelExample();
+};
+
+// phi_1' of Example 8: phi_1 with Tokyo added to the negative patterns;
+// inconsistent with phi_3 (the Example 8/10 conflict). Constants are
+// interned into the example's pool.
+FixingRule MakeTravelPhi1Prime(TravelExample* example);
+
+}  // namespace fixrep
+
+#endif  // FIXREP_DATAGEN_TRAVEL_H_

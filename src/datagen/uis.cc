@@ -1,0 +1,166 @@
+#include "datagen/uis.h"
+
+#include <string>
+#include <unordered_set>
+#include <vector>
+
+#include "common/logging.h"
+#include "common/random.h"
+#include "deps/violation.h"
+
+namespace fixrep {
+
+namespace {
+
+constexpr const char* kFirstNames[] = {
+    "James",   "Mary",    "Robert",  "Patricia", "John",    "Jennifer",
+    "Michael", "Linda",   "David",   "Elizabeth", "William", "Barbara",
+    "Richard", "Susan",   "Joseph",  "Jessica",  "Thomas",  "Sarah",
+    "Charles", "Karen",   "Daniel",  "Lisa",     "Matthew", "Nancy",
+    "Anthony", "Betty",   "Mark",    "Margaret", "Donald",  "Sandra",
+    "Steven",  "Ashley",  "Paul",    "Kimberly", "Andrew",  "Emily",
+    "Joshua",  "Donna",   "Kenneth", "Michelle", "Kevin",   "Carol",
+    "Brian",   "Amanda",  "George",  "Dorothy",  "Timothy", "Melissa",
+    "Ronald",  "Deborah", "Edward",  "Stephanie", "Jason",   "Rebecca",
+    "Jeffrey", "Sharon",  "Ryan",    "Laura",    "Jacob",   "Cynthia"};
+
+constexpr const char* kLastNames[] = {
+    "Smith",    "Johnson",  "Williams", "Brown",    "Jones",    "Garcia",
+    "Miller",   "Davis",    "Rodriguez", "Martinez", "Hernandez", "Lopez",
+    "Gonzalez", "Wilson",   "Anderson", "Thomas",   "Taylor",   "Moore",
+    "Jackson",  "Martin",   "Lee",      "Perez",    "Thompson", "White",
+    "Harris",   "Sanchez",  "Clark",    "Ramirez",  "Lewis",    "Robinson",
+    "Walker",   "Young",    "Allen",    "King",     "Wright",   "Scott",
+    "Torres",   "Nguyen",   "Hill",     "Flores",   "Green",    "Adams",
+    "Nelson",   "Baker",    "Hall",     "Rivera",   "Campbell", "Mitchell",
+    "Carter",   "Roberts",  "Gomez",    "Phillips", "Evans",    "Turner",
+    "Diaz",     "Parker",   "Cruz",     "Edwards",  "Collins",  "Reyes"};
+
+constexpr const char* kStates[] = {
+    "AL", "AZ", "CA", "CO", "CT", "FL", "GA", "IL", "IN", "IA",
+    "KS", "KY", "LA", "MA", "MI", "MN", "MO", "NE", "NV", "NJ",
+    "NM", "NY", "NC", "OH", "OK", "OR", "PA", "SC", "TN", "TX",
+    "UT", "VA", "WA", "WI"};
+
+constexpr const char* kCities[] = {
+    "Austin",   "Dallas",   "Houston",  "Denver",   "Miami",   "Atlanta",
+    "Chicago",  "Boston",   "Detroit",  "Memphis",  "Phoenix", "Portland",
+    "Seattle",  "Omaha",    "Tulsa",    "Newark",   "Albany",  "Raleigh",
+    "Columbus", "Norfolk",  "Tacoma",   "Madison",  "Lincoln", "Wichita",
+    "Toledo",   "Dayton",   "Mobile",   "Tucson",   "Fresno",  "Oakland"};
+
+constexpr const char* kStreets[] = {
+    "Oak St",    "Main St",   "Pecan Dr",  "Cedar Ave", "Elm St",
+    "Lamar Blvd", "Guadalupe St", "Congress Ave", "Red River St",
+    "Duval Rd",  "Burnet Rd", "Manor Rd",  "Koenig Ln", "Airport Blvd"};
+
+std::string PadNumber(uint64_t n, int width) {
+  std::string digits = std::to_string(n);
+  if (digits.size() < static_cast<size_t>(width)) {
+    digits.insert(0, static_cast<size_t>(width) - digits.size(), '0');
+  }
+  return digits;
+}
+
+struct Person {
+  ValueId ssn, fname, minit, lname, stnum, stadd, apt, city, state, zip;
+};
+
+}  // namespace
+
+GeneratedData GenerateUis(const UisOptions& options) {
+  FIXREP_CHECK_GT(options.num_zips, 0u);
+  auto pool = std::make_shared<ValuePool>();
+  auto schema = std::make_shared<Schema>(
+      "uis", std::vector<std::string>{"RecordID", "ssn", "fname", "minit",
+                                      "lname", "stnum", "stadd", "apt",
+                                      "city", "state", "zip"});
+  GeneratedData data(pool, schema);
+  data.fds = {
+      ParseFd(*schema,
+              "ssn -> fname,minit,lname,stnum,stadd,apt,city,state,zip"),
+      ParseFd(*schema,
+              "fname,minit,lname -> ssn,stnum,stadd,apt,city,state,zip"),
+      ParseFd(*schema, "zip -> state,city"),
+  };
+
+  Rng rng(options.seed);
+
+  // Zip pool: each zip code maps to one (state, city) pair so that
+  // zip -> state,city holds by construction.
+  struct ZipEntry {
+    ValueId zip, state, city;
+  };
+  std::vector<ZipEntry> zips;
+  zips.reserve(options.num_zips);
+  for (size_t z = 0; z < options.num_zips; ++z) {
+    ZipEntry entry;
+    entry.zip = pool->Intern(PadNumber(10000 + z * 113 % 89999, 5));
+    entry.state = pool->Intern(kStates[rng.Uniform(std::size(kStates))]);
+    entry.city = pool->Intern(kCities[rng.Uniform(std::size(kCities))]);
+    zips.push_back(entry);
+  }
+
+  std::vector<Person> persons;
+  std::unordered_set<std::string> used_names;
+  size_t next_ssn = 0;
+  auto new_person = [&]() {
+    Person p;
+    std::string full_name;
+    ValueId fname = kNullValue;
+    ValueId minit = kNullValue;
+    ValueId lname = kNullValue;
+    // (fname, minit, lname) must be unique so the name FD holds.
+    for (int attempt = 0;; ++attempt) {
+      FIXREP_CHECK_LT(attempt, 1000) << "name pool exhausted";
+      const char* first = kFirstNames[rng.Uniform(std::size(kFirstNames))];
+      const char mi = static_cast<char>('A' + rng.Uniform(26));
+      const char* last = kLastNames[rng.Uniform(std::size(kLastNames))];
+      full_name = std::string(first) + "|" + mi + "|" + last;
+      if (used_names.insert(full_name).second) {
+        fname = pool->Intern(first);
+        minit = pool->Intern(std::string(1, mi));
+        lname = pool->Intern(last);
+        break;
+      }
+    }
+    p.fname = fname;
+    p.minit = minit;
+    p.lname = lname;
+    p.ssn = pool->Intern(PadNumber(100000000 + (next_ssn++) * 13, 9));
+    p.stnum = pool->Intern(std::to_string(1 + rng.Uniform(9999)));
+    p.stadd = pool->Intern(kStreets[rng.Uniform(std::size(kStreets))]);
+    p.apt = pool->Intern("Apt " + std::to_string(1 + rng.Uniform(400)));
+    const ZipEntry& zip = zips[rng.Uniform(zips.size())];
+    p.zip = zip.zip;
+    p.state = zip.state;
+    p.city = zip.city;
+    return p;
+  };
+
+  data.clean.Reserve(options.rows);
+  Tuple row(schema->arity());
+  for (size_t r = 0; r < options.rows; ++r) {
+    const bool duplicate =
+        !persons.empty() && rng.Bernoulli(options.duplicate_ratio);
+    if (!duplicate) persons.push_back(new_person());
+    const Person& p =
+        duplicate ? persons[rng.Uniform(persons.size())] : persons.back();
+    size_t i = 0;
+    row[i++] = pool->Intern("R" + PadNumber(r, 6));
+    row[i++] = p.ssn;
+    row[i++] = p.fname;
+    row[i++] = p.minit;
+    row[i++] = p.lname;
+    row[i++] = p.stnum;
+    row[i++] = p.stadd;
+    row[i++] = p.apt;
+    row[i++] = p.city;
+    row[i++] = p.state;
+    row[i++] = p.zip;
+    data.clean.AppendRow(row);
+  }
+  return data;
+}
+
+}  // namespace fixrep

@@ -1,0 +1,33 @@
+#ifndef FIXREP_DATAGEN_UIS_H_
+#define FIXREP_DATAGEN_UIS_H_
+
+#include <cstdint>
+
+#include "datagen/generated_data.h"
+
+namespace fixrep {
+
+// Synthetic stand-in for the UT Austin "UIS DBGen" mailing-list data
+// (15K records, 11 attributes). People are mostly unique — only
+// duplicate_ratio of the rows re-emit an existing person under a new
+// RecordID — which reproduces the paper's key property for uis: few
+// repeated patterns per FD, hence very low repair recall for every
+// method (Fig. 10(f)).
+struct UisOptions {
+  size_t rows = 15000;
+  // Probability that a row duplicates an already-emitted person rather
+  // than introducing a new one.
+  double duplicate_ratio = 0.06;
+  size_t num_zips = 8000;
+  uint64_t seed = 0x0715;
+};
+
+// Generates clean uis data; GeneratedData::fds carries the paper's FDs:
+//   ssn -> fname,minit,lname,stnum,stadd,apt,city,state,zip
+//   fname,minit,lname -> ssn,stnum,stadd,apt,city,state,zip
+//   zip -> state,city
+GeneratedData GenerateUis(const UisOptions& options);
+
+}  // namespace fixrep
+
+#endif  // FIXREP_DATAGEN_UIS_H_

@@ -1,0 +1,134 @@
+#include "deps/cfd.h"
+
+#include <unordered_map>
+#include <unordered_set>
+
+#include "common/logging.h"
+#include "common/string_util.h"
+#include "deps/violation.h"
+
+namespace fixrep {
+
+namespace {
+
+bool MatchesLhs(const Table& table, size_t row, const Cfd& cfd,
+                const CfdTableauRow& pattern) {
+  for (size_t i = 0; i < cfd.embedded.lhs.size(); ++i) {
+    if (pattern.lhs[i] == kCfdWildcard) continue;
+    if (table.cell(row, cfd.embedded.lhs[i]) != pattern.lhs[i]) return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+Cfd ParseCfd(const Schema& schema, ValuePool* pool,
+             const std::string& text) {
+  const size_t sep = text.find("::");
+  FIXREP_CHECK_NE(sep, std::string::npos)
+      << "CFD '" << text << "' has no '::' tableau separator";
+  Cfd cfd;
+  cfd.embedded = ParseFd(schema, text.substr(0, sep));
+  FIXREP_CHECK_EQ(cfd.embedded.rhs.size(), 1u)
+      << "CFDs are single-RHS here; split multi-RHS dependencies";
+  for (const auto& row_text : Split(text.substr(sep + 2), ';')) {
+    const std::string_view trimmed = Trim(row_text);
+    if (trimmed.empty()) continue;
+    FIXREP_CHECK(trimmed.front() == '(' && trimmed.back() == ')')
+        << "tableau row '" << std::string(trimmed)
+        << "' must be parenthesized";
+    const std::string_view body = trimmed.substr(1, trimmed.size() - 2);
+    const size_t bar = body.rfind('|');
+    FIXREP_CHECK_NE(bar, std::string_view::npos)
+        << "tableau row '" << std::string(trimmed) << "' has no '|'";
+    CfdTableauRow row;
+    auto parse_value = [&pool](std::string_view field) {
+      const std::string value(Trim(field));
+      FIXREP_CHECK(!value.empty()) << "empty tableau field";
+      return value == "_" ? kCfdWildcard : pool->Intern(value);
+    };
+    const auto lhs_fields = Split(body.substr(0, bar), ',');
+    FIXREP_CHECK_EQ(lhs_fields.size(), cfd.embedded.lhs.size())
+        << "tableau row arity mismatch";
+    for (const auto& field : lhs_fields) row.lhs.push_back(parse_value(field));
+    row.rhs = parse_value(body.substr(bar + 1));
+    cfd.tableau.push_back(std::move(row));
+  }
+  FIXREP_CHECK(!cfd.tableau.empty()) << "CFD needs at least one tableau row";
+  return cfd;
+}
+
+std::string FormatCfd(const Schema& schema, const ValuePool& pool,
+                      const Cfd& cfd) {
+  std::string out = FormatFd(schema, cfd.embedded) + " :: ";
+  auto render = [&pool](ValueId v) {
+    return v == kCfdWildcard ? std::string("_") : pool.GetString(v);
+  };
+  for (size_t r = 0; r < cfd.tableau.size(); ++r) {
+    if (r > 0) out += "; ";
+    out += "(";
+    for (size_t i = 0; i < cfd.tableau[r].lhs.size(); ++i) {
+      if (i > 0) out += ", ";
+      out += render(cfd.tableau[r].lhs[i]);
+    }
+    out += " | " + render(cfd.tableau[r].rhs) + ")";
+  }
+  return out;
+}
+
+std::vector<CfdViolation> DetectCfdViolations(const Table& table,
+                                              const Cfd& cfd) {
+  FIXREP_CHECK_EQ(cfd.embedded.rhs.size(), 1u);
+  const AttrId rhs = cfd.embedded.rhs[0];
+  std::vector<CfdViolation> out;
+  for (size_t p = 0; p < cfd.tableau.size(); ++p) {
+    const CfdTableauRow& pattern = cfd.tableau[p];
+    if (pattern.rhs != kCfdWildcard) {
+      // Constant RHS: single-tuple check.
+      for (size_t r = 0; r < table.num_rows(); ++r) {
+        if (!MatchesLhs(table, r, cfd, pattern)) continue;
+        if (table.cell(r, rhs) != pattern.rhs) {
+          CfdViolation violation;
+          violation.tableau_row = p;
+          violation.rows = {r};
+          violation.constant_rhs = true;
+          out.push_back(std::move(violation));
+        }
+      }
+      continue;
+    }
+    // Wildcard RHS: FD semantics over matching tuples.
+    LhsPartition partition;
+    std::vector<ValueId> key(cfd.embedded.lhs.size());
+    for (size_t r = 0; r < table.num_rows(); ++r) {
+      if (!MatchesLhs(table, r, cfd, pattern)) continue;
+      for (size_t i = 0; i < cfd.embedded.lhs.size(); ++i) {
+        key[i] = table.cell(r, cfd.embedded.lhs[i]);
+      }
+      partition[key].push_back(r);
+    }
+    for (const auto& [lhs_values, rows] : partition) {
+      const ValueId first = table.cell(rows[0], rhs);
+      bool uniform = true;
+      for (size_t i = 1; i < rows.size(); ++i) {
+        if (table.cell(rows[i], rhs) != first) {
+          uniform = false;
+          break;
+        }
+      }
+      if (uniform) continue;
+      CfdViolation violation;
+      violation.tableau_row = p;
+      violation.rows = rows;
+      violation.constant_rhs = false;
+      out.push_back(std::move(violation));
+    }
+  }
+  return out;
+}
+
+bool Satisfies(const Table& table, const Cfd& cfd) {
+  return DetectCfdViolations(table, cfd).empty();
+}
+
+}  // namespace fixrep

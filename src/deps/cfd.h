@@ -1,0 +1,68 @@
+#ifndef FIXREP_DEPS_CFD_H_
+#define FIXREP_DEPS_CFD_H_
+
+#include <string>
+#include <vector>
+
+#include "deps/fd.h"
+#include "relation/table.h"
+
+namespace fixrep {
+
+// Wildcard marker in CFD pattern tableaux ('_' in the literature).
+// Distinct from kNullValue, which marks a missing data value.
+inline constexpr ValueId kCfdWildcard = -2;
+
+// A conditional functional dependency (Fan et al., TODS'08), the
+// dependency class the paper positions fixing rules against: an
+// embedded FD X -> A plus a pattern tableau restricting where it holds.
+// The RHS is kept single-attribute (normalize multi-RHS CFDs into one
+// Cfd per RHS attribute, as with FDs).
+//
+// A tableau row assigns each X attribute and the A attribute either a
+// constant or kCfdWildcard. Tuple t matches a row's LHS if every
+// constant agrees with t. Semantics per row tp:
+//  * constant RHS: every tuple matching tp[X] must carry tp[A]
+//    (violated by single tuples);
+//  * wildcard RHS: any two tuples matching tp[X] that agree on X must
+//    agree on A (violated by tuple pairs, like a plain FD scoped to the
+//    matching tuples).
+struct CfdTableauRow {
+  std::vector<ValueId> lhs;  // parallel to Cfd::embedded.lhs
+  ValueId rhs = kCfdWildcard;
+};
+
+struct Cfd {
+  FunctionalDependency embedded;  // single RHS attribute
+  std::vector<CfdTableauRow> tableau;
+};
+
+// Builds a CFD from text:
+//   "country -> capital :: (China | Beijing); (_ | _)"
+// LHS constants are '|'-free, ','-separated in embedded-FD LHS order;
+// '_' is the wildcard. CHECK-fails on malformed input.
+Cfd ParseCfd(const Schema& schema, ValuePool* pool, const std::string& text);
+
+// Renders a CFD in the ParseCfd syntax.
+std::string FormatCfd(const Schema& schema, const ValuePool& pool,
+                      const Cfd& cfd);
+
+// A detected CFD violation.
+struct CfdViolation {
+  size_t tableau_row = 0;
+  // Rows involved: one row for a constant-RHS violation; all rows of a
+  // disagreeing X-group for a wildcard-RHS violation.
+  std::vector<size_t> rows;
+  bool constant_rhs = false;
+};
+
+// Finds all violations of `cfd` in `table`.
+std::vector<CfdViolation> DetectCfdViolations(const Table& table,
+                                              const Cfd& cfd);
+
+// True if `table` satisfies `cfd`.
+bool Satisfies(const Table& table, const Cfd& cfd);
+
+}  // namespace fixrep
+
+#endif  // FIXREP_DEPS_CFD_H_

@@ -1,0 +1,111 @@
+#include "deps/fd.h"
+
+#include <algorithm>
+#include <fstream>
+#include <istream>
+
+#include "common/logging.h"
+#include "common/string_util.h"
+
+namespace fixrep {
+
+namespace {
+
+std::vector<AttrId> ResolveAttrs(const Schema& schema,
+                                 const std::vector<std::string>& names) {
+  std::vector<AttrId> out;
+  out.reserve(names.size());
+  for (const auto& name : names) {
+    out.push_back(schema.AttributeIndex(name));
+  }
+  std::sort(out.begin(), out.end());
+  out.erase(std::unique(out.begin(), out.end()), out.end());
+  return out;
+}
+
+}  // namespace
+
+FunctionalDependency MakeFd(const Schema& schema,
+                            const std::vector<std::string>& lhs,
+                            const std::vector<std::string>& rhs) {
+  FunctionalDependency fd;
+  fd.lhs = ResolveAttrs(schema, lhs);
+  fd.rhs = ResolveAttrs(schema, rhs);
+  FIXREP_CHECK(!fd.lhs.empty()) << "FD needs a non-empty LHS";
+  FIXREP_CHECK(!fd.rhs.empty()) << "FD needs a non-empty RHS";
+  for (const AttrId a : fd.rhs) {
+    FIXREP_CHECK(!std::binary_search(fd.lhs.begin(), fd.lhs.end(), a))
+        << "attribute '" << schema.attribute_name(a)
+        << "' appears on both sides of an FD";
+  }
+  return fd;
+}
+
+FunctionalDependency ParseFd(const Schema& schema, const std::string& text) {
+  const size_t arrow = text.find("->");
+  FIXREP_CHECK_NE(arrow, std::string::npos)
+      << "FD '" << text << "' has no '->'";
+  auto parse_side = [](std::string_view side) {
+    std::vector<std::string> names;
+    for (const auto& part : Split(side, ',')) {
+      const std::string name(Trim(part));
+      if (!name.empty()) names.push_back(name);
+    }
+    return names;
+  };
+  return MakeFd(schema, parse_side(std::string_view(text).substr(0, arrow)),
+                parse_side(std::string_view(text).substr(arrow + 2)));
+}
+
+std::vector<FunctionalDependency> ParseFdList(const Schema& schema,
+                                              std::istream& in) {
+  std::vector<FunctionalDependency> out;
+  std::string line;
+  while (std::getline(in, line)) {
+    const std::string_view trimmed = Trim(line);
+    if (trimmed.empty() || trimmed.front() == '#') continue;
+    out.push_back(ParseFd(schema, std::string(trimmed)));
+  }
+  return out;
+}
+
+std::vector<FunctionalDependency> ParseFdListFile(const Schema& schema,
+                                                  const std::string& path) {
+  std::ifstream in(path);
+  FIXREP_CHECK(in.good()) << "cannot open " << path;
+  return ParseFdList(schema, in);
+}
+
+std::string FormatFd(const Schema& schema, const FunctionalDependency& fd) {
+  auto render = [&schema](const std::vector<AttrId>& attrs) {
+    std::string out;
+    for (size_t i = 0; i < attrs.size(); ++i) {
+      if (i > 0) out += ",";
+      out += schema.attribute_name(attrs[i]);
+    }
+    return out;
+  };
+  return render(fd.lhs) + " -> " + render(fd.rhs);
+}
+
+std::vector<FunctionalDependency> NormalizeToSingleRhs(
+    const FunctionalDependency& fd) {
+  std::vector<FunctionalDependency> out;
+  out.reserve(fd.rhs.size());
+  for (const AttrId a : fd.rhs) {
+    out.push_back(FunctionalDependency{fd.lhs, {a}});
+  }
+  return out;
+}
+
+std::vector<FunctionalDependency> NormalizeToSingleRhs(
+    const std::vector<FunctionalDependency>& fds) {
+  std::vector<FunctionalDependency> out;
+  for (const auto& fd : fds) {
+    auto singles = NormalizeToSingleRhs(fd);
+    out.insert(out.end(), singles.begin(), singles.end());
+  }
+  return out;
+}
+
+}  // namespace fixrep

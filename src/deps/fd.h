@@ -1,0 +1,53 @@
+#ifndef FIXREP_DEPS_FD_H_
+#define FIXREP_DEPS_FD_H_
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "relation/schema.h"
+
+namespace fixrep {
+
+// A functional dependency X -> Y over a schema. Attribute sets are stored
+// as sorted AttrId vectors. FDs are the substrate both for the heuristic
+// baselines (Heu, Csm) and for generating fixing rules (Section 7.1).
+struct FunctionalDependency {
+  std::vector<AttrId> lhs;
+  std::vector<AttrId> rhs;
+
+  bool operator==(const FunctionalDependency&) const = default;
+};
+
+// Builds an FD from attribute names; CHECK-fails on unknown attributes,
+// empty sides, or overlap between lhs and rhs. Attribute ids are sorted
+// and de-duplicated.
+FunctionalDependency MakeFd(const Schema& schema,
+                            const std::vector<std::string>& lhs,
+                            const std::vector<std::string>& rhs);
+
+// Parses "A, B -> C, D". Whitespace around names is ignored.
+FunctionalDependency ParseFd(const Schema& schema, const std::string& text);
+
+// Parses a newline-separated list of FDs; blank lines and '#' comment
+// lines are skipped. Used by the CLI's --fds files.
+std::vector<FunctionalDependency> ParseFdList(const Schema& schema,
+                                              std::istream& in);
+std::vector<FunctionalDependency> ParseFdListFile(const Schema& schema,
+                                                  const std::string& path);
+
+// Renders an FD as "A,B -> C,D" using the schema's attribute names.
+std::string FormatFd(const Schema& schema, const FunctionalDependency& fd);
+
+// Splits an FD with a multi-attribute right-hand side into one FD per RHS
+// attribute (X -> A form), which is what the repair algorithms consume.
+std::vector<FunctionalDependency> NormalizeToSingleRhs(
+    const FunctionalDependency& fd);
+
+// Convenience: normalizes a whole list.
+std::vector<FunctionalDependency> NormalizeToSingleRhs(
+    const std::vector<FunctionalDependency>& fds);
+
+}  // namespace fixrep
+
+#endif  // FIXREP_DEPS_FD_H_

@@ -1,0 +1,76 @@
+#include "deps/violation.h"
+
+#include <algorithm>
+#include <unordered_set>
+
+#include "common/logging.h"
+
+namespace fixrep {
+
+LhsPartition PartitionBy(const Table& table,
+                         const std::vector<AttrId>& attrs) {
+  LhsPartition partition;
+  partition.reserve(table.num_rows());
+  std::vector<ValueId> key(attrs.size());
+  for (size_t r = 0; r < table.num_rows(); ++r) {
+    for (size_t i = 0; i < attrs.size(); ++i) {
+      key[i] = table.cell(r, attrs[i]);
+    }
+    partition[key].push_back(r);
+  }
+  return partition;
+}
+
+std::vector<ViolationGroup> DetectViolations(const Table& table,
+                                             const FunctionalDependency& fd) {
+  FIXREP_CHECK_EQ(fd.rhs.size(), 1u) << "normalize the FD to single RHS";
+  const AttrId rhs = fd.rhs[0];
+  std::vector<ViolationGroup> out;
+  for (auto& [lhs_values, rows] : PartitionBy(table, fd.lhs)) {
+    ValueId first = table.cell(rows[0], rhs);
+    bool uniform = true;
+    for (size_t i = 1; i < rows.size(); ++i) {
+      if (table.cell(rows[i], rhs) != first) {
+        uniform = false;
+        break;
+      }
+    }
+    if (uniform) continue;
+    ViolationGroup group;
+    group.lhs_values = lhs_values;
+    group.rows = rows;
+    std::unordered_set<ValueId> distinct;
+    for (const size_t r : rows) {
+      const ValueId v = table.cell(r, rhs);
+      if (distinct.insert(v).second) group.rhs_values.push_back(v);
+    }
+    out.push_back(std::move(group));
+  }
+  return out;
+}
+
+bool Satisfies(const Table& table, const FunctionalDependency& fd) {
+  for (const auto& single : NormalizeToSingleRhs(fd)) {
+    const AttrId rhs = single.rhs[0];
+    for (const auto& [lhs_values, rows] : PartitionBy(table, single.lhs)) {
+      const ValueId first = table.cell(rows[0], rhs);
+      for (size_t i = 1; i < rows.size(); ++i) {
+        if (table.cell(rows[i], rhs) != first) return false;
+      }
+    }
+  }
+  return true;
+}
+
+size_t CountViolatingRows(const Table& table,
+                          const std::vector<FunctionalDependency>& fds) {
+  std::unordered_set<size_t> violating;
+  for (const auto& fd : NormalizeToSingleRhs(fds)) {
+    for (const auto& group : DetectViolations(table, fd)) {
+      violating.insert(group.rows.begin(), group.rows.end());
+    }
+  }
+  return violating.size();
+}
+
+}  // namespace fixrep

@@ -1,0 +1,57 @@
+#ifndef FIXREP_DEPS_VIOLATION_H_
+#define FIXREP_DEPS_VIOLATION_H_
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "deps/fd.h"
+#include "relation/table.h"
+
+namespace fixrep {
+
+// Hash for a projection of ValueIds (used to partition a table by the
+// left-hand side of an FD).
+struct ValueVectorHash {
+  size_t operator()(const std::vector<ValueId>& v) const {
+    size_t h = 0x9e3779b97f4a7c15ULL;
+    for (const ValueId id : v) {
+      h ^= static_cast<size_t>(id) + 0x9e3779b97f4a7c15ULL + (h << 6) +
+           (h >> 2);
+    }
+    return h;
+  }
+};
+
+// Partition of row indices by identical LHS projection.
+using LhsPartition =
+    std::unordered_map<std::vector<ValueId>, std::vector<size_t>,
+                       ValueVectorHash>;
+
+// Groups rows of `table` by their projection onto `attrs`.
+LhsPartition PartitionBy(const Table& table, const std::vector<AttrId>& attrs);
+
+// One violation group of an FD X -> A: rows agreeing on X but carrying
+// more than one distinct A value.
+struct ViolationGroup {
+  std::vector<ValueId> lhs_values;   // shared X projection
+  std::vector<size_t> rows;          // all rows in the X-group
+  std::vector<ValueId> rhs_values;   // distinct A values (size >= 2)
+};
+
+// Finds all violation groups of a single-RHS FD. CHECK-fails if the FD has
+// more than one RHS attribute (use NormalizeToSingleRhs first).
+std::vector<ViolationGroup> DetectViolations(const Table& table,
+                                             const FunctionalDependency& fd);
+
+// True if `table` satisfies `fd` (any RHS arity).
+bool Satisfies(const Table& table, const FunctionalDependency& fd);
+
+// Number of rows participating in at least one violation group of any of
+// `fds` (each FD normalized to single-RHS internally).
+size_t CountViolatingRows(const Table& table,
+                          const std::vector<FunctionalDependency>& fds);
+
+}  // namespace fixrep
+
+#endif  // FIXREP_DEPS_VIOLATION_H_

@@ -1,0 +1,47 @@
+#include "eval/experiment.h"
+
+#include <cstdlib>
+#include <string>
+
+namespace fixrep {
+
+size_t EnvSizeT(const char* name, size_t default_value) {
+  const char* raw = std::getenv(name);
+  if (raw == nullptr || *raw == '\0') return default_value;
+  return static_cast<size_t>(std::strtoull(raw, nullptr, 10));
+}
+
+double EnvDouble(const char* name, double default_value) {
+  const char* raw = std::getenv(name);
+  if (raw == nullptr || *raw == '\0') return default_value;
+  return std::strtod(raw, nullptr);
+}
+
+bool EnvBool(const char* name, bool default_value) {
+  const char* raw = std::getenv(name);
+  if (raw == nullptr || *raw == '\0') return default_value;
+  const std::string value(raw);
+  return value == "1" || value == "true" || value == "yes" || value == "on";
+}
+
+ExperimentScale GetExperimentScale() {
+  ExperimentScale scale;
+  scale.full = EnvBool("FIXREP_FULL_SCALE", false);
+  scale.hosp_rows =
+      EnvSizeT("FIXREP_HOSP_ROWS", scale.full ? 115000 : 20000);
+  scale.hosp_rules = EnvSizeT("FIXREP_HOSP_RULES", scale.full ? 1000 : 1000);
+  scale.uis_rows = EnvSizeT("FIXREP_UIS_ROWS", scale.full ? 15000 : 15000);
+  scale.uis_rules = EnvSizeT("FIXREP_UIS_RULES", scale.full ? 100 : 100);
+  return scale;
+}
+
+std::string DescribeScale(const ExperimentScale& scale) {
+  return std::string("scale: ") + (scale.full ? "FULL" : "reduced") +
+         " (hosp " + std::to_string(scale.hosp_rows) + " rows / " +
+         std::to_string(scale.hosp_rules) + " rules, uis " +
+         std::to_string(scale.uis_rows) + " rows / " +
+         std::to_string(scale.uis_rules) +
+         " rules; set FIXREP_FULL_SCALE=1 for the paper's sizes)";
+}
+
+}  // namespace fixrep

@@ -1,0 +1,36 @@
+#ifndef FIXREP_EVAL_EXPERIMENT_H_
+#define FIXREP_EVAL_EXPERIMENT_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+namespace fixrep {
+
+// Environment-variable helpers for the benches. Every figure bench runs
+// at a reduced default scale so `for b in build/bench/*; do $b; done`
+// finishes in minutes; set FIXREP_FULL_SCALE=1 to reproduce the paper's
+// sizes (hosp 115K rows / 1000 rules, uis 15K rows / 100 rules).
+size_t EnvSizeT(const char* name, size_t default_value);
+double EnvDouble(const char* name, double default_value);
+bool EnvBool(const char* name, bool default_value);
+
+// The per-dataset scale an experiment should run at.
+struct ExperimentScale {
+  size_t hosp_rows;
+  size_t hosp_rules;
+  size_t uis_rows;
+  size_t uis_rules;
+  bool full;
+};
+
+// Reads FIXREP_FULL_SCALE (and the FIXREP_HOSP_ROWS / FIXREP_UIS_ROWS /
+// FIXREP_HOSP_RULES / FIXREP_UIS_RULES overrides).
+ExperimentScale GetExperimentScale();
+
+// One-line banner describing the scale, printed by each bench.
+std::string DescribeScale(const ExperimentScale& scale);
+
+}  // namespace fixrep
+
+#endif  // FIXREP_EVAL_EXPERIMENT_H_

@@ -1,0 +1,35 @@
+#include "eval/metrics.h"
+
+#include "common/logging.h"
+
+namespace fixrep {
+
+Accuracy EvaluateRepair(const Table& truth, const Table& dirty,
+                        const Table& repaired) {
+  FIXREP_CHECK_EQ(truth.num_rows(), dirty.num_rows());
+  FIXREP_CHECK_EQ(truth.num_rows(), repaired.num_rows());
+  FIXREP_CHECK_EQ(truth.num_columns(), dirty.num_columns());
+  FIXREP_CHECK_EQ(truth.num_columns(), repaired.num_columns());
+  FIXREP_CHECK(truth.pool_ptr() == dirty.pool_ptr() &&
+               truth.pool_ptr() == repaired.pool_ptr())
+      << "tables must share a value pool for cell comparison";
+
+  Accuracy accuracy;
+  for (size_t r = 0; r < truth.num_rows(); ++r) {
+    for (size_t a = 0; a < truth.num_columns(); ++a) {
+      const AttrId attr = static_cast<AttrId>(a);
+      const ValueId t = truth.cell(r, attr);
+      const ValueId d = dirty.cell(r, attr);
+      const ValueId x = repaired.cell(r, attr);
+      if (d != t) ++accuracy.cells_erroneous;
+      if (x != d) {
+        ++accuracy.cells_changed;
+        if (x == t) ++accuracy.cells_corrected;
+      }
+      if (d == t && x != t) ++accuracy.cells_broken;
+    }
+  }
+  return accuracy;
+}
+
+}  // namespace fixrep

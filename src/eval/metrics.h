@@ -1,0 +1,43 @@
+#ifndef FIXREP_EVAL_METRICS_H_
+#define FIXREP_EVAL_METRICS_H_
+
+#include <cstddef>
+
+#include "relation/table.h"
+
+namespace fixrep {
+
+// Cell-level repair accuracy, using the paper's definitions (Section 7.1):
+// precision = corrected cells / changed cells,
+// recall    = corrected cells / erroneous cells.
+struct Accuracy {
+  size_t cells_changed = 0;     // repaired != dirty
+  size_t cells_corrected = 0;   // repaired != dirty and repaired == truth
+  size_t cells_erroneous = 0;   // dirty != truth
+  size_t cells_broken = 0;      // dirty == truth and repaired != truth
+
+  double precision() const {
+    return cells_changed == 0
+               ? 1.0
+               : static_cast<double>(cells_corrected) / cells_changed;
+  }
+  double recall() const {
+    return cells_erroneous == 0
+               ? 1.0
+               : static_cast<double>(cells_corrected) / cells_erroneous;
+  }
+  double f1() const {
+    const double p = precision();
+    const double r = recall();
+    return (p + r) == 0.0 ? 0.0 : 2.0 * p * r / (p + r);
+  }
+};
+
+// Compares a repair against the ground truth. All three tables must have
+// the same schema, row count, and value pool.
+Accuracy EvaluateRepair(const Table& truth, const Table& dirty,
+                        const Table& repaired);
+
+}  // namespace fixrep
+
+#endif  // FIXREP_EVAL_METRICS_H_

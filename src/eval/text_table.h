@@ -1,0 +1,31 @@
+#ifndef FIXREP_EVAL_TEXT_TABLE_H_
+#define FIXREP_EVAL_TEXT_TABLE_H_
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace fixrep {
+
+// Column-aligned plain-text table used by the figure/table benches so
+// their output reads like the paper's tables.
+class TextTable {
+ public:
+  explicit TextTable(std::vector<std::string> header);
+
+  void AddRow(std::vector<std::string> row);
+
+  // Writes the header, a separator, and the rows with aligned columns.
+  void Print(std::ostream& out) const;
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+// Fixed-precision double formatting ("0.973").
+std::string FormatDouble(double value, int digits = 3);
+
+}  // namespace fixrep
+
+#endif  // FIXREP_EVAL_TEXT_TABLE_H_

@@ -1,0 +1,21 @@
+#include "relation/active_domain.h"
+
+#include <unordered_set>
+
+namespace fixrep {
+
+std::vector<std::vector<ValueId>> ActiveDomains(const Table& table) {
+  std::vector<std::vector<ValueId>> domains(table.num_columns());
+  std::vector<std::unordered_set<ValueId>> seen(table.num_columns());
+  for (size_t r = 0; r < table.num_rows(); ++r) {
+    for (size_t a = 0; a < table.num_columns(); ++a) {
+      const ValueId v = table.cell(r, static_cast<AttrId>(a));
+      if (v != kNullValue && seen[a].insert(v).second) {
+        domains[a].push_back(v);
+      }
+    }
+  }
+  return domains;
+}
+
+}  // namespace fixrep

@@ -1,0 +1,17 @@
+#ifndef FIXREP_RELATION_ACTIVE_DOMAIN_H_
+#define FIXREP_RELATION_ACTIVE_DOMAIN_H_
+
+#include <vector>
+
+#include "relation/table.h"
+
+namespace fixrep {
+
+// Distinct non-null values per attribute (the active domain), in
+// first-seen order. Used by the noise injector (active-domain errors)
+// and by rule generation (negative-pattern enrichment).
+std::vector<std::vector<ValueId>> ActiveDomains(const Table& table);
+
+}  // namespace fixrep
+
+#endif  // FIXREP_RELATION_ACTIVE_DOMAIN_H_

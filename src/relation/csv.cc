@@ -1,0 +1,123 @@
+#include "relation/csv.h"
+
+#include <fstream>
+#include <istream>
+#include <memory>
+#include <ostream>
+#include <utility>
+#include <vector>
+
+#include "common/logging.h"
+
+namespace fixrep {
+
+namespace {
+
+// Parses one CSV record (handling quoted fields that may span lines).
+// Returns false on EOF with no data consumed.
+bool ReadRecord(std::istream& in, std::vector<std::string>* fields) {
+  fields->clear();
+  std::string field;
+  bool in_quotes = false;
+  bool saw_any = false;
+  int c;
+  while ((c = in.get()) != EOF) {
+    saw_any = true;
+    const char ch = static_cast<char>(c);
+    if (in_quotes) {
+      if (ch == '"') {
+        if (in.peek() == '"') {
+          in.get();
+          field.push_back('"');
+        } else {
+          in_quotes = false;
+        }
+      } else {
+        field.push_back(ch);
+      }
+      continue;
+    }
+    switch (ch) {
+      case '"':
+        in_quotes = true;
+        break;
+      case ',':
+        fields->push_back(std::move(field));
+        field.clear();
+        break;
+      case '\r':
+        break;  // tolerate CRLF
+      case '\n':
+        fields->push_back(std::move(field));
+        return true;
+      default:
+        field.push_back(ch);
+        break;
+    }
+  }
+  if (!saw_any) return false;
+  fields->push_back(std::move(field));
+  return true;
+}
+
+void WriteField(const std::string& field, std::ostream& out) {
+  const bool needs_quotes =
+      field.find_first_of(",\"\n\r") != std::string::npos;
+  if (!needs_quotes) {
+    out << field;
+    return;
+  }
+  out << '"';
+  for (const char ch : field) {
+    if (ch == '"') out << '"';
+    out << ch;
+  }
+  out << '"';
+}
+
+}  // namespace
+
+Table ReadCsv(std::istream& in, const std::string& relation_name,
+              std::shared_ptr<ValuePool> pool) {
+  std::vector<std::string> fields;
+  FIXREP_CHECK(ReadRecord(in, &fields)) << "empty CSV input";
+  auto schema = std::make_shared<Schema>(relation_name, fields);
+  Table table(std::move(schema), std::move(pool));
+  while (ReadRecord(in, &fields)) {
+    FIXREP_CHECK_EQ(fields.size(), table.schema().arity())
+        << "CSV record arity mismatch at row " << table.num_rows();
+    table.AppendRowStrings(fields);
+  }
+  return table;
+}
+
+Table ReadCsvFile(const std::string& path, const std::string& relation_name,
+                  std::shared_ptr<ValuePool> pool) {
+  std::ifstream in(path);
+  FIXREP_CHECK(in.good()) << "cannot open " << path;
+  return ReadCsv(in, relation_name, std::move(pool));
+}
+
+void WriteCsv(const Table& table, std::ostream& out) {
+  const Schema& schema = table.schema();
+  for (size_t a = 0; a < schema.arity(); ++a) {
+    if (a > 0) out << ',';
+    WriteField(schema.attribute_name(static_cast<AttrId>(a)), out);
+  }
+  out << '\n';
+  for (size_t r = 0; r < table.num_rows(); ++r) {
+    for (size_t a = 0; a < schema.arity(); ++a) {
+      if (a > 0) out << ',';
+      WriteField(table.CellString(r, static_cast<AttrId>(a)), out);
+    }
+    out << '\n';
+  }
+}
+
+void WriteCsvFile(const Table& table, const std::string& path) {
+  std::ofstream out(path);
+  FIXREP_CHECK(out.good()) << "cannot open " << path << " for writing";
+  WriteCsv(table, out);
+}
+
+}  // namespace fixrep

@@ -1,0 +1,32 @@
+#ifndef FIXREP_RELATION_CSV_H_
+#define FIXREP_RELATION_CSV_H_
+
+#include <iosfwd>
+#include <memory>
+#include <string>
+
+#include "relation/table.h"
+
+namespace fixrep {
+
+// Minimal RFC-4180-style CSV: comma-separated, '"'-quoted fields with ""
+// escapes; the first record is the header and becomes the schema.
+//
+// ReadCsv* CHECK-fail on structurally malformed input (record arity not
+// matching the header); unquoted whitespace is preserved verbatim.
+
+// Reads a table from a stream. `relation_name` names the schema.
+Table ReadCsv(std::istream& in, const std::string& relation_name,
+              std::shared_ptr<ValuePool> pool);
+
+// Reads a table from a file path.
+Table ReadCsvFile(const std::string& path, const std::string& relation_name,
+                  std::shared_ptr<ValuePool> pool);
+
+// Writes header + rows; fields containing comma/quote/newline are quoted.
+void WriteCsv(const Table& table, std::ostream& out);
+void WriteCsvFile(const Table& table, const std::string& path);
+
+}  // namespace fixrep
+
+#endif  // FIXREP_RELATION_CSV_H_

@@ -1,0 +1,39 @@
+#include "relation/schema.h"
+
+#include <utility>
+
+#include "common/logging.h"
+
+namespace fixrep {
+
+Schema::Schema(std::string name, std::vector<std::string> attribute_names)
+    : name_(std::move(name)), attribute_names_(std::move(attribute_names)) {
+  for (size_t i = 0; i < attribute_names_.size(); ++i) {
+    const auto [it, inserted] =
+        index_.emplace(attribute_names_[i], static_cast<AttrId>(i));
+    FIXREP_CHECK(inserted) << "duplicate attribute '" << attribute_names_[i]
+                           << "' in schema '" << name_ << "'";
+    (void)it;
+  }
+}
+
+const std::string& Schema::attribute_name(AttrId attr) const {
+  FIXREP_CHECK_GE(attr, 0);
+  FIXREP_CHECK_LT(static_cast<size_t>(attr), attribute_names_.size());
+  return attribute_names_[static_cast<size_t>(attr)];
+}
+
+AttrId Schema::FindAttribute(const std::string& attribute_name) const {
+  const auto it = index_.find(attribute_name);
+  return it == index_.end() ? kInvalidAttr : it->second;
+}
+
+AttrId Schema::AttributeIndex(const std::string& attribute_name) const {
+  const AttrId attr = FindAttribute(attribute_name);
+  FIXREP_CHECK_NE(attr, kInvalidAttr)
+      << "schema '" << name_ << "' has no attribute '" << attribute_name
+      << "'";
+  return attr;
+}
+
+}  // namespace fixrep

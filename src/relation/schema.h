@@ -1,0 +1,53 @@
+#ifndef FIXREP_RELATION_SCHEMA_H_
+#define FIXREP_RELATION_SCHEMA_H_
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+namespace fixrep {
+
+// Index of an attribute within a schema.
+using AttrId = int32_t;
+inline constexpr AttrId kInvalidAttr = -1;
+
+// A relation schema R: an ordered list of named attributes. Attribute
+// names are unique (case-sensitive). Schemas are immutable after
+// construction and cheap to copy by shared_ptr at the Table level.
+class Schema {
+ public:
+  Schema(std::string name, std::vector<std::string> attribute_names);
+
+  const std::string& name() const { return name_; }
+
+  // Number of attributes |R|.
+  size_t arity() const { return attribute_names_.size(); }
+
+  const std::string& attribute_name(AttrId attr) const;
+
+  // Returns the attribute index for `attribute_name`, or kInvalidAttr if
+  // the schema has no such attribute.
+  AttrId FindAttribute(const std::string& attribute_name) const;
+
+  // Like FindAttribute but CHECK-fails on a missing attribute; for code
+  // paths where the attribute is statically known to exist.
+  AttrId AttributeIndex(const std::string& attribute_name) const;
+
+  const std::vector<std::string>& attribute_names() const {
+    return attribute_names_;
+  }
+
+  bool operator==(const Schema& other) const {
+    return name_ == other.name_ && attribute_names_ == other.attribute_names_;
+  }
+
+ private:
+  std::string name_;
+  std::vector<std::string> attribute_names_;
+  std::unordered_map<std::string, AttrId> index_;
+};
+
+}  // namespace fixrep
+
+#endif  // FIXREP_RELATION_SCHEMA_H_

@@ -1,0 +1,50 @@
+#include "relation/table.h"
+
+#include <utility>
+
+#include "common/logging.h"
+
+namespace fixrep {
+
+namespace {
+const std::string kEmptyString;
+}  // namespace
+
+Table::Table(std::shared_ptr<const Schema> schema,
+             std::shared_ptr<ValuePool> pool)
+    : schema_(std::move(schema)), pool_(std::move(pool)) {
+  FIXREP_CHECK(schema_ != nullptr);
+  FIXREP_CHECK(pool_ != nullptr);
+}
+
+void Table::AppendRow(Tuple row) {
+  FIXREP_CHECK_EQ(row.size(), schema_->arity());
+  rows_.push_back(std::move(row));
+}
+
+void Table::AppendRowStrings(const std::vector<std::string>& fields) {
+  FIXREP_CHECK_EQ(fields.size(), schema_->arity());
+  Tuple row(fields.size());
+  for (size_t i = 0; i < fields.size(); ++i) {
+    row[i] = pool_->Intern(fields[i]);
+  }
+  rows_.push_back(std::move(row));
+}
+
+const std::string& Table::CellString(size_t row, AttrId attr) const {
+  const ValueId id = cell(row, attr);
+  if (id == kNullValue) return kEmptyString;
+  return pool_->GetString(id);
+}
+
+std::string Table::FormatRow(size_t row) const {
+  std::string out = "(";
+  for (size_t a = 0; a < num_columns(); ++a) {
+    if (a > 0) out += ", ";
+    out += CellString(row, static_cast<AttrId>(a));
+  }
+  out += ")";
+  return out;
+}
+
+}  // namespace fixrep

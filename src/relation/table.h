@@ -1,0 +1,69 @@
+#ifndef FIXREP_RELATION_TABLE_H_
+#define FIXREP_RELATION_TABLE_H_
+
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "relation/schema.h"
+#include "relation/value_pool.h"
+
+namespace fixrep {
+
+// One tuple: a dense row of interned values, indexed by AttrId.
+using Tuple = std::vector<ValueId>;
+
+// A relation instance: a schema plus a row store of interned tuples.
+// Tables share a ValuePool so that values from different tables (dirty
+// data, ground truth, master data) and from rules compare by id.
+class Table {
+ public:
+  Table(std::shared_ptr<const Schema> schema, std::shared_ptr<ValuePool> pool);
+
+  Table(const Table&) = default;
+  Table& operator=(const Table&) = default;
+  Table(Table&&) = default;
+  Table& operator=(Table&&) = default;
+
+  const Schema& schema() const { return *schema_; }
+  const std::shared_ptr<const Schema>& schema_ptr() const { return schema_; }
+  ValuePool& pool() { return *pool_; }
+  const ValuePool& pool() const { return *pool_; }
+  const std::shared_ptr<ValuePool>& pool_ptr() const { return pool_; }
+
+  size_t num_rows() const { return rows_.size(); }
+  size_t num_columns() const { return schema_->arity(); }
+
+  const Tuple& row(size_t i) const { return rows_[i]; }
+  Tuple& mutable_row(size_t i) { return rows_[i]; }
+  const std::vector<Tuple>& rows() const { return rows_; }
+
+  // Appends a tuple. The tuple's arity must match the schema.
+  void AppendRow(Tuple row);
+
+  // Interns each field and appends the resulting tuple.
+  void AppendRowStrings(const std::vector<std::string>& fields);
+
+  // Cell accessors by interned id and by string.
+  ValueId cell(size_t row, AttrId attr) const { return rows_[row][attr]; }
+  void set_cell(size_t row, AttrId attr, ValueId value) {
+    rows_[row][attr] = value;
+  }
+  // Returns the string form of a cell; "" for a null cell.
+  const std::string& CellString(size_t row, AttrId attr) const;
+
+  void Reserve(size_t rows) { rows_.reserve(rows); }
+
+  // Renders a tuple as "(v1, v2, ...)" for diagnostics.
+  std::string FormatRow(size_t row) const;
+
+ private:
+  std::shared_ptr<const Schema> schema_;
+  std::shared_ptr<ValuePool> pool_;
+  std::vector<Tuple> rows_;
+};
+
+}  // namespace fixrep
+
+#endif  // FIXREP_RELATION_TABLE_H_

@@ -1,0 +1,27 @@
+#include "relation/value_pool.h"
+
+#include "common/logging.h"
+
+namespace fixrep {
+
+ValueId ValuePool::Intern(std::string_view s) {
+  const auto it = index_.find(s);
+  if (it != index_.end()) return it->second;
+  strings_.emplace_back(s);
+  const ValueId id = static_cast<ValueId>(strings_.size() - 1);
+  index_.emplace(std::string_view(strings_.back()), id);
+  return id;
+}
+
+ValueId ValuePool::Find(std::string_view s) const {
+  const auto it = index_.find(s);
+  return it == index_.end() ? kNullValue : it->second;
+}
+
+const std::string& ValuePool::GetString(ValueId id) const {
+  FIXREP_CHECK_GE(id, 0);
+  FIXREP_CHECK_LT(static_cast<size_t>(id), strings_.size());
+  return strings_[static_cast<size_t>(id)];
+}
+
+}  // namespace fixrep

@@ -1,0 +1,53 @@
+#ifndef FIXREP_RELATION_VALUE_POOL_H_
+#define FIXREP_RELATION_VALUE_POOL_H_
+
+#include <cstdint>
+#include <deque>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+
+namespace fixrep {
+
+// Interned value identifier. All cell values, pattern constants, and facts
+// are represented as ValueIds so that matching, inverted lists, and
+// violation detection are integer comparisons. kNullValue represents a
+// missing value and never equals any interned constant.
+using ValueId = int32_t;
+inline constexpr ValueId kNullValue = -1;
+
+// Interns strings to dense ValueIds. A pool is shared by every table and
+// rule set that must be comparable (e.g., the dirty table, the ground
+// truth, and the rules repairing it).
+//
+// Not thread-safe for concurrent interning; concurrent read-only lookups
+// (GetString / Find) are safe once interning has stopped.
+class ValuePool {
+ public:
+  ValuePool() = default;
+
+  ValuePool(const ValuePool&) = delete;
+  ValuePool& operator=(const ValuePool&) = delete;
+
+  // Returns the id for `s`, interning it if new.
+  ValueId Intern(std::string_view s);
+
+  // Returns the id for `s` or kNullValue if it has never been interned.
+  ValueId Find(std::string_view s) const;
+
+  // Returns the string for a valid id. id must be in [0, size()).
+  const std::string& GetString(ValueId id) const;
+
+  // Number of distinct interned values.
+  size_t size() const { return strings_.size(); }
+
+ private:
+  // deque keeps string addresses stable so the map can key on views into
+  // the stored strings without re-allocation invalidating them.
+  std::deque<std::string> strings_;
+  std::unordered_map<std::string_view, ValueId> index_;
+};
+
+}  // namespace fixrep
+
+#endif  // FIXREP_RELATION_VALUE_POOL_H_

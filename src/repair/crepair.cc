@@ -1,0 +1,48 @@
+#include "repair/crepair.h"
+
+#include <vector>
+
+#include "common/logging.h"
+
+namespace fixrep {
+
+ChaseRepairer::ChaseRepairer(const RuleSet* rules) : rules_(rules) {
+  FIXREP_CHECK(rules_ != nullptr);
+  stats_.Reset(rules_->size());
+}
+
+size_t ChaseRepairer::RepairTuple(Tuple* t) {
+  FIXREP_CHECK_EQ(t->size(), rules_->schema().arity());
+  ++stats_.tuples_examined;
+  AttrSet assured;
+  // Γ: rules not yet applied. Applied rules leave the set (Fig. 6 line 7);
+  // non-matching rules are re-examined on the next outer iteration.
+  std::vector<bool> applied(rules_->size(), false);
+  size_t cells_changed = 0;
+  bool updated = true;
+  while (updated) {
+    updated = false;
+    for (size_t i = 0; i < rules_->size(); ++i) {
+      if (applied[i]) continue;
+      const FixingRule& rule = rules_->rule(i);
+      if (assured.Contains(rule.target) || !rule.Matches(*t)) continue;
+      rule.Apply(t);
+      assured.UnionWith(rule.AssuredSet());
+      applied[i] = true;
+      updated = true;
+      ++cells_changed;
+      ++stats_.per_rule_applications[i];
+    }
+  }
+  stats_.cells_changed += cells_changed;
+  if (cells_changed > 0) ++stats_.tuples_changed;
+  return cells_changed;
+}
+
+void ChaseRepairer::RepairTable(Table* table) {
+  for (size_t r = 0; r < table->num_rows(); ++r) {
+    RepairTuple(&table->mutable_row(r));
+  }
+}
+
+}  // namespace fixrep

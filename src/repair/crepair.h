@@ -1,0 +1,39 @@
+#ifndef FIXREP_REPAIR_CREPAIR_H_
+#define FIXREP_REPAIR_CREPAIR_H_
+
+#include "relation/table.h"
+#include "repair/repair_stats.h"
+#include "rules/rule_set.h"
+
+namespace fixrep {
+
+// cRepair (Fig. 6): the chase-based repair algorithm. Per tuple it scans
+// the remaining rules, applies any that is properly applicable, and
+// repeats until a fixpoint — O(size(Σ)·|R|) per tuple. Correctness for a
+// consistent Σ follows from the Church-Rosser property: any maximal
+// sequence of proper applications reaches the unique fix.
+//
+// The repairer borrows the rule set; the rule set must outlive it and
+// must not be mutated while repairing.
+class ChaseRepairer {
+ public:
+  explicit ChaseRepairer(const RuleSet* rules);
+
+  // Chases one tuple to its fix in place. Returns the number of cells
+  // changed.
+  size_t RepairTuple(Tuple* t);
+
+  // Repairs every row of `table` in place.
+  void RepairTable(Table* table);
+
+  const RepairStats& stats() const { return stats_; }
+  void ResetStats() { stats_.Reset(rules_->size()); }
+
+ private:
+  const RuleSet* rules_;
+  RepairStats stats_;
+};
+
+}  // namespace fixrep
+
+#endif  // FIXREP_REPAIR_CREPAIR_H_

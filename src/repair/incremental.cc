@@ -1,0 +1,28 @@
+#include "repair/incremental.h"
+
+#include <utility>
+
+#include "common/logging.h"
+
+namespace fixrep {
+
+IncrementalRepairer::IncrementalRepairer(const RuleSet* rules, Table table)
+    : table_(std::move(table)), repairer_(rules) {
+  repairer_.RepairTable(&table_);
+}
+
+size_t IncrementalRepairer::Insert(Tuple row) {
+  FIXREP_CHECK_EQ(row.size(), table_.schema().arity());
+  repairer_.RepairTuple(&row);
+  table_.AppendRow(std::move(row));
+  return table_.num_rows() - 1;
+}
+
+size_t IncrementalRepairer::UpdateCell(size_t row, AttrId attr,
+                                       ValueId value) {
+  FIXREP_CHECK_LT(row, table_.num_rows());
+  table_.set_cell(row, attr, value);
+  return repairer_.RepairTuple(&table_.mutable_row(row));
+}
+
+}  // namespace fixrep

@@ -1,0 +1,50 @@
+#ifndef FIXREP_REPAIR_INCREMENTAL_H_
+#define FIXREP_REPAIR_INCREMENTAL_H_
+
+#include <cstddef>
+
+#include "relation/table.h"
+#include "repair/lrepair.h"
+#include "rules/rule_set.h"
+
+namespace fixrep {
+
+// Incremental repair session over a live table.
+//
+// Fixing-rule repair is per tuple, so maintenance under updates is
+// local: when a row is inserted or a cell is edited, only that row needs
+// re-chasing. The session owns the table, repairs everything once at
+// construction, and keeps it repaired across mutations — the
+// database-side counterpart of the repair-at-entry monitoring use case.
+//
+// Note the non-idempotence caveat (Section 3.2 / RepairSemanticsTest):
+// a re-chase after an edit starts from a fresh assured set, so cells the
+// previous chase froze may be rewritten again. That is the defined
+// semantics: each mutation opens a new repairing process for its row.
+class IncrementalRepairer {
+ public:
+  // Takes ownership of `table` (moved in) and repairs all rows.
+  IncrementalRepairer(const RuleSet* rules, Table table);
+
+  const Table& table() const { return table_; }
+
+  // Inserts a tuple (repairing it first); returns its row index.
+  size_t Insert(Tuple row);
+
+  // Applies a user edit to one cell and re-chases that row. The edited
+  // value participates in the chase like any other dirty value (it may
+  // itself be rewritten if a rule proves it wrong). Returns the number
+  // of cells the re-chase changed (not counting the edit itself).
+  size_t UpdateCell(size_t row, AttrId attr, ValueId value);
+
+  // Cumulative stats across the initial repair and all mutations.
+  const RepairStats& stats() const { return repairer_.stats(); }
+
+ private:
+  Table table_;
+  FastRepairer repairer_;
+};
+
+}  // namespace fixrep
+
+#endif  // FIXREP_REPAIR_INCREMENTAL_H_

@@ -1,0 +1,104 @@
+#include "repair/lrepair.h"
+
+#include "common/logging.h"
+
+namespace fixrep {
+
+FastRepairer::FastRepairer(const RuleSet* rules) : rules_(rules) {
+  FIXREP_CHECK(rules_ != nullptr);
+  const size_t n = rules_->size();
+  for (uint32_t i = 0; i < n; ++i) {
+    const FixingRule& rule = rules_->rule(i);
+    if (rule.evidence_attrs.empty()) {
+      empty_evidence_rules_.push_back(i);
+      continue;
+    }
+    for (size_t e = 0; e < rule.evidence_attrs.size(); ++e) {
+      inverted_[Key(rule.evidence_attrs[e], rule.evidence_values[e])]
+          .push_back(i);
+    }
+  }
+  counter_.assign(n, 0);
+  counter_epoch_.assign(n, 0);
+  queued_epoch_.assign(n, 0);
+  checked_epoch_.assign(n, 0);
+  stats_.Reset(n);
+}
+
+void FastRepairer::BumpCounter(uint32_t rule_index) {
+  if (counter_epoch_[rule_index] != epoch_) {
+    counter_epoch_[rule_index] = epoch_;
+    counter_[rule_index] = 0;
+  }
+  ++counter_[rule_index];
+  if (counter_[rule_index] ==
+          rules_->rule(rule_index).evidence_attrs.size() &&
+      queued_epoch_[rule_index] != epoch_ &&
+      checked_epoch_[rule_index] != epoch_) {
+    queued_epoch_[rule_index] = epoch_;
+    queue_.push_back(rule_index);
+  }
+}
+
+size_t FastRepairer::RepairTuple(Tuple* t) {
+  FIXREP_CHECK_EQ(t->size(), rules_->schema().arity());
+  ++stats_.tuples_examined;
+  ++epoch_;
+  if (epoch_ == 0) {
+    // uint32 wrap-around after ~4B tuples: hard-reset the stamps.
+    counter_epoch_.assign(counter_epoch_.size(), 0);
+    queued_epoch_.assign(queued_epoch_.size(), 0);
+    checked_epoch_.assign(checked_epoch_.size(), 0);
+    epoch_ = 1;
+  }
+  queue_.clear();
+
+  // Lines 2-7 of Fig. 7: initialize counters from the tuple's cells and
+  // seed Ω with fully-counted rules.
+  for (uint32_t rule_index : empty_evidence_rules_) {
+    queued_epoch_[rule_index] = epoch_;
+    queue_.push_back(rule_index);
+  }
+  const auto arity = static_cast<AttrId>(t->size());
+  for (AttrId a = 0; a < arity; ++a) {
+    const ValueId v = (*t)[a];
+    if (v == kNullValue) continue;
+    const auto it = inverted_.find(Key(a, v));
+    if (it == inverted_.end()) continue;
+    for (const uint32_t rule_index : it->second) BumpCounter(rule_index);
+  }
+
+  // Lines 8-16: chase over the candidate set.
+  AttrSet assured;
+  size_t cells_changed = 0;
+  while (!queue_.empty()) {
+    const uint32_t rule_index = queue_.back();
+    queue_.pop_back();
+    if (checked_epoch_[rule_index] == epoch_) continue;
+    checked_epoch_[rule_index] = epoch_;  // removed from Ω once and for all
+    const FixingRule& rule = rules_->rule(rule_index);
+    if (assured.Contains(rule.target) || !rule.Matches(*t)) continue;
+    rule.Apply(t);
+    assured.UnionWith(rule.AssuredSet());
+    ++cells_changed;
+    ++stats_.per_rule_applications[rule_index];
+    // Propagate the new value through the inverted lists (lines 13-15).
+    const auto it = inverted_.find(Key(rule.target, rule.fact));
+    if (it == inverted_.end()) continue;
+    for (const uint32_t candidate : it->second) {
+      if (checked_epoch_[candidate] != epoch_) BumpCounter(candidate);
+    }
+  }
+
+  stats_.cells_changed += cells_changed;
+  if (cells_changed > 0) ++stats_.tuples_changed;
+  return cells_changed;
+}
+
+void FastRepairer::RepairTable(Table* table) {
+  for (size_t r = 0; r < table->num_rows(); ++r) {
+    RepairTuple(&table->mutable_row(r));
+  }
+}
+
+}  // namespace fixrep

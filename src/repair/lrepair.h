@@ -1,0 +1,71 @@
+#ifndef FIXREP_REPAIR_LREPAIR_H_
+#define FIXREP_REPAIR_LREPAIR_H_
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "relation/table.h"
+#include "repair/repair_stats.h"
+#include "rules/rule_set.h"
+
+namespace fixrep {
+
+// lRepair (Fig. 7): the fast repair algorithm, O(size(Σ)) per tuple.
+//
+// Two indices drive it:
+// * Inverted lists map a key (attribute A, constant a) to every rule phi
+//   with A in X_phi and tp_phi[A] = a. Built once per rule set, reused
+//   for every tuple.
+// * Hash counters c(phi) count how many evidence attributes the current
+//   tuple agrees with. When c(phi) reaches |X_phi| the rule *may* match
+//   and enters the candidate set Ω; applicability is re-verified on pop
+//   (counters are never decremented when a cell is overwritten, exactly
+//   as in the paper — stale full counters are filtered by verification).
+//
+// Each rule enters Ω at most once and is checked at most once per tuple,
+// which is what yields the linear bound. Counters use epoch stamping so
+// per-tuple initialization is O(|R|) probes, not O(|Σ|) clears.
+class FastRepairer {
+ public:
+  // Builds the inverted lists for `rules`. The rule set must outlive the
+  // repairer and must not be mutated afterwards.
+  explicit FastRepairer(const RuleSet* rules);
+
+  // Repairs one tuple in place; returns the number of cells changed.
+  size_t RepairTuple(Tuple* t);
+
+  // Repairs every row of `table` in place.
+  void RepairTable(Table* table);
+
+  const RepairStats& stats() const { return stats_; }
+  void ResetStats() { stats_.Reset(rules_->size()); }
+
+ private:
+  static uint64_t Key(AttrId attr, ValueId value) {
+    return (static_cast<uint64_t>(static_cast<uint32_t>(attr)) << 32) |
+           static_cast<uint32_t>(value);
+  }
+
+  // Bumps the counter of `rule_index` for the current epoch; enqueues the
+  // rule when its evidence counter becomes full.
+  void BumpCounter(uint32_t rule_index);
+
+  const RuleSet* rules_;
+  std::unordered_map<uint64_t, std::vector<uint32_t>> inverted_;
+  std::vector<uint32_t> empty_evidence_rules_;  // |X_phi| == 0: always in Ω
+
+  // Per-tuple scratch state, epoch-stamped.
+  uint32_t epoch_ = 0;
+  std::vector<uint32_t> counter_;
+  std::vector<uint32_t> counter_epoch_;
+  std::vector<uint32_t> queued_epoch_;   // rule has entered Ω this epoch
+  std::vector<uint32_t> checked_epoch_;  // rule was popped and consumed
+  std::vector<uint32_t> queue_;          // Ω
+
+  RepairStats stats_;
+};
+
+}  // namespace fixrep
+
+#endif  // FIXREP_REPAIR_LREPAIR_H_

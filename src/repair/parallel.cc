@@ -1,0 +1,61 @@
+#include "repair/parallel.h"
+
+#include <algorithm>
+#include <thread>
+#include <vector>
+
+#include "common/logging.h"
+#include "repair/lrepair.h"
+
+namespace fixrep {
+
+RepairStats ParallelRepairTable(const RuleSet& rules, Table* table,
+                                size_t threads) {
+  FIXREP_CHECK(table != nullptr);
+  if (threads == 0) {
+    threads = std::max<size_t>(std::thread::hardware_concurrency(), 1);
+  }
+  const size_t rows = table->num_rows();
+  threads = std::min(threads, std::max<size_t>(rows, 1));
+
+  if (threads <= 1 || rows == 0) {
+    FastRepairer repairer(&rules);
+    repairer.RepairTable(table);
+    return repairer.stats();
+  }
+
+  std::vector<RepairStats> per_worker(threads);
+  std::vector<std::thread> workers;
+  workers.reserve(threads);
+  const size_t shard = (rows + threads - 1) / threads;
+  for (size_t w = 0; w < threads; ++w) {
+    const size_t begin = w * shard;
+    const size_t end = std::min(begin + shard, rows);
+    if (begin >= end) break;
+    workers.emplace_back([&rules, table, begin, end,
+                          stats = &per_worker[w]]() {
+      // Each worker owns a repairer: the rule set is shared read-only,
+      // the counters/queue inside FastRepairer are worker-local.
+      FastRepairer repairer(&rules);
+      for (size_t r = begin; r < end; ++r) {
+        repairer.RepairTuple(&table->mutable_row(r));
+      }
+      *stats = repairer.stats();
+    });
+  }
+  for (auto& worker : workers) worker.join();
+
+  RepairStats merged;
+  merged.Reset(rules.size());
+  for (const auto& stats : per_worker) {
+    merged.tuples_examined += stats.tuples_examined;
+    merged.tuples_changed += stats.tuples_changed;
+    merged.cells_changed += stats.cells_changed;
+    for (size_t i = 0; i < stats.per_rule_applications.size(); ++i) {
+      merged.per_rule_applications[i] += stats.per_rule_applications[i];
+    }
+  }
+  return merged;
+}
+
+}  // namespace fixrep

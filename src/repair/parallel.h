@@ -1,0 +1,27 @@
+#ifndef FIXREP_REPAIR_PARALLEL_H_
+#define FIXREP_REPAIR_PARALLEL_H_
+
+#include <cstddef>
+
+#include "relation/table.h"
+#include "repair/repair_stats.h"
+#include "rules/rule_set.h"
+
+namespace fixrep {
+
+// Multi-threaded whole-table repair.
+//
+// Fixing-rule repair is embarrassingly parallel: each tuple is chased
+// independently (Section 6 repairs one tuple at a time), so the table is
+// split into contiguous shards, one FastRepairer per worker (the
+// inverted lists are shared-immutable; the hash counters are per-worker
+// scratch). The result is bit-identical to the serial engine.
+//
+// `threads` == 0 picks std::thread::hardware_concurrency(). Returns the
+// merged stats of all workers.
+RepairStats ParallelRepairTable(const RuleSet& rules, Table* table,
+                                size_t threads = 0);
+
+}  // namespace fixrep
+
+#endif  // FIXREP_REPAIR_PARALLEL_H_

@@ -1,0 +1,64 @@
+#include "repair/provenance.h"
+
+#include "common/logging.h"
+#include "repair/lrepair.h"
+
+namespace fixrep {
+
+std::string RepairLog::Describe(const CellRepair& repair,
+                                const Schema& schema,
+                                const ValuePool& pool) const {
+  auto value_string = [&pool](ValueId v) {
+    return v == kNullValue ? std::string("_") : pool.GetString(v);
+  };
+  return "row " + std::to_string(repair.row) + " " +
+         schema.attribute_name(repair.attr) + ": '" +
+         value_string(repair.old_value) + "' -> '" +
+         value_string(repair.new_value) + "' by rule #" +
+         std::to_string(repair.rule_index);
+}
+
+std::vector<size_t> RepairLog::PerRuleCounts(size_t num_rules) const {
+  std::vector<size_t> counts(num_rules, 0);
+  for (const auto& repair : repairs) {
+    FIXREP_CHECK_LT(repair.rule_index, num_rules);
+    ++counts[repair.rule_index];
+  }
+  return counts;
+}
+
+RepairLog RepairWithProvenance(const RuleSet& rules, Table* table) {
+  FIXREP_CHECK(table != nullptr);
+  RepairLog log;
+  // Chase each tuple exactly as cRepair does (for a consistent set the
+  // fix is unique, so this matches what FastRepairer writes), recording
+  // the before/after of every application.
+  for (size_t r = 0; r < table->num_rows(); ++r) {
+    Tuple& tuple = table->mutable_row(r);
+    AttrSet assured;
+    std::vector<bool> applied(rules.size(), false);
+    bool updated = true;
+    while (updated) {
+      updated = false;
+      for (size_t i = 0; i < rules.size(); ++i) {
+        if (applied[i]) continue;
+        const FixingRule& rule = rules.rule(i);
+        if (assured.Contains(rule.target) || !rule.Matches(tuple)) continue;
+        CellRepair repair;
+        repair.row = r;
+        repair.attr = rule.target;
+        repair.old_value = tuple[rule.target];
+        repair.new_value = rule.fact;
+        repair.rule_index = i;
+        log.repairs.push_back(repair);
+        rule.Apply(&tuple);
+        assured.UnionWith(rule.AssuredSet());
+        applied[i] = true;
+        updated = true;
+      }
+    }
+  }
+  return log;
+}
+
+}  // namespace fixrep

@@ -1,0 +1,28 @@
+#ifndef FIXREP_REPAIR_REPAIR_STATS_H_
+#define FIXREP_REPAIR_REPAIR_STATS_H_
+
+#include <cstddef>
+#include <vector>
+
+namespace fixrep {
+
+// Accumulated effect of a repair run; shared by both repair engines.
+// per_rule_applications powers Fig. 12(a) (errors corrected per rule).
+struct RepairStats {
+  size_t tuples_examined = 0;
+  size_t tuples_changed = 0;
+  size_t cells_changed = 0;
+  // per_rule_applications[i] = number of tuples rule i was applied to.
+  std::vector<size_t> per_rule_applications;
+
+  void Reset(size_t num_rules) {
+    tuples_examined = 0;
+    tuples_changed = 0;
+    cells_changed = 0;
+    per_rule_applications.assign(num_rules, 0);
+  }
+};
+
+}  // namespace fixrep
+
+#endif  // FIXREP_REPAIR_REPAIR_STATS_H_

@@ -1,0 +1,122 @@
+#include "rulegen/discovery.h"
+
+#include <algorithm>
+#include <unordered_map>
+#include <unordered_set>
+#include <utility>
+
+#include "common/logging.h"
+#include "deps/violation.h"
+#include "rules/resolution.h"
+
+namespace fixrep {
+
+namespace {
+
+struct Candidate {
+  FixingRule rule;
+  size_t support = 0;
+  size_t fd_index = 0;
+  std::vector<ValueId> lhs_values;
+};
+
+}  // namespace
+
+RuleSet DiscoverRules(const Table& dirty,
+                      const std::vector<FunctionalDependency>& fds,
+                      const DiscoveryOptions& options) {
+  const auto normalized = NormalizeToSingleRhs(fds);
+  std::vector<Candidate> candidates;
+  for (size_t fd_index = 0; fd_index < normalized.size(); ++fd_index) {
+    const auto& fd = normalized[fd_index];
+    const AttrId target = fd.rhs[0];
+    const auto partition = PartitionBy(dirty, fd.lhs);
+
+    // First pass: the consensus (majority) value of every group, and —
+    // for the conservative mode — the set of all consensus values of
+    // this FD.
+    struct GroupVote {
+      ValueId majority = kNullValue;
+      size_t majority_count = 0;
+      size_t runner_up = 0;
+      std::unordered_map<ValueId, size_t> histogram;
+    };
+    std::unordered_map<const std::vector<ValueId>*, GroupVote> votes;
+    std::unordered_set<ValueId> consensus_values;
+    for (const auto& [lhs_values, rows] : partition) {
+      GroupVote vote;
+      for (const size_t row : rows) ++vote.histogram[dirty.cell(row, target)];
+      for (const auto& [value, count] : vote.histogram) {
+        if (count > vote.majority_count ||
+            (count == vote.majority_count && value < vote.majority)) {
+          vote.runner_up = vote.majority_count;
+          vote.majority = value;
+          vote.majority_count = count;
+        } else if (count > vote.runner_up) {
+          vote.runner_up = count;
+        }
+      }
+      if (vote.majority != kNullValue) consensus_values.insert(vote.majority);
+      votes.emplace(&lhs_values, std::move(vote));
+    }
+
+    for (const auto& [lhs_values, rows] : partition) {
+      if (rows.size() < options.min_support) continue;
+      const GroupVote& vote = votes.at(&lhs_values);
+      const ValueId majority = vote.majority;
+      if (majority == kNullValue) continue;
+      if (static_cast<double>(vote.majority_count) / rows.size() <
+          options.min_confidence) {
+        continue;
+      }
+      if (vote.majority_count < vote.runner_up + options.min_margin) {
+        continue;
+      }
+      // Minority values are the evidence of errors: negative patterns —
+      // minus, in conservative mode, values that are correct somewhere
+      // else (another group's consensus), which are ambiguous here.
+      std::vector<ValueId> negatives;
+      for (const auto& [value, count] : vote.histogram) {
+        if (value == majority || value == kNullValue) continue;
+        if (options.exclude_foreign_consensus &&
+            consensus_values.count(value) > 0) {
+          continue;
+        }
+        negatives.push_back(value);
+      }
+      if (negatives.empty()) continue;
+      std::sort(negatives.begin(), negatives.end());
+
+      Candidate candidate;
+      candidate.support = rows.size();
+      candidate.fd_index = fd_index;
+      candidate.lhs_values = lhs_values;
+      candidate.rule.evidence_attrs = fd.lhs;
+      candidate.rule.evidence_values = lhs_values;
+      candidate.rule.target = target;
+      candidate.rule.negative_patterns = std::move(negatives);
+      candidate.rule.fact = majority;
+      candidates.push_back(std::move(candidate));
+    }
+  }
+
+  std::sort(candidates.begin(), candidates.end(),
+            [](const Candidate& a, const Candidate& b) {
+              if (a.support != b.support) return a.support > b.support;
+              if (a.fd_index != b.fd_index) return a.fd_index < b.fd_index;
+              if (a.lhs_values != b.lhs_values) {
+                return a.lhs_values < b.lhs_values;
+              }
+              return a.rule.target < b.rule.target;
+            });
+
+  RuleSet rules(dirty.schema_ptr(), dirty.pool_ptr());
+  for (const auto& candidate : candidates) {
+    if (rules.size() >= options.max_rules) break;
+    rules.Add(candidate.rule);
+  }
+  if (options.resolve_conflicts) ResolveByPruning(&rules);
+  return rules;
+}
+
+}  // namespace fixrep

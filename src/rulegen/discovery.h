@@ -1,0 +1,51 @@
+#ifndef FIXREP_RULEGEN_DISCOVERY_H_
+#define FIXREP_RULEGEN_DISCOVERY_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "deps/fd.h"
+#include "relation/table.h"
+#include "rules/rule_set.h"
+
+namespace fixrep {
+
+// Automatic fixing-rule discovery from dirty data alone — the paper's
+// first future-work item ("we are planning to design algorithms to
+// automatically discover fixing rules"). No ground truth, no expert:
+// for each FD X -> A and each X-group in the dirty data, if one A value
+// dominates the group strongly enough, it is taken as the fact and the
+// minority values become negative patterns.
+//
+// This trades the oracle's certainty for a confidence threshold: a
+// discovered fact is wrong exactly when errors outvote the truth inside
+// a group, so precision degrades gracefully with the noise rate (see
+// bench_ablation_discovery).
+struct DiscoveryOptions {
+  size_t max_rules = 1000;
+  // Minimum rows in the X-group.
+  size_t min_support = 3;
+  // The majority value must cover at least this fraction of the group...
+  double min_confidence = 0.8;
+  // ...and win by at least this many rows over the runner-up.
+  size_t min_margin = 2;
+  // Run ResolveByPruning so the result is strictly consistent.
+  bool resolve_conflicts = true;
+  // Conservative mode (default): a minority value that is itself the
+  // consensus of some other group of the same FD is NOT taken as a
+  // negative pattern — it may be a correct value that strayed in via a
+  // corrupted evidence cell, the paper's (China, Tokyo) ambiguity, which
+  // fixing rules deliberately refuse to judge. Turning this off admits
+  // those values, buying recall on active-domain errors at a real
+  // precision cost (quantified in bench_ablation).
+  bool exclude_foreign_consensus = true;
+};
+
+// Discovers rules for `fds` from `dirty`. Deterministic.
+RuleSet DiscoverRules(const Table& dirty,
+                      const std::vector<FunctionalDependency>& fds,
+                      const DiscoveryOptions& options = {});
+
+}  // namespace fixrep
+
+#endif  // FIXREP_RULEGEN_DISCOVERY_H_

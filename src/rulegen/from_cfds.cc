@@ -1,0 +1,56 @@
+#include "rulegen/from_cfds.h"
+
+#include <algorithm>
+#include <unordered_set>
+
+#include "common/logging.h"
+#include "rules/resolution.h"
+
+namespace fixrep {
+
+RuleSet RulesFromCfds(const Table& data, const std::vector<Cfd>& cfds,
+                      const FromCfdsOptions& options) {
+  RuleSet rules(data.schema_ptr(), data.pool_ptr());
+  for (const auto& cfd : cfds) {
+    FIXREP_CHECK_EQ(cfd.embedded.rhs.size(), 1u);
+    const AttrId target = cfd.embedded.rhs[0];
+    for (const auto& pattern : cfd.tableau) {
+      if (pattern.rhs == kCfdWildcard) continue;
+      const bool fully_constant =
+          std::none_of(pattern.lhs.begin(), pattern.lhs.end(),
+                       [](ValueId v) { return v == kCfdWildcard; });
+      if (!fully_constant) continue;
+      // Harvest negative patterns: values at the target attribute among
+      // tuples matching the (all-constant) LHS pattern.
+      std::unordered_set<ValueId> seen;
+      std::vector<ValueId> negatives;
+      for (size_t r = 0; r < data.num_rows(); ++r) {
+        bool matches = true;
+        for (size_t i = 0; i < cfd.embedded.lhs.size(); ++i) {
+          if (data.cell(r, cfd.embedded.lhs[i]) != pattern.lhs[i]) {
+            matches = false;
+            break;
+          }
+        }
+        if (!matches) continue;
+        const ValueId v = data.cell(r, target);
+        if (v != pattern.rhs && v != kNullValue && seen.insert(v).second) {
+          negatives.push_back(v);
+        }
+      }
+      if (negatives.empty()) continue;
+      std::sort(negatives.begin(), negatives.end());
+      FixingRule rule;
+      rule.evidence_attrs = cfd.embedded.lhs;
+      rule.evidence_values = pattern.lhs;
+      rule.target = target;
+      rule.negative_patterns = std::move(negatives);
+      rule.fact = pattern.rhs;
+      rules.Add(std::move(rule));
+    }
+  }
+  if (options.resolve_conflicts) ResolveByPruning(&rules);
+  return rules;
+}
+
+}  // namespace fixrep

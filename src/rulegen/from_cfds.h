@@ -1,0 +1,34 @@
+#ifndef FIXREP_RULEGEN_FROM_CFDS_H_
+#define FIXREP_RULEGEN_FROM_CFDS_H_
+
+#include <vector>
+
+#include "deps/cfd.h"
+#include "relation/table.h"
+#include "rules/rule_set.h"
+
+namespace fixrep {
+
+struct FromCfdsOptions {
+  // Run ResolveByPruning on the derived set.
+  bool resolve_conflicts = true;
+};
+
+// Derives fixing rules from the constant rows of CFD tableaux — a first
+// cut at the paper's second future-work item ("interaction between
+// fixing rules and other data quality rules, such as CFDs").
+//
+// A constant tableau row (tp[X] constants | tp[A] = b) already carries
+// an evidence pattern and a fact; what a CFD lacks is the negative
+// patterns that authorize an automatic repair. Those are harvested from
+// the data: the values observed at A among tuples matching tp[X] that
+// differ from b are exactly the CFD's constant-RHS violations, and they
+// become the rule's negative patterns. Rows with wildcards (in the LHS
+// or RHS) express variable constraints and are skipped — they detect
+// violations but do not name a fact.
+RuleSet RulesFromCfds(const Table& data, const std::vector<Cfd>& cfds,
+                      const FromCfdsOptions& options = {});
+
+}  // namespace fixrep
+
+#endif  // FIXREP_RULEGEN_FROM_CFDS_H_

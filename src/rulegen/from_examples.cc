@@ -1,0 +1,86 @@
+#include "rulegen/from_examples.h"
+
+#include <algorithm>
+#include <map>
+#include <tuple>
+#include <utility>
+
+#include "common/logging.h"
+#include "rules/resolution.h"
+
+namespace fixrep {
+
+RuleSet LearnRulesFromExamples(
+    std::shared_ptr<const Schema> schema, std::shared_ptr<ValuePool> pool,
+    const std::vector<CorrectionExample>& examples,
+    const std::vector<FunctionalDependency>& fd_hints,
+    const FromExamplesOptions& options) {
+  const auto hints = NormalizeToSingleRhs(fd_hints);
+  // Key: (evidence attrs, evidence values, target, fact); value: the
+  // union of certified-wrong values.
+  using RuleKey = std::tuple<std::vector<AttrId>, std::vector<ValueId>,
+                             AttrId, ValueId>;
+  std::map<RuleKey, std::vector<ValueId>> merged;
+
+  for (const auto& example : examples) {
+    FIXREP_CHECK_EQ(example.dirty.size(), schema->arity());
+    FIXREP_CHECK_EQ(example.corrected.size(), schema->arity());
+    // Attributes the user touched.
+    std::vector<AttrId> changed;
+    for (size_t a = 0; a < schema->arity(); ++a) {
+      if (example.dirty[a] != example.corrected[a]) {
+        changed.push_back(static_cast<AttrId>(a));
+      }
+    }
+    for (const AttrId target : changed) {
+      const ValueId wrong = example.dirty[target];
+      const ValueId fact = example.corrected[target];
+      if (wrong == kNullValue || fact == kNullValue) continue;
+      for (const auto& hint : hints) {
+        if (hint.rhs[0] != target) continue;
+        // Evidence values come from the CORRECTED tuple: every corrected
+        // cell is user-certified, whether the user left it alone or
+        // rewrote it. Taking corrected values for evidence the user also
+        // fixed is what lets learned rules chain (the Fig. 8 cascade:
+        // the city rule's capital=Beijing evidence holds only after the
+        // capital rule fires).
+        std::vector<ValueId> evidence_values;
+        bool has_null = false;
+        for (const AttrId a : hint.lhs) {
+          const ValueId v = example.corrected[a];
+          has_null |= (v == kNullValue);
+          evidence_values.push_back(v);
+        }
+        if (has_null) continue;
+        merged[RuleKey(hint.lhs, std::move(evidence_values), target, fact)]
+            .push_back(wrong);
+      }
+    }
+  }
+
+  RuleSet rules(schema, std::move(pool));
+  for (auto& [key, negatives] : merged) {
+    std::sort(negatives.begin(), negatives.end());
+    negatives.erase(std::unique(negatives.begin(), negatives.end()),
+                    negatives.end());
+    // A contradictory example set can certify the fact itself as wrong
+    // under a different example; drop such values rather than the rule.
+    const auto& [evidence_attrs, evidence_values, target, fact] = key;
+    std::vector<ValueId> filtered;
+    for (const ValueId v : negatives) {
+      if (v != fact) filtered.push_back(v);
+    }
+    if (filtered.empty()) continue;
+    FixingRule rule;
+    rule.evidence_attrs = evidence_attrs;
+    rule.evidence_values = evidence_values;
+    rule.target = target;
+    rule.negative_patterns = std::move(filtered);
+    rule.fact = fact;
+    rules.Add(std::move(rule));
+  }
+  if (options.resolve_conflicts) ResolveByPruning(&rules);
+  return rules;
+}
+
+}  // namespace fixrep

@@ -1,0 +1,51 @@
+#ifndef FIXREP_RULEGEN_FROM_EXAMPLES_H_
+#define FIXREP_RULEGEN_FROM_EXAMPLES_H_
+
+#include <memory>
+#include <vector>
+
+#include "deps/fd.h"
+#include "relation/table.h"
+#include "rules/rule_set.h"
+
+namespace fixrep {
+
+// One user-provided correction example: a dirty tuple and the tuple the
+// user corrected it to.
+struct CorrectionExample {
+  Tuple dirty;
+  Tuple corrected;
+};
+
+struct FromExamplesOptions {
+  // Run ResolveByPruning on the learned set.
+  bool resolve_conflicts = true;
+};
+
+// Learns fixing rules from correction examples, in the spirit of the
+// learning-transformations-from-examples line of work the paper cites
+// ([27], Singh & Gulwani) and its Section 7.1 seed workflow.
+//
+// For every corrected cell B (old value v -> new value f), each FD hint
+// X -> ... with B in its RHS yields a candidate rule
+// ((X, corrected[X]), (B, {v})) -> f: the corrected tuple is
+// user-certified, so corrected[X] is trusted evidence, v a
+// certified-wrong value, and f the certified fact. Evidence attributes
+// the user also corrected are fine — their corrected values let learned
+// rules chain during the chase, exactly like the paper's Fig. 8 cascade.
+// Candidates with identical (evidence, target, fact) are merged by
+// unioning their negative patterns, which is how a handful of examples
+// grows into rules with rich negative-pattern sets.
+//
+// Examples whose corrected cell has no applicable FD hint are skipped
+// (nothing justifies an evidence pattern); contradictory examples are
+// reconciled by the resolution pass.
+RuleSet LearnRulesFromExamples(
+    std::shared_ptr<const Schema> schema, std::shared_ptr<ValuePool> pool,
+    const std::vector<CorrectionExample>& examples,
+    const std::vector<FunctionalDependency>& fd_hints,
+    const FromExamplesOptions& options = {});
+
+}  // namespace fixrep
+
+#endif  // FIXREP_RULEGEN_FROM_EXAMPLES_H_

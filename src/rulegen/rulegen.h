@@ -1,0 +1,46 @@
+#ifndef FIXREP_RULEGEN_RULEGEN_H_
+#define FIXREP_RULEGEN_RULEGEN_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "deps/fd.h"
+#include "relation/table.h"
+#include "rules/rule_set.h"
+
+namespace fixrep {
+
+// Controls the Section 7.1 rule-generation workflow. The "expert" of the
+// paper is played by an oracle with access to the clean data: seeds come
+// from FD violation groups in the dirty data (evidence = the group's LHS
+// projection, fact = the clean RHS value, negative patterns = observed
+// wrong values), then negative patterns are enriched with further
+// known-wrong values, mimicking extraction from domain tables.
+struct RuleGenOptions {
+  // Keep the `max_rules` candidates with the largest support (clean rows
+  // sharing the evidence pattern), as the paper keeps the most useful
+  // rules (1000 for hosp, 100 for uis).
+  size_t max_rules = 1000;
+  // Extra negative patterns added to each rule beyond the observed ones.
+  size_t extra_negatives_per_rule = 2;
+  // Each enrichment value comes from the attribute's clean active domain
+  // with this probability, else from the pool of out-of-domain values
+  // observed in the dirty column (typos and strays).
+  double active_domain_enrich_probability = 0.3;
+  // Evidence patterns must repeat at least this often in the clean data.
+  size_t min_support = 2;
+  // Run ResolveByPruning on the generated set so the result is
+  // guaranteed consistent (Section 5 workflow step 3).
+  bool resolve_conflicts = true;
+  uint64_t seed = 0x9e37;
+};
+
+// Generates fixing rules for `fds` from a (clean, dirty) pair sharing one
+// pool and schema. Deterministic given options.seed.
+RuleSet GenerateRules(const Table& clean, const Table& dirty,
+                      const std::vector<FunctionalDependency>& fds,
+                      const RuleGenOptions& options);
+
+}  // namespace fixrep
+
+#endif  // FIXREP_RULEGEN_RULEGEN_H_

@@ -1,0 +1,323 @@
+#include "rules/consistency.h"
+
+#include <algorithm>
+#include <unordered_set>
+
+#include "common/logging.h"
+
+namespace fixrep {
+
+namespace {
+
+// True if the evidence patterns agree on X_a ∩ X_b (both empty overlap
+// and equal constants count as compatible) — the precondition for any
+// tuple to match both rules (line 2 of Fig. 4).
+bool EvidenceCompatible(const FixingRule& a, const FixingRule& b) {
+  // Merge-walk the two sorted attribute lists.
+  size_t i = 0;
+  size_t j = 0;
+  while (i < a.evidence_attrs.size() && j < b.evidence_attrs.size()) {
+    if (a.evidence_attrs[i] < b.evidence_attrs[j]) {
+      ++i;
+    } else if (a.evidence_attrs[i] > b.evidence_attrs[j]) {
+      ++j;
+    } else {
+      if (a.evidence_values[i] != b.evidence_values[j]) return false;
+      ++i;
+      ++j;
+    }
+  }
+  return true;
+}
+
+// First value in Tp_a[B] ∩ Tp_b[B], or kNullValue if disjoint.
+ValueId FirstNegativeOverlap(const FixingRule& a, const FixingRule& b) {
+  size_t i = 0;
+  size_t j = 0;
+  while (i < a.negative_patterns.size() && j < b.negative_patterns.size()) {
+    if (a.negative_patterns[i] < b.negative_patterns[j]) {
+      ++i;
+    } else if (a.negative_patterns[i] > b.negative_patterns[j]) {
+      ++j;
+    } else {
+      return a.negative_patterns[i];
+    }
+  }
+  return kNullValue;
+}
+
+// Builds a minimal tuple matching both rules; attributes not constrained
+// by either rule stay kNullValue. `target_a`/`target_b` choose the values
+// for the rules' target attributes when they are not pinned by the other
+// rule's evidence.
+Tuple BuildWitness(const FixingRule& a, const FixingRule& b, size_t arity,
+                   ValueId target_a, ValueId target_b) {
+  Tuple t(arity, kNullValue);
+  for (size_t i = 0; i < a.evidence_attrs.size(); ++i) {
+    t[a.evidence_attrs[i]] = a.evidence_values[i];
+  }
+  for (size_t i = 0; i < b.evidence_attrs.size(); ++i) {
+    t[b.evidence_attrs[i]] = b.evidence_values[i];
+  }
+  // Targets last: if a target is in the other rule's evidence the
+  // evidence constant is the value that makes both match, so only set it
+  // when still unpinned.
+  if (t[a.target] == kNullValue) t[a.target] = target_a;
+  if (t[b.target] == kNullValue) t[b.target] = target_b;
+  return t;
+}
+
+}  // namespace
+
+std::string Conflict::Describe(const RuleSet& rules) const {
+  std::string out = "conflict between rule #" + std::to_string(rule_i) +
+                    " and rule #" + std::to_string(rule_j) + " (";
+  switch (kind) {
+    case ConflictKind::kSameTargetDivergentFacts:
+      out += "same target, overlapping negative patterns, different facts";
+      break;
+    case ConflictKind::kTargetInEvidenceIj:
+      out += "rule #" + std::to_string(rule_i) +
+             "'s target is evidence of rule #" + std::to_string(rule_j);
+      break;
+    case ConflictKind::kTargetInEvidenceJi:
+      out += "rule #" + std::to_string(rule_j) +
+             "'s target is evidence of rule #" + std::to_string(rule_i);
+      break;
+    case ConflictKind::kMutualTargetInEvidence:
+      out += "each rule's target is evidence of the other";
+      break;
+    case ConflictKind::kDivergentFix:
+      out += "two application orders yield different fixes";
+      break;
+    case ConflictKind::kSameTargetDivergentAssured:
+      out += "same target and fact from different evidence patterns "
+             "(divergent assured sets; strict mode)";
+      break;
+  }
+  out += ")\n  phi_i: " +
+         rules.rule(rule_i).Format(rules.schema(), rules.pool());
+  out += "\n  phi_j: " +
+         rules.rule(rule_j).Format(rules.schema(), rules.pool());
+  if (!witness.empty()) {
+    out += "\n  witness: (";
+    for (size_t a = 0; a < witness.size(); ++a) {
+      if (a > 0) out += ", ";
+      out += witness[a] == kNullValue ? std::string("_")
+                                      : rules.pool().GetString(witness[a]);
+    }
+    out += ")";
+  }
+  return out;
+}
+
+bool PairConsistentChar(const FixingRule& a, const FixingRule& b,
+                        size_t arity, Conflict* conflict) {
+  if (!EvidenceCompatible(a, b)) return true;
+
+  auto report = [&](ConflictKind kind, ValueId target_a, ValueId target_b) {
+    if (conflict != nullptr) {
+      conflict->kind = kind;
+      conflict->witness = BuildWitness(a, b, arity, target_a, target_b);
+    }
+    return false;
+  };
+
+  if (a.target == b.target) {
+    // Case 1: a tuple with t[B] in both negative-pattern sets gets two
+    // different facts depending on which rule fires first.
+    const ValueId overlap = FirstNegativeOverlap(a, b);
+    if (overlap != kNullValue && a.fact != b.fact) {
+      return report(ConflictKind::kSameTargetDivergentFacts, overlap,
+                    overlap);
+    }
+    return true;
+  }
+
+  // Case 2: different targets. a's target inside b's evidence means
+  // whichever rule fires first freezes or rewrites the shared attribute.
+  const ValueId b_evidence_at_a_target = b.EvidenceValueFor(a.target);
+  const ValueId a_evidence_at_b_target = a.EvidenceValueFor(b.target);
+  const bool a_target_in_b =
+      b_evidence_at_a_target != kNullValue &&
+      a.IsNegative(b_evidence_at_a_target);
+  const bool b_target_in_a =
+      a_evidence_at_b_target != kNullValue &&
+      b.IsNegative(a_evidence_at_b_target);
+  const bool bi_in_xj = b_evidence_at_a_target != kNullValue;
+  const bool bj_in_xi = a_evidence_at_b_target != kNullValue;
+
+  if (bi_in_xj && !bj_in_xi) {
+    if (a_target_in_b) {
+      return report(ConflictKind::kTargetInEvidenceIj, kNullValue,
+                    b.negative_patterns.front());
+    }
+    return true;
+  }
+  if (bj_in_xi && !bi_in_xj) {
+    if (b_target_in_a) {
+      return report(ConflictKind::kTargetInEvidenceJi,
+                    a.negative_patterns.front(), kNullValue);
+    }
+    return true;
+  }
+  if (bi_in_xj && bj_in_xi) {
+    if (a_target_in_b && b_target_in_a) {
+      return report(ConflictKind::kMutualTargetInEvidence, kNullValue,
+                    kNullValue);
+    }
+    return true;
+  }
+  // Case 2(d): targets are independent of both evidence patterns; the
+  // updates commute.
+  return true;
+}
+
+bool PairConsistentStrictChar(const FixingRule& a, const FixingRule& b,
+                              size_t arity, Conflict* conflict) {
+  if (!PairConsistentChar(a, b, arity, conflict)) return false;
+  if (a.target != b.target || a.fact != b.fact ||
+      !EvidenceCompatible(a, b)) {
+    return true;
+  }
+  const ValueId overlap = FirstNegativeOverlap(a, b);
+  if (overlap == kNullValue) return true;
+  // Identical evidence patterns assure the same set, so the firing order
+  // is immaterial; only genuinely different patterns are flagged.
+  if (a.evidence_attrs == b.evidence_attrs &&
+      a.evidence_values == b.evidence_values) {
+    return true;
+  }
+  if (conflict != nullptr) {
+    conflict->kind = ConflictKind::kSameTargetDivergentAssured;
+    conflict->witness = BuildWitness(a, b, arity, overlap, overlap);
+  }
+  return false;
+}
+
+void ChaseWithPriority(const std::vector<const FixingRule*>& priority,
+                       Tuple* t) {
+  AttrSet assured;
+  std::vector<bool> applied(priority.size(), false);
+  bool progressed = true;
+  while (progressed) {
+    progressed = false;
+    for (size_t i = 0; i < priority.size(); ++i) {
+      if (applied[i]) continue;
+      const FixingRule& rule = *priority[i];
+      if (assured.Contains(rule.target) || !rule.Matches(*t)) continue;
+      rule.Apply(t);
+      assured.UnionWith(rule.AssuredSet());
+      applied[i] = true;
+      progressed = true;
+      break;  // restart the scan so the chase order is deterministic
+    }
+  }
+}
+
+bool PairConsistentEnum(const FixingRule& a, const FixingRule& b,
+                        size_t arity, Conflict* conflict) {
+  // Per-attribute candidate values drawn from both rules' evidence and
+  // negative patterns (Section 5.2.1); every attribute not involved in
+  // either rule keeps the out-of-domain placeholder kNullValue.
+  std::vector<AttrId> attrs;
+  std::vector<std::vector<ValueId>> values;
+  auto add_value = [&](AttrId attr, ValueId v) {
+    const auto it = std::find(attrs.begin(), attrs.end(), attr);
+    size_t idx;
+    if (it == attrs.end()) {
+      attrs.push_back(attr);
+      values.emplace_back();
+      idx = attrs.size() - 1;
+    } else {
+      idx = static_cast<size_t>(it - attrs.begin());
+    }
+    if (std::find(values[idx].begin(), values[idx].end(), v) ==
+        values[idx].end()) {
+      values[idx].push_back(v);
+    }
+  };
+  for (const FixingRule* rule : {&a, &b}) {
+    for (size_t i = 0; i < rule->evidence_attrs.size(); ++i) {
+      add_value(rule->evidence_attrs[i], rule->evidence_values[i]);
+    }
+    for (const ValueId v : rule->negative_patterns) {
+      add_value(rule->target, v);
+    }
+  }
+
+  uint64_t total = 1;
+  for (const auto& vs : values) {
+    total *= vs.size();
+    FIXREP_CHECK_LE(total, uint64_t{1} << 24)
+        << "tuple enumeration blow-up; use isConsist_r for such rules";
+  }
+
+  const std::vector<const FixingRule*> order_ab = {&a, &b};
+  const std::vector<const FixingRule*> order_ba = {&b, &a};
+  std::vector<size_t> counters(attrs.size(), 0);
+  Tuple t(arity, kNullValue);
+  for (uint64_t n = 0; n < total; ++n) {
+    uint64_t rest = n;
+    for (size_t i = 0; i < attrs.size(); ++i) {
+      const size_t k = rest % values[i].size();
+      rest /= values[i].size();
+      t[attrs[i]] = values[i][k];
+    }
+    Tuple fix_ab = t;
+    ChaseWithPriority(order_ab, &fix_ab);
+    Tuple fix_ba = t;
+    ChaseWithPriority(order_ba, &fix_ba);
+    if (fix_ab != fix_ba) {
+      if (conflict != nullptr) {
+        conflict->kind = ConflictKind::kDivergentFix;
+        conflict->witness = t;
+      }
+      return false;
+    }
+  }
+  return true;
+}
+
+namespace {
+
+using PairChecker = bool (*)(const FixingRule&, const FixingRule&, size_t,
+                             Conflict*);
+
+bool CheckAllPairs(const RuleSet& rules, std::vector<Conflict>* conflicts,
+                   bool find_all, PairChecker checker) {
+  const size_t arity = rules.schema().arity();
+  bool consistent = true;
+  for (size_t i = 0; i < rules.size(); ++i) {
+    for (size_t j = i + 1; j < rules.size(); ++j) {
+      Conflict conflict;
+      if (checker(rules.rule(i), rules.rule(j), arity, &conflict)) continue;
+      consistent = false;
+      conflict.rule_i = i;
+      conflict.rule_j = j;
+      if (conflicts != nullptr) conflicts->push_back(std::move(conflict));
+      if (!find_all) return false;
+    }
+  }
+  return consistent;
+}
+
+}  // namespace
+
+bool IsConsistentChar(const RuleSet& rules, std::vector<Conflict>* conflicts,
+                      bool find_all) {
+  return CheckAllPairs(rules, conflicts, find_all, &PairConsistentChar);
+}
+
+bool IsConsistentEnum(const RuleSet& rules, std::vector<Conflict>* conflicts,
+                      bool find_all) {
+  return CheckAllPairs(rules, conflicts, find_all, &PairConsistentEnum);
+}
+
+bool IsConsistentStrict(const RuleSet& rules,
+                        std::vector<Conflict>* conflicts, bool find_all) {
+  return CheckAllPairs(rules, conflicts, find_all,
+                       &PairConsistentStrictChar);
+}
+
+}  // namespace fixrep

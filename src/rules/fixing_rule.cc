@@ -1,0 +1,103 @@
+#include "rules/fixing_rule.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+
+namespace fixrep {
+
+bool FixingRule::IsNegative(ValueId v) const {
+  return std::binary_search(negative_patterns.begin(),
+                            negative_patterns.end(), v);
+}
+
+ValueId FixingRule::EvidenceValueFor(AttrId attr) const {
+  const auto it = std::lower_bound(evidence_attrs.begin(),
+                                   evidence_attrs.end(), attr);
+  if (it == evidence_attrs.end() || *it != attr) return kNullValue;
+  return evidence_values[static_cast<size_t>(it - evidence_attrs.begin())];
+}
+
+void FixingRule::Validate(const Schema& schema) const {
+  const auto arity = static_cast<AttrId>(schema.arity());
+  FIXREP_CHECK_LE(schema.arity(), 64u) << "schemas are limited to 64 attrs";
+  FIXREP_CHECK_EQ(evidence_attrs.size(), evidence_values.size());
+  FIXREP_CHECK(std::is_sorted(evidence_attrs.begin(), evidence_attrs.end()));
+  FIXREP_CHECK(std::adjacent_find(evidence_attrs.begin(),
+                                  evidence_attrs.end()) ==
+               evidence_attrs.end())
+      << "duplicate evidence attribute";
+  for (const AttrId a : evidence_attrs) {
+    FIXREP_CHECK_GE(a, 0);
+    FIXREP_CHECK_LT(a, arity);
+    FIXREP_CHECK_NE(a, target) << "target B must not appear in X";
+  }
+  for (const ValueId v : evidence_values) FIXREP_CHECK_NE(v, kNullValue);
+  FIXREP_CHECK_GE(target, 0);
+  FIXREP_CHECK_LT(target, arity);
+  FIXREP_CHECK(!negative_patterns.empty())
+      << "a fixing rule needs at least one negative pattern";
+  FIXREP_CHECK(std::is_sorted(negative_patterns.begin(),
+                              negative_patterns.end()));
+  FIXREP_CHECK(std::adjacent_find(negative_patterns.begin(),
+                                  negative_patterns.end()) ==
+               negative_patterns.end())
+      << "duplicate negative pattern";
+  for (const ValueId v : negative_patterns) FIXREP_CHECK_NE(v, kNullValue);
+  FIXREP_CHECK_NE(fact, kNullValue);
+  FIXREP_CHECK(!IsNegative(fact))
+      << "the fact must not be one of the negative patterns";
+}
+
+std::string FixingRule::Format(const Schema& schema,
+                               const ValuePool& pool) const {
+  std::string out = "((";
+  for (size_t i = 0; i < evidence_attrs.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += schema.attribute_name(evidence_attrs[i]);
+    out += "=";
+    out += pool.GetString(evidence_values[i]);
+  }
+  out += "), (";
+  out += schema.attribute_name(target);
+  out += ", {";
+  for (size_t i = 0; i < negative_patterns.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += pool.GetString(negative_patterns[i]);
+  }
+  out += "})) -> ";
+  out += pool.GetString(fact);
+  return out;
+}
+
+FixingRule MakeRule(
+    const Schema& schema, ValuePool* pool,
+    const std::vector<std::pair<std::string, std::string>>& evidence,
+    const std::string& target_attribute,
+    const std::vector<std::string>& negative_values,
+    const std::string& fact_value) {
+  FixingRule rule;
+  std::vector<std::pair<AttrId, ValueId>> ev;
+  ev.reserve(evidence.size());
+  for (const auto& [attr_name, value] : evidence) {
+    ev.emplace_back(schema.AttributeIndex(attr_name), pool->Intern(value));
+  }
+  std::sort(ev.begin(), ev.end());
+  for (const auto& [attr, value] : ev) {
+    rule.evidence_attrs.push_back(attr);
+    rule.evidence_values.push_back(value);
+  }
+  rule.target = schema.AttributeIndex(target_attribute);
+  for (const auto& v : negative_values) {
+    rule.negative_patterns.push_back(pool->Intern(v));
+  }
+  std::sort(rule.negative_patterns.begin(), rule.negative_patterns.end());
+  rule.negative_patterns.erase(std::unique(rule.negative_patterns.begin(),
+                                           rule.negative_patterns.end()),
+                               rule.negative_patterns.end());
+  rule.fact = pool->Intern(fact_value);
+  rule.Validate(schema);
+  return rule;
+}
+
+}  // namespace fixrep

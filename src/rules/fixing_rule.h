@@ -1,0 +1,126 @@
+#ifndef FIXREP_RULES_FIXING_RULE_H_
+#define FIXREP_RULES_FIXING_RULE_H_
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "relation/schema.h"
+#include "relation/table.h"
+#include "relation/value_pool.h"
+
+namespace fixrep {
+
+// Set of attributes of one schema, stored as a bitmask. Schemas in this
+// library are bounded to 64 attributes (checked at construction sites),
+// which covers hosp (17) and uis (11) with room to spare and keeps the
+// assured-attribute bookkeeping of the chase a single integer.
+class AttrSet {
+ public:
+  AttrSet() = default;
+
+  static AttrSet Of(const std::vector<AttrId>& attrs) {
+    AttrSet s;
+    for (const AttrId a : attrs) s.Add(a);
+    return s;
+  }
+
+  void Add(AttrId attr) { bits_ |= (uint64_t{1} << attr); }
+  bool Contains(AttrId attr) const {
+    return (bits_ >> attr) & uint64_t{1};
+  }
+  void UnionWith(const AttrSet& other) { bits_ |= other.bits_; }
+  bool Intersects(const AttrSet& other) const {
+    return (bits_ & other.bits_) != 0;
+  }
+  bool empty() const { return bits_ == 0; }
+  uint64_t bits() const { return bits_; }
+
+  bool operator==(const AttrSet&) const = default;
+
+ private:
+  uint64_t bits_ = 0;
+};
+
+// A fixing rule (Section 3.1):
+//
+//   phi : ((X, tp[X]), (B, Tp[B])) -> tp+[B]
+//
+// * `evidence_attrs`/`evidence_values`: the evidence pattern tp[X],
+//   stored as parallel vectors sorted by attribute id.
+// * `target`: the attribute B (never in X).
+// * `negative_patterns`: Tp[B], a sorted, de-duplicated, non-empty set of
+//   known-wrong values.
+// * `fact`: tp+[B], the correct value; never a member of Tp[B].
+//
+// A tuple t *matches* phi iff t[X] = tp[X] and t[B] in Tp[B]. Applying a
+// matched rule sets t[B] := fact and (in the chase) marks X ∪ {B} assured.
+struct FixingRule {
+  std::vector<AttrId> evidence_attrs;
+  std::vector<ValueId> evidence_values;
+  AttrId target = kInvalidAttr;
+  std::vector<ValueId> negative_patterns;
+  ValueId fact = kNullValue;
+
+  // size(phi) as used in the paper's complexity bounds: number of
+  // constants in the rule.
+  size_t size() const {
+    return evidence_attrs.size() + negative_patterns.size() + 1;
+  }
+
+  // t[X] = tp[X]?
+  bool MatchesEvidence(const Tuple& t) const {
+    for (size_t i = 0; i < evidence_attrs.size(); ++i) {
+      if (t[evidence_attrs[i]] != evidence_values[i]) return false;
+    }
+    return true;
+  }
+
+  // v in Tp[B]? (binary search; negative_patterns is sorted)
+  bool IsNegative(ValueId v) const;
+
+  // t |- phi : full match (evidence and negative pattern).
+  bool Matches(const Tuple& t) const {
+    return IsNegative(t[target]) && MatchesEvidence(t);
+  }
+
+  // tp[A] for A in X, or kNullValue if A not in X.
+  ValueId EvidenceValueFor(AttrId attr) const;
+
+  // X as an AttrSet; X ∪ {B} is the set assured by an application.
+  AttrSet EvidenceSet() const { return AttrSet::Of(evidence_attrs); }
+  AttrSet AssuredSet() const {
+    AttrSet s = EvidenceSet();
+    s.Add(target);
+    return s;
+  }
+
+  // Applies the rule unconditionally: t[B] := fact. The caller is
+  // responsible for having checked Matches() and the assured set.
+  void Apply(Tuple* t) const { (*t)[target] = fact; }
+
+  // Structural validity w.r.t. a schema: attribute ids in range and
+  // sorted, target not in X, patterns sorted/deduped/non-empty, fact not
+  // a negative pattern. CHECK-fails with a description on violation.
+  void Validate(const Schema& schema) const;
+
+  // Human-readable rendering, e.g.
+  //   ((country=China), (capital, {Hongkong, Shanghai})) -> Beijing
+  std::string Format(const Schema& schema, const ValuePool& pool) const;
+
+  bool operator==(const FixingRule&) const = default;
+};
+
+// Convenience constructor from strings; interns all constants into `pool`
+// and validates the result. `evidence` maps attribute name -> constant.
+FixingRule MakeRule(const Schema& schema, ValuePool* pool,
+                    const std::vector<std::pair<std::string, std::string>>&
+                        evidence,
+                    const std::string& target_attribute,
+                    const std::vector<std::string>& negative_values,
+                    const std::string& fact_value);
+
+}  // namespace fixrep
+
+#endif  // FIXREP_RULES_FIXING_RULE_H_

@@ -1,0 +1,131 @@
+#include "rules/implication.h"
+
+#include <algorithm>
+#include <vector>
+
+#include "common/logging.h"
+#include "common/random.h"
+#include "rules/consistency.h"
+
+namespace fixrep {
+
+namespace {
+
+// Collects, for every attribute, the constants appearing anywhere in the
+// rules (evidence, negative patterns, and facts — a superset of the
+// paper's small model, which is safe).
+std::vector<std::vector<ValueId>> SmallModelValues(const RuleSet& rules,
+                                                   const FixingRule& phi) {
+  std::vector<std::vector<ValueId>> values(rules.schema().arity());
+  auto add = [&values](AttrId attr, ValueId v) {
+    auto& vs = values[static_cast<size_t>(attr)];
+    if (std::find(vs.begin(), vs.end(), v) == vs.end()) vs.push_back(v);
+  };
+  auto add_rule = [&add](const FixingRule& rule) {
+    for (size_t i = 0; i < rule.evidence_attrs.size(); ++i) {
+      add(rule.evidence_attrs[i], rule.evidence_values[i]);
+    }
+    for (const ValueId v : rule.negative_patterns) add(rule.target, v);
+    add(rule.target, rule.fact);
+  };
+  for (const auto& rule : rules.rules()) add_rule(rule);
+  add_rule(phi);
+  return values;
+}
+
+}  // namespace
+
+ImplicationResult Implies(const RuleSet& sigma, const FixingRule& phi,
+                          const ImplicationOptions& options) {
+  ImplicationResult result;
+  if (!IsConsistentChar(sigma)) {
+    result.reason = "precondition failed: sigma itself is inconsistent";
+    return result;
+  }
+
+  RuleSet with_phi = sigma;
+  with_phi.Add(phi);
+  std::vector<Conflict> conflicts;
+  if (!IsConsistentChar(with_phi, &conflicts)) {
+    result.reason =
+        "sigma ∪ {phi} is inconsistent: " + conflicts[0].Describe(with_phi);
+    return result;
+  }
+
+  std::vector<const FixingRule*> sigma_order;
+  sigma_order.reserve(sigma.size());
+  for (const auto& rule : sigma.rules()) sigma_order.push_back(&rule);
+  std::vector<const FixingRule*> with_phi_order = sigma_order;
+  with_phi_order.push_back(&phi);
+
+  // Small model: per-attribute constants + the out-of-model placeholder
+  // kNullValue (standing for "any value not mentioned by the rules").
+  const auto values = SmallModelValues(sigma, phi);
+  std::vector<size_t> involved;  // attributes with at least one constant
+  uint64_t total = 1;
+  bool overflow = false;
+  for (size_t a = 0; a < values.size(); ++a) {
+    if (values[a].empty()) continue;
+    involved.push_back(a);
+    const uint64_t options_here = values[a].size() + 1;  // + placeholder
+    if (total > options.enumeration_cap / options_here) overflow = true;
+    total *= options_here;
+  }
+
+  auto tuple_at = [&](uint64_t n) {
+    Tuple t(values.size(), kNullValue);
+    for (const size_t a : involved) {
+      const uint64_t base = values[a].size() + 1;
+      const uint64_t k = n % base;
+      n /= base;
+      t[a] = (k == 0) ? kNullValue : values[a][k - 1];
+    }
+    return t;
+  };
+
+  auto check_tuple = [&](const Tuple& t) {
+    Tuple fix_sigma = t;
+    ChaseWithPriority(sigma_order, &fix_sigma);
+    Tuple fix_with_phi = t;
+    ChaseWithPriority(with_phi_order, &fix_with_phi);
+    return fix_sigma == fix_with_phi;
+  };
+
+  if (!overflow && total <= options.enumeration_cap) {
+    for (uint64_t n = 0; n < total; ++n) {
+      const Tuple t = tuple_at(n);
+      if (!check_tuple(t)) {
+        result.reason = "found a tuple whose fix changes when phi is added";
+        result.counterexample = t;
+        return result;
+      }
+    }
+    result.implied = true;
+    result.exhaustive = true;
+    result.reason = "exhaustive small-model check passed";
+    return result;
+  }
+
+  // Sampled fallback; a negative answer is exact, a positive one is
+  // probabilistic (documented in ImplicationResult::exhaustive).
+  Rng rng(options.seed);
+  result.exhaustive = false;
+  for (uint64_t i = 0; i < options.sample_count; ++i) {
+    Tuple t(values.size(), kNullValue);
+    for (const size_t a : involved) {
+      const uint64_t base = values[a].size() + 1;
+      const uint64_t k = rng.Uniform(base);
+      t[a] = (k == 0) ? kNullValue : values[a][k - 1];
+    }
+    if (!check_tuple(t)) {
+      result.reason = "found a tuple whose fix changes when phi is added";
+      result.counterexample = t;
+      return result;
+    }
+  }
+  result.implied = true;
+  result.reason = "sampled small-model check passed (probabilistic)";
+  return result;
+}
+
+}  // namespace fixrep

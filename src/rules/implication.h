@@ -1,0 +1,42 @@
+#ifndef FIXREP_RULES_IMPLICATION_H_
+#define FIXREP_RULES_IMPLICATION_H_
+
+#include <cstdint>
+#include <string>
+
+#include "rules/rule_set.h"
+
+namespace fixrep {
+
+// Outcome of an implication test Σ |= phi (Section 4.3).
+struct ImplicationResult {
+  bool implied = false;
+  // True if the verdict was established by exhaustive small-model
+  // enumeration; false if the tuple space exceeded `enumeration_cap` and
+  // the checker fell back to random sampling (a "not implied" answer is
+  // then still certain — it carries a counterexample — but an "implied"
+  // answer is only probabilistic).
+  bool exhaustive = true;
+  std::string reason;
+  Tuple counterexample;  // non-empty iff a differing tuple was found
+};
+
+struct ImplicationOptions {
+  // Maximum number of small-model tuples to enumerate exhaustively. The
+  // implication problem is coNP-complete in general; for a fixed schema
+  // the small model is polynomial (Theorem 2) and this cap is generous.
+  uint64_t enumeration_cap = uint64_t{1} << 22;
+  // Number of sampled tuples when the cap is exceeded.
+  uint64_t sample_count = 200000;
+  uint64_t seed = 0x5eed;
+};
+
+// Decides whether `sigma` (which must be consistent) implies `phi`:
+// (i) sigma ∪ {phi} is consistent, and (ii) every tuple over the small
+// model reaches the same fix under sigma and sigma ∪ {phi}.
+ImplicationResult Implies(const RuleSet& sigma, const FixingRule& phi,
+                          const ImplicationOptions& options = {});
+
+}  // namespace fixrep
+
+#endif  // FIXREP_RULES_IMPLICATION_H_

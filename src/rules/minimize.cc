@@ -1,0 +1,34 @@
+#include "rules/minimize.h"
+
+#include <algorithm>
+#include <numeric>
+#include <utility>
+
+#include "common/logging.h"
+
+namespace fixrep {
+
+MinimizeReport MinimizeRules(RuleSet* rules,
+                             const ImplicationOptions& options) {
+  FIXREP_CHECK(rules != nullptr);
+  MinimizeReport report;
+  std::vector<size_t> original_index(rules->size());
+  std::iota(original_index.begin(), original_index.end(), 0);
+  for (size_t i = rules->size(); i-- > 0;) {
+    RuleSet rest(rules->schema_ptr(), rules->pool_ptr());
+    for (size_t j = 0; j < rules->size(); ++j) {
+      if (j != i) rest.Add(rules->rule(j));
+    }
+    const ImplicationResult result = Implies(rest, rules->rule(i), options);
+    if (!result.implied) continue;
+    report.exhaustive &= result.exhaustive;
+    report.removed_rules.push_back(original_index[i]);
+    original_index.erase(original_index.begin() +
+                         static_cast<ptrdiff_t>(i));
+    *rules = std::move(rest);
+  }
+  std::reverse(report.removed_rules.begin(), report.removed_rules.end());
+  return report;
+}
+
+}  // namespace fixrep

@@ -1,0 +1,33 @@
+#ifndef FIXREP_RULES_MINIMIZE_H_
+#define FIXREP_RULES_MINIMIZE_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "rules/implication.h"
+#include "rules/rule_set.h"
+
+namespace fixrep {
+
+// Result of a minimization pass.
+struct MinimizeReport {
+  // Indices (into the original set) of rules removed as implied.
+  std::vector<size_t> removed_rules;
+  // True if every implication verdict came from an exhaustive
+  // small-model check; false if any used the sampled fallback (the
+  // minimized set is then equivalent only with high probability).
+  bool exhaustive = true;
+};
+
+// Removes redundant rules from a consistent set: a rule is dropped when
+// the remaining rules imply it (Section 4.3 — "the implication analysis
+// helps us find and remove redundant rules to improve performance").
+// Rules are tried in reverse order so earlier (typically higher-support)
+// rules win ties between mutually redundant rules. The surviving set
+// computes the same fix for every tuple.
+MinimizeReport MinimizeRules(RuleSet* rules,
+                             const ImplicationOptions& options = {});
+
+}  // namespace fixrep
+
+#endif  // FIXREP_RULES_MINIMIZE_H_

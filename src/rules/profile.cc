@@ -1,0 +1,52 @@
+#include "rules/profile.h"
+
+#include <algorithm>
+
+namespace fixrep {
+
+RuleSetProfile ProfileRules(const RuleSet& rules) {
+  RuleSetProfile profile;
+  profile.num_rules = rules.size();
+  size_t total_negatives = 0;
+  for (const auto& rule : rules.rules()) {
+    profile.total_size += rule.size();
+    ++profile.rules_per_target[rule.target];
+    ++profile.negative_pattern_histogram[rule.negative_patterns.size()];
+    ++profile.evidence_arity_histogram[rule.evidence_attrs.size()];
+    profile.max_negative_patterns = std::max(
+        profile.max_negative_patterns, rule.negative_patterns.size());
+    total_negatives += rule.negative_patterns.size();
+  }
+  profile.mean_negative_patterns =
+      profile.num_rules == 0
+          ? 0.0
+          : static_cast<double>(total_negatives) /
+                static_cast<double>(profile.num_rules);
+  return profile;
+}
+
+std::string RuleSetProfile::Format(const Schema& schema) const {
+  std::string out = "rules: " + std::to_string(num_rules) +
+                    ", size(Sigma): " + std::to_string(total_size) + "\n";
+  out += "targets:";
+  for (const auto& [attr, count] : rules_per_target) {
+    out += " " + schema.attribute_name(attr) + "=" + std::to_string(count);
+  }
+  out += "\nevidence arity:";
+  for (const auto& [arity, count] : evidence_arity_histogram) {
+    out += " |X|=" + std::to_string(arity) + ":" + std::to_string(count);
+  }
+  out += "\nnegative patterns:";
+  for (const auto& [patterns, count] : negative_pattern_histogram) {
+    out += " " + std::to_string(patterns) + ":" + std::to_string(count);
+  }
+  out += "\nmax negatives: " + std::to_string(max_negative_patterns) +
+         ", mean negatives: ";
+  char buffer[32];
+  std::snprintf(buffer, sizeof(buffer), "%.2f", mean_negative_patterns);
+  out += buffer;
+  out += "\n";
+  return out;
+}
+
+}  // namespace fixrep

@@ -1,0 +1,38 @@
+#ifndef FIXREP_RULES_PROFILE_H_
+#define FIXREP_RULES_PROFILE_H_
+
+#include <cstddef>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "rules/rule_set.h"
+
+namespace fixrep {
+
+// Descriptive statistics about a rule set, for curators and for the
+// authoring tooling: which attributes the rules target, how big their
+// evidence and negative-pattern sets are, and how much total pattern
+// material the set carries (size(Σ), the paper's complexity parameter).
+struct RuleSetProfile {
+  size_t num_rules = 0;
+  size_t total_size = 0;  // size(Σ)
+  // target attribute -> number of rules targeting it
+  std::map<AttrId, size_t> rules_per_target;
+  // #negative patterns -> number of rules with that many
+  std::map<size_t, size_t> negative_pattern_histogram;
+  // |X| -> number of rules with that evidence arity
+  std::map<size_t, size_t> evidence_arity_histogram;
+  size_t max_negative_patterns = 0;
+  double mean_negative_patterns = 0.0;
+
+  // Multi-line human-readable rendering.
+  std::string Format(const Schema& schema) const;
+};
+
+// Computes the profile of `rules`.
+RuleSetProfile ProfileRules(const RuleSet& rules);
+
+}  // namespace fixrep
+
+#endif  // FIXREP_RULES_PROFILE_H_

@@ -1,0 +1,157 @@
+#include "rules/resolution.h"
+
+#include <algorithm>
+#include <numeric>
+#include <unordered_set>
+
+#include "common/logging.h"
+
+namespace fixrep {
+
+namespace {
+
+// Removes `value` from `rule`'s negative patterns. Returns true if the
+// rule is still usable (non-empty negative set).
+bool EraseNegative(FixingRule* rule, ValueId value, size_t* removed) {
+  const auto it = std::lower_bound(rule->negative_patterns.begin(),
+                                   rule->negative_patterns.end(), value);
+  if (it != rule->negative_patterns.end() && *it == value) {
+    rule->negative_patterns.erase(it);
+    ++*removed;
+  }
+  return !rule->negative_patterns.empty();
+}
+
+// Erases the given current indices from both the rule set and the
+// original-index map, recording the original indices as dropped.
+void ApplyDrops(const std::unordered_set<size_t>& to_drop, RuleSet* rules,
+                std::vector<size_t>* original_index,
+                ResolutionReport* report) {
+  if (to_drop.empty()) return;
+  std::vector<size_t> indices(to_drop.begin(), to_drop.end());
+  std::sort(indices.begin(), indices.end());
+  for (auto it = indices.rbegin(); it != indices.rend(); ++it) {
+    report->dropped_rules.push_back((*original_index)[*it]);
+    original_index->erase(original_index->begin() +
+                          static_cast<ptrdiff_t>(*it));
+  }
+  rules->Remove(indices);
+}
+
+}  // namespace
+
+ResolutionReport ResolveByDropping(RuleSet* rules) {
+  ResolutionReport report;
+  std::vector<size_t> original_index(rules->size());
+  std::iota(original_index.begin(), original_index.end(), 0);
+  while (true) {
+    std::vector<Conflict> conflicts;
+    if (IsConsistentStrict(*rules, &conflicts, /*find_all=*/true)) break;
+    ++report.rounds;
+    std::unordered_set<size_t> to_drop;
+    for (const auto& conflict : conflicts) {
+      to_drop.insert(conflict.rule_i);
+      to_drop.insert(conflict.rule_j);
+    }
+    ApplyDrops(to_drop, rules, &original_index, &report);
+  }
+  std::sort(report.dropped_rules.begin(), report.dropped_rules.end());
+  return report;
+}
+
+ResolutionReport ResolveByPruning(RuleSet* rules) {
+  ResolutionReport report;
+  std::vector<size_t> original_index(rules->size());
+  std::iota(original_index.begin(), original_index.end(), 0);
+  const size_t arity = rules->schema().arity();
+  while (true) {
+    std::vector<Conflict> conflicts;
+    if (IsConsistentStrict(*rules, &conflicts, /*find_all=*/true)) break;
+    ++report.rounds;
+    std::unordered_set<size_t> to_drop;
+    for (const auto& stale : conflicts) {
+      if (to_drop.count(stale.rule_i) || to_drop.count(stale.rule_j)) {
+        continue;
+      }
+      // An earlier fix this round may already have resolved this pair;
+      // re-derive the conflict from the rules' current state.
+      Conflict conflict;
+      if (PairConsistentStrictChar(rules->rule(stale.rule_i),
+                                   rules->rule(stale.rule_j), arity,
+                                   &conflict)) {
+        continue;
+      }
+      FixingRule& rule_i = rules->mutable_rule(stale.rule_i);
+      FixingRule& rule_j = rules->mutable_rule(stale.rule_j);
+      switch (conflict.kind) {
+        case ConflictKind::kSameTargetDivergentFacts:
+        case ConflictKind::kSameTargetDivergentAssured: {
+          // Remove the overlap from the rule with the larger negative
+          // set (it loses the smaller fraction of its patterns).
+          FixingRule& victim =
+              rule_i.negative_patterns.size() >= rule_j.negative_patterns.size()
+                  ? rule_i
+                  : rule_j;
+          const FixingRule& other = (&victim == &rule_i) ? rule_j : rule_i;
+          std::vector<ValueId> overlap;
+          std::set_intersection(victim.negative_patterns.begin(),
+                                victim.negative_patterns.end(),
+                                other.negative_patterns.begin(),
+                                other.negative_patterns.end(),
+                                std::back_inserter(overlap));
+          bool alive = true;
+          for (const ValueId v : overlap) {
+            alive = EraseNegative(&victim, v, &report.patterns_removed);
+          }
+          if (!alive) {
+            to_drop.insert(&victim == &rule_i ? stale.rule_i : stale.rule_j);
+          }
+          break;
+        }
+        case ConflictKind::kTargetInEvidenceIj: {
+          // The value of rule_j's evidence at rule_i's target is what
+          // lets a tuple match both rules; forget that it is "wrong"
+          // (the Example 10 expert fix: drop Tokyo from phi_1').
+          const ValueId enabling = rule_j.EvidenceValueFor(rule_i.target);
+          FIXREP_CHECK_NE(enabling, kNullValue);
+          if (!EraseNegative(&rule_i, enabling, &report.patterns_removed)) {
+            to_drop.insert(stale.rule_i);
+          }
+          break;
+        }
+        case ConflictKind::kMutualTargetInEvidence: {
+          // Either direction's enabling value can be forgotten; prune the
+          // rule with the larger negative set so that, when possible,
+          // both rules survive (on the Example 8 pair this removes Tokyo
+          // from phi_1' whichever order the rules were added in).
+          const bool prune_i = rule_i.negative_patterns.size() >=
+                               rule_j.negative_patterns.size();
+          FixingRule& victim = prune_i ? rule_i : rule_j;
+          const FixingRule& other = prune_i ? rule_j : rule_i;
+          const ValueId enabling = other.EvidenceValueFor(victim.target);
+          FIXREP_CHECK_NE(enabling, kNullValue);
+          if (!EraseNegative(&victim, enabling, &report.patterns_removed)) {
+            to_drop.insert(prune_i ? stale.rule_i : stale.rule_j);
+          }
+          break;
+        }
+        case ConflictKind::kTargetInEvidenceJi: {
+          const ValueId enabling = rule_i.EvidenceValueFor(rule_j.target);
+          FIXREP_CHECK_NE(enabling, kNullValue);
+          if (!EraseNegative(&rule_j, enabling, &report.patterns_removed)) {
+            to_drop.insert(stale.rule_j);
+          }
+          break;
+        }
+        case ConflictKind::kDivergentFix:
+          // The characterization checker never reports this kind.
+          FIXREP_CHECK(false) << "unexpected conflict kind";
+      }
+    }
+    ApplyDrops(to_drop, rules, &original_index, &report);
+  }
+  std::sort(report.dropped_rules.begin(), report.dropped_rules.end());
+  return report;
+}
+
+}  // namespace fixrep

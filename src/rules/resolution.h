@@ -1,0 +1,43 @@
+#ifndef FIXREP_RULES_RESOLUTION_H_
+#define FIXREP_RULES_RESOLUTION_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "rules/consistency.h"
+#include "rules/rule_set.h"
+
+namespace fixrep {
+
+// What a resolution pass did to make a rule set consistent (Section 5.3).
+// Both resolvers target *strict* consistency (IsConsistentStrict), which
+// unlike the paper's Proposition-3 pairwise notion provably guarantees a
+// unique fix for every tuple — see PairConsistentStrictChar.
+// Both strategies are guaranteed to terminate because each round strictly
+// decreases the total number of constants in the set, and neither ever
+// adds values (the paper's termination requirement for expert edits).
+struct ResolutionReport {
+  // Rules dropped, identified by their index in the *original* set.
+  std::vector<size_t> dropped_rules;
+  // Negative-pattern values removed across all surviving rules.
+  size_t patterns_removed = 0;
+  // Number of check-fix rounds until the set became consistent.
+  size_t rounds = 0;
+};
+
+// Conservative strategy: drop every rule involved in any conflict, repeat
+// until consistent. Simple, loses useful rules (the paper's motivation
+// for the expert-guided alternative below).
+ResolutionReport ResolveByDropping(RuleSet* rules);
+
+// Pattern-pruning strategy, mimicking the expert fix of Example 10:
+// for a target-in-evidence conflict, remove the negative-pattern value
+// that enables the conflict (e.g., remove Tokyo from phi_1'); for a
+// same-target conflict, remove the overlapping negative patterns from the
+// rule with the larger negative set. A rule whose negative set would
+// become empty is dropped instead.
+ResolutionReport ResolveByPruning(RuleSet* rules);
+
+}  // namespace fixrep
+
+#endif  // FIXREP_RULES_RESOLUTION_H_

@@ -1,0 +1,150 @@
+#include "rules/rule_io.h"
+
+#include <fstream>
+#include <istream>
+#include <ostream>
+#include <sstream>
+#include <utility>
+#include <vector>
+
+#include "common/logging.h"
+#include "common/string_util.h"
+
+namespace fixrep {
+
+namespace {
+
+struct PendingRule {
+  std::vector<std::pair<std::string, std::string>> evidence;
+  std::string target;
+  std::vector<std::string> negatives;
+  std::string fact;
+  bool has_wrong = false;
+  bool has_then = false;
+};
+
+// Splits "attr = value" at the first '='.
+std::pair<std::string, std::string> SplitAssignment(std::string_view body,
+                                                    int line_no) {
+  const size_t eq = body.find('=');
+  FIXREP_CHECK_NE(eq, std::string_view::npos)
+      << "line " << line_no << ": expected 'attr = value'";
+  return {std::string(Trim(body.substr(0, eq))),
+          std::string(Trim(body.substr(eq + 1)))};
+}
+
+}  // namespace
+
+RuleSet ParseRules(std::istream& in, std::shared_ptr<const Schema> schema,
+                   std::shared_ptr<ValuePool> pool) {
+  RuleSet rules(schema, std::move(pool));
+  PendingRule pending;
+  bool in_rule = false;
+  std::string raw;
+  int line_no = 0;
+  while (std::getline(in, raw)) {
+    ++line_no;
+    const std::string_view line = Trim(raw);
+    if (line.empty() || line.front() == '#') continue;
+    if (line == "RULE") {
+      FIXREP_CHECK(!in_rule) << "line " << line_no << ": nested RULE";
+      pending = PendingRule{};
+      in_rule = true;
+      continue;
+    }
+    FIXREP_CHECK(in_rule) << "line " << line_no
+                          << ": directive outside RULE...END";
+    if (line == "END") {
+      FIXREP_CHECK(pending.has_wrong)
+          << "line " << line_no << ": rule without WRONG";
+      FIXREP_CHECK(pending.has_then)
+          << "line " << line_no << ": rule without THEN";
+      rules.Add(MakeRule(*schema, &rules.pool(), pending.evidence,
+                         pending.target, pending.negatives, pending.fact));
+      in_rule = false;
+    } else if (StartsWith(line, "IF ")) {
+      pending.evidence.push_back(SplitAssignment(line.substr(3), line_no));
+    } else if (StartsWith(line, "WRONG ")) {
+      FIXREP_CHECK(!pending.has_wrong)
+          << "line " << line_no << ": duplicate WRONG";
+      const std::string_view body = line.substr(6);
+      const size_t in_pos = body.find(" IN ");
+      FIXREP_CHECK_NE(in_pos, std::string_view::npos)
+          << "line " << line_no << ": expected 'WRONG attr IN v1 | v2'";
+      pending.target = std::string(Trim(body.substr(0, in_pos)));
+      for (const auto& part : Split(body.substr(in_pos + 4), '|')) {
+        const std::string value(Trim(part));
+        FIXREP_CHECK(!value.empty())
+            << "line " << line_no << ": empty negative pattern";
+        pending.negatives.push_back(value);
+      }
+      pending.has_wrong = true;
+    } else if (StartsWith(line, "THEN ")) {
+      FIXREP_CHECK(!pending.has_then)
+          << "line " << line_no << ": duplicate THEN";
+      auto [attr, value] = SplitAssignment(line.substr(5), line_no);
+      FIXREP_CHECK(pending.has_wrong)
+          << "line " << line_no << ": THEN before WRONG";
+      FIXREP_CHECK_EQ(attr, pending.target)
+          << "line " << line_no
+          << ": THEN attribute must match the WRONG attribute";
+      pending.fact = std::move(value);
+      pending.has_then = true;
+    } else {
+      FIXREP_CHECK(false) << "line " << line_no << ": unknown directive '"
+                          << std::string(line) << "'";
+    }
+  }
+  FIXREP_CHECK(!in_rule) << "unterminated RULE at end of input";
+  return rules;
+}
+
+RuleSet ParseRulesFromString(const std::string& text,
+                             std::shared_ptr<const Schema> schema,
+                             std::shared_ptr<ValuePool> pool) {
+  std::istringstream in(text);
+  return ParseRules(in, std::move(schema), std::move(pool));
+}
+
+RuleSet ParseRulesFile(const std::string& path,
+                       std::shared_ptr<const Schema> schema,
+                       std::shared_ptr<ValuePool> pool) {
+  std::ifstream in(path);
+  FIXREP_CHECK(in.good()) << "cannot open " << path;
+  return ParseRules(in, std::move(schema), std::move(pool));
+}
+
+void WriteRules(const RuleSet& rules, std::ostream& out) {
+  const Schema& schema = rules.schema();
+  const ValuePool& pool = rules.pool();
+  for (size_t i = 0; i < rules.size(); ++i) {
+    const FixingRule& rule = rules.rule(i);
+    out << "RULE\n";
+    for (size_t e = 0; e < rule.evidence_attrs.size(); ++e) {
+      out << "  IF " << schema.attribute_name(rule.evidence_attrs[e])
+          << " = " << pool.GetString(rule.evidence_values[e]) << "\n";
+    }
+    out << "  WRONG " << schema.attribute_name(rule.target) << " IN ";
+    for (size_t n = 0; n < rule.negative_patterns.size(); ++n) {
+      if (n > 0) out << " | ";
+      out << pool.GetString(rule.negative_patterns[n]);
+    }
+    out << "\n  THEN " << schema.attribute_name(rule.target) << " = "
+        << pool.GetString(rule.fact) << "\nEND\n";
+    if (i + 1 < rules.size()) out << "\n";
+  }
+}
+
+std::string SerializeRules(const RuleSet& rules) {
+  std::ostringstream out;
+  WriteRules(rules, out);
+  return out.str();
+}
+
+void WriteRulesFile(const RuleSet& rules, const std::string& path) {
+  std::ofstream out(path);
+  FIXREP_CHECK(out.good()) << "cannot open " << path << " for writing";
+  WriteRules(rules, out);
+}
+
+}  // namespace fixrep

@@ -1,0 +1,52 @@
+#ifndef FIXREP_RULES_RULE_IO_H_
+#define FIXREP_RULES_RULE_IO_H_
+
+#include <iosfwd>
+#include <memory>
+#include <string>
+
+#include "rules/rule_set.h"
+
+namespace fixrep {
+
+// Line-oriented text format for fixing rules:
+//
+//   # phi_1 from the paper's Example 3
+//   RULE
+//     IF country = China
+//     WRONG capital IN Shanghai | Hongkong
+//     THEN capital = Beijing
+//   END
+//
+// * Zero or more IF lines give the evidence pattern.
+// * Exactly one WRONG line gives the target attribute and its negative
+//   patterns, '|'-separated.
+// * Exactly one THEN line gives the fact; its attribute must equal the
+//   WRONG attribute.
+// * '#' starts a comment line; blank lines are ignored.
+// * Values are trimmed of surrounding whitespace and must not contain
+//   '|' or newlines (attribute names additionally must not contain '=').
+//
+// Parsing CHECK-fails with a line number on malformed input — rule files
+// are developer-authored artifacts, not untrusted user data.
+
+RuleSet ParseRules(std::istream& in, std::shared_ptr<const Schema> schema,
+                   std::shared_ptr<ValuePool> pool);
+
+RuleSet ParseRulesFromString(const std::string& text,
+                             std::shared_ptr<const Schema> schema,
+                             std::shared_ptr<ValuePool> pool);
+
+RuleSet ParseRulesFile(const std::string& path,
+                       std::shared_ptr<const Schema> schema,
+                       std::shared_ptr<ValuePool> pool);
+
+void WriteRules(const RuleSet& rules, std::ostream& out);
+
+std::string SerializeRules(const RuleSet& rules);
+
+void WriteRulesFile(const RuleSet& rules, const std::string& path);
+
+}  // namespace fixrep
+
+#endif  // FIXREP_RULES_RULE_IO_H_

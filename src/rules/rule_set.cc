@@ -1,0 +1,46 @@
+#include "rules/rule_set.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "common/logging.h"
+
+namespace fixrep {
+
+RuleSet::RuleSet(std::shared_ptr<const Schema> schema,
+                 std::shared_ptr<ValuePool> pool)
+    : schema_(std::move(schema)), pool_(std::move(pool)) {
+  FIXREP_CHECK(schema_ != nullptr);
+  FIXREP_CHECK(pool_ != nullptr);
+  FIXREP_CHECK_LE(schema_->arity(), 64u);
+}
+
+size_t RuleSet::Add(FixingRule rule) {
+  rule.Validate(*schema_);
+  rules_.push_back(std::move(rule));
+  return rules_.size() - 1;
+}
+
+void RuleSet::Remove(std::vector<size_t> indices) {
+  std::sort(indices.begin(), indices.end());
+  indices.erase(std::unique(indices.begin(), indices.end()), indices.end());
+  for (auto it = indices.rbegin(); it != indices.rend(); ++it) {
+    FIXREP_CHECK_LT(*it, rules_.size());
+    rules_.erase(rules_.begin() + static_cast<ptrdiff_t>(*it));
+  }
+}
+
+size_t RuleSet::TotalSize() const {
+  size_t total = 0;
+  for (const auto& rule : rules_) total += rule.size();
+  return total;
+}
+
+RuleSet RuleSet::Prefix(size_t n) const {
+  RuleSet out(schema_, pool_);
+  const size_t count = std::min(n, rules_.size());
+  for (size_t i = 0; i < count; ++i) out.Add(rules_[i]);
+  return out;
+}
+
+}  // namespace fixrep

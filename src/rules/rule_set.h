@@ -1,0 +1,59 @@
+#ifndef FIXREP_RULES_RULE_SET_H_
+#define FIXREP_RULES_RULE_SET_H_
+
+#include <memory>
+#include <vector>
+
+#include "relation/schema.h"
+#include "relation/value_pool.h"
+#include "rules/fixing_rule.h"
+
+namespace fixrep {
+
+// A set Σ of fixing rules over one schema, sharing one value pool with
+// the data they repair. Owns the rules; the schema and pool are shared.
+class RuleSet {
+ public:
+  RuleSet(std::shared_ptr<const Schema> schema,
+          std::shared_ptr<ValuePool> pool);
+
+  RuleSet(const RuleSet&) = default;
+  RuleSet& operator=(const RuleSet&) = default;
+  RuleSet(RuleSet&&) = default;
+  RuleSet& operator=(RuleSet&&) = default;
+
+  const Schema& schema() const { return *schema_; }
+  const std::shared_ptr<const Schema>& schema_ptr() const { return schema_; }
+  ValuePool& pool() { return *pool_; }
+  const ValuePool& pool() const { return *pool_; }
+  const std::shared_ptr<ValuePool>& pool_ptr() const { return pool_; }
+
+  // Validates the rule against the schema and appends it. Returns the
+  // rule's index in the set.
+  size_t Add(FixingRule rule);
+
+  size_t size() const { return rules_.size(); }
+  bool empty() const { return rules_.empty(); }
+  const FixingRule& rule(size_t i) const { return rules_[i]; }
+  FixingRule& mutable_rule(size_t i) { return rules_[i]; }
+  const std::vector<FixingRule>& rules() const { return rules_; }
+
+  // Removes the rules at the given indices (need not be sorted).
+  void Remove(std::vector<size_t> indices);
+
+  // size(Σ): total number of constants across all rules, the quantity the
+  // paper's complexity bounds are stated in.
+  size_t TotalSize() const;
+
+  // A copy restricted to the first `n` rules (for rule-count sweeps).
+  RuleSet Prefix(size_t n) const;
+
+ private:
+  std::shared_ptr<const Schema> schema_;
+  std::shared_ptr<ValuePool> pool_;
+  std::vector<FixingRule> rules_;
+};
+
+}  // namespace fixrep
+
+#endif  // FIXREP_RULES_RULE_SET_H_

@@ -1,0 +1,143 @@
+// Property tests for the FD-repair baselines on the regime they are
+// designed for: data that satisfied its FDs before noise was injected.
+// (On adversarial dense-random tables the pass-bounded Heu may not
+// converge — it then reports consistent=false, covered by a dedicated
+// termination test.)
+
+#include <memory>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "baselines/csm.h"
+#include "baselines/heu.h"
+#include "common/random.h"
+#include "deps/violation.h"
+
+namespace fixrep {
+namespace {
+
+// Entity-chain generator: a is a key, b = f(a), c = g(b), d = h(c), so
+// the FD chain a->b, b->c, c->d holds by construction; then a fraction
+// of cells is corrupted with in-domain values.
+struct NoisyChainTable {
+  std::shared_ptr<ValuePool> pool = std::make_shared<ValuePool>();
+  std::shared_ptr<const Schema> schema = std::make_shared<Schema>(
+      "R", std::vector<std::string>{"a", "b", "c", "d"});
+  Table table{schema, pool};
+  std::vector<FunctionalDependency> fds;
+
+  NoisyChainTable(Rng* rng, size_t rows, size_t entities,
+                  double noise_rate) {
+    fds = {MakeFd(*schema, {"a"}, {"b"}), MakeFd(*schema, {"b"}, {"c"}),
+           MakeFd(*schema, {"c"}, {"d"})};
+    auto value = [this](char attr, uint64_t k) {
+      return pool->Intern(std::string(1, attr) + std::to_string(k));
+    };
+    for (size_t r = 0; r < rows; ++r) {
+      const uint64_t key = rng->Uniform(entities);
+      Tuple t(4);
+      t[0] = value('a', key);
+      t[1] = value('b', key % (entities / 2 + 1));
+      t[2] = value('c', (key % (entities / 2 + 1)) % (entities / 3 + 1));
+      t[3] = value('d', ((key % (entities / 2 + 1)) %
+                         (entities / 3 + 1)) % (entities / 4 + 1));
+      table.AppendRow(std::move(t));
+    }
+    // In-domain corruption.
+    const size_t corruptions =
+        static_cast<size_t>(noise_rate * static_cast<double>(rows));
+    for (size_t i = 0; i < corruptions; ++i) {
+      const size_t row = rng->Uniform(rows);
+      const AttrId attr = static_cast<AttrId>(rng->Uniform(4));
+      const char prefix = static_cast<char>('a' + attr);
+      table.set_cell(row, attr,
+                     value(prefix, rng->Uniform(entities)));
+    }
+  }
+};
+
+class BaselinePropertyTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(BaselinePropertyTest, HeuEndsConsistentOnNoisyChains) {
+  Rng rng(GetParam());
+  for (int trial = 0; trial < 6; ++trial) {
+    NoisyChainTable random(&rng, 80 + rng.Uniform(80), 12, 0.1);
+    HeuOptions options;
+    options.max_passes = 32;
+    HeuRepairer heu(random.fds, options);
+    const BaselineResult result = heu.Repair(&random.table);
+    EXPECT_TRUE(result.consistent);
+    for (const auto& fd : random.fds) {
+      EXPECT_TRUE(Satisfies(random.table, fd))
+          << FormatFd(*random.schema, fd) << " still violated";
+    }
+  }
+}
+
+TEST_P(BaselinePropertyTest, CsmEndsConsistentOnNoisyChains) {
+  Rng rng(GetParam() ^ 0xc5);
+  for (int trial = 0; trial < 6; ++trial) {
+    NoisyChainTable random(&rng, 80 + rng.Uniform(80), 12, 0.1);
+    CsmOptions options;
+    options.seed = rng.Next();
+    CsmRepairer csm(random.fds, options);
+    const BaselineResult result = csm.Repair(&random.table);
+    EXPECT_TRUE(result.consistent);
+    for (const auto& fd : random.fds) {
+      EXPECT_TRUE(Satisfies(random.table, fd))
+          << FormatFd(*random.schema, fd) << " still violated";
+    }
+  }
+}
+
+TEST_P(BaselinePropertyTest, HeuIsIdempotentOnceConsistent) {
+  Rng rng(GetParam() ^ 0x1de);
+  NoisyChainTable random(&rng, 100, 12, 0.1);
+  HeuOptions options;
+  options.max_passes = 32;
+  HeuRepairer heu(random.fds, options);
+  const BaselineResult first = heu.Repair(&random.table);
+  ASSERT_TRUE(first.consistent);
+  Table again = random.table;
+  const BaselineResult second = heu.Repair(&again);
+  EXPECT_EQ(second.cells_changed, 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, BaselinePropertyTest,
+                         ::testing::Range<uint64_t>(0, 12));
+
+TEST(BaselineTerminationTest, HeuReportsNonConvergenceHonestly) {
+  // A dense adversarial table with cyclically interacting FDs can defeat
+  // the pass-bounded heuristic; the contract is that Repair terminates
+  // within max_passes and reports consistent=false rather than looping.
+  auto pool = std::make_shared<ValuePool>();
+  auto schema = std::make_shared<Schema>(
+      "R", std::vector<std::string>{"a", "b", "c", "d"});
+  Table table(schema, pool);
+  Rng rng(99);
+  for (size_t r = 0; r < 120; ++r) {
+    Tuple t(4);
+    for (size_t a = 0; a < 4; ++a) {
+      t[a] = pool->Intern("a" + std::to_string(a) + "v" +
+                          std::to_string(rng.Uniform(3)));
+    }
+    table.AppendRow(std::move(t));
+  }
+  const std::vector<FunctionalDependency> fds = {
+      MakeFd(*schema, {"a"}, {"b"}), MakeFd(*schema, {"b"}, {"a"}),
+      MakeFd(*schema, {"c"}, {"d"}), MakeFd(*schema, {"d"}, {"c"})};
+  HeuOptions options;
+  options.max_passes = 4;
+  HeuRepairer heu(fds, options);
+  const BaselineResult result = heu.Repair(&table);
+  EXPECT_EQ(result.passes, 4u);  // terminated at the bound
+  // consistent may be true or false depending on the draw; the test is
+  // that we got here at all, with an honest flag:
+  bool all_satisfied = true;
+  for (const auto& fd : fds) all_satisfied &= Satisfies(table, fd);
+  EXPECT_EQ(result.consistent, all_satisfied);
+}
+
+}  // namespace
+}  // namespace fixrep

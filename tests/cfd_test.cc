@@ -1,0 +1,116 @@
+#include <memory>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "deps/cfd.h"
+
+namespace fixrep {
+namespace {
+
+class CfdTest : public ::testing::Test {
+ protected:
+  CfdTest()
+      : pool_(std::make_shared<ValuePool>()),
+        schema_(std::make_shared<Schema>(
+            "Travel", std::vector<std::string>{"name", "country", "capital",
+                                               "city", "conf"})),
+        table_(schema_, pool_) {}
+
+  Cfd Parse(const std::string& text) {
+    return ParseCfd(*schema_, pool_.get(), text);
+  }
+
+  std::shared_ptr<ValuePool> pool_;
+  std::shared_ptr<const Schema> schema_;
+  Table table_;
+};
+
+TEST_F(CfdTest, ParseAndFormatRoundTrip) {
+  const std::string text =
+      "country -> capital :: (China | Beijing); (_ | _)";
+  const Cfd cfd = Parse(text);
+  EXPECT_EQ(cfd.embedded.lhs, std::vector<AttrId>{1});
+  EXPECT_EQ(cfd.embedded.rhs, std::vector<AttrId>{2});
+  ASSERT_EQ(cfd.tableau.size(), 2u);
+  EXPECT_EQ(cfd.tableau[0].lhs[0], pool_->Find("China"));
+  EXPECT_EQ(cfd.tableau[0].rhs, pool_->Find("Beijing"));
+  EXPECT_EQ(cfd.tableau[1].lhs[0], kCfdWildcard);
+  EXPECT_EQ(cfd.tableau[1].rhs, kCfdWildcard);
+  EXPECT_EQ(FormatCfd(*schema_, *pool_, cfd), text);
+}
+
+TEST_F(CfdTest, ParseMultiAttributeLhs) {
+  const Cfd cfd =
+      Parse("capital, conf -> city :: (Beijing, ICDE | Shanghai)");
+  EXPECT_EQ(cfd.embedded.lhs, (std::vector<AttrId>{2, 4}));
+  ASSERT_EQ(cfd.tableau.size(), 1u);
+  EXPECT_EQ(cfd.tableau[0].lhs.size(), 2u);
+}
+
+TEST_F(CfdTest, ParseRejectsMalformed) {
+  EXPECT_DEATH(Parse("country -> capital"), "no '::'");
+  EXPECT_DEATH(Parse("country -> capital :: China | Beijing"),
+               "parenthesized");
+  EXPECT_DEATH(Parse("country -> capital :: (China)"), "no '|'");
+  EXPECT_DEATH(Parse("country -> capital, city :: (_ | _)"), "single-RHS");
+  EXPECT_DEATH(Parse("country -> capital :: "), "at least one");
+  EXPECT_DEATH(Parse("capital, conf -> city :: (Beijing | X)"),
+               "arity mismatch");
+}
+
+TEST_F(CfdTest, ConstantRhsViolationIsPerTuple) {
+  table_.AppendRowStrings({"a", "China", "Beijing", "x", "c"});
+  table_.AppendRowStrings({"b", "China", "Shanghai", "y", "c"});  // violates
+  table_.AppendRowStrings({"c", "Japan", "Osaka", "z", "c"});     // no match
+  const Cfd cfd = Parse("country -> capital :: (China | Beijing)");
+  const auto violations = DetectCfdViolations(table_, cfd);
+  ASSERT_EQ(violations.size(), 1u);
+  EXPECT_TRUE(violations[0].constant_rhs);
+  EXPECT_EQ(violations[0].rows, std::vector<size_t>{1});
+  EXPECT_FALSE(Satisfies(table_, cfd));
+}
+
+TEST_F(CfdTest, WildcardRhsBehavesLikeScopedFd) {
+  table_.AppendRowStrings({"a", "China", "Beijing", "x", "c"});
+  table_.AppendRowStrings({"b", "China", "Shanghai", "y", "c"});
+  table_.AppendRowStrings({"c", "Japan", "Tokyo", "z", "c"});
+  table_.AppendRowStrings({"d", "Japan", "Osaka", "z", "c"});
+  // Scoped to China only: the Japan disagreement is out of scope.
+  const Cfd cfd = Parse("country -> capital :: (China | _)");
+  const auto violations = DetectCfdViolations(table_, cfd);
+  ASSERT_EQ(violations.size(), 1u);
+  EXPECT_FALSE(violations[0].constant_rhs);
+  EXPECT_EQ(violations[0].rows.size(), 2u);
+}
+
+TEST_F(CfdTest, AllWildcardRowEqualsPlainFd) {
+  table_.AppendRowStrings({"a", "China", "Beijing", "x", "c"});
+  table_.AppendRowStrings({"b", "China", "Shanghai", "y", "c"});
+  const Cfd cfd = Parse("country -> capital :: (_ | _)");
+  EXPECT_FALSE(Satisfies(table_, cfd));
+  table_.set_cell(1, 2, pool_->Intern("Beijing"));
+  EXPECT_TRUE(Satisfies(table_, cfd));
+}
+
+TEST_F(CfdTest, MultipleTableauRowsAccumulateViolations) {
+  table_.AppendRowStrings({"a", "China", "Shanghai", "x", "c"});
+  table_.AppendRowStrings({"b", "Canada", "Toronto", "y", "c"});
+  const Cfd cfd = Parse(
+      "country -> capital :: (China | Beijing); (Canada | Ottawa)");
+  const auto violations = DetectCfdViolations(table_, cfd);
+  EXPECT_EQ(violations.size(), 2u);
+  EXPECT_EQ(violations[0].tableau_row, 0u);
+  EXPECT_EQ(violations[1].tableau_row, 1u);
+}
+
+TEST_F(CfdTest, SatisfiedCfd) {
+  table_.AppendRowStrings({"a", "China", "Beijing", "x", "c"});
+  table_.AppendRowStrings({"b", "Canada", "Ottawa", "y", "c"});
+  const Cfd cfd = Parse(
+      "country -> capital :: (China | Beijing); (Canada | Ottawa); (_ | _)");
+  EXPECT_TRUE(Satisfies(table_, cfd));
+}
+
+}  // namespace
+}  // namespace fixrep

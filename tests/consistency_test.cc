@@ -1,0 +1,297 @@
+#include <memory>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "datagen/travel.h"
+#include "rules/consistency.h"
+
+namespace fixrep {
+namespace {
+
+class ConsistencyTest : public ::testing::Test {
+ protected:
+  TravelExample example_;
+  size_t arity() const { return example_.schema->arity(); }
+
+  FixingRule Rule(const std::vector<std::pair<std::string, std::string>>& ev,
+                  const std::string& target,
+                  const std::vector<std::string>& negatives,
+                  const std::string& fact) {
+    return MakeRule(*example_.schema, example_.pool.get(), ev, target,
+                    negatives, fact);
+  }
+};
+
+// --- Paper examples -------------------------------------------------------
+
+TEST_F(ConsistencyTest, PaperRulesPhi1ToPhi4AreConsistent) {
+  EXPECT_TRUE(IsConsistentChar(example_.rules));
+  EXPECT_TRUE(IsConsistentEnum(example_.rules));
+}
+
+TEST_F(ConsistencyTest, Phi1PrimeConflictsWithPhi3) {
+  // Example 8: phi_1' and phi_3 are inconsistent (tuple r3 has two fixes).
+  const FixingRule phi1_prime = MakeTravelPhi1Prime(&example_);
+  const FixingRule& phi3 = example_.rules.rule(2);
+  Conflict conflict;
+  EXPECT_FALSE(PairConsistentChar(phi1_prime, phi3, arity(), &conflict));
+  EXPECT_EQ(conflict.kind, ConflictKind::kMutualTargetInEvidence);
+  EXPECT_FALSE(PairConsistentEnum(phi1_prime, phi3, arity(), &conflict));
+  EXPECT_EQ(conflict.kind, ConflictKind::kDivergentFix);
+}
+
+TEST_F(ConsistencyTest, Phi1PrimeConsistentWithPhi2) {
+  // Example 10: phi_1' applies only to China tuples, phi_2 only to
+  // Canada tuples — no tuple matches both (Lemma 4).
+  const FixingRule phi1_prime = MakeTravelPhi1Prime(&example_);
+  const FixingRule& phi2 = example_.rules.rule(1);
+  EXPECT_TRUE(PairConsistentChar(phi1_prime, phi2, arity(), nullptr));
+  EXPECT_TRUE(PairConsistentEnum(phi1_prime, phi2, arity(), nullptr));
+}
+
+TEST_F(ConsistencyTest, WholeSetWithPhi1PrimeIsInconsistent) {
+  RuleSet rules = example_.rules;
+  rules.Add(MakeTravelPhi1Prime(&example_));
+  std::vector<Conflict> conflicts;
+  EXPECT_FALSE(IsConsistentChar(rules, &conflicts, /*find_all=*/true));
+  ASSERT_FALSE(conflicts.empty());
+  EXPECT_FALSE(IsConsistentEnum(rules));
+}
+
+TEST_F(ConsistencyTest, EnumWitnessIsR3Like) {
+  // The divergent tuple for (phi_1', phi_3) must carry China / Tokyo /
+  // Tokyo / ICDE, i.e., the essence of tuple r3 from Fig. 1.
+  const FixingRule phi1_prime = MakeTravelPhi1Prime(&example_);
+  Conflict conflict;
+  ASSERT_FALSE(PairConsistentEnum(phi1_prime, example_.rules.rule(2), arity(),
+                                  &conflict));
+  ASSERT_EQ(conflict.witness.size(), arity());
+  EXPECT_EQ(conflict.witness[1], example_.pool->Find("China"));
+  EXPECT_EQ(conflict.witness[2], example_.pool->Find("Tokyo"));
+  EXPECT_EQ(conflict.witness[3], example_.pool->Find("Tokyo"));
+  EXPECT_EQ(conflict.witness[4], example_.pool->Find("ICDE"));
+}
+
+// --- Case analysis of Fig. 4, one unit test per case ----------------------
+
+TEST_F(ConsistencyTest, Case1SameTargetOverlapDifferentFacts) {
+  const FixingRule a =
+      Rule({{"country", "China"}}, "capital", {"Shanghai"}, "Beijing");
+  const FixingRule b =
+      Rule({{"conf", "ICDE"}}, "capital", {"Shanghai"}, "Nanjing");
+  Conflict conflict;
+  EXPECT_FALSE(PairConsistentChar(a, b, arity(), &conflict));
+  EXPECT_EQ(conflict.kind, ConflictKind::kSameTargetDivergentFacts);
+  EXPECT_FALSE(PairConsistentEnum(a, b, arity(), nullptr));
+}
+
+TEST_F(ConsistencyTest, Case1SameFactsAreConsistent) {
+  const FixingRule a =
+      Rule({{"country", "China"}}, "capital", {"Shanghai"}, "Beijing");
+  const FixingRule b =
+      Rule({{"conf", "ICDE"}}, "capital", {"Shanghai", "Tokyo"}, "Beijing");
+  EXPECT_TRUE(PairConsistentChar(a, b, arity(), nullptr));
+  EXPECT_TRUE(PairConsistentEnum(a, b, arity(), nullptr));
+}
+
+TEST_F(ConsistencyTest, Case1DisjointNegativesAreConsistent) {
+  const FixingRule a =
+      Rule({{"country", "China"}}, "capital", {"Shanghai"}, "Beijing");
+  const FixingRule b =
+      Rule({{"conf", "ICDE"}}, "capital", {"Hongkong"}, "Nanjing");
+  EXPECT_TRUE(PairConsistentChar(a, b, arity(), nullptr));
+  EXPECT_TRUE(PairConsistentEnum(a, b, arity(), nullptr));
+}
+
+TEST_F(ConsistencyTest, Case2aTargetInOtherEvidence) {
+  // a's target (capital) is evidence of b, and b's evidence value
+  // (Shanghai) is one of a's negative patterns -> inconsistent.
+  const FixingRule a =
+      Rule({{"country", "China"}}, "capital", {"Shanghai"}, "Beijing");
+  const FixingRule b =
+      Rule({{"capital", "Shanghai"}}, "city", {"Paris"}, "Shanghai");
+  Conflict conflict;
+  EXPECT_FALSE(PairConsistentChar(a, b, arity(), &conflict));
+  EXPECT_EQ(conflict.kind, ConflictKind::kTargetInEvidenceIj);
+  EXPECT_FALSE(PairConsistentEnum(a, b, arity(), nullptr));
+}
+
+TEST_F(ConsistencyTest, Case2aSafeWhenEvidenceValueNotNegative) {
+  const FixingRule a =
+      Rule({{"country", "China"}}, "capital", {"Shanghai"}, "Beijing");
+  const FixingRule b =
+      Rule({{"capital", "Beijing"}}, "city", {"Paris"}, "Shanghai");
+  EXPECT_TRUE(PairConsistentChar(a, b, arity(), nullptr));
+  EXPECT_TRUE(PairConsistentEnum(a, b, arity(), nullptr));
+}
+
+TEST_F(ConsistencyTest, Case2bSymmetric) {
+  const FixingRule a =
+      Rule({{"capital", "Shanghai"}}, "city", {"Paris"}, "Shanghai");
+  const FixingRule b =
+      Rule({{"country", "China"}}, "capital", {"Shanghai"}, "Beijing");
+  Conflict conflict;
+  EXPECT_FALSE(PairConsistentChar(a, b, arity(), &conflict));
+  EXPECT_EQ(conflict.kind, ConflictKind::kTargetInEvidenceJi);
+  EXPECT_FALSE(PairConsistentEnum(a, b, arity(), nullptr));
+}
+
+TEST_F(ConsistencyTest, Case2cMutualNeedsBothConditions) {
+  // Mutual layout, but only one of the two membership conditions holds:
+  // consistent.
+  const FixingRule a = Rule({{"capital", "Tokyo"}}, "country", {"China"},
+                            "Japan");  // country target
+  const FixingRule b = Rule({{"country", "Korea"}}, "capital", {"Tokyo"},
+                            "Seoul");  // capital target
+  // b's evidence country=Korea is NOT in a's negatives {China}; a's
+  // evidence capital=Tokyo IS in b's negatives. Only one direction.
+  EXPECT_TRUE(PairConsistentChar(a, b, arity(), nullptr));
+  EXPECT_TRUE(PairConsistentEnum(a, b, arity(), nullptr));
+}
+
+TEST_F(ConsistencyTest, Case2dIndependentTargetsCommute) {
+  const FixingRule a =
+      Rule({{"country", "China"}}, "capital", {"Shanghai"}, "Beijing");
+  const FixingRule b =
+      Rule({{"country", "China"}}, "city", {"Peking"}, "Shanghai");
+  EXPECT_TRUE(PairConsistentChar(a, b, arity(), nullptr));
+  EXPECT_TRUE(PairConsistentEnum(a, b, arity(), nullptr));
+}
+
+TEST_F(ConsistencyTest, IncompatibleEvidenceIsAlwaysConsistent) {
+  const FixingRule a =
+      Rule({{"country", "China"}}, "capital", {"Shanghai"}, "Beijing");
+  const FixingRule b =
+      Rule({{"country", "Canada"}}, "capital", {"Shanghai"}, "Ottawa");
+  EXPECT_TRUE(PairConsistentChar(a, b, arity(), nullptr));
+  EXPECT_TRUE(PairConsistentEnum(a, b, arity(), nullptr));
+}
+
+TEST_F(ConsistencyTest, DuplicateRulesAreConsistent) {
+  const FixingRule a =
+      Rule({{"country", "China"}}, "capital", {"Shanghai"}, "Beijing");
+  EXPECT_TRUE(PairConsistentChar(a, a, arity(), nullptr));
+  EXPECT_TRUE(PairConsistentEnum(a, a, arity(), nullptr));
+}
+
+TEST_F(ConsistencyTest, EmptySetAndSingletonAreConsistent) {
+  RuleSet empty(example_.schema, example_.pool);
+  EXPECT_TRUE(IsConsistentChar(empty));
+  EXPECT_TRUE(IsConsistentEnum(empty));
+  empty.Add(example_.rules.rule(0));
+  EXPECT_TRUE(IsConsistentChar(empty));
+  EXPECT_TRUE(IsConsistentEnum(empty));
+}
+
+TEST_F(ConsistencyTest, FindAllCollectsEveryConflict) {
+  RuleSet rules(example_.schema, example_.pool);
+  rules.Add(Rule({{"country", "China"}}, "capital", {"Shanghai"}, "Beijing"));
+  rules.Add(Rule({{"conf", "ICDE"}}, "capital", {"Shanghai"}, "Nanjing"));
+  rules.Add(Rule({{"city", "Tokyo"}}, "capital", {"Shanghai"}, "Seoul"));
+  std::vector<Conflict> conflicts;
+  EXPECT_FALSE(IsConsistentChar(rules, &conflicts, /*find_all=*/true));
+  // All three pairs conflict pairwise (same target, shared negative,
+  // three different facts).
+  EXPECT_EQ(conflicts.size(), 3u);
+}
+
+TEST_F(ConsistencyTest, DescribeMentionsBothRules) {
+  RuleSet rules(example_.schema, example_.pool);
+  rules.Add(MakeTravelPhi1Prime(&example_));
+  rules.Add(example_.rules.rule(2));
+  std::vector<Conflict> conflicts;
+  ASSERT_FALSE(IsConsistentChar(rules, &conflicts));
+  const std::string description = conflicts[0].Describe(rules);
+  EXPECT_NE(description.find("rule #0"), std::string::npos);
+  EXPECT_NE(description.find("rule #1"), std::string::npos);
+  EXPECT_NE(description.find("China"), std::string::npos);
+}
+
+TEST_F(ConsistencyTest, CharWitnessHasDivergentFixes) {
+  // The witness built by the characterization checker must itself chase
+  // to two different fixpoints.
+  const FixingRule phi1_prime = MakeTravelPhi1Prime(&example_);
+  const FixingRule& phi3 = example_.rules.rule(2);
+  Conflict conflict;
+  ASSERT_FALSE(PairConsistentChar(phi1_prime, phi3, arity(), &conflict));
+  ASSERT_EQ(conflict.witness.size(), arity());
+  Tuple ab = conflict.witness;
+  Tuple ba = conflict.witness;
+  ChaseWithPriority({&phi1_prime, &phi3}, &ab);
+  ChaseWithPriority({&phi3, &phi1_prime}, &ba);
+  EXPECT_NE(ab, ba);
+}
+
+// --- Proposition 3 counterexample (found by randomized testing) --------
+//
+// The paper claims (Prop. 3) that pairwise consistency implies set
+// consistency. The three rules below are pairwise consistent under the
+// Fig. 4 characterization, yet the tuple (a0v2, _, a2v0, a3v3) has two
+// distinct fixes: rules #0 and #1 write the SAME fact to a0, but #1's
+// evidence includes a2, so firing #1 first assures a2 and blocks #2,
+// while firing #0 first leaves a2 free for #2 to rewrite. The strict
+// checker flags the (#0, #1) pair.
+TEST(Proposition3Test, PairwiseConsistentSetCanStillDiverge) {
+  auto pool = std::make_shared<ValuePool>();
+  auto schema = std::make_shared<Schema>(
+      "R", std::vector<std::string>{"a0", "a1", "a2", "a3"});
+  RuleSet rules(schema, pool);
+  rules.Add(MakeRule(*schema, pool.get(), {{"a3", "y"}}, "a0", {"bad"},
+                     "fixed"));
+  rules.Add(MakeRule(*schema, pool.get(), {{"a2", "x"}, {"a3", "y"}}, "a0",
+                     {"bad"}, "fixed"));
+  rules.Add(MakeRule(*schema, pool.get(), {{"a0", "fixed"}}, "a2", {"x"},
+                     "z"));
+  // Pairwise consistent per the paper's characterization and per tuple
+  // enumeration...
+  EXPECT_TRUE(IsConsistentChar(rules));
+  EXPECT_TRUE(IsConsistentEnum(rules));
+  // ...but the set diverges on this tuple:
+  Tuple t(schema->arity(), kNullValue);
+  t[0] = pool->Intern("bad");
+  t[2] = pool->Intern("x");
+  t[3] = pool->Intern("y");
+  Tuple via_rule0 = t;
+  ChaseWithPriority({&rules.rule(0), &rules.rule(1), &rules.rule(2)},
+                    &via_rule0);
+  Tuple via_rule1 = t;
+  ChaseWithPriority({&rules.rule(1), &rules.rule(0), &rules.rule(2)},
+                    &via_rule1);
+  EXPECT_NE(via_rule0, via_rule1) << "expected the Prop. 3 counterexample";
+  // The strict checker catches the dangerous pair.
+  std::vector<Conflict> conflicts;
+  EXPECT_FALSE(IsConsistentStrict(rules, &conflicts));
+  ASSERT_FALSE(conflicts.empty());
+  EXPECT_EQ(conflicts[0].kind, ConflictKind::kSameTargetDivergentAssured);
+}
+
+TEST(Proposition3Test, StrictCheckerAcceptsIdenticalEvidenceTwins) {
+  // Same target, same fact, same evidence pattern: firing order is
+  // immaterial, so strict mode must NOT flag it.
+  auto pool = std::make_shared<ValuePool>();
+  auto schema = std::make_shared<Schema>(
+      "R", std::vector<std::string>{"a0", "a1"});
+  RuleSet rules(schema, pool);
+  rules.Add(MakeRule(*schema, pool.get(), {{"a1", "y"}}, "a0", {"bad"},
+                     "fixed"));
+  rules.Add(MakeRule(*schema, pool.get(), {{"a1", "y"}}, "a0",
+                     {"bad", "worse"}, "fixed"));
+  EXPECT_TRUE(IsConsistentStrict(rules));
+}
+
+TEST_F(ConsistencyTest, PaperRulesAreAlsoStrictlyConsistent) {
+  EXPECT_TRUE(IsConsistentStrict(example_.rules));
+}
+
+TEST_F(ConsistencyTest, ChaseReachesFixpoint) {
+  // r2 chased with all four rules ends as the clean r2 (Fig. 8).
+  std::vector<const FixingRule*> priority;
+  for (const auto& rule : example_.rules.rules()) priority.push_back(&rule);
+  Tuple r2 = example_.dirty.row(1);
+  ChaseWithPriority(priority, &r2);
+  EXPECT_EQ(r2, example_.clean.row(1));
+}
+
+}  // namespace
+}  // namespace fixrep

@@ -1,0 +1,72 @@
+// Property tests for the CSV layer: random tables with hostile field
+// content must survive a write/read round trip bit-for-bit.
+
+#include <memory>
+#include <sstream>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+#include "relation/csv.h"
+
+namespace fixrep {
+namespace {
+
+std::string RandomField(Rng* rng) {
+  static constexpr char kChars[] =
+      "abcXYZ019 ,\"\n\r\t;|'\\_-=()";
+  const size_t length = rng->Uniform(12);
+  std::string out;
+  for (size_t i = 0; i < length; ++i) {
+    out.push_back(kChars[rng->Uniform(sizeof(kChars) - 1)]);
+  }
+  return out;
+}
+
+class CsvRoundTripTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(CsvRoundTripTest, HostileContentSurvivesRoundTrip) {
+  Rng rng(GetParam());
+  const size_t columns = 1 + rng.Uniform(6);
+  std::vector<std::string> header;
+  for (size_t c = 0; c < columns; ++c) {
+    header.push_back("col" + std::to_string(c));
+  }
+  auto pool = std::make_shared<ValuePool>();
+  Table original(std::make_shared<Schema>("fuzz", header), pool);
+  const size_t rows = rng.Uniform(30);
+  for (size_t r = 0; r < rows; ++r) {
+    std::vector<std::string> fields;
+    for (size_t c = 0; c < columns; ++c) {
+      std::string field = RandomField(&rng);
+      // Lone '\r' is normalized by the CRLF-tolerant reader; exclude it
+      // from the generator (the reader's behaviour for it is covered by
+      // a deterministic unit test).
+      std::erase(field, '\r');
+      fields.push_back(std::move(field));
+    }
+    original.AppendRowStrings(fields);
+  }
+
+  std::ostringstream serialized;
+  WriteCsv(original, serialized);
+  std::istringstream in(serialized.str());
+  const Table parsed = ReadCsv(in, "fuzz", std::make_shared<ValuePool>());
+
+  ASSERT_EQ(parsed.num_rows(), original.num_rows());
+  ASSERT_EQ(parsed.num_columns(), original.num_columns());
+  for (size_t r = 0; r < parsed.num_rows(); ++r) {
+    for (size_t c = 0; c < columns; ++c) {
+      ASSERT_EQ(parsed.CellString(r, static_cast<AttrId>(c)),
+                original.CellString(r, static_cast<AttrId>(c)))
+          << "row " << r << " col " << c;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, CsvRoundTripTest,
+                         ::testing::Range<uint64_t>(0, 32));
+
+}  // namespace
+}  // namespace fixrep

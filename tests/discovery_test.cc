@@ -1,0 +1,127 @@
+#include <gtest/gtest.h>
+
+#include "datagen/hosp.h"
+#include "datagen/noise.h"
+#include "eval/metrics.h"
+#include "repair/lrepair.h"
+#include "rulegen/discovery.h"
+#include "rules/consistency.h"
+
+namespace fixrep {
+namespace {
+
+struct DiscoveryPipeline {
+  GeneratedData data;
+  Table dirty;
+
+  DiscoveryPipeline()
+      : data([] {
+          HospOptions options;
+          options.rows = 8000;
+          options.num_hospitals = 250;
+          options.num_measures = 20;
+          return GenerateHosp(options);
+        }()),
+        dirty(data.clean) {
+    InjectNoise(&dirty, ConstraintAttributes(*data.schema, data.fds),
+                NoiseOptions{});
+  }
+};
+
+TEST(DiscoveryTest, DiscoversUsableRulesWithoutGroundTruth) {
+  DiscoveryPipeline pipeline;
+  DiscoveryOptions options;
+  options.max_rules = 500;
+  const RuleSet rules = DiscoverRules(pipeline.dirty, pipeline.data.fds,
+                                      options);
+  EXPECT_GT(rules.size(), 10u);
+  EXPECT_TRUE(IsConsistentStrict(rules));
+}
+
+TEST(DiscoveryTest, DiscoveredRulesRepairWithGoodPrecision) {
+  DiscoveryPipeline pipeline;
+  DiscoveryOptions options;
+  options.max_rules = 500;
+  const RuleSet rules = DiscoverRules(pipeline.dirty, pipeline.data.fds,
+                                      options);
+  Table repaired = pipeline.dirty;
+  FastRepairer repairer(&rules);
+  repairer.RepairTable(&repaired);
+  const Accuracy accuracy =
+      EvaluateRepair(pipeline.data.clean, pipeline.dirty, repaired);
+  EXPECT_GT(accuracy.cells_corrected, 0u);
+  EXPECT_GT(accuracy.precision(), 0.85);
+}
+
+TEST(DiscoveryTest, ConfidenceThresholdSuppressesAmbiguousGroups) {
+  // In a 50/50 split group no value dominates; the discoverer must stay
+  // silent rather than guess.
+  auto pool = std::make_shared<ValuePool>();
+  auto schema = std::make_shared<Schema>(
+      "R", std::vector<std::string>{"k", "v"});
+  Table table(schema, pool);
+  for (int i = 0; i < 5; ++i) table.AppendRowStrings({"key", "a"});
+  for (int i = 0; i < 5; ++i) table.AppendRowStrings({"key", "b"});
+  const auto fd = ParseFd(*schema, "k -> v");
+  const RuleSet rules = DiscoverRules(table, {fd}, DiscoveryOptions{});
+  EXPECT_EQ(rules.size(), 0u);
+}
+
+TEST(DiscoveryTest, StrongMajorityYieldsARule) {
+  auto pool = std::make_shared<ValuePool>();
+  auto schema = std::make_shared<Schema>(
+      "R", std::vector<std::string>{"k", "v"});
+  Table table(schema, pool);
+  for (int i = 0; i < 9; ++i) table.AppendRowStrings({"key", "good"});
+  table.AppendRowStrings({"key", "bad"});
+  const auto fd = ParseFd(*schema, "k -> v");
+  const RuleSet rules = DiscoverRules(table, {fd}, DiscoveryOptions{});
+  ASSERT_EQ(rules.size(), 1u);
+  const FixingRule& rule = rules.rule(0);
+  EXPECT_EQ(rule.fact, pool->Find("good"));
+  EXPECT_EQ(rule.negative_patterns,
+            std::vector<ValueId>{pool->Find("bad")});
+  EXPECT_EQ(rule.evidence_values, std::vector<ValueId>{pool->Find("key")});
+}
+
+TEST(DiscoveryTest, MinSupportFiltersSmallGroups) {
+  auto pool = std::make_shared<ValuePool>();
+  auto schema = std::make_shared<Schema>(
+      "R", std::vector<std::string>{"k", "v"});
+  Table table(schema, pool);
+  table.AppendRowStrings({"key", "good"});
+  table.AppendRowStrings({"key", "bad"});
+  const auto fd = ParseFd(*schema, "k -> v");
+  DiscoveryOptions options;
+  options.min_support = 3;
+  EXPECT_EQ(DiscoverRules(table, {fd}, options).size(), 0u);
+}
+
+TEST(DiscoveryTest, MarginGuardsAgainstNearTies) {
+  auto pool = std::make_shared<ValuePool>();
+  auto schema = std::make_shared<Schema>(
+      "R", std::vector<std::string>{"k", "v"});
+  Table table(schema, pool);
+  for (int i = 0; i < 5; ++i) table.AppendRowStrings({"key", "good"});
+  for (int i = 0; i < 4; ++i) table.AppendRowStrings({"key", "bad"});
+  const auto fd = ParseFd(*schema, "k -> v");
+  DiscoveryOptions options;
+  options.min_confidence = 0.5;
+  options.min_margin = 2;
+  EXPECT_EQ(DiscoverRules(table, {fd}, options).size(), 0u);
+  options.min_margin = 1;
+  EXPECT_EQ(DiscoverRules(table, {fd}, options).size(), 1u);
+}
+
+TEST(DiscoveryTest, DeterministicAcrossRuns) {
+  DiscoveryPipeline pipeline;
+  const RuleSet a =
+      DiscoverRules(pipeline.dirty, pipeline.data.fds, DiscoveryOptions{});
+  const RuleSet b =
+      DiscoverRules(pipeline.dirty, pipeline.data.fds, DiscoveryOptions{});
+  ASSERT_EQ(a.size(), b.size());
+  for (size_t i = 0; i < a.size(); ++i) EXPECT_EQ(a.rule(i), b.rule(i));
+}
+
+}  // namespace
+}  // namespace fixrep

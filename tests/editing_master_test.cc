@@ -1,0 +1,106 @@
+#include <gtest/gtest.h>
+
+#include "datagen/travel.h"
+#include "baselines/editing_master.h"
+
+namespace fixrep {
+namespace {
+
+class MasterEditTest : public ::testing::Test {
+ protected:
+  MasterEditTest() {
+    // eR1 from the paper's introduction: match country against the Cap
+    // master relation and copy the master capital.
+    EditingRule er1;
+    er1.match_attrs = {example_.schema->AttributeIndex("country")};
+    er1.master_match_attrs = {
+        example_.master.schema().AttributeIndex("country")};
+    er1.update_attr = example_.schema->AttributeIndex("capital");
+    er1.master_update_attr =
+        example_.master.schema().AttributeIndex("capital");
+    rules_.push_back(er1);
+  }
+
+  TravelExample example_;
+  std::vector<EditingRule> rules_;
+};
+
+TEST_F(MasterEditTest, OracleUserRepairsOnlyCertifiedTuples) {
+  MasterEditRepairer repairer(rules_, &example_.master);
+  Table table = example_.dirty;
+  const EditingStats stats = repairer.Repair(
+      &table, EditingUserModel::kOracle, &example_.clean);
+  // All four tuples have a country that matches master, so the user is
+  // asked four times.
+  EXPECT_EQ(stats.user_interactions, 4u);
+  // r2 (China correct) and r4 (Canada correct) get their capitals fixed;
+  // r1 is already right (fired, no change); r3's country is wrong, the
+  // oracle says no.
+  EXPECT_EQ(stats.cells_changed, 2u);
+  EXPECT_EQ(table.CellString(1, 2), "Beijing");
+  EXPECT_EQ(table.CellString(3, 2), "Ottawa");
+  // r3 untouched: still (China, Tokyo) — editing rules cannot fix the
+  // country error, only certify-and-copy the capital.
+  EXPECT_EQ(table.CellString(2, 2), "Tokyo");
+}
+
+TEST_F(MasterEditTest, OracleRepairsAreGuaranteedCorrect) {
+  MasterEditRepairer repairer(rules_, &example_.master);
+  Table table = example_.dirty;
+  repairer.Repair(&table, EditingUserModel::kOracle, &example_.clean);
+  // Every changed cell matches the ground truth (the editing-rules
+  // guarantee).
+  for (size_t r = 0; r < table.num_rows(); ++r) {
+    for (size_t a = 0; a < table.num_columns(); ++a) {
+      const AttrId attr = static_cast<AttrId>(a);
+      if (table.cell(r, attr) != example_.dirty.cell(r, attr)) {
+        EXPECT_EQ(table.cell(r, attr), example_.clean.cell(r, attr));
+      }
+    }
+  }
+}
+
+TEST_F(MasterEditTest, AlwaysYesIntroducesAnError) {
+  MasterEditRepairer repairer(rules_, &example_.master);
+  Table table = example_.dirty;
+  const EditingStats stats =
+      repairer.Repair(&table, EditingUserModel::kAlwaysYes, nullptr);
+  EXPECT_EQ(stats.user_interactions, 4u);
+  // r3's wrong country (China) is now trusted: capital Tokyo (correct!)
+  // gets overwritten with Beijing — the failure mode Fig. 12(b)
+  // quantifies.
+  EXPECT_EQ(table.CellString(2, 2), "Beijing");
+  EXPECT_EQ(stats.cells_changed, 3u);
+}
+
+TEST_F(MasterEditTest, PatternConditionScopesTheRule) {
+  // Restrict eR1 to ICDE tuples; r1 (SIGMOD) is no longer asked about.
+  rules_[0].pattern_attrs = {example_.schema->AttributeIndex("conf")};
+  rules_[0].pattern_values = {example_.pool->Intern("ICDE")};
+  MasterEditRepairer repairer(rules_, &example_.master);
+  Table table = example_.dirty;
+  const EditingStats stats = repairer.Repair(
+      &table, EditingUserModel::kOracle, &example_.clean);
+  EXPECT_EQ(stats.user_interactions, 3u);
+}
+
+TEST_F(MasterEditTest, NoMasterMatchNoInteraction) {
+  MasterEditRepairer repairer(rules_, &example_.master);
+  Table table(example_.schema, example_.pool);
+  table.AppendRowStrings({"Zoe", "Atlantis", "Nowhere", "x", "y"});
+  const Table truth = table;
+  const EditingStats stats =
+      repairer.Repair(&table, EditingUserModel::kOracle, &truth);
+  EXPECT_EQ(stats.user_interactions, 0u);
+  EXPECT_EQ(stats.cells_changed, 0u);
+}
+
+TEST_F(MasterEditTest, OracleWithoutTruthAborts) {
+  MasterEditRepairer repairer(rules_, &example_.master);
+  Table table = example_.dirty;
+  EXPECT_DEATH(repairer.Repair(&table, EditingUserModel::kOracle, nullptr),
+               "ground truth");
+}
+
+}  // namespace
+}  // namespace fixrep

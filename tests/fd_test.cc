@@ -1,0 +1,137 @@
+#include <memory>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "deps/fd.h"
+#include "deps/violation.h"
+#include "relation/table.h"
+
+namespace fixrep {
+namespace {
+
+class FdTest : public ::testing::Test {
+ protected:
+  FdTest()
+      : pool_(std::make_shared<ValuePool>()),
+        schema_(std::make_shared<Schema>(
+            "Travel", std::vector<std::string>{"name", "country", "capital",
+                                               "city", "conf"})),
+        table_(schema_, pool_) {}
+
+  std::shared_ptr<ValuePool> pool_;
+  std::shared_ptr<const Schema> schema_;
+  Table table_;
+};
+
+TEST_F(FdTest, ParseAndFormat) {
+  const auto fd = ParseFd(*schema_, "country -> capital");
+  EXPECT_EQ(fd.lhs, std::vector<AttrId>{1});
+  EXPECT_EQ(fd.rhs, std::vector<AttrId>{2});
+  EXPECT_EQ(FormatFd(*schema_, fd), "country -> capital");
+}
+
+TEST_F(FdTest, ParseMultiAttribute) {
+  const auto fd = ParseFd(*schema_, " capital , city ->  conf , name ");
+  EXPECT_EQ(fd.lhs, (std::vector<AttrId>{2, 3}));
+  EXPECT_EQ(fd.rhs, (std::vector<AttrId>{0, 4}));
+}
+
+TEST_F(FdTest, MakeFdSortsAndDedupes) {
+  const auto fd = MakeFd(*schema_, {"city", "country", "city"}, {"capital"});
+  EXPECT_EQ(fd.lhs, (std::vector<AttrId>{1, 3}));
+}
+
+TEST_F(FdTest, NormalizeToSingleRhs) {
+  const auto fd = ParseFd(*schema_, "country -> capital, city");
+  const auto singles = NormalizeToSingleRhs(fd);
+  ASSERT_EQ(singles.size(), 2u);
+  EXPECT_EQ(singles[0].rhs, std::vector<AttrId>{2});
+  EXPECT_EQ(singles[1].rhs, std::vector<AttrId>{3});
+  EXPECT_EQ(singles[0].lhs, fd.lhs);
+}
+
+TEST_F(FdTest, ParseRejectsMalformed) {
+  EXPECT_DEATH(ParseFd(*schema_, "country capital"), "no '->'");
+  EXPECT_DEATH(ParseFd(*schema_, "bogus -> capital"), "no attribute");
+  EXPECT_DEATH(ParseFd(*schema_, "-> capital"), "non-empty LHS");
+  EXPECT_DEATH(ParseFd(*schema_, "country ->"), "non-empty RHS");
+  EXPECT_DEATH(ParseFd(*schema_, "country -> country"), "both sides");
+}
+
+TEST_F(FdTest, ParseFdListSkipsCommentsAndBlanks) {
+  std::istringstream in(
+      "# travel FDs\n"
+      "\n"
+      "country -> capital\n"
+      "  capital, conf -> city  \n"
+      "# trailing comment\n");
+  const auto fds = ParseFdList(*schema_, in);
+  ASSERT_EQ(fds.size(), 2u);
+  EXPECT_EQ(FormatFd(*schema_, fds[0]), "country -> capital");
+  EXPECT_EQ(FormatFd(*schema_, fds[1]), "capital,conf -> city");
+}
+
+TEST_F(FdTest, ParseFdListEmptyInput) {
+  std::istringstream in("# nothing here\n\n");
+  EXPECT_TRUE(ParseFdList(*schema_, in).empty());
+}
+
+TEST_F(FdTest, ParseFdListFileMissingAborts) {
+  EXPECT_DEATH(ParseFdListFile(*schema_, "/nonexistent/fds.txt"),
+               "cannot open");
+}
+
+TEST_F(FdTest, DetectViolationsFindsGroups) {
+  // Fig. 1: (r1, r2), (r1, r3), (r2, r3) violate country -> capital.
+  table_.AppendRowStrings({"George", "China", "Beijing", "Beijing", "SIGMOD"});
+  table_.AppendRowStrings({"Ian", "China", "Shanghai", "Hongkong", "ICDE"});
+  table_.AppendRowStrings({"Peter", "China", "Tokyo", "Tokyo", "ICDE"});
+  table_.AppendRowStrings({"Mike", "Canada", "Toronto", "Toronto", "ICDE"});
+  const auto fd = ParseFd(*schema_, "country -> capital");
+  const auto groups = DetectViolations(table_, fd);
+  ASSERT_EQ(groups.size(), 1u);
+  EXPECT_EQ(groups[0].rows.size(), 3u);
+  EXPECT_EQ(groups[0].rhs_values.size(), 3u);
+  EXPECT_FALSE(Satisfies(table_, fd));
+  EXPECT_EQ(CountViolatingRows(table_, {fd}), 3u);
+}
+
+TEST_F(FdTest, SatisfiedFdHasNoViolations) {
+  table_.AppendRowStrings({"a", "China", "Beijing", "x", "c1"});
+  table_.AppendRowStrings({"b", "China", "Beijing", "y", "c2"});
+  table_.AppendRowStrings({"c", "Japan", "Tokyo", "z", "c3"});
+  const auto fd = ParseFd(*schema_, "country -> capital");
+  EXPECT_TRUE(DetectViolations(table_, fd).empty());
+  EXPECT_TRUE(Satisfies(table_, fd));
+  EXPECT_EQ(CountViolatingRows(table_, {fd}), 0u);
+}
+
+TEST_F(FdTest, MultiAttributeLhsPartition) {
+  table_.AppendRowStrings({"a", "China", "Beijing", "Shanghai", "ICDE"});
+  table_.AppendRowStrings({"b", "China", "Beijing", "Shanghai", "VLDB"});
+  table_.AppendRowStrings({"c", "China", "Shanghai", "Shanghai", "ICDE"});
+  const auto partition =
+      PartitionBy(table_, {schema_->AttributeIndex("country"),
+                           schema_->AttributeIndex("capital")});
+  EXPECT_EQ(partition.size(), 2u);
+}
+
+TEST_F(FdTest, SatisfiesHandlesMultiRhs) {
+  table_.AppendRowStrings({"a", "China", "Beijing", "x", "c"});
+  table_.AppendRowStrings({"b", "China", "Beijing", "x", "d"});
+  EXPECT_TRUE(Satisfies(table_, ParseFd(*schema_, "country -> capital,city")));
+  EXPECT_FALSE(Satisfies(table_, ParseFd(*schema_, "country -> conf,city")));
+}
+
+TEST_F(FdTest, DetectViolationsRequiresSingleRhs) {
+  table_.AppendRowStrings({"a", "China", "Beijing", "x", "c"});
+  EXPECT_DEATH(
+      DetectViolations(table_, ParseFd(*schema_, "country -> capital,city")),
+      "single RHS");
+}
+
+}  // namespace
+}  // namespace fixrep

@@ -1,0 +1,168 @@
+#include <memory>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "datagen/travel.h"
+#include "rules/fixing_rule.h"
+#include "rules/rule_set.h"
+
+namespace fixrep {
+namespace {
+
+TEST(AttrSetTest, BasicOperations) {
+  AttrSet s;
+  EXPECT_TRUE(s.empty());
+  s.Add(0);
+  s.Add(5);
+  EXPECT_TRUE(s.Contains(0));
+  EXPECT_TRUE(s.Contains(5));
+  EXPECT_FALSE(s.Contains(1));
+  AttrSet t = AttrSet::Of({1, 5});
+  EXPECT_TRUE(s.Intersects(t));
+  s.UnionWith(t);
+  EXPECT_TRUE(s.Contains(1));
+  EXPECT_FALSE(AttrSet().Intersects(s));
+}
+
+TEST(AttrSetTest, HighBits) {
+  AttrSet s = AttrSet::Of({63});
+  EXPECT_TRUE(s.Contains(63));
+  EXPECT_FALSE(s.Contains(62));
+}
+
+class FixingRuleTest : public ::testing::Test {
+ protected:
+  TravelExample example_;
+  const FixingRule& phi1() { return example_.rules.rule(0); }
+  const FixingRule& phi2() { return example_.rules.rule(1); }
+  const FixingRule& phi3() { return example_.rules.rule(2); }
+  const FixingRule& phi4() { return example_.rules.rule(3); }
+};
+
+TEST_F(FixingRuleTest, MatchSemanticsExample3) {
+  // r1 does not match phi_1: country is China but capital (Beijing) is
+  // not a negative pattern.
+  EXPECT_FALSE(phi1().Matches(example_.dirty.row(0)));
+  // r2 matches phi_1.
+  EXPECT_TRUE(phi1().Matches(example_.dirty.row(1)));
+  // r4 matches phi_2.
+  EXPECT_TRUE(phi2().Matches(example_.dirty.row(3)));
+  EXPECT_FALSE(phi2().Matches(example_.dirty.row(0)));
+  // r3 matches phi_3 (capital/city Tokyo, conf ICDE, country China).
+  EXPECT_TRUE(phi3().Matches(example_.dirty.row(2)));
+}
+
+TEST_F(FixingRuleTest, ApplyUpdatesOnlyTarget) {
+  Tuple r2 = example_.dirty.row(1);
+  const Tuple before = r2;
+  phi1().Apply(&r2);
+  EXPECT_EQ(r2[2], example_.pool->Find("Beijing"));
+  for (size_t a = 0; a < r2.size(); ++a) {
+    if (a != 2) EXPECT_EQ(r2[a], before[a]);
+  }
+}
+
+TEST_F(FixingRuleTest, SizeCountsConstants) {
+  EXPECT_EQ(phi1().size(), 1u + 2u + 1u);  // X + Tp + fact
+  EXPECT_EQ(phi3().size(), 3u + 1u + 1u);
+}
+
+TEST_F(FixingRuleTest, EvidenceValueFor) {
+  EXPECT_EQ(phi1().EvidenceValueFor(1), example_.pool->Find("China"));
+  EXPECT_EQ(phi1().EvidenceValueFor(3), kNullValue);
+  EXPECT_EQ(phi3().EvidenceValueFor(4), example_.pool->Find("ICDE"));
+}
+
+TEST_F(FixingRuleTest, AssuredSetIsEvidencePlusTarget) {
+  const AttrSet assured = phi1().AssuredSet();
+  EXPECT_TRUE(assured.Contains(1));  // country
+  EXPECT_TRUE(assured.Contains(2));  // capital
+  EXPECT_FALSE(assured.Contains(0));
+}
+
+TEST_F(FixingRuleTest, IsNegative) {
+  EXPECT_TRUE(phi1().IsNegative(example_.pool->Find("Shanghai")));
+  EXPECT_TRUE(phi1().IsNegative(example_.pool->Find("Hongkong")));
+  EXPECT_FALSE(phi1().IsNegative(example_.pool->Find("Beijing")));
+  EXPECT_FALSE(phi1().IsNegative(kNullValue));
+}
+
+TEST_F(FixingRuleTest, FormatIsReadable) {
+  EXPECT_EQ(phi2().Format(*example_.schema, *example_.pool),
+            "((country=Canada), (capital, {Toronto})) -> Ottawa");
+}
+
+TEST_F(FixingRuleTest, MakeRuleSortsEvidenceAndNegatives) {
+  const FixingRule rule = MakeRule(
+      *example_.schema, example_.pool.get(),
+      {{"conf", "ICDE"}, {"capital", "Tokyo"}, {"city", "Tokyo"}}, "country",
+      {"China"}, "Japan");
+  EXPECT_EQ(rule.evidence_attrs, (std::vector<AttrId>{2, 3, 4}));
+  EXPECT_TRUE(std::is_sorted(rule.negative_patterns.begin(),
+                             rule.negative_patterns.end()));
+  EXPECT_EQ(rule, phi3());
+}
+
+TEST_F(FixingRuleTest, MakeRuleDedupesNegatives) {
+  const FixingRule rule =
+      MakeRule(*example_.schema, example_.pool.get(), {{"country", "China"}},
+               "capital", {"Shanghai", "Shanghai", "Hongkong"}, "Beijing");
+  EXPECT_EQ(rule.negative_patterns.size(), 2u);
+}
+
+TEST_F(FixingRuleTest, EmptyEvidenceRuleMatchesOnNegativeAlone) {
+  // A rule with empty X: "Hongkong is never a capital in this table".
+  const FixingRule rule = MakeRule(*example_.schema, example_.pool.get(), {},
+                                   "capital", {"Hongkong"}, "Beijing");
+  Tuple t = example_.dirty.row(0);
+  t[2] = example_.pool->Intern("Hongkong");
+  EXPECT_TRUE(rule.Matches(t));
+  t[2] = example_.pool->Find("Beijing");
+  EXPECT_FALSE(rule.Matches(t));
+}
+
+TEST_F(FixingRuleTest, ValidateRejectsFactInNegatives) {
+  EXPECT_DEATH(MakeRule(*example_.schema, example_.pool.get(),
+                        {{"country", "China"}}, "capital",
+                        {"Beijing", "Shanghai"}, "Beijing"),
+               "fact");
+}
+
+TEST_F(FixingRuleTest, ValidateRejectsTargetInEvidence) {
+  EXPECT_DEATH(MakeRule(*example_.schema, example_.pool.get(),
+                        {{"capital", "Tokyo"}}, "capital", {"Shanghai"},
+                        "Beijing"),
+               "target");
+}
+
+TEST_F(FixingRuleTest, ValidateRejectsEmptyNegatives) {
+  EXPECT_DEATH(MakeRule(*example_.schema, example_.pool.get(),
+                        {{"country", "China"}}, "capital", {}, "Beijing"),
+               "negative pattern");
+}
+
+TEST(RuleSetTest, AddRemovePrefix) {
+  TravelExample example;
+  RuleSet rules = example.rules;
+  EXPECT_EQ(rules.size(), 4u);
+  EXPECT_EQ(rules.TotalSize(), example.rules.TotalSize());
+  const RuleSet prefix = rules.Prefix(2);
+  EXPECT_EQ(prefix.size(), 2u);
+  EXPECT_EQ(prefix.rule(0), example.rules.rule(0));
+  rules.Remove({1, 3});
+  ASSERT_EQ(rules.size(), 2u);
+  EXPECT_EQ(rules.rule(0), example.rules.rule(0));
+  EXPECT_EQ(rules.rule(1), example.rules.rule(2));
+}
+
+TEST(RuleSetTest, TotalSizeSumsRuleSizes) {
+  TravelExample example;
+  size_t expected = 0;
+  for (const auto& rule : example.rules.rules()) expected += rule.size();
+  EXPECT_EQ(example.rules.TotalSize(), expected);
+}
+
+}  // namespace
+}  // namespace fixrep

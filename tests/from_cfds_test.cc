@@ -1,0 +1,88 @@
+#include <gtest/gtest.h>
+
+#include "datagen/travel.h"
+#include "repair/crepair.h"
+#include "rulegen/from_cfds.h"
+#include "rules/consistency.h"
+
+namespace fixrep {
+namespace {
+
+class FromCfdsTest : public ::testing::Test {
+ protected:
+  Cfd Parse(const std::string& text) {
+    return ParseCfd(*example_.schema, example_.pool.get(), text);
+  }
+
+  TravelExample example_;
+};
+
+TEST_F(FromCfdsTest, ConstantRowBecomesARule) {
+  const Cfd cfd = Parse("country -> capital :: (China | Beijing)");
+  const RuleSet rules = RulesFromCfds(example_.dirty, {cfd});
+  ASSERT_EQ(rules.size(), 1u);
+  const FixingRule& rule = rules.rule(0);
+  EXPECT_EQ(rule.target, example_.schema->AttributeIndex("capital"));
+  EXPECT_EQ(rule.fact, example_.pool->Find("Beijing"));
+  // The dirty data carries Shanghai and Tokyo for China tuples — both
+  // are harvested as negative patterns.
+  EXPECT_EQ(rule.negative_patterns.size(), 2u);
+  EXPECT_TRUE(rule.IsNegative(example_.pool->Find("Shanghai")));
+  EXPECT_TRUE(rule.IsNegative(example_.pool->Find("Tokyo")));
+}
+
+TEST_F(FromCfdsTest, DerivedRulesRepairTheData) {
+  const std::vector<Cfd> cfds = {
+      Parse("country -> capital :: (Canada | Ottawa)"),
+  };
+  const RuleSet rules = RulesFromCfds(example_.dirty, cfds);
+  ASSERT_EQ(rules.size(), 1u);
+  ChaseRepairer repairer(&rules);
+  Tuple r4 = example_.dirty.row(3);
+  EXPECT_EQ(repairer.RepairTuple(&r4), 1u);
+  EXPECT_EQ(r4, example_.clean.row(3));
+}
+
+TEST_F(FromCfdsTest, WildcardRowsAreSkipped) {
+  const Cfd cfd =
+      Parse("country -> capital :: (_ | _); (_ | Beijing); (China | _)");
+  const RuleSet rules = RulesFromCfds(example_.dirty, {cfd});
+  EXPECT_EQ(rules.size(), 0u);
+}
+
+TEST_F(FromCfdsTest, NoViolationsNoRule) {
+  const Cfd cfd = Parse("country -> capital :: (Japan | Tokyo)");
+  // No Japan tuple in the dirty data carries a non-Tokyo capital (there
+  // are no Japan tuples at all), so there is nothing to forbid.
+  const RuleSet rules = RulesFromCfds(example_.dirty, {cfd});
+  EXPECT_EQ(rules.size(), 0u);
+}
+
+TEST_F(FromCfdsTest, ResultIsConsistent) {
+  const std::vector<Cfd> cfds = {
+      Parse("country -> capital :: (China | Beijing); (Canada | Ottawa)"),
+      Parse("capital, conf -> city :: (Beijing, ICDE | Shanghai)"),
+  };
+  const RuleSet rules = RulesFromCfds(example_.dirty, cfds);
+  EXPECT_GT(rules.size(), 0u);
+  EXPECT_TRUE(IsConsistentStrict(rules));
+}
+
+TEST_F(FromCfdsTest, MultiAttributeEvidence) {
+  const Cfd cfd = Parse("capital, conf -> city :: (Beijing, ICDE | Shanghai)");
+  // Build a tuple matching (Beijing, ICDE) with a wrong city so a
+  // negative pattern exists.
+  Table data = example_.dirty;
+  Tuple t(example_.schema->arity(), kNullValue);
+  t[2] = example_.pool->Find("Beijing");
+  t[3] = example_.pool->Intern("Hongkong");
+  t[4] = example_.pool->Find("ICDE");
+  data.AppendRow(t);
+  const RuleSet rules = RulesFromCfds(data, {cfd});
+  ASSERT_EQ(rules.size(), 1u);
+  // The derived rule is exactly the paper's phi_4.
+  EXPECT_EQ(rules.rule(0), example_.rules.rule(3));
+}
+
+}  // namespace
+}  // namespace fixrep

@@ -1,0 +1,128 @@
+// Property tests for the implication checker on randomized strictly
+// consistent sets:
+//  * weakening a member rule (dropping negative patterns) always yields
+//    an implied rule;
+//  * a rule built from fresh constants is never implied (it fixes tuples
+//    no existing rule touches).
+
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+#include "rules/consistency.h"
+#include "rules/implication.h"
+#include "testing_util.h"
+
+namespace fixrep {
+namespace {
+
+using testing::RandomRuleUniverse;
+
+RuleSet RandomStrictSet(RandomRuleUniverse* universe, Rng* rng,
+                        size_t target_size) {
+  RuleSet rules(universe->schema, universe->pool);
+  const size_t arity = universe->schema->arity();
+  for (int attempt = 0; attempt < 300 && rules.size() < target_size;
+       ++attempt) {
+    const FixingRule candidate = universe->RandomRule(rng);
+    bool ok = true;
+    for (const auto& existing : rules.rules()) {
+      if (!PairConsistentStrictChar(existing, candidate, arity, nullptr)) {
+        ok = false;
+        break;
+      }
+    }
+    if (ok) rules.Add(candidate);
+  }
+  return rules;
+}
+
+class ImplicationPropertyTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(ImplicationPropertyTest, WeakenedMemberRulesAreImplied) {
+  RandomRuleUniverse universe;
+  Rng rng(GetParam());
+  const RuleSet rules = RandomStrictSet(&universe, &rng, 6);
+  ASSERT_GT(rules.size(), 1u);
+  ImplicationOptions options;
+  options.enumeration_cap = uint64_t{1} << 16;  // small universe: exact
+  for (const auto& original : rules.rules()) {
+    if (original.negative_patterns.size() < 2) continue;
+    FixingRule weakened = original;
+    // Drop a random negative pattern (keeping at least one).
+    weakened.negative_patterns.erase(
+        weakened.negative_patterns.begin() +
+        static_cast<ptrdiff_t>(
+            rng.Uniform(weakened.negative_patterns.size())));
+    const ImplicationResult result = Implies(rules, weakened, options);
+    EXPECT_TRUE(result.implied)
+        << "weakened copy of a member rule must be implied: "
+        << weakened.Format(*universe.schema, *universe.pool) << "\n  "
+        << result.reason;
+  }
+}
+
+TEST_P(ImplicationPropertyTest, FreshConstantRulesAreNotImplied) {
+  RandomRuleUniverse universe;
+  Rng rng(GetParam() ^ 0xfff);
+  const RuleSet rules = RandomStrictSet(&universe, &rng, 6);
+  ImplicationOptions options;
+  options.enumeration_cap = uint64_t{1} << 16;
+  for (int trial = 0; trial < 5; ++trial) {
+    // Evidence, negative pattern, and fact all use constants unseen by
+    // any existing rule.
+    FixingRule fresh;
+    fresh.target = static_cast<AttrId>(rng.Uniform(4));
+    const AttrId evidence_attr =
+        static_cast<AttrId>((fresh.target + 1 + rng.Uniform(3)) % 4);
+    fresh.evidence_attrs = {evidence_attr};
+    fresh.evidence_values = {universe.pool->Intern(
+        "fresh_e_" + std::to_string(GetParam()) + "_" +
+        std::to_string(trial))};
+    fresh.negative_patterns = {universe.pool->Intern(
+        "fresh_n_" + std::to_string(GetParam()) + "_" +
+        std::to_string(trial))};
+    fresh.fact = universe.pool->Intern(
+        "fresh_f_" + std::to_string(GetParam()) + "_" +
+        std::to_string(trial));
+    fresh.Validate(*universe.schema);
+    const ImplicationResult result = Implies(rules, fresh, options);
+    EXPECT_FALSE(result.implied)
+        << "a rule over fresh constants cannot be implied";
+    EXPECT_FALSE(result.counterexample.empty());
+  }
+}
+
+TEST_P(ImplicationPropertyTest, CounterexamplesReallyDiverge) {
+  // Whenever the checker says "not implied", its counterexample must
+  // chase to different fixes under Sigma and Sigma ∪ {phi}.
+  RandomRuleUniverse universe;
+  Rng rng(GetParam() ^ 0xabc);
+  const RuleSet rules = RandomStrictSet(&universe, &rng, 5);
+  ImplicationOptions options;
+  options.enumeration_cap = uint64_t{1} << 16;
+  int divergences_checked = 0;
+  for (int trial = 0; trial < 20; ++trial) {
+    const FixingRule candidate = universe.RandomRule(&rng);
+    const ImplicationResult result = Implies(rules, candidate, options);
+    if (result.implied || result.counterexample.empty()) continue;
+    ++divergences_checked;
+    std::vector<const FixingRule*> sigma;
+    for (const auto& rule : rules.rules()) sigma.push_back(&rule);
+    std::vector<const FixingRule*> with_phi = sigma;
+    with_phi.push_back(&candidate);
+    Tuple a = result.counterexample;
+    ChaseWithPriority(sigma, &a);
+    Tuple b = result.counterexample;
+    ChaseWithPriority(with_phi, &b);
+    EXPECT_NE(a, b);
+  }
+  EXPECT_GT(divergences_checked, 0);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ImplicationPropertyTest,
+                         ::testing::Range<uint64_t>(0, 10));
+
+}  // namespace
+}  // namespace fixrep

@@ -1,0 +1,110 @@
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "datagen/travel.h"
+#include "rules/implication.h"
+
+namespace fixrep {
+namespace {
+
+class ImplicationTest : public ::testing::Test {
+ protected:
+  TravelExample example_;
+
+  FixingRule Rule(const std::vector<std::pair<std::string, std::string>>& ev,
+                  const std::string& target,
+                  const std::vector<std::string>& negatives,
+                  const std::string& fact) {
+    return MakeRule(*example_.schema, example_.pool.get(), ev, target,
+                    negatives, fact);
+  }
+};
+
+TEST_F(ImplicationTest, DuplicateRuleIsImplied) {
+  const auto result = Implies(example_.rules, example_.rules.rule(0));
+  EXPECT_TRUE(result.implied);
+  EXPECT_TRUE(result.exhaustive);
+}
+
+TEST_F(ImplicationTest, WeakerNegativeSetIsImplied) {
+  // phi_1 restricted to a single negative pattern never changes any fix:
+  // whenever it applies, phi_1 applies with the same effect.
+  const FixingRule weaker =
+      Rule({{"country", "China"}}, "capital", {"Shanghai"}, "Beijing");
+  const auto result = Implies(example_.rules, weaker);
+  EXPECT_TRUE(result.implied) << result.reason;
+}
+
+TEST_F(ImplicationTest, NewNegativePatternIsNotImplied) {
+  // Adding Nanjing to the negatives lets the new rule fix tuples no
+  // existing rule touches.
+  const FixingRule wider = Rule({{"country", "China"}}, "capital",
+                                {"Shanghai", "Hongkong", "Nanjing"},
+                                "Beijing");
+  const auto result = Implies(example_.rules, wider);
+  EXPECT_FALSE(result.implied);
+  ASSERT_FALSE(result.counterexample.empty());
+  // The counterexample must be a China tuple with capital Nanjing.
+  EXPECT_EQ(result.counterexample[1], example_.pool->Find("China"));
+  EXPECT_EQ(result.counterexample[2], example_.pool->Find("Nanjing"));
+}
+
+TEST_F(ImplicationTest, UnrelatedRuleIsNotImplied) {
+  const FixingRule unrelated =
+      Rule({{"country", "France"}}, "capital", {"Lyon"}, "Paris");
+  const auto result = Implies(example_.rules, unrelated);
+  EXPECT_FALSE(result.implied);
+  EXPECT_FALSE(result.counterexample.empty());
+}
+
+TEST_F(ImplicationTest, InconsistentAdditionIsNotImplied) {
+  // phi_1' conflicts with phi_3, so condition (i) of the definition
+  // already fails.
+  const auto result = Implies(example_.rules, MakeTravelPhi1Prime(&example_));
+  EXPECT_FALSE(result.implied);
+  EXPECT_NE(result.reason.find("inconsistent"), std::string::npos);
+  EXPECT_TRUE(result.counterexample.empty());
+}
+
+TEST_F(ImplicationTest, InconsistentSigmaIsRejected) {
+  RuleSet bad(example_.schema, example_.pool);
+  bad.Add(MakeTravelPhi1Prime(&example_));
+  bad.Add(example_.rules.rule(2));
+  const auto result = Implies(bad, example_.rules.rule(0));
+  EXPECT_FALSE(result.implied);
+  EXPECT_NE(result.reason.find("precondition"), std::string::npos);
+}
+
+TEST_F(ImplicationTest, EmptySigmaImpliesNothingUseful) {
+  RuleSet empty(example_.schema, example_.pool);
+  const auto result = Implies(empty, example_.rules.rule(0));
+  EXPECT_FALSE(result.implied);
+}
+
+TEST_F(ImplicationTest, SamplingFallbackStillFindsCounterexamples) {
+  // Force the sampled path with a tiny enumeration cap; the negative
+  // answer must still come with a counterexample.
+  ImplicationOptions options;
+  options.enumeration_cap = 4;
+  options.sample_count = 50000;
+  const FixingRule wider = Rule({{"country", "China"}}, "capital",
+                                {"Shanghai", "Hongkong", "Nanjing"},
+                                "Beijing");
+  const auto result = Implies(example_.rules, wider, options);
+  EXPECT_FALSE(result.implied);
+  EXPECT_FALSE(result.counterexample.empty());
+}
+
+TEST_F(ImplicationTest, SamplingFallbackPositiveIsMarkedNonExhaustive) {
+  ImplicationOptions options;
+  options.enumeration_cap = 4;
+  options.sample_count = 2000;
+  const auto result = Implies(example_.rules, example_.rules.rule(0), options);
+  EXPECT_TRUE(result.implied);
+  EXPECT_FALSE(result.exhaustive);
+}
+
+}  // namespace
+}  // namespace fixrep

@@ -1,0 +1,87 @@
+#include <gtest/gtest.h>
+
+#include "datagen/travel.h"
+#include "repair/incremental.h"
+
+namespace fixrep {
+namespace {
+
+class IncrementalTest : public ::testing::Test {
+ protected:
+  TravelExample example_;
+};
+
+TEST_F(IncrementalTest, ConstructionRepairsEverything) {
+  IncrementalRepairer session(&example_.rules, example_.dirty);
+  for (size_t r = 0; r < session.table().num_rows(); ++r) {
+    EXPECT_EQ(session.table().row(r), example_.clean.row(r));
+  }
+  EXPECT_EQ(session.stats().cells_changed, 4u);
+}
+
+TEST_F(IncrementalTest, InsertRepairsTheNewRow) {
+  IncrementalRepairer session(&example_.rules, example_.dirty);
+  Tuple row(example_.schema->arity());
+  row[0] = example_.pool->Intern("Nan");
+  row[1] = example_.pool->Find("China");
+  row[2] = example_.pool->Find("Hongkong");
+  row[3] = example_.pool->Find("Shanghai");
+  row[4] = example_.pool->Find("ICDE");
+  const size_t index = session.Insert(std::move(row));
+  EXPECT_EQ(index, 4u);
+  // phi_1 fires on insert: capital Hongkong -> Beijing.
+  EXPECT_EQ(session.table().CellString(index, 2), "Beijing");
+}
+
+TEST_F(IncrementalTest, CleanInsertIsUntouched) {
+  IncrementalRepairer session(&example_.rules, example_.dirty);
+  const size_t index = session.Insert(example_.clean.row(0));
+  EXPECT_EQ(session.table().row(index), example_.clean.row(0));
+}
+
+TEST_F(IncrementalTest, UpdateCellRechasesTheRow) {
+  IncrementalRepairer session(&example_.rules, example_.clean);
+  // A user "corrupts" r1's capital to Shanghai; the session fixes it
+  // right back (and the cascade re-runs as needed).
+  const size_t changes =
+      session.UpdateCell(0, 2, example_.pool->Find("Shanghai"));
+  EXPECT_EQ(changes, 1u);
+  EXPECT_EQ(session.table().CellString(0, 2), "Beijing");
+}
+
+TEST_F(IncrementalTest, UpdateToCleanValueChangesNothing) {
+  IncrementalRepairer session(&example_.rules, example_.clean);
+  const size_t changes =
+      session.UpdateCell(0, 0, example_.pool->Intern("Georgia"));
+  EXPECT_EQ(changes, 0u);
+  EXPECT_EQ(session.table().CellString(0, 0), "Georgia");
+}
+
+TEST_F(IncrementalTest, StatsAccumulateAcrossMutations) {
+  IncrementalRepairer session(&example_.rules, example_.dirty);
+  const size_t after_init = session.stats().cells_changed;
+  session.UpdateCell(0, 2, example_.pool->Find("Hongkong"));
+  EXPECT_EQ(session.stats().cells_changed, after_init + 1);
+}
+
+TEST_F(IncrementalTest, SessionMatchesBatchRepairAfterMutations) {
+  // Applying the same mutations to a raw table and batch-repairing must
+  // land in the same state as the incremental session.
+  IncrementalRepairer session(&example_.rules, example_.dirty);
+  Tuple extra(example_.schema->arity(), kNullValue);
+  extra[1] = example_.pool->Find("Canada");
+  extra[2] = example_.pool->Find("Toronto");
+  session.Insert(extra);
+
+  Table batch = example_.dirty;
+  batch.AppendRow(extra);
+  FastRepairer repairer(&example_.rules);
+  repairer.RepairTable(&batch);
+  ASSERT_EQ(batch.num_rows(), session.table().num_rows());
+  for (size_t r = 0; r < batch.num_rows(); ++r) {
+    EXPECT_EQ(batch.row(r), session.table().row(r)) << "row " << r;
+  }
+}
+
+}  // namespace
+}  // namespace fixrep

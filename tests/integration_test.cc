@@ -1,0 +1,177 @@
+// End-to-end pipeline tests: generate -> corrupt -> derive rules ->
+// check consistency -> repair -> evaluate, on both datasets and with the
+// baselines alongside. These are the smallest full instances of the
+// paper's Exp-2 loop.
+
+#include <gtest/gtest.h>
+
+#include "baselines/csm.h"
+#include "baselines/editing.h"
+#include "baselines/heu.h"
+#include "datagen/hosp.h"
+#include "datagen/noise.h"
+#include "datagen/uis.h"
+#include "deps/violation.h"
+#include "eval/metrics.h"
+#include "repair/crepair.h"
+#include "repair/lrepair.h"
+#include "rulegen/rulegen.h"
+#include "rules/consistency.h"
+
+namespace fixrep {
+namespace {
+
+struct Workload {
+  GeneratedData data;
+  Table dirty;
+  RuleSet rules;
+};
+
+Workload MakeHospWorkload(double typo_share, size_t max_rules) {
+  HospOptions hosp;
+  hosp.rows = 8000;
+  hosp.num_hospitals = 400;
+  hosp.num_measures = 24;
+  GeneratedData data = GenerateHosp(hosp);
+  Table dirty = data.clean;
+  NoiseOptions noise;
+  noise.typo_share = typo_share;
+  InjectNoise(&dirty, ConstraintAttributes(*data.schema, data.fds), noise);
+  RuleGenOptions rulegen;
+  rulegen.max_rules = max_rules;
+  RuleSet rules = GenerateRules(data.clean, dirty, data.fds, rulegen);
+  return Workload{std::move(data), std::move(dirty), std::move(rules)};
+}
+
+TEST(IntegrationTest, HospPipelineRepairsWithHighPrecision) {
+  Workload w = MakeHospWorkload(0.5, 800);
+  ASSERT_TRUE(IsConsistentChar(w.rules));
+  Table repaired = w.dirty;
+  FastRepairer repairer(&w.rules);
+  repairer.RepairTable(&repaired);
+  const Accuracy acc = EvaluateRepair(w.data.clean, w.dirty, repaired);
+  EXPECT_GT(acc.precision(), 0.95);
+  EXPECT_GT(acc.recall(), 0.15);
+}
+
+TEST(IntegrationTest, BothEnginesProduceIdenticalRepairs) {
+  Workload w = MakeHospWorkload(0.5, 400);
+  Table by_crepair = w.dirty;
+  Table by_lrepair = w.dirty;
+  ChaseRepairer crepair(&w.rules);
+  FastRepairer lrepair(&w.rules);
+  crepair.RepairTable(&by_crepair);
+  lrepair.RepairTable(&by_lrepair);
+  for (size_t r = 0; r < by_crepair.num_rows(); ++r) {
+    ASSERT_EQ(by_crepair.row(r), by_lrepair.row(r)) << "row " << r;
+  }
+  EXPECT_EQ(crepair.stats().cells_changed, lrepair.stats().cells_changed);
+}
+
+TEST(IntegrationTest, FixingRulesBeatBaselinePrecisionOnActiveDomainErrors) {
+  // At typo_share 0 every error is an in-domain substitution, the regime
+  // where the paper shows Heu/Csm losing precision while Fix stays high
+  // (Fig. 10(a)).
+  Workload w = MakeHospWorkload(/*typo_share=*/0.0, 800);
+  Table by_fix = w.dirty;
+  FastRepairer repairer(&w.rules);
+  repairer.RepairTable(&by_fix);
+  const Accuracy fix = EvaluateRepair(w.data.clean, w.dirty, by_fix);
+
+  Table by_heu = w.dirty;
+  HeuRepairer heu(w.data.fds);
+  heu.Repair(&by_heu);
+  const Accuracy heu_acc = EvaluateRepair(w.data.clean, w.dirty, by_heu);
+
+  Table by_csm = w.dirty;
+  CsmRepairer csm(w.data.fds);
+  csm.Repair(&by_csm);
+  const Accuracy csm_acc = EvaluateRepair(w.data.clean, w.dirty, by_csm);
+
+  EXPECT_GT(fix.precision(), heu_acc.precision());
+  EXPECT_GT(fix.precision(), csm_acc.precision());
+  EXPECT_GT(fix.precision(), 0.9);
+}
+
+TEST(IntegrationTest, HeuristicsReachHigherRecallThanFix) {
+  // The flip side the paper reports (Fig. 10(b)): heuristics repair more
+  // of the errors, at lower precision.
+  Workload w = MakeHospWorkload(0.5, 200);
+  Table by_fix = w.dirty;
+  FastRepairer repairer(&w.rules);
+  repairer.RepairTable(&by_fix);
+  const Accuracy fix = EvaluateRepair(w.data.clean, w.dirty, by_fix);
+
+  Table by_heu = w.dirty;
+  HeuRepairer heu(w.data.fds);
+  heu.Repair(&by_heu);
+  const Accuracy heu_acc = EvaluateRepair(w.data.clean, w.dirty, by_heu);
+
+  EXPECT_GT(heu_acc.recall(), fix.recall());
+}
+
+TEST(IntegrationTest, MoreRulesMeanMoreRecallSamePrecisionRegime) {
+  Workload w = MakeHospWorkload(0.5, 1000);
+  double previous_recall = -1.0;
+  for (const size_t count : {100u, 400u, 1000u}) {
+    const RuleSet prefix = w.rules.Prefix(count);
+    Table repaired = w.dirty;
+    FastRepairer repairer(&prefix);
+    repairer.RepairTable(&repaired);
+    const Accuracy acc = EvaluateRepair(w.data.clean, w.dirty, repaired);
+    EXPECT_GE(acc.recall() + 1e-9, previous_recall)
+        << "recall regressed at " << count << " rules";
+    previous_recall = acc.recall();
+    EXPECT_GT(acc.precision(), 0.9);
+  }
+}
+
+TEST(IntegrationTest, FixBeatsAutomatedEditingRules) {
+  // Exp-2(d): stripping negative patterns (automated editing rules)
+  // loses precision relative to fixing rules.
+  Workload w = MakeHospWorkload(0.5, 600);
+  Table by_fix = w.dirty;
+  FastRepairer fix_repairer(&w.rules);
+  fix_repairer.RepairTable(&by_fix);
+  const Accuracy fix = EvaluateRepair(w.data.clean, w.dirty, by_fix);
+
+  Table by_edit = w.dirty;
+  AutoEditRepairer edit_repairer(&w.rules);
+  edit_repairer.RepairTable(&by_edit);
+  const Accuracy edit = EvaluateRepair(w.data.clean, w.dirty, by_edit);
+
+  EXPECT_GE(fix.precision(), edit.precision());
+  EXPECT_GT(fix.precision(), 0.9);
+}
+
+TEST(IntegrationTest, UisPipelineHasLowRecallButHighPrecision) {
+  UisOptions uis;
+  uis.rows = 6000;
+  GeneratedData data = GenerateUis(uis);
+  Table dirty = data.clean;
+  InjectNoise(&dirty, ConstraintAttributes(*data.schema, data.fds),
+              NoiseOptions{});
+  RuleGenOptions rulegen;
+  rulegen.max_rules = 100;
+  const RuleSet rules = GenerateRules(data.clean, dirty, data.fds, rulegen);
+  ASSERT_TRUE(IsConsistentChar(rules));
+  Table repaired = dirty;
+  FastRepairer repairer(&rules);
+  repairer.RepairTable(&repaired);
+  const Accuracy acc = EvaluateRepair(data.clean, dirty, repaired);
+  EXPECT_GT(acc.precision(), 0.8);
+  EXPECT_LT(acc.recall(), 0.5);  // uis: few repeated patterns
+}
+
+TEST(IntegrationTest, RepairReducesFdViolations) {
+  Workload w = MakeHospWorkload(0.5, 800);
+  const size_t before = CountViolatingRows(w.dirty, w.data.fds);
+  Table repaired = w.dirty;
+  FastRepairer repairer(&w.rules);
+  repairer.RepairTable(&repaired);
+  const size_t after = CountViolatingRows(repaired, w.data.fds);
+  EXPECT_LT(after, before);
+}
+
+}  // namespace
+}  // namespace fixrep

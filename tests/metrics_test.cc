@@ -1,0 +1,166 @@
+#include <memory>
+#include <sstream>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "eval/experiment.h"
+#include "eval/metrics.h"
+#include "eval/text_table.h"
+
+namespace fixrep {
+namespace {
+
+class MetricsTest : public ::testing::Test {
+ protected:
+  MetricsTest()
+      : pool_(std::make_shared<ValuePool>()),
+        schema_(std::make_shared<Schema>(
+            "R", std::vector<std::string>{"a", "b"})),
+        truth_(schema_, pool_),
+        dirty_(schema_, pool_),
+        repaired_(schema_, pool_) {}
+
+  void AddRow(Table* t, const std::string& a, const std::string& b) {
+    t->AppendRowStrings({a, b});
+  }
+
+  std::shared_ptr<ValuePool> pool_;
+  std::shared_ptr<const Schema> schema_;
+  Table truth_, dirty_, repaired_;
+};
+
+TEST_F(MetricsTest, PerfectRepair) {
+  AddRow(&truth_, "x", "y");
+  AddRow(&dirty_, "x", "BAD");
+  AddRow(&repaired_, "x", "y");
+  const Accuracy acc = EvaluateRepair(truth_, dirty_, repaired_);
+  EXPECT_EQ(acc.cells_erroneous, 1u);
+  EXPECT_EQ(acc.cells_changed, 1u);
+  EXPECT_EQ(acc.cells_corrected, 1u);
+  EXPECT_EQ(acc.cells_broken, 0u);
+  EXPECT_DOUBLE_EQ(acc.precision(), 1.0);
+  EXPECT_DOUBLE_EQ(acc.recall(), 1.0);
+  EXPECT_DOUBLE_EQ(acc.f1(), 1.0);
+}
+
+TEST_F(MetricsTest, NoRepairGivesZeroRecallPerfectPrecision) {
+  AddRow(&truth_, "x", "y");
+  AddRow(&dirty_, "x", "BAD");
+  AddRow(&repaired_, "x", "BAD");
+  const Accuracy acc = EvaluateRepair(truth_, dirty_, repaired_);
+  EXPECT_EQ(acc.cells_changed, 0u);
+  EXPECT_DOUBLE_EQ(acc.precision(), 1.0);  // vacuous: no changes
+  EXPECT_DOUBLE_EQ(acc.recall(), 0.0);
+}
+
+TEST_F(MetricsTest, WrongChangeHurtsPrecision) {
+  AddRow(&truth_, "x", "y");
+  AddRow(&dirty_, "x", "y");  // clean
+  AddRow(&repaired_, "x", "WRONG");
+  const Accuracy acc = EvaluateRepair(truth_, dirty_, repaired_);
+  EXPECT_EQ(acc.cells_changed, 1u);
+  EXPECT_EQ(acc.cells_corrected, 0u);
+  EXPECT_EQ(acc.cells_broken, 1u);
+  EXPECT_DOUBLE_EQ(acc.precision(), 0.0);
+  EXPECT_DOUBLE_EQ(acc.recall(), 1.0);  // vacuous: no errors to fix
+}
+
+TEST_F(MetricsTest, ChangeToDifferentWrongValueCountsAsChangeNotCorrection) {
+  AddRow(&truth_, "x", "y");
+  AddRow(&dirty_, "x", "BAD");
+  AddRow(&repaired_, "x", "OTHER");
+  const Accuracy acc = EvaluateRepair(truth_, dirty_, repaired_);
+  EXPECT_EQ(acc.cells_changed, 1u);
+  EXPECT_EQ(acc.cells_corrected, 0u);
+  EXPECT_EQ(acc.cells_erroneous, 1u);
+  EXPECT_DOUBLE_EQ(acc.precision(), 0.0);
+  EXPECT_DOUBLE_EQ(acc.recall(), 0.0);
+  // Not "broken": the cell was already wrong.
+  EXPECT_EQ(acc.cells_broken, 0u);
+}
+
+TEST_F(MetricsTest, MixedCountsAccumulate) {
+  // row 0: corrected; row 1: missed; row 2: broken; row 3: untouched.
+  AddRow(&truth_, "t0", "u0");
+  AddRow(&truth_, "t1", "u1");
+  AddRow(&truth_, "t2", "u2");
+  AddRow(&truth_, "t3", "u3");
+  AddRow(&dirty_, "E0", "u0");
+  AddRow(&dirty_, "E1", "u1");
+  AddRow(&dirty_, "t2", "u2");
+  AddRow(&dirty_, "t3", "u3");
+  AddRow(&repaired_, "t0", "u0");
+  AddRow(&repaired_, "E1", "u1");
+  AddRow(&repaired_, "t2", "XX");
+  AddRow(&repaired_, "t3", "u3");
+  const Accuracy acc = EvaluateRepair(truth_, dirty_, repaired_);
+  EXPECT_EQ(acc.cells_erroneous, 2u);
+  EXPECT_EQ(acc.cells_changed, 2u);
+  EXPECT_EQ(acc.cells_corrected, 1u);
+  EXPECT_EQ(acc.cells_broken, 1u);
+  EXPECT_DOUBLE_EQ(acc.precision(), 0.5);
+  EXPECT_DOUBLE_EQ(acc.recall(), 0.5);
+  EXPECT_DOUBLE_EQ(acc.f1(), 0.5);
+}
+
+TEST_F(MetricsTest, MismatchedShapesAbort) {
+  AddRow(&truth_, "x", "y");
+  EXPECT_DEATH(EvaluateRepair(truth_, dirty_, repaired_), "");
+}
+
+TEST(TextTableTest, AlignsColumns) {
+  TextTable table({"algo", "precision"});
+  table.AddRow({"Fix", "0.99"});
+  table.AddRow({"Heu", "0.5"});
+  std::ostringstream out;
+  table.Print(out);
+  const std::string expected =
+      "| algo | precision |\n"
+      "|------|-----------|\n"
+      "| Fix  | 0.99      |\n"
+      "| Heu  | 0.5       |\n";
+  EXPECT_EQ(out.str(), expected);
+}
+
+TEST(TextTableTest, RowArityMustMatchHeader) {
+  TextTable table({"a", "b"});
+  EXPECT_DEATH(table.AddRow({"only-one"}), "");
+}
+
+TEST(FormatDoubleTest, FixedDigits) {
+  EXPECT_EQ(FormatDouble(0.97251, 3), "0.973");
+  EXPECT_EQ(FormatDouble(1.0, 2), "1.00");
+  EXPECT_EQ(FormatDouble(12.5, 0), "12");
+  EXPECT_EQ(FormatDouble(12.5, 0), "12");
+}
+
+TEST(EnvHelpersTest, DefaultsWhenUnset) {
+  ::unsetenv("FIXREP_TEST_ENV_X");
+  EXPECT_EQ(EnvSizeT("FIXREP_TEST_ENV_X", 7), 7u);
+  EXPECT_DOUBLE_EQ(EnvDouble("FIXREP_TEST_ENV_X", 0.5), 0.5);
+  EXPECT_TRUE(EnvBool("FIXREP_TEST_ENV_X", true));
+  EXPECT_FALSE(EnvBool("FIXREP_TEST_ENV_X", false));
+}
+
+TEST(EnvHelpersTest, ParsesSetValues) {
+  ::setenv("FIXREP_TEST_ENV_Y", "123", 1);
+  EXPECT_EQ(EnvSizeT("FIXREP_TEST_ENV_Y", 7), 123u);
+  ::setenv("FIXREP_TEST_ENV_Y", "0.25", 1);
+  EXPECT_DOUBLE_EQ(EnvDouble("FIXREP_TEST_ENV_Y", 0.5), 0.25);
+  ::setenv("FIXREP_TEST_ENV_Y", "true", 1);
+  EXPECT_TRUE(EnvBool("FIXREP_TEST_ENV_Y", false));
+  ::setenv("FIXREP_TEST_ENV_Y", "0", 1);
+  EXPECT_FALSE(EnvBool("FIXREP_TEST_ENV_Y", true));
+  ::unsetenv("FIXREP_TEST_ENV_Y");
+}
+
+TEST(ExperimentScaleTest, DescribeMentionsSizes) {
+  const auto scale = GetExperimentScale();
+  const std::string banner = DescribeScale(scale);
+  EXPECT_NE(banner.find("hosp"), std::string::npos);
+  EXPECT_NE(banner.find("uis"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace fixrep

@@ -1,0 +1,94 @@
+#include <gtest/gtest.h>
+
+#include "datagen/travel.h"
+#include "repair/crepair.h"
+#include "rules/consistency.h"
+#include "rules/minimize.h"
+
+namespace fixrep {
+namespace {
+
+class MinimizeTest : public ::testing::Test {
+ protected:
+  TravelExample example_;
+
+  FixingRule Rule(const std::vector<std::pair<std::string, std::string>>& ev,
+                  const std::string& target,
+                  const std::vector<std::string>& negatives,
+                  const std::string& fact) {
+    return MakeRule(*example_.schema, example_.pool.get(), ev, target,
+                    negatives, fact);
+  }
+};
+
+TEST_F(MinimizeTest, PaperRulesAreAlreadyMinimal) {
+  RuleSet rules = example_.rules;
+  const MinimizeReport report = MinimizeRules(&rules);
+  EXPECT_TRUE(report.removed_rules.empty());
+  EXPECT_EQ(rules.size(), 4u);
+}
+
+TEST_F(MinimizeTest, RemovesExactDuplicate) {
+  RuleSet rules = example_.rules;
+  rules.Add(example_.rules.rule(0));  // duplicate of phi_1 at index 4
+  const MinimizeReport report = MinimizeRules(&rules);
+  ASSERT_EQ(report.removed_rules.size(), 1u);
+  EXPECT_EQ(report.removed_rules[0], 4u);
+  EXPECT_EQ(rules.size(), 4u);
+}
+
+TEST_F(MinimizeTest, RemovesSubsumedRule) {
+  RuleSet rules = example_.rules;
+  // Weaker phi_1 with only one of its negative patterns.
+  rules.Add(Rule({{"country", "China"}}, "capital", {"Hongkong"},
+                 "Beijing"));
+  const MinimizeReport report = MinimizeRules(&rules);
+  ASSERT_EQ(report.removed_rules.size(), 1u);
+  EXPECT_EQ(report.removed_rules[0], 4u);
+}
+
+TEST_F(MinimizeTest, KeepsIndependentRules) {
+  RuleSet rules(example_.schema, example_.pool);
+  rules.Add(Rule({{"country", "China"}}, "capital", {"Shanghai"},
+                 "Beijing"));
+  rules.Add(Rule({{"country", "Canada"}}, "capital", {"Toronto"},
+                 "Ottawa"));
+  const MinimizeReport report = MinimizeRules(&rules);
+  EXPECT_TRUE(report.removed_rules.empty());
+  EXPECT_EQ(rules.size(), 2u);
+}
+
+TEST_F(MinimizeTest, MinimizedSetComputesSameFixes) {
+  RuleSet rules = example_.rules;
+  rules.Add(example_.rules.rule(1));  // duplicate
+  rules.Add(Rule({{"country", "China"}}, "capital", {"Shanghai"},
+                 "Beijing"));        // subsumed by phi_1
+  RuleSet minimized = rules;
+  const MinimizeReport report = MinimizeRules(&minimized);
+  EXPECT_EQ(report.removed_rules.size(), 2u);
+  ChaseRepairer full(&rules);
+  ChaseRepairer small(&minimized);
+  for (size_t r = 0; r < example_.dirty.num_rows(); ++r) {
+    Tuple a = example_.dirty.row(r);
+    Tuple b = example_.dirty.row(r);
+    full.RepairTuple(&a);
+    small.RepairTuple(&b);
+    EXPECT_EQ(a, b) << "row " << r;
+  }
+}
+
+TEST_F(MinimizeTest, MutuallyRedundantPairKeepsOne) {
+  RuleSet rules(example_.schema, example_.pool);
+  const FixingRule rule =
+      Rule({{"country", "China"}}, "capital", {"Shanghai"}, "Beijing");
+  rules.Add(rule);
+  rules.Add(rule);
+  rules.Add(rule);
+  const MinimizeReport report = MinimizeRules(&rules);
+  EXPECT_EQ(report.removed_rules.size(), 2u);
+  ASSERT_EQ(rules.size(), 1u);
+  EXPECT_EQ(rules.rule(0), rule);
+}
+
+}  // namespace
+}  // namespace fixrep

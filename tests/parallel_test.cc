@@ -1,0 +1,84 @@
+#include <gtest/gtest.h>
+
+#include "datagen/hosp.h"
+#include "datagen/noise.h"
+#include "datagen/travel.h"
+#include "repair/lrepair.h"
+#include "repair/parallel.h"
+#include "rulegen/rulegen.h"
+
+namespace fixrep {
+namespace {
+
+TEST(ParallelRepairTest, MatchesSerialOnTravelExample) {
+  TravelExample example;
+  Table serial = example.dirty;
+  FastRepairer repairer(&example.rules);
+  repairer.RepairTable(&serial);
+  for (const size_t threads : {1u, 2u, 4u, 16u}) {
+    Table parallel = example.dirty;
+    const RepairStats stats =
+        ParallelRepairTable(example.rules, &parallel, threads);
+    for (size_t r = 0; r < serial.num_rows(); ++r) {
+      EXPECT_EQ(parallel.row(r), serial.row(r)) << "threads " << threads;
+    }
+    EXPECT_EQ(stats.cells_changed, repairer.stats().cells_changed);
+  }
+}
+
+TEST(ParallelRepairTest, MatchesSerialOnGeneratedData) {
+  HospOptions options;
+  options.rows = 8000;
+  options.num_hospitals = 300;
+  GeneratedData data = GenerateHosp(options);
+  Table dirty = data.clean;
+  InjectNoise(&dirty, ConstraintAttributes(*data.schema, data.fds),
+              NoiseOptions{});
+  RuleGenOptions rulegen;
+  rulegen.max_rules = 400;
+  const RuleSet rules = GenerateRules(data.clean, dirty, data.fds, rulegen);
+
+  Table serial = dirty;
+  FastRepairer repairer(&rules);
+  repairer.RepairTable(&serial);
+
+  Table parallel = dirty;
+  const RepairStats stats = ParallelRepairTable(rules, &parallel, 4);
+  for (size_t r = 0; r < serial.num_rows(); ++r) {
+    ASSERT_EQ(parallel.row(r), serial.row(r)) << "row " << r;
+  }
+  EXPECT_EQ(stats.tuples_examined, dirty.num_rows());
+  EXPECT_EQ(stats.cells_changed, repairer.stats().cells_changed);
+  EXPECT_EQ(stats.per_rule_applications,
+            repairer.stats().per_rule_applications);
+}
+
+TEST(ParallelRepairTest, MoreThreadsThanRows) {
+  TravelExample example;
+  Table table = example.dirty;
+  const RepairStats stats = ParallelRepairTable(example.rules, &table, 64);
+  EXPECT_EQ(stats.tuples_examined, 4u);
+  for (size_t r = 0; r < table.num_rows(); ++r) {
+    EXPECT_EQ(table.row(r), example.clean.row(r));
+  }
+}
+
+TEST(ParallelRepairTest, EmptyTable) {
+  TravelExample example;
+  Table empty(example.schema, example.pool);
+  const RepairStats stats = ParallelRepairTable(example.rules, &empty, 4);
+  EXPECT_EQ(stats.tuples_examined, 0u);
+  EXPECT_EQ(stats.cells_changed, 0u);
+}
+
+TEST(ParallelRepairTest, DefaultThreadCount) {
+  TravelExample example;
+  Table table = example.dirty;
+  ParallelRepairTable(example.rules, &table);  // threads = 0 -> hardware
+  for (size_t r = 0; r < table.num_rows(); ++r) {
+    EXPECT_EQ(table.row(r), example.clean.row(r));
+  }
+}
+
+}  // namespace
+}  // namespace fixrep

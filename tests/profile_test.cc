@@ -1,0 +1,51 @@
+#include <gtest/gtest.h>
+
+#include "datagen/travel.h"
+#include "rules/profile.h"
+
+namespace fixrep {
+namespace {
+
+TEST(ProfileTest, TravelRules) {
+  TravelExample example;
+  const RuleSetProfile profile = ProfileRules(example.rules);
+  EXPECT_EQ(profile.num_rules, 4u);
+  EXPECT_EQ(profile.total_size, example.rules.TotalSize());
+  // Targets: capital x2 (phi_1, phi_2), country x1 (phi_3), city x1
+  // (phi_4).
+  EXPECT_EQ(profile.rules_per_target.at(2), 2u);
+  EXPECT_EQ(profile.rules_per_target.at(1), 1u);
+  EXPECT_EQ(profile.rules_per_target.at(3), 1u);
+  // Evidence arities: 1, 1, 3, 2.
+  EXPECT_EQ(profile.evidence_arity_histogram.at(1), 2u);
+  EXPECT_EQ(profile.evidence_arity_histogram.at(2), 1u);
+  EXPECT_EQ(profile.evidence_arity_histogram.at(3), 1u);
+  // Negative patterns: 2, 1, 1, 1 -> max 2, mean 1.25.
+  EXPECT_EQ(profile.max_negative_patterns, 2u);
+  EXPECT_DOUBLE_EQ(profile.mean_negative_patterns, 1.25);
+  EXPECT_EQ(profile.negative_pattern_histogram.at(1), 3u);
+  EXPECT_EQ(profile.negative_pattern_histogram.at(2), 1u);
+}
+
+TEST(ProfileTest, EmptySet) {
+  TravelExample example;
+  RuleSet empty(example.schema, example.pool);
+  const RuleSetProfile profile = ProfileRules(empty);
+  EXPECT_EQ(profile.num_rules, 0u);
+  EXPECT_EQ(profile.total_size, 0u);
+  EXPECT_DOUBLE_EQ(profile.mean_negative_patterns, 0.0);
+  EXPECT_TRUE(profile.rules_per_target.empty());
+}
+
+TEST(ProfileTest, FormatMentionsAttributeNames) {
+  TravelExample example;
+  const RuleSetProfile profile = ProfileRules(example.rules);
+  const std::string text = profile.Format(*example.schema);
+  EXPECT_NE(text.find("capital=2"), std::string::npos);
+  EXPECT_NE(text.find("country=1"), std::string::npos);
+  EXPECT_NE(text.find("size(Sigma)"), std::string::npos);
+  EXPECT_NE(text.find("mean negatives: 1.25"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace fixrep

@@ -1,0 +1,154 @@
+#include <memory>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "relation/active_domain.h"
+#include "relation/schema.h"
+#include "relation/table.h"
+#include "relation/value_pool.h"
+
+namespace fixrep {
+namespace {
+
+TEST(ValuePoolTest, InternIsIdempotent) {
+  ValuePool pool;
+  const ValueId a = pool.Intern("Beijing");
+  const ValueId b = pool.Intern("Shanghai");
+  EXPECT_NE(a, b);
+  EXPECT_EQ(pool.Intern("Beijing"), a);
+  EXPECT_EQ(pool.Intern("Shanghai"), b);
+  EXPECT_EQ(pool.size(), 2u);
+}
+
+TEST(ValuePoolTest, GetStringRoundTrips) {
+  ValuePool pool;
+  const ValueId a = pool.Intern("China");
+  EXPECT_EQ(pool.GetString(a), "China");
+}
+
+TEST(ValuePoolTest, FindWithoutIntern) {
+  ValuePool pool;
+  EXPECT_EQ(pool.Find("nope"), kNullValue);
+  pool.Intern("yes");
+  EXPECT_EQ(pool.Find("yes"), 0);
+  EXPECT_EQ(pool.Find("nope"), kNullValue);
+}
+
+TEST(ValuePoolTest, EmptyStringIsAValue) {
+  ValuePool pool;
+  const ValueId empty = pool.Intern("");
+  EXPECT_NE(empty, kNullValue);
+  EXPECT_EQ(pool.GetString(empty), "");
+}
+
+TEST(ValuePoolTest, ManyValuesKeepStableStrings) {
+  ValuePool pool;
+  std::vector<ValueId> ids;
+  for (int i = 0; i < 10000; ++i) {
+    ids.push_back(pool.Intern("value_" + std::to_string(i)));
+  }
+  for (int i = 0; i < 10000; ++i) {
+    EXPECT_EQ(pool.GetString(ids[i]), "value_" + std::to_string(i));
+  }
+  EXPECT_EQ(pool.size(), 10000u);
+}
+
+TEST(SchemaTest, AttributeLookup) {
+  const Schema schema("Travel",
+                      {"name", "country", "capital", "city", "conf"});
+  EXPECT_EQ(schema.arity(), 5u);
+  EXPECT_EQ(schema.name(), "Travel");
+  EXPECT_EQ(schema.AttributeIndex("country"), 1);
+  EXPECT_EQ(schema.attribute_name(2), "capital");
+  EXPECT_EQ(schema.FindAttribute("nope"), kInvalidAttr);
+  EXPECT_EQ(schema.FindAttribute("conf"), 4);
+}
+
+TEST(SchemaTest, Equality) {
+  const Schema a("R", {"x", "y"});
+  const Schema b("R", {"x", "y"});
+  const Schema c("R", {"y", "x"});
+  EXPECT_TRUE(a == b);
+  EXPECT_FALSE(a == c);
+}
+
+TEST(SchemaDeathTest, DuplicateAttributeAborts) {
+  EXPECT_DEATH(Schema("R", {"x", "x"}), "duplicate attribute");
+}
+
+class TableTest : public ::testing::Test {
+ protected:
+  TableTest()
+      : pool_(std::make_shared<ValuePool>()),
+        schema_(std::make_shared<Schema>(
+            "Travel", std::vector<std::string>{"name", "country", "capital",
+                                               "city", "conf"})),
+        table_(schema_, pool_) {}
+
+  std::shared_ptr<ValuePool> pool_;
+  std::shared_ptr<const Schema> schema_;
+  Table table_;
+};
+
+TEST_F(TableTest, AppendAndReadBack) {
+  table_.AppendRowStrings({"George", "China", "Beijing", "Beijing", "SIGMOD"});
+  ASSERT_EQ(table_.num_rows(), 1u);
+  EXPECT_EQ(table_.num_columns(), 5u);
+  EXPECT_EQ(table_.CellString(0, 1), "China");
+  EXPECT_EQ(table_.cell(0, 2), pool_->Find("Beijing"));
+}
+
+TEST_F(TableTest, SetCell) {
+  table_.AppendRowStrings({"Ian", "China", "Shanghai", "Hongkong", "ICDE"});
+  const ValueId beijing = pool_->Intern("Beijing");
+  table_.set_cell(0, 2, beijing);
+  EXPECT_EQ(table_.CellString(0, 2), "Beijing");
+}
+
+TEST_F(TableTest, SharedPoolComparesAcrossTables) {
+  table_.AppendRowStrings({"a", "b", "c", "d", "e"});
+  Table other(schema_, pool_);
+  other.AppendRowStrings({"a", "b", "c", "d", "e"});
+  EXPECT_EQ(table_.row(0), other.row(0));
+}
+
+TEST_F(TableTest, FormatRow) {
+  table_.AppendRowStrings({"Mike", "Canada", "Toronto", "Toronto", "ICDE"});
+  EXPECT_EQ(table_.FormatRow(0), "(Mike, Canada, Toronto, Toronto, ICDE)");
+}
+
+TEST_F(TableTest, ArityMismatchAborts) {
+  EXPECT_DEATH(table_.AppendRowStrings({"too", "few"}), "");
+}
+
+TEST(ActiveDomainTest, DistinctPerColumnInFirstSeenOrder) {
+  auto pool = std::make_shared<ValuePool>();
+  auto schema = std::make_shared<Schema>(
+      "R", std::vector<std::string>{"a", "b"});
+  Table table(schema, pool);
+  table.AppendRowStrings({"x", "1"});
+  table.AppendRowStrings({"y", "1"});
+  table.AppendRowStrings({"x", "2"});
+  const auto domains = ActiveDomains(table);
+  ASSERT_EQ(domains.size(), 2u);
+  EXPECT_EQ(domains[0].size(), 2u);
+  EXPECT_EQ(domains[1].size(), 2u);
+  EXPECT_EQ(domains[0][0], pool->Find("x"));
+  EXPECT_EQ(domains[0][1], pool->Find("y"));
+}
+
+TEST(ActiveDomainTest, SkipsNulls) {
+  auto pool = std::make_shared<ValuePool>();
+  auto schema =
+      std::make_shared<Schema>("R", std::vector<std::string>{"a"});
+  Table table(schema, pool);
+  table.AppendRow({kNullValue});
+  table.AppendRow({pool->Intern("v")});
+  const auto domains = ActiveDomains(table);
+  EXPECT_EQ(domains[0].size(), 1u);
+}
+
+}  // namespace
+}  // namespace fixrep

@@ -1,0 +1,175 @@
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+#include "repair/crepair.h"
+#include "repair/lrepair.h"
+#include "rules/consistency.h"
+#include "testing_util.h"
+
+namespace fixrep {
+namespace {
+
+using testing::RandomRuleUniverse;
+
+// Builds a random rule set with *strict* pairwise consistency, which —
+// unlike the paper's Proposition-3 notion — provably guarantees unique
+// fixes (see PairConsistentStrictChar; randomized testing found a
+// Proposition-3 counterexample, kept as a unit test in
+// consistency_test.cc).
+RuleSet RandomConsistentSet(RandomRuleUniverse* universe, Rng* rng,
+                            size_t target_size) {
+  RuleSet rules(universe->schema, universe->pool);
+  const size_t arity = universe->schema->arity();
+  for (int attempt = 0; attempt < 400 && rules.size() < target_size;
+       ++attempt) {
+    const FixingRule candidate = universe->RandomRule(rng);
+    bool compatible = true;
+    for (const auto& existing : rules.rules()) {
+      if (!PairConsistentStrictChar(existing, candidate, arity, nullptr)) {
+        compatible = false;
+        break;
+      }
+    }
+    if (compatible) rules.Add(candidate);
+  }
+  return rules;
+}
+
+class RepairPropertyTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(RepairPropertyTest, EnginesAgreeOnUniqueFix) {
+  RandomRuleUniverse universe;
+  Rng rng(GetParam());
+  for (int round = 0; round < 10; ++round) {
+    const RuleSet rules = RandomConsistentSet(&universe, &rng, 8);
+    ASSERT_TRUE(IsConsistentStrict(rules));
+    ChaseRepairer crepair(&rules);
+    FastRepairer lrepair(&rules);
+    for (int trial = 0; trial < 100; ++trial) {
+      const Tuple original = universe.RandomTuple(&rng);
+      Tuple by_crepair = original;
+      crepair.RepairTuple(&by_crepair);
+      Tuple by_lrepair = original;
+      lrepair.RepairTuple(&by_lrepair);
+      ASSERT_EQ(by_crepair, by_lrepair)
+          << "engines diverge (round " << round << ", trial " << trial
+          << ")";
+    }
+  }
+}
+
+TEST_P(RepairPropertyTest, FixIsOrderIndependent) {
+  // Church-Rosser: for a consistent set, any priority order chases a
+  // tuple to the same fix.
+  RandomRuleUniverse universe;
+  Rng rng(GetParam() ^ 0x5a5a);
+  const RuleSet rules = RandomConsistentSet(&universe, &rng, 8);
+  std::vector<const FixingRule*> order;
+  for (const auto& rule : rules.rules()) order.push_back(&rule);
+  for (int trial = 0; trial < 60; ++trial) {
+    const Tuple original = universe.RandomTuple(&rng);
+    Tuple reference = original;
+    ChaseWithPriority(order, &reference);
+    for (int perm = 0; perm < 6; ++perm) {
+      std::vector<const FixingRule*> shuffled = order;
+      rng.Shuffle(&shuffled);
+      Tuple t = original;
+      ChaseWithPriority(shuffled, &t);
+      ASSERT_EQ(t, reference) << "fix depends on rule order";
+    }
+  }
+}
+
+TEST_P(RepairPropertyTest, ReversedPriorityChaseAgreesWithEngines) {
+  // A third independent witness of the unique fix: the generic chase run
+  // with the rule order reversed must land on the same tuple as both
+  // engines.
+  RandomRuleUniverse universe;
+  Rng rng(GetParam() ^ 0xf00d);
+  const RuleSet rules = RandomConsistentSet(&universe, &rng, 6);
+  std::vector<const FixingRule*> reversed;
+  for (const auto& rule : rules.rules()) reversed.push_back(&rule);
+  std::reverse(reversed.begin(), reversed.end());
+  FastRepairer lrepair(&rules);
+  for (int trial = 0; trial < 100; ++trial) {
+    const Tuple original = universe.RandomTuple(&rng);
+    Tuple by_lrepair = original;
+    lrepair.RepairTuple(&by_lrepair);
+    Tuple by_chase = original;
+    ChaseWithPriority(reversed, &by_chase);
+    ASSERT_EQ(by_chase, by_lrepair);
+  }
+}
+
+TEST(RepairSemanticsTest, RepairIsNotIdempotentInGeneral) {
+  // Documented semantics, not a bug: assured attributes protect corrected
+  // cells only *within* one repairing process (Section 3.2). Here psi
+  // rewrites a1 to "v", which phi considers wrong; in one pass psi wins
+  // and a1 is frozen at "v", but re-repairing the result lets phi fire.
+  // The pair is consistent — every tuple has a unique fix — yet the
+  // repair operator is not idempotent as a function on tuples.
+  auto pool = std::make_shared<ValuePool>();
+  auto schema =
+      std::make_shared<Schema>("R", std::vector<std::string>{"a0", "a1"});
+  RuleSet rules(schema, pool);
+  rules.Add(MakeRule(*schema, pool.get(), {{"a0", "ctx"}}, "a1", {"u"},
+                     "v"));  // psi
+  rules.Add(MakeRule(*schema, pool.get(), {{"a0", "ctx"}}, "a1", {"v"},
+                     "w"));  // phi
+  ASSERT_TRUE(IsConsistentStrict(rules));
+  Tuple t = {pool->Intern("ctx"), pool->Intern("u")};
+  FastRepairer repairer(&rules);
+  repairer.RepairTuple(&t);
+  EXPECT_EQ(t[1], pool->Find("v"));  // psi fired, a1 assured, phi blocked
+  repairer.RepairTuple(&t);
+  EXPECT_EQ(t[1], pool->Find("w"));  // fresh pass: phi fires on "v"
+}
+
+TEST_P(RepairPropertyTest, OnlyNegativePatternCellsChange) {
+  // Soundness: every changed cell was (a) matched via a negative pattern
+  // of some rule targeting it and (b) rewritten to that rule's fact.
+  RandomRuleUniverse universe;
+  Rng rng(GetParam() ^ 0xbeef);
+  const RuleSet rules = RandomConsistentSet(&universe, &rng, 8);
+  FastRepairer lrepair(&rules);
+  for (int trial = 0; trial < 100; ++trial) {
+    const Tuple original = universe.RandomTuple(&rng);
+    Tuple repaired = original;
+    lrepair.RepairTuple(&repaired);
+    for (size_t a = 0; a < repaired.size(); ++a) {
+      if (repaired[a] == original[a]) continue;
+      bool explained = false;
+      for (const auto& rule : rules.rules()) {
+        if (rule.target == static_cast<AttrId>(a) &&
+            rule.fact == repaired[a] && rule.IsNegative(original[a])) {
+          explained = true;
+          break;
+        }
+      }
+      EXPECT_TRUE(explained)
+          << "cell " << a << " changed without a justifying rule";
+    }
+  }
+}
+
+TEST_P(RepairPropertyTest, TerminationWithinArityApplications) {
+  // Each application assures at least the target attribute, so at most
+  // |R| cells can ever change for one tuple.
+  RandomRuleUniverse universe;
+  Rng rng(GetParam() ^ 0xaaaa);
+  const RuleSet rules = RandomConsistentSet(&universe, &rng, 10);
+  ChaseRepairer crepair(&rules);
+  for (int trial = 0; trial < 200; ++trial) {
+    Tuple t = universe.RandomTuple(&rng);
+    const size_t changes = crepair.RepairTuple(&t);
+    EXPECT_LE(changes, universe.schema->arity());
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RepairPropertyTest,
+                         ::testing::Range<uint64_t>(0, 16));
+
+}  // namespace
+}  // namespace fixrep

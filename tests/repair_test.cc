@@ -1,0 +1,195 @@
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "datagen/travel.h"
+#include "repair/crepair.h"
+#include "repair/lrepair.h"
+
+namespace fixrep {
+namespace {
+
+class RepairTest : public ::testing::Test {
+ protected:
+  TravelExample example_;
+};
+
+// --- Fig. 8 walkthrough, tuple by tuple, for both engines -----------------
+
+template <typename Repairer>
+void CheckFig8(const TravelExample& example, Repairer* repairer) {
+  // r1 is clean and stays unchanged.
+  Tuple r1 = example.dirty.row(0);
+  EXPECT_EQ(repairer->RepairTuple(&r1), 0u);
+  EXPECT_EQ(r1, example.clean.row(0));
+  // r2 needs two chained fixes: phi_1 (capital -> Beijing) enables phi_4
+  // (city -> Shanghai).
+  Tuple r2 = example.dirty.row(1);
+  EXPECT_EQ(repairer->RepairTuple(&r2), 2u);
+  EXPECT_EQ(r2, example.clean.row(1));
+  // r3: phi_3 rewrites country to Japan.
+  Tuple r3 = example.dirty.row(2);
+  EXPECT_EQ(repairer->RepairTuple(&r3), 1u);
+  EXPECT_EQ(r3, example.clean.row(2));
+  // r4: phi_2 rewrites capital to Ottawa.
+  Tuple r4 = example.dirty.row(3);
+  EXPECT_EQ(repairer->RepairTuple(&r4), 1u);
+  EXPECT_EQ(r4, example.clean.row(3));
+}
+
+TEST_F(RepairTest, CRepairFollowsFig8) {
+  ChaseRepairer repairer(&example_.rules);
+  CheckFig8(example_, &repairer);
+  EXPECT_EQ(repairer.stats().tuples_examined, 4u);
+  EXPECT_EQ(repairer.stats().tuples_changed, 3u);
+  EXPECT_EQ(repairer.stats().cells_changed, 4u);
+}
+
+TEST_F(RepairTest, LRepairFollowsFig8) {
+  FastRepairer repairer(&example_.rules);
+  CheckFig8(example_, &repairer);
+  EXPECT_EQ(repairer.stats().tuples_examined, 4u);
+  EXPECT_EQ(repairer.stats().tuples_changed, 3u);
+  EXPECT_EQ(repairer.stats().cells_changed, 4u);
+}
+
+TEST_F(RepairTest, PerRuleApplicationCounts) {
+  FastRepairer repairer(&example_.rules);
+  Table dirty = example_.dirty;
+  repairer.RepairTable(&dirty);
+  const auto& per_rule = repairer.stats().per_rule_applications;
+  ASSERT_EQ(per_rule.size(), 4u);
+  EXPECT_EQ(per_rule[0], 1u);  // phi_1 fixed r2[capital]
+  EXPECT_EQ(per_rule[1], 1u);  // phi_2 fixed r4[capital]
+  EXPECT_EQ(per_rule[2], 1u);  // phi_3 fixed r3[country]
+  EXPECT_EQ(per_rule[3], 1u);  // phi_4 fixed r2[city]
+}
+
+TEST_F(RepairTest, RepairTableFixesAllFourErrors) {
+  for (int engine = 0; engine < 2; ++engine) {
+    Table dirty = example_.dirty;
+    if (engine == 0) {
+      ChaseRepairer repairer(&example_.rules);
+      repairer.RepairTable(&dirty);
+    } else {
+      FastRepairer repairer(&example_.rules);
+      repairer.RepairTable(&dirty);
+    }
+    for (size_t r = 0; r < dirty.num_rows(); ++r) {
+      EXPECT_EQ(dirty.row(r), example_.clean.row(r))
+          << "engine " << engine << " row " << r;
+    }
+  }
+}
+
+TEST_F(RepairTest, RepairIsIdempotent) {
+  Table dirty = example_.dirty;
+  FastRepairer repairer(&example_.rules);
+  repairer.RepairTable(&dirty);
+  Table again = dirty;
+  FastRepairer repairer2(&example_.rules);
+  repairer2.RepairTable(&again);
+  EXPECT_EQ(repairer2.stats().cells_changed, 0u);
+  for (size_t r = 0; r < dirty.num_rows(); ++r) {
+    EXPECT_EQ(again.row(r), dirty.row(r));
+  }
+}
+
+TEST_F(RepairTest, AssuredAttributesBlockLaterRules) {
+  // After phi_1 fires on r2, capital is assured; a rule that wants to
+  // rewrite capital again must not fire.
+  RuleSet rules = example_.rules;
+  rules.Add(MakeRule(*example_.schema, example_.pool.get(),
+                     {{"city", "Shanghai"}}, "capital", {"Beijing"},
+                     "Nanjing"));
+  // (The extended set is inconsistent in general, but on r2 the chase
+  // order of both engines applies phi_1 first, freezing capital.)
+  Tuple r2 = example_.dirty.row(1);
+  ChaseRepairer crepair(&rules);
+  crepair.RepairTuple(&r2);
+  EXPECT_EQ(r2[2], example_.pool->Find("Beijing"));
+}
+
+TEST_F(RepairTest, UnmatchedTupleUntouched) {
+  auto schema = example_.schema;
+  Tuple t(schema->arity(), kNullValue);
+  t[1] = example_.pool->Intern("Germany");
+  const Tuple before = t;
+  ChaseRepairer crepair(&example_.rules);
+  EXPECT_EQ(crepair.RepairTuple(&t), 0u);
+  EXPECT_EQ(t, before);
+  FastRepairer lrepair(&example_.rules);
+  Tuple t2 = before;
+  EXPECT_EQ(lrepair.RepairTuple(&t2), 0u);
+  EXPECT_EQ(t2, before);
+}
+
+TEST_F(RepairTest, EmptyRuleSetIsANoop) {
+  RuleSet empty(example_.schema, example_.pool);
+  ChaseRepairer crepair(&empty);
+  FastRepairer lrepair(&empty);
+  Tuple t = example_.dirty.row(1);
+  const Tuple before = t;
+  EXPECT_EQ(crepair.RepairTuple(&t), 0u);
+  EXPECT_EQ(lrepair.RepairTuple(&t), 0u);
+  EXPECT_EQ(t, before);
+}
+
+TEST_F(RepairTest, EmptyEvidenceRuleFires) {
+  RuleSet rules(example_.schema, example_.pool);
+  rules.Add(MakeRule(*example_.schema, example_.pool.get(), {}, "capital",
+                     {"Hongkong"}, "Beijing"));
+  Tuple t = example_.dirty.row(0);
+  t[2] = example_.pool->Intern("Hongkong");
+  Tuple t2 = t;
+  ChaseRepairer crepair(&rules);
+  EXPECT_EQ(crepair.RepairTuple(&t), 1u);
+  EXPECT_EQ(t[2], example_.pool->Find("Beijing"));
+  FastRepairer lrepair(&rules);
+  EXPECT_EQ(lrepair.RepairTuple(&t2), 1u);
+  EXPECT_EQ(t2[2], example_.pool->Find("Beijing"));
+}
+
+TEST_F(RepairTest, LRepairCascadeAcrossThreeRules) {
+  // phi_a: a=1 fixes b; phi_b: b fixed value enables c fix; phi_c: c
+  // fixed value enables d fix. Exercises repeated counter propagation.
+  auto pool = std::make_shared<ValuePool>();
+  auto schema = std::make_shared<Schema>(
+      "R", std::vector<std::string>{"a", "b", "c", "d"});
+  RuleSet rules(schema, pool);
+  rules.Add(MakeRule(*schema, pool.get(), {{"a", "1"}}, "b", {"bad_b"},
+                     "good_b"));
+  rules.Add(MakeRule(*schema, pool.get(), {{"b", "good_b"}}, "c", {"bad_c"},
+                     "good_c"));
+  rules.Add(MakeRule(*schema, pool.get(), {{"c", "good_c"}}, "d", {"bad_d"},
+                     "good_d"));
+  Tuple t = {pool->Intern("1"), pool->Intern("bad_b"), pool->Intern("bad_c"),
+             pool->Intern("bad_d")};
+  FastRepairer lrepair(&rules);
+  EXPECT_EQ(lrepair.RepairTuple(&t), 3u);
+  EXPECT_EQ(t[1], pool->Find("good_b"));
+  EXPECT_EQ(t[2], pool->Find("good_c"));
+  EXPECT_EQ(t[3], pool->Find("good_d"));
+  // cRepair agrees.
+  Tuple t2 = {pool->Find("1"), pool->Find("bad_b"), pool->Find("bad_c"),
+              pool->Find("bad_d")};
+  ChaseRepairer crepair(&rules);
+  EXPECT_EQ(crepair.RepairTuple(&t2), 3u);
+  EXPECT_EQ(t2, t);
+}
+
+TEST_F(RepairTest, ManyTuplesEpochIsolation) {
+  // Repairing many tuples in sequence must not leak candidate state
+  // between tuples (epoch stamping).
+  FastRepairer repairer(&example_.rules);
+  for (int round = 0; round < 1000; ++round) {
+    Tuple r2 = example_.dirty.row(1);
+    repairer.RepairTuple(&r2);
+    ASSERT_EQ(r2, example_.clean.row(1));
+    Tuple r1 = example_.dirty.row(0);
+    ASSERT_EQ(repairer.RepairTuple(&r1), 0u);
+  }
+}
+
+}  // namespace
+}  // namespace fixrep

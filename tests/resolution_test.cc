@@ -1,0 +1,144 @@
+#include <algorithm>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "datagen/travel.h"
+#include "rules/consistency.h"
+#include "rules/resolution.h"
+
+namespace fixrep {
+namespace {
+
+class ResolutionTest : public ::testing::Test {
+ protected:
+  TravelExample example_;
+
+  FixingRule Rule(const std::vector<std::pair<std::string, std::string>>& ev,
+                  const std::string& target,
+                  const std::vector<std::string>& negatives,
+                  const std::string& fact) {
+    return MakeRule(*example_.schema, example_.pool.get(), ev, target,
+                    negatives, fact);
+  }
+};
+
+TEST_F(ResolutionTest, ConsistentSetIsUntouched) {
+  RuleSet rules = example_.rules;
+  const auto report = ResolveByDropping(&rules);
+  EXPECT_TRUE(report.dropped_rules.empty());
+  EXPECT_EQ(rules.size(), 4u);
+  RuleSet rules2 = example_.rules;
+  const auto report2 = ResolveByPruning(&rules2);
+  EXPECT_TRUE(report2.dropped_rules.empty());
+  EXPECT_EQ(report2.patterns_removed, 0u);
+}
+
+TEST_F(ResolutionTest, DroppingRemovesBothConflictingRules) {
+  RuleSet rules(example_.schema, example_.pool);
+  rules.Add(MakeTravelPhi1Prime(&example_));     // #0
+  rules.Add(example_.rules.rule(1));             // #1, phi_2, innocent
+  rules.Add(example_.rules.rule(2));             // #2, phi_3
+  const auto report = ResolveByDropping(&rules);
+  EXPECT_EQ(report.dropped_rules, (std::vector<size_t>{0, 2}));
+  ASSERT_EQ(rules.size(), 1u);
+  EXPECT_EQ(rules.rule(0), example_.rules.rule(1));
+  EXPECT_TRUE(IsConsistentChar(rules));
+}
+
+TEST_F(ResolutionTest, PruningReproducesExample10ExpertFix) {
+  // The expert fix of Example 10: remove Tokyo from phi_1''s negative
+  // patterns, turning it back into phi_1, which is consistent with phi_3.
+  RuleSet rules(example_.schema, example_.pool);
+  rules.Add(MakeTravelPhi1Prime(&example_));
+  rules.Add(example_.rules.rule(2));  // phi_3
+  const auto report = ResolveByPruning(&rules);
+  EXPECT_TRUE(report.dropped_rules.empty());
+  EXPECT_EQ(report.patterns_removed, 1u);
+  ASSERT_EQ(rules.size(), 2u);
+  EXPECT_EQ(rules.rule(0), example_.rules.rule(0)) << "phi_1' became phi_1";
+  EXPECT_EQ(rules.rule(1), example_.rules.rule(2));
+  EXPECT_TRUE(IsConsistentChar(rules));
+  EXPECT_TRUE(IsConsistentEnum(rules));
+}
+
+TEST_F(ResolutionTest, PruningSameTargetConflictShrinksLargerSet) {
+  RuleSet rules(example_.schema, example_.pool);
+  rules.Add(Rule({{"country", "China"}}, "capital", {"Shanghai"}, "Beijing"));
+  rules.Add(Rule({{"conf", "ICDE"}}, "capital",
+                 {"Shanghai", "Hongkong", "Macau"}, "Nanjing"));
+  const auto report = ResolveByPruning(&rules);
+  EXPECT_TRUE(report.dropped_rules.empty());
+  EXPECT_EQ(report.patterns_removed, 1u);  // Shanghai leaves the larger set
+  ASSERT_EQ(rules.size(), 2u);
+  EXPECT_EQ(rules.rule(0).negative_patterns.size(), 1u);
+  EXPECT_EQ(rules.rule(1).negative_patterns.size(), 2u);
+  EXPECT_TRUE(IsConsistentChar(rules));
+}
+
+TEST_F(ResolutionTest, PruningDropsRuleWhoseNegativesEmpty) {
+  // Single-negative rules with the same negative and different facts:
+  // pruning empties one side, so that rule must be dropped.
+  RuleSet rules(example_.schema, example_.pool);
+  rules.Add(Rule({{"country", "China"}}, "capital", {"Shanghai"}, "Beijing"));
+  rules.Add(Rule({{"conf", "ICDE"}}, "capital", {"Shanghai"}, "Nanjing"));
+  const auto report = ResolveByPruning(&rules);
+  EXPECT_EQ(report.dropped_rules.size(), 1u);
+  EXPECT_EQ(rules.size(), 1u);
+  EXPECT_TRUE(IsConsistentChar(rules));
+}
+
+TEST_F(ResolutionTest, PruningHandlesManyConflicts) {
+  // A clique of same-target conflicts plus a mutual-evidence conflict;
+  // pruning must terminate and end consistent.
+  RuleSet rules(example_.schema, example_.pool);
+  rules.Add(Rule({{"country", "China"}}, "capital",
+                 {"Shanghai", "Hongkong", "Tokyo"}, "Beijing"));
+  rules.Add(Rule({{"conf", "ICDE"}}, "capital", {"Shanghai", "Seoul"},
+                 "Nanjing"));
+  rules.Add(Rule({{"city", "Tokyo"}}, "capital", {"Seoul", "Hongkong"},
+                 "Tokyo"));
+  rules.Add(Rule(
+      {{"capital", "Tokyo"}, {"city", "Tokyo"}, {"conf", "ICDE"}}, "country",
+      {"China"}, "Japan"));
+  const auto report = ResolveByPruning(&rules);
+  EXPECT_TRUE(IsConsistentChar(rules));
+  EXPECT_TRUE(IsConsistentEnum(rules));
+  EXPECT_GT(report.patterns_removed + report.dropped_rules.size(), 0u);
+}
+
+TEST_F(ResolutionTest, DroppingTerminatesOnCliqueOfConflicts) {
+  RuleSet rules(example_.schema, example_.pool);
+  rules.Add(Rule({{"country", "China"}}, "capital", {"Shanghai"}, "Beijing"));
+  rules.Add(Rule({{"conf", "ICDE"}}, "capital", {"Shanghai"}, "Nanjing"));
+  rules.Add(Rule({{"city", "Tokyo"}}, "capital", {"Shanghai"}, "Seoul"));
+  const auto report = ResolveByDropping(&rules);
+  EXPECT_EQ(rules.size(), 0u);
+  EXPECT_EQ(report.dropped_rules.size(), 3u);
+  EXPECT_TRUE(IsConsistentChar(rules));
+}
+
+TEST_F(ResolutionTest, ReportsOriginalIndicesAfterMultipleRounds) {
+  // Rule #1 conflicts with #0; once #0's negatives are pruned the
+  // surviving rules stay consistent. Indices in the report must refer to
+  // the original positions.
+  RuleSet rules(example_.schema, example_.pool);
+  rules.Add(Rule({{"country", "China"}}, "capital", {"Shanghai"}, "Beijing"));
+  rules.Add(Rule({{"country", "China"}}, "capital", {"Shanghai"}, "Nanjing"));
+  rules.Add(example_.rules.rule(1));  // phi_2, untouched
+  const auto report = ResolveByPruning(&rules);
+  ASSERT_EQ(report.dropped_rules.size(), 1u);
+  EXPECT_TRUE(report.dropped_rules[0] == 0 || report.dropped_rules[0] == 1);
+  EXPECT_EQ(rules.size(), 2u);
+  // phi_2 must survive.
+  const auto survives =
+      std::any_of(rules.rules().begin(), rules.rules().end(),
+                  [&](const FixingRule& r) {
+                    return r == example_.rules.rule(1);
+                  });
+  EXPECT_TRUE(survives);
+}
+
+}  // namespace
+}  // namespace fixrep

@@ -1,0 +1,148 @@
+#include <algorithm>
+#include <utility>
+
+#include <gtest/gtest.h>
+
+#include "datagen/hosp.h"
+#include "relation/active_domain.h"
+#include "datagen/noise.h"
+#include "datagen/uis.h"
+#include "eval/metrics.h"
+#include "repair/lrepair.h"
+#include "rulegen/rulegen.h"
+#include "rules/consistency.h"
+
+namespace fixrep {
+namespace {
+
+struct Pipeline {
+  GeneratedData data;
+  Table dirty;
+
+  explicit Pipeline(GeneratedData generated)
+      : data(std::move(generated)), dirty(data.clean) {}
+};
+
+Pipeline SmallHospPipeline(double typo_share = 0.5) {
+  HospOptions options;
+  options.rows = 6000;
+  options.num_hospitals = 300;
+  options.num_measures = 20;
+  Pipeline pipeline(GenerateHosp(options));
+  NoiseOptions noise;
+  noise.typo_share = typo_share;
+  InjectNoise(&pipeline.dirty,
+              ConstraintAttributes(*pipeline.data.schema, pipeline.data.fds),
+              noise);
+  return pipeline;
+}
+
+TEST(RuleGenTest, GeneratedRulesAreStructurallyValid) {
+  Pipeline pipeline = SmallHospPipeline();
+  RuleGenOptions options;
+  options.max_rules = 200;
+  // RuleSet::Add validates every rule against the schema, so successful
+  // construction is the assertion.
+  const RuleSet rules = GenerateRules(pipeline.data.clean, pipeline.dirty,
+                                      pipeline.data.fds, options);
+  EXPECT_GT(rules.size(), 0u);
+  for (const auto& rule : rules.rules()) {
+    EXPECT_FALSE(rule.negative_patterns.empty());
+    EXPECT_FALSE(rule.IsNegative(rule.fact));
+  }
+}
+
+TEST(RuleGenTest, RespectsMaxRules) {
+  Pipeline pipeline = SmallHospPipeline();
+  RuleGenOptions options;
+  options.max_rules = 50;
+  options.resolve_conflicts = false;
+  const RuleSet rules = GenerateRules(pipeline.data.clean, pipeline.dirty,
+                                      pipeline.data.fds, options);
+  EXPECT_LE(rules.size(), 50u);
+  EXPECT_GT(rules.size(), 0u);
+}
+
+TEST(RuleGenTest, ResolvedSetIsConsistent) {
+  Pipeline pipeline = SmallHospPipeline();
+  RuleGenOptions options;
+  options.max_rules = 300;
+  const RuleSet rules = GenerateRules(pipeline.data.clean, pipeline.dirty,
+                                      pipeline.data.fds, options);
+  EXPECT_TRUE(IsConsistentChar(rules));
+}
+
+TEST(RuleGenTest, FactsComeFromCleanData) {
+  Pipeline pipeline = SmallHospPipeline();
+  RuleGenOptions options;
+  options.max_rules = 100;
+  const RuleSet rules = GenerateRules(pipeline.data.clean, pipeline.dirty,
+                                      pipeline.data.fds, options);
+  // Every fact value must occur somewhere in the clean column of its
+  // target attribute.
+  const auto domains = ActiveDomains(pipeline.data.clean);
+  for (const auto& rule : rules.rules()) {
+    const auto& domain = domains[static_cast<size_t>(rule.target)];
+    EXPECT_NE(std::find(domain.begin(), domain.end(), rule.fact),
+              domain.end());
+  }
+}
+
+TEST(RuleGenTest, DeterministicForSameSeed) {
+  Pipeline pipeline = SmallHospPipeline();
+  RuleGenOptions options;
+  options.max_rules = 120;
+  const RuleSet a = GenerateRules(pipeline.data.clean, pipeline.dirty,
+                                  pipeline.data.fds, options);
+  const RuleSet b = GenerateRules(pipeline.data.clean, pipeline.dirty,
+                                  pipeline.data.fds, options);
+  ASSERT_EQ(a.size(), b.size());
+  for (size_t i = 0; i < a.size(); ++i) EXPECT_EQ(a.rule(i), b.rule(i));
+}
+
+TEST(RuleGenTest, MoreExtraNegativesMeansBiggerRules) {
+  Pipeline pipeline = SmallHospPipeline();
+  RuleGenOptions small;
+  small.max_rules = 100;
+  small.extra_negatives_per_rule = 0;
+  RuleGenOptions big = small;
+  big.extra_negatives_per_rule = 6;
+  const RuleSet rules_small = GenerateRules(
+      pipeline.data.clean, pipeline.dirty, pipeline.data.fds, small);
+  const RuleSet rules_big = GenerateRules(pipeline.data.clean, pipeline.dirty,
+                                          pipeline.data.fds, big);
+  EXPECT_GT(rules_big.TotalSize(), rules_small.TotalSize());
+}
+
+TEST(RuleGenTest, RulesRepairDirtyDataWithHighPrecision) {
+  Pipeline pipeline = SmallHospPipeline();
+  RuleGenOptions options;
+  options.max_rules = 600;
+  const RuleSet rules = GenerateRules(pipeline.data.clean, pipeline.dirty,
+                                      pipeline.data.fds, options);
+  Table repaired = pipeline.dirty;
+  FastRepairer repairer(&rules);
+  repairer.RepairTable(&repaired);
+  const Accuracy accuracy =
+      EvaluateRepair(pipeline.data.clean, pipeline.dirty, repaired);
+  EXPECT_GT(accuracy.cells_corrected, 0u);
+  EXPECT_GT(accuracy.precision(), 0.9);
+}
+
+TEST(RuleGenTest, WorksOnUis) {
+  UisOptions uis_options;
+  uis_options.rows = 4000;
+  Pipeline pipeline{GenerateUis(uis_options)};
+  InjectNoise(&pipeline.dirty,
+              ConstraintAttributes(*pipeline.data.schema, pipeline.data.fds),
+              NoiseOptions{});
+  RuleGenOptions options;
+  options.max_rules = 100;
+  const RuleSet rules = GenerateRules(pipeline.data.clean, pipeline.dirty,
+                                      pipeline.data.fds, options);
+  EXPECT_GT(rules.size(), 0u);
+  EXPECT_TRUE(IsConsistentChar(rules));
+}
+
+}  // namespace
+}  // namespace fixrep

@@ -1,0 +1,82 @@
+#ifndef FIXREP_TESTS_TESTING_UTIL_H_
+#define FIXREP_TESTS_TESTING_UTIL_H_
+
+#include <algorithm>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/random.h"
+#include "relation/schema.h"
+#include "relation/value_pool.h"
+#include "rules/fixing_rule.h"
+#include "rules/rule_set.h"
+
+namespace fixrep::testing {
+
+// A small universe for randomized tests: 4-attribute schema, per-attribute
+// value spaces "a<attr>v<k>" so that values collide across rules (which is
+// what makes conflicts and cascades reachable) but never across
+// attributes.
+struct RandomRuleUniverse {
+  std::shared_ptr<ValuePool> pool = std::make_shared<ValuePool>();
+  std::shared_ptr<const Schema> schema = std::make_shared<Schema>(
+      "R", std::vector<std::string>{"a0", "a1", "a2", "a3"});
+  int values_per_attribute = 4;
+
+  ValueId Value(AttrId attr, int k) {
+    return pool->Intern("a" + std::to_string(attr) + "v" + std::to_string(k));
+  }
+
+  FixingRule RandomRule(Rng* rng) {
+    FixingRule rule;
+    const auto arity = static_cast<AttrId>(schema->arity());
+    rule.target = static_cast<AttrId>(rng->Uniform(arity));
+    for (AttrId a = 0; a < arity; ++a) {
+      if (a == rule.target || !rng->Bernoulli(0.5)) continue;
+      rule.evidence_attrs.push_back(a);
+      rule.evidence_values.push_back(
+          Value(a, static_cast<int>(rng->Uniform(values_per_attribute))));
+    }
+    // Leave at least one non-negative value so a fact always exists.
+    const size_t max_negatives =
+        std::min<size_t>(3, static_cast<size_t>(values_per_attribute) - 1);
+    const size_t num_negatives = 1 + rng->Uniform(max_negatives);
+    while (rule.negative_patterns.size() < num_negatives) {
+      const ValueId v = Value(
+          rule.target, static_cast<int>(rng->Uniform(values_per_attribute)));
+      if (!rule.IsNegative(v)) {
+        rule.negative_patterns.push_back(v);
+        std::sort(rule.negative_patterns.begin(),
+                  rule.negative_patterns.end());
+      }
+    }
+    // values_per_attribute > max negatives, so a fact always exists.
+    while (true) {
+      const ValueId v = Value(
+          rule.target, static_cast<int>(rng->Uniform(values_per_attribute)));
+      if (!rule.IsNegative(v)) {
+        rule.fact = v;
+        break;
+      }
+    }
+    rule.Validate(*schema);
+    return rule;
+  }
+
+  // A random tuple over the value universe; with probability null_share a
+  // cell is the out-of-universe placeholder.
+  Tuple RandomTuple(Rng* rng, double null_share = 0.2) {
+    Tuple t(schema->arity(), kNullValue);
+    for (size_t a = 0; a < schema->arity(); ++a) {
+      if (rng->Bernoulli(null_share)) continue;
+      t[a] = Value(static_cast<AttrId>(a),
+                   static_cast<int>(rng->Uniform(values_per_attribute)));
+    }
+    return t;
+  }
+};
+
+}  // namespace fixrep::testing
+
+#endif  // FIXREP_TESTS_TESTING_UTIL_H_
