@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig11_negpatterns.dir/bench_fig11_negpatterns.cc.o"
+  "CMakeFiles/bench_fig11_negpatterns.dir/bench_fig11_negpatterns.cc.o.d"
+  "bench_fig11_negpatterns"
+  "bench_fig11_negpatterns.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig11_negpatterns.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig12_editing.dir/bench_fig12_editing.cc.o"
+  "CMakeFiles/bench_fig12_editing.dir/bench_fig12_editing.cc.o.d"
+  "bench_fig12_editing"
+  "bench_fig12_editing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig12_editing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig13_repair.dir/bench_fig13_repair.cc.o"
+  "CMakeFiles/bench_fig13_repair.dir/bench_fig13_repair.cc.o.d"
+  "bench_fig13_repair"
+  "bench_fig13_repair.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig13_repair.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

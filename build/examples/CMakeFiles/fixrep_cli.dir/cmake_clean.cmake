@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fixrep_cli.dir/fixrep_cli.cc.o"
+  "CMakeFiles/fixrep_cli.dir/fixrep_cli.cc.o.d"
+  "fixrep_cli"
+  "fixrep_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fixrep_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hosp_cleaning.dir/hosp_cleaning.cc.o"
+  "CMakeFiles/hosp_cleaning.dir/hosp_cleaning.cc.o.d"
+  "hosp_cleaning"
+  "hosp_cleaning.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hosp_cleaning.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rule_authoring.dir/rule_authoring.cc.o"
+  "CMakeFiles/rule_authoring.dir/rule_authoring.cc.o.d"
+  "rule_authoring"
+  "rule_authoring.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rule_authoring.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

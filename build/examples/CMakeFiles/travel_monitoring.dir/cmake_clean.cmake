@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/travel_monitoring.dir/travel_monitoring.cc.o"
+  "CMakeFiles/travel_monitoring.dir/travel_monitoring.cc.o.d"
+  "travel_monitoring"
+  "travel_monitoring.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/travel_monitoring.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

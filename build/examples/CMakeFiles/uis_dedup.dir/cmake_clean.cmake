@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/uis_dedup.dir/uis_dedup.cc.o"
+  "CMakeFiles/uis_dedup.dir/uis_dedup.cc.o.d"
+  "uis_dedup"
+  "uis_dedup.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/uis_dedup.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fixrep_baselines.dir/csm.cc.o"
+  "CMakeFiles/fixrep_baselines.dir/csm.cc.o.d"
+  "CMakeFiles/fixrep_baselines.dir/editing.cc.o"
+  "CMakeFiles/fixrep_baselines.dir/editing.cc.o.d"
+  "CMakeFiles/fixrep_baselines.dir/editing_master.cc.o"
+  "CMakeFiles/fixrep_baselines.dir/editing_master.cc.o.d"
+  "CMakeFiles/fixrep_baselines.dir/heu.cc.o"
+  "CMakeFiles/fixrep_baselines.dir/heu.cc.o.d"
+  "libfixrep_baselines.a"
+  "libfixrep_baselines.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fixrep_baselines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fixrep_common.dir/random.cc.o"
+  "CMakeFiles/fixrep_common.dir/random.cc.o.d"
+  "CMakeFiles/fixrep_common.dir/string_util.cc.o"
+  "CMakeFiles/fixrep_common.dir/string_util.cc.o.d"
+  "libfixrep_common.a"
+  "libfixrep_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fixrep_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

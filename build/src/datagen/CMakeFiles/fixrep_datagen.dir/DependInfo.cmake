@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/datagen/hosp.cc" "src/datagen/CMakeFiles/fixrep_datagen.dir/hosp.cc.o" "gcc" "src/datagen/CMakeFiles/fixrep_datagen.dir/hosp.cc.o.d"
+  "/root/repo/src/datagen/noise.cc" "src/datagen/CMakeFiles/fixrep_datagen.dir/noise.cc.o" "gcc" "src/datagen/CMakeFiles/fixrep_datagen.dir/noise.cc.o.d"
+  "/root/repo/src/datagen/travel.cc" "src/datagen/CMakeFiles/fixrep_datagen.dir/travel.cc.o" "gcc" "src/datagen/CMakeFiles/fixrep_datagen.dir/travel.cc.o.d"
+  "/root/repo/src/datagen/uis.cc" "src/datagen/CMakeFiles/fixrep_datagen.dir/uis.cc.o" "gcc" "src/datagen/CMakeFiles/fixrep_datagen.dir/uis.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/deps/CMakeFiles/fixrep_deps.dir/DependInfo.cmake"
+  "/root/repo/build/src/rules/CMakeFiles/fixrep_rules.dir/DependInfo.cmake"
+  "/root/repo/build/src/relation/CMakeFiles/fixrep_relation.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/fixrep_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fixrep_datagen.dir/hosp.cc.o"
+  "CMakeFiles/fixrep_datagen.dir/hosp.cc.o.d"
+  "CMakeFiles/fixrep_datagen.dir/noise.cc.o"
+  "CMakeFiles/fixrep_datagen.dir/noise.cc.o.d"
+  "CMakeFiles/fixrep_datagen.dir/travel.cc.o"
+  "CMakeFiles/fixrep_datagen.dir/travel.cc.o.d"
+  "CMakeFiles/fixrep_datagen.dir/uis.cc.o"
+  "CMakeFiles/fixrep_datagen.dir/uis.cc.o.d"
+  "libfixrep_datagen.a"
+  "libfixrep_datagen.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fixrep_datagen.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/deps/cfd.cc" "src/deps/CMakeFiles/fixrep_deps.dir/cfd.cc.o" "gcc" "src/deps/CMakeFiles/fixrep_deps.dir/cfd.cc.o.d"
+  "/root/repo/src/deps/fd.cc" "src/deps/CMakeFiles/fixrep_deps.dir/fd.cc.o" "gcc" "src/deps/CMakeFiles/fixrep_deps.dir/fd.cc.o.d"
+  "/root/repo/src/deps/violation.cc" "src/deps/CMakeFiles/fixrep_deps.dir/violation.cc.o" "gcc" "src/deps/CMakeFiles/fixrep_deps.dir/violation.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/relation/CMakeFiles/fixrep_relation.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/fixrep_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fixrep_deps.dir/cfd.cc.o"
+  "CMakeFiles/fixrep_deps.dir/cfd.cc.o.d"
+  "CMakeFiles/fixrep_deps.dir/fd.cc.o"
+  "CMakeFiles/fixrep_deps.dir/fd.cc.o.d"
+  "CMakeFiles/fixrep_deps.dir/violation.cc.o"
+  "CMakeFiles/fixrep_deps.dir/violation.cc.o.d"
+  "libfixrep_deps.a"
+  "libfixrep_deps.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fixrep_deps.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libfixrep_deps.a"
+)

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fixrep_eval.dir/experiment.cc.o"
+  "CMakeFiles/fixrep_eval.dir/experiment.cc.o.d"
+  "CMakeFiles/fixrep_eval.dir/metrics.cc.o"
+  "CMakeFiles/fixrep_eval.dir/metrics.cc.o.d"
+  "CMakeFiles/fixrep_eval.dir/text_table.cc.o"
+  "CMakeFiles/fixrep_eval.dir/text_table.cc.o.d"
+  "libfixrep_eval.a"
+  "libfixrep_eval.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fixrep_eval.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/relation/active_domain.cc" "src/relation/CMakeFiles/fixrep_relation.dir/active_domain.cc.o" "gcc" "src/relation/CMakeFiles/fixrep_relation.dir/active_domain.cc.o.d"
+  "/root/repo/src/relation/csv.cc" "src/relation/CMakeFiles/fixrep_relation.dir/csv.cc.o" "gcc" "src/relation/CMakeFiles/fixrep_relation.dir/csv.cc.o.d"
+  "/root/repo/src/relation/schema.cc" "src/relation/CMakeFiles/fixrep_relation.dir/schema.cc.o" "gcc" "src/relation/CMakeFiles/fixrep_relation.dir/schema.cc.o.d"
+  "/root/repo/src/relation/table.cc" "src/relation/CMakeFiles/fixrep_relation.dir/table.cc.o" "gcc" "src/relation/CMakeFiles/fixrep_relation.dir/table.cc.o.d"
+  "/root/repo/src/relation/value_pool.cc" "src/relation/CMakeFiles/fixrep_relation.dir/value_pool.cc.o" "gcc" "src/relation/CMakeFiles/fixrep_relation.dir/value_pool.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/fixrep_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

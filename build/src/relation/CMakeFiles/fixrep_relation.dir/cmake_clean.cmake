@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fixrep_relation.dir/active_domain.cc.o"
+  "CMakeFiles/fixrep_relation.dir/active_domain.cc.o.d"
+  "CMakeFiles/fixrep_relation.dir/csv.cc.o"
+  "CMakeFiles/fixrep_relation.dir/csv.cc.o.d"
+  "CMakeFiles/fixrep_relation.dir/schema.cc.o"
+  "CMakeFiles/fixrep_relation.dir/schema.cc.o.d"
+  "CMakeFiles/fixrep_relation.dir/table.cc.o"
+  "CMakeFiles/fixrep_relation.dir/table.cc.o.d"
+  "CMakeFiles/fixrep_relation.dir/value_pool.cc.o"
+  "CMakeFiles/fixrep_relation.dir/value_pool.cc.o.d"
+  "libfixrep_relation.a"
+  "libfixrep_relation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fixrep_relation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/repair/crepair.cc" "src/repair/CMakeFiles/fixrep_repair.dir/crepair.cc.o" "gcc" "src/repair/CMakeFiles/fixrep_repair.dir/crepair.cc.o.d"
+  "/root/repo/src/repair/incremental.cc" "src/repair/CMakeFiles/fixrep_repair.dir/incremental.cc.o" "gcc" "src/repair/CMakeFiles/fixrep_repair.dir/incremental.cc.o.d"
+  "/root/repo/src/repair/lrepair.cc" "src/repair/CMakeFiles/fixrep_repair.dir/lrepair.cc.o" "gcc" "src/repair/CMakeFiles/fixrep_repair.dir/lrepair.cc.o.d"
+  "/root/repo/src/repair/parallel.cc" "src/repair/CMakeFiles/fixrep_repair.dir/parallel.cc.o" "gcc" "src/repair/CMakeFiles/fixrep_repair.dir/parallel.cc.o.d"
+  "/root/repo/src/repair/provenance.cc" "src/repair/CMakeFiles/fixrep_repair.dir/provenance.cc.o" "gcc" "src/repair/CMakeFiles/fixrep_repair.dir/provenance.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/rules/CMakeFiles/fixrep_rules.dir/DependInfo.cmake"
+  "/root/repo/build/src/relation/CMakeFiles/fixrep_relation.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/fixrep_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fixrep_repair.dir/crepair.cc.o"
+  "CMakeFiles/fixrep_repair.dir/crepair.cc.o.d"
+  "CMakeFiles/fixrep_repair.dir/incremental.cc.o"
+  "CMakeFiles/fixrep_repair.dir/incremental.cc.o.d"
+  "CMakeFiles/fixrep_repair.dir/lrepair.cc.o"
+  "CMakeFiles/fixrep_repair.dir/lrepair.cc.o.d"
+  "CMakeFiles/fixrep_repair.dir/parallel.cc.o"
+  "CMakeFiles/fixrep_repair.dir/parallel.cc.o.d"
+  "CMakeFiles/fixrep_repair.dir/provenance.cc.o"
+  "CMakeFiles/fixrep_repair.dir/provenance.cc.o.d"
+  "libfixrep_repair.a"
+  "libfixrep_repair.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fixrep_repair.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fixrep_rulegen.dir/discovery.cc.o"
+  "CMakeFiles/fixrep_rulegen.dir/discovery.cc.o.d"
+  "CMakeFiles/fixrep_rulegen.dir/from_cfds.cc.o"
+  "CMakeFiles/fixrep_rulegen.dir/from_cfds.cc.o.d"
+  "CMakeFiles/fixrep_rulegen.dir/from_examples.cc.o"
+  "CMakeFiles/fixrep_rulegen.dir/from_examples.cc.o.d"
+  "CMakeFiles/fixrep_rulegen.dir/rulegen.cc.o"
+  "CMakeFiles/fixrep_rulegen.dir/rulegen.cc.o.d"
+  "libfixrep_rulegen.a"
+  "libfixrep_rulegen.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fixrep_rulegen.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/rules/consistency.cc" "src/rules/CMakeFiles/fixrep_rules.dir/consistency.cc.o" "gcc" "src/rules/CMakeFiles/fixrep_rules.dir/consistency.cc.o.d"
+  "/root/repo/src/rules/fixing_rule.cc" "src/rules/CMakeFiles/fixrep_rules.dir/fixing_rule.cc.o" "gcc" "src/rules/CMakeFiles/fixrep_rules.dir/fixing_rule.cc.o.d"
+  "/root/repo/src/rules/implication.cc" "src/rules/CMakeFiles/fixrep_rules.dir/implication.cc.o" "gcc" "src/rules/CMakeFiles/fixrep_rules.dir/implication.cc.o.d"
+  "/root/repo/src/rules/minimize.cc" "src/rules/CMakeFiles/fixrep_rules.dir/minimize.cc.o" "gcc" "src/rules/CMakeFiles/fixrep_rules.dir/minimize.cc.o.d"
+  "/root/repo/src/rules/profile.cc" "src/rules/CMakeFiles/fixrep_rules.dir/profile.cc.o" "gcc" "src/rules/CMakeFiles/fixrep_rules.dir/profile.cc.o.d"
+  "/root/repo/src/rules/resolution.cc" "src/rules/CMakeFiles/fixrep_rules.dir/resolution.cc.o" "gcc" "src/rules/CMakeFiles/fixrep_rules.dir/resolution.cc.o.d"
+  "/root/repo/src/rules/rule_io.cc" "src/rules/CMakeFiles/fixrep_rules.dir/rule_io.cc.o" "gcc" "src/rules/CMakeFiles/fixrep_rules.dir/rule_io.cc.o.d"
+  "/root/repo/src/rules/rule_set.cc" "src/rules/CMakeFiles/fixrep_rules.dir/rule_set.cc.o" "gcc" "src/rules/CMakeFiles/fixrep_rules.dir/rule_set.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/relation/CMakeFiles/fixrep_relation.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/fixrep_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

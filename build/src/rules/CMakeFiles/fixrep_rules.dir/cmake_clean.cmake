@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fixrep_rules.dir/consistency.cc.o"
+  "CMakeFiles/fixrep_rules.dir/consistency.cc.o.d"
+  "CMakeFiles/fixrep_rules.dir/fixing_rule.cc.o"
+  "CMakeFiles/fixrep_rules.dir/fixing_rule.cc.o.d"
+  "CMakeFiles/fixrep_rules.dir/implication.cc.o"
+  "CMakeFiles/fixrep_rules.dir/implication.cc.o.d"
+  "CMakeFiles/fixrep_rules.dir/minimize.cc.o"
+  "CMakeFiles/fixrep_rules.dir/minimize.cc.o.d"
+  "CMakeFiles/fixrep_rules.dir/profile.cc.o"
+  "CMakeFiles/fixrep_rules.dir/profile.cc.o.d"
+  "CMakeFiles/fixrep_rules.dir/resolution.cc.o"
+  "CMakeFiles/fixrep_rules.dir/resolution.cc.o.d"
+  "CMakeFiles/fixrep_rules.dir/rule_io.cc.o"
+  "CMakeFiles/fixrep_rules.dir/rule_io.cc.o.d"
+  "CMakeFiles/fixrep_rules.dir/rule_set.cc.o"
+  "CMakeFiles/fixrep_rules.dir/rule_set.cc.o.d"
+  "libfixrep_rules.a"
+  "libfixrep_rules.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fixrep_rules.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

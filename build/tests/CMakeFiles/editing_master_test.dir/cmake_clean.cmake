@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/editing_master_test.dir/editing_master_test.cc.o"
+  "CMakeFiles/editing_master_test.dir/editing_master_test.cc.o.d"
+  "editing_master_test"
+  "editing_master_test.pdb"
+  "editing_master_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/editing_master_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fixing_rule_test.dir/fixing_rule_test.cc.o"
+  "CMakeFiles/fixing_rule_test.dir/fixing_rule_test.cc.o.d"
+  "fixing_rule_test"
+  "fixing_rule_test.pdb"
+  "fixing_rule_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fixing_rule_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

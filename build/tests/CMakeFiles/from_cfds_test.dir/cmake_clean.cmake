@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/from_cfds_test.dir/from_cfds_test.cc.o"
+  "CMakeFiles/from_cfds_test.dir/from_cfds_test.cc.o.d"
+  "from_cfds_test"
+  "from_cfds_test.pdb"
+  "from_cfds_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/from_cfds_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

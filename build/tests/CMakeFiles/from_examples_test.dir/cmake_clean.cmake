@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/from_examples_test.dir/from_examples_test.cc.o"
+  "CMakeFiles/from_examples_test.dir/from_examples_test.cc.o.d"
+  "from_examples_test"
+  "from_examples_test.pdb"
+  "from_examples_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/from_examples_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

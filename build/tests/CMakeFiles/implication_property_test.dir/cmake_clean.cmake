@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/implication_property_test.dir/implication_property_test.cc.o"
+  "CMakeFiles/implication_property_test.dir/implication_property_test.cc.o.d"
+  "implication_property_test"
+  "implication_property_test.pdb"
+  "implication_property_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/implication_property_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

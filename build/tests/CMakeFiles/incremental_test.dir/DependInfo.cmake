@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/incremental_test.cc" "tests/CMakeFiles/incremental_test.dir/incremental_test.cc.o" "gcc" "tests/CMakeFiles/incremental_test.dir/incremental_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/rulegen/CMakeFiles/fixrep_rulegen.dir/DependInfo.cmake"
+  "/root/repo/build/src/baselines/CMakeFiles/fixrep_baselines.dir/DependInfo.cmake"
+  "/root/repo/build/src/datagen/CMakeFiles/fixrep_datagen.dir/DependInfo.cmake"
+  "/root/repo/build/src/repair/CMakeFiles/fixrep_repair.dir/DependInfo.cmake"
+  "/root/repo/build/src/rules/CMakeFiles/fixrep_rules.dir/DependInfo.cmake"
+  "/root/repo/build/src/eval/CMakeFiles/fixrep_eval.dir/DependInfo.cmake"
+  "/root/repo/build/src/deps/CMakeFiles/fixrep_deps.dir/DependInfo.cmake"
+  "/root/repo/build/src/relation/CMakeFiles/fixrep_relation.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/fixrep_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

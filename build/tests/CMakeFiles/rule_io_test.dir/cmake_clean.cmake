@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rule_io_test.dir/rule_io_test.cc.o"
+  "CMakeFiles/rule_io_test.dir/rule_io_test.cc.o.d"
+  "rule_io_test"
+  "rule_io_test.pdb"
+  "rule_io_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rule_io_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

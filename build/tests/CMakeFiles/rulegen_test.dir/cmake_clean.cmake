@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rulegen_test.dir/rulegen_test.cc.o"
+  "CMakeFiles/rulegen_test.dir/rulegen_test.cc.o.d"
+  "rulegen_test"
+  "rulegen_test.pdb"
+  "rulegen_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rulegen_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
