@@ -6,7 +6,6 @@
 #include <string>
 
 #include "bench_util.h"
-#include "common/timer.h"
 #include "deps/violation.h"
 #include "eval/text_table.h"
 #include "repair/crepair.h"
@@ -27,28 +26,21 @@ void Run() {
     {
       Table copy = workload.dirty;
       FastRepairer repairer(&workload.rules);
-      Timer timer;
-      repairer.RepairTable(&copy);
-      lrepair_ms = timer.ElapsedMillis();
+      lrepair_ms = TimedMs("lrepair", [&] { repairer.RepairTable(&copy); });
     }
     double crepair_ms = 0;
     {
       Table copy = workload.dirty;
       ChaseRepairer repairer(&workload.rules);
-      Timer timer;
-      repairer.RepairTable(&copy);
-      crepair_ms = timer.ElapsedMillis();
+      crepair_ms = TimedMs("crepair", [&] { repairer.RepairTable(&copy); });
     }
-    double detect_ms = 0;
-    {
-      Timer timer;
-      size_t violations = 0;
+    size_t violations = 0;
+    const double detect_ms = TimedMs("violation_detect", [&] {
       for (const auto& fd : NormalizeToSingleRhs(workload.data.fds)) {
         violations += DetectViolations(workload.dirty, fd).size();
       }
-      detect_ms = timer.ElapsedMillis();
-      if (violations == SIZE_MAX) std::cout << "";  // keep it live
-    }
+    });
+    if (violations == SIZE_MAX) std::cout << "";  // keep it live
     table.AddRow({std::to_string(rows), FormatDouble(lrepair_ms, 2),
                   FormatDouble(lrepair_ms * 1000.0 / rows, 3),
                   FormatDouble(crepair_ms, 2),
@@ -57,6 +49,9 @@ void Run() {
   table.Print(std::cout);
   std::cout << "\nShape check vs paper: per-row lRepair cost stays flat as "
                "the table doubles (linear scaling).\n";
+  const std::string metrics = DescribeMetrics();
+  if (!metrics.empty()) std::cout << "\n" << metrics << "\n";
+  MaybeDumpMetrics();  // FIXREP_METRICS_OUT=path for the full JSON
 }
 
 }  // namespace

@@ -11,7 +11,6 @@
 #include "baselines/csm.h"
 #include "baselines/heu.h"
 #include "bench_util.h"
-#include "common/timer.h"
 #include "eval/text_table.h"
 #include "repair/lrepair.h"
 
@@ -26,27 +25,21 @@ struct Timings {
 
 Timings TimeAll(const Workload& workload) {
   Timings timings;
-  Timer timer;
   {
     Table copy = workload.dirty;
     FastRepairer repairer(&workload.rules);
-    timer.Restart();
-    repairer.RepairTable(&copy);
-    timings.lrepair_ms = timer.ElapsedMillis();
+    timings.lrepair_ms =
+        TimedMs("lrepair", [&] { repairer.RepairTable(&copy); });
   }
   {
     Table copy = workload.dirty;
     HeuRepairer heu(workload.data.fds);
-    timer.Restart();
-    heu.Repair(&copy);
-    timings.heu_ms = timer.ElapsedMillis();
+    timings.heu_ms = TimedMs("heu", [&] { heu.Repair(&copy); });
   }
   {
     Table copy = workload.dirty;
     CsmRepairer csm(workload.data.fds);
-    timer.Restart();
-    csm.Repair(&copy);
-    timings.csm_ms = timer.ElapsedMillis();
+    timings.csm_ms = TimedMs("csm", [&] { csm.Repair(&copy); });
   }
   return timings;
 }
@@ -77,6 +70,9 @@ void Run() {
   table.Print(std::cout);
   std::cout << "\nShape check vs paper: lRepair is far faster than Heu and "
                "Csm on both datasets.\n";
+  const std::string metrics = DescribeMetrics();
+  if (!metrics.empty()) std::cout << "\n" << metrics << "\n";
+  MaybeDumpMetrics();  // FIXREP_METRICS_OUT=path for the full JSON
 }
 
 }  // namespace

@@ -1,8 +1,11 @@
 #ifndef FIXREP_BENCH_BENCH_UTIL_H_
 #define FIXREP_BENCH_BENCH_UTIL_H_
 
+#include <string>
 #include <utility>
 
+#include "common/metrics.h"
+#include "common/timer.h"
 #include "datagen/hosp.h"
 #include "datagen/noise.h"
 #include "datagen/uis.h"
@@ -73,6 +76,17 @@ inline Workload MakeUisWorkload(size_t rows, size_t max_rules,
   RuleSet rules = GenerateRules(data.clean, dirty, data.fds, rulegen);
   return Workload(std::move(data), std::move(dirty), std::move(rules),
                   report);
+}
+
+// Runs `fn` once and returns its wall time in milliseconds, also
+// observing it into the fixrep.bench.<label>_ns latency histogram — the
+// one timing idiom for the hand-rolled (non-google-benchmark) benches.
+template <typename Fn>
+double TimedMs(const char* label, Fn&& fn) {
+  const ScopedTimer scoped(MetricsRegistry::Global().GetHistogram(
+      std::string("fixrep.bench.") + label + "_ns"));
+  fn();
+  return scoped.timer().ElapsedMillis();
 }
 
 }  // namespace fixrep::bench

@@ -14,6 +14,13 @@
 //   fixrep_cli eval      --truth truth.csv --dirty dirty.csv
 //                        --repaired fixed.csv
 //
+// Global flags (any command, before or after it; --flag=value and
+// --flag value are both accepted):
+//   --log-level=debug|info|warn|error|off   logger threshold
+//                                           (default: $FIXREP_LOG_LEVEL)
+//   --metrics-out=metrics.json   dump the metrics registry and the span
+//                                timeline as JSON on exit
+//
 // CSV files are self-describing (header row = schema); the rule and FD
 // files use the formats of rules/rule_io.h and deps/fd.h. All inputs of
 // one invocation share a value pool, so cross-file cell comparisons are
@@ -23,10 +30,13 @@
 #include <iostream>
 #include <map>
 #include <memory>
+#include <optional>
 #include <string>
 #include <vector>
 
+#include "common/log.h"
 #include "common/timer.h"
+#include "common/trace.h"
 #include "datagen/hosp.h"
 #include "datagen/noise.h"
 #include "datagen/travel.h"
@@ -48,24 +58,37 @@
 namespace fixrep::cli {
 namespace {
 
-// Minimal --flag value / --flag parser.
+// Minimal flag parser: --flag value, --flag=value, and bare --flag
+// booleans. Flags may appear before or after the command; the command is
+// the first non-flag token (a valueless flag directly before the command
+// must use --flag= syntax to avoid swallowing it).
 class Args {
  public:
   Args(int argc, char** argv) {
-    for (int i = 2; i < argc; ++i) {
+    for (int i = 1; i < argc; ++i) {
       std::string key = argv[i];
       if (key.rfind("--", 0) != 0) {
+        if (command_.empty()) {
+          command_ = key;
+          continue;
+        }
         std::cerr << "unexpected argument '" << key << "'\n";
         std::exit(2);
       }
       key = key.substr(2);
-      if (i + 1 < argc && std::string(argv[i + 1]).rfind("--", 0) != 0) {
+      const size_t eq = key.find('=');
+      if (eq != std::string::npos) {
+        values_[key.substr(0, eq)] = key.substr(eq + 1);
+      } else if (i + 1 < argc &&
+                 std::string(argv[i + 1]).rfind("--", 0) != 0) {
         values_[key] = argv[++i];
       } else {
         values_[key] = "";  // boolean flag
       }
     }
   }
+
+  const std::string& command() const { return command_; }
 
   bool Has(const std::string& key) const { return values_.count(key) > 0; }
 
@@ -94,6 +117,7 @@ class Args {
   }
 
  private:
+  std::string command_;
   std::map<std::string, std::string> values_;
 };
 
@@ -105,6 +129,7 @@ int Usage() {
 }
 
 int GenData(const Args& args) {
+  FIXREP_TRACE_SPAN("cli.gen_data");
   const std::string dataset = args.Require("dataset");
   const uint64_t seed = args.GetSizeT("seed", 1);
   GeneratedData data = [&]() -> GeneratedData {
@@ -160,6 +185,7 @@ int GenData(const Args& args) {
 }
 
 int GenRules(const Args& args) {
+  FIXREP_TRACE_SPAN("cli.gen_rules");
   auto pool = std::make_shared<ValuePool>();
   const Table clean = ReadCsvFile(args.Require("clean"), "data", pool);
   const Table dirty = ReadCsvFile(args.Require("dirty"), "data", pool);
@@ -217,9 +243,14 @@ int Check(const Args& args) {
 
 int Repair(const Args& args) {
   auto pool = std::make_shared<ValuePool>();
+  // Phase spans: cli.load and cli.write here, index build + chase inside
+  // the engines — together they cover essentially the whole command, so
+  // the dumped timeline accounts for the total wall time.
+  auto load = std::make_unique<TraceSpan>("cli.load");
   Table table = ReadCsvFile(args.Require("in"), "data", pool);
   const RuleSet rules =
       ParseRulesFile(args.Require("rules"), table.schema_ptr(), pool);
+  load.reset();
   const std::string engine = args.Get("engine", "lrepair");
   Timer timer;
   size_t cells_changed = 0;
@@ -242,7 +273,10 @@ int Repair(const Args& args) {
     repairer.RepairTable(&table);
     cells_changed = repairer.stats().cells_changed;
   }
-  WriteCsvFile(table, args.Require("out"));
+  {
+    FIXREP_TRACE_SPAN("cli.write");
+    WriteCsvFile(table, args.Require("out"));
+  }
   std::cout << "repaired " << table.num_rows() << " rows ("
             << cells_changed << " cells changed) in "
             << FormatDouble(timer.ElapsedMillis(), 1) << " ms -> "
@@ -252,10 +286,13 @@ int Repair(const Args& args) {
 
 int Eval(const Args& args) {
   auto pool = std::make_shared<ValuePool>();
+  auto load = std::make_unique<TraceSpan>("cli.load");
   const Table truth = ReadCsvFile(args.Require("truth"), "data", pool);
   const Table dirty = ReadCsvFile(args.Require("dirty"), "data", pool);
   const Table repaired =
       ReadCsvFile(args.Require("repaired"), "data", pool);
+  load.reset();
+  FIXREP_TRACE_SPAN("cli.eval");
   const Accuracy accuracy = EvaluateRepair(truth, dirty, repaired);
   TextTable table({"metric", "value"});
   table.AddRow({"erroneous cells",
@@ -271,10 +308,8 @@ int Eval(const Args& args) {
   return 0;
 }
 
-int Main(int argc, char** argv) {
-  if (argc < 2) return Usage();
-  const std::string command = argv[1];
-  const Args args(argc, argv);
+int Dispatch(const Args& args) {
+  const std::string& command = args.command();
   if (command == "gen-data") return GenData(args);
   if (command == "gen-rules") return GenRules(args);
   if (command == "discover") return Discover(args);
@@ -282,6 +317,34 @@ int Main(int argc, char** argv) {
   if (command == "repair") return Repair(args);
   if (command == "eval") return Eval(args);
   return Usage();
+}
+
+int Main(int argc, char** argv) {
+  InitTraceClock();  // span offsets and total_ns count from program start
+  if (argc < 2) return Usage();
+  const Args args(argc, argv);
+  if (args.Has("log-level")) {
+    const std::string text = args.Require("log-level");
+    const std::optional<LogLevel> level = TryParseLogLevel(text);
+    if (!level.has_value()) {
+      std::cerr << "unknown --log-level '" << text
+                << "' (want debug|info|warn|error|off)\n";
+      return 2;
+    }
+    SetGlobalLogLevel(*level);
+  }
+  const int rc = Dispatch(args);
+  if (args.Has("metrics-out")) {
+    const std::string path = args.Require("metrics-out");
+    std::ofstream out(path);
+    if (!out) {
+      std::cerr << "cannot open --metrics-out path '" << path << "'\n";
+      return 2;
+    }
+    WriteMetricsJson(out);
+    FIXREP_LOG(Info) << "wrote metrics snapshot" << Kv("path", path);
+  }
+  return rc;
 }
 
 }  // namespace

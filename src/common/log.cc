@@ -1,0 +1,101 @@
+#include "common/log.h"
+
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <iostream>
+#include <mutex>
+
+namespace fixrep {
+
+namespace {
+
+std::mutex& LogMutex() {
+  static std::mutex* mutex = new std::mutex;
+  return *mutex;
+}
+
+LogLevel InitialLevel() {
+  const char* raw = std::getenv("FIXREP_LOG_LEVEL");
+  if (raw == nullptr || *raw == '\0') return LogLevel::kInfo;
+  return ParseLogLevel(raw, LogLevel::kInfo);
+}
+
+std::atomic<int>& LevelStore() {
+  static std::atomic<int> level{static_cast<int>(InitialLevel())};
+  return level;
+}
+
+char SeverityLetter(LogLevel level) {
+  switch (level) {
+    case LogLevel::kDebug:
+      return 'D';
+    case LogLevel::kInfo:
+      return 'I';
+    case LogLevel::kWarn:
+      return 'W';
+    case LogLevel::kError:
+      return 'E';
+    case LogLevel::kOff:
+      break;
+  }
+  return '?';
+}
+
+// Basename keeps lines short; the full path is rarely useful in logs.
+const char* Basename(const char* path) {
+  const char* base = path;
+  for (const char* p = path; *p != '\0'; ++p) {
+    if (*p == '/') base = p + 1;
+  }
+  return base;
+}
+
+}  // namespace
+
+std::optional<LogLevel> TryParseLogLevel(const std::string& text) {
+  if (text == "debug") return LogLevel::kDebug;
+  if (text == "info") return LogLevel::kInfo;
+  if (text == "warn" || text == "warning") return LogLevel::kWarn;
+  if (text == "error") return LogLevel::kError;
+  if (text == "off") return LogLevel::kOff;
+  return std::nullopt;
+}
+
+LogLevel ParseLogLevel(const std::string& text, LogLevel fallback) {
+  return TryParseLogLevel(text).value_or(fallback);
+}
+
+LogLevel GlobalLogLevel() {
+  return static_cast<LogLevel>(
+      LevelStore().load(std::memory_order_relaxed));
+}
+
+void SetGlobalLogLevel(LogLevel level) {
+  LevelStore().store(static_cast<int>(level), std::memory_order_relaxed);
+}
+
+namespace internal {
+
+LogMessage::LogMessage(const char* file, int line, LogLevel level) {
+  const auto now = std::chrono::system_clock::now().time_since_epoch();
+  const auto millis =
+      std::chrono::duration_cast<std::chrono::milliseconds>(now).count();
+  char prefix[96];
+  std::snprintf(prefix, sizeof(prefix), "%c %lld.%03d %s:%d] ",
+                SeverityLetter(level),
+                static_cast<long long>(millis / 1000),
+                static_cast<int>(millis % 1000), Basename(file), line);
+  stream_ << prefix;
+}
+
+LogMessage::~LogMessage() { EmitLogLine(stream_.str()); }
+
+void EmitLogLine(const std::string& line) {
+  const std::lock_guard<std::mutex> lock(LogMutex());
+  std::cerr << line << '\n';
+}
+
+}  // namespace internal
+}  // namespace fixrep

@@ -1,0 +1,106 @@
+#ifndef FIXREP_COMMON_LOG_H_
+#define FIXREP_COMMON_LOG_H_
+
+#include <optional>
+#include <ostream>
+#include <sstream>
+#include <string>
+
+// Leveled, thread-safe structured logging.
+//
+//   FIXREP_LOG(Info) << "repair done" << Kv("rows", n) << Kv("ms", elapsed);
+//
+// emits one line to stderr:
+//
+//   I 1754500000.123 lrepair.cc:98] repair done rows=115000 ms=41.2
+//
+// The threshold comes from FIXREP_LOG_LEVEL (debug|info|warn|error|off,
+// default info), read once at first use; SetGlobalLogLevel overrides it at
+// runtime. A disabled statement costs one branch and never evaluates its
+// stream operands.
+
+namespace fixrep {
+
+enum class LogLevel : int {
+  kDebug = 0,
+  kInfo = 1,
+  kWarn = 2,
+  kError = 3,
+  kOff = 4,
+};
+
+// Parses "debug"/"info"/"warn"/"warning"/"error"/"off"
+// (case-sensitive); anything else is nullopt.
+std::optional<LogLevel> TryParseLogLevel(const std::string& text);
+
+// Like TryParseLogLevel, but unrecognized text returns `fallback`.
+LogLevel ParseLogLevel(const std::string& text, LogLevel fallback);
+
+// Current threshold; messages strictly below it are dropped.
+LogLevel GlobalLogLevel();
+void SetGlobalLogLevel(LogLevel level);
+
+// Structured key=value field for log statements (streamed after the
+// message). The value is formatted with operator<<.
+template <typename T>
+struct KvField {
+  const char* key;
+  const T& value;
+};
+
+template <typename T>
+KvField<T> Kv(const char* key, const T& value) {
+  return KvField<T>{key, value};
+}
+
+template <typename T>
+std::ostream& operator<<(std::ostream& os, const KvField<T>& field) {
+  return os << ' ' << field.key << '=' << field.value;
+}
+
+namespace internal {
+
+// Formats "<severity-letter> <unix-seconds> <file>:<line>] " and, on
+// destruction, writes the accumulated line to stderr under a global mutex
+// so concurrent messages never interleave.
+class LogMessage {
+ public:
+  LogMessage(const char* file, int line, LogLevel level);
+  LogMessage(const LogMessage&) = delete;
+  LogMessage& operator=(const LogMessage&) = delete;
+  ~LogMessage();
+
+  std::ostream& stream() { return stream_; }
+
+ private:
+  std::ostringstream stream_;
+};
+
+// Writes one already-formatted line to stderr under the logging mutex.
+// Shared with the FIXREP_CHECK failure path so aborts use the same sink.
+void EmitLogLine(const std::string& line);
+
+// Lets the FIXREP_LOG macro be a void expression so it nests anywhere a
+// statement does, with no dangling-else hazard.
+struct Voidify {
+  void operator&(std::ostream&) {}
+};
+
+}  // namespace internal
+}  // namespace fixrep
+
+// Severity is one of Debug, Info, Warn, Error. The ternary keeps the
+// macro a single expression: no dangling else, operands not evaluated
+// when the level is disabled.
+#define FIXREP_LOG(severity)                                             \
+  (::fixrep::LogLevel::k##severity < ::fixrep::GlobalLogLevel())         \
+      ? (void)0                                                          \
+      : ::fixrep::internal::Voidify() &                                  \
+            ::fixrep::internal::LogMessage(                              \
+                __FILE__, __LINE__, ::fixrep::LogLevel::k##severity)     \
+                .stream()
+
+#define FIXREP_LOG_ENABLED(severity) \
+  (::fixrep::LogLevel::k##severity >= ::fixrep::GlobalLogLevel())
+
+#endif  // FIXREP_COMMON_LOG_H_

@@ -2,9 +2,10 @@
 #define FIXREP_COMMON_LOGGING_H_
 
 #include <cstdlib>
-#include <iostream>
 #include <sstream>
 #include <string>
+
+#include "common/log.h"
 
 // Lightweight CHECK/DCHECK macros in the spirit of glog. A failed check
 // prints the failing condition with file/line context and aborts; these
@@ -25,7 +26,7 @@ class CheckFailure {
   CheckFailure& operator=(const CheckFailure&) = delete;
 
   [[noreturn]] ~CheckFailure() {
-    std::cerr << stream_.str() << std::endl;
+    EmitLogLine(stream_.str());
     std::abort();
   }
 
@@ -41,9 +42,19 @@ class CheckFailure {
 
 }  // namespace fixrep::internal
 
+// The `switch (0) case 0: default:` wrapper makes the macro a single
+// statement whose trailing `else` cannot rebind: without it,
+//   if (x) FIXREP_CHECK(y); else Foo();
+// would silently attach the user's `else` to the macro's internal `if`.
+// The empty-brace then-branch keeps streamed operands unevaluated on the
+// success path.
 #define FIXREP_CHECK(condition)                                         \
-  if (!(condition))                                                     \
-  ::fixrep::internal::CheckFailure(__FILE__, __LINE__, #condition)
+  switch (0)                                                            \
+  case 0:                                                               \
+  default:                                                              \
+    if (condition) {                                                    \
+    } else                                                              \
+      ::fixrep::internal::CheckFailure(__FILE__, __LINE__, #condition)
 
 #define FIXREP_CHECK_EQ(a, b) FIXREP_CHECK((a) == (b))
 #define FIXREP_CHECK_NE(a, b) FIXREP_CHECK((a) != (b))
@@ -55,8 +66,15 @@ class CheckFailure {
 #ifndef NDEBUG
 #define FIXREP_DCHECK(condition) FIXREP_CHECK(condition)
 #else
-#define FIXREP_DCHECK(condition) \
-  if (false) ::fixrep::internal::CheckFailure(__FILE__, __LINE__, #condition)
+// Release builds do not evaluate the condition (matching glog's DCHECK);
+// the dead else-branch still type-checks the streamed operands.
+#define FIXREP_DCHECK(condition)                                        \
+  switch (0)                                                            \
+  case 0:                                                               \
+  default:                                                              \
+    if (true) {                                                         \
+    } else                                                              \
+      ::fixrep::internal::CheckFailure(__FILE__, __LINE__, #condition)
 #endif
 
 #endif  // FIXREP_COMMON_LOGGING_H_

@@ -1,0 +1,268 @@
+#include "common/metrics.h"
+
+#include <algorithm>
+#include <bit>
+#include <cstdio>
+
+namespace fixrep {
+
+namespace {
+
+// Relaxed CAS loop: good enough for min/max under contention — no
+// ordering is needed, only that the final value is the true extremum.
+void AtomicMin(std::atomic<uint64_t>* target, uint64_t value) {
+  uint64_t cur = target->load(std::memory_order_relaxed);
+  while (value < cur &&
+         !target->compare_exchange_weak(cur, value,
+                                        std::memory_order_relaxed)) {
+  }
+}
+
+void AtomicMax(std::atomic<uint64_t>* target, uint64_t value) {
+  uint64_t cur = target->load(std::memory_order_relaxed);
+  while (value > cur &&
+         !target->compare_exchange_weak(cur, value,
+                                        std::memory_order_relaxed)) {
+  }
+}
+
+}  // namespace
+
+void Histogram::Observe(uint64_t value) {
+#ifndef FIXREP_DISABLE_METRICS
+  const size_t bucket =
+      std::min<size_t>(std::bit_width(value), kNumBuckets - 1);
+  buckets_[bucket].fetch_add(1, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  sum_.fetch_add(value, std::memory_order_relaxed);
+  AtomicMin(&min_, value);
+  AtomicMax(&max_, value);
+#else
+  (void)value;
+#endif
+}
+
+uint64_t Histogram::Min() const {
+  const uint64_t v = min_.load(std::memory_order_relaxed);
+  return v == UINT64_MAX ? 0 : v;
+}
+
+uint64_t Histogram::Max() const {
+  return max_.load(std::memory_order_relaxed);
+}
+
+uint64_t Histogram::BucketUpperBound(size_t i) {
+  // Bucket i holds values with bit_width == i, i.e. value < 2^i.
+  return i >= 64 ? UINT64_MAX : (uint64_t{1} << i);
+}
+
+std::vector<uint64_t> Histogram::BucketCounts() const {
+  std::vector<uint64_t> out(kNumBuckets);
+  for (size_t i = 0; i < kNumBuckets; ++i) {
+    out[i] = buckets_[i].load(std::memory_order_relaxed);
+  }
+  return out;
+}
+
+void Histogram::Reset() {
+  for (auto& bucket : buckets_) {
+    bucket.store(0, std::memory_order_relaxed);
+  }
+  count_.store(0, std::memory_order_relaxed);
+  sum_.store(0, std::memory_order_relaxed);
+  min_.store(UINT64_MAX, std::memory_order_relaxed);
+  max_.store(0, std::memory_order_relaxed);
+}
+
+void CounterVector::Add(size_t index, uint64_t n) {
+#ifndef FIXREP_DISABLE_METRICS
+  const std::lock_guard<std::mutex> lock(mu_);
+  if (index >= values_.size()) values_.resize(index + 1, 0);
+  values_[index] += n;
+#else
+  (void)index;
+  (void)n;
+#endif
+}
+
+void CounterVector::AddAll(const std::vector<size_t>& deltas) {
+#ifndef FIXREP_DISABLE_METRICS
+  const std::lock_guard<std::mutex> lock(mu_);
+  if (deltas.size() > values_.size()) values_.resize(deltas.size(), 0);
+  for (size_t i = 0; i < deltas.size(); ++i) values_[i] += deltas[i];
+#else
+  (void)deltas;
+#endif
+}
+
+std::vector<uint64_t> CounterVector::Values() const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  return values_;
+}
+
+size_t CounterVector::size() const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  return values_.size();
+}
+
+void CounterVector::Reset() {
+  // Shrink back to empty rather than zero-filling: the vector grows on
+  // demand, so a stale length would leak one run's cardinality into the
+  // next (visible when several tests share a process).
+  const std::lock_guard<std::mutex> lock(mu_);
+  values_.clear();
+}
+
+MetricsRegistry& MetricsRegistry::Global() {
+  static MetricsRegistry* registry = new MetricsRegistry;
+  return *registry;
+}
+
+namespace {
+
+// Find-or-create on a name-keyed map of unique_ptrs; the map node gives
+// the returned pointer stability across rehashes and later insertions.
+template <typename T>
+T* FindOrCreate(std::mutex* mu,
+                std::map<std::string, std::unique_ptr<T>>* map,
+                const std::string& name) {
+  const std::lock_guard<std::mutex> lock(*mu);
+  auto& slot = (*map)[name];
+  if (slot == nullptr) slot = std::make_unique<T>();
+  return slot.get();
+}
+
+template <typename T>
+const T* FindOnly(std::mutex* mu,
+                  const std::map<std::string, std::unique_ptr<T>>& map,
+                  const std::string& name) {
+  const std::lock_guard<std::mutex> lock(*mu);
+  const auto it = map.find(name);
+  return it == map.end() ? nullptr : it->second.get();
+}
+
+}  // namespace
+
+Counter* MetricsRegistry::GetCounter(const std::string& name) {
+  return FindOrCreate(&mu_, &counters_, name);
+}
+
+Gauge* MetricsRegistry::GetGauge(const std::string& name) {
+  return FindOrCreate(&mu_, &gauges_, name);
+}
+
+Histogram* MetricsRegistry::GetHistogram(const std::string& name) {
+  return FindOrCreate(&mu_, &histograms_, name);
+}
+
+CounterVector* MetricsRegistry::GetCounterVector(const std::string& name) {
+  return FindOrCreate(&mu_, &counter_vectors_, name);
+}
+
+const Counter* MetricsRegistry::FindCounter(const std::string& name) const {
+  return FindOnly(&mu_, counters_, name);
+}
+
+const Gauge* MetricsRegistry::FindGauge(const std::string& name) const {
+  return FindOnly(&mu_, gauges_, name);
+}
+
+const Histogram* MetricsRegistry::FindHistogram(
+    const std::string& name) const {
+  return FindOnly(&mu_, histograms_, name);
+}
+
+const CounterVector* MetricsRegistry::FindCounterVector(
+    const std::string& name) const {
+  return FindOnly(&mu_, counter_vectors_, name);
+}
+
+std::string JsonEscape(const std::string& text) {
+  std::string out;
+  out.reserve(text.size());
+  for (const char c : text) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+void MetricsRegistry::WriteJson(std::ostream& os) const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  os << "{\n  \"counters\": {";
+  bool first = true;
+  for (const auto& [name, counter] : counters_) {
+    os << (first ? "\n" : ",\n") << "    \"" << JsonEscape(name)
+       << "\": " << counter->Value();
+    first = false;
+  }
+  os << (first ? "" : "\n  ") << "},\n  \"gauges\": {";
+  first = true;
+  for (const auto& [name, gauge] : gauges_) {
+    os << (first ? "\n" : ",\n") << "    \"" << JsonEscape(name)
+       << "\": " << gauge->Value();
+    first = false;
+  }
+  os << (first ? "" : "\n  ") << "},\n  \"counter_vectors\": {";
+  first = true;
+  for (const auto& [name, vec] : counter_vectors_) {
+    os << (first ? "\n" : ",\n") << "    \"" << JsonEscape(name) << "\": [";
+    const auto values = vec->Values();
+    for (size_t i = 0; i < values.size(); ++i) {
+      os << (i == 0 ? "" : ",") << values[i];
+    }
+    os << "]";
+    first = false;
+  }
+  os << (first ? "" : "\n  ") << "},\n  \"histograms\": {";
+  first = true;
+  for (const auto& [name, histogram] : histograms_) {
+    os << (first ? "\n" : ",\n") << "    \"" << JsonEscape(name)
+       << "\": {\"count\": " << histogram->Count()
+       << ", \"sum\": " << histogram->Sum()
+       << ", \"min\": " << histogram->Min()
+       << ", \"max\": " << histogram->Max() << ", \"buckets\": [";
+    const auto buckets = histogram->BucketCounts();
+    bool first_bucket = true;
+    for (size_t i = 0; i < buckets.size(); ++i) {
+      if (buckets[i] == 0) continue;
+      os << (first_bucket ? "" : ", ") << "{\"le\": "
+         << Histogram::BucketUpperBound(i) << ", \"count\": " << buckets[i]
+         << "}";
+      first_bucket = false;
+    }
+    os << "]}";
+    first = false;
+  }
+  os << (first ? "" : "\n  ") << "}\n}";
+}
+
+void MetricsRegistry::ResetAllForTest() {
+  const std::lock_guard<std::mutex> lock(mu_);
+  for (auto& [name, counter] : counters_) counter->Reset();
+  for (auto& [name, gauge] : gauges_) gauge->Reset();
+  for (auto& [name, histogram] : histograms_) histogram->Reset();
+  for (auto& [name, vec] : counter_vectors_) vec->Reset();
+}
+
+}  // namespace fixrep

@@ -1,0 +1,156 @@
+#ifndef FIXREP_COMMON_METRICS_H_
+#define FIXREP_COMMON_METRICS_H_
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <ostream>
+#include <string>
+#include <vector>
+
+// Process-wide metrics registry, cheap enough to stay enabled in release
+// builds: counters and histograms are relaxed atomics, name lookup is a
+// mutex-guarded map done once at instrumentation-site setup (the hot path
+// holds the returned pointer). Configure -DFIXREP_DISABLE_METRICS=ON to
+// compile every mutation into a no-op for overhead measurements.
+//
+// Naming convention: fixrep.<subsystem>.<name>, e.g.
+// fixrep.lrepair.tuples_examined; span histograms are
+// fixrep.span.<span-name>_ns. See docs/observability.md.
+
+namespace fixrep {
+
+#ifdef FIXREP_DISABLE_METRICS
+inline constexpr bool kMetricsEnabled = false;
+#else
+inline constexpr bool kMetricsEnabled = true;
+#endif
+
+// Monotonically increasing event count.
+class Counter {
+ public:
+  void Add(uint64_t n = 1) {
+#ifndef FIXREP_DISABLE_METRICS
+    value_.fetch_add(n, std::memory_order_relaxed);
+#else
+    (void)n;
+#endif
+  }
+
+  uint64_t Value() const { return value_.load(std::memory_order_relaxed); }
+  void Reset() { value_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<uint64_t> value_{0};
+};
+
+// Last-write-wins instantaneous value (thread count, index size, ...).
+class Gauge {
+ public:
+  void Set(int64_t v) {
+#ifndef FIXREP_DISABLE_METRICS
+    value_.store(v, std::memory_order_relaxed);
+#else
+    (void)v;
+#endif
+  }
+
+  int64_t Value() const { return value_.load(std::memory_order_relaxed); }
+  void Reset() { value_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<int64_t> value_{0};
+};
+
+// Fixed power-of-two-bucket histogram for latencies in nanoseconds (or
+// any nonnegative value). Bucket i counts observations whose bit width is
+// i, i.e. values in [2^(i-1), 2^i); the last bucket absorbs overflow.
+class Histogram {
+ public:
+  // 2^47 ns is ~39 hours, far beyond any phase this library runs.
+  static constexpr size_t kNumBuckets = 48;
+
+  void Observe(uint64_t value);
+
+  uint64_t Count() const { return count_.load(std::memory_order_relaxed); }
+  uint64_t Sum() const { return sum_.load(std::memory_order_relaxed); }
+  uint64_t Min() const;  // 0 when empty
+  uint64_t Max() const;
+  // Upper bound (exclusive) of bucket i.
+  static uint64_t BucketUpperBound(size_t i);
+  std::vector<uint64_t> BucketCounts() const;
+  void Reset();
+
+ private:
+  std::atomic<uint64_t> buckets_[kNumBuckets] = {};
+  std::atomic<uint64_t> count_{0};
+  std::atomic<uint64_t> sum_{0};
+  std::atomic<uint64_t> min_{UINT64_MAX};
+  std::atomic<uint64_t> max_{0};
+};
+
+// A fixed set of counters addressed by index — used for per-rule
+// application counts where one name per rule would be absurd. Updates are
+// mutex-guarded: repairers accumulate locally and publish once per table,
+// so this is never on a per-tuple path.
+class CounterVector {
+ public:
+  void Add(size_t index, uint64_t n);
+  void AddAll(const std::vector<size_t>& deltas);
+  std::vector<uint64_t> Values() const;
+  size_t size() const;
+  void Reset();
+
+ private:
+  mutable std::mutex mu_;
+  std::vector<uint64_t> values_;
+};
+
+class MetricsRegistry {
+ public:
+  // The process-wide registry every instrumentation site publishes to.
+  static MetricsRegistry& Global();
+
+  MetricsRegistry() = default;
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+  // Find-or-create. Returned pointers stay valid for the registry's
+  // lifetime (the Global() registry is never destroyed).
+  Counter* GetCounter(const std::string& name);
+  Gauge* GetGauge(const std::string& name);
+  Histogram* GetHistogram(const std::string& name);
+  CounterVector* GetCounterVector(const std::string& name);
+
+  // nullptr when the name was never registered.
+  const Counter* FindCounter(const std::string& name) const;
+  const Gauge* FindGauge(const std::string& name) const;
+  const Histogram* FindHistogram(const std::string& name) const;
+  const CounterVector* FindCounterVector(const std::string& name) const;
+
+  // Writes every metric as one JSON object: {"counters": {...},
+  // "gauges": {...}, "counter_vectors": {...}, "histograms": {...}}.
+  // Histograms list only their nonzero buckets. The output is a snapshot:
+  // each value is read once, concurrent updates may or may not be seen.
+  void WriteJson(std::ostream& os) const;
+
+  // Zeroes every registered value, keeping registrations (and therefore
+  // pointers held by instrumentation sites) intact. For tests.
+  void ResetAllForTest();
+
+ private:
+  mutable std::mutex mu_;
+  std::map<std::string, std::unique_ptr<Counter>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>> gauges_;
+  std::map<std::string, std::unique_ptr<Histogram>> histograms_;
+  std::map<std::string, std::unique_ptr<CounterVector>> counter_vectors_;
+};
+
+// Minimal JSON string escaping for metric/span names and log text.
+std::string JsonEscape(const std::string& text);
+
+}  // namespace fixrep
+
+#endif  // FIXREP_COMMON_METRICS_H_

@@ -2,6 +2,9 @@
 #define FIXREP_COMMON_TIMER_H_
 
 #include <chrono>
+#include <cstdint>
+
+#include "common/metrics.h"
 
 namespace fixrep {
 
@@ -13,6 +16,13 @@ class Timer {
 
   void Restart() { start_ = Clock::now(); }
 
+  uint64_t ElapsedNanos() const {
+    return static_cast<uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(Clock::now() -
+                                                             start_)
+            .count());
+  }
+
   double ElapsedSeconds() const {
     return std::chrono::duration<double>(Clock::now() - start_).count();
   }
@@ -22,6 +32,31 @@ class Timer {
  private:
   using Clock = std::chrono::steady_clock;
   Clock::time_point start_;
+};
+
+// Reports the elapsed nanoseconds of its scope into a latency histogram,
+// composing Timer with the metrics registry:
+//
+//   ScopedTimer t(MetricsRegistry::Global().GetHistogram(
+//       "fixrep.bench.lrepair_ns"));
+//
+// A null histogram disables reporting (useful when instrumentation is
+// conditional at the call site).
+class ScopedTimer {
+ public:
+  explicit ScopedTimer(Histogram* histogram) : histogram_(histogram) {}
+  ScopedTimer(const ScopedTimer&) = delete;
+  ScopedTimer& operator=(const ScopedTimer&) = delete;
+
+  ~ScopedTimer() {
+    if (histogram_ != nullptr) histogram_->Observe(timer_.ElapsedNanos());
+  }
+
+  const Timer& timer() const { return timer_; }
+
+ private:
+  Histogram* histogram_;
+  Timer timer_;
 };
 
 }  // namespace fixrep

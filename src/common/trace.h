@@ -1,0 +1,102 @@
+#ifndef FIXREP_COMMON_TRACE_H_
+#define FIXREP_COMMON_TRACE_H_
+
+#include <cstdint>
+#include <mutex>
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "common/metrics.h"
+
+// RAII phase tracing.
+//
+//   void FastRepairer::RepairTable(Table* table) {
+//     FIXREP_TRACE_SPAN("lrepair.chase");
+//     ...
+//   }
+//
+// Each span records its wall time twice: into the latency histogram
+// fixrep.span.<name>_ns of the global MetricsRegistry (aggregate view)
+// and as one event in the global TraceTimeline (per-run timeline view,
+// dumpable as JSON). Spans nest; the per-thread depth is recorded so a
+// timeline consumer can reconstruct the tree. Compiled out together with
+// the metrics layer under -DFIXREP_DISABLE_METRICS=ON.
+
+namespace fixrep {
+
+// Nanoseconds since the process trace epoch (the first call in the
+// process, or the explicit InitTraceClock below). Monotonic.
+uint64_t TraceNowNanos();
+
+// Pins the trace epoch to "now". Call early in main() so span start
+// offsets — and TotalNanos() below — are measured from program start.
+void InitTraceClock();
+
+class TraceTimeline {
+ public:
+  struct Span {
+    std::string name;
+    uint32_t thread = 0;  // dense per-process thread index, 0 = first seen
+    uint32_t depth = 0;   // 0 = no enclosing span on this thread
+    uint64_t start_ns = 0;
+    uint64_t duration_ns = 0;
+  };
+
+  static TraceTimeline& Global();
+
+  // Appends one finished span. Bounded: after kMaxSpans the event is
+  // dropped and counted, so a long-running service cannot grow without
+  // limit. Thread-safe.
+  void Record(Span span);
+
+  std::vector<Span> Snapshot() const;
+  uint64_t dropped() const;
+  void Reset();
+
+  // Writes {"total_ns": ..., "dropped": N, "spans": [...]} with spans in
+  // completion order. total_ns is TraceNowNanos() at dump time, i.e. wall
+  // time since the trace epoch.
+  void WriteJson(std::ostream& os) const;
+
+  static constexpr size_t kMaxSpans = 1 << 16;
+
+ private:
+  mutable std::mutex mu_;
+  std::vector<Span> spans_;
+  uint64_t dropped_ = 0;
+};
+
+// The RAII guard behind FIXREP_TRACE_SPAN. `name` must outlive the span
+// (string literals only).
+class TraceSpan {
+ public:
+  explicit TraceSpan(const char* name);
+  TraceSpan(const TraceSpan&) = delete;
+  TraceSpan& operator=(const TraceSpan&) = delete;
+  ~TraceSpan();
+
+ private:
+  const char* name_;
+  uint64_t start_ns_;
+  uint32_t depth_;
+};
+
+// Writes the combined observability dump — the metrics registry plus the
+// span timeline — as one JSON object. This is what --metrics-out and
+// FIXREP_METRICS_OUT produce.
+void WriteMetricsJson(std::ostream& os);
+
+}  // namespace fixrep
+
+#ifdef FIXREP_DISABLE_METRICS
+#define FIXREP_TRACE_SPAN(name) static_cast<void>(0)
+#else
+#define FIXREP_TRACE_SPAN_CONCAT2(a, b) a##b
+#define FIXREP_TRACE_SPAN_CONCAT(a, b) FIXREP_TRACE_SPAN_CONCAT2(a, b)
+#define FIXREP_TRACE_SPAN(name) \
+  ::fixrep::TraceSpan FIXREP_TRACE_SPAN_CONCAT(fixrep_trace_span_, \
+                                               __LINE__)(name)
+#endif
+
+#endif  // FIXREP_COMMON_TRACE_H_

@@ -1,7 +1,12 @@
 #include "eval/experiment.h"
 
 #include <cstdlib>
+#include <fstream>
 #include <string>
+
+#include "common/log.h"
+#include "common/metrics.h"
+#include "common/trace.h"
 
 namespace fixrep {
 
@@ -42,6 +47,39 @@ std::string DescribeScale(const ExperimentScale& scale) {
          std::to_string(scale.uis_rows) + " rows / " +
          std::to_string(scale.uis_rules) +
          " rules; set FIXREP_FULL_SCALE=1 for the paper's sizes)";
+}
+
+std::string DescribeMetrics() {
+  const auto& registry = MetricsRegistry::Global();
+  std::string out;
+  const auto append = [&](const char* name) {
+    const Counter* counter = registry.FindCounter(name);
+    if (counter == nullptr || counter->Value() == 0) return;
+    if (!out.empty()) out += ' ';
+    out += name;
+    out += '=';
+    out += std::to_string(counter->Value());
+  };
+  append("fixrep.lrepair.tuples_examined");
+  append("fixrep.lrepair.cells_changed");
+  append("fixrep.crepair.tuples_examined");
+  append("fixrep.crepair.cells_changed");
+  append("fixrep.consistency.pairs_checked");
+  append("fixrep.discovery.rules_emitted");
+  return out.empty() ? out : "metrics: " + out;
+}
+
+bool MaybeDumpMetrics() {
+  const char* path = std::getenv("FIXREP_METRICS_OUT");
+  if (path == nullptr || *path == '\0') return false;
+  std::ofstream out(path);
+  if (!out) {
+    FIXREP_LOG(Error) << "cannot open metrics output" << Kv("path", path);
+    return false;
+  }
+  WriteMetricsJson(out);
+  FIXREP_LOG(Info) << "wrote metrics snapshot" << Kv("path", path);
+  return true;
 }
 
 }  // namespace fixrep

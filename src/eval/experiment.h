@@ -31,6 +31,16 @@ ExperimentScale GetExperimentScale();
 // One-line banner describing the scale, printed by each bench.
 std::string DescribeScale(const ExperimentScale& scale);
 
+// One-line summary of the key repair counters accumulated so far in the
+// global MetricsRegistry; benches print it so their reports are
+// self-describing ("" when nothing was recorded).
+std::string DescribeMetrics();
+
+// If FIXREP_METRICS_OUT is set, writes the combined metrics + span
+// timeline JSON (WriteMetricsJson) to that path; returns true when a
+// file was written. Benches call this last so any run can be mined.
+bool MaybeDumpMetrics();
+
 }  // namespace fixrep
 
 #endif  // FIXREP_EVAL_EXPERIMENT_H_

@@ -3,12 +3,14 @@
 #include <vector>
 
 #include "common/logging.h"
+#include "common/trace.h"
 
 namespace fixrep {
 
 ChaseRepairer::ChaseRepairer(const RuleSet* rules) : rules_(rules) {
   FIXREP_CHECK(rules_ != nullptr);
   stats_.Reset(rules_->size());
+  published_.Reset(rules_->size());
 }
 
 size_t ChaseRepairer::RepairTuple(Tuple* t) {
@@ -22,6 +24,7 @@ size_t ChaseRepairer::RepairTuple(Tuple* t) {
   bool updated = true;
   while (updated) {
     updated = false;
+    ++stats_.chase_iterations;
     for (size_t i = 0; i < rules_->size(); ++i) {
       if (applied[i]) continue;
       const FixingRule& rule = rules_->rule(i);
@@ -31,6 +34,7 @@ size_t ChaseRepairer::RepairTuple(Tuple* t) {
       applied[i] = true;
       updated = true;
       ++cells_changed;
+      ++stats_.rule_applications;
       ++stats_.per_rule_applications[i];
     }
   }
@@ -40,9 +44,16 @@ size_t ChaseRepairer::RepairTuple(Tuple* t) {
 }
 
 void ChaseRepairer::RepairTable(Table* table) {
+  FIXREP_TRACE_SPAN("crepair.chase");
   for (size_t r = 0; r < table->num_rows(); ++r) {
     RepairTuple(&table->mutable_row(r));
   }
+  FlushMetrics();
+}
+
+void ChaseRepairer::FlushMetrics() {
+  stats_.PublishDelta(published_, "crepair");
+  published_ = stats_;
 }
 
 }  // namespace fixrep

@@ -27,11 +27,19 @@ class ChaseRepairer {
   void RepairTable(Table* table);
 
   const RepairStats& stats() const { return stats_; }
-  void ResetStats() { stats_.Reset(rules_->size()); }
+  void ResetStats() {
+    stats_.Reset(rules_->size());
+    published_.Reset(rules_->size());
+  }
+
+  // Publishes stats accumulated since the last flush into the global
+  // MetricsRegistry (fixrep.crepair.*). RepairTable flushes automatically.
+  void FlushMetrics();
 
  private:
   const RuleSet* rules_;
   RepairStats stats_;
+  RepairStats published_;  // snapshot of stats_ at the last FlushMetrics
 };
 
 }  // namespace fixrep

@@ -3,8 +3,18 @@
 #include <utility>
 
 #include "common/logging.h"
+#include "common/metrics.h"
 
 namespace fixrep {
+
+namespace {
+
+Counter* IncrementalCounter(const char* name) {
+  return MetricsRegistry::Global().GetCounter(
+      std::string("fixrep.incremental.") + name);
+}
+
+}  // namespace
 
 IncrementalRepairer::IncrementalRepairer(const RuleSet* rules, Table table)
     : table_(std::move(table)), repairer_(rules) {
@@ -15,6 +25,8 @@ size_t IncrementalRepairer::Insert(Tuple row) {
   FIXREP_CHECK_EQ(row.size(), table_.schema().arity());
   repairer_.RepairTuple(&row);
   table_.AppendRow(std::move(row));
+  IncrementalCounter("inserts")->Add(1);
+  repairer_.FlushMetrics();
   return table_.num_rows() - 1;
 }
 
@@ -22,7 +34,10 @@ size_t IncrementalRepairer::UpdateCell(size_t row, AttrId attr,
                                        ValueId value) {
   FIXREP_CHECK_LT(row, table_.num_rows());
   table_.set_cell(row, attr, value);
-  return repairer_.RepairTuple(&table_.mutable_row(row));
+  const size_t changed = repairer_.RepairTuple(&table_.mutable_row(row));
+  IncrementalCounter("cell_updates")->Add(1);
+  repairer_.FlushMetrics();
+  return changed;
 }
 
 }  // namespace fixrep

@@ -1,11 +1,14 @@
 #include "repair/lrepair.h"
 
 #include "common/logging.h"
+#include "common/metrics.h"
+#include "common/trace.h"
 
 namespace fixrep {
 
 FastRepairer::FastRepairer(const RuleSet* rules) : rules_(rules) {
   FIXREP_CHECK(rules_ != nullptr);
+  FIXREP_TRACE_SPAN("lrepair.index_build");
   const size_t n = rules_->size();
   for (uint32_t i = 0; i < n; ++i) {
     const FixingRule& rule = rules_->rule(i);
@@ -23,9 +26,15 @@ FastRepairer::FastRepairer(const RuleSet* rules) : rules_(rules) {
   queued_epoch_.assign(n, 0);
   checked_epoch_.assign(n, 0);
   stats_.Reset(n);
+  published_.Reset(n);
+  auto& registry = MetricsRegistry::Global();
+  registry.GetCounter("fixrep.lrepair.index_builds")->Add(1);
+  registry.GetGauge("fixrep.lrepair.index_keys")
+      ->Set(static_cast<int64_t>(inverted_.size()));
 }
 
 void FastRepairer::BumpCounter(uint32_t rule_index) {
+  ++stats_.counter_bumps;
   if (counter_epoch_[rule_index] != epoch_) {
     counter_epoch_[rule_index] = epoch_;
     counter_[rule_index] = 0;
@@ -36,6 +45,7 @@ void FastRepairer::BumpCounter(uint32_t rule_index) {
       queued_epoch_[rule_index] != epoch_ &&
       checked_epoch_[rule_index] != epoch_) {
     queued_epoch_[rule_index] = epoch_;
+    ++stats_.candidates_enqueued;
     queue_.push_back(rule_index);
   }
 }
@@ -57,6 +67,7 @@ size_t FastRepairer::RepairTuple(Tuple* t) {
   // seed Ω with fully-counted rules.
   for (uint32_t rule_index : empty_evidence_rules_) {
     queued_epoch_[rule_index] = epoch_;
+    ++stats_.candidates_enqueued;
     queue_.push_back(rule_index);
   }
   const auto arity = static_cast<AttrId>(t->size());
@@ -65,6 +76,7 @@ size_t FastRepairer::RepairTuple(Tuple* t) {
     if (v == kNullValue) continue;
     const auto it = inverted_.find(Key(a, v));
     if (it == inverted_.end()) continue;
+    ++stats_.index_hits;
     for (const uint32_t rule_index : it->second) BumpCounter(rule_index);
   }
 
@@ -77,14 +89,19 @@ size_t FastRepairer::RepairTuple(Tuple* t) {
     if (checked_epoch_[rule_index] == epoch_) continue;
     checked_epoch_[rule_index] = epoch_;  // removed from Ω once and for all
     const FixingRule& rule = rules_->rule(rule_index);
-    if (assured.Contains(rule.target) || !rule.Matches(*t)) continue;
+    if (assured.Contains(rule.target) || !rule.Matches(*t)) {
+      ++stats_.candidates_rejected;
+      continue;
+    }
     rule.Apply(t);
     assured.UnionWith(rule.AssuredSet());
     ++cells_changed;
+    ++stats_.rule_applications;
     ++stats_.per_rule_applications[rule_index];
     // Propagate the new value through the inverted lists (lines 13-15).
     const auto it = inverted_.find(Key(rule.target, rule.fact));
     if (it == inverted_.end()) continue;
+    ++stats_.index_hits;
     for (const uint32_t candidate : it->second) {
       if (checked_epoch_[candidate] != epoch_) BumpCounter(candidate);
     }
@@ -96,9 +113,16 @@ size_t FastRepairer::RepairTuple(Tuple* t) {
 }
 
 void FastRepairer::RepairTable(Table* table) {
+  FIXREP_TRACE_SPAN("lrepair.chase");
   for (size_t r = 0; r < table->num_rows(); ++r) {
     RepairTuple(&table->mutable_row(r));
   }
+  FlushMetrics();
+}
+
+void FastRepairer::FlushMetrics() {
+  stats_.PublishDelta(published_, "lrepair");
+  published_ = stats_;
 }
 
 }  // namespace fixrep

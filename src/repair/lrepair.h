@@ -39,7 +39,16 @@ class FastRepairer {
   void RepairTable(Table* table);
 
   const RepairStats& stats() const { return stats_; }
-  void ResetStats() { stats_.Reset(rules_->size()); }
+  void ResetStats() {
+    stats_.Reset(rules_->size());
+    published_.Reset(rules_->size());
+  }
+
+  // Publishes stats accumulated since the last flush into the global
+  // MetricsRegistry (fixrep.lrepair.*). RepairTable flushes automatically;
+  // callers driving RepairTuple directly (incremental sessions, parallel
+  // workers) decide their own flush granularity.
+  void FlushMetrics();
 
  private:
   static uint64_t Key(AttrId attr, ValueId value) {
@@ -64,6 +73,7 @@ class FastRepairer {
   std::vector<uint32_t> queue_;          // Ω
 
   RepairStats stats_;
+  RepairStats published_;  // snapshot of stats_ at the last FlushMetrics
 };
 
 }  // namespace fixrep

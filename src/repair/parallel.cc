@@ -4,7 +4,10 @@
 #include <thread>
 #include <vector>
 
+#include "common/log.h"
 #include "common/logging.h"
+#include "common/metrics.h"
+#include "common/trace.h"
 #include "repair/lrepair.h"
 
 namespace fixrep {
@@ -20,9 +23,17 @@ RepairStats ParallelRepairTable(const RuleSet& rules, Table* table,
 
   if (threads <= 1 || rows == 0) {
     FastRepairer repairer(&rules);
-    repairer.RepairTable(table);
+    repairer.RepairTable(table);  // flushes fixrep.lrepair.* itself
     return repairer.stats();
   }
+
+  FIXREP_TRACE_SPAN("parallel.repair_table");
+  auto& registry = MetricsRegistry::Global();
+  registry.GetCounter("fixrep.parallel.tables_repaired")->Add(1);
+  registry.GetGauge("fixrep.parallel.workers")
+      ->Set(static_cast<int64_t>(threads));
+  FIXREP_LOG(Debug) << "parallel repair" << Kv("rows", rows)
+                    << Kv("rules", rules.size()) << Kv("workers", threads);
 
   std::vector<RepairStats> per_worker(threads);
   std::vector<std::thread> workers;
@@ -35,7 +46,10 @@ RepairStats ParallelRepairTable(const RuleSet& rules, Table* table,
     workers.emplace_back([&rules, table, begin, end,
                           stats = &per_worker[w]]() {
       // Each worker owns a repairer: the rule set is shared read-only,
-      // the counters/queue inside FastRepairer are worker-local.
+      // the counters/queue inside FastRepairer are worker-local. Workers
+      // drive RepairTuple directly and never flush — the merged stats are
+      // published once below, after the join, so registry counts match
+      // the single-threaded run exactly.
       FastRepairer repairer(&rules);
       for (size_t r = begin; r < end; ++r) {
         repairer.RepairTuple(&table->mutable_row(r));
@@ -47,14 +61,10 @@ RepairStats ParallelRepairTable(const RuleSet& rules, Table* table,
 
   RepairStats merged;
   merged.Reset(rules.size());
-  for (const auto& stats : per_worker) {
-    merged.tuples_examined += stats.tuples_examined;
-    merged.tuples_changed += stats.tuples_changed;
-    merged.cells_changed += stats.cells_changed;
-    for (size_t i = 0; i < stats.per_rule_applications.size(); ++i) {
-      merged.per_rule_applications[i] += stats.per_rule_applications[i];
-    }
-  }
+  for (const auto& stats : per_worker) merged.MergeFrom(stats);
+  RepairStats empty;
+  empty.Reset(rules.size());
+  merged.PublishDelta(empty, "lrepair");
   return merged;
 }
 

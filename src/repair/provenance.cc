@@ -1,6 +1,7 @@
 #include "repair/provenance.h"
 
 #include "common/logging.h"
+#include "common/trace.h"
 #include "repair/lrepair.h"
 
 namespace fixrep {
@@ -29,6 +30,7 @@ std::vector<size_t> RepairLog::PerRuleCounts(size_t num_rules) const {
 
 RepairLog RepairWithProvenance(const RuleSet& rules, Table* table) {
   FIXREP_CHECK(table != nullptr);
+  FIXREP_TRACE_SPAN("provenance.chase");
   RepairLog log;
   // Chase each tuple exactly as cRepair does (for a consistent set the
   // fix is unique, so this matches what FastRepairer writes), recording

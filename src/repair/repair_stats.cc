@@ -1,0 +1,65 @@
+#include "repair/repair_stats.h"
+
+#include <string>
+
+#include "common/logging.h"
+#include "common/metrics.h"
+
+namespace fixrep {
+
+void RepairStats::MergeFrom(const RepairStats& other) {
+  tuples_examined += other.tuples_examined;
+  tuples_changed += other.tuples_changed;
+  cells_changed += other.cells_changed;
+  rule_applications += other.rule_applications;
+  index_hits += other.index_hits;
+  counter_bumps += other.counter_bumps;
+  candidates_enqueued += other.candidates_enqueued;
+  candidates_rejected += other.candidates_rejected;
+  chase_iterations += other.chase_iterations;
+  if (per_rule_applications.size() < other.per_rule_applications.size()) {
+    per_rule_applications.resize(other.per_rule_applications.size(), 0);
+  }
+  for (size_t i = 0; i < other.per_rule_applications.size(); ++i) {
+    per_rule_applications[i] += other.per_rule_applications[i];
+  }
+}
+
+void RepairStats::PublishDelta(const RepairStats& prev,
+                               const char* engine) const {
+  if (!kMetricsEnabled) return;
+  auto& registry = MetricsRegistry::Global();
+  const std::string prefix = std::string("fixrep.") + engine + ".";
+  const auto publish = [&](const char* name, size_t cur, size_t old) {
+    FIXREP_DCHECK(cur >= old);
+    if (cur > old) registry.GetCounter(prefix + name)->Add(cur - old);
+  };
+  publish("tuples_examined", tuples_examined, prev.tuples_examined);
+  publish("tuples_changed", tuples_changed, prev.tuples_changed);
+  publish("cells_changed", cells_changed, prev.cells_changed);
+  publish("rule_applications", rule_applications, prev.rule_applications);
+  publish("index_hits", index_hits, prev.index_hits);
+  publish("counter_bumps", counter_bumps, prev.counter_bumps);
+  publish("candidates_enqueued", candidates_enqueued,
+          prev.candidates_enqueued);
+  publish("candidates_rejected", candidates_rejected,
+          prev.candidates_rejected);
+  publish("chase_iterations", chase_iterations, prev.chase_iterations);
+
+  std::vector<size_t> deltas(per_rule_applications.size(), 0);
+  bool any = false;
+  for (size_t i = 0; i < per_rule_applications.size(); ++i) {
+    const size_t old = i < prev.per_rule_applications.size()
+                           ? prev.per_rule_applications[i]
+                           : 0;
+    FIXREP_DCHECK(per_rule_applications[i] >= old);
+    deltas[i] = per_rule_applications[i] - old;
+    any |= deltas[i] > 0;
+  }
+  if (any) {
+    registry.GetCounterVector(prefix + "per_rule_applications")
+        ->AddAll(deltas);
+  }
+}
+
+}  // namespace fixrep

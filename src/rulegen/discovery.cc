@@ -5,7 +5,10 @@
 #include <unordered_set>
 #include <utility>
 
+#include "common/log.h"
 #include "common/logging.h"
+#include "common/metrics.h"
+#include "common/trace.h"
 #include "deps/violation.h"
 #include "rules/resolution.h"
 
@@ -25,7 +28,9 @@ struct Candidate {
 RuleSet DiscoverRules(const Table& dirty,
                       const std::vector<FunctionalDependency>& fds,
                       const DiscoveryOptions& options) {
+  FIXREP_TRACE_SPAN("rulegen.discovery");
   const auto normalized = NormalizeToSingleRhs(fds);
+  size_t groups_examined = 0;
   std::vector<Candidate> candidates;
   for (size_t fd_index = 0; fd_index < normalized.size(); ++fd_index) {
     const auto& fd = normalized[fd_index];
@@ -61,6 +66,7 @@ RuleSet DiscoverRules(const Table& dirty,
     }
 
     for (const auto& [lhs_values, rows] : partition) {
+      ++groups_examined;
       if (rows.size() < options.min_support) continue;
       const GroupVote& vote = votes.at(&lhs_values);
       const ValueId majority = vote.majority;
@@ -116,6 +122,17 @@ RuleSet DiscoverRules(const Table& dirty,
     rules.Add(candidate.rule);
   }
   if (options.resolve_conflicts) ResolveByPruning(&rules);
+
+  auto& registry = MetricsRegistry::Global();
+  registry.GetCounter("fixrep.discovery.runs")->Add(1);
+  registry.GetCounter("fixrep.discovery.groups_examined")
+      ->Add(groups_examined);
+  registry.GetCounter("fixrep.discovery.candidates")->Add(candidates.size());
+  registry.GetCounter("fixrep.discovery.rules_emitted")->Add(rules.size());
+  FIXREP_LOG(Debug) << "rule discovery" << Kv("fds", normalized.size())
+                    << Kv("groups", groups_examined)
+                    << Kv("candidates", candidates.size())
+                    << Kv("rules", rules.size());
   return rules;
 }
 

@@ -4,6 +4,8 @@
 #include <unordered_set>
 
 #include "common/logging.h"
+#include "common/metrics.h"
+#include "common/trace.h"
 
 namespace fixrep {
 
@@ -286,19 +288,36 @@ using PairChecker = bool (*)(const FixingRule&, const FixingRule&, size_t,
 
 bool CheckAllPairs(const RuleSet& rules, std::vector<Conflict>* conflicts,
                    bool find_all, PairChecker checker) {
+  FIXREP_TRACE_SPAN("consistency.check");
   const size_t arity = rules.schema().arity();
   bool consistent = true;
+  size_t pairs_checked = 0;
+  size_t conflicts_detected = 0;
+  // Publish once on every exit path, including the early return.
+  const auto publish = [&]() {
+    auto& registry = MetricsRegistry::Global();
+    registry.GetCounter("fixrep.consistency.pairs_checked")
+        ->Add(pairs_checked);
+    registry.GetCounter("fixrep.consistency.conflicts_detected")
+        ->Add(conflicts_detected);
+  };
   for (size_t i = 0; i < rules.size(); ++i) {
     for (size_t j = i + 1; j < rules.size(); ++j) {
+      ++pairs_checked;
       Conflict conflict;
       if (checker(rules.rule(i), rules.rule(j), arity, &conflict)) continue;
       consistent = false;
+      ++conflicts_detected;
       conflict.rule_i = i;
       conflict.rule_j = j;
       if (conflicts != nullptr) conflicts->push_back(std::move(conflict));
-      if (!find_all) return false;
+      if (!find_all) {
+        publish();
+        return false;
+      }
     }
   }
+  publish();
   return consistent;
 }
 

@@ -1,0 +1,106 @@
+#include "common/logging.h"
+
+#include <gtest/gtest.h>
+
+#include "common/log.h"
+
+namespace fixrep {
+namespace {
+
+// Regression tests for the FIXREP_CHECK dangling-else hazard: the macro
+// used to expand to a bare `if (!(condition)) ...`, so in
+//   if (a) FIXREP_CHECK(b); else Foo();
+// the user's else silently bound to the macro's internal if. These are
+// compile-level tests: the interesting assertion is that this file
+// compiles with the else branches binding to the *outer* if.
+
+TEST(CheckMacroTest, ElseBindsToOuterIf) {
+  bool else_taken = false;
+  if (false)
+    FIXREP_CHECK(true) << "never evaluated";
+  else
+    else_taken = true;
+  EXPECT_TRUE(else_taken);
+}
+
+TEST(CheckMacroTest, ThenBranchRunsCheckNotElse) {
+  bool else_taken = false;
+  if (true)
+    FIXREP_CHECK(2 + 2 == 4) << "passes, streams nothing";
+  else
+    else_taken = true;
+  EXPECT_FALSE(else_taken);
+}
+
+TEST(CheckMacroTest, DcheckElseBindsToOuterIf) {
+  bool else_taken = false;
+  if (false)
+    FIXREP_DCHECK(true) << "never evaluated";
+  else
+    else_taken = true;
+  EXPECT_TRUE(else_taken);
+}
+
+TEST(CheckMacroTest, ComparisonVariantsInIfElse) {
+  int branch = 0;
+  if (1 < 2)
+    FIXREP_CHECK_EQ(1, 1);
+  else
+    branch = 1;
+  EXPECT_EQ(branch, 0);
+  if (1 > 2)
+    FIXREP_CHECK_NE(1, 2);
+  else
+    branch = 2;
+  EXPECT_EQ(branch, 2);
+}
+
+TEST(CheckMacroTest, PassingCheckDoesNotEvaluateStreamOperands) {
+  int evaluations = 0;
+  const auto count = [&evaluations]() {
+    ++evaluations;
+    return "message";
+  };
+  FIXREP_CHECK(true) << count();
+  EXPECT_EQ(evaluations, 0);
+}
+
+TEST(CheckMacroTest, ConditionEvaluatedExactlyOnce) {
+  int evaluations = 0;
+  FIXREP_CHECK([&] {
+    ++evaluations;
+    return true;
+  }());
+  EXPECT_EQ(evaluations, 1);
+}
+
+TEST(CheckMacroDeathTest, FailingCheckAbortsWithMessage) {
+  EXPECT_DEATH(FIXREP_CHECK(1 == 2) << "custom detail",
+               "check failed: 1 == 2 custom detail");
+}
+
+TEST(LogLevelTest, TryParseAcceptsDocumentedNamesAndWarningAlias) {
+  EXPECT_EQ(TryParseLogLevel("debug"), LogLevel::kDebug);
+  EXPECT_EQ(TryParseLogLevel("info"), LogLevel::kInfo);
+  EXPECT_EQ(TryParseLogLevel("warn"), LogLevel::kWarn);
+  EXPECT_EQ(TryParseLogLevel("warning"), LogLevel::kWarn);
+  EXPECT_EQ(TryParseLogLevel("error"), LogLevel::kError);
+  EXPECT_EQ(TryParseLogLevel("off"), LogLevel::kOff);
+  EXPECT_EQ(TryParseLogLevel("verbose"), std::nullopt);
+  EXPECT_EQ(TryParseLogLevel(""), std::nullopt);
+  EXPECT_EQ(ParseLogLevel("bogus", LogLevel::kError), LogLevel::kError);
+}
+
+// The logger macro shares the no-dangling-else requirement (it expands
+// to a single ternary expression).
+TEST(CheckMacroTest, LogMacroElseBindsToOuterIf) {
+  bool else_taken = false;
+  if (false)
+    FIXREP_LOG(Error) << "never emitted" << Kv("k", 1);
+  else
+    else_taken = true;
+  EXPECT_TRUE(else_taken);
+}
+
+}  // namespace
+}  // namespace fixrep

@@ -1,0 +1,203 @@
+#include "common/metrics.h"
+
+#include <atomic>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "testing_util.h"
+
+namespace fixrep {
+namespace {
+
+class MetricsRegistryTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    if (!kMetricsEnabled) {
+      GTEST_SKIP() << "built with FIXREP_DISABLE_METRICS";
+    }
+    MetricsRegistry::Global().ResetAllForTest();
+  }
+};
+
+TEST_F(MetricsRegistryTest, CounterAddsAndResets) {
+  Counter* counter =
+      MetricsRegistry::Global().GetCounter("fixrep.test.counter");
+  EXPECT_EQ(counter->Value(), 0u);
+  counter->Add();
+  counter->Add(41);
+  EXPECT_EQ(counter->Value(), 42u);
+  counter->Reset();
+  EXPECT_EQ(counter->Value(), 0u);
+}
+
+TEST_F(MetricsRegistryTest, GetReturnsSameInstanceForSameName) {
+  auto& registry = MetricsRegistry::Global();
+  EXPECT_EQ(registry.GetCounter("fixrep.test.same"),
+            registry.GetCounter("fixrep.test.same"));
+  EXPECT_NE(registry.GetCounter("fixrep.test.same"),
+            registry.GetCounter("fixrep.test.other"));
+  EXPECT_EQ(registry.FindCounter("fixrep.test.never_registered"), nullptr);
+}
+
+TEST_F(MetricsRegistryTest, GaugeLastWriteWins) {
+  Gauge* gauge = MetricsRegistry::Global().GetGauge("fixrep.test.gauge");
+  gauge->Set(7);
+  gauge->Set(-3);
+  EXPECT_EQ(gauge->Value(), -3);
+}
+
+TEST_F(MetricsRegistryTest, HistogramBucketsSumMinMax) {
+  Histogram* histogram =
+      MetricsRegistry::Global().GetHistogram("fixrep.test.histogram");
+  EXPECT_EQ(histogram->Count(), 0u);
+  EXPECT_EQ(histogram->Min(), 0u);  // empty histogram reports 0
+  histogram->Observe(0);
+  histogram->Observe(1);
+  histogram->Observe(1000);
+  histogram->Observe(1023);
+  histogram->Observe(1024);
+  EXPECT_EQ(histogram->Count(), 5u);
+  EXPECT_EQ(histogram->Sum(), 0u + 1 + 1000 + 1023 + 1024);
+  EXPECT_EQ(histogram->Min(), 0u);
+  EXPECT_EQ(histogram->Max(), 1024u);
+  const auto buckets = histogram->BucketCounts();
+  // Bucket i holds values with bit width i, i.e. value < 2^i.
+  EXPECT_EQ(buckets[0], 1u);   // 0
+  EXPECT_EQ(buckets[1], 1u);   // 1
+  EXPECT_EQ(buckets[10], 2u);  // 1000, 1023 in [512, 1024)
+  EXPECT_EQ(buckets[11], 1u);  // 1024
+  uint64_t total = 0;
+  for (const uint64_t c : buckets) total += c;
+  EXPECT_EQ(total, 5u);
+}
+
+TEST_F(MetricsRegistryTest, HistogramOverflowGoesToLastBucket) {
+  Histogram* histogram =
+      MetricsRegistry::Global().GetHistogram("fixrep.test.overflow");
+  histogram->Observe(UINT64_MAX);
+  EXPECT_EQ(histogram->BucketCounts().back(), 1u);
+}
+
+TEST_F(MetricsRegistryTest, CounterVectorGrowsAndAccumulates) {
+  CounterVector* vec =
+      MetricsRegistry::Global().GetCounterVector("fixrep.test.vector");
+  vec->Add(2, 5);
+  vec->AddAll({1, 0, 3});
+  EXPECT_EQ(vec->Values(), (std::vector<uint64_t>{1, 0, 8}));
+  vec->Add(4, 1);  // grows past AddAll's size
+  EXPECT_EQ(vec->Values(), (std::vector<uint64_t>{1, 0, 8, 0, 1}));
+}
+
+TEST_F(MetricsRegistryTest, CounterVectorResetShrinksToEmpty) {
+  // Reset must drop the length, not just zero-fill: otherwise one run's
+  // cardinality (e.g. a 400-rule test) bleeds into the next run's
+  // per-rule vector when several tests share a process.
+  CounterVector* vec =
+      MetricsRegistry::Global().GetCounterVector("fixrep.test.reset_vector");
+  vec->AddAll({1, 2, 3, 4});
+  vec->Reset();
+  EXPECT_EQ(vec->size(), 0u);
+  vec->AddAll({7, 8});
+  EXPECT_EQ(vec->Values(), (std::vector<uint64_t>{7, 8}));
+}
+
+TEST_F(MetricsRegistryTest, ConcurrentCounterIncrementsAreLossless) {
+  constexpr size_t kThreads = 8;
+  constexpr size_t kIncrementsPerThread = 50000;
+  Counter* counter =
+      MetricsRegistry::Global().GetCounter("fixrep.test.concurrent");
+  Histogram* histogram =
+      MetricsRegistry::Global().GetHistogram("fixrep.test.concurrent_ns");
+  std::vector<std::thread> threads;
+  for (size_t t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t]() {
+      for (size_t i = 0; i < kIncrementsPerThread; ++i) {
+        counter->Add(1);
+        histogram->Observe(t * kIncrementsPerThread + i);
+      }
+    });
+  }
+  for (auto& thread : threads) thread.join();
+  EXPECT_EQ(counter->Value(), kThreads * kIncrementsPerThread);
+  EXPECT_EQ(histogram->Count(), kThreads * kIncrementsPerThread);
+  EXPECT_EQ(histogram->Min(), 0u);
+  EXPECT_EQ(histogram->Max(), kThreads * kIncrementsPerThread - 1);
+}
+
+TEST_F(MetricsRegistryTest, ConcurrentCounterVectorIsLossless) {
+  constexpr size_t kThreads = 4;
+  constexpr size_t kRounds = 2000;
+  CounterVector* vec =
+      MetricsRegistry::Global().GetCounterVector("fixrep.test.cv_threads");
+  std::vector<std::thread> threads;
+  for (size_t t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&]() {
+      for (size_t i = 0; i < kRounds; ++i) vec->AddAll({1, 2, 3});
+    });
+  }
+  for (auto& thread : threads) thread.join();
+  EXPECT_EQ(vec->Values(), (std::vector<uint64_t>{kThreads * kRounds,
+                                                  2 * kThreads * kRounds,
+                                                  3 * kThreads * kRounds}));
+}
+
+TEST_F(MetricsRegistryTest, SnapshotIsolation) {
+  // A snapshot taken while writers keep mutating must reflect *some*
+  // state, and later snapshots must not affect earlier ones.
+  Counter* counter =
+      MetricsRegistry::Global().GetCounter("fixrep.test.snapshot");
+  counter->Add(5);
+  const uint64_t before = counter->Value();
+  counter->Add(10);
+  EXPECT_EQ(before, 5u);
+  EXPECT_EQ(counter->Value(), 15u);
+
+  CounterVector* vec =
+      MetricsRegistry::Global().GetCounterVector("fixrep.test.snap_vec");
+  vec->AddAll({1, 1});
+  const std::vector<uint64_t> snap = vec->Values();
+  vec->AddAll({1, 1});
+  EXPECT_EQ(snap, (std::vector<uint64_t>{1, 1}));
+  EXPECT_EQ(vec->Values(), (std::vector<uint64_t>{2, 2}));
+}
+
+TEST_F(MetricsRegistryTest, WriteJsonIsWellFormedAndComplete) {
+  auto& registry = MetricsRegistry::Global();
+  registry.GetCounter("fixrep.test.json_counter")->Add(3);
+  registry.GetGauge("fixrep.test.json_gauge")->Set(-7);
+  registry.GetHistogram("fixrep.test.json_histogram")->Observe(99);
+  registry.GetCounterVector("fixrep.test.json_vector")->AddAll({4, 0, 2});
+  std::ostringstream out;
+  registry.WriteJson(out);
+  const std::string json = out.str();
+  EXPECT_TRUE(testing::JsonChecker::IsValid(json)) << json;
+  EXPECT_NE(json.find("\"fixrep.test.json_counter\": 3"),
+            std::string::npos);
+  EXPECT_NE(json.find("\"fixrep.test.json_gauge\": -7"), std::string::npos);
+  EXPECT_NE(json.find("\"fixrep.test.json_vector\": [4,0,2]"),
+            std::string::npos);
+  EXPECT_NE(json.find("\"fixrep.test.json_histogram\""), std::string::npos);
+  EXPECT_NE(json.find("\"count\": 1"), std::string::npos);
+}
+
+TEST_F(MetricsRegistryTest, WriteJsonEmptyRegistryIsValid) {
+  // Fresh (reset) registry with zeroed values must still be valid JSON.
+  std::ostringstream out;
+  MetricsRegistry::Global().WriteJson(out);
+  EXPECT_TRUE(testing::JsonChecker::IsValid(out.str())) << out.str();
+}
+
+TEST_F(MetricsRegistryTest, JsonEscapeControlAndQuotes) {
+  EXPECT_EQ(JsonEscape("plain"), "plain");
+  EXPECT_EQ(JsonEscape("a\"b"), "a\\\"b");
+  EXPECT_EQ(JsonEscape("a\\b"), "a\\\\b");
+  EXPECT_EQ(JsonEscape("a\nb"), "a\\nb");
+  EXPECT_EQ(JsonEscape(std::string("a\x01") + "b"), "a\\u0001b");
+}
+
+}  // namespace
+}  // namespace fixrep

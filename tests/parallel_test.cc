@@ -1,5 +1,6 @@
 #include <gtest/gtest.h>
 
+#include "common/metrics.h"
 #include "datagen/hosp.h"
 #include "datagen/noise.h"
 #include "datagen/travel.h"
@@ -60,6 +61,54 @@ TEST(ParallelRepairTest, MoreThreadsThanRows) {
   EXPECT_EQ(stats.tuples_examined, 4u);
   for (size_t r = 0; r < table.num_rows(); ++r) {
     EXPECT_EQ(table.row(r), example.clean.row(r));
+  }
+}
+
+TEST(ParallelRepairTest, RegistryCountsMatchSerialBaseline) {
+  // Metrics published by the sharded parallel run (worker stats merged
+  // after the join) must agree with a single-threaded FastRepairer run.
+  if (!kMetricsEnabled) {
+    GTEST_SKIP() << "built with FIXREP_DISABLE_METRICS";
+  }
+  HospOptions options;
+  options.rows = 4000;
+  options.num_hospitals = 200;
+  GeneratedData data = GenerateHosp(options);
+  Table dirty = data.clean;
+  InjectNoise(&dirty, ConstraintAttributes(*data.schema, data.fds),
+              NoiseOptions{});
+  RuleGenOptions rulegen;
+  rulegen.max_rules = 200;
+  const RuleSet rules = GenerateRules(data.clean, dirty, data.fds, rulegen);
+
+  Table serial = dirty;
+  FastRepairer repairer(&rules);
+  repairer.RepairTable(&serial);
+  const RepairStats baseline = repairer.stats();
+
+  auto& registry = MetricsRegistry::Global();
+  registry.ResetAllForTest();
+  Table parallel = dirty;
+  ParallelRepairTable(rules, &parallel, 4);
+
+  const auto counter = [&](const char* name) {
+    const Counter* c =
+        registry.FindCounter(std::string("fixrep.lrepair.") + name);
+    return c == nullptr ? uint64_t{0} : c->Value();
+  };
+  EXPECT_EQ(counter("tuples_examined"), baseline.tuples_examined);
+  EXPECT_EQ(counter("tuples_changed"), baseline.tuples_changed);
+  EXPECT_EQ(counter("cells_changed"), baseline.cells_changed);
+  EXPECT_EQ(counter("rule_applications"), baseline.rule_applications);
+
+  const CounterVector* per_rule =
+      registry.FindCounterVector("fixrep.lrepair.per_rule_applications");
+  ASSERT_NE(per_rule, nullptr);
+  const std::vector<uint64_t> registry_counts = per_rule->Values();
+  ASSERT_EQ(registry_counts.size(), baseline.per_rule_applications.size());
+  for (size_t i = 0; i < registry_counts.size(); ++i) {
+    EXPECT_EQ(registry_counts[i], baseline.per_rule_applications[i])
+        << "rule " << i;
   }
 }
 

@@ -77,6 +77,99 @@ struct RandomRuleUniverse {
   }
 };
 
+// Minimal recursive-descent JSON syntax checker for validating metric /
+// trace dumps without a JSON dependency. Accepts exactly one value with
+// optional surrounding whitespace; numbers are the JSON grammar's.
+class JsonChecker {
+ public:
+  static bool IsValid(const std::string& text) {
+    JsonChecker checker(text);
+    return checker.Value() && (checker.Ws(), checker.pos_ == text.size());
+  }
+
+ private:
+  explicit JsonChecker(const std::string& text) : text_(text) {}
+
+  char Peek() const { return pos_ < text_.size() ? text_[pos_] : '\0'; }
+  bool Eat(char c) { return Peek() == c && (++pos_, true); }
+  void Ws() {
+    while (Peek() == ' ' || Peek() == '\n' || Peek() == '\t' ||
+           Peek() == '\r') {
+      ++pos_;
+    }
+  }
+
+  bool Literal(const char* word) {
+    const size_t n = std::string(word).size();
+    if (text_.compare(pos_, n, word) != 0) return false;
+    pos_ += n;
+    return true;
+  }
+
+  bool String() {
+    if (!Eat('"')) return false;
+    while (Peek() != '"') {
+      if (Peek() == '\0') return false;
+      if (Eat('\\')) {
+        if (Peek() == '\0') return false;
+      }
+      ++pos_;
+    }
+    return Eat('"');
+  }
+
+  bool Number() {
+    const size_t start = pos_;
+    Eat('-');
+    while (Peek() >= '0' && Peek() <= '9') ++pos_;
+    if (Eat('.')) {
+      while (Peek() >= '0' && Peek() <= '9') ++pos_;
+    }
+    if (Peek() == 'e' || Peek() == 'E') {
+      ++pos_;
+      if (Peek() == '+' || Peek() == '-') ++pos_;
+      while (Peek() >= '0' && Peek() <= '9') ++pos_;
+    }
+    return pos_ > start;
+  }
+
+  bool Value() {
+    Ws();
+    if (Peek() == '{') {
+      ++pos_;
+      Ws();
+      if (Eat('}')) return true;
+      do {
+        Ws();
+        if (!String()) return false;
+        Ws();
+        if (!Eat(':')) return false;
+        if (!Value()) return false;
+        Ws();
+      } while (Eat(','));
+      return Eat('}');
+    }
+    if (Peek() == '[') {
+      ++pos_;
+      Ws();
+      if (Eat(']')) return true;
+      do {
+        if (!Value()) return false;
+        Ws();
+      } while (Eat(','));
+      return Eat(']');
+    }
+    if (Peek() == '"') return String();
+    if (Peek() == 't') return Literal("true");
+    if (Peek() == 'f') return Literal("false");
+    if (Peek() == 'n') return Literal("null");
+    return Number();
+  }
+
+  const std::string& text_;
+  size_t pos_ = 0;
+};
+
 }  // namespace fixrep::testing
 
 #endif  // FIXREP_TESTS_TESTING_UTIL_H_

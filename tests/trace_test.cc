@@ -1,0 +1,141 @@
+#include "common/trace.h"
+
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/metrics.h"
+#include "testing_util.h"
+
+namespace fixrep {
+namespace {
+
+class TraceTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    if (!kMetricsEnabled) {
+      GTEST_SKIP() << "built with FIXREP_DISABLE_METRICS";
+    }
+    TraceTimeline::Global().Reset();
+    MetricsRegistry::Global().ResetAllForTest();
+  }
+};
+
+// Spans recorded since the last Reset, in completion order.
+std::vector<TraceTimeline::Span> Spans() {
+  return TraceTimeline::Global().Snapshot();
+}
+
+TEST_F(TraceTest, SpanRecordsNameAndDuration) {
+  { FIXREP_TRACE_SPAN("test.outer_only"); }
+  const auto spans = Spans();
+  ASSERT_EQ(spans.size(), 1u);
+  EXPECT_EQ(spans[0].name, "test.outer_only");
+  EXPECT_EQ(spans[0].depth, 0u);
+  EXPECT_GE(spans[0].duration_ns, 0u);
+}
+
+TEST_F(TraceTest, SpanFeedsLatencyHistogram) {
+  { FIXREP_TRACE_SPAN("test.histo"); }
+  { FIXREP_TRACE_SPAN("test.histo"); }
+  const Histogram* histogram =
+      MetricsRegistry::Global().FindHistogram("fixrep.span.test.histo_ns");
+  ASSERT_NE(histogram, nullptr);
+  EXPECT_EQ(histogram->Count(), 2u);
+}
+
+TEST_F(TraceTest, NestedSpansRecordDepthAndCloseInnerFirst) {
+  {
+    FIXREP_TRACE_SPAN("test.outer");
+    {
+      FIXREP_TRACE_SPAN("test.middle");
+      { FIXREP_TRACE_SPAN("test.inner"); }
+    }
+  }
+  const auto spans = Spans();
+  ASSERT_EQ(spans.size(), 3u);
+  // Completion order: innermost destructs first.
+  EXPECT_EQ(spans[0].name, "test.inner");
+  EXPECT_EQ(spans[0].depth, 2u);
+  EXPECT_EQ(spans[1].name, "test.middle");
+  EXPECT_EQ(spans[1].depth, 1u);
+  EXPECT_EQ(spans[2].name, "test.outer");
+  EXPECT_EQ(spans[2].depth, 0u);
+  // Parents contain their children in time.
+  EXPECT_LE(spans[2].start_ns, spans[1].start_ns);
+  EXPECT_GE(spans[2].start_ns + spans[2].duration_ns,
+            spans[1].start_ns + spans[1].duration_ns);
+}
+
+TEST_F(TraceTest, SiblingSpansShareDepth) {
+  {
+    FIXREP_TRACE_SPAN("test.parent");
+    { FIXREP_TRACE_SPAN("test.first_child"); }
+    { FIXREP_TRACE_SPAN("test.second_child"); }
+  }
+  const auto spans = Spans();
+  ASSERT_EQ(spans.size(), 3u);
+  EXPECT_EQ(spans[0].depth, 1u);
+  EXPECT_EQ(spans[1].depth, 1u);
+  EXPECT_EQ(spans[2].depth, 0u);
+}
+
+TEST_F(TraceTest, ThreadsGetDistinctIndicesAndDepthZero) {
+  std::thread other([]() { FIXREP_TRACE_SPAN("test.other_thread"); });
+  other.join();
+  { FIXREP_TRACE_SPAN("test.main_thread"); }
+  const auto spans = Spans();
+  ASSERT_EQ(spans.size(), 2u);
+  // Depth is per-thread: neither span nests in the other.
+  EXPECT_EQ(spans[0].depth, 0u);
+  EXPECT_EQ(spans[1].depth, 0u);
+  EXPECT_NE(spans[0].thread, spans[1].thread);
+}
+
+TEST_F(TraceTest, JsonDumpIsWellFormed) {
+  {
+    FIXREP_TRACE_SPAN("test.json \"quoted\"");  // name needing escaping
+    { FIXREP_TRACE_SPAN("test.json_child"); }
+  }
+  std::ostringstream out;
+  TraceTimeline::Global().WriteJson(out);
+  const std::string json = out.str();
+  EXPECT_TRUE(testing::JsonChecker::IsValid(json)) << json;
+  EXPECT_NE(json.find("\"total_ns\""), std::string::npos);
+  EXPECT_NE(json.find("\"spans\""), std::string::npos);
+  EXPECT_NE(json.find("test.json_child"), std::string::npos);
+  EXPECT_NE(json.find("\\\"quoted\\\""), std::string::npos);
+}
+
+TEST_F(TraceTest, EmptyTimelineJsonIsWellFormed) {
+  std::ostringstream out;
+  TraceTimeline::Global().WriteJson(out);
+  EXPECT_TRUE(testing::JsonChecker::IsValid(out.str())) << out.str();
+}
+
+TEST_F(TraceTest, CombinedMetricsJsonIsWellFormed) {
+  MetricsRegistry::Global().GetCounter("fixrep.test.combined")->Add(1);
+  { FIXREP_TRACE_SPAN("test.combined"); }
+  std::ostringstream out;
+  WriteMetricsJson(out);
+  const std::string json = out.str();
+  EXPECT_TRUE(testing::JsonChecker::IsValid(json)) << json;
+  EXPECT_NE(json.find("\"metrics\""), std::string::npos);
+  EXPECT_NE(json.find("\"timeline\""), std::string::npos);
+}
+
+TEST_F(TraceTest, TimelineIsBoundedAndCountsDrops) {
+  TraceTimeline::Span span;
+  span.name = "test.flood";
+  for (size_t i = 0; i < TraceTimeline::kMaxSpans + 10; ++i) {
+    TraceTimeline::Global().Record(span);
+  }
+  EXPECT_EQ(Spans().size(), TraceTimeline::kMaxSpans);
+  EXPECT_EQ(TraceTimeline::Global().dropped(), 10u);
+}
+
+}  // namespace
+}  // namespace fixrep
