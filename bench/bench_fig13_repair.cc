@@ -1,20 +1,35 @@
 // Fig. 13 — repair efficiency: cRepair vs lRepair while the rule count
-// grows (hosp 100..1000 rules, uis 10..100 rules).
+// grows (hosp 100..1000 rules, uis 10..100 rules), plus the performance
+// layer on top of lRepair: shared compiled index, tuple-signature memo,
+// and pooled work-claiming parallelism on a duplicate-heavy hosp-style
+// table.
 //
 // Paper shape: lRepair is the faster engine except at very small rule
 // counts, where the index overhead lets cRepair keep up; both are linear
 // in the data size.
+//
+// Besides the google-benchmark table, the run emits BENCH_repair.json
+// (rows/s, per-phase ns, memo hit rate, thread count) so the perf
+// trajectory is tracked across PRs. Flags: --threads=N, --no-memo (env:
+// FIXREP_THREADS, FIXREP_NO_MEMO).
 
+#include <cstdint>
+#include <iostream>
 #include <memory>
 
 #include <benchmark/benchmark.h>
 
 #include "bench_util.h"
+#include "common/thread_pool.h"
+#include "eval/text_table.h"
 #include "repair/crepair.h"
 #include "repair/lrepair.h"
+#include "repair/parallel.h"
 
 namespace fixrep::bench {
 namespace {
+
+BenchRepairConfig g_config;
 
 // Workloads are expensive to build; cache one per dataset and bench rule
 // prefixes out of it. google-benchmark may re-enter the function, so the
@@ -34,6 +49,17 @@ const Workload& UisWorkload() {
     return new Workload(MakeUisWorkload(scale.uis_rows, scale.uis_rules));
   }();
   return *workload;
+}
+
+// The memo/parallel showcase table: hosp rows resampled so ~32 copies of
+// every distinct dirty tuple occur (hosp-at-scale duplicate density).
+const Table& DuplicateHeavyTable() {
+  static const Table* table = [] {
+    const Table& dirty = HospWorkload().dirty;
+    return new Table(MakeDuplicateHeavy(
+        dirty, dirty.num_rows(), std::max<size_t>(dirty.num_rows() / 32, 1)));
+  }();
+  return *table;
 }
 
 template <typename Repairer>
@@ -66,6 +92,60 @@ void BM_Uis_lRepair(::benchmark::State& state) {
   RepairWholeTable<FastRepairer>(state, UisWorkload());
 }
 
+// lRepair configurations over the duplicate-heavy table, all sharing one
+// compiled index: plain serial chase, memoized serial, and the pooled
+// parallel engine with worker-local memo caches.
+enum class Config { kSerial, kSerialMemo, kPooledMemo, kPooledNoMemo };
+
+void RepairDuplicateHeavy(::benchmark::State& state, Config config) {
+  const Workload& workload = HospWorkload();
+  const Table& dup = DuplicateHeavyTable();
+  const CompiledRuleIndex index(&workload.rules);
+  for (auto _ : state) {
+    state.PauseTiming();
+    Table copy = dup;
+    state.ResumeTiming();
+    switch (config) {
+      case Config::kSerial: {
+        FastRepairer repairer(&index);
+        repairer.RepairTable(&copy);
+        break;
+      }
+      case Config::kSerialMemo: {
+        FastRepairer repairer(&index);
+        MemoCache memo;
+        repairer.set_memo(&memo);
+        repairer.RepairTable(&copy);
+        break;
+      }
+      case Config::kPooledMemo:
+      case Config::kPooledNoMemo: {
+        ParallelRepairOptions options;
+        options.threads = g_config.threads;
+        options.use_memo = config == Config::kPooledMemo;
+        ParallelRepairTable(index, &copy, options);
+        break;
+      }
+    }
+    ::benchmark::DoNotOptimize(copy);
+  }
+  state.SetItemsProcessed(
+      static_cast<int64_t>(state.iterations() * dup.num_rows()));
+}
+
+void BM_HospDup_lRepair(::benchmark::State& state) {
+  RepairDuplicateHeavy(state, Config::kSerial);
+}
+void BM_HospDup_lRepair_Memo(::benchmark::State& state) {
+  RepairDuplicateHeavy(state, Config::kSerialMemo);
+}
+void BM_HospDup_lRepair_Pooled(::benchmark::State& state) {
+  RepairDuplicateHeavy(state, Config::kPooledNoMemo);
+}
+void BM_HospDup_lRepair_PooledMemo(::benchmark::State& state) {
+  RepairDuplicateHeavy(state, Config::kPooledMemo);
+}
+
 BENCHMARK(BM_Hosp_cRepair)->DenseRange(100, 1000, 300)
     ->Unit(::benchmark::kMillisecond);
 BENCHMARK(BM_Hosp_lRepair)->DenseRange(100, 1000, 300)
@@ -74,6 +154,106 @@ BENCHMARK(BM_Uis_cRepair)->DenseRange(10, 100, 30)
     ->Unit(::benchmark::kMillisecond);
 BENCHMARK(BM_Uis_lRepair)->DenseRange(10, 100, 30)
     ->Unit(::benchmark::kMillisecond);
+BENCHMARK(BM_HospDup_lRepair)->Unit(::benchmark::kMillisecond);
+BENCHMARK(BM_HospDup_lRepair_Memo)->Unit(::benchmark::kMillisecond);
+BENCHMARK(BM_HospDup_lRepair_Pooled)->Unit(::benchmark::kMillisecond);
+BENCHMARK(BM_HospDup_lRepair_PooledMemo)->Unit(::benchmark::kMillisecond);
+
+// One measured before/after pass for BENCH_repair.json: baseline is the
+// serial non-memoized chase, "after" is the pooled engine with memo (the
+// default production configuration).
+void WriteRepairJson() {
+  const Workload& workload = HospWorkload();
+  const Table& dup = DuplicateHeavyTable();
+  const CompiledRuleIndex index(&workload.rules);
+  const size_t rows = dup.num_rows();
+  const size_t threads = g_config.threads == 0
+                             ? ThreadPool::Global().num_workers() + 1
+                             : g_config.threads;
+
+  auto& registry = MetricsRegistry::Global();
+  const auto counter = [&](const char* name) {
+    const Counter* c = registry.FindCounter(name);
+    return c == nullptr ? uint64_t{0} : c->Value();
+  };
+
+  // Best-of-3 per configuration (table copies made off the clock):
+  // one-shot timings on a loaded machine are too noisy for a number
+  // meant to be diffed across PRs.
+  constexpr int kRuns = 3;
+  const auto best_of = [&](const char* label, const auto& run) {
+    double best = 0;
+    for (int i = 0; i < kRuns; ++i) {
+      Table copy = dup;
+      const double ms = TimedMs(label, [&] { run(&copy); });
+      if (i == 0 || ms < best) best = ms;
+    }
+    return best;
+  };
+
+  const double baseline_ms = best_of("fig13_baseline", [&](Table* copy) {
+    FastRepairer repairer(&index);
+    repairer.RepairTable(copy);
+  });
+  const double memo_ms = best_of("fig13_memo", [&](Table* copy) {
+    FastRepairer repairer(&index);
+    MemoCache memo;
+    repairer.set_memo(&memo);
+    repairer.RepairTable(copy);
+  });
+  const uint64_t hits_before = counter("fixrep.memo.hits");
+  const uint64_t misses_before = counter("fixrep.memo.misses");
+  const double pooled_ms = best_of("fig13_pooled_memo", [&](Table* copy) {
+    ParallelRepairOptions options;
+    options.threads = g_config.threads;
+    options.use_memo = g_config.use_memo;
+    ParallelRepairTable(index, copy, options);
+  });
+  const uint64_t hits = counter("fixrep.memo.hits") - hits_before;
+  const uint64_t misses = counter("fixrep.memo.misses") - misses_before;
+  const double hit_rate =
+      hits + misses == 0
+          ? 0.0
+          : static_cast<double>(hits) / static_cast<double>(hits + misses);
+
+  BenchJson json("BENCH_repair.json");
+  json.Set("workload", "rows", static_cast<double>(rows));
+  json.Set("workload", "rules", static_cast<double>(workload.rules.size()));
+  json.Set("workload", "distinct_rows",
+           static_cast<double>(std::max<size_t>(rows / 32, 1)));
+  json.Set("workload", "thread_count", static_cast<double>(threads));
+  json.Set("workload", "memo_enabled", g_config.use_memo ? 1.0 : 0.0);
+  json.Set("serial_baseline", "ms", baseline_ms);
+  json.Set("serial_baseline", "rows_per_sec", rows / (baseline_ms / 1e3));
+  json.Set("serial_memo", "ms", memo_ms);
+  json.Set("serial_memo", "rows_per_sec", rows / (memo_ms / 1e3));
+  json.Set("pooled_memo", "ms", pooled_ms);
+  json.Set("pooled_memo", "rows_per_sec", rows / (pooled_ms / 1e3));
+  json.Set("pooled_memo", "memo_hit_rate", hit_rate);
+  json.Set("pooled_memo", "speedup_vs_baseline", baseline_ms / pooled_ms);
+  json.Set("phases_ns", "index_build",
+           SpanTotalNanos("lrepair.index_build"));
+  json.Set("phases_ns", "chase", SpanTotalNanos("lrepair.chase"));
+  json.Set("phases_ns", "parallel_repair_table",
+           SpanTotalNanos("parallel.repair_table"));
+  if (json.Write()) {
+    std::cout << "wrote " << json.path() << " (speedup "
+              << FormatDouble(baseline_ms / pooled_ms, 2) << "x, memo hit "
+              << FormatDouble(hit_rate * 100.0, 1) << "%)\n";
+  }
+  const std::string metrics = DescribeMetrics();
+  if (!metrics.empty()) std::cout << metrics << "\n";
+  MaybeDumpMetrics();
+}
 
 }  // namespace
 }  // namespace fixrep::bench
+
+int main(int argc, char** argv) {
+  fixrep::bench::g_config = fixrep::ParseBenchRepairConfig(argc, argv);
+  ::benchmark::Initialize(&argc, argv);
+  ::benchmark::RunSpecifiedBenchmarks();
+  fixrep::bench::WriteRepairJson();
+  ::benchmark::Shutdown();
+  return 0;
+}

@@ -1,24 +1,36 @@
 // Data-size scaling (supports the paper's "linear in data size" claim
-// for the repair algorithms, Exp-3): wall-clock of lRepair, cRepair, and
-// FD violation detection while the hosp row count doubles.
+// for the repair algorithms, Exp-3): wall-clock of lRepair (serial and
+// pooled+memoized), cRepair, and FD violation detection while the hosp
+// row count doubles. Emits BENCH_repair.json (rows/s per size, memo hit
+// rate, thread count). Flags: --threads=N, --no-memo.
 
 #include <iostream>
 #include <string>
 
 #include "bench_util.h"
+#include "common/thread_pool.h"
 #include "deps/violation.h"
 #include "eval/text_table.h"
 #include "repair/crepair.h"
 #include "repair/lrepair.h"
+#include "repair/parallel.h"
 
 namespace fixrep::bench {
 namespace {
 
-void Run() {
+void Run(const BenchRepairConfig& config) {
   const ExperimentScale scale = GetExperimentScale();
-  std::cout << "Data-size scaling — " << DescribeScale(scale) << "\n\n";
-  TextTable table({"rows", "lRepair (ms)", "us/row", "cRepair (ms)",
-                   "violation detect (ms)"});
+  const size_t threads = config.threads == 0
+                             ? ThreadPool::Global().num_workers() + 1
+                             : config.threads;
+  std::cout << "Data-size scaling — " << DescribeScale(scale) << "\n"
+            << "pooled engine: " << threads << " thread(s), memo "
+            << (config.use_memo ? "on" : "off") << "\n\n";
+  TextTable table({"rows", "lRepair (ms)", "us/row", "pooled+memo (ms)",
+                   "cRepair (ms)", "violation detect (ms)"});
+  BenchJson json("BENCH_repair.json");
+  json.Set("workload", "thread_count", static_cast<double>(threads));
+  json.Set("workload", "memo_enabled", config.use_memo ? 1.0 : 0.0);
   const size_t max_rows = scale.full ? 115000 : 80000;
   for (size_t rows = 10000; rows <= max_rows; rows *= 2) {
     const Workload workload = MakeHospWorkload(rows, 500);
@@ -27,6 +39,17 @@ void Run() {
       Table copy = workload.dirty;
       FastRepairer repairer(&workload.rules);
       lrepair_ms = TimedMs("lrepair", [&] { repairer.RepairTable(&copy); });
+    }
+    double pooled_ms = 0;
+    {
+      Table copy = workload.dirty;
+      const CompiledRuleIndex index(&workload.rules);
+      ParallelRepairOptions options;
+      options.threads = config.threads;
+      options.use_memo = config.use_memo;
+      pooled_ms = TimedMs("pooled_memo", [&] {
+        ParallelRepairTable(index, &copy, options);
+      });
     }
     double crepair_ms = 0;
     {
@@ -43,12 +66,24 @@ void Run() {
     if (violations == SIZE_MAX) std::cout << "";  // keep it live
     table.AddRow({std::to_string(rows), FormatDouble(lrepair_ms, 2),
                   FormatDouble(lrepair_ms * 1000.0 / rows, 3),
-                  FormatDouble(crepair_ms, 2),
+                  FormatDouble(pooled_ms, 2), FormatDouble(crepair_ms, 2),
                   FormatDouble(detect_ms, 2)});
+    const std::string section = "scaling_" + std::to_string(rows);
+    json.Set(section, "lrepair_rows_per_sec", rows / (lrepair_ms / 1e3));
+    json.Set(section, "pooled_memo_rows_per_sec",
+             rows / (pooled_ms / 1e3));
+    json.Set(section, "crepair_rows_per_sec", rows / (crepair_ms / 1e3));
   }
   table.Print(std::cout);
   std::cout << "\nShape check vs paper: per-row lRepair cost stays flat as "
                "the table doubles (linear scaling).\n";
+  const double hit_rate = MemoHitRate();
+  if (hit_rate >= 0.0) json.Set("workload", "memo_hit_rate", hit_rate);
+  json.Set("phases_ns", "index_build", SpanTotalNanos("lrepair.index_build"));
+  json.Set("phases_ns", "chase", SpanTotalNanos("lrepair.chase"));
+  json.Set("phases_ns", "parallel_repair_table",
+           SpanTotalNanos("parallel.repair_table"));
+  if (json.Write()) std::cout << "wrote " << json.path() << "\n";
   const std::string metrics = DescribeMetrics();
   if (!metrics.empty()) std::cout << "\n" << metrics << "\n";
   MaybeDumpMetrics();  // FIXREP_METRICS_OUT=path for the full JSON
@@ -57,7 +92,7 @@ void Run() {
 }  // namespace
 }  // namespace fixrep::bench
 
-int main() {
-  fixrep::bench::Run();
+int main(int argc, char** argv) {
+  fixrep::bench::Run(fixrep::ParseBenchRepairConfig(argc, argv));
   return 0;
 }

@@ -1,10 +1,16 @@
 #ifndef FIXREP_BENCH_BENCH_UTIL_H_
 #define FIXREP_BENCH_BENCH_UTIL_H_
 
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <map>
 #include <string>
 #include <utility>
 
 #include "common/metrics.h"
+#include "common/random.h"
 #include "common/timer.h"
 #include "datagen/hosp.h"
 #include "datagen/noise.h"
@@ -76,6 +82,77 @@ inline Workload MakeUisWorkload(size_t rows, size_t max_rules,
   RuleSet rules = GenerateRules(data.clean, dirty, data.fds, rulegen);
   return Workload(std::move(data), std::move(dirty), std::move(rules),
                   report);
+}
+
+// A duplicate-heavy table: `rows` tuples sampled (deterministic PRNG)
+// from the first `distinct` rows of `source`. Models real cleaning
+// workloads dominated by repeated value patterns — duplicated
+// registrations, repeated form entries — the regime the repair memo
+// targets.
+inline Table MakeDuplicateHeavy(const Table& source, size_t rows,
+                                size_t distinct, uint64_t seed = 0x9d2c) {
+  Table table(source.schema_ptr(), source.pool_ptr());
+  table.Reserve(rows);
+  distinct = std::min(std::max<size_t>(distinct, 1), source.num_rows());
+  Rng rng(seed);
+  for (size_t r = 0; r < rows; ++r) {
+    table.AppendRow(source.row(rng.Uniform(distinct)));
+  }
+  return table;
+}
+
+// Machine-readable bench output: nested {"section": {"key": value}}
+// written to FIXREP_BENCH_JSON (default `default_path`), so the perf
+// trajectory of the repair engines is diffable across PRs.
+class BenchJson {
+ public:
+  explicit BenchJson(std::string default_path) : path_(default_path) {
+    const char* env = std::getenv("FIXREP_BENCH_JSON");
+    if (env != nullptr && *env != '\0') path_ = env;
+  }
+
+  void Set(const std::string& section, const std::string& key,
+           double value) {
+    sections_[section][key] = value;
+  }
+
+  bool Write() const {
+    std::ofstream out(path_);
+    if (!out) return false;
+    out << "{\n";
+    bool first_section = true;
+    for (const auto& [section, entries] : sections_) {
+      if (!first_section) out << ",\n";
+      first_section = false;
+      out << "  \"" << JsonEscape(section) << "\": {";
+      bool first_entry = true;
+      for (const auto& [key, value] : entries) {
+        if (!first_entry) out << ", ";
+        first_entry = false;
+        char buffer[64];
+        std::snprintf(buffer, sizeof(buffer), "%.6g", value);
+        out << "\"" << JsonEscape(key) << "\": " << buffer;
+      }
+      out << "}";
+    }
+    out << "\n}\n";
+    return true;
+  }
+
+  const std::string& path() const { return path_; }
+
+ private:
+  std::string path_;
+  std::map<std::string, std::map<std::string, double>> sections_;
+};
+
+// Sum of the fixrep.span.<name>_ns histogram, for per-phase attribution
+// in bench JSON output (0 when the span never ran).
+inline double SpanTotalNanos(const std::string& span_name) {
+  const Histogram* histogram = MetricsRegistry::Global().FindHistogram(
+      "fixrep.span." + span_name + "_ns");
+  return histogram == nullptr ? 0.0
+                              : static_cast<double>(histogram->Sum());
 }
 
 // Runs `fn` once and returns its wall time in milliseconds, also

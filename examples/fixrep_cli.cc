@@ -10,7 +10,13 @@
 //   fixrep_cli check     --rules rules.txt --data any.csv [--strict]
 //                        [--resolve pruned_rules.txt]
 //   fixrep_cli repair    --rules rules.txt --in dirty.csv --out fixed.csv
-//                        [--engine lrepair|crepair] [--threads N] [--log]
+//                        [--engine lrepair|crepair] [--threads N]
+//                        [--no-memo] [--log]
+//                        --threads N uses the pooled parallel engine
+//                        (N=0 picks the hardware width); repair memoizes
+//                        byte-identical tuples by default, --no-memo
+//                        disables the cache (output is bit-identical
+//                        either way)
 //   fixrep_cli eval      --truth truth.csv --dirty dirty.csv
 //                        --repaired fixed.csv
 //
@@ -265,11 +271,16 @@ int Repair(const Args& args) {
     repairer.RepairTable(&table);
     cells_changed = repairer.stats().cells_changed;
   } else if (args.Has("threads")) {
-    const RepairStats stats =
-        ParallelRepairTable(rules, &table, args.GetSizeT("threads", 0));
+    const CompiledRuleIndex index(&rules);
+    ParallelRepairOptions options;
+    options.threads = args.GetSizeT("threads", 0);
+    options.use_memo = !args.Has("no-memo");
+    const RepairStats stats = ParallelRepairTable(index, &table, options);
     cells_changed = stats.cells_changed;
   } else {
     FastRepairer repairer(&rules);
+    MemoCache memo;
+    if (!args.Has("no-memo")) repairer.set_memo(&memo);
     repairer.RepairTable(&table);
     cells_changed = repairer.stats().cells_changed;
   }

@@ -1,0 +1,128 @@
+#include "common/thread_pool.h"
+
+#include <algorithm>
+#include <atomic>
+
+#include "common/logging.h"
+#include "common/metrics.h"
+
+namespace fixrep {
+
+struct ThreadPool::Job {
+  size_t n = 0;
+  size_t grain = 1;
+  size_t max_participants = 1;
+  const std::function<void(size_t, size_t, size_t)>* body = nullptr;
+  std::atomic<size_t> cursor{0};     // next unclaimed row
+  std::atomic<size_t> next_slot{1};  // slot 0 is the calling thread
+  std::atomic<uint64_t> chunks{0};
+};
+
+ThreadPool::ThreadPool(size_t num_workers) {
+  workers_.reserve(num_workers);
+  for (size_t i = 0; i < num_workers; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stop_ = true;
+  }
+  work_cv_.notify_all();
+  for (auto& worker : workers_) worker.join();
+}
+
+ThreadPool& ThreadPool::Global() {
+  // Leaked like MetricsRegistry::Global(): worker threads must not be
+  // joined during static destruction. One worker minimum so the
+  // concurrent path is exercised even on single-core machines.
+  static ThreadPool* pool = new ThreadPool(
+      std::max<size_t>(std::thread::hardware_concurrency(), 2) - 1);
+  return *pool;
+}
+
+void ThreadPool::RunChunks(Job* job, size_t slot) {
+  while (true) {
+    const size_t begin =
+        job->cursor.fetch_add(job->grain, std::memory_order_relaxed);
+    if (begin >= job->n) return;
+    const size_t end = std::min(begin + job->grain, job->n);
+    (*job->body)(begin, end, slot);
+    job->chunks.fetch_add(1, std::memory_order_relaxed);
+  }
+}
+
+void ThreadPool::WorkerLoop() {
+  uint64_t seen_seq = 0;
+  while (true) {
+    std::shared_ptr<Job> job;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      work_cv_.wait(lock, [&] { return stop_ || job_seq_ != seen_seq; });
+      if (stop_) return;
+      seen_seq = job_seq_;
+      job = job_;
+    }
+    if (job != nullptr) {
+      // Slots beyond the participant cap leave the job untouched — the
+      // cursor-claiming loop guarantees full coverage with any subset of
+      // the pool participating.
+      const size_t slot =
+          job->next_slot.fetch_add(1, std::memory_order_relaxed);
+      if (slot < job->max_participants) RunChunks(job.get(), slot);
+    }
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (--workers_in_flight_ == 0) done_cv_.notify_all();
+    }
+  }
+}
+
+void ThreadPool::ParallelFor(
+    size_t n, size_t grain, size_t max_participants,
+    const std::function<void(size_t, size_t, size_t)>& body) {
+  if (n == 0) return;
+  grain = std::max<size_t>(grain, 1);
+  max_participants = std::max<size_t>(max_participants, 1);
+
+  if (max_participants == 1 || workers_.empty()) {
+    body(0, n, 0);
+    return;
+  }
+
+  std::lock_guard<std::mutex> dispatch(dispatch_mu_);
+  auto job = std::make_shared<Job>();
+  job->n = n;
+  job->grain = grain;
+  job->max_participants = max_participants;
+  job->body = &body;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    job_ = job;
+    ++job_seq_;
+    workers_in_flight_ = workers_.size();
+  }
+  work_cv_.notify_all();
+
+  RunChunks(job.get(), /*slot=*/0);
+
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    done_cv_.wait(lock, [&] { return workers_in_flight_ == 0; });
+    job_.reset();
+  }
+
+  if (kMetricsEnabled) {
+    auto& registry = MetricsRegistry::Global();
+    registry.GetCounter("fixrep.pool.parallel_fors")->Add(1);
+    registry.GetCounter("fixrep.pool.tasks")->Add(n);
+    registry.GetCounter("fixrep.pool.chunks_claimed")
+        ->Add(job->chunks.load(std::memory_order_relaxed));
+    registry.GetGauge("fixrep.pool.workers")
+        ->Set(static_cast<int64_t>(workers_.size()));
+  }
+}
+
+}  // namespace fixrep

@@ -1,36 +1,42 @@
 #include "repair/lrepair.h"
 
+#include <utility>
+
 #include "common/logging.h"
 #include "common/metrics.h"
 #include "common/trace.h"
 
 namespace fixrep {
 
-FastRepairer::FastRepairer(const RuleSet* rules) : rules_(rules) {
-  FIXREP_CHECK(rules_ != nullptr);
-  FIXREP_TRACE_SPAN("lrepair.index_build");
-  const size_t n = rules_->size();
-  for (uint32_t i = 0; i < n; ++i) {
-    const FixingRule& rule = rules_->rule(i);
-    if (rule.evidence_attrs.empty()) {
-      empty_evidence_rules_.push_back(i);
-      continue;
-    }
-    for (size_t e = 0; e < rule.evidence_attrs.size(); ++e) {
-      inverted_[Key(rule.evidence_attrs[e], rule.evidence_values[e])]
-          .push_back(i);
-    }
-  }
-  counter_.assign(n, 0);
-  counter_epoch_.assign(n, 0);
-  queued_epoch_.assign(n, 0);
-  checked_epoch_.assign(n, 0);
-  stats_.Reset(n);
-  published_.Reset(n);
-  auto& registry = MetricsRegistry::Global();
-  registry.GetCounter("fixrep.lrepair.index_builds")->Add(1);
-  registry.GetGauge("fixrep.lrepair.index_keys")
-      ->Set(static_cast<int64_t>(inverted_.size()));
+namespace {
+
+void InitScratch(size_t num_rules, std::vector<uint32_t>* counter,
+                 std::vector<uint32_t>* counter_epoch,
+                 std::vector<uint32_t>* queued_epoch,
+                 std::vector<uint32_t>* checked_epoch) {
+  counter->assign(num_rules, 0);
+  counter_epoch->assign(num_rules, 0);
+  queued_epoch->assign(num_rules, 0);
+  checked_epoch->assign(num_rules, 0);
+}
+
+}  // namespace
+
+FastRepairer::FastRepairer(const RuleSet* rules)
+    : owned_index_(std::make_unique<CompiledRuleIndex>(rules)),
+      index_(owned_index_.get()) {
+  InitScratch(index_->num_rules(), &counter_, &counter_epoch_,
+              &queued_epoch_, &checked_epoch_);
+  stats_.Reset(index_->num_rules());
+  published_.Reset(index_->num_rules());
+}
+
+FastRepairer::FastRepairer(const CompiledRuleIndex* index) : index_(index) {
+  FIXREP_CHECK(index_ != nullptr);
+  InitScratch(index_->num_rules(), &counter_, &counter_epoch_,
+              &queued_epoch_, &checked_epoch_);
+  stats_.Reset(index_->num_rules());
+  published_.Reset(index_->num_rules());
 }
 
 void FastRepairer::BumpCounter(uint32_t rule_index) {
@@ -40,8 +46,7 @@ void FastRepairer::BumpCounter(uint32_t rule_index) {
     counter_[rule_index] = 0;
   }
   ++counter_[rule_index];
-  if (counter_[rule_index] ==
-          rules_->rule(rule_index).evidence_attrs.size() &&
+  if (counter_[rule_index] == index_->evidence_count(rule_index) &&
       queued_epoch_[rule_index] != epoch_ &&
       checked_epoch_[rule_index] != epoch_) {
     queued_epoch_[rule_index] = epoch_;
@@ -51,7 +56,34 @@ void FastRepairer::BumpCounter(uint32_t rule_index) {
 }
 
 size_t FastRepairer::RepairTuple(Tuple* t) {
-  FIXREP_CHECK_EQ(t->size(), rules_->schema().arity());
+  FIXREP_CHECK_EQ(t->size(), index_->arity());
+  if (memo_ == nullptr) return ChaseTuple(t);
+
+  const uint64_t hash = MemoCache::HashTuple(*t);
+  if (const std::vector<MemoCache::Write>* writes = memo_->Find(hash, *t)) {
+    // Replay: identical tuple, identical fix. The outcome counters
+    // (tuples/cells/rule applications) advance exactly as a chase would;
+    // the chase-internal ones (counter bumps, Ω traffic) are skipped —
+    // that skipped work is the win.
+    ++stats_.tuples_examined;
+    for (const MemoCache::Write& write : *writes) {
+      (*t)[write.attr] = write.value;
+      ++stats_.rule_applications;
+      ++stats_.per_rule_applications[write.rule];
+    }
+    stats_.cells_changed += writes->size();
+    if (!writes->empty()) ++stats_.tuples_changed;
+    return writes->size();
+  }
+
+  Tuple key = *t;  // pre-repair signature; the chase mutates *t
+  writes_scratch_.clear();
+  const size_t changed = ChaseTuple(t);
+  memo_->Insert(hash, std::move(key), writes_scratch_);
+  return changed;
+}
+
+size_t FastRepairer::ChaseTuple(Tuple* t) {
   ++stats_.tuples_examined;
   ++epoch_;
   if (epoch_ == 0) {
@@ -65,7 +97,7 @@ size_t FastRepairer::RepairTuple(Tuple* t) {
 
   // Lines 2-7 of Fig. 7: initialize counters from the tuple's cells and
   // seed Ω with fully-counted rules.
-  for (uint32_t rule_index : empty_evidence_rules_) {
+  for (uint32_t rule_index : index_->empty_evidence_rules()) {
     queued_epoch_[rule_index] = epoch_;
     ++stats_.candidates_enqueued;
     queue_.push_back(rule_index);
@@ -74,10 +106,12 @@ size_t FastRepairer::RepairTuple(Tuple* t) {
   for (AttrId a = 0; a < arity; ++a) {
     const ValueId v = (*t)[a];
     if (v == kNullValue) continue;
-    const auto it = inverted_.find(Key(a, v));
-    if (it == inverted_.end()) continue;
+    const PostingRange range = index_->Lookup(a, v);
+    if (range.empty()) continue;
     ++stats_.index_hits;
-    for (const uint32_t rule_index : it->second) BumpCounter(rule_index);
+    for (const uint32_t* p = range.begin; p != range.end; ++p) {
+      BumpCounter(*p);
+    }
   }
 
   // Lines 8-16: chase over the candidate set.
@@ -88,22 +122,27 @@ size_t FastRepairer::RepairTuple(Tuple* t) {
     queue_.pop_back();
     if (checked_epoch_[rule_index] == epoch_) continue;
     checked_epoch_[rule_index] = epoch_;  // removed from Ω once and for all
-    const FixingRule& rule = rules_->rule(rule_index);
-    if (assured.Contains(rule.target) || !rule.Matches(*t)) {
+    const AttrId target = index_->target(rule_index);
+    if (assured.Contains(target) ||
+        !index_->rules().rule(rule_index).Matches(*t)) {
       ++stats_.candidates_rejected;
       continue;
     }
-    rule.Apply(t);
-    assured.UnionWith(rule.AssuredSet());
+    const ValueId fact = index_->fact(rule_index);
+    (*t)[target] = fact;
+    assured.UnionWith(index_->assured(rule_index));
     ++cells_changed;
     ++stats_.rule_applications;
     ++stats_.per_rule_applications[rule_index];
+    if (memo_ != nullptr) {
+      writes_scratch_.push_back({target, fact, rule_index});
+    }
     // Propagate the new value through the inverted lists (lines 13-15).
-    const auto it = inverted_.find(Key(rule.target, rule.fact));
-    if (it == inverted_.end()) continue;
+    const PostingRange range = index_->Lookup(target, fact);
+    if (range.empty()) continue;
     ++stats_.index_hits;
-    for (const uint32_t candidate : it->second) {
-      if (checked_epoch_[candidate] != epoch_) BumpCounter(candidate);
+    for (const uint32_t* p = range.begin; p != range.end; ++p) {
+      if (checked_epoch_[*p] != epoch_) BumpCounter(*p);
     }
   }
 
@@ -123,6 +162,7 @@ void FastRepairer::RepairTable(Table* table) {
 void FastRepairer::FlushMetrics() {
   stats_.PublishDelta(published_, "lrepair");
   published_ = stats_;
+  if (memo_ != nullptr) memo_->FlushMetrics();
 }
 
 }  // namespace fixrep

@@ -2,35 +2,56 @@
 #define FIXREP_REPAIR_LREPAIR_H_
 
 #include <cstdint>
-#include <unordered_map>
+#include <memory>
 #include <vector>
 
 #include "relation/table.h"
+#include "repair/memo_cache.h"
 #include "repair/repair_stats.h"
+#include "repair/rule_index.h"
 #include "rules/rule_set.h"
 
 namespace fixrep {
 
 // lRepair (Fig. 7): the fast repair algorithm, O(size(Σ)) per tuple.
 //
-// Two indices drive it:
-// * Inverted lists map a key (attribute A, constant a) to every rule phi
-//   with A in X_phi and tp_phi[A] = a. Built once per rule set, reused
-//   for every tuple.
+// The rule-set-derived structures live in CompiledRuleIndex (flat hash
+// over (attribute, constant) keys into CSR-packed inverted lists, plus
+// flat per-rule side arrays) — built once per rule set and shared
+// immutably by every engine. A FastRepairer is only the per-thread
+// scratch on top of it:
 // * Hash counters c(phi) count how many evidence attributes the current
 //   tuple agrees with. When c(phi) reaches |X_phi| the rule *may* match
 //   and enters the candidate set Ω; applicability is re-verified on pop
 //   (counters are never decremented when a cell is overwritten, exactly
 //   as in the paper — stale full counters are filtered by verification).
+// * Counters use epoch stamping so per-tuple initialization is O(|R|)
+//   probes, not O(|Σ|) clears.
 //
 // Each rule enters Ω at most once and is checked at most once per tuple,
-// which is what yields the linear bound. Counters use epoch stamping so
-// per-tuple initialization is O(|R|) probes, not O(|Σ|) clears.
+// which is what yields the linear bound.
+//
+// Optionally a MemoCache (set_memo) short-circuits the chase for
+// byte-identical tuples by replaying the cached write set — bit-identical
+// to re-chasing because the chase is a pure function of the tuple.
 class FastRepairer {
  public:
-  // Builds the inverted lists for `rules`. The rule set must outlive the
+  // Compiles a private index for `rules`. The rule set must outlive the
   // repairer and must not be mutated afterwards.
   explicit FastRepairer(const RuleSet* rules);
+
+  // Shares an existing compiled index (the parallel/incremental path:
+  // one index, many cheap per-thread repairers). The index must outlive
+  // the repairer.
+  explicit FastRepairer(const CompiledRuleIndex* index);
+
+  const CompiledRuleIndex& index() const { return *index_; }
+
+  // Attaches a memo cache (nullptr detaches). Borrowed; the cache is
+  // single-owner, so never share one across concurrently-running
+  // repairers.
+  void set_memo(MemoCache* memo) { memo_ = memo; }
+  MemoCache* memo() const { return memo_; }
 
   // Repairs one tuple in place; returns the number of cells changed.
   size_t RepairTuple(Tuple* t);
@@ -40,29 +61,32 @@ class FastRepairer {
 
   const RepairStats& stats() const { return stats_; }
   void ResetStats() {
-    stats_.Reset(rules_->size());
-    published_.Reset(rules_->size());
+    stats_.Reset(index_->num_rules());
+    published_.Reset(index_->num_rules());
   }
 
   // Publishes stats accumulated since the last flush into the global
-  // MetricsRegistry (fixrep.lrepair.*). RepairTable flushes automatically;
-  // callers driving RepairTuple directly (incremental sessions, parallel
+  // MetricsRegistry (fixrep.lrepair.*), plus the attached memo's
+  // fixrep.memo.* deltas. RepairTable flushes automatically; callers
+  // driving RepairTuple directly (incremental sessions, parallel
   // workers) decide their own flush granularity.
   void FlushMetrics();
 
- private:
-  static uint64_t Key(AttrId attr, ValueId value) {
-    return (static_cast<uint64_t>(static_cast<uint32_t>(attr)) << 32) |
-           static_cast<uint32_t>(value);
-  }
+  // Seeds the epoch counter so tests can exercise the uint32 wrap-around
+  // hard-reset path without chasing ~4B tuples.
+  void SeedEpochForTest(uint32_t epoch) { epoch_ = epoch; }
 
+ private:
   // Bumps the counter of `rule_index` for the current epoch; enqueues the
   // rule when its evidence counter becomes full.
   void BumpCounter(uint32_t rule_index);
 
-  const RuleSet* rules_;
-  std::unordered_map<uint64_t, std::vector<uint32_t>> inverted_;
-  std::vector<uint32_t> empty_evidence_rules_;  // |X_phi| == 0: always in Ω
+  // The non-memoized chase (Fig. 7 proper).
+  size_t ChaseTuple(Tuple* t);
+
+  std::unique_ptr<const CompiledRuleIndex> owned_index_;
+  const CompiledRuleIndex* index_;
+  MemoCache* memo_ = nullptr;
 
   // Per-tuple scratch state, epoch-stamped.
   uint32_t epoch_ = 0;
@@ -71,6 +95,7 @@ class FastRepairer {
   std::vector<uint32_t> queued_epoch_;   // rule has entered Ω this epoch
   std::vector<uint32_t> checked_epoch_;  // rule was popped and consumed
   std::vector<uint32_t> queue_;          // Ω
+  std::vector<MemoCache::Write> writes_scratch_;  // chase log for the memo
 
   RepairStats stats_;
   RepairStats published_;  // snapshot of stats_ at the last FlushMetrics

@@ -1,0 +1,74 @@
+#include "repair/memo_cache.h"
+
+#include <string>
+#include <utility>
+
+#include "common/logging.h"
+#include "common/metrics.h"
+
+namespace fixrep {
+
+MemoCache::MemoCache(size_t capacity) {
+  size_t rounded = 1;
+  while (rounded < capacity) rounded <<= 1;
+  slots_.resize(rounded);
+  mask_ = rounded - 1;
+}
+
+uint64_t MemoCache::HashTuple(const Tuple& t) {
+  // FNV-1a over the cells, then a SplitMix64 finalizer so the low bits
+  // used for slot selection see every cell.
+  uint64_t h = 0xcbf29ce484222325ULL;
+  for (const ValueId v : t) {
+    h ^= static_cast<uint32_t>(v);
+    h *= 0x100000001b3ULL;
+  }
+  h ^= h >> 33;
+  h *= 0xff51afd7ed558ccdULL;
+  h ^= h >> 33;
+  return h;
+}
+
+const std::vector<MemoCache::Write>* MemoCache::Find(uint64_t hash,
+                                                     const Tuple& t) {
+  Entry& entry = slots_[hash & mask_];
+  if (entry.used && entry.hash == hash && entry.key == t) {
+    ++stats_.hits;
+    return &entry.writes;
+  }
+  ++stats_.misses;
+  return nullptr;
+}
+
+void MemoCache::Insert(uint64_t hash, Tuple key, std::vector<Write> writes) {
+  Entry& entry = slots_[hash & mask_];
+  if (entry.used && !(entry.hash == hash && entry.key == key)) {
+    ++stats_.evictions;
+  }
+  entry.used = true;
+  entry.hash = hash;
+  entry.key = std::move(key);
+  entry.writes = std::move(writes);
+  ++stats_.insertions;
+}
+
+void MemoCache::FlushMetrics() {
+  if (!kMetricsEnabled) return;
+  auto& registry = MetricsRegistry::Global();
+  const auto publish = [&](const char* name, uint64_t cur, uint64_t old) {
+    FIXREP_DCHECK(cur >= old);
+    if (cur > old) {
+      registry.GetCounter(std::string("fixrep.memo.") + name)
+          ->Add(cur - old);
+    }
+  };
+  publish("hits", stats_.hits, published_.hits);
+  publish("misses", stats_.misses, published_.misses);
+  publish("insertions", stats_.insertions, published_.insertions);
+  publish("evictions", stats_.evictions, published_.evictions);
+  registry.GetGauge("fixrep.memo.capacity")
+      ->Set(static_cast<int64_t>(slots_.size()));
+  published_ = stats_;
+}
+
+}  // namespace fixrep

@@ -1,0 +1,89 @@
+#ifndef FIXREP_REPAIR_MEMO_CACHE_H_
+#define FIXREP_REPAIR_MEMO_CACHE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "relation/table.h"
+
+namespace fixrep {
+
+// Tuple-signature repair memoization.
+//
+// Real cleaning workloads are dominated by repeated value patterns:
+// byte-identical dirty tuples recur (duplicated registrations, repeated
+// form entries, hosp's provider rows). Chasing is a pure function of the
+// tuple's cells — the rule index is immutable and the chase never looks
+// outside the tuple — so two identical tuples always receive the identical
+// write set, and replaying a cached (attr, value, rule) list is
+// bit-identical to re-chasing (asserted by memo_cache_test against both
+// engines).
+//
+// The cache is direct-mapped: capacity is a power of two, a tuple hashes
+// to exactly one slot, and an insert simply overwrites whatever lived
+// there (eviction is one slot assignment — no LRU lists, no heap churn on
+// the hot path beyond the stored tuple/write vectors). Hits require a
+// full tuple compare, so hash collisions can cost a miss but never a
+// wrong replay.
+//
+// Single-owner: not thread-safe. Parallel repair gives each worker its
+// own MemoCache (worker-local like the chase scratch); determinism holds
+// because replay and re-chase agree.
+class MemoCache {
+ public:
+  // One cached cell write: rule `rule` set t[attr] := value.
+  struct Write {
+    AttrId attr;
+    ValueId value;
+    uint32_t rule;
+  };
+
+  // Plain tallies; published into fixrep.memo.* by FlushMetrics.
+  struct Stats {
+    uint64_t hits = 0;
+    uint64_t misses = 0;
+    uint64_t insertions = 0;
+    uint64_t evictions = 0;
+  };
+
+  // 64Ki entries ≈ a few MB at hosp arity; covers the distinct-row count
+  // of duplicate-heavy tables while staying far below table size.
+  static constexpr size_t kDefaultCapacity = size_t{1} << 16;
+
+  explicit MemoCache(size_t capacity = kDefaultCapacity);
+
+  // 64-bit signature of the full tuple (every cell participates).
+  static uint64_t HashTuple(const Tuple& t);
+
+  // The cached write set for `t`, or nullptr on miss. `hash` must be
+  // HashTuple(t). Counts a hit or a miss.
+  const std::vector<Write>* Find(uint64_t hash, const Tuple& t);
+
+  // Caches `writes` for the pre-repair tuple `key` (hash must match).
+  // Overwrites the slot's previous occupant, counting an eviction.
+  void Insert(uint64_t hash, Tuple key, std::vector<Write> writes);
+
+  size_t capacity() const { return slots_.size(); }
+  const Stats& stats() const { return stats_; }
+
+  // Publishes the delta since the last flush into the global
+  // MetricsRegistry (fixrep.memo.{hits,misses,insertions,evictions}).
+  void FlushMetrics();
+
+ private:
+  struct Entry {
+    bool used = false;
+    uint64_t hash = 0;
+    Tuple key;
+    std::vector<Write> writes;
+  };
+
+  std::vector<Entry> slots_;
+  size_t mask_;
+  Stats stats_;
+  Stats published_;
+};
+
+}  // namespace fixrep
+
+#endif  // FIXREP_REPAIR_MEMO_CACHE_H_

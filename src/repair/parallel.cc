@@ -1,28 +1,31 @@
 #include "repair/parallel.h"
 
 #include <algorithm>
-#include <thread>
+#include <memory>
 #include <vector>
 
 #include "common/log.h"
 #include "common/logging.h"
 #include "common/metrics.h"
+#include "common/thread_pool.h"
 #include "common/trace.h"
 #include "repair/lrepair.h"
 
 namespace fixrep {
 
-RepairStats ParallelRepairTable(const RuleSet& rules, Table* table,
-                                size_t threads) {
+RepairStats ParallelRepairTable(const CompiledRuleIndex& index, Table* table,
+                                const ParallelRepairOptions& options) {
   FIXREP_CHECK(table != nullptr);
-  if (threads == 0) {
-    threads = std::max<size_t>(std::thread::hardware_concurrency(), 1);
-  }
+  ThreadPool& pool = ThreadPool::Global();
+  size_t threads = options.threads;
+  if (threads == 0) threads = pool.num_workers() + 1;
   const size_t rows = table->num_rows();
   threads = std::min(threads, std::max<size_t>(rows, 1));
 
   if (threads <= 1 || rows == 0) {
-    FastRepairer repairer(&rules);
+    FastRepairer repairer(&index);
+    MemoCache memo(options.memo_capacity);
+    if (options.use_memo) repairer.set_memo(&memo);
     repairer.RepairTable(table);  // flushes fixrep.lrepair.* itself
     return repairer.stats();
   }
@@ -33,39 +36,55 @@ RepairStats ParallelRepairTable(const RuleSet& rules, Table* table,
   registry.GetGauge("fixrep.parallel.workers")
       ->Set(static_cast<int64_t>(threads));
   FIXREP_LOG(Debug) << "parallel repair" << Kv("rows", rows)
-                    << Kv("rules", rules.size()) << Kv("workers", threads);
+                    << Kv("rules", index.num_rules())
+                    << Kv("workers", threads)
+                    << Kv("memo", options.use_memo ? 1 : 0);
 
-  std::vector<RepairStats> per_worker(threads);
-  std::vector<std::thread> workers;
-  workers.reserve(threads);
-  const size_t shard = (rows + threads - 1) / threads;
+  // Per-slot scratch, created up front: repairers are cheap now that the
+  // index is shared (four O(|Σ|) vectors), and pre-creation keeps the
+  // claimed-chunk lambda allocation-free.
+  std::vector<std::unique_ptr<FastRepairer>> repairers;
+  std::vector<std::unique_ptr<MemoCache>> memos;
+  repairers.reserve(threads);
+  memos.reserve(threads);
   for (size_t w = 0; w < threads; ++w) {
-    const size_t begin = w * shard;
-    const size_t end = std::min(begin + shard, rows);
-    if (begin >= end) break;
-    workers.emplace_back([&rules, table, begin, end,
-                          stats = &per_worker[w]]() {
-      // Each worker owns a repairer: the rule set is shared read-only,
-      // the counters/queue inside FastRepairer are worker-local. Workers
-      // drive RepairTuple directly and never flush — the merged stats are
-      // published once below, after the join, so registry counts match
-      // the single-threaded run exactly.
-      FastRepairer repairer(&rules);
-      for (size_t r = begin; r < end; ++r) {
-        repairer.RepairTuple(&table->mutable_row(r));
-      }
-      *stats = repairer.stats();
-    });
+    repairers.push_back(std::make_unique<FastRepairer>(&index));
+    if (options.use_memo) {
+      memos.push_back(std::make_unique<MemoCache>(options.memo_capacity));
+      repairers.back()->set_memo(memos.back().get());
+    }
   }
-  for (auto& worker : workers) worker.join();
 
+  // Chunks small enough that fast workers absorb stragglers' leftovers,
+  // large enough that the atomic cursor is off the per-tuple path.
+  const size_t grain =
+      std::clamp<size_t>(rows / (threads * 8), size_t{16}, size_t{2048});
+  pool.ParallelFor(rows, grain, threads,
+                   [&](size_t begin, size_t end, size_t slot) {
+                     FastRepairer& repairer = *repairers[slot];
+                     for (size_t r = begin; r < end; ++r) {
+                       repairer.RepairTuple(&table->mutable_row(r));
+                     }
+                   });
+
+  // Workers never flush — the merged stats are published once so registry
+  // counts match the single-threaded run exactly.
   RepairStats merged;
-  merged.Reset(rules.size());
-  for (const auto& stats : per_worker) merged.MergeFrom(stats);
+  merged.Reset(index.num_rules());
+  for (const auto& repairer : repairers) merged.MergeFrom(repairer->stats());
   RepairStats empty;
-  empty.Reset(rules.size());
+  empty.Reset(index.num_rules());
   merged.PublishDelta(empty, "lrepair");
+  for (const auto& memo : memos) memo->FlushMetrics();
   return merged;
+}
+
+RepairStats ParallelRepairTable(const RuleSet& rules, Table* table,
+                                size_t threads) {
+  const CompiledRuleIndex index(&rules);
+  ParallelRepairOptions options;
+  options.threads = threads;
+  return ParallelRepairTable(index, table, options);
 }
 
 }  // namespace fixrep

@@ -4,7 +4,9 @@
 #include <cstddef>
 
 #include "relation/table.h"
+#include "repair/memo_cache.h"
 #include "repair/repair_stats.h"
+#include "repair/rule_index.h"
 #include "rules/rule_set.h"
 
 namespace fixrep {
@@ -12,13 +14,31 @@ namespace fixrep {
 // Multi-threaded whole-table repair.
 //
 // Fixing-rule repair is embarrassingly parallel: each tuple is chased
-// independently (Section 6 repairs one tuple at a time), so the table is
-// split into contiguous shards, one FastRepairer per worker (the
-// inverted lists are shared-immutable; the hash counters are per-worker
-// scratch). The result is bit-identical to the serial engine.
-//
-// `threads` == 0 picks std::thread::hardware_concurrency(). Returns the
-// merged stats of all workers.
+// independently (Section 6 repairs one tuple at a time), so row ranges
+// are claimed dynamically from the persistent ThreadPool's atomic
+// cursor. All workers share one immutable CompiledRuleIndex; each owns a
+// FastRepairer scratch (and, when memoization is on, a worker-local
+// MemoCache). The result is bit-identical to the serial engine in every
+// configuration.
+struct ParallelRepairOptions {
+  // 0 picks the pool's full width (caller + all pool workers).
+  size_t threads = 0;
+  // Tuple-signature memoization (worker-local caches). Output is
+  // bit-identical either way; duplicate-heavy tables repair much faster
+  // with it on.
+  bool use_memo = true;
+  size_t memo_capacity = MemoCache::kDefaultCapacity;
+};
+
+// Repairs `table` against a pre-built shared index. Returns the merged
+// stats of all workers (published once into fixrep.lrepair.* so registry
+// counts match a serial run).
+RepairStats ParallelRepairTable(const CompiledRuleIndex& index, Table* table,
+                                const ParallelRepairOptions& options = {});
+
+// Convenience overload: compiles the index for `rules` (once per call),
+// then repairs. Callers repairing many tables against one rule set should
+// build the CompiledRuleIndex themselves and use the overload above.
 RepairStats ParallelRepairTable(const RuleSet& rules, Table* table,
                                 size_t threads = 0);
 

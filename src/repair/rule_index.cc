@@ -1,0 +1,84 @@
+#include "repair/rule_index.h"
+
+#include <unordered_map>
+#include <utility>
+
+#include "common/logging.h"
+#include "common/metrics.h"
+#include "common/trace.h"
+
+namespace fixrep {
+
+CompiledRuleIndex::CompiledRuleIndex(const RuleSet* rules) : rules_(rules) {
+  FIXREP_CHECK(rules_ != nullptr);
+  FIXREP_TRACE_SPAN("lrepair.index_build");
+  arity_ = rules_->schema().arity();
+  const size_t n = rules_->size();
+
+  evidence_count_.resize(n);
+  target_.resize(n);
+  fact_.resize(n);
+  assured_bits_.resize(n);
+
+  // Gather postings per key, then pack. The scratch map only lives during
+  // the build; lookups afterwards touch the flat structures exclusively.
+  std::unordered_map<uint64_t, std::vector<uint32_t>> gathered;
+  size_t total_postings = 0;
+  for (uint32_t i = 0; i < n; ++i) {
+    const FixingRule& rule = rules_->rule(i);
+    evidence_count_[i] = static_cast<uint32_t>(rule.evidence_attrs.size());
+    target_[i] = rule.target;
+    fact_[i] = rule.fact;
+    assured_bits_[i] = rule.AssuredSet().bits();
+    if (rule.evidence_attrs.empty()) {
+      empty_evidence_rules_.push_back(i);
+      continue;
+    }
+    for (size_t e = 0; e < rule.evidence_attrs.size(); ++e) {
+      gathered[Key(rule.evidence_attrs[e], rule.evidence_values[e])]
+          .push_back(i);
+      ++total_postings;
+    }
+  }
+
+  num_keys_ = gathered.size();
+  size_t capacity = 16;
+  while (capacity < num_keys_ * 2) capacity <<= 1;
+  mask_ = capacity - 1;
+  slots_.assign(capacity, Slot{});
+  postings_.reserve(total_postings);
+  for (auto& [key, rule_ids] : gathered) {
+    size_t slot = Hash(key) & mask_;
+    while (slots_[slot].key != kEmptyKey) slot = (slot + 1) & mask_;
+    slots_[slot].key = key;
+    slots_[slot].begin = static_cast<uint32_t>(postings_.size());
+    postings_.insert(postings_.end(), rule_ids.begin(), rule_ids.end());
+    slots_[slot].end = static_cast<uint32_t>(postings_.size());
+  }
+
+  auto& registry = MetricsRegistry::Global();
+  // fixrep.lrepair.index_builds must tick once per rule set — sharing one
+  // CompiledRuleIndex across engines/workers is the whole point;
+  // parallel_test asserts it stays at 1 for a multi-worker repair.
+  registry.GetCounter("fixrep.lrepair.index_builds")->Add(1);
+  registry.GetGauge("fixrep.lrepair.index_keys")
+      ->Set(static_cast<int64_t>(num_keys_));
+  registry.GetCounter("fixrep.index.builds")->Add(1);
+  registry.GetGauge("fixrep.index.keys")
+      ->Set(static_cast<int64_t>(num_keys_));
+  registry.GetGauge("fixrep.index.postings")
+      ->Set(static_cast<int64_t>(postings_.size()));
+  registry.GetGauge("fixrep.index.bytes")->Set(static_cast<int64_t>(bytes()));
+}
+
+size_t CompiledRuleIndex::bytes() const {
+  return slots_.capacity() * sizeof(Slot) +
+         postings_.capacity() * sizeof(uint32_t) +
+         evidence_count_.capacity() * sizeof(uint32_t) +
+         target_.capacity() * sizeof(AttrId) +
+         fact_.capacity() * sizeof(ValueId) +
+         assured_bits_.capacity() * sizeof(uint64_t) +
+         empty_evidence_rules_.capacity() * sizeof(uint32_t);
+}
+
+}  // namespace fixrep

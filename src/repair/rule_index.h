@@ -1,0 +1,126 @@
+#ifndef FIXREP_REPAIR_RULE_INDEX_H_
+#define FIXREP_REPAIR_RULE_INDEX_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "relation/table.h"
+#include "rules/rule_set.h"
+
+namespace fixrep {
+
+// Contiguous slice of a CSR postings array: the indices of every rule
+// whose evidence pattern contains one (attribute, value) cell.
+struct PostingRange {
+  const uint32_t* begin = nullptr;
+  const uint32_t* end = nullptr;
+
+  size_t size() const { return static_cast<size_t>(end - begin); }
+  bool empty() const { return begin == end; }
+};
+
+// Immutable, cache-friendly compilation of a RuleSet for the lRepair hot
+// path. Built once per rule set and shared read-only by every repair
+// engine (serial, pooled parallel, incremental) — the per-call,
+// per-worker index rebuild of the old design is gone.
+//
+// Layout:
+// * An open-addressing flat hash (linear probing, power-of-two capacity,
+//   <=50% load) maps the packed key (attr << 32 | value) to a postings
+//   range. Probing touches one contiguous Slot array — no node
+//   allocations, no pointer chasing.
+// * Postings are CSR-packed: one contiguous uint32_t rule-id array; each
+//   hash slot stores its [begin, end) offsets.
+// * Flat side arrays mirror the per-rule fields the chase touches
+//   (|X_phi|, target attribute, fact value, assured bitmask), so counter
+//   bumps and propagation never dereference a FixingRule.
+//
+// The rule set must outlive the index and must not be mutated afterwards.
+class CompiledRuleIndex {
+ public:
+  explicit CompiledRuleIndex(const RuleSet* rules);
+
+  CompiledRuleIndex(const CompiledRuleIndex&) = delete;
+  CompiledRuleIndex& operator=(const CompiledRuleIndex&) = delete;
+
+  const RuleSet& rules() const { return *rules_; }
+  size_t num_rules() const { return evidence_count_.size(); }
+  size_t arity() const { return arity_; }
+
+  // Rules phi with attr in X_phi and tp_phi[attr] == value. Empty range
+  // when no rule mentions the cell.
+  PostingRange Lookup(AttrId attr, ValueId value) const {
+    const uint64_t key = Key(attr, value);
+    size_t slot = Hash(key) & mask_;
+    while (true) {
+      const Slot& s = slots_[slot];
+      if (s.key == key) {
+        return {postings_.data() + s.begin, postings_.data() + s.end};
+      }
+      if (s.key == kEmptyKey) return {};
+      slot = (slot + 1) & mask_;
+    }
+  }
+
+  // |X_phi| — the evidence counter threshold for rule i.
+  uint32_t evidence_count(uint32_t rule) const {
+    return evidence_count_[rule];
+  }
+  AttrId target(uint32_t rule) const { return target_[rule]; }
+  ValueId fact(uint32_t rule) const { return fact_[rule]; }
+  AttrSet assured(uint32_t rule) const {
+    return AttrSet::FromBits(assured_bits_[rule]);
+  }
+
+  // Rules with empty evidence (always candidates).
+  const std::vector<uint32_t>& empty_evidence_rules() const {
+    return empty_evidence_rules_;
+  }
+
+  size_t num_keys() const { return num_keys_; }
+  size_t num_postings() const { return postings_.size(); }
+  // Total heap footprint of the compiled structures, in bytes.
+  size_t bytes() const;
+
+ private:
+  struct Slot {
+    uint64_t key = kEmptyKey;
+    uint32_t begin = 0;
+    uint32_t end = 0;
+  };
+
+  // attr < 64 (schemas are bounded to 64 attributes), so every valid key
+  // has its top bits clear and UINT64_MAX can serve as the empty marker.
+  static constexpr uint64_t kEmptyKey = UINT64_MAX;
+
+  static uint64_t Key(AttrId attr, ValueId value) {
+    return (static_cast<uint64_t>(static_cast<uint32_t>(attr)) << 32) |
+           static_cast<uint32_t>(value);
+  }
+
+  // SplitMix64 finalizer: full avalanche so linear probing stays short.
+  static uint64_t Hash(uint64_t x) {
+    x ^= x >> 33;
+    x *= 0xff51afd7ed558ccdULL;
+    x ^= x >> 33;
+    x *= 0xc4ceb9fe1a85ec53ULL;
+    x ^= x >> 33;
+    return x;
+  }
+
+  const RuleSet* rules_;
+  size_t arity_ = 0;
+  size_t num_keys_ = 0;
+  size_t mask_ = 0;
+  std::vector<Slot> slots_;
+  std::vector<uint32_t> postings_;
+  std::vector<uint32_t> evidence_count_;
+  std::vector<AttrId> target_;
+  std::vector<ValueId> fact_;
+  std::vector<uint64_t> assured_bits_;
+  std::vector<uint32_t> empty_evidence_rules_;
+};
+
+}  // namespace fixrep
+
+#endif  // FIXREP_REPAIR_RULE_INDEX_H_

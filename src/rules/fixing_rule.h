@@ -26,6 +26,12 @@ class AttrSet {
     return s;
   }
 
+  static AttrSet FromBits(uint64_t bits) {
+    AttrSet s;
+    s.bits_ = bits;
+    return s;
+  }
+
   void Add(AttrId attr) { bits_ |= (uint64_t{1} << attr); }
   bool Contains(AttrId attr) const {
     return (bits_ >> attr) & uint64_t{1};

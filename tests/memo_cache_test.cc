@@ -1,0 +1,201 @@
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+#include "datagen/travel.h"
+#include "repair/lrepair.h"
+#include "repair/memo_cache.h"
+#include "repair/parallel.h"
+#include "testing_util.h"
+
+namespace fixrep {
+namespace {
+
+// A random table over the universe's value space, duplicate-prone: rows
+// are drawn from a small set of distinct tuples so the memo actually
+// hits.
+Table RandomTable(testing::RandomRuleUniverse* universe, Rng* rng,
+                  size_t rows, size_t distinct) {
+  Table table(universe->schema, universe->pool);
+  std::vector<Tuple> shapes;
+  for (size_t d = 0; d < distinct; ++d) {
+    Tuple t;
+    for (AttrId a = 0; a < static_cast<AttrId>(universe->schema->arity());
+         ++a) {
+      t.push_back(universe->Value(
+          a, static_cast<int>(rng->Uniform(universe->values_per_attribute))));
+    }
+    shapes.push_back(std::move(t));
+  }
+  for (size_t r = 0; r < rows; ++r) {
+    table.AppendRow(shapes[rng->Uniform(shapes.size())]);
+  }
+  return table;
+}
+
+void ExpectTablesEqual(const Table& a, const Table& b, const char* label) {
+  ASSERT_EQ(a.num_rows(), b.num_rows());
+  for (size_t r = 0; r < a.num_rows(); ++r) {
+    ASSERT_EQ(a.row(r), b.row(r)) << label << " row " << r;
+  }
+}
+
+TEST(MemoCacheTest, ReplayMatchesChaseOnTravelExample) {
+  TravelExample example;
+  Table plain = example.dirty;
+  FastRepairer baseline(&example.rules);
+  baseline.RepairTable(&plain);
+
+  Table memoized = example.dirty;
+  // Repair the table twice over so the second pass is all memo hits.
+  for (size_t copy = 0; copy < 2; ++copy) {
+    Table round = example.dirty;
+    FastRepairer repairer(&example.rules);
+    MemoCache memo;
+    repairer.set_memo(&memo);
+    repairer.RepairTable(&round);
+    memoized = round;
+  }
+  ExpectTablesEqual(memoized, plain, "travel");
+}
+
+TEST(MemoCacheTest, FuzzedTablesBitIdenticalSerial) {
+  Rng rng(0x5eed);
+  for (int round = 0; round < 15; ++round) {
+    testing::RandomRuleUniverse universe;
+    RuleSet rules(universe.schema, universe.pool);
+    const size_t num_rules = 1 + rng.Uniform(40);
+    for (size_t i = 0; i < num_rules; ++i) {
+      rules.Add(universe.RandomRule(&rng));
+    }
+    const Table dirty =
+        RandomTable(&universe, &rng, 200, 1 + rng.Uniform(30));
+
+    Table plain = dirty;
+    FastRepairer baseline(&rules);
+    baseline.RepairTable(&plain);
+
+    Table memoized = dirty;
+    FastRepairer repairer(&rules);
+    MemoCache memo;
+    repairer.set_memo(&memo);
+    repairer.RepairTable(&memoized);
+
+    ExpectTablesEqual(memoized, plain, "fuzz");
+    // Outcome stats replay exactly; only chase internals may differ.
+    EXPECT_EQ(repairer.stats().tuples_examined,
+              baseline.stats().tuples_examined);
+    EXPECT_EQ(repairer.stats().tuples_changed,
+              baseline.stats().tuples_changed);
+    EXPECT_EQ(repairer.stats().cells_changed,
+              baseline.stats().cells_changed);
+    EXPECT_EQ(repairer.stats().rule_applications,
+              baseline.stats().rule_applications);
+    EXPECT_EQ(repairer.stats().per_rule_applications,
+              baseline.stats().per_rule_applications);
+    EXPECT_GT(memo.stats().hits, 0u);  // duplicate-prone by construction
+  }
+}
+
+TEST(MemoCacheTest, FuzzedTablesBitIdenticalParallel) {
+  Rng rng(0xfade);
+  for (int round = 0; round < 8; ++round) {
+    testing::RandomRuleUniverse universe;
+    RuleSet rules(universe.schema, universe.pool);
+    const size_t num_rules = 1 + rng.Uniform(40);
+    for (size_t i = 0; i < num_rules; ++i) {
+      rules.Add(universe.RandomRule(&rng));
+    }
+    const Table dirty =
+        RandomTable(&universe, &rng, 500, 1 + rng.Uniform(40));
+
+    Table plain = dirty;
+    FastRepairer baseline(&rules);
+    baseline.RepairTable(&plain);
+
+    const CompiledRuleIndex index(&rules);
+    for (const bool use_memo : {false, true}) {
+      Table parallel = dirty;
+      ParallelRepairOptions options;
+      options.threads = 4;
+      options.use_memo = use_memo;
+      const RepairStats stats =
+          ParallelRepairTable(index, &parallel, options);
+      ExpectTablesEqual(parallel, plain,
+                        use_memo ? "parallel+memo" : "parallel");
+      EXPECT_EQ(stats.cells_changed, baseline.stats().cells_changed);
+      EXPECT_EQ(stats.per_rule_applications,
+                baseline.stats().per_rule_applications);
+    }
+  }
+}
+
+TEST(MemoCacheTest, EvictionUnderPressureStaysCorrect) {
+  Rng rng(0xcafe);
+  testing::RandomRuleUniverse universe;
+  RuleSet rules(universe.schema, universe.pool);
+  for (size_t i = 0; i < 30; ++i) rules.Add(universe.RandomRule(&rng));
+  // Many more distinct tuples than slots: the direct-mapped cache must
+  // constantly evict yet never corrupt an answer.
+  const Table dirty = RandomTable(&universe, &rng, 400, 200);
+
+  Table plain = dirty;
+  FastRepairer baseline(&rules);
+  baseline.RepairTable(&plain);
+
+  Table memoized = dirty;
+  FastRepairer repairer(&rules);
+  MemoCache memo(/*capacity=*/4);
+  repairer.set_memo(&memo);
+  repairer.RepairTable(&memoized);
+
+  ExpectTablesEqual(memoized, plain, "eviction");
+  EXPECT_EQ(memo.capacity(), 4u);
+  EXPECT_GT(memo.stats().evictions, 0u);
+  EXPECT_EQ(memo.stats().insertions, memo.stats().misses);
+}
+
+TEST(MemoCacheTest, CapacityOneForcesCollisionsWithoutWrongReplays) {
+  // Every distinct tuple maps to the single slot, so any hash-only
+  // shortcut would replay the wrong write set; the full-key compare must
+  // keep the output exact.
+  Rng rng(0xd00d);
+  testing::RandomRuleUniverse universe;
+  RuleSet rules(universe.schema, universe.pool);
+  for (size_t i = 0; i < 25; ++i) rules.Add(universe.RandomRule(&rng));
+  const Table dirty = RandomTable(&universe, &rng, 300, 50);
+
+  Table plain = dirty;
+  FastRepairer baseline(&rules);
+  baseline.RepairTable(&plain);
+
+  Table memoized = dirty;
+  FastRepairer repairer(&rules);
+  MemoCache memo(/*capacity=*/1);
+  repairer.set_memo(&memo);
+  repairer.RepairTable(&memoized);
+  ExpectTablesEqual(memoized, plain, "capacity-one");
+}
+
+TEST(MemoCacheTest, CapacityRoundsUpToPowerOfTwo) {
+  EXPECT_EQ(MemoCache(1).capacity(), 1u);
+  EXPECT_EQ(MemoCache(3).capacity(), 4u);
+  EXPECT_EQ(MemoCache(64).capacity(), 64u);
+  EXPECT_EQ(MemoCache(65).capacity(), 128u);
+}
+
+TEST(MemoCacheTest, HitRequiresExactTuple) {
+  MemoCache memo(8);
+  const Tuple a = {1, 2, 3};
+  const Tuple b = {1, 2, 4};
+  const uint64_t ha = MemoCache::HashTuple(a);
+  memo.Insert(ha, a, {{2, 9, 0}});
+  ASSERT_NE(memo.Find(ha, a), nullptr);
+  EXPECT_EQ(memo.Find(MemoCache::HashTuple(b), b), nullptr);
+  EXPECT_EQ(memo.stats().hits, 1u);
+  EXPECT_EQ(memo.stats().misses, 1u);
+}
+
+}  // namespace
+}  // namespace fixrep

@@ -112,6 +112,69 @@ TEST(ParallelRepairTest, RegistryCountsMatchSerialBaseline) {
   }
 }
 
+TEST(ParallelRepairTest, PooledAndMemoizedConfigsMatchSerial) {
+  // Every engine configuration — shared index, pooled workers, memo on
+  // or off — must be bit-identical to the plain serial chase.
+  HospOptions options;
+  options.rows = 6000;
+  options.num_hospitals = 250;
+  GeneratedData data = GenerateHosp(options);
+  Table dirty = data.clean;
+  InjectNoise(&dirty, ConstraintAttributes(*data.schema, data.fds),
+              NoiseOptions{});
+  RuleGenOptions rulegen;
+  rulegen.max_rules = 300;
+  const RuleSet rules = GenerateRules(data.clean, dirty, data.fds, rulegen);
+
+  Table serial = dirty;
+  FastRepairer repairer(&rules);
+  repairer.RepairTable(&serial);
+
+  const CompiledRuleIndex index(&rules);
+  for (const bool use_memo : {false, true}) {
+    for (const size_t threads : {2u, 4u, 16u}) {
+      Table parallel = dirty;
+      ParallelRepairOptions parallel_options;
+      parallel_options.threads = threads;
+      parallel_options.use_memo = use_memo;
+      const RepairStats stats =
+          ParallelRepairTable(index, &parallel, parallel_options);
+      for (size_t r = 0; r < serial.num_rows(); ++r) {
+        ASSERT_EQ(parallel.row(r), serial.row(r))
+            << "row " << r << " threads " << threads << " memo "
+            << use_memo;
+      }
+      EXPECT_EQ(stats.tuples_examined, repairer.stats().tuples_examined);
+      EXPECT_EQ(stats.cells_changed, repairer.stats().cells_changed);
+      EXPECT_EQ(stats.per_rule_applications,
+                repairer.stats().per_rule_applications);
+    }
+  }
+}
+
+TEST(ParallelRepairTest, IndexBuiltOncePerRuleSetNotPerWorkerOrCall) {
+  // Regression guard for the old design, which rebuilt the inverted
+  // index once per worker per ParallelRepairTable call: with a shared
+  // CompiledRuleIndex, fixrep.lrepair.index_builds ticks exactly once
+  // per rule set no matter how many workers or repair calls follow.
+  if (!kMetricsEnabled) {
+    GTEST_SKIP() << "built with FIXREP_DISABLE_METRICS";
+  }
+  TravelExample example;
+  auto& registry = MetricsRegistry::Global();
+  const uint64_t before =
+      registry.GetCounter("fixrep.lrepair.index_builds")->Value();
+  const CompiledRuleIndex index(&example.rules);
+  for (int call = 0; call < 3; ++call) {
+    Table table = example.dirty;
+    ParallelRepairOptions options;
+    options.threads = 4;
+    ParallelRepairTable(index, &table, options);
+  }
+  EXPECT_EQ(registry.GetCounter("fixrep.lrepair.index_builds")->Value(),
+            before + 1);
+}
+
 TEST(ParallelRepairTest, EmptyTable) {
   TravelExample example;
   Table empty(example.schema, example.pool);

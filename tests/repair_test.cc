@@ -1,3 +1,4 @@
+#include <cstdint>
 #include <vector>
 
 #include <gtest/gtest.h>
@@ -51,6 +52,36 @@ TEST_F(RepairTest, LRepairFollowsFig8) {
   EXPECT_EQ(repairer.stats().tuples_examined, 4u);
   EXPECT_EQ(repairer.stats().tuples_changed, 3u);
   EXPECT_EQ(repairer.stats().cells_changed, 4u);
+}
+
+TEST_F(RepairTest, EpochWrapAroundKeepsRepairsCorrect) {
+  // The epoch stamp is a uint32 that increments once per chased tuple;
+  // after ~4B tuples it wraps to 0 and the repairer hard-resets every
+  // stamp array (stale stamps from the previous lap would otherwise
+  // alias the new epoch and corrupt counters). Seed the epoch just below
+  // the wrap and chase the Fig. 8 table repeatedly across it.
+  FastRepairer repairer(&example_.rules);
+  repairer.SeedEpochForTest(UINT32_MAX - 2);
+  FastRepairer fresh(&example_.rules);
+  // 8 tuples cross the wrap point; each must repair exactly like a
+  // fresh repairer chasing the same tuple.
+  for (int lap = 0; lap < 2; ++lap) {
+    for (size_t r = 0; r < example_.dirty.num_rows(); ++r) {
+      Tuple wrapped = example_.dirty.row(r);
+      Tuple expected = example_.dirty.row(r);
+      const size_t changed_wrapped = repairer.RepairTuple(&wrapped);
+      const size_t changed_fresh = fresh.RepairTuple(&expected);
+      EXPECT_EQ(changed_wrapped, changed_fresh)
+          << "lap " << lap << " row " << r;
+      EXPECT_EQ(wrapped, expected) << "lap " << lap << " row " << r;
+      EXPECT_EQ(wrapped, example_.clean.row(r))
+          << "lap " << lap << " row " << r;
+    }
+  }
+  EXPECT_EQ(repairer.stats().cells_changed, fresh.stats().cells_changed);
+  EXPECT_EQ(repairer.stats().counter_bumps, fresh.stats().counter_bumps);
+  EXPECT_EQ(repairer.stats().candidates_enqueued,
+            fresh.stats().candidates_enqueued);
 }
 
 TEST_F(RepairTest, PerRuleApplicationCounts) {

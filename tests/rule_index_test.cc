@@ -1,0 +1,139 @@
+#include <algorithm>
+#include <map>
+#include <utility>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/metrics.h"
+#include "common/random.h"
+#include "datagen/travel.h"
+#include "repair/lrepair.h"
+#include "repair/rule_index.h"
+#include "testing_util.h"
+
+namespace fixrep {
+namespace {
+
+// Naive reference: every (attr, value) evidence cell -> rule ids, in
+// insertion order (the build preserves per-key rule order).
+std::map<std::pair<AttrId, ValueId>, std::vector<uint32_t>> NaivePostings(
+    const RuleSet& rules) {
+  std::map<std::pair<AttrId, ValueId>, std::vector<uint32_t>> postings;
+  for (uint32_t i = 0; i < rules.size(); ++i) {
+    const FixingRule& rule = rules.rule(i);
+    for (size_t e = 0; e < rule.evidence_attrs.size(); ++e) {
+      postings[{rule.evidence_attrs[e], rule.evidence_values[e]}]
+          .push_back(i);
+    }
+  }
+  return postings;
+}
+
+void ExpectMatchesNaive(const RuleSet& rules,
+                        const CompiledRuleIndex& index) {
+  const auto naive = NaivePostings(rules);
+  EXPECT_EQ(index.num_keys(), naive.size());
+  size_t total = 0;
+  for (const auto& [key, expected] : naive) {
+    const PostingRange range = index.Lookup(key.first, key.second);
+    const std::vector<uint32_t> got(range.begin, range.end);
+    EXPECT_EQ(got, expected) << "attr " << key.first << " value "
+                             << key.second;
+    total += expected.size();
+  }
+  EXPECT_EQ(index.num_postings(), total);
+}
+
+TEST(CompiledRuleIndexTest, TravelPostingsMatchNaiveConstruction) {
+  TravelExample example;
+  const CompiledRuleIndex index(&example.rules);
+  ExpectMatchesNaive(example.rules, index);
+  EXPECT_EQ(index.num_rules(), example.rules.size());
+  EXPECT_EQ(index.arity(), example.rules.schema().arity());
+  EXPECT_GT(index.bytes(), 0u);
+}
+
+TEST(CompiledRuleIndexTest, SideArraysMirrorRules) {
+  TravelExample example;
+  const CompiledRuleIndex index(&example.rules);
+  for (uint32_t i = 0; i < example.rules.size(); ++i) {
+    const FixingRule& rule = example.rules.rule(i);
+    EXPECT_EQ(index.evidence_count(i), rule.evidence_attrs.size());
+    EXPECT_EQ(index.target(i), rule.target);
+    EXPECT_EQ(index.fact(i), rule.fact);
+    EXPECT_EQ(index.assured(i), rule.AssuredSet());
+  }
+}
+
+TEST(CompiledRuleIndexTest, LookupMissReturnsEmptyRange) {
+  TravelExample example;
+  const CompiledRuleIndex index(&example.rules);
+  const ValueId unseen = example.pool->Intern("value-no-rule-mentions");
+  EXPECT_TRUE(index.Lookup(0, unseen).empty());
+  EXPECT_TRUE(index.Lookup(0, kNullValue).empty());
+}
+
+TEST(CompiledRuleIndexTest, FuzzedRuleSetsMatchNaiveConstruction) {
+  Rng rng(0xbead);
+  for (int round = 0; round < 20; ++round) {
+    testing::RandomRuleUniverse universe;
+    RuleSet rules(universe.schema, universe.pool);
+    const size_t n = 1 + rng.Uniform(60);
+    for (size_t i = 0; i < n; ++i) rules.Add(universe.RandomRule(&rng));
+    const CompiledRuleIndex index(&rules);
+    ExpectMatchesNaive(rules, index);
+  }
+}
+
+TEST(CompiledRuleIndexTest, EmptyEvidenceRulesAreListedNotIndexed) {
+  testing::RandomRuleUniverse universe;
+  RuleSet rules(universe.schema, universe.pool);
+  FixingRule rule;
+  rule.target = 1;
+  rule.negative_patterns = {universe.Value(1, 0)};
+  rule.fact = universe.Value(1, 1);
+  rules.Add(rule);
+  const CompiledRuleIndex index(&rules);
+  ASSERT_EQ(index.empty_evidence_rules().size(), 1u);
+  EXPECT_EQ(index.empty_evidence_rules()[0], 0u);
+  EXPECT_EQ(index.num_keys(), 0u);
+  EXPECT_EQ(index.evidence_count(0), 0u);
+}
+
+TEST(CompiledRuleIndexTest, SharedIndexDrivesMultipleRepairers) {
+  // The point of the compiled index: many engines, one build. Both
+  // repairers below must behave exactly like privately-indexed ones.
+  TravelExample example;
+  const CompiledRuleIndex index(&example.rules);
+  FastRepairer a(&index);
+  FastRepairer b(&index);
+  Table table_a = example.dirty;
+  Table table_b = example.dirty;
+  a.RepairTable(&table_a);
+  b.RepairTable(&table_b);
+  for (size_t r = 0; r < example.clean.num_rows(); ++r) {
+    EXPECT_EQ(table_a.row(r), example.clean.row(r));
+    EXPECT_EQ(table_b.row(r), example.clean.row(r));
+  }
+}
+
+TEST(CompiledRuleIndexTest, IndexBuildCounterTicksOncePerIndex) {
+  if (!kMetricsEnabled) {
+    GTEST_SKIP() << "built with FIXREP_DISABLE_METRICS";
+  }
+  TravelExample example;
+  auto& registry = MetricsRegistry::Global();
+  const uint64_t before =
+      registry.GetCounter("fixrep.lrepair.index_builds")->Value();
+  const CompiledRuleIndex index(&example.rules);
+  FastRepairer a(&index);
+  FastRepairer b(&index);
+  Table copy = example.dirty;
+  a.RepairTable(&copy);
+  EXPECT_EQ(registry.GetCounter("fixrep.lrepair.index_builds")->Value(),
+            before + 1);
+}
+
+}  // namespace
+}  // namespace fixrep

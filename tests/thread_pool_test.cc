@@ -1,0 +1,118 @@
+#include <atomic>
+#include <cstdint>
+#include <numeric>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/thread_pool.h"
+
+namespace fixrep {
+namespace {
+
+TEST(ThreadPoolTest, CoversEveryIndexExactlyOnce) {
+  ThreadPool pool(3);
+  const size_t n = 10000;
+  std::vector<std::atomic<uint32_t>> touched(n);
+  pool.ParallelFor(n, /*grain=*/64, /*max_participants=*/4,
+                   [&](size_t begin, size_t end, size_t slot) {
+                     ASSERT_LT(slot, 4u);
+                     for (size_t i = begin; i < end; ++i) {
+                       touched[i].fetch_add(1, std::memory_order_relaxed);
+                     }
+                   });
+  for (size_t i = 0; i < n; ++i) {
+    ASSERT_EQ(touched[i].load(), 1u) << "index " << i;
+  }
+}
+
+TEST(ThreadPoolTest, SlotScratchIsRaceFree) {
+  // Per-slot accumulators with no atomics: correct iff no two threads
+  // ever share a slot (the contract per-worker FastRepairer scratch
+  // relies on). TSan runs of this test double as the race check.
+  ThreadPool pool(3);
+  const size_t n = 50000;
+  const size_t max_participants = 4;
+  std::vector<uint64_t> per_slot(max_participants, 0);
+  pool.ParallelFor(n, /*grain=*/32, max_participants,
+                   [&](size_t begin, size_t end, size_t slot) {
+                     for (size_t i = begin; i < end; ++i) {
+                       per_slot[slot] += i;
+                     }
+                   });
+  const uint64_t total =
+      std::accumulate(per_slot.begin(), per_slot.end(), uint64_t{0});
+  EXPECT_EQ(total, uint64_t{n} * (n - 1) / 2);
+}
+
+TEST(ThreadPoolTest, ZeroItemsIsANoOp) {
+  ThreadPool pool(2);
+  bool called = false;
+  pool.ParallelFor(0, 16, 4, [&](size_t, size_t, size_t) { called = true; });
+  EXPECT_FALSE(called);
+}
+
+TEST(ThreadPoolTest, SingleParticipantRunsInline) {
+  ThreadPool pool(2);
+  size_t calls = 0;  // non-atomic: must only ever run on this thread
+  pool.ParallelFor(100, 7, /*max_participants=*/1,
+                   [&](size_t begin, size_t end, size_t slot) {
+                     EXPECT_EQ(slot, 0u);
+                     calls += end - begin;
+                   });
+  EXPECT_EQ(calls, 100u);
+}
+
+TEST(ThreadPoolTest, GrainLargerThanRangeIsOneChunk) {
+  ThreadPool pool(2);
+  std::atomic<size_t> chunks{0};
+  pool.ParallelFor(10, /*grain=*/1000, 4,
+                   [&](size_t begin, size_t end, size_t) {
+                     EXPECT_EQ(begin, 0u);
+                     EXPECT_EQ(end, 10u);
+                     chunks.fetch_add(1);
+                   });
+  EXPECT_EQ(chunks.load(), 1u);
+}
+
+TEST(ThreadPoolTest, ZeroWorkerPoolDegradesToInline) {
+  ThreadPool pool(0);
+  std::vector<uint8_t> touched(1000, 0);
+  pool.ParallelFor(1000, 64, 8, [&](size_t begin, size_t end, size_t slot) {
+    EXPECT_EQ(slot, 0u);
+    for (size_t i = begin; i < end; ++i) ++touched[i];
+  });
+  for (size_t i = 0; i < touched.size(); ++i) EXPECT_EQ(touched[i], 1);
+}
+
+TEST(ThreadPoolTest, ReusableAcrossManyJobs) {
+  // The whole point of the pool: many cheap dispatches, no per-call
+  // thread spawn. Also checks job isolation (no leakage between calls).
+  ThreadPool pool(3);
+  for (int round = 0; round < 200; ++round) {
+    std::atomic<uint64_t> sum{0};
+    const size_t n = 64 + static_cast<size_t>(round);
+    pool.ParallelFor(n, 8, 4, [&](size_t begin, size_t end, size_t) {
+      uint64_t local = 0;
+      for (size_t i = begin; i < end; ++i) local += i;
+      sum.fetch_add(local, std::memory_order_relaxed);
+    });
+    EXPECT_EQ(sum.load(), uint64_t{n} * (n - 1) / 2) << "round " << round;
+  }
+}
+
+TEST(ThreadPoolTest, GlobalPoolIsPersistent) {
+  ThreadPool& a = ThreadPool::Global();
+  ThreadPool& b = ThreadPool::Global();
+  EXPECT_EQ(&a, &b);
+  EXPECT_GE(a.num_workers(), 1u);
+  std::atomic<size_t> count{0};
+  a.ParallelFor(100, 4, 0 /* clamped to 1 */, [&](size_t begin, size_t end,
+                                                  size_t) {
+    count.fetch_add(end - begin, std::memory_order_relaxed);
+  });
+  EXPECT_EQ(count.load(), 100u);
+}
+
+}  // namespace
+}  // namespace fixrep
