@@ -12,11 +12,21 @@
 //   fixrep_cli repair    --rules rules.txt --in dirty.csv --out fixed.csv
 //                        [--engine lrepair|crepair] [--threads N]
 //                        [--no-memo] [--log]
+//                        [--on-error=abort|skip|quarantine]
+//                        [--quarantine-out q.csv] [--max-chase-steps N]
 //                        --threads N uses the pooled parallel engine
 //                        (N=0 picks the hardware width); repair memoizes
 //                        byte-identical tuples by default, --no-memo
 //                        disables the cache (output is bit-identical
 //                        either way)
+//                        --on-error=abort (default) fails fast on the
+//                        first malformed row/rule; skip drops bad
+//                        records; quarantine drops them and writes
+//                        source,line,code,message,raw_text records to
+//                        --quarantine-out (docs/robustness.md).
+//                        --max-chase-steps bounds the per-tuple chase in
+//                        skip/quarantine mode; a tuple exceeding it is
+//                        quarantined with its original values intact.
 //   fixrep_cli eval      --truth truth.csv --dirty dirty.csv
 //                        --repaired fixed.csv
 //
@@ -41,6 +51,9 @@
 #include <vector>
 
 #include "common/log.h"
+#include "common/metrics.h"
+#include "common/quarantine.h"
+#include "common/status.h"
 #include "common/timer.h"
 #include "common/trace.h"
 #include "datagen/hosp.h"
@@ -247,7 +260,152 @@ int Check(const Args& args) {
   return consistent ? 0 : 1;
 }
 
+// The fault-tolerant repair pipeline: malformed CSV rows and rule blocks
+// are dropped (skip) or captured with their raw text (quarantine), each
+// failing tuple is isolated with its original values preserved, and the
+// rest of the batch completes. Reports counts and writes the dead-letter
+// file at the end.
+int RepairLenient(const Args& args, OnErrorPolicy policy) {
+  auto pool = std::make_shared<ValuePool>();
+  const bool quarantining = policy == OnErrorPolicy::kQuarantine;
+  VectorQuarantineSink row_sink;
+  VectorQuarantineSink rule_sink;
+  VectorQuarantineSink tuple_sink;
+
+  auto load = std::make_unique<TraceSpan>("cli.load");
+  CsvReadOptions csv_options;
+  csv_options.on_error = policy;
+  csv_options.quarantine = quarantining ? &row_sink : nullptr;
+  StatusOr<Table> table_or = ReadCsvFileLenient(args.Require("in"), "data",
+                                               pool, csv_options);
+  if (!table_or.ok()) {
+    std::cerr << "error reading --in: " << table_or.status() << "\n";
+    return 1;
+  }
+  Table table = std::move(table_or).value();
+  RuleParseOptions rule_options;
+  rule_options.on_error = policy;
+  rule_options.quarantine = quarantining ? &rule_sink : nullptr;
+  StatusOr<RuleSet> rules_or = ParseRulesFileLenient(
+      args.Require("rules"), table.schema_ptr(), pool, rule_options);
+  if (!rules_or.ok()) {
+    std::cerr << "error reading --rules: " << rules_or.status() << "\n";
+    return 1;
+  }
+  const RuleSet rules = std::move(rules_or).value();
+  load.reset();
+
+  Timer timer;
+  size_t cells_changed = 0;
+  size_t tuples_quarantined = 0;
+  const std::string engine = args.Get("engine", "lrepair");
+  const size_t max_chase_steps = args.GetSizeT("max-chase-steps", 0);
+  if (engine == "crepair") {
+    ChaseRepairer repairer(&rules);
+    repairer.set_max_chase_steps(max_chase_steps);
+    for (size_t r = 0; r < table.num_rows(); ++r) {
+      size_t changed = 0;
+      const Status status =
+          repairer.TryRepairTuple(&table.mutable_row(r), &changed);
+      if (status.ok()) {
+        cells_changed += changed;
+        continue;
+      }
+      ++tuples_quarantined;
+      if (quarantining) {
+        tuple_sink.Add(Diagnostic{r, status.code(), status.message(),
+                                  table.FormatRow(r)});
+      }
+    }
+    MetricsRegistry::Global()
+        .GetCounter("fixrep.quarantine.tuples")
+        ->Add(tuples_quarantined);
+    repairer.FlushMetrics();
+  } else {
+    const CompiledRuleIndex index(&rules);
+    LenientRepairOptions options;
+    options.parallel.threads = args.Has("threads")
+                                   ? args.GetSizeT("threads", 0)
+                                   : 1;  // no --threads: serial, like abort
+    options.on_error = policy;
+    options.quarantine = quarantining ? &tuple_sink : nullptr;
+    options.max_chase_steps = max_chase_steps;
+    const LenientRepairResult result =
+        ParallelRepairTableLenient(index, &table, options);
+    cells_changed = result.stats.cells_changed;
+    tuples_quarantined = result.tuples_quarantined;
+  }
+
+  {
+    FIXREP_TRACE_SPAN("cli.write");
+    const Status status = TryWriteCsvFile(table, args.Require("out"));
+    if (!status.ok()) {
+      std::cerr << "error writing --out: " << status << "\n";
+      return 1;
+    }
+  }
+  if (args.Has("quarantine-out")) {
+    const std::string path = args.Require("quarantine-out");
+    std::ofstream out(path);
+    if (!out.good()) {
+      std::cerr << "cannot open --quarantine-out path '" << path << "'\n";
+      return 1;
+    }
+    WriteQuarantineHeader(out);
+    for (const auto& d : row_sink.diagnostics()) {
+      WriteQuarantineRecord(out, "csv", d);
+    }
+    for (const auto& d : rule_sink.diagnostics()) {
+      WriteQuarantineRecord(out, "rules", d);
+    }
+    for (const auto& d : tuple_sink.diagnostics()) {
+      WriteQuarantineRecord(out, "repair", d);
+    }
+    out.flush();
+    if (!out.good()) {
+      std::cerr << "write failed for --quarantine-out path '" << path
+                << "'\n";
+      return 1;
+    }
+  }
+
+  const auto* rows_counter =
+      MetricsRegistry::Global().FindCounter("fixrep.quarantine.rows");
+  const auto* rules_counter =
+      MetricsRegistry::Global().FindCounter("fixrep.quarantine.rules");
+  std::cout << "repaired " << table.num_rows() << " rows ("
+            << cells_changed << " cells changed) in "
+            << FormatDouble(timer.ElapsedMillis(), 1) << " ms -> "
+            << args.Get("out") << "\n";
+  std::cout << "on-error=" << OnErrorPolicyName(policy) << ": dropped "
+            << (rows_counter == nullptr ? 0 : rows_counter->Value())
+            << " malformed rows, "
+            << (rules_counter == nullptr ? 0 : rules_counter->Value())
+            << " malformed rule blocks, quarantined " << tuples_quarantined
+            << " tuples";
+  if (args.Has("quarantine-out")) {
+    std::cout << " -> " << args.Get("quarantine-out");
+  }
+  std::cout << "\n";
+  return 0;
+}
+
 int Repair(const Args& args) {
+  const std::string on_error = args.Get("on-error", "abort");
+  const std::optional<OnErrorPolicy> policy =
+      TryParseOnErrorPolicy(on_error);
+  if (!policy.has_value()) {
+    std::cerr << "unknown --on-error '" << on_error
+              << "' (want abort|skip|quarantine)\n";
+    return 2;
+  }
+  if (*policy != OnErrorPolicy::kAbort) {
+    if (args.Has("log")) {
+      std::cerr << "--log (provenance) requires --on-error=abort\n";
+      return 2;
+    }
+    return RepairLenient(args, *policy);
+  }
   auto pool = std::make_shared<ValuePool>();
   // Phase spans: cli.load and cli.write here, index build + chase inside
   // the engines — together they cover essentially the whole command, so

@@ -1,0 +1,73 @@
+#include "common/fault.h"
+
+namespace fixrep {
+
+FaultRegistry& FaultRegistry::Global() {
+  static FaultRegistry* registry = new FaultRegistry();  // never destroyed
+  return *registry;
+}
+
+void FaultRegistry::Arm(const std::string& point, const FaultPlan& plan) {
+  std::lock_guard<std::mutex> lock(mu_);
+  PointState& state = points_[point];
+  if (!state.armed) armed_count_.fetch_add(1, std::memory_order_relaxed);
+  state.armed = true;
+  state.plan = plan;
+  state.hits = 0;
+  state.fires = 0;
+  state.rng = Rng(plan.seed);
+}
+
+void FaultRegistry::Disarm(const std::string& point) {
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto it = points_.find(point);
+  if (it == points_.end() || !it->second.armed) return;
+  it->second.armed = false;
+  armed_count_.fetch_sub(1, std::memory_order_relaxed);
+}
+
+void FaultRegistry::DisarmAll() {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto& [name, state] : points_) state.armed = false;
+  armed_count_.store(0, std::memory_order_relaxed);
+}
+
+bool FaultRegistry::ShouldFail(const char* point) {
+  if (armed_count_.load(std::memory_order_relaxed) == 0) return false;
+  std::lock_guard<std::mutex> lock(mu_);
+  PointState& state = points_[point];
+  ++state.hits;
+  if (!state.armed) return false;
+  if (state.hits <= state.plan.skip_hits) return false;
+  if (state.fires >= state.plan.max_fires) return false;
+  if (state.plan.probability < 1.0 &&
+      !state.rng.Bernoulli(state.plan.probability)) {
+    return false;
+  }
+  ++state.fires;
+  return true;
+}
+
+uint64_t FaultRegistry::HitCount(const std::string& point) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto it = points_.find(point);
+  return it == points_.end() ? 0 : it->second.hits;
+}
+
+uint64_t FaultRegistry::FireCount(const std::string& point) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto it = points_.find(point);
+  return it == points_.end() ? 0 : it->second.fires;
+}
+
+std::vector<std::string> FaultRegistry::SeenPoints() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<std::string> names;
+  names.reserve(points_.size());
+  for (const auto& [name, state] : points_) {
+    if (state.hits > 0) names.push_back(name);
+  }
+  return names;
+}
+
+}  // namespace fixrep

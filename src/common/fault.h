@@ -1,0 +1,111 @@
+#ifndef FIXREP_COMMON_FAULT_H_
+#define FIXREP_COMMON_FAULT_H_
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "common/random.h"
+
+// Deterministic fault injection. Production and test code mark
+// failure-prone spots with FIXREP_FAULT("point.name"); tests arm a point
+// with a FaultPlan and the site then reports failure exactly where a real
+// fault (unreadable file, full disk, failed allocation, poisoned worker)
+// would surface, driving the same recovery paths.
+//
+//   FaultRegistry::Global().Arm("csv.open_read", FaultPlan{});
+//   ...  // next ReadCsvFileLenient call fails with kIoError
+//   FaultRegistry::Global().DisarmAll();
+//
+// Determinism: plans are evaluated against a per-point hit counter and a
+// per-point PRNG seeded at Arm time, so a single-threaded test sees the
+// same fires on every run. Under concurrency the *set* of fires for a
+// probability plan depends on hit interleaving; use nth-hit plans
+// (skip_hits/max_fires) where exact placement matters.
+//
+// Sites compile to `false` (zero cost, dead branches eliminated) unless
+// the build defines FIXREP_ENABLE_FAULT_INJECTION (CMake option of the
+// same name, ON by default so the robustness suite is live; production
+// builds can switch it off). When compiled in, an unarmed site costs one
+// relaxed atomic load.
+//
+// Thread safety: all registry operations are safe to call concurrently;
+// armed-site evaluation is mutex-guarded (fault sites sit on IO and
+// error-isolation paths, never on the repair hot path).
+
+namespace fixrep {
+
+#ifdef FIXREP_ENABLE_FAULT_INJECTION
+inline constexpr bool kFaultInjectionEnabled = true;
+#else
+inline constexpr bool kFaultInjectionEnabled = false;
+#endif
+
+struct FaultPlan {
+  // Number of hits that pass through before the plan starts firing.
+  uint64_t skip_hits = 0;
+  // Once past skip_hits, each hit fires with this probability (1.0 =
+  // always), drawn from the per-point PRNG.
+  double probability = 1.0;
+  // Stop firing after this many fires (UINT64_MAX = unlimited).
+  uint64_t max_fires = UINT64_MAX;
+  // Seed for the per-point PRNG (only consulted when probability < 1).
+  uint64_t seed = 1;
+};
+
+class FaultRegistry {
+ public:
+  // The process-wide registry every FIXREP_FAULT site consults.
+  static FaultRegistry& Global();
+
+  FaultRegistry() = default;
+  FaultRegistry(const FaultRegistry&) = delete;
+  FaultRegistry& operator=(const FaultRegistry&) = delete;
+
+  // Arms (or re-arms, resetting counters) a fault point.
+  void Arm(const std::string& point, const FaultPlan& plan);
+  void Disarm(const std::string& point);
+  void DisarmAll();
+
+  // Evaluates one hit of `point`: counts it and returns true when the
+  // armed plan says this hit fails. Called via FIXREP_FAULT. When no
+  // point is armed anywhere this is one relaxed atomic load.
+  bool ShouldFail(const char* point);
+
+  // Hits/fires observed at `point` since it was last armed (counters are
+  // only maintained while some point is armed; 0 for unknown points).
+  uint64_t HitCount(const std::string& point) const;
+  uint64_t FireCount(const std::string& point) const;
+
+  // Every point name that has reported a hit while the registry was
+  // active — coverage bookkeeping for the fault-injection suite.
+  std::vector<std::string> SeenPoints() const;
+
+ private:
+  struct PointState {
+    bool armed = false;
+    FaultPlan plan;
+    uint64_t hits = 0;
+    uint64_t fires = 0;
+    Rng rng{1};
+  };
+
+  mutable std::mutex mu_;
+  std::map<std::string, PointState> points_;
+  // Number of armed points; the unarmed fast path reads only this.
+  std::atomic<uint64_t> armed_count_{0};
+};
+
+#ifdef FIXREP_ENABLE_FAULT_INJECTION
+#define FIXREP_FAULT(point) \
+  (::fixrep::FaultRegistry::Global().ShouldFail(point))
+#else
+#define FIXREP_FAULT(point) false
+#endif
+
+}  // namespace fixrep
+
+#endif  // FIXREP_COMMON_FAULT_H_

@@ -1,0 +1,58 @@
+#include "common/quarantine.h"
+
+namespace fixrep {
+
+namespace {
+
+void WriteCsvField(std::ostream& out, std::string_view field) {
+  const bool needs_quotes =
+      field.find_first_of(",\"\n\r") != std::string_view::npos;
+  if (!needs_quotes) {
+    out << field;
+    return;
+  }
+  out << '"';
+  for (const char ch : field) {
+    if (ch == '"') out << '"';
+    out << ch;
+  }
+  out << '"';
+}
+
+}  // namespace
+
+std::optional<OnErrorPolicy> TryParseOnErrorPolicy(std::string_view text) {
+  if (text == "abort") return OnErrorPolicy::kAbort;
+  if (text == "skip") return OnErrorPolicy::kSkip;
+  if (text == "quarantine") return OnErrorPolicy::kQuarantine;
+  return std::nullopt;
+}
+
+const char* OnErrorPolicyName(OnErrorPolicy policy) {
+  switch (policy) {
+    case OnErrorPolicy::kAbort:
+      return "abort";
+    case OnErrorPolicy::kSkip:
+      return "skip";
+    case OnErrorPolicy::kQuarantine:
+      return "quarantine";
+  }
+  return "unknown";
+}
+
+void WriteQuarantineHeader(std::ostream& out) {
+  out << "source,line,code,message,raw_text\n";
+}
+
+void WriteQuarantineRecord(std::ostream& out, std::string_view source,
+                           const Diagnostic& diagnostic) {
+  WriteCsvField(out, source);
+  out << ',' << diagnostic.line << ',' << StatusCodeName(diagnostic.code)
+      << ',';
+  WriteCsvField(out, diagnostic.message);
+  out << ',';
+  WriteCsvField(out, diagnostic.raw_text);
+  out << '\n';
+}
+
+}  // namespace fixrep

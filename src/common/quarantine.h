@@ -1,0 +1,96 @@
+#ifndef FIXREP_COMMON_QUARANTINE_H_
+#define FIXREP_COMMON_QUARANTINE_H_
+
+#include <cstddef>
+#include <optional>
+#include <ostream>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/status.h"
+
+// The dead-letter side of fault-tolerant ingestion and repair: instead of
+// aborting on the first malformed record, lenient entry points capture a
+// structured Diagnostic per failure and route it to a QuarantineSink
+// while the rest of the batch proceeds. Quarantine volumes are exported
+// as fixrep.quarantine.{rows,rules,tuples}. See docs/robustness.md for
+// the on-disk format and policy.
+
+namespace fixrep {
+
+// What to do when one record (CSV row, rule block, tuple) fails.
+enum class OnErrorPolicy {
+  kAbort,       // fail the whole operation on the first error
+  kSkip,        // drop the failing record silently (metrics still tick)
+  kQuarantine,  // drop it and route a Diagnostic to the sink
+};
+
+// Parses "abort" | "skip" | "quarantine"; nullopt otherwise.
+std::optional<OnErrorPolicy> TryParseOnErrorPolicy(std::string_view text);
+const char* OnErrorPolicyName(OnErrorPolicy policy);
+
+// One quarantined record. `line` is the 1-based source line (rule files)
+// or record/row ordinal (CSV data records and repaired tuples, 0-based to
+// match row indices); `raw_text` preserves the offending input verbatim
+// so nothing is lost by quarantining.
+struct Diagnostic {
+  size_t line = 0;
+  StatusCode code = StatusCode::kInternal;
+  std::string message;
+  std::string raw_text;
+
+  bool operator==(const Diagnostic&) const = default;
+};
+
+// Where quarantined records go. Implementations need not be thread-safe:
+// the library only feeds sinks from the calling thread (parallel repair
+// collects per-worker and forwards, ordered, after the join).
+class QuarantineSink {
+ public:
+  virtual ~QuarantineSink() = default;
+  virtual void Add(const Diagnostic& diagnostic) = 0;
+};
+
+// Collects diagnostics in memory.
+class VectorQuarantineSink : public QuarantineSink {
+ public:
+  void Add(const Diagnostic& diagnostic) override {
+    diagnostics_.push_back(diagnostic);
+  }
+
+  const std::vector<Diagnostic>& diagnostics() const { return diagnostics_; }
+  size_t size() const { return diagnostics_.size(); }
+  bool empty() const { return diagnostics_.empty(); }
+  void Clear() { diagnostics_.clear(); }
+
+ private:
+  std::vector<Diagnostic> diagnostics_;
+};
+
+// CSV rendering of the quarantine file: one header, then one record per
+// diagnostic as  source,line,code,message,raw_text  with RFC-4180
+// quoting. `source` tags the pipeline stage ("csv", "rules", "repair").
+void WriteQuarantineHeader(std::ostream& out);
+void WriteQuarantineRecord(std::ostream& out, std::string_view source,
+                           const Diagnostic& diagnostic);
+
+// Streams each Add straight to `out` with the given source tag; the
+// caller writes the header (once, if concatenating several sources).
+class StreamQuarantineSink : public QuarantineSink {
+ public:
+  StreamQuarantineSink(std::ostream* out, std::string source)
+      : out_(out), source_(std::move(source)) {}
+
+  void Add(const Diagnostic& diagnostic) override {
+    WriteQuarantineRecord(*out_, source_, diagnostic);
+  }
+
+ private:
+  std::ostream* out_;
+  std::string source_;
+};
+
+}  // namespace fixrep
+
+#endif  // FIXREP_COMMON_QUARANTINE_H_

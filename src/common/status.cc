@@ -1,0 +1,33 @@
+#include "common/status.h"
+
+namespace fixrep {
+
+const char* StatusCodeName(StatusCode code) {
+  switch (code) {
+    case StatusCode::kOk:
+      return "OK";
+    case StatusCode::kMalformedInput:
+      return "MALFORMED_INPUT";
+    case StatusCode::kIoError:
+      return "IO_ERROR";
+    case StatusCode::kBudgetExhausted:
+      return "BUDGET_EXHAUSTED";
+    case StatusCode::kInternal:
+      return "INTERNAL";
+  }
+  return "UNKNOWN";
+}
+
+std::string Status::ToString() const {
+  if (ok()) return "OK";
+  std::string out = StatusCodeName(code_);
+  out += ": ";
+  out += message_;
+  return out;
+}
+
+std::ostream& operator<<(std::ostream& os, const Status& status) {
+  return os << status.ToString();
+}
+
+}  // namespace fixrep

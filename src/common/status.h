@@ -1,0 +1,142 @@
+#ifndef FIXREP_COMMON_STATUS_H_
+#define FIXREP_COMMON_STATUS_H_
+
+#include <optional>
+#include <ostream>
+#include <string>
+#include <string_view>
+#include <utility>
+
+#include "common/logging.h"
+
+// Recoverable-error layer. The division of labor with FIXREP_CHECK:
+//
+//   * FIXREP_CHECK guards *programmer invariants* — violations are bugs
+//     and abort the process.
+//   * Status/StatusOr report *input and environment* failures — malformed
+//     records, unreadable files, exhausted budgets — which callers are
+//     expected to handle (skip, quarantine, retry, surface to the user).
+//
+// The CHECK-ing IO entry points (ReadCsv, ParseRules, WriteCsvFile, ...)
+// remain available as thin wrappers over the Status-returning variants
+// for call sites whose inputs are trusted artifacts. See
+// docs/robustness.md.
+
+namespace fixrep {
+
+enum class StatusCode {
+  kOk = 0,
+  kMalformedInput = 1,   // syntactically/structurally invalid input data
+  kIoError = 2,          // file open/read/write/flush failure
+  kBudgetExhausted = 3,  // a bounded computation hit its step budget
+  kInternal = 4,         // unexpected internal failure (incl. injected)
+};
+
+// Stable upper-case token for a code, e.g. "MALFORMED_INPUT".
+const char* StatusCodeName(StatusCode code);
+
+// A success marker or an (error code, message) pair. Context accumulates
+// outermost-first via WithContext, so a deep failure reads like
+//   IO_ERROR: repair --in: record 17: cannot open /tmp/x.csv
+class Status {
+ public:
+  Status() : code_(StatusCode::kOk) {}
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {
+    FIXREP_CHECK(code != StatusCode::kOk)
+        << "error Status requires a non-ok code";
+  }
+
+  static Status Ok() { return Status(); }
+  static Status MalformedInput(std::string message) {
+    return Status(StatusCode::kMalformedInput, std::move(message));
+  }
+  static Status IoError(std::string message) {
+    return Status(StatusCode::kIoError, std::move(message));
+  }
+  static Status BudgetExhausted(std::string message) {
+    return Status(StatusCode::kBudgetExhausted, std::move(message));
+  }
+  static Status Internal(std::string message) {
+    return Status(StatusCode::kInternal, std::move(message));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  // Returns a copy with "context: " prepended to the message; ok
+  // statuses pass through unchanged. Chainable.
+  Status WithContext(std::string_view context) const {
+    if (ok()) return *this;
+    std::string message(context);
+    message += ": ";
+    message += message_;
+    return Status(code_, std::move(message));
+  }
+
+  // "OK" or "<CODE>: <message>".
+  std::string ToString() const;
+
+  bool operator==(const Status& other) const = default;
+
+ private:
+  StatusCode code_;
+  std::string message_;
+};
+
+std::ostream& operator<<(std::ostream& os, const Status& status);
+
+// Either a value or a non-ok Status. Accessing value() on an error
+// CHECK-fails — callers must branch on ok() (or use the CHECK-ing entry
+// point wrappers, which do exactly that).
+template <typename T>
+class StatusOr {
+ public:
+  StatusOr(T value)  // NOLINT(google-explicit-constructor)
+      : value_(std::move(value)) {}
+  StatusOr(Status status)  // NOLINT(google-explicit-constructor)
+      : status_(std::move(status)) {
+    FIXREP_CHECK(!status_.ok())
+        << "StatusOr constructed from an ok Status without a value";
+  }
+
+  bool ok() const { return status_.ok(); }
+  const Status& status() const { return status_; }
+
+  T& value() & {
+    FIXREP_CHECK(ok()) << status_.ToString();
+    return *value_;
+  }
+  const T& value() const& {
+    FIXREP_CHECK(ok()) << status_.ToString();
+    return *value_;
+  }
+  T&& value() && {
+    FIXREP_CHECK(ok()) << status_.ToString();
+    return *std::move(value_);
+  }
+
+  T& operator*() & { return value(); }
+  const T& operator*() const& { return value(); }
+  T* operator->() { return &value(); }
+  const T* operator->() const { return &value(); }
+
+ private:
+  Status status_;           // ok iff value_ holds a value
+  std::optional<T> value_;
+};
+
+// Early-returns the enclosing function with the error when `expr`
+// evaluates to a non-ok Status.
+#define FIXREP_RETURN_IF_ERROR(expr)                  \
+  do {                                                \
+    ::fixrep::Status fixrep_status_tmp_ = (expr);     \
+    if (!fixrep_status_tmp_.ok()) {                   \
+      return fixrep_status_tmp_;                      \
+    }                                                 \
+  } while (false)
+
+}  // namespace fixrep
+
+#endif  // FIXREP_COMMON_STATUS_H_

@@ -4,19 +4,29 @@
 #include <istream>
 #include <memory>
 #include <ostream>
+#include <string>
+#include <unordered_set>
 #include <utility>
 #include <vector>
 
+#include "common/fault.h"
 #include "common/logging.h"
+#include "common/metrics.h"
 
 namespace fixrep {
 
 namespace {
 
 // Parses one CSV record (handling quoted fields that may span lines).
-// Returns false on EOF with no data consumed.
-bool ReadRecord(std::istream& in, std::vector<std::string>* fields) {
+// Returns false on EOF with no data consumed. When `raw` is non-null the
+// record's text is appended verbatim (terminator stripped) for
+// quarantine diagnostics. `*unterminated` reports a quoted field still
+// open when the input ended.
+bool ReadRecord(std::istream& in, std::vector<std::string>* fields,
+                std::string* raw, bool* unterminated) {
   fields->clear();
+  if (raw != nullptr) raw->clear();
+  *unterminated = false;
   std::string field;
   bool in_quotes = false;
   bool saw_any = false;
@@ -24,11 +34,14 @@ bool ReadRecord(std::istream& in, std::vector<std::string>* fields) {
   while ((c = in.get()) != EOF) {
     saw_any = true;
     const char ch = static_cast<char>(c);
+    if (raw != nullptr && ch != '\n' && ch != '\r') raw->push_back(ch);
     if (in_quotes) {
+      if (raw != nullptr && (ch == '\n' || ch == '\r')) raw->push_back(ch);
       if (ch == '"') {
         if (in.peek() == '"') {
           in.get();
           field.push_back('"');
+          if (raw != nullptr) raw->push_back('"');
         } else {
           in_quotes = false;
         }
@@ -56,6 +69,7 @@ bool ReadRecord(std::istream& in, std::vector<std::string>* fields) {
     }
   }
   if (!saw_any) return false;
+  *unterminated = in_quotes;
   fields->push_back(std::move(field));
   return true;
 }
@@ -77,25 +91,79 @@ void WriteField(const std::string& field, std::ostream& out) {
 
 }  // namespace
 
-Table ReadCsv(std::istream& in, const std::string& relation_name,
-              std::shared_ptr<ValuePool> pool) {
+StatusOr<Table> ReadCsvLenient(std::istream& in,
+                               const std::string& relation_name,
+                               std::shared_ptr<ValuePool> pool,
+                               const CsvReadOptions& options) {
+  const bool lenient = options.on_error != OnErrorPolicy::kAbort;
+  // Raw text is only captured when a record can end up quarantined.
+  std::string raw_storage;
+  std::string* raw =
+      options.on_error == OnErrorPolicy::kQuarantine ? &raw_storage : nullptr;
   std::vector<std::string> fields;
-  FIXREP_CHECK(ReadRecord(in, &fields)) << "empty CSV input";
+  bool unterminated = false;
+
+  if (!ReadRecord(in, &fields, raw, &unterminated)) {
+    return Status::MalformedInput("empty CSV input");
+  }
+  if (unterminated) {
+    return Status::MalformedInput(
+        "unterminated quoted field at EOF in CSV header");
+  }
+  {
+    std::unordered_set<std::string> seen;
+    for (const std::string& name : fields) {
+      if (!seen.insert(name).second) {
+        return Status::MalformedInput("duplicate CSV header column '" +
+                                      name + "'");
+      }
+    }
+  }
   auto schema = std::make_shared<Schema>(relation_name, fields);
   Table table(std::move(schema), std::move(pool));
-  while (ReadRecord(in, &fields)) {
-    FIXREP_CHECK_EQ(fields.size(), table.schema().arity())
-        << "CSV record arity mismatch at row " << table.num_rows();
+  Counter* quarantined_rows =
+      MetricsRegistry::Global().GetCounter("fixrep.quarantine.rows");
+
+  size_t record = 0;  // 0-based data-record ordinal (header excluded)
+  while (ReadRecord(in, &fields, raw, &unterminated)) {
+    Status problem = Status::Ok();
+    if (unterminated) {
+      problem = Status::MalformedInput("unterminated quoted field at EOF");
+    } else if (fields.size() != table.schema().arity()) {
+      problem = Status::MalformedInput(
+          "CSV record arity mismatch at row " + std::to_string(record) +
+          " (got " + std::to_string(fields.size()) + ", want " +
+          std::to_string(table.schema().arity()) + ")");
+    } else if (FIXREP_FAULT("csv.append_row")) {
+      problem = Status::Internal("injected failure appending row " +
+                                 std::to_string(record));
+    }
+    if (!problem.ok()) {
+      if (!lenient) return problem;
+      quarantined_rows->Add(1);
+      if (options.on_error == OnErrorPolicy::kQuarantine &&
+          options.quarantine != nullptr) {
+        options.quarantine->Add(Diagnostic{record, problem.code(),
+                                           problem.message(), raw_storage});
+      }
+      ++record;
+      continue;
+    }
     table.AppendRowStrings(fields);
+    ++record;
   }
   return table;
 }
 
-Table ReadCsvFile(const std::string& path, const std::string& relation_name,
-                  std::shared_ptr<ValuePool> pool) {
+StatusOr<Table> ReadCsvFileLenient(const std::string& path,
+                                   const std::string& relation_name,
+                                   std::shared_ptr<ValuePool> pool,
+                                   const CsvReadOptions& options) {
   std::ifstream in(path);
-  FIXREP_CHECK(in.good()) << "cannot open " << path;
-  return ReadCsv(in, relation_name, std::move(pool));
+  if (FIXREP_FAULT("csv.open_read") || !in.good()) {
+    return Status::IoError("cannot open " + path);
+  }
+  return ReadCsvLenient(in, relation_name, std::move(pool), options);
 }
 
 void WriteCsv(const Table& table, std::ostream& out) {
@@ -114,10 +182,39 @@ void WriteCsv(const Table& table, std::ostream& out) {
   }
 }
 
-void WriteCsvFile(const Table& table, const std::string& path) {
+Status TryWriteCsvFile(const Table& table, const std::string& path) {
   std::ofstream out(path);
-  FIXREP_CHECK(out.good()) << "cannot open " << path << " for writing";
+  if (FIXREP_FAULT("csv.open_write") || !out.good()) {
+    return Status::IoError("cannot open " + path + " for writing");
+  }
   WriteCsv(table, out);
+  if (FIXREP_FAULT("csv.write_flush")) out.setstate(std::ios::badbit);
+  out.flush();
+  if (!out.good()) {
+    return Status::IoError("write failed for " + path +
+                           " (disk full or stream error)");
+  }
+  return Status::Ok();
+}
+
+Table ReadCsv(std::istream& in, const std::string& relation_name,
+              std::shared_ptr<ValuePool> pool) {
+  StatusOr<Table> result = ReadCsvLenient(in, relation_name, std::move(pool));
+  FIXREP_CHECK(result.ok()) << result.status().message();
+  return std::move(result).value();
+}
+
+Table ReadCsvFile(const std::string& path, const std::string& relation_name,
+                  std::shared_ptr<ValuePool> pool) {
+  StatusOr<Table> result =
+      ReadCsvFileLenient(path, relation_name, std::move(pool));
+  FIXREP_CHECK(result.ok()) << result.status().message();
+  return std::move(result).value();
+}
+
+void WriteCsvFile(const Table& table, const std::string& path) {
+  const Status status = TryWriteCsvFile(table, path);
+  FIXREP_CHECK(status.ok()) << status.message();
 }
 
 }  // namespace fixrep

@@ -5,6 +5,8 @@
 #include <memory>
 #include <string>
 
+#include "common/quarantine.h"
+#include "common/status.h"
 #include "relation/table.h"
 
 namespace fixrep {
@@ -12,19 +14,51 @@ namespace fixrep {
 // Minimal RFC-4180-style CSV: comma-separated, '"'-quoted fields with ""
 // escapes; the first record is the header and becomes the schema.
 //
-// ReadCsv* CHECK-fail on structurally malformed input (record arity not
-// matching the header); unquoted whitespace is preserved verbatim.
+// Two tiers of entry points:
+//  * ReadCsv / ReadCsvFile / WriteCsvFile CHECK-fail on malformed input
+//    or IO failure — for trusted, developer-controlled artifacts.
+//  * The *Lenient / Try* variants return Status and, per
+//    CsvReadOptions::on_error, can skip or quarantine malformed data
+//    records (arity mismatch, unterminated quote at EOF) instead of
+//    failing the whole read. Header problems (empty input, unterminated
+//    quote, duplicate column names) are always fatal: without a schema
+//    there is nothing to salvage. Unquoted whitespace is preserved
+//    verbatim either way.
 
-// Reads a table from a stream. `relation_name` names the schema.
-Table ReadCsv(std::istream& in, const std::string& relation_name,
-              std::shared_ptr<ValuePool> pool);
+struct CsvReadOptions {
+  OnErrorPolicy on_error = OnErrorPolicy::kAbort;
+  // Receives a Diagnostic per dropped record when on_error is
+  // kQuarantine. Diagnostic::line is the 0-based data-record ordinal
+  // (header excluded), matching the row index a clean read would give
+  // the record; raw_text preserves the record verbatim.
+  QuarantineSink* quarantine = nullptr;
+};
+
+// Reads a table from a stream. `relation_name` names the schema. Every
+// dropped record ticks fixrep.quarantine.rows (kSkip and kQuarantine).
+StatusOr<Table> ReadCsvLenient(std::istream& in,
+                               const std::string& relation_name,
+                               std::shared_ptr<ValuePool> pool,
+                               const CsvReadOptions& options = {});
 
 // Reads a table from a file path.
-Table ReadCsvFile(const std::string& path, const std::string& relation_name,
-                  std::shared_ptr<ValuePool> pool);
+StatusOr<Table> ReadCsvFileLenient(const std::string& path,
+                                   const std::string& relation_name,
+                                   std::shared_ptr<ValuePool> pool,
+                                   const CsvReadOptions& options = {});
 
 // Writes header + rows; fields containing comma/quote/newline are quoted.
 void WriteCsv(const Table& table, std::ostream& out);
+
+// Writes, flushes, and verifies the stream so short writes (disk full,
+// revoked mount) surface as kIoError instead of silently truncating.
+Status TryWriteCsvFile(const Table& table, const std::string& path);
+
+// CHECK-ing wrappers over the lenient/Try variants above.
+Table ReadCsv(std::istream& in, const std::string& relation_name,
+              std::shared_ptr<ValuePool> pool);
+Table ReadCsvFile(const std::string& path, const std::string& relation_name,
+                  std::shared_ptr<ValuePool> pool);
 void WriteCsvFile(const Table& table, const std::string& path);
 
 }  // namespace fixrep

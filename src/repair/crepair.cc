@@ -1,7 +1,9 @@
 #include "repair/crepair.h"
 
+#include <string>
 #include <vector>
 
+#include "common/fault.h"
 #include "common/logging.h"
 #include "common/trace.h"
 
@@ -15,11 +17,41 @@ ChaseRepairer::ChaseRepairer(const RuleSet* rules) : rules_(rules) {
 
 size_t ChaseRepairer::RepairTuple(Tuple* t) {
   FIXREP_CHECK_EQ(t->size(), rules_->schema().arity());
+  size_t cells_changed = 0;
+  const Status status = ChaseWithBudget(t, /*max_steps=*/0, &cells_changed);
+  FIXREP_CHECK(status.ok()) << status.message();
+  return cells_changed;
+}
+
+Status ChaseRepairer::TryRepairTuple(Tuple* t, size_t* cells_changed) {
+  *cells_changed = 0;
+  if (t->size() != rules_->schema().arity()) {
+    ++stats_.tuples_examined;  // every attempt counts, even a failed one
+    return Status::MalformedInput(
+        "tuple arity " + std::to_string(t->size()) +
+        " does not match schema arity " +
+        std::to_string(rules_->schema().arity()));
+  }
+  if (FIXREP_FAULT("repair.tuple")) {
+    ++stats_.tuples_examined;
+    return Status::Internal("injected repair-worker fault");
+  }
+  return ChaseWithBudget(t, max_chase_steps_, cells_changed);
+}
+
+Status ChaseRepairer::ChaseWithBudget(Tuple* t, size_t max_steps,
+                                      size_t* cells_changed_out) {
   ++stats_.tuples_examined;
   AttrSet assured;
   // Γ: rules not yet applied. Applied rules leave the set (Fig. 6 line 7);
   // non-matching rules are re-examined on the next outer iteration.
   std::vector<bool> applied(rules_->size(), false);
+  // Budgeted chases keep an undo log so a kBudgetExhausted tuple leaves
+  // both the tuple and the outcome stats untouched.
+  Tuple original;
+  std::vector<uint32_t> applied_order;
+  if (max_steps > 0) original = *t;
+  size_t steps = 0;
   size_t cells_changed = 0;
   bool updated = true;
   while (updated) {
@@ -27,6 +59,16 @@ size_t ChaseRepairer::RepairTuple(Tuple* t) {
     ++stats_.chase_iterations;
     for (size_t i = 0; i < rules_->size(); ++i) {
       if (applied[i]) continue;
+      if (max_steps > 0 && ++steps > max_steps) {
+        *t = original;
+        for (const uint32_t rule_index : applied_order) {
+          --stats_.rule_applications;
+          --stats_.per_rule_applications[rule_index];
+        }
+        return Status::BudgetExhausted(
+            "chase exceeded its budget of " + std::to_string(max_steps) +
+            " rule examinations");
+      }
       const FixingRule& rule = rules_->rule(i);
       if (assured.Contains(rule.target) || !rule.Matches(*t)) continue;
       rule.Apply(t);
@@ -36,11 +78,13 @@ size_t ChaseRepairer::RepairTuple(Tuple* t) {
       ++cells_changed;
       ++stats_.rule_applications;
       ++stats_.per_rule_applications[i];
+      if (max_steps > 0) applied_order.push_back(static_cast<uint32_t>(i));
     }
   }
   stats_.cells_changed += cells_changed;
   if (cells_changed > 0) ++stats_.tuples_changed;
-  return cells_changed;
+  *cells_changed_out = cells_changed;
+  return Status::Ok();
 }
 
 void ChaseRepairer::RepairTable(Table* table) {

@@ -1,6 +1,7 @@
 #ifndef FIXREP_REPAIR_CREPAIR_H_
 #define FIXREP_REPAIR_CREPAIR_H_
 
+#include "common/status.h"
 #include "relation/table.h"
 #include "repair/repair_stats.h"
 #include "rules/rule_set.h"
@@ -23,6 +24,22 @@ class ChaseRepairer {
   // changed.
   size_t RepairTuple(Tuple* t);
 
+  // Per-tuple failure-isolating variant: reports a wrong-arity tuple as
+  // kMalformedInput and a chase exceeding the step budget (see
+  // set_max_chase_steps) as kBudgetExhausted instead of CHECK-failing or
+  // spinning. On any error the tuple is restored to its original values
+  // and no changes are recorded (tuples_examined and the chase-internal
+  // work counters still record the attempt).
+  Status TryRepairTuple(Tuple* t, size_t* cells_changed);
+
+  // Caps the number of rule examinations one TryRepairTuple chase may
+  // spend before giving up with kBudgetExhausted; 0 (default) means
+  // unlimited. A consistent rule set needs at most |Σ| applications per
+  // tuple, so a budget of a few multiples of |Σ|² rule scans only trips
+  // on pathological rule interaction. RepairTuple ignores the budget.
+  void set_max_chase_steps(size_t max_steps) { max_chase_steps_ = max_steps; }
+  size_t max_chase_steps() const { return max_chase_steps_; }
+
   // Repairs every row of `table` in place.
   void RepairTable(Table* table);
 
@@ -37,7 +54,11 @@ class ChaseRepairer {
   void FlushMetrics();
 
  private:
+  // The chase proper; `max_steps` of 0 disables the budget.
+  Status ChaseWithBudget(Tuple* t, size_t max_steps, size_t* cells_changed);
+
   const RuleSet* rules_;
+  size_t max_chase_steps_ = 0;
   RepairStats stats_;
   RepairStats published_;  // snapshot of stats_ at the last FlushMetrics
 };

@@ -1,7 +1,9 @@
 #include "repair/lrepair.h"
 
+#include <string>
 #include <utility>
 
+#include "common/fault.h"
 #include "common/logging.h"
 #include "common/metrics.h"
 #include "common/trace.h"
@@ -83,7 +85,38 @@ size_t FastRepairer::RepairTuple(Tuple* t) {
   return changed;
 }
 
-size_t FastRepairer::ChaseTuple(Tuple* t) {
+Status FastRepairer::TryRepairTuple(Tuple* t, size_t* cells_changed) {
+  *cells_changed = 0;
+  if (t->size() != index_->arity()) {
+    ++stats_.tuples_examined;  // every attempt counts, even a failed one
+    return Status::MalformedInput(
+        "tuple arity " + std::to_string(t->size()) +
+        " does not match schema arity " + std::to_string(index_->arity()));
+  }
+  if (FIXREP_FAULT("repair.tuple")) {
+    ++stats_.tuples_examined;
+    return Status::Internal("injected repair-worker fault");
+  }
+  if (max_chase_steps_ == 0) {
+    *cells_changed = ChaseTuple(t);
+    return Status::Ok();
+  }
+  const Tuple original = *t;
+  writes_scratch_.clear();
+  bool exhausted = false;
+  *cells_changed = ChaseTuple(t, max_chase_steps_, &exhausted);
+  if (exhausted) {
+    *t = original;
+    *cells_changed = 0;
+    return Status::BudgetExhausted(
+        "chase exceeded its budget of " +
+        std::to_string(max_chase_steps_) + " candidate applications");
+  }
+  return Status::Ok();
+}
+
+size_t FastRepairer::ChaseTuple(Tuple* t, size_t max_steps,
+                                bool* exhausted) {
   ++stats_.tuples_examined;
   ++epoch_;
   if (epoch_ == 0) {
@@ -115,12 +148,24 @@ size_t FastRepairer::ChaseTuple(Tuple* t) {
   }
 
   // Lines 8-16: chase over the candidate set.
+  const bool log_writes = memo_ != nullptr || max_steps > 0;
   AttrSet assured;
+  size_t steps = 0;
   size_t cells_changed = 0;
   while (!queue_.empty()) {
     const uint32_t rule_index = queue_.back();
     queue_.pop_back();
     if (checked_epoch_[rule_index] == epoch_) continue;
+    if (max_steps > 0 && ++steps > max_steps) {
+      // Budget blown: roll the rule-application stats back (cells/tuple
+      // outcomes were never committed); the caller restores the tuple.
+      for (const MemoCache::Write& write : writes_scratch_) {
+        --stats_.rule_applications;
+        --stats_.per_rule_applications[write.rule];
+      }
+      *exhausted = true;
+      return 0;
+    }
     checked_epoch_[rule_index] = epoch_;  // removed from Ω once and for all
     const AttrId target = index_->target(rule_index);
     if (assured.Contains(target) ||
@@ -134,7 +179,7 @@ size_t FastRepairer::ChaseTuple(Tuple* t) {
     ++cells_changed;
     ++stats_.rule_applications;
     ++stats_.per_rule_applications[rule_index];
-    if (memo_ != nullptr) {
+    if (log_writes) {
       writes_scratch_.push_back({target, fact, rule_index});
     }
     // Propagate the new value through the inverted lists (lines 13-15).

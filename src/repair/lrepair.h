@@ -5,6 +5,7 @@
 #include <memory>
 #include <vector>
 
+#include "common/status.h"
 #include "relation/table.h"
 #include "repair/memo_cache.h"
 #include "repair/repair_stats.h"
@@ -56,6 +57,23 @@ class FastRepairer {
   // Repairs one tuple in place; returns the number of cells changed.
   size_t RepairTuple(Tuple* t);
 
+  // Per-tuple failure-isolating variant: reports a wrong-arity tuple as
+  // kMalformedInput, an injected worker fault as kInternal, and a chase
+  // exceeding the step budget (set_max_chase_steps) as kBudgetExhausted.
+  // On any error the tuple is restored to its original values and no
+  // changes are recorded (tuples_examined and the chase-internal work
+  // counters still record the attempt). This path never consults the
+  // memo cache — isolation over memoization; the repaired output is
+  // bit-identical to RepairTuple's on tuples that succeed.
+  Status TryRepairTuple(Tuple* t, size_t* cells_changed);
+
+  // Caps the number of Ω pops one TryRepairTuple chase may spend before
+  // giving up with kBudgetExhausted; 0 (default) means unlimited. Each
+  // rule enters Ω at most once per tuple, so a budget >= |Σ| only trips
+  // on pathological rule interaction. RepairTuple ignores the budget.
+  void set_max_chase_steps(size_t max_steps) { max_chase_steps_ = max_steps; }
+  size_t max_chase_steps() const { return max_chase_steps_; }
+
   // Repairs every row of `table` in place.
   void RepairTable(Table* table);
 
@@ -81,12 +99,17 @@ class FastRepairer {
   // rule when its evidence counter becomes full.
   void BumpCounter(uint32_t rule_index);
 
-  // The non-memoized chase (Fig. 7 proper).
-  size_t ChaseTuple(Tuple* t);
+  // The non-memoized chase (Fig. 7 proper). A non-zero `max_steps`
+  // bounds Ω pops; on exhaustion sets *exhausted, rolls the
+  // rule-application stats back, and returns 0 (the caller restores the
+  // tuple itself).
+  size_t ChaseTuple(Tuple* t, size_t max_steps = 0,
+                    bool* exhausted = nullptr);
 
   std::unique_ptr<const CompiledRuleIndex> owned_index_;
   const CompiledRuleIndex* index_;
   MemoCache* memo_ = nullptr;
+  size_t max_chase_steps_ = 0;
 
   // Per-tuple scratch state, epoch-stamped.
   uint32_t epoch_ = 0;

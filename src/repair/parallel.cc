@@ -1,7 +1,9 @@
 #include "repair/parallel.h"
 
 #include <algorithm>
+#include <iterator>
 #include <memory>
+#include <utility>
 #include <vector>
 
 #include "common/log.h"
@@ -85,6 +87,92 @@ RepairStats ParallelRepairTable(const RuleSet& rules, Table* table,
   ParallelRepairOptions options;
   options.threads = threads;
   return ParallelRepairTable(index, table, options);
+}
+
+LenientRepairResult ParallelRepairTableLenient(
+    const CompiledRuleIndex& index, Table* table,
+    const LenientRepairOptions& options) {
+  FIXREP_CHECK(table != nullptr);
+  FIXREP_CHECK(options.on_error != OnErrorPolicy::kAbort)
+      << "lenient repair supports skip|quarantine; use ParallelRepairTable "
+         "for fail-fast semantics";
+  ThreadPool& pool = ThreadPool::Global();
+  size_t threads = options.parallel.threads;
+  if (threads == 0) threads = pool.num_workers() + 1;
+  const size_t rows = table->num_rows();
+  threads = std::min(threads, std::max<size_t>(rows, 1));
+
+  FIXREP_TRACE_SPAN("parallel.repair_table_lenient");
+  auto& registry = MetricsRegistry::Global();
+  if (threads > 1) {
+    registry.GetCounter("fixrep.parallel.tables_repaired")->Add(1);
+    registry.GetGauge("fixrep.parallel.workers")
+        ->Set(static_cast<int64_t>(threads));
+  }
+  FIXREP_LOG(Debug) << "lenient repair" << Kv("rows", rows)
+                    << Kv("rules", index.num_rules())
+                    << Kv("workers", threads)
+                    << Kv("budget", options.max_chase_steps);
+
+  std::vector<std::unique_ptr<FastRepairer>> repairers;
+  std::vector<std::vector<Diagnostic>> failures(threads);
+  repairers.reserve(threads);
+  for (size_t w = 0; w < threads; ++w) {
+    repairers.push_back(std::make_unique<FastRepairer>(&index));
+    repairers.back()->set_max_chase_steps(options.max_chase_steps);
+  }
+
+  const size_t grain =
+      std::clamp<size_t>(rows / (threads * 8), size_t{16}, size_t{2048});
+  pool.ParallelFor(rows, grain, threads,
+                   [&](size_t begin, size_t end, size_t slot) {
+                     FastRepairer& repairer = *repairers[slot];
+                     for (size_t r = begin; r < end; ++r) {
+                       size_t cells_changed = 0;
+                       const Status status = repairer.TryRepairTuple(
+                           &table->mutable_row(r), &cells_changed);
+                       if (status.ok()) continue;
+                       // TryRepairTuple restored the row, so FormatRow
+                       // renders the preserved original values.
+                       failures[slot].push_back(
+                           Diagnostic{r, status.code(), status.message(),
+                                      table->FormatRow(r)});
+                     }
+                   });
+
+  // Merge worker failure lists into row order so sink output (and any
+  // downstream file) is identical to a serial run's.
+  std::vector<Diagnostic> merged_failures;
+  for (auto& slot_failures : failures) {
+    merged_failures.insert(merged_failures.end(),
+                           std::make_move_iterator(slot_failures.begin()),
+                           std::make_move_iterator(slot_failures.end()));
+  }
+  std::sort(merged_failures.begin(), merged_failures.end(),
+            [](const Diagnostic& a, const Diagnostic& b) {
+              return a.line < b.line;
+            });
+  if (!merged_failures.empty()) {
+    registry.GetCounter("fixrep.quarantine.tuples")
+        ->Add(merged_failures.size());
+  }
+  if (options.on_error == OnErrorPolicy::kQuarantine &&
+      options.quarantine != nullptr) {
+    for (const Diagnostic& diagnostic : merged_failures) {
+      options.quarantine->Add(diagnostic);
+    }
+  }
+
+  LenientRepairResult result;
+  result.stats.Reset(index.num_rules());
+  for (const auto& repairer : repairers) {
+    result.stats.MergeFrom(repairer->stats());
+  }
+  RepairStats empty;
+  empty.Reset(index.num_rules());
+  result.stats.PublishDelta(empty, "lrepair");
+  result.tuples_quarantined = merged_failures.size();
+  return result;
 }
 
 }  // namespace fixrep

@@ -3,6 +3,8 @@
 
 #include <cstddef>
 
+#include "common/quarantine.h"
+#include "common/status.h"
 #include "relation/table.h"
 #include "repair/memo_cache.h"
 #include "repair/repair_stats.h"
@@ -41,6 +43,41 @@ RepairStats ParallelRepairTable(const CompiledRuleIndex& index, Table* table,
 // build the CompiledRuleIndex themselves and use the overload above.
 RepairStats ParallelRepairTable(const RuleSet& rules, Table* table,
                                 size_t threads = 0);
+
+// Failure-isolating whole-table repair: a tuple that fails (chase budget
+// exhausted, injected worker fault) is restored to its original values
+// and skipped or quarantined, and the rest of the batch completes.
+struct LenientRepairOptions {
+  // Worker count semantics of ParallelRepairOptions::threads. The memo
+  // fields are ignored: the lenient path never memoizes (isolation over
+  // memoization); output on clean tuples is bit-identical regardless.
+  ParallelRepairOptions parallel;
+  // kSkip or kQuarantine; kAbort is rejected (use ParallelRepairTable
+  // for fail-fast semantics).
+  OnErrorPolicy on_error = OnErrorPolicy::kQuarantine;
+  // Receives one Diagnostic per failed tuple when on_error is
+  // kQuarantine, in row order regardless of worker interleaving.
+  // Diagnostic::line is the row index; raw_text renders the original
+  // (preserved) values.
+  QuarantineSink* quarantine = nullptr;
+  // Per-tuple chase-step budget forwarded to FastRepairer (0 =
+  // unlimited).
+  size_t max_chase_steps = 0;
+};
+
+struct LenientRepairResult {
+  RepairStats stats;  // merged over workers; failed tuples record no fix
+  size_t tuples_quarantined = 0;
+};
+
+// Workers collect failures per slot; diagnostics are merged, sorted by
+// row, counted into fixrep.quarantine.tuples, and forwarded to the sink
+// from the calling thread after the join — sinks need no locking, and
+// serial and parallel runs of the same input produce identical tables,
+// stats, and diagnostics.
+LenientRepairResult ParallelRepairTableLenient(
+    const CompiledRuleIndex& index, Table* table,
+    const LenientRepairOptions& options = {});
 
 }  // namespace fixrep
 

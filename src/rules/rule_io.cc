@@ -4,10 +4,13 @@
 #include <istream>
 #include <ostream>
 #include <sstream>
+#include <string>
 #include <utility>
 #include <vector>
 
+#include "common/fault.h"
 #include "common/logging.h"
+#include "common/metrics.h"
 #include "common/string_util.h"
 
 namespace fixrep {
@@ -23,80 +26,234 @@ struct PendingRule {
   bool has_then = false;
 };
 
+Status LineError(int line_no, const std::string& message) {
+  return Status::MalformedInput("line " + std::to_string(line_no) + ": " +
+                                message);
+}
+
 // Splits "attr = value" at the first '='.
-std::pair<std::string, std::string> SplitAssignment(std::string_view body,
-                                                    int line_no) {
+Status SplitAssignment(std::string_view body, int line_no,
+                       std::pair<std::string, std::string>* out) {
   const size_t eq = body.find('=');
-  FIXREP_CHECK_NE(eq, std::string_view::npos)
-      << "line " << line_no << ": expected 'attr = value'";
-  return {std::string(Trim(body.substr(0, eq))),
+  if (eq == std::string_view::npos) {
+    return LineError(line_no, "expected 'attr = value'");
+  }
+  *out = {std::string(Trim(body.substr(0, eq))),
           std::string(Trim(body.substr(eq + 1)))};
+  return Status::Ok();
+}
+
+Status CheckKnownAttribute(const Schema& schema, const std::string& attr,
+                           int line_no) {
+  if (schema.FindAttribute(attr) == kInvalidAttr) {
+    return LineError(line_no, "schema '" + schema.name() +
+                                  "' has no attribute '" + attr + "'");
+  }
+  return Status::Ok();
+}
+
+// Parses one directive line into `pending`; returns a non-ok Status with
+// line context on any malformation (including schema-level problems that
+// MakeRule would otherwise CHECK-fail on, so lenient callers can recover).
+Status ParseDirective(std::string_view line, int line_no,
+                      const Schema& schema, PendingRule* pending) {
+  if (StartsWith(line, "IF ")) {
+    std::pair<std::string, std::string> assignment;
+    FIXREP_RETURN_IF_ERROR(
+        SplitAssignment(line.substr(3), line_no, &assignment));
+    FIXREP_RETURN_IF_ERROR(
+        CheckKnownAttribute(schema, assignment.first, line_no));
+    for (const auto& [attr, value] : pending->evidence) {
+      if (attr == assignment.first) {
+        return LineError(line_no,
+                         "duplicate evidence attribute '" + attr + "'");
+      }
+    }
+    if (pending->has_wrong && assignment.first == pending->target) {
+      return LineError(line_no, "target B must not appear in X");
+    }
+    pending->evidence.push_back(std::move(assignment));
+    return Status::Ok();
+  }
+  if (StartsWith(line, "WRONG ")) {
+    if (pending->has_wrong) return LineError(line_no, "duplicate WRONG");
+    const std::string_view body = line.substr(6);
+    const size_t in_pos = body.find(" IN ");
+    if (in_pos == std::string_view::npos) {
+      return LineError(line_no, "expected 'WRONG attr IN v1 | v2'");
+    }
+    const std::string target(Trim(body.substr(0, in_pos)));
+    FIXREP_RETURN_IF_ERROR(CheckKnownAttribute(schema, target, line_no));
+    for (const auto& [attr, value] : pending->evidence) {
+      if (attr == target) {
+        return LineError(line_no, "target B must not appear in X");
+      }
+    }
+    std::vector<std::string> negatives;
+    for (const auto& part : Split(body.substr(in_pos + 4), '|')) {
+      const std::string value(Trim(part));
+      if (value.empty()) {
+        return LineError(line_no, "empty negative pattern");
+      }
+      negatives.push_back(value);
+    }
+    pending->target = target;
+    pending->negatives = std::move(negatives);
+    pending->has_wrong = true;
+    return Status::Ok();
+  }
+  if (StartsWith(line, "THEN ")) {
+    if (pending->has_then) return LineError(line_no, "duplicate THEN");
+    std::pair<std::string, std::string> assignment;
+    FIXREP_RETURN_IF_ERROR(
+        SplitAssignment(line.substr(5), line_no, &assignment));
+    if (!pending->has_wrong) {
+      return LineError(line_no, "THEN before WRONG");
+    }
+    if (assignment.first != pending->target) {
+      return LineError(line_no,
+                       "THEN attribute must match the WRONG attribute");
+    }
+    for (const std::string& negative : pending->negatives) {
+      if (assignment.second == negative) {
+        return LineError(
+            line_no, "the fact must not be one of the negative patterns");
+      }
+    }
+    pending->fact = std::move(assignment.second);
+    pending->has_then = true;
+    return Status::Ok();
+  }
+  return LineError(line_no,
+                   "unknown directive '" + std::string(line) + "'");
 }
 
 }  // namespace
 
-RuleSet ParseRules(std::istream& in, std::shared_ptr<const Schema> schema,
-                   std::shared_ptr<ValuePool> pool) {
+StatusOr<RuleSet> ParseRulesLenient(std::istream& in,
+                                    std::shared_ptr<const Schema> schema,
+                                    std::shared_ptr<ValuePool> pool,
+                                    const RuleParseOptions& options) {
   RuleSet rules(schema, std::move(pool));
+  const bool lenient = options.on_error != OnErrorPolicy::kAbort;
+  Counter* quarantined_rules =
+      MetricsRegistry::Global().GetCounter("fixrep.quarantine.rules");
+
   PendingRule pending;
   bool in_rule = false;
+  bool block_failed = false;
+  Status block_error = Status::Ok();
+  size_t block_error_line = 0;
+  std::string block_raw;
   std::string raw;
   int line_no = 0;
+
+  // Drops one quarantined unit (a whole block, or a stray top-level
+  // line) with the first error observed in it.
+  const auto quarantine = [&](size_t error_line, const Status& error,
+                              const std::string& raw_text) {
+    quarantined_rules->Add(1);
+    if (options.on_error == OnErrorPolicy::kQuarantine &&
+        options.quarantine != nullptr) {
+      options.quarantine->Add(
+          Diagnostic{error_line, error.code(), error.message(), raw_text});
+    }
+  };
+  const auto fail_block = [&](const Status& error) {
+    if (block_failed) return;  // keep the first error
+    block_failed = true;
+    block_error = error;
+    block_error_line = static_cast<size_t>(line_no);
+  };
+
   while (std::getline(in, raw)) {
     ++line_no;
     const std::string_view line = Trim(raw);
+    if (in_rule) {
+      block_raw += raw;
+      block_raw += '\n';
+    }
     if (line.empty() || line.front() == '#') continue;
+
     if (line == "RULE") {
-      FIXREP_CHECK(!in_rule) << "line " << line_no << ": nested RULE";
+      if (!in_rule) {
+        pending = PendingRule{};
+        in_rule = true;
+        block_failed = false;
+        block_raw = raw + "\n";
+        continue;
+      }
+      const Status error = LineError(line_no, "nested RULE");
+      if (!lenient) return error;
+      fail_block(error);
+      // The RULE line opens a fresh block; the dead one is quarantined
+      // without its trailing RULE line.
+      block_raw.resize(block_raw.size() - raw.size() - 1);
+      quarantine(block_error_line, block_error, block_raw);
       pending = PendingRule{};
-      in_rule = true;
+      block_failed = false;
+      block_raw = raw + "\n";
       continue;
     }
-    FIXREP_CHECK(in_rule) << "line " << line_no
-                          << ": directive outside RULE...END";
+    if (!in_rule) {
+      const Status error = LineError(line_no, "directive outside RULE...END");
+      if (!lenient) return error;
+      quarantine(static_cast<size_t>(line_no), error, raw);
+      continue;
+    }
     if (line == "END") {
-      FIXREP_CHECK(pending.has_wrong)
-          << "line " << line_no << ": rule without WRONG";
-      FIXREP_CHECK(pending.has_then)
-          << "line " << line_no << ": rule without THEN";
+      in_rule = false;
+      if (!block_failed) {
+        if (!pending.has_wrong) {
+          fail_block(LineError(line_no, "rule without WRONG"));
+        } else if (!pending.has_then) {
+          fail_block(LineError(line_no, "rule without THEN"));
+        }
+      }
+      if (block_failed) {
+        if (!lenient) return block_error;
+        quarantine(block_error_line, block_error, block_raw);
+        continue;
+      }
       rules.Add(MakeRule(*schema, &rules.pool(), pending.evidence,
                          pending.target, pending.negatives, pending.fact));
-      in_rule = false;
-    } else if (StartsWith(line, "IF ")) {
-      pending.evidence.push_back(SplitAssignment(line.substr(3), line_no));
-    } else if (StartsWith(line, "WRONG ")) {
-      FIXREP_CHECK(!pending.has_wrong)
-          << "line " << line_no << ": duplicate WRONG";
-      const std::string_view body = line.substr(6);
-      const size_t in_pos = body.find(" IN ");
-      FIXREP_CHECK_NE(in_pos, std::string_view::npos)
-          << "line " << line_no << ": expected 'WRONG attr IN v1 | v2'";
-      pending.target = std::string(Trim(body.substr(0, in_pos)));
-      for (const auto& part : Split(body.substr(in_pos + 4), '|')) {
-        const std::string value(Trim(part));
-        FIXREP_CHECK(!value.empty())
-            << "line " << line_no << ": empty negative pattern";
-        pending.negatives.push_back(value);
-      }
-      pending.has_wrong = true;
-    } else if (StartsWith(line, "THEN ")) {
-      FIXREP_CHECK(!pending.has_then)
-          << "line " << line_no << ": duplicate THEN";
-      auto [attr, value] = SplitAssignment(line.substr(5), line_no);
-      FIXREP_CHECK(pending.has_wrong)
-          << "line " << line_no << ": THEN before WRONG";
-      FIXREP_CHECK_EQ(attr, pending.target)
-          << "line " << line_no
-          << ": THEN attribute must match the WRONG attribute";
-      pending.fact = std::move(value);
-      pending.has_then = true;
-    } else {
-      FIXREP_CHECK(false) << "line " << line_no << ": unknown directive '"
-                          << std::string(line) << "'";
+      continue;
+    }
+    if (block_failed) continue;  // skip to END once the block is dead
+    const Status error =
+        ParseDirective(line, line_no, *schema, &pending);
+    if (!error.ok()) {
+      if (!lenient) return error;
+      fail_block(error);
     }
   }
-  FIXREP_CHECK(!in_rule) << "unterminated RULE at end of input";
+  if (in_rule) {
+    const Status error =
+        Status::MalformedInput("unterminated RULE at end of input");
+    if (!lenient) return error;
+    if (!block_failed) fail_block(error);
+    quarantine(block_error_line, block_error, block_raw);
+  }
   return rules;
+}
+
+StatusOr<RuleSet> ParseRulesFileLenient(const std::string& path,
+                                        std::shared_ptr<const Schema> schema,
+                                        std::shared_ptr<ValuePool> pool,
+                                        const RuleParseOptions& options) {
+  std::ifstream in(path);
+  if (FIXREP_FAULT("rules.open_read") || !in.good()) {
+    return Status::IoError("cannot open " + path);
+  }
+  return ParseRulesLenient(in, std::move(schema), std::move(pool), options);
+}
+
+RuleSet ParseRules(std::istream& in, std::shared_ptr<const Schema> schema,
+                   std::shared_ptr<ValuePool> pool) {
+  StatusOr<RuleSet> result =
+      ParseRulesLenient(in, std::move(schema), std::move(pool));
+  FIXREP_CHECK(result.ok()) << result.status().message();
+  return std::move(result).value();
 }
 
 RuleSet ParseRulesFromString(const std::string& text,
@@ -109,9 +266,10 @@ RuleSet ParseRulesFromString(const std::string& text,
 RuleSet ParseRulesFile(const std::string& path,
                        std::shared_ptr<const Schema> schema,
                        std::shared_ptr<ValuePool> pool) {
-  std::ifstream in(path);
-  FIXREP_CHECK(in.good()) << "cannot open " << path;
-  return ParseRules(in, std::move(schema), std::move(pool));
+  StatusOr<RuleSet> result =
+      ParseRulesFileLenient(path, std::move(schema), std::move(pool));
+  FIXREP_CHECK(result.ok()) << result.status().message();
+  return std::move(result).value();
 }
 
 void WriteRules(const RuleSet& rules, std::ostream& out) {
@@ -141,10 +299,24 @@ std::string SerializeRules(const RuleSet& rules) {
   return out.str();
 }
 
-void WriteRulesFile(const RuleSet& rules, const std::string& path) {
+Status TryWriteRulesFile(const RuleSet& rules, const std::string& path) {
   std::ofstream out(path);
-  FIXREP_CHECK(out.good()) << "cannot open " << path << " for writing";
+  if (FIXREP_FAULT("rules.open_write") || !out.good()) {
+    return Status::IoError("cannot open " + path + " for writing");
+  }
   WriteRules(rules, out);
+  if (FIXREP_FAULT("rules.write_flush")) out.setstate(std::ios::badbit);
+  out.flush();
+  if (!out.good()) {
+    return Status::IoError("write failed for " + path +
+                           " (disk full or stream error)");
+  }
+  return Status::Ok();
+}
+
+void WriteRulesFile(const RuleSet& rules, const std::string& path) {
+  const Status status = TryWriteRulesFile(rules, path);
+  FIXREP_CHECK(status.ok()) << status.message();
 }
 
 }  // namespace fixrep

@@ -5,6 +5,8 @@
 #include <memory>
 #include <string>
 
+#include "common/quarantine.h"
+#include "common/status.h"
 #include "rules/rule_set.h"
 
 namespace fixrep {
@@ -27,9 +29,41 @@ namespace fixrep {
 // * Values are trimmed of surrounding whitespace and must not contain
 //   '|' or newlines (attribute names additionally must not contain '=').
 //
-// Parsing CHECK-fails with a line number on malformed input — rule files
-// are developer-authored artifacts, not untrusted user data.
+// Two tiers of entry points:
+//  * ParseRules / ParseRulesFromString / ParseRulesFile / WriteRulesFile
+//    CHECK-fail with a line number on malformed input — for
+//    developer-authored rule files.
+//  * The *Lenient / Try* variants return Status and, per
+//    RuleParseOptions::on_error, recover at RULE...END granularity: a
+//    malformed block (bad directive, unknown attribute, missing
+//    WRONG/THEN, ...) is skipped or quarantined whole — raw text
+//    preserved — and parsing resumes at the next block.
 
+struct RuleParseOptions {
+  OnErrorPolicy on_error = OnErrorPolicy::kAbort;
+  // Receives one Diagnostic per dropped block (or stray top-level line)
+  // when on_error is kQuarantine. Diagnostic::line is the 1-based line
+  // of the first error in the block; raw_text is the whole block.
+  QuarantineSink* quarantine = nullptr;
+};
+
+// Every dropped block ticks fixrep.quarantine.rules (kSkip and
+// kQuarantine).
+StatusOr<RuleSet> ParseRulesLenient(std::istream& in,
+                                    std::shared_ptr<const Schema> schema,
+                                    std::shared_ptr<ValuePool> pool,
+                                    const RuleParseOptions& options = {});
+
+StatusOr<RuleSet> ParseRulesFileLenient(const std::string& path,
+                                        std::shared_ptr<const Schema> schema,
+                                        std::shared_ptr<ValuePool> pool,
+                                        const RuleParseOptions& options = {});
+
+// Writes, flushes, and verifies the stream so short writes surface as
+// kIoError instead of silently truncating.
+Status TryWriteRulesFile(const RuleSet& rules, const std::string& path);
+
+// CHECK-ing wrappers over the lenient/Try variants above.
 RuleSet ParseRules(std::istream& in, std::shared_ptr<const Schema> schema,
                    std::shared_ptr<ValuePool> pool);
 

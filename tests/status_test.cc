@@ -1,0 +1,113 @@
+#include "common/status.h"
+
+#include <memory>
+#include <sstream>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace fixrep {
+namespace {
+
+TEST(StatusTest, DefaultIsOk) {
+  const Status status;
+  EXPECT_TRUE(status.ok());
+  EXPECT_EQ(status.code(), StatusCode::kOk);
+  EXPECT_EQ(status.message(), "");
+  EXPECT_EQ(status.ToString(), "OK");
+  EXPECT_EQ(status, Status::Ok());
+}
+
+TEST(StatusTest, ErrorCarriesCodeAndMessage) {
+  const Status status = Status::MalformedInput("bad record");
+  EXPECT_FALSE(status.ok());
+  EXPECT_EQ(status.code(), StatusCode::kMalformedInput);
+  EXPECT_EQ(status.message(), "bad record");
+  EXPECT_EQ(status.ToString(), "MALFORMED_INPUT: bad record");
+}
+
+TEST(StatusTest, CodeNames) {
+  EXPECT_STREQ(StatusCodeName(StatusCode::kOk), "OK");
+  EXPECT_STREQ(StatusCodeName(StatusCode::kMalformedInput),
+               "MALFORMED_INPUT");
+  EXPECT_STREQ(StatusCodeName(StatusCode::kIoError), "IO_ERROR");
+  EXPECT_STREQ(StatusCodeName(StatusCode::kBudgetExhausted),
+               "BUDGET_EXHAUSTED");
+  EXPECT_STREQ(StatusCodeName(StatusCode::kInternal), "INTERNAL");
+}
+
+TEST(StatusTest, WithContextChainsOutermostFirst) {
+  const Status status = Status::IoError("cannot open x.csv")
+                            .WithContext("record 7")
+                            .WithContext("repair --in");
+  EXPECT_EQ(status.code(), StatusCode::kIoError);
+  EXPECT_EQ(status.message(), "repair --in: record 7: cannot open x.csv");
+}
+
+TEST(StatusTest, WithContextOnOkIsNoop) {
+  const Status status = Status::Ok().WithContext("ignored");
+  EXPECT_TRUE(status.ok());
+  EXPECT_EQ(status.message(), "");
+}
+
+TEST(StatusTest, StreamInsertion) {
+  std::ostringstream out;
+  out << Status::BudgetExhausted("too many steps");
+  EXPECT_EQ(out.str(), "BUDGET_EXHAUSTED: too many steps");
+}
+
+TEST(StatusOrTest, HoldsValue) {
+  StatusOr<int> result(42);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result.value(), 42);
+  EXPECT_EQ(*result, 42);
+  EXPECT_TRUE(result.status().ok());
+}
+
+TEST(StatusOrTest, HoldsError) {
+  const StatusOr<int> result(Status::Internal("boom"));
+  EXPECT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kInternal);
+  EXPECT_EQ(result.status().message(), "boom");
+}
+
+TEST(StatusOrTest, MoveOnlyValue) {
+  StatusOr<std::unique_ptr<int>> result(std::make_unique<int>(7));
+  ASSERT_TRUE(result.ok());
+  std::unique_ptr<int> owned = std::move(result).value();
+  EXPECT_EQ(*owned, 7);
+}
+
+TEST(StatusOrTest, ArrowOperator) {
+  StatusOr<std::string> result(std::string("hello"));
+  EXPECT_EQ(result->size(), 5u);
+}
+
+TEST(StatusOrDeathTest, ValueOnErrorAborts) {
+  const StatusOr<int> result(Status::IoError("nope"));
+  EXPECT_DEATH(result.value(), "IO_ERROR: nope");
+}
+
+TEST(StatusOrDeathTest, ErrorFromOkStatusAborts) {
+  EXPECT_DEATH(StatusOr<int>(Status::Ok()), "without a value");
+}
+
+Status FailsThenReturns(bool fail, int* reached) {
+  FIXREP_RETURN_IF_ERROR(
+      fail ? Status::Internal("early") : Status::Ok());
+  *reached = 1;
+  return Status::Ok();
+}
+
+TEST(StatusTest, ReturnIfErrorMacro) {
+  int reached = 0;
+  EXPECT_FALSE(FailsThenReturns(true, &reached).ok());
+  EXPECT_EQ(reached, 0);
+  EXPECT_TRUE(FailsThenReturns(false, &reached).ok());
+  EXPECT_EQ(reached, 1);
+}
+
+}  // namespace
+}  // namespace fixrep
