@@ -1,0 +1,82 @@
+// Global allocation counting for the benches. Every bench binary links
+// this TU (bench/CMakeLists.txt), so all operator new/delete traffic
+// funnels through one relaxed atomic counter. Unlike wall-clock, the
+// count is deterministic for a deterministic workload, which makes the
+// "allocations" entries in BENCH_repair.json diffable across PRs: the
+// flat RowStore shows up as a step drop in allocations per repaired row.
+
+#include <algorithm>
+#include <atomic>
+#include <cstdint>
+#include <cstdlib>
+#include <new>
+
+namespace {
+
+std::atomic<std::uint64_t> g_allocation_count{0};
+
+void* CountedNew(std::size_t size) {
+  g_allocation_count.fetch_add(1, std::memory_order_relaxed);
+  void* p = std::malloc(size == 0 ? 1 : size);
+  if (p == nullptr) throw std::bad_alloc();
+  return p;
+}
+
+void* CountedAlignedNew(std::size_t size, std::align_val_t align) {
+  g_allocation_count.fetch_add(1, std::memory_order_relaxed);
+  const auto alignment = static_cast<std::size_t>(align);
+  // aligned_alloc requires the size to be a multiple of the alignment.
+  const std::size_t rounded =
+      (std::max<std::size_t>(size, 1) + alignment - 1) / alignment *
+      alignment;
+  void* p = std::aligned_alloc(alignment, rounded);
+  if (p == nullptr) throw std::bad_alloc();
+  return p;
+}
+
+}  // namespace
+
+namespace fixrep::bench {
+
+// Declared in bench_util.h.
+std::uint64_t AllocationCount() {
+  return g_allocation_count.load(std::memory_order_relaxed);
+}
+
+}  // namespace fixrep::bench
+
+void* operator new(std::size_t size) { return CountedNew(size); }
+void* operator new[](std::size_t size) { return CountedNew(size); }
+void* operator new(std::size_t size, std::align_val_t align) {
+  return CountedAlignedNew(size, align);
+}
+void* operator new[](std::size_t size, std::align_val_t align) {
+  return CountedAlignedNew(size, align);
+}
+void* operator new(std::size_t size, const std::nothrow_t&) noexcept {
+  g_allocation_count.fetch_add(1, std::memory_order_relaxed);
+  return std::malloc(size == 0 ? 1 : size);
+}
+void* operator new[](std::size_t size, const std::nothrow_t&) noexcept {
+  g_allocation_count.fetch_add(1, std::memory_order_relaxed);
+  return std::malloc(size == 0 ? 1 : size);
+}
+
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+void operator delete(void* p, std::align_val_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::align_val_t) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t, std::align_val_t) noexcept {
+  std::free(p);
+}
+void operator delete[](void* p, std::size_t, std::align_val_t) noexcept {
+  std::free(p);
+}
+void operator delete(void* p, const std::nothrow_t&) noexcept {
+  std::free(p);
+}
+void operator delete[](void* p, const std::nothrow_t&) noexcept {
+  std::free(p);
+}

@@ -16,15 +16,19 @@
 #include <cstdint>
 #include <iostream>
 #include <memory>
+#include <sstream>
+#include <string>
 
 #include <benchmark/benchmark.h>
 
 #include "bench_util.h"
 #include "common/thread_pool.h"
 #include "eval/text_table.h"
+#include "relation/csv.h"
 #include "repair/crepair.h"
 #include "repair/lrepair.h"
 #include "repair/parallel.h"
+#include "repair/streaming.h"
 
 namespace fixrep::bench {
 namespace {
@@ -179,42 +183,87 @@ void WriteRepairJson() {
 
   // Best-of-3 per configuration (table copies made off the clock):
   // one-shot timings on a loaded machine are too noisy for a number
-  // meant to be diffed across PRs.
+  // meant to be diffed across PRs. The allocation count is taken from
+  // the best-timed run; for a deterministic workload it is the same
+  // every run anyway.
+  struct RunCost {
+    double ms = 0;
+    double allocations = 0;
+  };
   constexpr int kRuns = 3;
   const auto best_of = [&](const char* label, const auto& run) {
-    double best = 0;
+    RunCost best;
     for (int i = 0; i < kRuns; ++i) {
       Table copy = dup;
+      const uint64_t allocs_before = AllocationCount();
       const double ms = TimedMs(label, [&] { run(&copy); });
-      if (i == 0 || ms < best) best = ms;
+      const auto allocs =
+          static_cast<double>(AllocationCount() - allocs_before);
+      if (i == 0 || ms < best.ms) best = {ms, allocs};
     }
     return best;
   };
 
-  const double baseline_ms = best_of("fig13_baseline", [&](Table* copy) {
+  const RunCost baseline = best_of("fig13_baseline", [&](Table* copy) {
     FastRepairer repairer(&index);
     repairer.RepairTable(copy);
   });
-  const double memo_ms = best_of("fig13_memo", [&](Table* copy) {
+  const double baseline_ms = baseline.ms;
+  const RunCost memo = best_of("fig13_memo", [&](Table* copy) {
     FastRepairer repairer(&index);
-    MemoCache memo;
-    repairer.set_memo(&memo);
+    MemoCache memo_cache;
+    repairer.set_memo(&memo_cache);
     repairer.RepairTable(copy);
   });
+  const double memo_ms = memo.ms;
   const uint64_t hits_before = counter("fixrep.memo.hits");
   const uint64_t misses_before = counter("fixrep.memo.misses");
-  const double pooled_ms = best_of("fig13_pooled_memo", [&](Table* copy) {
+  const RunCost pooled = best_of("fig13_pooled_memo", [&](Table* copy) {
     ParallelRepairOptions options;
     options.threads = g_config.threads;
     options.use_memo = g_config.use_memo;
     ParallelRepairTable(index, copy, options);
   });
+  const double pooled_ms = pooled.ms;
   const uint64_t hits = counter("fixrep.memo.hits") - hits_before;
   const uint64_t misses = counter("fixrep.memo.misses") - misses_before;
   const double hit_rate =
       hits + misses == 0
           ? 0.0
           : static_cast<double>(hits) / static_cast<double>(hits + misses);
+
+  // End-to-end chunked pipeline: CSV text in, repaired CSV text out,
+  // through the streaming session (serial + memo, the CLI's --stream
+  // defaults). Rendered once off the clock; the measured region is
+  // parse + repair + serialize, the whole-file ingest-to-emit path.
+  constexpr size_t kStreamChunkRows = 4096;
+  std::string input_csv;
+  {
+    std::ostringstream csv;
+    WriteCsv(dup, csv);
+    input_csv = csv.str();
+  }
+  RunCost streaming;
+  for (int i = 0; i < kRuns; ++i) {
+    std::istringstream in(input_csv);
+    std::ostringstream out;
+    const uint64_t allocs_before = AllocationCount();
+    const double ms = TimedMs("fig13_streaming", [&] {
+      StatusOr<CsvChunkReader> reader =
+          CsvChunkReader::Open(in, "bench", workload.data.pool, {});
+      StreamingRepairOptions options;
+      options.chunk_rows = kStreamChunkRows;
+      StreamingRepairSession session(&index, options);
+      const auto result = session.Run(&reader.value(), out);
+      if (!result.ok() || result.value().rows_emitted != rows) {
+        std::cerr << "streaming bench run failed\n";
+        std::abort();
+      }
+    });
+    const auto allocs =
+        static_cast<double>(AllocationCount() - allocs_before);
+    if (i == 0 || ms < streaming.ms) streaming = {ms, allocs};
+  }
 
   BenchJson json("BENCH_repair.json");
   json.Set("workload", "rows", static_cast<double>(rows));
@@ -225,12 +274,23 @@ void WriteRepairJson() {
   json.Set("workload", "memo_enabled", g_config.use_memo ? 1.0 : 0.0);
   json.Set("serial_baseline", "ms", baseline_ms);
   json.Set("serial_baseline", "rows_per_sec", rows / (baseline_ms / 1e3));
+  json.Set("serial_baseline", "allocations", baseline.allocations);
   json.Set("serial_memo", "ms", memo_ms);
   json.Set("serial_memo", "rows_per_sec", rows / (memo_ms / 1e3));
+  json.Set("serial_memo", "allocations", memo.allocations);
   json.Set("pooled_memo", "ms", pooled_ms);
   json.Set("pooled_memo", "rows_per_sec", rows / (pooled_ms / 1e3));
+  json.Set("pooled_memo", "allocations", pooled.allocations);
   json.Set("pooled_memo", "memo_hit_rate", hit_rate);
   json.Set("pooled_memo", "speedup_vs_baseline", baseline_ms / pooled_ms);
+  json.Set("streaming_chunked", "ms", streaming.ms);
+  json.Set("streaming_chunked", "rows_per_sec", rows / (streaming.ms / 1e3));
+  json.Set("streaming_chunked", "allocations", streaming.allocations);
+  json.Set("streaming_chunked", "chunk_rows",
+           static_cast<double>(kStreamChunkRows));
+  json.Set("process", "peak_rss_bytes", PeakRssBytes());
+  json.Set("process", "allocations_total",
+           static_cast<double>(AllocationCount()));
   json.Set("phases_ns", "index_build",
            SpanTotalNanos("lrepair.index_build"));
   json.Set("phases_ns", "chase", SpanTotalNanos("lrepair.chase"));

@@ -42,7 +42,7 @@ BENCHMARK(BM_ValuePoolIntern);
 void BM_RuleMatch(::benchmark::State& state) {
   const TravelExample example;
   const FixingRule& rule = example.rules.rule(0);
-  const Tuple& r2 = example.dirty.row(1);
+  const TupleRef r2 = example.dirty.row(1);
   for (auto _ : state) {
     ::benchmark::DoNotOptimize(rule.Matches(r2));
   }
@@ -85,8 +85,8 @@ void BM_LRepairSingleTuple(::benchmark::State& state) {
   FastRepairer repairer(&workload.rules);
   size_t row = 0;
   for (auto _ : state) {
-    Tuple t = workload.dirty.row(row);
-    ::benchmark::DoNotOptimize(repairer.RepairTuple(&t));
+    Tuple t = workload.dirty.row(row).ToTuple();
+    ::benchmark::DoNotOptimize(repairer.RepairTuple(t));
     row = (row + 1) % workload.dirty.num_rows();
   }
 }

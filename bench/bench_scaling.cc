@@ -35,21 +35,29 @@ void Run(const BenchRepairConfig& config) {
   for (size_t rows = 10000; rows <= max_rows; rows *= 2) {
     const Workload workload = MakeHospWorkload(rows, 500);
     double lrepair_ms = 0;
+    double lrepair_allocs = 0;
     {
       Table copy = workload.dirty;
       FastRepairer repairer(&workload.rules);
+      const uint64_t allocs_before = AllocationCount();
       lrepair_ms = TimedMs("lrepair", [&] { repairer.RepairTable(&copy); });
+      lrepair_allocs =
+          static_cast<double>(AllocationCount() - allocs_before);
     }
     double pooled_ms = 0;
+    double pooled_allocs = 0;
     {
       Table copy = workload.dirty;
       const CompiledRuleIndex index(&workload.rules);
       ParallelRepairOptions options;
       options.threads = config.threads;
       options.use_memo = config.use_memo;
+      const uint64_t allocs_before = AllocationCount();
       pooled_ms = TimedMs("pooled_memo", [&] {
         ParallelRepairTable(index, &copy, options);
       });
+      pooled_allocs =
+          static_cast<double>(AllocationCount() - allocs_before);
     }
     double crepair_ms = 0;
     {
@@ -70,8 +78,10 @@ void Run(const BenchRepairConfig& config) {
                   FormatDouble(detect_ms, 2)});
     const std::string section = "scaling_" + std::to_string(rows);
     json.Set(section, "lrepair_rows_per_sec", rows / (lrepair_ms / 1e3));
+    json.Set(section, "lrepair_allocations", lrepair_allocs);
     json.Set(section, "pooled_memo_rows_per_sec",
              rows / (pooled_ms / 1e3));
+    json.Set(section, "pooled_memo_allocations", pooled_allocs);
     json.Set(section, "crepair_rows_per_sec", rows / (crepair_ms / 1e3));
   }
   table.Print(std::cout);
@@ -83,6 +93,9 @@ void Run(const BenchRepairConfig& config) {
   json.Set("phases_ns", "chase", SpanTotalNanos("lrepair.chase"));
   json.Set("phases_ns", "parallel_repair_table",
            SpanTotalNanos("parallel.repair_table"));
+  json.Set("process", "peak_rss_bytes", PeakRssBytes());
+  json.Set("process", "allocations_total",
+           static_cast<double>(AllocationCount()));
   if (json.Write()) std::cout << "wrote " << json.path() << "\n";
   const std::string metrics = DescribeMetrics();
   if (!metrics.empty()) std::cout << "\n" << metrics << "\n";

@@ -1,7 +1,10 @@
 #ifndef FIXREP_BENCH_BENCH_UTIL_H_
 #define FIXREP_BENCH_BENCH_UTIL_H_
 
+#include <sys/resource.h>
+
 #include <algorithm>
+#include <cstdint>
 #include <cstdio>
 #include <cstdlib>
 #include <fstream>
@@ -145,6 +148,20 @@ class BenchJson {
   std::string path_;
   std::map<std::string, std::map<std::string, double>> sections_;
 };
+
+// Defined in alloc_counter.cc (linked into every bench binary): number
+// of global operator-new calls since process start. Deterministic for a
+// deterministic workload, so deltas around a measured region are
+// diffable across PRs in a way wall-clock is not.
+std::uint64_t AllocationCount();
+
+// Peak resident set size of the process in bytes (Linux ru_maxrss is
+// KiB). Monotone over the process lifetime: report it once, at the end.
+inline double PeakRssBytes() {
+  struct rusage usage {};
+  if (getrusage(RUSAGE_SELF, &usage) != 0) return 0.0;
+  return static_cast<double>(usage.ru_maxrss) * 1024.0;
+}
 
 // Sum of the fixrep.span.<name>_ns histogram, for per-phase attribution
 // in bench JSON output (0 when the span never ran).

@@ -1,0 +1,94 @@
+#!/usr/bin/env python3
+"""Guard against repair-throughput regressions.
+
+Compares every *rows_per_sec* entry of a freshly generated
+BENCH_repair.json against the committed baseline and exits non-zero when
+any entry present in both files has dropped by more than --tolerance
+(default 10%). Entries present on only one side are reported and skipped
+(bench_fig13_repair and bench_scaling emit different section sets into
+the same file), but finding *no* comparable entry at all is an error —
+that means the check compared the wrong files.
+
+Usage:
+  check_regression.py --baseline BENCH_repair.json \
+                      --current build/BENCH_repair.json [--tolerance 0.10]
+
+Or via the CMake target, which regenerates the current file first:
+  cmake --build build --target check_perf_regression
+"""
+
+import argparse
+import json
+import sys
+
+
+def load(path):
+    try:
+        with open(path, "r", encoding="utf-8") as f:
+            return json.load(f)
+    except OSError as e:
+        sys.exit(f"check_regression: cannot read {path}: {e}")
+    except json.JSONDecodeError as e:
+        sys.exit(f"check_regression: {path} is not valid JSON: {e}")
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--baseline", required=True,
+                        help="committed BENCH_repair.json")
+    parser.add_argument("--current", required=True,
+                        help="freshly generated BENCH_repair.json")
+    parser.add_argument("--tolerance", type=float, default=0.10,
+                        help="allowed fractional rows/s drop (default 0.10)")
+    args = parser.parse_args()
+
+    baseline = load(args.baseline)
+    current = load(args.current)
+
+    failures = []
+    checked = 0
+    for section in sorted(baseline):
+        entries = baseline[section]
+        if not isinstance(entries, dict):
+            continue
+        for key in sorted(entries):
+            if "rows_per_sec" not in key:
+                continue
+            base_value = entries[key]
+            cur_value = current.get(section, {}).get(key)
+            if cur_value is None:
+                print(f"      skip  {section}.{key}: not in current run")
+                continue
+            checked += 1
+            ratio = cur_value / base_value if base_value > 0 else 1.0
+            delta = (ratio - 1.0) * 100.0
+            status = "ok"
+            if ratio < 1.0 - args.tolerance:
+                status = "REGRESSION"
+                failures.append((section, key, base_value, cur_value, delta))
+            print(f"{status:>10}  {section}.{key}: "
+                  f"baseline {base_value:,.0f} rows/s, "
+                  f"current {cur_value:,.0f} rows/s ({delta:+.1f}%)")
+
+    if checked == 0:
+        sys.exit("check_regression: no rows_per_sec entries in common — "
+                 "wrong baseline/current pairing?")
+    if failures:
+        print()
+        print("=" * 64)
+        print(f"PERF REGRESSION: {len(failures)} of {checked} throughput "
+              f"entries dropped more than {args.tolerance:.0%}:")
+        for section, key, base_value, cur_value, delta in failures:
+            print(f"  {section}.{key}: {base_value:,.0f} -> "
+                  f"{cur_value:,.0f} rows/s ({delta:+.1f}%)")
+        print("If the slowdown is intended, regenerate the baseline with")
+        print("  FIXREP_BENCH_JSON=BENCH_repair.json "
+              "build/bench/bench_fig13_repair")
+        print("=" * 64)
+        sys.exit(1)
+    print(f"perf check passed: {checked} throughput entries within "
+          f"{args.tolerance:.0%} of baseline")
+
+
+if __name__ == "__main__":
+    main()

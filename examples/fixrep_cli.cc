@@ -11,7 +11,7 @@
 //                        [--resolve pruned_rules.txt]
 //   fixrep_cli repair    --rules rules.txt --in dirty.csv --out fixed.csv
 //                        [--engine lrepair|crepair] [--threads N]
-//                        [--no-memo] [--log]
+//                        [--no-memo] [--log] [--stream] [--chunk-rows N]
 //                        [--on-error=abort|skip|quarantine]
 //                        [--quarantine-out q.csv] [--max-chase-steps N]
 //                        --threads N uses the pooled parallel engine
@@ -27,6 +27,11 @@
 //                        --max-chase-steps bounds the per-tuple chase in
 //                        skip/quarantine mode; a tuple exceeding it is
 //                        quarantined with its original values intact.
+//                        --stream repairs the input in fixed-size chunks
+//                        (--chunk-rows, default 65536) with peak memory
+//                        proportional to one chunk; the output CSV and
+//                        quarantine file are byte-identical to the
+//                        whole-table run (lrepair engine only, no --log).
 //   fixrep_cli eval      --truth truth.csv --dirty dirty.csv
 //                        --repaired fixed.csv
 //
@@ -68,6 +73,7 @@
 #include "repair/lrepair.h"
 #include "repair/parallel.h"
 #include "repair/provenance.h"
+#include "repair/streaming.h"
 #include "rulegen/discovery.h"
 #include "rulegen/rulegen.h"
 #include "rules/consistency.h"
@@ -260,6 +266,151 @@ int Check(const Args& args) {
   return consistent ? 0 : 1;
 }
 
+// Writes the grouped dead-letter file (csv records, then rule blocks,
+// then repaired tuples) shared by the lenient and streaming pipelines.
+int WriteQuarantineFile(const std::string& path,
+                        const VectorQuarantineSink& row_sink,
+                        const VectorQuarantineSink& rule_sink,
+                        const VectorQuarantineSink& tuple_sink) {
+  std::ofstream out(path);
+  if (!out.good()) {
+    std::cerr << "cannot open --quarantine-out path '" << path << "'\n";
+    return 1;
+  }
+  WriteQuarantineHeader(out);
+  for (const auto& d : row_sink.diagnostics()) {
+    WriteQuarantineRecord(out, "csv", d);
+  }
+  for (const auto& d : rule_sink.diagnostics()) {
+    WriteQuarantineRecord(out, "rules", d);
+  }
+  for (const auto& d : tuple_sink.diagnostics()) {
+    WriteQuarantineRecord(out, "repair", d);
+  }
+  out.flush();
+  if (!out.good()) {
+    std::cerr << "write failed for --quarantine-out path '" << path
+              << "'\n";
+    return 1;
+  }
+  return 0;
+}
+
+// Chunked streaming repair (repair/streaming.h): the input CSV never
+// lives in memory whole. Handles every --on-error policy; the emitted
+// CSV and quarantine file are byte-identical to the whole-table run.
+int RepairStream(const Args& args, OnErrorPolicy policy) {
+  if (args.Has("log")) {
+    std::cerr << "--log (provenance) is incompatible with --stream\n";
+    return 2;
+  }
+  if (args.Get("engine", "lrepair") != "lrepair") {
+    std::cerr << "--stream supports --engine=lrepair only\n";
+    return 2;
+  }
+  auto pool = std::make_shared<ValuePool>();
+  const bool quarantining = policy == OnErrorPolicy::kQuarantine;
+  VectorQuarantineSink row_sink;
+  VectorQuarantineSink rule_sink;
+  VectorQuarantineSink tuple_sink;
+
+  auto load = std::make_unique<TraceSpan>("cli.load");
+  std::ifstream in(args.Require("in"));
+  if (!in.good()) {
+    std::cerr << "error reading --in: cannot open " << args.Get("in")
+              << "\n";
+    return 1;
+  }
+  CsvReadOptions csv_options;
+  csv_options.on_error = policy;
+  csv_options.quarantine = quarantining ? &row_sink : nullptr;
+  StatusOr<CsvChunkReader> reader_or =
+      CsvChunkReader::Open(in, "data", pool, csv_options);
+  if (!reader_or.ok()) {
+    std::cerr << "error reading --in: " << reader_or.status() << "\n";
+    return 1;
+  }
+  CsvChunkReader reader = std::move(reader_or).value();
+  RuleParseOptions rule_options;
+  rule_options.on_error = policy;
+  rule_options.quarantine = quarantining ? &rule_sink : nullptr;
+  StatusOr<RuleSet> rules_or = ParseRulesFileLenient(
+      args.Require("rules"), reader.schema(), pool, rule_options);
+  if (!rules_or.ok()) {
+    std::cerr << "error reading --rules: " << rules_or.status() << "\n";
+    return 1;
+  }
+  const RuleSet rules = std::move(rules_or).value();
+  load.reset();
+
+  const CompiledRuleIndex index(&rules);
+  StreamingRepairOptions options;
+  options.chunk_rows = args.GetSizeT("chunk-rows", size_t{64} * 1024);
+  if (options.chunk_rows == 0) {
+    std::cerr << "--chunk-rows must be positive\n";
+    return 2;
+  }
+  options.threads =
+      args.Has("threads") ? args.GetSizeT("threads", 0) : 1;
+  options.use_memo = !args.Has("no-memo");
+  options.on_error = policy;
+  options.quarantine = quarantining ? &tuple_sink : nullptr;
+  options.max_chase_steps = args.GetSizeT("max-chase-steps", 0);
+
+  Timer timer;
+  StreamingRepairResult result;
+  {
+    FIXREP_TRACE_SPAN("cli.stream");
+    std::ofstream out(args.Require("out"));
+    if (!out.good()) {
+      std::cerr << "error writing --out: cannot open " << args.Get("out")
+                << "\n";
+      return 1;
+    }
+    StreamingRepairSession session(&index, options);
+    StatusOr<StreamingRepairResult> result_or = session.Run(&reader, out);
+    if (!result_or.ok()) {
+      std::cerr << "error repairing --in: " << result_or.status() << "\n";
+      return 1;
+    }
+    result = result_or.value();
+    out.flush();
+    if (!out.good()) {
+      std::cerr << "write failed for --out path '" << args.Get("out")
+                << "'\n";
+      return 1;
+    }
+  }
+  if (args.Has("quarantine-out")) {
+    const int rc = WriteQuarantineFile(args.Require("quarantine-out"),
+                                       row_sink, rule_sink, tuple_sink);
+    if (rc != 0) return rc;
+  }
+
+  std::cout << "repaired " << result.rows_emitted << " rows ("
+            << result.cells_changed << " cells changed, "
+            << result.chunks << " chunks) in "
+            << FormatDouble(timer.ElapsedMillis(), 1) << " ms -> "
+            << args.Get("out") << "\n";
+  if (policy != OnErrorPolicy::kAbort) {
+    const auto* rows_counter =
+        MetricsRegistry::Global().FindCounter("fixrep.quarantine.rows");
+    const auto* rules_counter =
+        MetricsRegistry::Global().FindCounter("fixrep.quarantine.rules");
+    std::cout << "on-error=" << OnErrorPolicyName(policy) << ": dropped "
+              << (rows_counter == nullptr ? 0 : rows_counter->Value())
+              << " malformed rows, "
+              << (rules_counter == nullptr ? 0 : rules_counter->Value())
+              << " malformed rule blocks, quarantined "
+              << result.tuples_quarantined << " tuples";
+    if (args.Has("quarantine-out")) {
+      std::cout << " -> " << args.Get("quarantine-out");
+    }
+    std::cout << "\n";
+  }
+  return 0;
+}
+
 // The fault-tolerant repair pipeline: malformed CSV rows and rule blocks
 // are dropped (skip) or captured with their raw text (quarantine), each
 // failing tuple is isolated with its original values preserved, and the
@@ -306,7 +457,7 @@ int RepairLenient(const Args& args, OnErrorPolicy policy) {
     for (size_t r = 0; r < table.num_rows(); ++r) {
       size_t changed = 0;
       const Status status =
-          repairer.TryRepairTuple(&table.mutable_row(r), &changed);
+          repairer.TryRepairTuple(table.WriteRow(r), &changed);
       if (status.ok()) {
         cells_changed += changed;
         continue;
@@ -345,28 +496,9 @@ int RepairLenient(const Args& args, OnErrorPolicy policy) {
     }
   }
   if (args.Has("quarantine-out")) {
-    const std::string path = args.Require("quarantine-out");
-    std::ofstream out(path);
-    if (!out.good()) {
-      std::cerr << "cannot open --quarantine-out path '" << path << "'\n";
-      return 1;
-    }
-    WriteQuarantineHeader(out);
-    for (const auto& d : row_sink.diagnostics()) {
-      WriteQuarantineRecord(out, "csv", d);
-    }
-    for (const auto& d : rule_sink.diagnostics()) {
-      WriteQuarantineRecord(out, "rules", d);
-    }
-    for (const auto& d : tuple_sink.diagnostics()) {
-      WriteQuarantineRecord(out, "repair", d);
-    }
-    out.flush();
-    if (!out.good()) {
-      std::cerr << "write failed for --quarantine-out path '" << path
-                << "'\n";
-      return 1;
-    }
+    const int rc = WriteQuarantineFile(args.Require("quarantine-out"),
+                                       row_sink, rule_sink, tuple_sink);
+    if (rc != 0) return rc;
   }
 
   const auto* rows_counter =
@@ -399,6 +531,7 @@ int Repair(const Args& args) {
               << "' (want abort|skip|quarantine)\n";
     return 2;
   }
+  if (args.Has("stream")) return RepairStream(args, *policy);
   if (*policy != OnErrorPolicy::kAbort) {
     if (args.Has("log")) {
       std::cerr << "--log (provenance) requires --on-error=abort\n";

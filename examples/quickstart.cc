@@ -60,7 +60,7 @@ int main() {
   PrintTable("\n== After lRepair ==", by_lrepair);
   std::cout << "  cells changed: " << lrepair.stats().cells_changed
             << " (cRepair agrees: "
-            << (by_crepair.rows() == by_lrepair.rows() ? "yes" : "NO")
+            << (by_crepair.RowsEqual(by_lrepair) ? "yes" : "NO")
             << ")\n";
 
   bool matches_clean = true;

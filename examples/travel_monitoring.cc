@@ -31,8 +31,8 @@ int main() {
   size_t accepted_clean = 0;
   size_t repaired = 0;
   for (size_t r = 0; r < stream.num_rows(); ++r) {
-    const fixrep::Tuple before = stream.row(r);
-    const size_t changes = repairer.RepairTuple(&stream.mutable_row(r));
+    const fixrep::Tuple before = stream.row(r).ToTuple();
+    const size_t changes = repairer.RepairTuple(stream.WriteRow(r));
     if (changes == 0) {
       ++accepted_clean;
       std::cout << "accept  " << stream.FormatRow(r) << "\n";

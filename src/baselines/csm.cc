@@ -29,7 +29,7 @@ BaselineResult CsmRepairer::Repair(Table* table) const {
   auto set_fresh = [&](size_t row, AttrId attr) {
     const ValueId fresh = table->pool().Intern(
         "__csm_fresh_" + std::to_string(fresh_counter++));
-    table->set_cell(row, attr, fresh);
+    table->WriteCell(row, attr, fresh);
   };
 
   for (size_t round = 0; round < options_.max_rounds; ++round) {
@@ -51,7 +51,7 @@ BaselineResult CsmRepairer::Repair(Table* table) const {
           if (table->cell(row, rhs) == witness_value) continue;
           const bool rhs_frozen = frozen.count(cell_id(row, rhs)) > 0;
           if (!rhs_frozen && !rng.Bernoulli(options_.lhs_change_probability)) {
-            table->set_cell(row, rhs, witness_value);
+            table->WriteCell(row, rhs, witness_value);
             frozen.insert(cell_id(row, rhs));
           } else {
             // Detach the tuple from the group via one LHS cell. Prefer

@@ -11,8 +11,8 @@ AutoEditRepairer::AutoEditRepairer(const RuleSet* rules) : rules_(rules) {
   stats_.Reset(rules_->size());
 }
 
-size_t AutoEditRepairer::RepairTuple(Tuple* t) {
-  FIXREP_CHECK_EQ(t->size(), rules_->schema().arity());
+size_t AutoEditRepairer::RepairTuple(TupleSpan t) {
+  FIXREP_CHECK_EQ(t.size(), rules_->schema().arity());
   ++stats_.tuples_examined;
   AttrSet assured;
   std::vector<bool> fired(rules_->size(), false);
@@ -24,13 +24,13 @@ size_t AutoEditRepairer::RepairTuple(Tuple* t) {
       if (fired[i]) continue;
       const FixingRule& rule = rules_->rule(i);
       // Evidence match only — negative patterns deliberately ignored.
-      if (assured.Contains(rule.target) || !rule.MatchesEvidence(*t)) {
+      if (assured.Contains(rule.target) || !rule.MatchesEvidence(t)) {
         continue;
       }
       fired[i] = true;
       assured.UnionWith(rule.AssuredSet());
       updated = true;
-      if ((*t)[rule.target] != rule.fact) {
+      if (t[rule.target] != rule.fact) {
         rule.Apply(t);
         ++cells_changed;
         ++stats_.per_rule_applications[i];
@@ -44,7 +44,7 @@ size_t AutoEditRepairer::RepairTuple(Tuple* t) {
 
 void AutoEditRepairer::RepairTable(Table* table) {
   for (size_t r = 0; r < table->num_rows(); ++r) {
-    RepairTuple(&table->mutable_row(r));
+    RepairTuple(table->WriteRow(r));
   }
 }
 

@@ -25,7 +25,7 @@ class AutoEditRepairer {
 
   // Returns the number of cells changed (writes that keep the current
   // value are fired but not counted).
-  size_t RepairTuple(Tuple* t);
+  size_t RepairTuple(TupleSpan t);
 
   void RepairTable(Table* table);
 

@@ -73,7 +73,7 @@ EditingStats MasterEditRepairer::Repair(Table* table,
           master_->cell(it->second, rule.master_update_attr);
       ++stats.rules_fired;
       if (table->cell(r, rule.update_attr) != master_value) {
-        table->set_cell(r, rule.update_attr, master_value);
+        table->WriteCell(r, rule.update_attr, master_value);
         ++stats.cells_changed;
       }
     }

@@ -107,7 +107,7 @@ BaselineResult HeuRepairer::Repair(Table* table) const {
         const size_t root = classes.Find(cell_id(r, rhs));
         const ValueId target = chosen.at(root);
         if (table->cell(r, rhs) != target) {
-          table->set_cell(r, rhs, target);
+          table->WriteCell(r, rhs, target);
           ++changed_this_pass;
         }
       }

@@ -44,7 +44,7 @@ NoiseReport InjectNoise(Table* table,
     if (rng.Bernoulli(options.typo_share)) {
       const std::string typo =
           MakeTypo(table->pool().GetString(current), &rng);
-      table->set_cell(r, attr, table->pool().Intern(typo));
+      table->WriteCell(r, attr, table->pool().Intern(typo));
       ++report.typos;
     } else {
       const auto& domain = domains[static_cast<size_t>(attr)];
@@ -53,7 +53,7 @@ NoiseReport InjectNoise(Table* table,
         // the row still carries an error.
         const std::string typo =
             MakeTypo(table->pool().GetString(current), &rng);
-        table->set_cell(r, attr, table->pool().Intern(typo));
+        table->WriteCell(r, attr, table->pool().Intern(typo));
         ++report.typos;
         continue;
       }
@@ -61,7 +61,7 @@ NoiseReport InjectNoise(Table* table,
       while (replacement == current) {
         replacement = domain[rng.Uniform(domain.size())];
       }
-      table->set_cell(r, attr, replacement);
+      table->WriteCell(r, attr, replacement);
       ++report.active_domain_errors;
     }
   }

@@ -2,6 +2,7 @@
 
 #include <fstream>
 #include <istream>
+#include <limits>
 #include <memory>
 #include <ostream>
 #include <string>
@@ -91,19 +92,22 @@ void WriteField(const std::string& field, std::ostream& out) {
 
 }  // namespace
 
-StatusOr<Table> ReadCsvLenient(std::istream& in,
-                               const std::string& relation_name,
+CsvChunkReader::CsvChunkReader(std::istream* in,
+                               std::shared_ptr<const Schema> schema,
                                std::shared_ptr<ValuePool> pool,
-                               const CsvReadOptions& options) {
-  const bool lenient = options.on_error != OnErrorPolicy::kAbort;
-  // Raw text is only captured when a record can end up quarantined.
-  std::string raw_storage;
-  std::string* raw =
-      options.on_error == OnErrorPolicy::kQuarantine ? &raw_storage : nullptr;
+                               const CsvReadOptions& options)
+    : in_(in),
+      schema_(std::move(schema)),
+      pool_(std::move(pool)),
+      options_(options) {}
+
+StatusOr<CsvChunkReader> CsvChunkReader::Open(std::istream& in,
+                                              const std::string& relation_name,
+                                              std::shared_ptr<ValuePool> pool,
+                                              const CsvReadOptions& options) {
   std::vector<std::string> fields;
   bool unterminated = false;
-
-  if (!ReadRecord(in, &fields, raw, &unterminated)) {
+  if (!ReadRecord(in, &fields, /*raw=*/nullptr, &unterminated)) {
     return Status::MalformedInput("empty CSV input");
   }
   if (unterminated) {
@@ -114,72 +118,139 @@ StatusOr<Table> ReadCsvLenient(std::istream& in,
     std::unordered_set<std::string> seen;
     for (const std::string& name : fields) {
       if (!seen.insert(name).second) {
-        return Status::MalformedInput("duplicate CSV header column '" +
-                                      name + "'");
+        return Status::MalformedInput("duplicate CSV header column '" + name +
+                                      "'");
       }
     }
   }
   auto schema = std::make_shared<Schema>(relation_name, fields);
-  Table table(std::move(schema), std::move(pool));
+  return CsvChunkReader(&in, std::move(schema), std::move(pool), options);
+}
+
+StatusOr<size_t> CsvChunkReader::ReadChunk(Table* chunk, size_t max_rows) {
+  FIXREP_CHECK(chunk != nullptr);
+  FIXREP_CHECK_EQ(chunk->num_columns(), schema_->arity());
+  const bool lenient = options_.on_error != OnErrorPolicy::kAbort;
+  // Raw text is only captured when a record can end up quarantined.
+  std::string* raw =
+      options_.on_error == OnErrorPolicy::kQuarantine ? &raw_ : nullptr;
   Counter* quarantined_rows =
       MetricsRegistry::Global().GetCounter("fixrep.quarantine.rows");
 
-  size_t record = 0;  // 0-based data-record ordinal (header excluded)
-  while (ReadRecord(in, &fields, raw, &unterminated)) {
+  size_t appended = 0;
+  bool unterminated = false;
+  while (appended < max_rows) {
+    if (!ReadRecord(*in_, &fields_, raw, &unterminated)) {
+      at_end_ = true;
+      break;
+    }
     Status problem = Status::Ok();
     if (unterminated) {
       problem = Status::MalformedInput("unterminated quoted field at EOF");
-    } else if (fields.size() != table.schema().arity()) {
+    } else if (fields_.size() != schema_->arity()) {
       problem = Status::MalformedInput(
-          "CSV record arity mismatch at row " + std::to_string(record) +
-          " (got " + std::to_string(fields.size()) + ", want " +
-          std::to_string(table.schema().arity()) + ")");
+          "CSV record arity mismatch at row " + std::to_string(record_) +
+          " (got " + std::to_string(fields_.size()) + ", want " +
+          std::to_string(schema_->arity()) + ")");
     } else if (FIXREP_FAULT("csv.append_row")) {
       problem = Status::Internal("injected failure appending row " +
-                                 std::to_string(record));
+                                 std::to_string(record_));
     }
     if (!problem.ok()) {
       if (!lenient) return problem;
       quarantined_rows->Add(1);
-      if (options.on_error == OnErrorPolicy::kQuarantine &&
-          options.quarantine != nullptr) {
-        options.quarantine->Add(Diagnostic{record, problem.code(),
-                                           problem.message(), raw_storage});
+      if (options_.on_error == OnErrorPolicy::kQuarantine &&
+          options_.quarantine != nullptr) {
+        options_.quarantine->Add(
+            Diagnostic{record_, problem.code(), problem.message(), raw_});
       }
-      ++record;
+      ++record_;
       continue;
     }
-    table.AppendRowStrings(fields);
-    ++record;
+    chunk->AppendRowStrings(fields_);
+    ++record_;
+    ++appended;
   }
+  return appended;
+}
+
+namespace {
+
+// Shared by the stream and file entry points; `expected_rows` pre-sizes
+// the row store when the caller can estimate it (0 = unknown).
+StatusOr<Table> ReadCsvLenientImpl(std::istream& in,
+                                   const std::string& relation_name,
+                                   std::shared_ptr<ValuePool> pool,
+                                   const CsvReadOptions& options,
+                                   size_t expected_rows) {
+  StatusOr<CsvChunkReader> reader =
+      CsvChunkReader::Open(in, relation_name, std::move(pool), options);
+  if (!reader.ok()) return reader.status();
+  Table table = reader.value().MakeChunkTable();
+  if (expected_rows > 0) table.Reserve(expected_rows);
+  StatusOr<size_t> appended = reader.value().ReadChunk(
+      &table, std::numeric_limits<size_t>::max());
+  if (!appended.ok()) return appended.status();
   return table;
+}
+
+}  // namespace
+
+StatusOr<Table> ReadCsvLenient(std::istream& in,
+                               const std::string& relation_name,
+                               std::shared_ptr<ValuePool> pool,
+                               const CsvReadOptions& options) {
+  return ReadCsvLenientImpl(in, relation_name, std::move(pool), options,
+                            /*expected_rows=*/0);
 }
 
 StatusOr<Table> ReadCsvFileLenient(const std::string& path,
                                    const std::string& relation_name,
                                    std::shared_ptr<ValuePool> pool,
                                    const CsvReadOptions& options) {
-  std::ifstream in(path);
+  std::ifstream in(path, std::ios::binary | std::ios::ate);
   if (FIXREP_FAULT("csv.open_read") || !in.good()) {
     return Status::IoError("cannot open " + path);
   }
-  return ReadCsvLenient(in, relation_name, std::move(pool), options);
+  const std::streamoff file_bytes = in.tellg();
+  in.seekg(0);
+  // Pre-size from the file size so bulk ingestion avoids rehashes and
+  // row-store regrowth. Both are deliberately low-ball estimates (CSV
+  // rows are rarely under 32 bytes; distinct values are a fraction of
+  // total bytes): under-reserving costs one late grow, over-reserving
+  // costs resident memory.
+  size_t expected_rows = 0;
+  if (file_bytes > 0) {
+    const size_t bytes = static_cast<size_t>(file_bytes);
+    expected_rows = bytes / 32;
+    pool->Reserve(bytes / 16);
+  }
+  return ReadCsvLenientImpl(in, relation_name, std::move(pool), options,
+                            expected_rows);
 }
 
-void WriteCsv(const Table& table, std::ostream& out) {
-  const Schema& schema = table.schema();
+void WriteCsvHeader(const Schema& schema, std::ostream& out) {
   for (size_t a = 0; a < schema.arity(); ++a) {
     if (a > 0) out << ',';
     WriteField(schema.attribute_name(static_cast<AttrId>(a)), out);
   }
   out << '\n';
-  for (size_t r = 0; r < table.num_rows(); ++r) {
+}
+
+void WriteCsvRows(const Table& table, std::ostream& out, size_t begin_row) {
+  const Schema& schema = table.schema();
+  for (size_t r = begin_row; r < table.num_rows(); ++r) {
     for (size_t a = 0; a < schema.arity(); ++a) {
       if (a > 0) out << ',';
       WriteField(table.CellString(r, static_cast<AttrId>(a)), out);
     }
     out << '\n';
   }
+}
+
+void WriteCsv(const Table& table, std::ostream& out) {
+  WriteCsvHeader(table.schema(), out);
+  WriteCsvRows(table, out);
 }
 
 Status TryWriteCsvFile(const Table& table, const std::string& path) {

@@ -4,6 +4,7 @@
 #include <iosfwd>
 #include <memory>
 #include <string>
+#include <vector>
 
 #include "common/quarantine.h"
 #include "common/status.h"
@@ -24,6 +25,11 @@ namespace fixrep {
 //    quote, duplicate column names) are always fatal: without a schema
 //    there is nothing to salvage. Unquoted whitespace is preserved
 //    verbatim either way.
+//
+// For out-of-core ingestion, CsvChunkReader parses the same format
+// incrementally: open once (header -> schema), then pull fixed-size row
+// chunks — the input side of the streaming repair pipeline
+// (repair/streaming.h, docs/storage.md).
 
 struct CsvReadOptions {
   OnErrorPolicy on_error = OnErrorPolicy::kAbort;
@@ -34,6 +40,55 @@ struct CsvReadOptions {
   QuarantineSink* quarantine = nullptr;
 };
 
+// Incremental CSV reader: parses the header eagerly at Open, then hands
+// out data records in chunks of at most `max_rows`, applying the same
+// lenient error policy as ReadCsvLenient. Record ordinals (and thus
+// quarantine Diagnostic::line values) are global across chunks, so a
+// chunked read of a file is indistinguishable from a whole-file read.
+// The stream must outlive the reader.
+class CsvChunkReader {
+ public:
+  // Reads and validates the header. Header problems are fatal (same
+  // policy as ReadCsvLenient).
+  static StatusOr<CsvChunkReader> Open(std::istream& in,
+                                       const std::string& relation_name,
+                                       std::shared_ptr<ValuePool> pool,
+                                       const CsvReadOptions& options = {});
+
+  const std::shared_ptr<const Schema>& schema() const { return schema_; }
+  const std::shared_ptr<ValuePool>& pool() const { return pool_; }
+
+  // An empty table bound to the reader's schema and pool, for use as the
+  // chunk buffer (Clear() it between chunks to reuse the allocation).
+  Table MakeChunkTable() const { return Table(schema_, pool_); }
+
+  // Appends up to `max_rows` data records to *chunk (which must use the
+  // reader's schema). Returns the number appended — 0 exactly at end of
+  // input. Malformed records follow the open options: kAbort returns
+  // their error, kSkip/kQuarantine drop them (they count toward the
+  // record ordinal but not toward the returned row count).
+  StatusOr<size_t> ReadChunk(Table* chunk, size_t max_rows);
+
+  bool at_end() const { return at_end_; }
+  // Data records consumed so far, including dropped ones.
+  size_t records_read() const { return record_; }
+
+ private:
+  CsvChunkReader(std::istream* in, std::shared_ptr<const Schema> schema,
+                 std::shared_ptr<ValuePool> pool,
+                 const CsvReadOptions& options);
+
+  std::istream* in_;
+  std::shared_ptr<const Schema> schema_;
+  std::shared_ptr<ValuePool> pool_;
+  CsvReadOptions options_;
+  size_t record_ = 0;
+  bool at_end_ = false;
+  // Per-record scratch, reused across the whole read.
+  std::vector<std::string> fields_;
+  std::string raw_;
+};
+
 // Reads a table from a stream. `relation_name` names the schema. Every
 // dropped record ticks fixrep.quarantine.rows (kSkip and kQuarantine).
 StatusOr<Table> ReadCsvLenient(std::istream& in,
@@ -41,7 +96,8 @@ StatusOr<Table> ReadCsvLenient(std::istream& in,
                                std::shared_ptr<ValuePool> pool,
                                const CsvReadOptions& options = {});
 
-// Reads a table from a file path.
+// Reads a table from a file path. Pre-sizes the value pool and row store
+// from the file size so bulk ingestion avoids rehash/reallocation.
 StatusOr<Table> ReadCsvFileLenient(const std::string& path,
                                    const std::string& relation_name,
                                    std::shared_ptr<ValuePool> pool,
@@ -49,6 +105,13 @@ StatusOr<Table> ReadCsvFileLenient(const std::string& path,
 
 // Writes header + rows; fields containing comma/quote/newline are quoted.
 void WriteCsv(const Table& table, std::ostream& out);
+
+// Streaming-friendly pieces of WriteCsv: the header line alone, and a
+// row range [begin_row, table.num_rows()) with no header. WriteCsv ==
+// WriteCsvHeader + WriteCsvRows, byte for byte.
+void WriteCsvHeader(const Schema& schema, std::ostream& out);
+void WriteCsvRows(const Table& table, std::ostream& out,
+                  size_t begin_row = 0);
 
 // Writes, flushes, and verifies the stream so short writes (disk full,
 // revoked mount) surface as kIoError instead of silently truncating.

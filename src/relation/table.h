@@ -6,17 +6,24 @@
 #include <string_view>
 #include <vector>
 
+#include "relation/row_store.h"
 #include "relation/schema.h"
+#include "relation/tuple_ref.h"
 #include "relation/value_pool.h"
 
 namespace fixrep {
 
-// One tuple: a dense row of interned values, indexed by AttrId.
-using Tuple = std::vector<ValueId>;
-
-// A relation instance: a schema plus a row store of interned tuples.
-// Tables share a ValuePool so that values from different tables (dirty
-// data, ground truth, master data) and from rules compare by id.
+// A relation instance: a schema plus a flat row store of interned cells
+// (relation/row_store.h — one contiguous arity-strided ValueId array, not
+// a vector-of-vectors). Tables share a ValuePool so that values from
+// different tables (dirty data, ground truth, master data) and from rules
+// compare by id.
+//
+// Rows are exposed as zero-copy views: row(i) returns a read-only
+// TupleRef, WriteRow(i) a mutable TupleSpan. Views borrow the store —
+// valid until the next append (see tuple_ref.h); cell writes never
+// invalidate them. There is deliberately no accessor that hands out an
+// owning Tuple; call row(i).ToTuple() when a copy is wanted.
 class Table {
  public:
   Table(std::shared_ptr<const Schema> schema, std::shared_ptr<ValuePool> pool);
@@ -32,28 +39,42 @@ class Table {
   const ValuePool& pool() const { return *pool_; }
   const std::shared_ptr<ValuePool>& pool_ptr() const { return pool_; }
 
-  size_t num_rows() const { return rows_.size(); }
-  size_t num_columns() const { return schema_->arity(); }
+  size_t num_rows() const { return store_.num_rows(); }
+  size_t num_columns() const { return store_.arity(); }
 
-  const Tuple& row(size_t i) const { return rows_[i]; }
-  Tuple& mutable_row(size_t i) { return rows_[i]; }
-  const std::vector<Tuple>& rows() const { return rows_; }
+  // Zero-copy row views over the flat store.
+  TupleRef row(size_t i) const { return store_.row(i); }
+  TupleSpan WriteRow(size_t i) { return store_.WriteRow(i); }
 
-  // Appends a tuple. The tuple's arity must match the schema.
-  void AppendRow(Tuple row);
+  // Appends a copy of `row`. The row's arity must match the schema.
+  void AppendRow(TupleRef row);
+  // Overload so brace-initialized tuples keep working:
+  // table.AppendRow({a, b, c}).
+  void AppendRow(const Tuple& row) { AppendRow(TupleRef(row)); }
 
   // Interns each field and appends the resulting tuple.
   void AppendRowStrings(const std::vector<std::string>& fields);
 
   // Cell accessors by interned id and by string.
-  ValueId cell(size_t row, AttrId attr) const { return rows_[row][attr]; }
-  void set_cell(size_t row, AttrId attr, ValueId value) {
-    rows_[row][attr] = value;
+  ValueId cell(size_t row, AttrId attr) const {
+    return store_.cell(row, static_cast<size_t>(attr));
   }
-  // Returns the string form of a cell; "" for a null cell.
+  void WriteCell(size_t row, AttrId attr, ValueId value) {
+    store_.WriteCell(row, static_cast<size_t>(attr), value);
+  }
+  // Returns the string form of a cell. A kNullValue cell yields a
+  // reference to one static empty string whose lifetime is the process —
+  // callers may hold it indefinitely.
   const std::string& CellString(size_t row, AttrId attr) const;
 
-  void Reserve(size_t rows) { rows_.reserve(rows); }
+  // Pre-sizes the store for `rows` rows (block-aligned).
+  void Reserve(size_t rows) { store_.Reserve(rows); }
+  // Drops all rows, keeping the allocation (streaming chunk reuse).
+  void Clear() { store_.Clear(); }
+
+  // True when both tables hold identical cells in identical order
+  // (schema/pool identity is not compared).
+  bool RowsEqual(const Table& other) const;
 
   // Renders a tuple as "(v1, v2, ...)" for diagnostics.
   std::string FormatRow(size_t row) const;
@@ -61,7 +82,7 @@ class Table {
  private:
   std::shared_ptr<const Schema> schema_;
   std::shared_ptr<ValuePool> pool_;
-  std::vector<Tuple> rows_;
+  RowStore store_;
 };
 
 }  // namespace fixrep

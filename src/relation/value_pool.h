@@ -1,6 +1,7 @@
 #ifndef FIXREP_RELATION_VALUE_POOL_H_
 #define FIXREP_RELATION_VALUE_POOL_H_
 
+#include <atomic>
 #include <cstdint>
 #include <deque>
 #include <string>
@@ -21,7 +22,9 @@ inline constexpr ValueId kNullValue = -1;
 // truth, and the rules repairing it).
 //
 // Not thread-safe for concurrent interning; concurrent read-only lookups
-// (GetString / Find) are safe once interning has stopped.
+// (GetString / Find) are safe once interning has stopped. Debug builds
+// enforce the single-writer rule: two Intern calls overlapping in time
+// trip a CHECK (release builds compile the guard out).
 class ValuePool {
  public:
   ValuePool() = default;
@@ -31,6 +34,11 @@ class ValuePool {
 
   // Returns the id for `s`, interning it if new.
   ValueId Intern(std::string_view s);
+
+  // Pre-sizes the intern hash for `expected_values` distinct values so
+  // bulk ingestion never rehashes. Callers estimate: CSV ingestion uses
+  // a file-size heuristic (csv.cc).
+  void Reserve(size_t expected_values);
 
   // Returns the id for `s` or kNullValue if it has never been interned.
   ValueId Find(std::string_view s) const;
@@ -46,6 +54,11 @@ class ValuePool {
   // the stored strings without re-allocation invalidating them.
   std::deque<std::string> strings_;
   std::unordered_map<std::string_view, ValueId> index_;
+#ifndef NDEBUG
+  // Debug-only concurrent-interning detector (see class comment). Not a
+  // lock: it aborts on overlap instead of serializing it.
+  mutable std::atomic<bool> interning_{false};
+#endif
 };
 
 }  // namespace fixrep

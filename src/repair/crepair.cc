@@ -15,20 +15,20 @@ ChaseRepairer::ChaseRepairer(const RuleSet* rules) : rules_(rules) {
   published_.Reset(rules_->size());
 }
 
-size_t ChaseRepairer::RepairTuple(Tuple* t) {
-  FIXREP_CHECK_EQ(t->size(), rules_->schema().arity());
+size_t ChaseRepairer::RepairTuple(TupleSpan t) {
+  FIXREP_CHECK_EQ(t.size(), rules_->schema().arity());
   size_t cells_changed = 0;
   const Status status = ChaseWithBudget(t, /*max_steps=*/0, &cells_changed);
   FIXREP_CHECK(status.ok()) << status.message();
   return cells_changed;
 }
 
-Status ChaseRepairer::TryRepairTuple(Tuple* t, size_t* cells_changed) {
+Status ChaseRepairer::TryRepairTuple(TupleSpan t, size_t* cells_changed) {
   *cells_changed = 0;
-  if (t->size() != rules_->schema().arity()) {
+  if (t.size() != rules_->schema().arity()) {
     ++stats_.tuples_examined;  // every attempt counts, even a failed one
     return Status::MalformedInput(
-        "tuple arity " + std::to_string(t->size()) +
+        "tuple arity " + std::to_string(t.size()) +
         " does not match schema arity " +
         std::to_string(rules_->schema().arity()));
   }
@@ -39,7 +39,7 @@ Status ChaseRepairer::TryRepairTuple(Tuple* t, size_t* cells_changed) {
   return ChaseWithBudget(t, max_chase_steps_, cells_changed);
 }
 
-Status ChaseRepairer::ChaseWithBudget(Tuple* t, size_t max_steps,
+Status ChaseRepairer::ChaseWithBudget(TupleSpan t, size_t max_steps,
                                       size_t* cells_changed_out) {
   ++stats_.tuples_examined;
   AttrSet assured;
@@ -50,7 +50,7 @@ Status ChaseRepairer::ChaseWithBudget(Tuple* t, size_t max_steps,
   // both the tuple and the outcome stats untouched.
   Tuple original;
   std::vector<uint32_t> applied_order;
-  if (max_steps > 0) original = *t;
+  if (max_steps > 0) original = t.ToTuple();
   size_t steps = 0;
   size_t cells_changed = 0;
   bool updated = true;
@@ -60,7 +60,7 @@ Status ChaseRepairer::ChaseWithBudget(Tuple* t, size_t max_steps,
     for (size_t i = 0; i < rules_->size(); ++i) {
       if (applied[i]) continue;
       if (max_steps > 0 && ++steps > max_steps) {
-        *t = original;
+        t.CopyFrom(original);
         for (const uint32_t rule_index : applied_order) {
           --stats_.rule_applications;
           --stats_.per_rule_applications[rule_index];
@@ -70,7 +70,7 @@ Status ChaseRepairer::ChaseWithBudget(Tuple* t, size_t max_steps,
             " rule examinations");
       }
       const FixingRule& rule = rules_->rule(i);
-      if (assured.Contains(rule.target) || !rule.Matches(*t)) continue;
+      if (assured.Contains(rule.target) || !rule.Matches(t)) continue;
       rule.Apply(t);
       assured.UnionWith(rule.AssuredSet());
       applied[i] = true;
@@ -90,7 +90,7 @@ Status ChaseRepairer::ChaseWithBudget(Tuple* t, size_t max_steps,
 void ChaseRepairer::RepairTable(Table* table) {
   FIXREP_TRACE_SPAN("crepair.chase");
   for (size_t r = 0; r < table->num_rows(); ++r) {
-    RepairTuple(&table->mutable_row(r));
+    RepairTuple(table->WriteRow(r));
   }
   FlushMetrics();
 }

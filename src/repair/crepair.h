@@ -20,9 +20,10 @@ class ChaseRepairer {
  public:
   explicit ChaseRepairer(const RuleSet* rules);
 
-  // Chases one tuple to its fix in place. Returns the number of cells
-  // changed.
-  size_t RepairTuple(Tuple* t);
+  // Chases one tuple to its fix in place through the view. Returns the
+  // number of cells changed. Accepts a Table::WriteRow span or
+  // (implicitly) an owning Tuple.
+  size_t RepairTuple(TupleSpan t);
 
   // Per-tuple failure-isolating variant: reports a wrong-arity tuple as
   // kMalformedInput and a chase exceeding the step budget (see
@@ -30,7 +31,7 @@ class ChaseRepairer {
   // spinning. On any error the tuple is restored to its original values
   // and no changes are recorded (tuples_examined and the chase-internal
   // work counters still record the attempt).
-  Status TryRepairTuple(Tuple* t, size_t* cells_changed);
+  Status TryRepairTuple(TupleSpan t, size_t* cells_changed);
 
   // Caps the number of rule examinations one TryRepairTuple chase may
   // spend before giving up with kBudgetExhausted; 0 (default) means
@@ -55,7 +56,8 @@ class ChaseRepairer {
 
  private:
   // The chase proper; `max_steps` of 0 disables the budget.
-  Status ChaseWithBudget(Tuple* t, size_t max_steps, size_t* cells_changed);
+  Status ChaseWithBudget(TupleSpan t, size_t max_steps,
+                         size_t* cells_changed);
 
   const RuleSet* rules_;
   size_t max_chase_steps_ = 0;

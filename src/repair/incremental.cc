@@ -23,8 +23,8 @@ IncrementalRepairer::IncrementalRepairer(const RuleSet* rules, Table table)
 
 size_t IncrementalRepairer::Insert(Tuple row) {
   FIXREP_CHECK_EQ(row.size(), table_.schema().arity());
-  repairer_.RepairTuple(&row);
-  table_.AppendRow(std::move(row));
+  repairer_.RepairTuple(row);
+  table_.AppendRow(row);
   IncrementalCounter("inserts")->Add(1);
   repairer_.FlushMetrics();
   return table_.num_rows() - 1;
@@ -33,8 +33,8 @@ size_t IncrementalRepairer::Insert(Tuple row) {
 size_t IncrementalRepairer::UpdateCell(size_t row, AttrId attr,
                                        ValueId value) {
   FIXREP_CHECK_LT(row, table_.num_rows());
-  table_.set_cell(row, attr, value);
-  const size_t changed = repairer_.RepairTuple(&table_.mutable_row(row));
+  table_.WriteCell(row, attr, value);
+  const size_t changed = repairer_.RepairTuple(table_.WriteRow(row));
   IncrementalCounter("cell_updates")->Add(1);
   repairer_.FlushMetrics();
   return changed;

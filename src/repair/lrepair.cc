@@ -57,19 +57,19 @@ void FastRepairer::BumpCounter(uint32_t rule_index) {
   }
 }
 
-size_t FastRepairer::RepairTuple(Tuple* t) {
-  FIXREP_CHECK_EQ(t->size(), index_->arity());
+size_t FastRepairer::RepairTuple(TupleSpan t) {
+  FIXREP_CHECK_EQ(t.size(), index_->arity());
   if (memo_ == nullptr) return ChaseTuple(t);
 
-  const uint64_t hash = MemoCache::HashTuple(*t);
-  if (const std::vector<MemoCache::Write>* writes = memo_->Find(hash, *t)) {
+  const uint64_t hash = MemoCache::HashTuple(t);
+  if (const std::vector<MemoCache::Write>* writes = memo_->Find(hash, t)) {
     // Replay: identical tuple, identical fix. The outcome counters
     // (tuples/cells/rule applications) advance exactly as a chase would;
     // the chase-internal ones (counter bumps, Ω traffic) are skipped —
     // that skipped work is the win.
     ++stats_.tuples_examined;
     for (const MemoCache::Write& write : *writes) {
-      (*t)[write.attr] = write.value;
+      t[write.attr] = write.value;
       ++stats_.rule_applications;
       ++stats_.per_rule_applications[write.rule];
     }
@@ -78,19 +78,19 @@ size_t FastRepairer::RepairTuple(Tuple* t) {
     return writes->size();
   }
 
-  Tuple key = *t;  // pre-repair signature; the chase mutates *t
+  Tuple key = t.ToTuple();  // pre-repair signature; the chase mutates t
   writes_scratch_.clear();
   const size_t changed = ChaseTuple(t);
   memo_->Insert(hash, std::move(key), writes_scratch_);
   return changed;
 }
 
-Status FastRepairer::TryRepairTuple(Tuple* t, size_t* cells_changed) {
+Status FastRepairer::TryRepairTuple(TupleSpan t, size_t* cells_changed) {
   *cells_changed = 0;
-  if (t->size() != index_->arity()) {
+  if (t.size() != index_->arity()) {
     ++stats_.tuples_examined;  // every attempt counts, even a failed one
     return Status::MalformedInput(
-        "tuple arity " + std::to_string(t->size()) +
+        "tuple arity " + std::to_string(t.size()) +
         " does not match schema arity " + std::to_string(index_->arity()));
   }
   if (FIXREP_FAULT("repair.tuple")) {
@@ -101,12 +101,12 @@ Status FastRepairer::TryRepairTuple(Tuple* t, size_t* cells_changed) {
     *cells_changed = ChaseTuple(t);
     return Status::Ok();
   }
-  const Tuple original = *t;
+  const Tuple original = t.ToTuple();
   writes_scratch_.clear();
   bool exhausted = false;
   *cells_changed = ChaseTuple(t, max_chase_steps_, &exhausted);
   if (exhausted) {
-    *t = original;
+    t.CopyFrom(original);
     *cells_changed = 0;
     return Status::BudgetExhausted(
         "chase exceeded its budget of " +
@@ -115,7 +115,7 @@ Status FastRepairer::TryRepairTuple(Tuple* t, size_t* cells_changed) {
   return Status::Ok();
 }
 
-size_t FastRepairer::ChaseTuple(Tuple* t, size_t max_steps,
+size_t FastRepairer::ChaseTuple(TupleSpan t, size_t max_steps,
                                 bool* exhausted) {
   ++stats_.tuples_examined;
   ++epoch_;
@@ -135,9 +135,9 @@ size_t FastRepairer::ChaseTuple(Tuple* t, size_t max_steps,
     ++stats_.candidates_enqueued;
     queue_.push_back(rule_index);
   }
-  const auto arity = static_cast<AttrId>(t->size());
+  const auto arity = static_cast<AttrId>(t.size());
   for (AttrId a = 0; a < arity; ++a) {
-    const ValueId v = (*t)[a];
+    const ValueId v = t[a];
     if (v == kNullValue) continue;
     const PostingRange range = index_->Lookup(a, v);
     if (range.empty()) continue;
@@ -169,12 +169,12 @@ size_t FastRepairer::ChaseTuple(Tuple* t, size_t max_steps,
     checked_epoch_[rule_index] = epoch_;  // removed from Ω once and for all
     const AttrId target = index_->target(rule_index);
     if (assured.Contains(target) ||
-        !index_->rules().rule(rule_index).Matches(*t)) {
+        !index_->rules().rule(rule_index).Matches(t)) {
       ++stats_.candidates_rejected;
       continue;
     }
     const ValueId fact = index_->fact(rule_index);
-    (*t)[target] = fact;
+    t[target] = fact;
     assured.UnionWith(index_->assured(rule_index));
     ++cells_changed;
     ++stats_.rule_applications;
@@ -199,7 +199,7 @@ size_t FastRepairer::ChaseTuple(Tuple* t, size_t max_steps,
 void FastRepairer::RepairTable(Table* table) {
   FIXREP_TRACE_SPAN("lrepair.chase");
   for (size_t r = 0; r < table->num_rows(); ++r) {
-    RepairTuple(&table->mutable_row(r));
+    RepairTuple(table->WriteRow(r));
   }
   FlushMetrics();
 }

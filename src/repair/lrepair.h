@@ -54,8 +54,10 @@ class FastRepairer {
   void set_memo(MemoCache* memo) { memo_ = memo; }
   MemoCache* memo() const { return memo_; }
 
-  // Repairs one tuple in place; returns the number of cells changed.
-  size_t RepairTuple(Tuple* t);
+  // Repairs one tuple in place through the view; returns the number of
+  // cells changed. Accepts a Table::WriteRow span or (implicitly) an
+  // owning Tuple.
+  size_t RepairTuple(TupleSpan t);
 
   // Per-tuple failure-isolating variant: reports a wrong-arity tuple as
   // kMalformedInput, an injected worker fault as kInternal, and a chase
@@ -65,7 +67,7 @@ class FastRepairer {
   // counters still record the attempt). This path never consults the
   // memo cache — isolation over memoization; the repaired output is
   // bit-identical to RepairTuple's on tuples that succeed.
-  Status TryRepairTuple(Tuple* t, size_t* cells_changed);
+  Status TryRepairTuple(TupleSpan t, size_t* cells_changed);
 
   // Caps the number of Ω pops one TryRepairTuple chase may spend before
   // giving up with kBudgetExhausted; 0 (default) means unlimited. Each
@@ -103,7 +105,7 @@ class FastRepairer {
   // bounds Ω pops; on exhaustion sets *exhausted, rolls the
   // rule-application stats back, and returns 0 (the caller restores the
   // tuple itself).
-  size_t ChaseTuple(Tuple* t, size_t max_steps = 0,
+  size_t ChaseTuple(TupleSpan t, size_t max_steps = 0,
                     bool* exhausted = nullptr);
 
   std::unique_ptr<const CompiledRuleIndex> owned_index_;

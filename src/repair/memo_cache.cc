@@ -15,7 +15,7 @@ MemoCache::MemoCache(size_t capacity) {
   mask_ = rounded - 1;
 }
 
-uint64_t MemoCache::HashTuple(const Tuple& t) {
+uint64_t MemoCache::HashTuple(TupleRef t) {
   // FNV-1a over the cells, then a SplitMix64 finalizer so the low bits
   // used for slot selection see every cell.
   uint64_t h = 0xcbf29ce484222325ULL;
@@ -30,7 +30,7 @@ uint64_t MemoCache::HashTuple(const Tuple& t) {
 }
 
 const std::vector<MemoCache::Write>* MemoCache::Find(uint64_t hash,
-                                                     const Tuple& t) {
+                                                     TupleRef t) {
   Entry& entry = slots_[hash & mask_];
   if (entry.used && entry.hash == hash && entry.key == t) {
     ++stats_.hits;

@@ -53,11 +53,11 @@ class MemoCache {
   explicit MemoCache(size_t capacity = kDefaultCapacity);
 
   // 64-bit signature of the full tuple (every cell participates).
-  static uint64_t HashTuple(const Tuple& t);
+  static uint64_t HashTuple(TupleRef t);
 
   // The cached write set for `t`, or nullptr on miss. `hash` must be
   // HashTuple(t). Counts a hit or a miss.
-  const std::vector<Write>* Find(uint64_t hash, const Tuple& t);
+  const std::vector<Write>* Find(uint64_t hash, TupleRef t);
 
   // Caches `writes` for the pre-repair tuple `key` (hash must match).
   // Overwrites the slot's previous occupant, counting an eviction.

@@ -65,7 +65,7 @@ RepairStats ParallelRepairTable(const CompiledRuleIndex& index, Table* table,
                    [&](size_t begin, size_t end, size_t slot) {
                      FastRepairer& repairer = *repairers[slot];
                      for (size_t r = begin; r < end; ++r) {
-                       repairer.RepairTuple(&table->mutable_row(r));
+                       repairer.RepairTuple(table->WriteRow(r));
                      }
                    });
 
@@ -130,7 +130,7 @@ LenientRepairResult ParallelRepairTableLenient(
                      for (size_t r = begin; r < end; ++r) {
                        size_t cells_changed = 0;
                        const Status status = repairer.TryRepairTuple(
-                           &table->mutable_row(r), &cells_changed);
+                           table->WriteRow(r), &cells_changed);
                        if (status.ok()) continue;
                        // TryRepairTuple restored the row, so FormatRow
                        // renders the preserved original values.

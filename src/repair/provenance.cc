@@ -36,7 +36,7 @@ RepairLog RepairWithProvenance(const RuleSet& rules, Table* table) {
   // fix is unique, so this matches what FastRepairer writes), recording
   // the before/after of every application.
   for (size_t r = 0; r < table->num_rows(); ++r) {
-    Tuple& tuple = table->mutable_row(r);
+    const TupleSpan tuple = table->WriteRow(r);
     AttrSet assured;
     std::vector<bool> applied(rules.size(), false);
     bool updated = true;
@@ -53,7 +53,7 @@ RepairLog RepairWithProvenance(const RuleSet& rules, Table* table) {
         repair.new_value = rule.fact;
         repair.rule_index = i;
         log.repairs.push_back(repair);
-        rule.Apply(&tuple);
+        rule.Apply(tuple);
         assured.UnionWith(rule.AssuredSet());
         applied[i] = true;
         updated = true;

@@ -1,0 +1,131 @@
+#include "repair/streaming.h"
+
+#include <ostream>
+#include <string>
+#include <utility>
+
+#include "common/log.h"
+#include "common/logging.h"
+#include "common/metrics.h"
+#include "common/trace.h"
+#include "repair/lrepair.h"
+
+namespace fixrep {
+
+StreamingRepairSession::StreamingRepairSession(
+    const CompiledRuleIndex* index, const StreamingRepairOptions& options)
+    : index_(index), options_(options) {
+  FIXREP_CHECK(index_ != nullptr);
+  FIXREP_CHECK_GT(options_.chunk_rows, 0u);
+}
+
+StatusOr<StreamingRepairResult> StreamingRepairSession::Run(
+    CsvChunkReader* reader, std::ostream& out) {
+  FIXREP_CHECK(reader != nullptr);
+  if (reader->schema()->arity() != index_->arity()) {
+    return Status::MalformedInput(
+        "stream arity " + std::to_string(reader->schema()->arity()) +
+        " does not match rule arity " + std::to_string(index_->arity()));
+  }
+  FIXREP_TRACE_SPAN("streaming.run");
+  const bool lenient = options_.on_error != OnErrorPolicy::kAbort;
+  const bool quarantining =
+      options_.on_error == OnErrorPolicy::kQuarantine &&
+      options_.quarantine != nullptr;
+  FIXREP_LOG(Debug) << "streaming repair"
+                    << Kv("chunk_rows", options_.chunk_rows)
+                    << Kv("threads", options_.threads)
+                    << Kv("rules", index_->num_rules());
+
+  // Serial runs carry the repairer (and the memo, in abort mode) across
+  // chunks so chunking is invisible to memoization.
+  const bool serial = options_.threads == 1;
+  FastRepairer serial_repairer(index_);
+  MemoCache serial_memo(options_.memo_capacity);
+  if (serial && !lenient && options_.use_memo) {
+    serial_repairer.set_memo(&serial_memo);
+  }
+  serial_repairer.set_max_chase_steps(options_.max_chase_steps);
+
+  WriteCsvHeader(*reader->schema(), out);
+
+  StreamingRepairResult result;
+  Table chunk = reader->MakeChunkTable();
+  chunk.Reserve(options_.chunk_rows);
+  auto& registry = MetricsRegistry::Global();
+  while (true) {
+    chunk.Clear();
+    StatusOr<size_t> read = reader->ReadChunk(&chunk, options_.chunk_rows);
+    if (!read.ok()) return read.status();
+    if (read.value() == 0 && reader->at_end()) break;
+    ++result.chunks;
+
+    if (serial && !lenient) {
+      for (size_t r = 0; r < chunk.num_rows(); ++r) {
+        result.cells_changed += serial_repairer.RepairTuple(chunk.WriteRow(r));
+      }
+    } else if (serial) {
+      // Serial lenient: isolate each tuple, reporting failures at their
+      // global output-row index so diagnostics match a whole-table run.
+      size_t failed = 0;
+      for (size_t r = 0; r < chunk.num_rows(); ++r) {
+        size_t changed = 0;
+        const Status status =
+            serial_repairer.TryRepairTuple(chunk.WriteRow(r), &changed);
+        if (status.ok()) {
+          result.cells_changed += changed;
+          continue;
+        }
+        ++failed;
+        if (quarantining) {
+          options_.quarantine->Add(
+              Diagnostic{result.rows_emitted + r, status.code(),
+                         status.message(), chunk.FormatRow(r)});
+        }
+      }
+      if (failed > 0) {
+        registry.GetCounter("fixrep.quarantine.tuples")->Add(failed);
+      }
+      result.tuples_quarantined += failed;
+    } else if (!lenient) {
+      ParallelRepairOptions parallel;
+      parallel.threads = options_.threads;
+      parallel.use_memo = options_.use_memo;
+      parallel.memo_capacity = options_.memo_capacity;
+      result.cells_changed +=
+          ParallelRepairTable(*index_, &chunk, parallel).cells_changed;
+    } else {
+      // Parallel lenient: collect per-chunk diagnostics locally, then
+      // rebase their chunk-local rows onto the global output offset.
+      VectorQuarantineSink chunk_sink;
+      LenientRepairOptions lenient_options;
+      lenient_options.parallel.threads = options_.threads;
+      lenient_options.on_error = options_.on_error;
+      lenient_options.quarantine = quarantining ? &chunk_sink : nullptr;
+      lenient_options.max_chase_steps = options_.max_chase_steps;
+      const LenientRepairResult chunk_result =
+          ParallelRepairTableLenient(*index_, &chunk, lenient_options);
+      result.cells_changed += chunk_result.stats.cells_changed;
+      result.tuples_quarantined += chunk_result.tuples_quarantined;
+      for (const Diagnostic& d : chunk_sink.diagnostics()) {
+        options_.quarantine->Add(Diagnostic{
+            result.rows_emitted + d.line, d.code, d.message, d.raw_text});
+      }
+    }
+
+    WriteCsvRows(chunk, out);
+    result.rows_emitted += chunk.num_rows();
+  }
+
+  if (serial) serial_repairer.FlushMetrics();
+  registry.GetCounter("fixrep.streaming.chunks")->Add(result.chunks);
+  registry.GetCounter("fixrep.streaming.rows")->Add(result.rows_emitted);
+  FIXREP_LOG(Debug) << "streaming repair done"
+                    << Kv("rows", result.rows_emitted)
+                    << Kv("chunks", result.chunks)
+                    << Kv("cells_changed", result.cells_changed)
+                    << Kv("quarantined", result.tuples_quarantined);
+  return result;
+}
+
+}  // namespace fixrep

@@ -1,0 +1,83 @@
+#ifndef FIXREP_REPAIR_STREAMING_H_
+#define FIXREP_REPAIR_STREAMING_H_
+
+#include <cstddef>
+#include <iosfwd>
+
+#include "common/quarantine.h"
+#include "common/status.h"
+#include "relation/csv.h"
+#include "repair/memo_cache.h"
+#include "repair/parallel.h"
+#include "repair/rule_index.h"
+
+namespace fixrep {
+
+// Chunked streaming repair: CSV in, repaired CSV out, with peak memory
+// proportional to one chunk instead of the whole relation.
+//
+// The pipeline (docs/storage.md) is
+//
+//   CsvChunkReader --chunk--> repair in place --rows--> std::ostream
+//
+// One chunk Table (its flat RowStore reused across chunks via Clear())
+// holds at most `chunk_rows` rows at a time; repaired rows are emitted
+// before the next chunk is read. Because fixing-rule repair is per tuple,
+// chunking cannot change the output: the repaired stream is bit-identical
+// to repairing the whole table in memory and writing it out, for every
+// chunk size, engine width, and error policy (streaming_test).
+//
+// Serial runs keep one FastRepairer — and, in abort mode, one MemoCache —
+// alive across all chunks, so memoization works across chunk boundaries
+// exactly as it does across rows of a whole-table run. Parallel runs
+// repair each chunk with the pooled engine over the shared index.
+struct StreamingRepairOptions {
+  // Rows per chunk; the peak-memory knob. 64K rows * arity * 4 bytes of
+  // cells plus the interned strings.
+  size_t chunk_rows = size_t{64} * 1024;
+  // 1 = serial (the default); 0 or >1 = pooled parallel per chunk with
+  // ParallelRepairOptions::threads semantics.
+  size_t threads = 1;
+  // Tuple-signature memoization (abort mode only; the lenient path never
+  // memoizes, matching ParallelRepairTableLenient).
+  bool use_memo = true;
+  size_t memo_capacity = MemoCache::kDefaultCapacity;
+  // kAbort fails fast on a malformed record; kSkip/kQuarantine drop
+  // failing tuples (restored to their original values) and keep going.
+  OnErrorPolicy on_error = OnErrorPolicy::kAbort;
+  // Receives one Diagnostic per failed *tuple* when on_error is
+  // kQuarantine. Diagnostic::line is the global output-row index (the
+  // same index a whole-table run would report); malformed *CSV records*
+  // flow through the CsvChunkReader's own sink instead.
+  QuarantineSink* quarantine = nullptr;
+  // Per-tuple chase budget in lenient mode (0 = unlimited).
+  size_t max_chase_steps = 0;
+};
+
+struct StreamingRepairResult {
+  size_t rows_emitted = 0;
+  size_t chunks = 0;
+  size_t cells_changed = 0;
+  size_t tuples_quarantined = 0;
+};
+
+class StreamingRepairSession {
+ public:
+  // The index is borrowed and must outlive the session.
+  explicit StreamingRepairSession(const CompiledRuleIndex* index,
+                                  const StreamingRepairOptions& options = {});
+
+  // Drains `reader` chunk by chunk, writing the CSV header and every
+  // repaired row to `out`. Returns the totals, or the first error in
+  // abort mode. The reader's schema must match the index's arity.
+  StatusOr<StreamingRepairResult> Run(CsvChunkReader* reader,
+                                      std::ostream& out);
+
+ private:
+  const CompiledRuleIndex* index_;
+  StreamingRepairOptions options_;
+};
+
+}  // namespace fixrep
+
+#endif  // FIXREP_REPAIR_STREAMING_H_

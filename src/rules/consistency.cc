@@ -208,7 +208,7 @@ void ChaseWithPriority(const std::vector<const FixingRule*>& priority,
       if (applied[i]) continue;
       const FixingRule& rule = *priority[i];
       if (assured.Contains(rule.target) || !rule.Matches(*t)) continue;
-      rule.Apply(t);
+      rule.Apply(*t);
       assured.UnionWith(rule.AssuredSet());
       applied[i] = true;
       progressed = true;

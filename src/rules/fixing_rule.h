@@ -76,7 +76,7 @@ struct FixingRule {
   }
 
   // t[X] = tp[X]?
-  bool MatchesEvidence(const Tuple& t) const {
+  bool MatchesEvidence(TupleRef t) const {
     for (size_t i = 0; i < evidence_attrs.size(); ++i) {
       if (t[evidence_attrs[i]] != evidence_values[i]) return false;
     }
@@ -87,7 +87,7 @@ struct FixingRule {
   bool IsNegative(ValueId v) const;
 
   // t |- phi : full match (evidence and negative pattern).
-  bool Matches(const Tuple& t) const {
+  bool Matches(TupleRef t) const {
     return IsNegative(t[target]) && MatchesEvidence(t);
   }
 
@@ -104,7 +104,7 @@ struct FixingRule {
 
   // Applies the rule unconditionally: t[B] := fact. The caller is
   // responsible for having checked Matches() and the assured set.
-  void Apply(Tuple* t) const { (*t)[target] = fact; }
+  void Apply(TupleSpan t) const { t[target] = fact; }
 
   // Structural validity w.r.t. a schema: attribute ids in range and
   // sorted, target not in X, patterns sorted/deduped/non-empty, fact not

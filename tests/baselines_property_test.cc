@@ -51,7 +51,7 @@ struct NoisyChainTable {
       const size_t row = rng->Uniform(rows);
       const AttrId attr = static_cast<AttrId>(rng->Uniform(4));
       const char prefix = static_cast<char>('a' + attr);
-      table.set_cell(row, attr,
+      table.WriteCell(row, attr,
                      value(prefix, rng->Uniform(entities)));
     }
   }

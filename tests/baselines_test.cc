@@ -194,24 +194,24 @@ TEST(AutoEditTest, FiresOnEvidenceAloneAndBreaksCorrectCells) {
   // r3 is (Peter, China, Tokyo, Tokyo, ICDE): country China is an error.
   // phi_1 as an editing rule sees country=China and forces capital to
   // Beijing even though Tokyo was correct — the Fig. 12(b) failure mode.
-  Tuple r3 = example.dirty.row(2);
-  edit.RepairTuple(&r3);
+  Tuple r3 = example.dirty.row(2).ToTuple();
+  edit.RepairTuple(r3);
   EXPECT_EQ(r3[2], example.pool->Find("Beijing"));
 }
 
 TEST(AutoEditTest, NoChangeWhenFactAlreadyPresent) {
   TravelExample example;
   AutoEditRepairer edit(&example.rules);
-  Tuple r1 = example.dirty.row(0);  // clean China tuple, capital Beijing
-  EXPECT_EQ(edit.RepairTuple(&r1), 0u);
+  Tuple r1 = example.dirty.row(0).ToTuple();  // clean China tuple, capital Beijing
+  EXPECT_EQ(edit.RepairTuple(r1), 0u);
   EXPECT_EQ(r1, example.clean.row(0));
 }
 
 TEST(AutoEditTest, StillFixesTrueErrorsOnRhs) {
   TravelExample example;
   AutoEditRepairer edit(&example.rules);
-  Tuple r4 = example.dirty.row(3);  // Canada/Toronto
-  EXPECT_EQ(edit.RepairTuple(&r4), 1u);
+  Tuple r4 = example.dirty.row(3).ToTuple();  // Canada/Toronto
+  EXPECT_EQ(edit.RepairTuple(r4), 1u);
   EXPECT_EQ(r4, example.clean.row(3));
 }
 

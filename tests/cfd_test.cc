@@ -89,7 +89,7 @@ TEST_F(CfdTest, AllWildcardRowEqualsPlainFd) {
   table_.AppendRowStrings({"b", "China", "Shanghai", "y", "c"});
   const Cfd cfd = Parse("country -> capital :: (_ | _)");
   EXPECT_FALSE(Satisfies(table_, cfd));
-  table_.set_cell(1, 2, pool_->Intern("Beijing"));
+  table_.WriteCell(1, 2, pool_->Intern("Beijing"));
   EXPECT_TRUE(Satisfies(table_, cfd));
 }
 

@@ -67,10 +67,10 @@ TEST_P(ExhaustiveChaseTest, UniqueFixOverTheWholeTupleSpace) {
     ChaseWithPriority(backward, &fix_backward);
     ASSERT_EQ(fix_forward, fix_backward) << "tuple #" << n;
     Tuple by_crepair = t;
-    crepair.RepairTuple(&by_crepair);
+    crepair.RepairTuple(by_crepair);
     ASSERT_EQ(by_crepair, fix_forward) << "tuple #" << n;
     Tuple by_lrepair = t;
-    lrepair.RepairTuple(&by_lrepair);
+    lrepair.RepairTuple(by_lrepair);
     ASSERT_EQ(by_lrepair, fix_forward) << "tuple #" << n;
   }
 }

@@ -288,7 +288,7 @@ TEST_F(ConsistencyTest, ChaseReachesFixpoint) {
   // r2 chased with all four rules ends as the clean r2 (Fig. 8).
   std::vector<const FixingRule*> priority;
   for (const auto& rule : example_.rules.rules()) priority.push_back(&rule);
-  Tuple r2 = example_.dirty.row(1);
+  Tuple r2 = example_.dirty.row(1).ToTuple();
   ChaseWithPriority(priority, &r2);
   EXPECT_EQ(r2, example_.clean.row(1));
 }

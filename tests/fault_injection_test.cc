@@ -246,21 +246,21 @@ TEST_F(FaultInjectionTest, RepairTupleFaultIsolatedAndRecoverable) {
 
   FastRepairer fast(&rules);
   Table table = MakeTable(1);
-  const Tuple original = table.row(0);
+  const Tuple original = table.row(0).ToTuple();
   FaultRegistry::Global().Arm("repair.tuple", plan);
   size_t changed = 1;
-  Status status = fast.TryRepairTuple(&table.mutable_row(0), &changed);
+  Status status = fast.TryRepairTuple(table.WriteRow(0), &changed);
   EXPECT_EQ(status.code(), StatusCode::kInternal);
   EXPECT_EQ(changed, 0u);
   EXPECT_EQ(table.row(0), original);
   // The plan is spent; the retry chases to the fix.
-  ASSERT_TRUE(fast.TryRepairTuple(&table.mutable_row(0), &changed).ok());
+  ASSERT_TRUE(fast.TryRepairTuple(table.WriteRow(0), &changed).ok());
   EXPECT_EQ(table.CellString(0, 1), "Beijing");
 
   ChaseRepairer chase(&rules);
   Table chase_table = MakeTable(1);
   FaultRegistry::Global().Arm("repair.tuple", plan);
-  status = chase.TryRepairTuple(&chase_table.mutable_row(0), &changed);
+  status = chase.TryRepairTuple(chase_table.WriteRow(0), &changed);
   EXPECT_EQ(status.code(), StatusCode::kInternal);
   EXPECT_EQ(chase_table.row(0), original);
 }
@@ -347,7 +347,7 @@ TEST_F(FaultInjectionTest, AllFaultSitesSeen) {
   Table table = MakeTable(1);
   size_t changed = 0;
   ASSERT_TRUE(
-      repairer.TryRepairTuple(&table.mutable_row(0), &changed).ok());
+      repairer.TryRepairTuple(table.WriteRow(0), &changed).ok());
 
   const std::vector<std::string> seen = FaultRegistry::Global().SeenPoints();
   for (const char* point :

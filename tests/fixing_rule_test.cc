@@ -55,9 +55,9 @@ TEST_F(FixingRuleTest, MatchSemanticsExample3) {
 }
 
 TEST_F(FixingRuleTest, ApplyUpdatesOnlyTarget) {
-  Tuple r2 = example_.dirty.row(1);
+  Tuple r2 = example_.dirty.row(1).ToTuple();
   const Tuple before = r2;
-  phi1().Apply(&r2);
+  phi1().Apply(r2);
   EXPECT_EQ(r2[2], example_.pool->Find("Beijing"));
   for (size_t a = 0; a < r2.size(); ++a) {
     if (a != 2) EXPECT_EQ(r2[a], before[a]);
@@ -116,7 +116,7 @@ TEST_F(FixingRuleTest, EmptyEvidenceRuleMatchesOnNegativeAlone) {
   // A rule with empty X: "Hongkong is never a capital in this table".
   const FixingRule rule = MakeRule(*example_.schema, example_.pool.get(), {},
                                    "capital", {"Hongkong"}, "Beijing");
-  Tuple t = example_.dirty.row(0);
+  Tuple t = example_.dirty.row(0).ToTuple();
   t[2] = example_.pool->Intern("Hongkong");
   EXPECT_TRUE(rule.Matches(t));
   t[2] = example_.pool->Find("Beijing");

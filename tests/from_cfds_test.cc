@@ -38,8 +38,8 @@ TEST_F(FromCfdsTest, DerivedRulesRepairTheData) {
   const RuleSet rules = RulesFromCfds(example_.dirty, cfds);
   ASSERT_EQ(rules.size(), 1u);
   ChaseRepairer repairer(&rules);
-  Tuple r4 = example_.dirty.row(3);
-  EXPECT_EQ(repairer.RepairTuple(&r4), 1u);
+  Tuple r4 = example_.dirty.row(3).ToTuple();
+  EXPECT_EQ(repairer.RepairTuple(r4), 1u);
   EXPECT_EQ(r4, example_.clean.row(3));
 }
 

@@ -22,8 +22,8 @@ class FromExamplesTest : public ::testing::Test {
   }
 
   CorrectionExample Example(size_t row) const {
-    return CorrectionExample{example_.dirty.row(row),
-                             example_.clean.row(row)};
+    return CorrectionExample{example_.dirty.row(row).ToTuple(),
+                             example_.clean.row(row).ToTuple()};
   }
 
   TravelExample example_;
@@ -46,8 +46,8 @@ TEST_F(FromExamplesTest, LearnsFromAllPaperCorrections) {
   // The learned set must repair the very tuples it was taught from.
   ChaseRepairer repairer(&rules);
   for (const size_t row : {1u, 2u, 3u}) {
-    Tuple t = example_.dirty.row(row);
-    repairer.RepairTuple(&t);
+    Tuple t = example_.dirty.row(row).ToTuple();
+    repairer.RepairTuple(t);
     EXPECT_EQ(t, example_.clean.row(row)) << "row " << row;
   }
 }
@@ -61,21 +61,21 @@ TEST_F(FromExamplesTest, LearnedRulesGeneralize) {
   t[1] = example_.pool->Find("Canada");
   t[2] = example_.pool->Find("Toronto");
   ChaseRepairer repairer(&rules);
-  EXPECT_EQ(repairer.RepairTuple(&t), 1u);
+  EXPECT_EQ(repairer.RepairTuple(t), 1u);
   EXPECT_EQ(t[2], example_.pool->Find("Ottawa"));
 }
 
 TEST_F(FromExamplesTest, MergesNegativesAcrossExamples) {
   // Two examples for the same context (China -> Beijing) with different
   // wrong values merge into one rule with both negative patterns.
-  Tuple dirty1 = example_.clean.row(1);
+  Tuple dirty1 = example_.clean.row(1).ToTuple();
   dirty1[2] = example_.pool->Intern("Shanghai");
-  Tuple dirty2 = example_.clean.row(1);
+  Tuple dirty2 = example_.clean.row(1).ToTuple();
   dirty2[2] = example_.pool->Intern("Hongkong");
   const RuleSet rules = LearnRulesFromExamples(
       example_.schema, example_.pool,
-      {CorrectionExample{dirty1, example_.clean.row(1)},
-       CorrectionExample{dirty2, example_.clean.row(1)}},
+      {CorrectionExample{dirty1, example_.clean.row(1).ToTuple()},
+       CorrectionExample{dirty2, example_.clean.row(1).ToTuple()}},
       hints_);
   ASSERT_EQ(rules.size(), 1u);
   EXPECT_EQ(rules.rule(0), example_.rules.rule(0));  // phi_1 reconstructed
@@ -83,11 +83,11 @@ TEST_F(FromExamplesTest, MergesNegativesAcrossExamples) {
 
 TEST_F(FromExamplesTest, SkipsCorrectionsWithoutApplicableHint) {
   // A correction to `name` has no FD hint with name on the RHS: no rule.
-  Tuple dirty = example_.clean.row(0);
+  Tuple dirty = example_.clean.row(0).ToTuple();
   dirty[0] = example_.pool->Intern("Georg");
   const RuleSet rules = LearnRulesFromExamples(
       example_.schema, example_.pool,
-      {CorrectionExample{dirty, example_.clean.row(0)}}, hints_);
+      {CorrectionExample{dirty, example_.clean.row(0).ToTuple()}}, hints_);
   EXPECT_EQ(rules.size(), 0u);
 }
 
@@ -133,14 +133,14 @@ TEST_F(FromExamplesTest, ContradictoryExamplesAreReconciled) {
   // (China, Beijing) -> Shanghai. Merged naively the negatives would
   // contain each other's facts; the learner filters fact-values and the
   // resolver reconciles the rest, ending consistent.
-  Tuple dirty_a = example_.clean.row(1);
+  Tuple dirty_a = example_.clean.row(1).ToTuple();
   dirty_a[2] = example_.pool->Intern("Shanghai");
-  Tuple clean_b = example_.clean.row(1);
+  Tuple clean_b = example_.clean.row(1).ToTuple();
   clean_b[2] = example_.pool->Intern("Shanghai");
-  Tuple dirty_b = example_.clean.row(1);  // capital Beijing
+  Tuple dirty_b = example_.clean.row(1).ToTuple();  // capital Beijing
   const RuleSet rules = LearnRulesFromExamples(
       example_.schema, example_.pool,
-      {CorrectionExample{dirty_a, example_.clean.row(1)},
+      {CorrectionExample{dirty_a, example_.clean.row(1).ToTuple()},
        CorrectionExample{dirty_b, clean_b}},
       hints_);
   EXPECT_TRUE(IsConsistentStrict(rules));

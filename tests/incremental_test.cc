@@ -35,7 +35,7 @@ TEST_F(IncrementalTest, InsertRepairsTheNewRow) {
 
 TEST_F(IncrementalTest, CleanInsertIsUntouched) {
   IncrementalRepairer session(&example_.rules, example_.dirty);
-  const size_t index = session.Insert(example_.clean.row(0));
+  const size_t index = session.Insert(example_.clean.row(0).ToTuple());
   EXPECT_EQ(session.table().row(index), example_.clean.row(0));
 }
 

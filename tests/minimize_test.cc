@@ -69,10 +69,10 @@ TEST_F(MinimizeTest, MinimizedSetComputesSameFixes) {
   ChaseRepairer full(&rules);
   ChaseRepairer small(&minimized);
   for (size_t r = 0; r < example_.dirty.num_rows(); ++r) {
-    Tuple a = example_.dirty.row(r);
-    Tuple b = example_.dirty.row(r);
-    full.RepairTuple(&a);
-    small.RepairTuple(&b);
+    Tuple a = example_.dirty.row(r).ToTuple();
+    Tuple b = example_.dirty.row(r).ToTuple();
+    full.RepairTuple(a);
+    small.RepairTuple(b);
     EXPECT_EQ(a, b) << "row " << r;
   }
 }

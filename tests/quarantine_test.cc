@@ -359,11 +359,11 @@ TEST_F(RepairQuarantineTest, FastRepairerBudgetRestoresTuple) {
   FastRepairer repairer(&rules_);
   repairer.set_max_chase_steps(1);
   Table table = MakeTable({{"Chn", "Shanghai", "flag"}});
-  const Tuple original = table.row(0);
+  const Tuple original = table.row(0).ToTuple();
   const size_t applications_before = repairer.stats().rule_applications;
   size_t changed = 1;
   const Status status =
-      repairer.TryRepairTuple(&table.mutable_row(0), &changed);
+      repairer.TryRepairTuple(table.WriteRow(0), &changed);
   EXPECT_EQ(status.code(), StatusCode::kBudgetExhausted);
   EXPECT_EQ(changed, 0u);
   EXPECT_EQ(table.row(0), original);
@@ -374,7 +374,7 @@ TEST_F(RepairQuarantineTest, FastRepairerBudgetRestoresTuple) {
   // With an adequate budget the same tuple chases to its fix.
   repairer.set_max_chase_steps(16);
   ASSERT_TRUE(
-      repairer.TryRepairTuple(&table.mutable_row(0), &changed).ok());
+      repairer.TryRepairTuple(table.WriteRow(0), &changed).ok());
   EXPECT_EQ(changed, 2u);
   EXPECT_EQ(table.CellString(0, 0), "China");
   EXPECT_EQ(table.CellString(0, 1), "Beijing");
@@ -384,11 +384,11 @@ TEST_F(RepairQuarantineTest, ChaseRepairerBudgetRestoresTuple) {
   ChaseRepairer repairer(&rules_);
   repairer.set_max_chase_steps(1);
   Table table = MakeTable({{"Chn", "Shanghai", "flag"}});
-  const Tuple original = table.row(0);
+  const Tuple original = table.row(0).ToTuple();
   const size_t applications_before = repairer.stats().rule_applications;
   size_t changed = 1;
   const Status status =
-      repairer.TryRepairTuple(&table.mutable_row(0), &changed);
+      repairer.TryRepairTuple(table.WriteRow(0), &changed);
   EXPECT_EQ(status.code(), StatusCode::kBudgetExhausted);
   EXPECT_EQ(changed, 0u);
   EXPECT_EQ(table.row(0), original);
@@ -396,7 +396,7 @@ TEST_F(RepairQuarantineTest, ChaseRepairerBudgetRestoresTuple) {
 
   repairer.set_max_chase_steps(64);
   ASSERT_TRUE(
-      repairer.TryRepairTuple(&table.mutable_row(0), &changed).ok());
+      repairer.TryRepairTuple(table.WriteRow(0), &changed).ok());
   EXPECT_EQ(changed, 2u);
   EXPECT_EQ(table.CellString(0, 1), "Beijing");
 }
@@ -406,9 +406,9 @@ TEST_F(RepairQuarantineTest, TryRepairTupleRejectsWrongArity) {
   ChaseRepairer chase(&rules_);
   Tuple short_tuple(2, kNullValue);
   size_t changed = 0;
-  EXPECT_EQ(fast.TryRepairTuple(&short_tuple, &changed).code(),
+  EXPECT_EQ(fast.TryRepairTuple(short_tuple, &changed).code(),
             StatusCode::kMalformedInput);
-  EXPECT_EQ(chase.TryRepairTuple(&short_tuple, &changed).code(),
+  EXPECT_EQ(chase.TryRepairTuple(short_tuple, &changed).code(),
             StatusCode::kMalformedInput);
 }
 

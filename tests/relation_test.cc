@@ -103,7 +103,7 @@ TEST_F(TableTest, AppendAndReadBack) {
 TEST_F(TableTest, SetCell) {
   table_.AppendRowStrings({"Ian", "China", "Shanghai", "Hongkong", "ICDE"});
   const ValueId beijing = pool_->Intern("Beijing");
-  table_.set_cell(0, 2, beijing);
+  table_.WriteCell(0, 2, beijing);
   EXPECT_EQ(table_.CellString(0, 2), "Beijing");
 }
 

@@ -50,9 +50,9 @@ TEST_P(RepairPropertyTest, EnginesAgreeOnUniqueFix) {
     for (int trial = 0; trial < 100; ++trial) {
       const Tuple original = universe.RandomTuple(&rng);
       Tuple by_crepair = original;
-      crepair.RepairTuple(&by_crepair);
+      crepair.RepairTuple(by_crepair);
       Tuple by_lrepair = original;
-      lrepair.RepairTuple(&by_lrepair);
+      lrepair.RepairTuple(by_lrepair);
       ASSERT_EQ(by_crepair, by_lrepair)
           << "engines diverge (round " << round << ", trial " << trial
           << ")";
@@ -96,7 +96,7 @@ TEST_P(RepairPropertyTest, ReversedPriorityChaseAgreesWithEngines) {
   for (int trial = 0; trial < 100; ++trial) {
     const Tuple original = universe.RandomTuple(&rng);
     Tuple by_lrepair = original;
-    lrepair.RepairTuple(&by_lrepair);
+    lrepair.RepairTuple(by_lrepair);
     Tuple by_chase = original;
     ChaseWithPriority(reversed, &by_chase);
     ASSERT_EQ(by_chase, by_lrepair);
@@ -121,9 +121,9 @@ TEST(RepairSemanticsTest, RepairIsNotIdempotentInGeneral) {
   ASSERT_TRUE(IsConsistentStrict(rules));
   Tuple t = {pool->Intern("ctx"), pool->Intern("u")};
   FastRepairer repairer(&rules);
-  repairer.RepairTuple(&t);
+  repairer.RepairTuple(t);
   EXPECT_EQ(t[1], pool->Find("v"));  // psi fired, a1 assured, phi blocked
-  repairer.RepairTuple(&t);
+  repairer.RepairTuple(t);
   EXPECT_EQ(t[1], pool->Find("w"));  // fresh pass: phi fires on "v"
 }
 
@@ -137,7 +137,7 @@ TEST_P(RepairPropertyTest, OnlyNegativePatternCellsChange) {
   for (int trial = 0; trial < 100; ++trial) {
     const Tuple original = universe.RandomTuple(&rng);
     Tuple repaired = original;
-    lrepair.RepairTuple(&repaired);
+    lrepair.RepairTuple(repaired);
     for (size_t a = 0; a < repaired.size(); ++a) {
       if (repaired[a] == original[a]) continue;
       bool explained = false;
@@ -163,7 +163,7 @@ TEST_P(RepairPropertyTest, TerminationWithinArityApplications) {
   ChaseRepairer crepair(&rules);
   for (int trial = 0; trial < 200; ++trial) {
     Tuple t = universe.RandomTuple(&rng);
-    const size_t changes = crepair.RepairTuple(&t);
+    const size_t changes = crepair.RepairTuple(t);
     EXPECT_LE(changes, universe.schema->arity());
   }
 }

@@ -20,21 +20,21 @@ class RepairTest : public ::testing::Test {
 template <typename Repairer>
 void CheckFig8(const TravelExample& example, Repairer* repairer) {
   // r1 is clean and stays unchanged.
-  Tuple r1 = example.dirty.row(0);
-  EXPECT_EQ(repairer->RepairTuple(&r1), 0u);
+  Tuple r1 = example.dirty.row(0).ToTuple();
+  EXPECT_EQ(repairer->RepairTuple(r1), 0u);
   EXPECT_EQ(r1, example.clean.row(0));
   // r2 needs two chained fixes: phi_1 (capital -> Beijing) enables phi_4
   // (city -> Shanghai).
-  Tuple r2 = example.dirty.row(1);
-  EXPECT_EQ(repairer->RepairTuple(&r2), 2u);
+  Tuple r2 = example.dirty.row(1).ToTuple();
+  EXPECT_EQ(repairer->RepairTuple(r2), 2u);
   EXPECT_EQ(r2, example.clean.row(1));
   // r3: phi_3 rewrites country to Japan.
-  Tuple r3 = example.dirty.row(2);
-  EXPECT_EQ(repairer->RepairTuple(&r3), 1u);
+  Tuple r3 = example.dirty.row(2).ToTuple();
+  EXPECT_EQ(repairer->RepairTuple(r3), 1u);
   EXPECT_EQ(r3, example.clean.row(2));
   // r4: phi_2 rewrites capital to Ottawa.
-  Tuple r4 = example.dirty.row(3);
-  EXPECT_EQ(repairer->RepairTuple(&r4), 1u);
+  Tuple r4 = example.dirty.row(3).ToTuple();
+  EXPECT_EQ(repairer->RepairTuple(r4), 1u);
   EXPECT_EQ(r4, example.clean.row(3));
 }
 
@@ -67,10 +67,10 @@ TEST_F(RepairTest, EpochWrapAroundKeepsRepairsCorrect) {
   // fresh repairer chasing the same tuple.
   for (int lap = 0; lap < 2; ++lap) {
     for (size_t r = 0; r < example_.dirty.num_rows(); ++r) {
-      Tuple wrapped = example_.dirty.row(r);
-      Tuple expected = example_.dirty.row(r);
-      const size_t changed_wrapped = repairer.RepairTuple(&wrapped);
-      const size_t changed_fresh = fresh.RepairTuple(&expected);
+      Tuple wrapped = example_.dirty.row(r).ToTuple();
+      Tuple expected = example_.dirty.row(r).ToTuple();
+      const size_t changed_wrapped = repairer.RepairTuple(wrapped);
+      const size_t changed_fresh = fresh.RepairTuple(expected);
       EXPECT_EQ(changed_wrapped, changed_fresh)
           << "lap " << lap << " row " << r;
       EXPECT_EQ(wrapped, expected) << "lap " << lap << " row " << r;
@@ -135,9 +135,9 @@ TEST_F(RepairTest, AssuredAttributesBlockLaterRules) {
                      "Nanjing"));
   // (The extended set is inconsistent in general, but on r2 the chase
   // order of both engines applies phi_1 first, freezing capital.)
-  Tuple r2 = example_.dirty.row(1);
+  Tuple r2 = example_.dirty.row(1).ToTuple();
   ChaseRepairer crepair(&rules);
-  crepair.RepairTuple(&r2);
+  crepair.RepairTuple(r2);
   EXPECT_EQ(r2[2], example_.pool->Find("Beijing"));
 }
 
@@ -147,11 +147,11 @@ TEST_F(RepairTest, UnmatchedTupleUntouched) {
   t[1] = example_.pool->Intern("Germany");
   const Tuple before = t;
   ChaseRepairer crepair(&example_.rules);
-  EXPECT_EQ(crepair.RepairTuple(&t), 0u);
+  EXPECT_EQ(crepair.RepairTuple(t), 0u);
   EXPECT_EQ(t, before);
   FastRepairer lrepair(&example_.rules);
   Tuple t2 = before;
-  EXPECT_EQ(lrepair.RepairTuple(&t2), 0u);
+  EXPECT_EQ(lrepair.RepairTuple(t2), 0u);
   EXPECT_EQ(t2, before);
 }
 
@@ -159,10 +159,10 @@ TEST_F(RepairTest, EmptyRuleSetIsANoop) {
   RuleSet empty(example_.schema, example_.pool);
   ChaseRepairer crepair(&empty);
   FastRepairer lrepair(&empty);
-  Tuple t = example_.dirty.row(1);
+  Tuple t = example_.dirty.row(1).ToTuple();
   const Tuple before = t;
-  EXPECT_EQ(crepair.RepairTuple(&t), 0u);
-  EXPECT_EQ(lrepair.RepairTuple(&t), 0u);
+  EXPECT_EQ(crepair.RepairTuple(t), 0u);
+  EXPECT_EQ(lrepair.RepairTuple(t), 0u);
   EXPECT_EQ(t, before);
 }
 
@@ -170,14 +170,14 @@ TEST_F(RepairTest, EmptyEvidenceRuleFires) {
   RuleSet rules(example_.schema, example_.pool);
   rules.Add(MakeRule(*example_.schema, example_.pool.get(), {}, "capital",
                      {"Hongkong"}, "Beijing"));
-  Tuple t = example_.dirty.row(0);
+  Tuple t = example_.dirty.row(0).ToTuple();
   t[2] = example_.pool->Intern("Hongkong");
   Tuple t2 = t;
   ChaseRepairer crepair(&rules);
-  EXPECT_EQ(crepair.RepairTuple(&t), 1u);
+  EXPECT_EQ(crepair.RepairTuple(t), 1u);
   EXPECT_EQ(t[2], example_.pool->Find("Beijing"));
   FastRepairer lrepair(&rules);
-  EXPECT_EQ(lrepair.RepairTuple(&t2), 1u);
+  EXPECT_EQ(lrepair.RepairTuple(t2), 1u);
   EXPECT_EQ(t2[2], example_.pool->Find("Beijing"));
 }
 
@@ -197,7 +197,7 @@ TEST_F(RepairTest, LRepairCascadeAcrossThreeRules) {
   Tuple t = {pool->Intern("1"), pool->Intern("bad_b"), pool->Intern("bad_c"),
              pool->Intern("bad_d")};
   FastRepairer lrepair(&rules);
-  EXPECT_EQ(lrepair.RepairTuple(&t), 3u);
+  EXPECT_EQ(lrepair.RepairTuple(t), 3u);
   EXPECT_EQ(t[1], pool->Find("good_b"));
   EXPECT_EQ(t[2], pool->Find("good_c"));
   EXPECT_EQ(t[3], pool->Find("good_d"));
@@ -205,7 +205,7 @@ TEST_F(RepairTest, LRepairCascadeAcrossThreeRules) {
   Tuple t2 = {pool->Find("1"), pool->Find("bad_b"), pool->Find("bad_c"),
               pool->Find("bad_d")};
   ChaseRepairer crepair(&rules);
-  EXPECT_EQ(crepair.RepairTuple(&t2), 3u);
+  EXPECT_EQ(crepair.RepairTuple(t2), 3u);
   EXPECT_EQ(t2, t);
 }
 
@@ -214,11 +214,11 @@ TEST_F(RepairTest, ManyTuplesEpochIsolation) {
   // between tuples (epoch stamping).
   FastRepairer repairer(&example_.rules);
   for (int round = 0; round < 1000; ++round) {
-    Tuple r2 = example_.dirty.row(1);
-    repairer.RepairTuple(&r2);
+    Tuple r2 = example_.dirty.row(1).ToTuple();
+    repairer.RepairTuple(r2);
     ASSERT_EQ(r2, example_.clean.row(1));
-    Tuple r1 = example_.dirty.row(0);
-    ASSERT_EQ(repairer.RepairTuple(&r1), 0u);
+    Tuple r1 = example_.dirty.row(0).ToTuple();
+    ASSERT_EQ(repairer.RepairTuple(r1), 0u);
   }
 }
 

@@ -1,0 +1,431 @@
+// The chunked streaming repair pipeline (repair/streaming.h): for every
+// chunk size, engine width, and error policy, the streamed output —
+// repaired CSV bytes AND quarantine diagnostics — is bit-identical to
+// repairing the whole table in memory and writing it out.
+
+#include <memory>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/metrics.h"
+#include "common/quarantine.h"
+#include "common/random.h"
+#include "common/status.h"
+#include "datagen/hosp.h"
+#include "datagen/noise.h"
+#include "datagen/travel.h"
+#include "datagen/uis.h"
+#include "relation/csv.h"
+#include "relation/table.h"
+#include "repair/lrepair.h"
+#include "repair/parallel.h"
+#include "repair/rule_index.h"
+#include "repair/streaming.h"
+#include "rulegen/rulegen.h"
+#include "rules/rule_io.h"
+#include "testing_util.h"
+
+namespace fixrep {
+namespace {
+
+uint64_t CounterValue(const char* name) {
+  const Counter* counter = MetricsRegistry::Global().FindCounter(name);
+  return counter == nullptr ? 0 : counter->Value();
+}
+
+std::string ToCsv(const Table& table) {
+  std::ostringstream out;
+  WriteCsv(table, out);
+  return out.str();
+}
+
+// One end-to-end streaming run over CSV text: reader -> session -> string.
+struct StreamRun {
+  std::string csv;
+  StreamingRepairResult result;
+  std::vector<Diagnostic> tuple_diagnostics;  // failed repairs
+  std::vector<Diagnostic> row_diagnostics;    // malformed CSV records
+};
+
+struct StreamConfig {
+  size_t chunk_rows = 1;
+  size_t threads = 1;
+  OnErrorPolicy on_error = OnErrorPolicy::kAbort;
+  size_t max_chase_steps = 0;
+  OnErrorPolicy csv_policy = OnErrorPolicy::kAbort;
+};
+
+StatusOr<StreamRun> RunStream(const std::string& csv_text,
+                              std::shared_ptr<ValuePool> pool,
+                              const CompiledRuleIndex& index,
+                              const StreamConfig& config) {
+  VectorQuarantineSink tuple_sink;
+  VectorQuarantineSink row_sink;
+  CsvReadOptions csv_options;
+  csv_options.on_error = config.csv_policy;
+  if (config.csv_policy == OnErrorPolicy::kQuarantine) {
+    csv_options.quarantine = &row_sink;
+  }
+  std::istringstream in(csv_text);
+  StatusOr<CsvChunkReader> reader =
+      CsvChunkReader::Open(in, "stream", std::move(pool), csv_options);
+  if (!reader.ok()) return reader.status();
+
+  StreamingRepairOptions options;
+  options.chunk_rows = config.chunk_rows;
+  options.threads = config.threads;
+  options.on_error = config.on_error;
+  if (config.on_error == OnErrorPolicy::kQuarantine) {
+    options.quarantine = &tuple_sink;
+  }
+  options.max_chase_steps = config.max_chase_steps;
+  StreamingRepairSession session(&index, options);
+  std::ostringstream out;
+  StatusOr<StreamingRepairResult> result = session.Run(&reader.value(), out);
+  if (!result.ok()) return result.status();
+
+  StreamRun run;
+  run.csv = out.str();
+  run.result = result.value();
+  run.tuple_diagnostics = tuple_sink.diagnostics();
+  run.row_diagnostics = row_sink.diagnostics();
+  return run;
+}
+
+void ExpectSameDiagnostics(const std::vector<Diagnostic>& got,
+                           const std::vector<Diagnostic>& want,
+                           const std::string& context) {
+  ASSERT_EQ(got.size(), want.size()) << context;
+  for (size_t i = 0; i < want.size(); ++i) {
+    EXPECT_EQ(got[i].line, want[i].line) << context << " #" << i;
+    EXPECT_EQ(got[i].code, want[i].code) << context << " #" << i;
+    EXPECT_EQ(got[i].message, want[i].message) << context << " #" << i;
+    EXPECT_EQ(got[i].raw_text, want[i].raw_text) << context << " #" << i;
+  }
+}
+
+class StreamingTest : public ::testing::Test {
+ protected:
+  void SetUp() override { MetricsRegistry::Global().ResetAllForTest(); }
+};
+
+// ------------------------------------------------------ running example --
+
+TEST_F(StreamingTest, TravelExampleStreamsToTheCleanInstance) {
+  TravelExample example;
+  const CompiledRuleIndex index(&example.rules);
+  const std::string dirty_csv = ToCsv(example.dirty);
+  const std::string want = ToCsv(example.clean);
+  for (const size_t chunk_rows : {size_t{1}, size_t{2}, size_t{100}}) {
+    const StatusOr<StreamRun> run = RunStream(
+        dirty_csv, example.pool, index, {.chunk_rows = chunk_rows});
+    ASSERT_TRUE(run.ok()) << run.status().message();
+    EXPECT_EQ(run->csv, want) << "chunk_rows=" << chunk_rows;
+    EXPECT_EQ(run->result.rows_emitted, example.dirty.num_rows());
+    EXPECT_TRUE(run->tuple_diagnostics.empty());
+  }
+}
+
+TEST_F(StreamingTest, EmptyInputEmitsHeaderOnly) {
+  TravelExample example;
+  const CompiledRuleIndex index(&example.rules);
+  Table empty(example.schema, example.pool);
+  const StatusOr<StreamRun> run =
+      RunStream(ToCsv(empty), example.pool, index, {.chunk_rows = 4});
+  ASSERT_TRUE(run.ok());
+  EXPECT_EQ(run->csv, ToCsv(empty));
+  EXPECT_EQ(run->result.rows_emitted, 0u);
+  EXPECT_EQ(run->result.chunks, 0u);
+}
+
+TEST_F(StreamingTest, ArityMismatchWithRulesIsMalformedInput) {
+  TravelExample example;  // 5-attribute rules
+  const CompiledRuleIndex index(&example.rules);
+  const StatusOr<StreamRun> run =
+      RunStream("a,b\n1,2\n", example.pool, index, {.chunk_rows = 1});
+  ASSERT_FALSE(run.ok());
+  EXPECT_EQ(run.status().code(), StatusCode::kMalformedInput);
+}
+
+// ------------------------------------------------------- random universe --
+
+// Property: for random rule sets and random tables, chunked streaming at
+// every chunk size — serial or pooled, memoized or not — emits exactly
+// the bytes a whole-table serial repair would write.
+TEST_F(StreamingTest, ChunkedRepairBitIdenticalToWholeTableSerial) {
+  testing::RandomRuleUniverse universe;
+  Rng rng(20260806);
+  for (int round = 0; round < 10; ++round) {
+    RuleSet rules(universe.schema, universe.pool);
+    const size_t num_rules = 1 + rng.Uniform(12);
+    for (size_t i = 0; i < num_rules; ++i) {
+      rules.Add(universe.RandomRule(&rng));
+    }
+    Table table(universe.schema, universe.pool);
+    const size_t num_rows = 1 + rng.Uniform(300);
+    for (size_t r = 0; r < num_rows; ++r) {
+      table.AppendRow(universe.RandomTuple(&rng));
+    }
+    const std::string input_csv = ToCsv(table);
+
+    Table reference = table;
+    FastRepairer repairer(&rules);
+    repairer.RepairTable(&reference);
+    const std::string want = ToCsv(reference);
+
+    const CompiledRuleIndex index(&rules);
+    for (const size_t chunk_rows :
+         {size_t{1}, size_t{7}, size_t{1024}, num_rows}) {
+      for (const size_t threads : {size_t{1}, size_t{4}}) {
+        const StatusOr<StreamRun> run =
+            RunStream(input_csv, universe.pool, index,
+                      {.chunk_rows = chunk_rows, .threads = threads});
+        ASSERT_TRUE(run.ok()) << run.status().message();
+        ASSERT_EQ(run->csv, want) << "round=" << round
+                                  << " chunk_rows=" << chunk_rows
+                                  << " threads=" << threads;
+        EXPECT_EQ(run->result.rows_emitted, num_rows);
+      }
+    }
+  }
+}
+
+// ---------------------------------------------------- generated datasets --
+
+// Shared shape of the hosp/uis checks: corrupt a generated clean table,
+// learn rules from the (clean, dirty) pair, and require streaming at
+// every chunk size to reproduce the whole-table repair byte for byte.
+void ExpectStreamingMatchesWholeTable(const GeneratedData& data,
+                                      const Table& dirty,
+                                      const RuleSet& rules) {
+  const std::string input_csv = ToCsv(dirty);
+  Table reference = dirty;
+  FastRepairer repairer(&rules);
+  repairer.RepairTable(&reference);
+  const std::string want = ToCsv(reference);
+  EXPECT_NE(want, input_csv) << "noise should leave something to repair";
+
+  const CompiledRuleIndex index(&rules);
+  for (const size_t chunk_rows :
+       {size_t{1}, size_t{7}, size_t{1024}, dirty.num_rows()}) {
+    for (const size_t threads : {size_t{1}, size_t{4}}) {
+      const StatusOr<StreamRun> run =
+          RunStream(input_csv, data.pool, index,
+                    {.chunk_rows = chunk_rows, .threads = threads});
+      ASSERT_TRUE(run.ok()) << run.status().message();
+      ASSERT_EQ(run->csv, want) << "chunk_rows=" << chunk_rows
+                                << " threads=" << threads;
+      EXPECT_EQ(run->result.rows_emitted, dirty.num_rows());
+    }
+  }
+}
+
+TEST_F(StreamingTest, HospGeneratedDataStreamsBitIdentically) {
+  HospOptions options;
+  options.rows = 800;
+  options.num_hospitals = 60;
+  options.num_measures = 8;
+  const GeneratedData data = GenerateHosp(options);
+  Table dirty = data.clean;
+  InjectNoise(&dirty, ConstraintAttributes(*data.schema, data.fds), {});
+  RuleGenOptions rulegen;
+  rulegen.max_rules = 200;
+  const RuleSet rules = GenerateRules(data.clean, dirty, data.fds, rulegen);
+  ASSERT_GT(rules.size(), 0u);
+  ExpectStreamingMatchesWholeTable(data, dirty, rules);
+}
+
+TEST_F(StreamingTest, UisGeneratedDataStreamsBitIdentically) {
+  UisOptions options;
+  options.rows = 600;
+  options.duplicate_ratio = 0.4;  // repeated people so rules have support
+  options.num_zips = 40;
+  const GeneratedData data = GenerateUis(options);
+  Table dirty = data.clean;
+  InjectNoise(&dirty, ConstraintAttributes(*data.schema, data.fds), {});
+  RuleGenOptions rulegen;
+  rulegen.max_rules = 100;
+  const RuleSet rules = GenerateRules(data.clean, dirty, data.fds, rulegen);
+  ASSERT_GT(rules.size(), 0u);
+  ExpectStreamingMatchesWholeTable(data, dirty, rules);
+}
+
+// ---------------------------------------------------- quarantine ordering --
+
+// Cascading pair from the quarantine suite: (name = flag) tuples need two
+// chase pops, so max_chase_steps = 1 makes exactly those tuples fail.
+RuleSet CascadeRules(std::shared_ptr<const Schema> schema,
+                     std::shared_ptr<ValuePool> pool) {
+  const std::string text =
+      "RULE\n"
+      "  IF country = China\n"
+      "  WRONG capital IN Shanghai | Hongkong\n"
+      "  THEN capital = Beijing\n"
+      "END\n"
+      "RULE\n"
+      "  IF name = flag\n"
+      "  WRONG country IN Chn\n"
+      "  THEN country = China\n"
+      "END\n";
+  return ParseRulesFromString(text, std::move(schema), std::move(pool));
+}
+
+class StreamingQuarantineTest : public StreamingTest {
+ protected:
+  std::shared_ptr<ValuePool> pool_ = std::make_shared<ValuePool>();
+  std::shared_ptr<const Schema> schema_ = std::make_shared<Schema>(
+      "R", std::vector<std::string>{"country", "capital", "name"});
+  RuleSet rules_ = CascadeRules(schema_, pool_);
+
+  Table MakeTable(const std::vector<std::vector<std::string>>& rows) {
+    Table table(schema_, pool_);
+    for (const auto& row : rows) table.AppendRowStrings(row);
+    return table;
+  }
+};
+
+// Failing tuples land on both sides of every chunk boundary; the streamed
+// diagnostics must still carry whole-table row indices, in row order,
+// with the same messages and preserved raw values as an in-memory run.
+TEST_F(StreamingQuarantineTest, DiagnosticsMatchWholeTableLenientRepair) {
+  Table table = MakeTable({
+      {"China", "Shanghai", "x"},   // one pop: fine under budget 1
+      {"Chn", "Shanghai", "flag"},  // cascade: budget-exhausted
+      {"France", "Paris", "y"},
+      {"Chn", "Hongkong", "flag"},  // cascade: budget-exhausted
+      {"China", "Hongkong", "z"},   // one pop: fine
+      {"Chn", "Shanghai", "flag"},  // cascade: budget-exhausted
+  });
+  const std::string input_csv = ToCsv(table);
+  const CompiledRuleIndex index(&rules_);
+
+  Table reference = table;
+  VectorQuarantineSink reference_sink;
+  LenientRepairOptions reference_options;
+  reference_options.parallel.threads = 1;
+  reference_options.quarantine = &reference_sink;
+  reference_options.max_chase_steps = 1;
+  const LenientRepairResult reference_result =
+      ParallelRepairTableLenient(index, &reference, reference_options);
+  ASSERT_EQ(reference_result.tuples_quarantined, 3u);
+  const std::string want = ToCsv(reference);
+
+  for (const size_t chunk_rows :
+       {size_t{1}, size_t{2}, size_t{3}, size_t{6}}) {
+    for (const size_t threads : {size_t{1}, size_t{4}}) {
+      const std::string context = "chunk_rows=" + std::to_string(chunk_rows) +
+                                  " threads=" + std::to_string(threads);
+      const StatusOr<StreamRun> run =
+          RunStream(input_csv, pool_, index,
+                    {.chunk_rows = chunk_rows,
+                     .threads = threads,
+                     .on_error = OnErrorPolicy::kQuarantine,
+                     .max_chase_steps = 1});
+      ASSERT_TRUE(run.ok()) << run.status().message();
+      EXPECT_EQ(run->csv, want) << context;
+      EXPECT_EQ(run->result.tuples_quarantined, 3u) << context;
+      ExpectSameDiagnostics(run->tuple_diagnostics,
+                            reference_sink.diagnostics(), context);
+    }
+  }
+}
+
+TEST_F(StreamingQuarantineTest, SkipModeDropsFixesButKeepsRowsAndBytes) {
+  Table table = MakeTable({
+      {"Chn", "Shanghai", "flag"},
+      {"China", "Shanghai", "x"},
+  });
+  const CompiledRuleIndex index(&rules_);
+  const StatusOr<StreamRun> run =
+      RunStream(ToCsv(table), pool_, index,
+                {.chunk_rows = 1,
+                 .on_error = OnErrorPolicy::kSkip,
+                 .max_chase_steps = 1});
+  ASSERT_TRUE(run.ok());
+  EXPECT_EQ(run->result.tuples_quarantined, 1u);
+  EXPECT_TRUE(run->tuple_diagnostics.empty());  // skip: no sink traffic
+  // Failed tuple preserved verbatim, clean tuple repaired.
+  EXPECT_EQ(run->csv,
+            "country,capital,name\nChn,Shanghai,flag\nChina,Beijing,x\n");
+}
+
+// Malformed CSV records and failing tuples in one stream: record
+// diagnostics carry input ordinals, tuple diagnostics carry output-row
+// indices, and both match the non-streaming lenient pipeline exactly.
+TEST_F(StreamingQuarantineTest, MalformedRecordsKeepGlobalOrdinals) {
+  const std::string input_csv =
+      "country,capital,name\n"
+      "China,Shanghai,x\n"         // record 0 -> output row 0
+      "bad,row,with,too,many\n"    // record 1: arity mismatch
+      "Chn,Shanghai,flag\n"        // record 2 -> output row 1, budget fail
+      "France,Paris\n"             // record 3: arity mismatch
+      "France,Paris,y\n";          // record 4 -> output row 2
+
+  // Non-streaming reference: lenient read, then lenient whole-table
+  // repair.
+  VectorQuarantineSink reference_rows;
+  CsvReadOptions read_options;
+  read_options.on_error = OnErrorPolicy::kQuarantine;
+  read_options.quarantine = &reference_rows;
+  std::istringstream in(input_csv);
+  StatusOr<Table> reference = ReadCsvLenient(in, "R", pool_, read_options);
+  ASSERT_TRUE(reference.ok());
+  ASSERT_EQ(reference->num_rows(), 3u);
+  const CompiledRuleIndex index(&rules_);
+  VectorQuarantineSink reference_tuples;
+  LenientRepairOptions repair_options;
+  repair_options.parallel.threads = 1;
+  repair_options.quarantine = &reference_tuples;
+  repair_options.max_chase_steps = 1;
+  ParallelRepairTableLenient(index, &reference.value(), repair_options);
+  const std::string want = ToCsv(reference.value());
+
+  for (const size_t chunk_rows : {size_t{1}, size_t{2}, size_t{10}}) {
+    MetricsRegistry::Global().ResetAllForTest();
+    const std::string context = "chunk_rows=" + std::to_string(chunk_rows);
+    const StatusOr<StreamRun> run =
+        RunStream(input_csv, pool_, index,
+                  {.chunk_rows = chunk_rows,
+                   .on_error = OnErrorPolicy::kQuarantine,
+                   .max_chase_steps = 1,
+                   .csv_policy = OnErrorPolicy::kQuarantine});
+    ASSERT_TRUE(run.ok()) << run.status().message();
+    EXPECT_EQ(run->csv, want) << context;
+    ExpectSameDiagnostics(run->row_diagnostics,
+                          reference_rows.diagnostics(), context);
+    ExpectSameDiagnostics(run->tuple_diagnostics,
+                          reference_tuples.diagnostics(), context);
+    ASSERT_EQ(run->row_diagnostics.size(), 2u);
+    EXPECT_EQ(run->row_diagnostics[0].line, 1u);  // input record ordinal
+    EXPECT_EQ(run->row_diagnostics[1].line, 3u);
+    ASSERT_EQ(run->tuple_diagnostics.size(), 1u);
+    EXPECT_EQ(run->tuple_diagnostics[0].line, 1u);  // output-row index
+    EXPECT_EQ(CounterValue("fixrep.quarantine.rows"), 2u) << context;
+    EXPECT_EQ(CounterValue("fixrep.quarantine.tuples"), 1u) << context;
+  }
+}
+
+TEST_F(StreamingQuarantineTest, StreamingCountersTickPerChunkAndRow) {
+  Table table = MakeTable({
+      {"China", "Shanghai", "a"},
+      {"China", "Shanghai", "b"},
+      {"China", "Shanghai", "c"},
+      {"China", "Shanghai", "d"},
+      {"China", "Shanghai", "e"},
+  });
+  const CompiledRuleIndex index(&rules_);
+  const StatusOr<StreamRun> run =
+      RunStream(ToCsv(table), pool_, index, {.chunk_rows = 2});
+  ASSERT_TRUE(run.ok());
+  EXPECT_EQ(run->result.chunks, 3u);  // 2 + 2 + 1
+  EXPECT_EQ(run->result.rows_emitted, 5u);
+  EXPECT_EQ(run->result.cells_changed, 5u);
+  EXPECT_EQ(CounterValue("fixrep.streaming.chunks"), 3u);
+  EXPECT_EQ(CounterValue("fixrep.streaming.rows"), 5u);
+}
+
+}  // namespace
+}  // namespace fixrep
