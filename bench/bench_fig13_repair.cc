@@ -25,6 +25,7 @@
 #include "common/thread_pool.h"
 #include "eval/text_table.h"
 #include "relation/csv.h"
+#include "relation/row_store.h"
 #include "repair/crepair.h"
 #include "repair/lrepair.h"
 #include "repair/parallel.h"
@@ -190,7 +191,12 @@ void WriteRepairJson() {
     double ms = 0;
     double allocations = 0;
   };
-  constexpr int kRuns = 3;
+  // The in-memory sections finish in single-digit milliseconds, so a
+  // contended scheduler slice anywhere in a run swings the number by
+  // double-digit percentages; nine attempts make a quiet window likely.
+  // The streaming sections run ~1s each and settle at five.
+  constexpr int kRuns = 9;
+  constexpr int kStreamRuns = 5;
   const auto best_of = [&](const char* label, const auto& run) {
     RunCost best;
     for (int i = 0; i < kRuns; ++i) {
@@ -243,27 +249,111 @@ void WriteRepairJson() {
     WriteCsv(dup, csv);
     input_csv = csv.str();
   }
-  RunCost streaming;
-  for (int i = 0; i < kRuns; ++i) {
-    std::istringstream in(input_csv);
-    std::ostringstream out;
-    const uint64_t allocs_before = AllocationCount();
-    const double ms = TimedMs("fig13_streaming", [&] {
-      StatusOr<CsvChunkReader> reader =
-          CsvChunkReader::Open(in, "bench", workload.data.pool, {});
-      StreamingRepairOptions options;
-      options.chunk_rows = kStreamChunkRows;
-      StreamingRepairSession session(&index, options);
-      const auto result = session.Run(&reader.value(), out);
-      if (!result.ok() || result.value().rows_emitted != rows) {
-        std::cerr << "streaming bench run failed\n";
-        std::abort();
-      }
-    });
-    const auto allocs =
-        static_cast<double>(AllocationCount() - allocs_before);
-    if (i == 0 || ms < streaming.ms) streaming = {ms, allocs};
+  struct StreamCost {
+    RunCost cost;
+    StreamingRepairResult result;
+  };
+  const auto stream_best_of = [&](const char* label, const std::string& csv,
+                                  const CompiledRuleIndex& run_index,
+                                  const StreamingRepairOptions& options) {
+    StreamCost best;
+    for (int i = 0; i < kStreamRuns; ++i) {
+      std::istringstream in(csv);
+      std::ostringstream out;
+      const uint64_t allocs_before = AllocationCount();
+      StreamingRepairResult run_result;
+      const double ms = TimedMs(label, [&] {
+        StatusOr<CsvChunkReader> reader =
+            CsvChunkReader::Open(in, "bench", workload.data.pool, {});
+        StreamingRepairSession session(&run_index, options);
+        const auto result = session.Run(&reader.value(), out);
+        if (!result.ok() || result.value().rows_emitted != rows) {
+          std::cerr << "streaming bench run failed\n";
+          std::abort();
+        }
+        run_result = result.value();
+      });
+      const auto allocs =
+          static_cast<double>(AllocationCount() - allocs_before);
+      if (i == 0 || ms < best.cost.ms) best = {{ms, allocs}, run_result};
+    }
+    return best;
+  };
+
+  StreamingRepairOptions chunked_options;
+  chunked_options.chunk_rows = kStreamChunkRows;
+  const StreamCost streaming_run =
+      stream_best_of("fig13_streaming", input_csv, index, chunked_options);
+  const RunCost streaming = streaming_run.cost;
+
+  // Out-of-core spill: the whole input as one chunk whose cell blocks
+  // obey a resident budget of 8 blocks (comfortably above the 2-block
+  // working-set floor, so requested == effective and the regression
+  // gate's peak-vs-budget comparison is meaningful).
+  const size_t block_bytes =
+      RowStore::kRowsPerBlock * dup.num_columns() * sizeof(ValueId);
+  const size_t spill_budget = 8 * block_bytes;
+  StreamingRepairOptions spill_options;
+  spill_options.chunk_rows = ~size_t{0};  // whole file; the budget rules
+  spill_options.memory_budget_bytes = spill_budget;
+  const StreamCost spill_run =
+      stream_best_of("fig13_streaming_spill", input_csv, index, spill_options);
+
+  // Column pruning, measured on the shape it exists for: wide rows where
+  // only a few columns are rule-constrained and the rest are
+  // high-cardinality free text (ids, timestamps, notes) that interning
+  // would hash and keep forever. The hosp rules mention every hosp
+  // column, so the base workload gains nothing from pruning; the wide
+  // variant appends per-row-unique payload columns no rule mentions
+  // (rule attr ids stay valid — payload columns go at the end) and
+  // compares the same chunked stream with pruning off vs on.
+  constexpr size_t kPayloadColumns = 8;
+  std::vector<std::string> wide_names;
+  for (size_t a = 0; a < dup.num_columns(); ++a) {
+    wide_names.push_back(
+        dup.schema().attribute_name(static_cast<AttrId>(a)));
   }
+  for (size_t w = 0; w < kPayloadColumns; ++w) {
+    wide_names.push_back("payload_" + std::to_string(w));
+  }
+  const auto wide_schema =
+      std::make_shared<Schema>("hosp_wide", std::move(wide_names));
+  Table wide(wide_schema, workload.data.pool);
+  {
+    Tuple row;
+    for (size_t r = 0; r < dup.num_rows(); ++r) {
+      row.clear();
+      const TupleRef base = dup.row(r);
+      for (size_t a = 0; a < base.size(); ++a) row.push_back(base[a]);
+      for (size_t w = 0; w < kPayloadColumns; ++w) {
+        row.push_back(workload.data.pool->Intern(
+            "note-" + std::to_string(w) + "-" + std::to_string(r * 7919) +
+            "-f8a3bc21"));
+      }
+      wide.AppendRow(row);
+    }
+  }
+  RuleSet wide_rules(wide_schema, workload.data.pool);
+  for (size_t i = 0; i < workload.rules.size(); ++i) {
+    wide_rules.Add(workload.rules.rule(i));
+  }
+  const CompiledRuleIndex wide_index(&wide_rules);
+  std::string wide_csv;
+  {
+    std::ostringstream csv;
+    WriteCsv(wide, csv);
+    wide_csv = csv.str();
+  }
+  StreamingRepairOptions wide_options;
+  wide_options.chunk_rows = kStreamChunkRows;
+  const StreamCost wide_run = stream_best_of("fig13_streaming_wide",
+                                             wide_csv, wide_index,
+                                             wide_options);
+  StreamingRepairOptions pruned_options = wide_options;
+  pruned_options.prune_columns = true;
+  const StreamCost pruned_run = stream_best_of("fig13_streaming_pruned",
+                                               wide_csv, wide_index,
+                                               pruned_options);
 
   BenchJson json("BENCH_repair.json");
   json.Set("workload", "rows", static_cast<double>(rows));
@@ -288,6 +378,23 @@ void WriteRepairJson() {
   json.Set("streaming_chunked", "allocations", streaming.allocations);
   json.Set("streaming_chunked", "chunk_rows",
            static_cast<double>(kStreamChunkRows));
+  json.Set("streaming_spill", "ms", spill_run.cost.ms);
+  json.Set("streaming_spill", "rows_per_sec",
+           rows / (spill_run.cost.ms / 1e3));
+  json.Set("streaming_spill", "budget_bytes",
+           static_cast<double>(spill_budget));
+  json.Set("streaming_spill", "peak_resident_bytes",
+           static_cast<double>(spill_run.result.peak_resident_bytes));
+  json.Set("streaming_pruned", "ms", pruned_run.cost.ms);
+  json.Set("streaming_pruned", "rows_per_sec",
+           rows / (pruned_run.cost.ms / 1e3));
+  json.Set("streaming_pruned", "columns_pruned",
+           static_cast<double>(pruned_run.result.columns_pruned));
+  json.Set("streaming_pruned", "payload_columns",
+           static_cast<double>(kPayloadColumns));
+  json.Set("streaming_pruned", "unpruned_ms", wide_run.cost.ms);
+  json.Set("streaming_pruned", "speedup_vs_chunked",
+           wide_run.cost.ms / pruned_run.cost.ms);
   json.Set("process", "peak_rss_bytes", PeakRssBytes());
   json.Set("process", "allocations_total",
            static_cast<double>(AllocationCount()));

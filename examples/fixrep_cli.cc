@@ -12,6 +12,7 @@
 //   fixrep_cli repair    --rules rules.txt --in dirty.csv --out fixed.csv
 //                        [--engine lrepair|crepair] [--threads N]
 //                        [--no-memo] [--log] [--stream] [--chunk-rows N]
+//                        [--memory-budget SIZE] [--prune]
 //                        [--on-error=abort|skip|quarantine]
 //                        [--quarantine-out q.csv] [--max-chase-steps N]
 //                        --threads N uses the pooled parallel engine
@@ -32,6 +33,14 @@
 //                        proportional to one chunk; the output CSV and
 //                        quarantine file are byte-identical to the
 //                        whole-table run (lrepair engine only, no --log).
+//                        --memory-budget=64MB (K/M/G suffixes) spills
+//                        chunk cell blocks past the budget to a
+//                        temp-backed mmap file; without --chunk-rows the
+//                        whole input becomes one spilling chunk, so the
+//                        budget alone bounds resident cell memory.
+//                        --prune interns only rule-mentioned columns and
+//                        passes the rest through verbatim (--stream
+//                        only; output is byte-identical).
 //   fixrep_cli eval      --truth truth.csv --dirty dirty.csv
 //                        --repaired fixed.csv
 //
@@ -69,11 +78,8 @@
 #include "eval/metrics.h"
 #include "eval/text_table.h"
 #include "relation/csv.h"
-#include "repair/crepair.h"
-#include "repair/lrepair.h"
-#include "repair/parallel.h"
 #include "repair/provenance.h"
-#include "repair/streaming.h"
+#include "repair/session.h"
 #include "rulegen/discovery.h"
 #include "rulegen/rulegen.h"
 #include "rules/consistency.h"
@@ -145,6 +151,46 @@ class Args {
   std::string command_;
   std::map<std::string, std::string> values_;
 };
+
+// Parses "64MB" / "512K" / "1G" / plain bytes into a byte count.
+// Returns false on garbage.
+bool ParseByteSize(const std::string& text, size_t* bytes) {
+  if (text.empty()) return false;
+  char* end = nullptr;
+  const unsigned long long value = std::strtoull(text.c_str(), &end, 10);
+  if (end == text.c_str()) return false;
+  std::string suffix(end);
+  if (!suffix.empty() && (suffix.back() == 'B' || suffix.back() == 'b')) {
+    suffix.pop_back();
+  }
+  size_t scale = 1;
+  if (suffix == "K" || suffix == "k") {
+    scale = size_t{1} << 10;
+  } else if (suffix == "M" || suffix == "m") {
+    scale = size_t{1} << 20;
+  } else if (suffix == "G" || suffix == "g") {
+    scale = size_t{1} << 30;
+  } else if (!suffix.empty()) {
+    return false;
+  }
+  *bytes = static_cast<size_t>(value) * scale;
+  return true;
+}
+
+// Builds the RepairConfig shared by all repair flows from the command
+// line; the per-flow callers fill in quarantine sinks and chunking.
+RepairConfig ConfigFromArgs(const Args& args, OnErrorPolicy policy) {
+  RepairConfig config;
+  config.engine = args.Get("engine", "lrepair") == "crepair"
+                      ? RepairEngine::kCRepair
+                      : RepairEngine::kLRepair;
+  // No --threads: serial. --threads 0: hardware width.
+  config.threads = args.Has("threads") ? args.GetSizeT("threads", 0) : 1;
+  config.use_memo = !args.Has("no-memo");
+  config.on_error = policy;
+  config.max_chase_steps = args.GetSizeT("max-chase-steps", 0);
+  return config;
+}
 
 int Usage() {
   std::cerr << "usage: fixrep_cli "
@@ -343,22 +389,31 @@ int RepairStream(const Args& args, OnErrorPolicy policy) {
   const RuleSet rules = std::move(rules_or).value();
   load.reset();
 
-  const CompiledRuleIndex index(&rules);
-  StreamingRepairOptions options;
-  options.chunk_rows = args.GetSizeT("chunk-rows", size_t{64} * 1024);
-  if (options.chunk_rows == 0) {
+  RepairConfig config = ConfigFromArgs(args, policy);
+  config.quarantine = quarantining ? &tuple_sink : nullptr;
+  if (args.Has("memory-budget")) {
+    if (!ParseByteSize(args.Require("memory-budget"),
+                       &config.memory_budget_bytes) ||
+        config.memory_budget_bytes == 0) {
+      std::cerr << "bad --memory-budget '" << args.Get("memory-budget")
+                << "' (want e.g. 64MB, 512K, 1G)\n";
+      return 2;
+    }
+  }
+  // A budget with no explicit chunking means "let the spill file, not
+  // the chunk size, bound memory": one whole-file chunk.
+  const size_t default_chunk = config.memory_budget_bytes > 0
+                                   ? RepairConfig::kWholeFile
+                                   : size_t{64} * 1024;
+  config.chunk_rows = args.GetSizeT("chunk-rows", default_chunk);
+  if (config.chunk_rows == 0) {
     std::cerr << "--chunk-rows must be positive\n";
     return 2;
   }
-  options.threads =
-      args.Has("threads") ? args.GetSizeT("threads", 0) : 1;
-  options.use_memo = !args.Has("no-memo");
-  options.on_error = policy;
-  options.quarantine = quarantining ? &tuple_sink : nullptr;
-  options.max_chase_steps = args.GetSizeT("max-chase-steps", 0);
+  config.prune_columns = args.Has("prune");
 
   Timer timer;
-  StreamingRepairResult result;
+  RepairReport result;
   {
     FIXREP_TRACE_SPAN("cli.stream");
     std::ofstream out(args.Require("out"));
@@ -367,8 +422,8 @@ int RepairStream(const Args& args, OnErrorPolicy policy) {
                 << "\n";
       return 1;
     }
-    StreamingRepairSession session(&index, options);
-    StatusOr<StreamingRepairResult> result_or = session.Run(&reader, out);
+    RepairSession session(&rules, config);
+    StatusOr<RepairReport> result_or = session.RepairStream(&reader, out);
     if (!result_or.ok()) {
       std::cerr << "error repairing --in: " << result_or.status() << "\n";
       return 1;
@@ -387,11 +442,20 @@ int RepairStream(const Args& args, OnErrorPolicy policy) {
     if (rc != 0) return rc;
   }
 
-  std::cout << "repaired " << result.rows_emitted << " rows ("
+  std::cout << "repaired " << result.rows << " rows ("
             << result.cells_changed << " cells changed, "
             << result.chunks << " chunks) in "
             << FormatDouble(timer.ElapsedMillis(), 1) << " ms -> "
             << args.Get("out") << "\n";
+  if (config.memory_budget_bytes > 0) {
+    std::cout << "memory budget " << config.memory_budget_bytes
+              << " bytes: peak resident cell blocks "
+              << result.peak_resident_bytes << " bytes\n";
+  }
+  if (result.columns_pruned > 0) {
+    std::cout << "pruned " << result.columns_pruned
+              << " columns never mentioned by a rule\n";
+  }
   if (policy != OnErrorPolicy::kAbort) {
     const auto* rows_counter =
         MetricsRegistry::Global().FindCounter("fixrep.quarantine.rows");
@@ -447,45 +511,16 @@ int RepairLenient(const Args& args, OnErrorPolicy policy) {
   load.reset();
 
   Timer timer;
-  size_t cells_changed = 0;
-  size_t tuples_quarantined = 0;
-  const std::string engine = args.Get("engine", "lrepair");
-  const size_t max_chase_steps = args.GetSizeT("max-chase-steps", 0);
-  if (engine == "crepair") {
-    ChaseRepairer repairer(&rules);
-    repairer.set_max_chase_steps(max_chase_steps);
-    for (size_t r = 0; r < table.num_rows(); ++r) {
-      size_t changed = 0;
-      const Status status =
-          repairer.TryRepairTuple(table.WriteRow(r), &changed);
-      if (status.ok()) {
-        cells_changed += changed;
-        continue;
-      }
-      ++tuples_quarantined;
-      if (quarantining) {
-        tuple_sink.Add(Diagnostic{r, status.code(), status.message(),
-                                  table.FormatRow(r)});
-      }
-    }
-    MetricsRegistry::Global()
-        .GetCounter("fixrep.quarantine.tuples")
-        ->Add(tuples_quarantined);
-    repairer.FlushMetrics();
-  } else {
-    const CompiledRuleIndex index(&rules);
-    LenientRepairOptions options;
-    options.parallel.threads = args.Has("threads")
-                                   ? args.GetSizeT("threads", 0)
-                                   : 1;  // no --threads: serial, like abort
-    options.on_error = policy;
-    options.quarantine = quarantining ? &tuple_sink : nullptr;
-    options.max_chase_steps = max_chase_steps;
-    const LenientRepairResult result =
-        ParallelRepairTableLenient(index, &table, options);
-    cells_changed = result.stats.cells_changed;
-    tuples_quarantined = result.tuples_quarantined;
+  RepairConfig config = ConfigFromArgs(args, policy);
+  config.quarantine = quarantining ? &tuple_sink : nullptr;
+  RepairSession session(&rules, config);
+  StatusOr<RepairReport> report_or = session.Repair(&table);
+  if (!report_or.ok()) {
+    std::cerr << "error repairing --in: " << report_or.status() << "\n";
+    return 1;
   }
+  const size_t cells_changed = report_or.value().cells_changed;
+  const size_t tuples_quarantined = report_or.value().tuples_quarantined;
 
   {
     FIXREP_TRACE_SPAN("cli.write");
@@ -548,7 +583,6 @@ int Repair(const Args& args) {
   const RuleSet rules =
       ParseRulesFile(args.Require("rules"), table.schema_ptr(), pool);
   load.reset();
-  const std::string engine = args.Get("engine", "lrepair");
   Timer timer;
   size_t cells_changed = 0;
   if (args.Has("log")) {
@@ -557,23 +591,14 @@ int Repair(const Args& args) {
     for (const auto& repair : log.repairs) {
       std::cout << log.Describe(repair, table.schema(), *pool) << "\n";
     }
-  } else if (engine == "crepair") {
-    ChaseRepairer repairer(&rules);
-    repairer.RepairTable(&table);
-    cells_changed = repairer.stats().cells_changed;
-  } else if (args.Has("threads")) {
-    const CompiledRuleIndex index(&rules);
-    ParallelRepairOptions options;
-    options.threads = args.GetSizeT("threads", 0);
-    options.use_memo = !args.Has("no-memo");
-    const RepairStats stats = ParallelRepairTable(index, &table, options);
-    cells_changed = stats.cells_changed;
   } else {
-    FastRepairer repairer(&rules);
-    MemoCache memo;
-    if (!args.Has("no-memo")) repairer.set_memo(&memo);
-    repairer.RepairTable(&table);
-    cells_changed = repairer.stats().cells_changed;
+    RepairSession session(&rules, ConfigFromArgs(args, OnErrorPolicy::kAbort));
+    StatusOr<RepairReport> report_or = session.Repair(&table);
+    if (!report_or.ok()) {
+      std::cerr << "error repairing --in: " << report_or.status() << "\n";
+      return 1;
+    }
+    cells_changed = report_or.value().cells_changed;
   }
   {
     FIXREP_TRACE_SPAN("cli.write");

@@ -18,7 +18,7 @@
 #include "eval/metrics.h"
 #include "eval/text_table.h"
 #include "relation/csv.h"
-#include "repair/lrepair.h"
+#include "repair/session.h"
 #include "rulegen/rulegen.h"
 #include "rules/consistency.h"
 
@@ -63,12 +63,12 @@ int main(int argc, char** argv) {
             << fixrep::FormatDouble(timer.ElapsedMillis(), 1) << " ms)\n";
 
   fixrep::Table repaired = dirty;
-  fixrep::FastRepairer repairer(&rules);
+  fixrep::RepairSession session(&rules);
   timer.Restart();
-  repairer.RepairTable(&repaired);
+  const auto repair_report = session.Repair(&repaired);
   std::cout << "lRepair over " << repaired.num_rows() << " tuples: "
             << fixrep::FormatDouble(timer.ElapsedMillis(), 1) << " ms, "
-            << repairer.stats().cells_changed << " cells changed\n";
+            << repair_report.value().cells_changed << " cells changed\n";
 
   const fixrep::Accuracy accuracy =
       fixrep::EvaluateRepair(data.clean, dirty, repaired);

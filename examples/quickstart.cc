@@ -10,8 +10,7 @@
 #include <iostream>
 
 #include "datagen/travel.h"
-#include "repair/crepair.h"
-#include "repair/lrepair.h"
+#include "repair/session.h"
 #include "rules/consistency.h"
 #include "rules/resolution.h"
 
@@ -48,17 +47,20 @@ int main() {
 
   PrintTable("\n== Dirty Travel data (Fig. 1) ==", example.dirty);
 
-  // Repair with lRepair (Fig. 7); cRepair (Fig. 6) must agree.
+  // Repair with lRepair (Fig. 7); cRepair (Fig. 6) must agree. One
+  // RepairSession per engine — the config picks the algorithm.
   fixrep::Table by_lrepair = example.dirty;
-  fixrep::FastRepairer lrepair(&example.rules);
-  lrepair.RepairTable(&by_lrepair);
+  fixrep::RepairSession lrepair(&example.rules);  // default: lRepair
+  const auto lrepair_report = lrepair.Repair(&by_lrepair);
 
   fixrep::Table by_crepair = example.dirty;
-  fixrep::ChaseRepairer crepair(&example.rules);
-  crepair.RepairTable(&by_crepair);
+  fixrep::RepairConfig chase;
+  chase.engine = fixrep::RepairEngine::kCRepair;
+  fixrep::RepairSession crepair(&example.rules, chase);
+  crepair.Repair(&by_crepair);
 
   PrintTable("\n== After lRepair ==", by_lrepair);
-  std::cout << "  cells changed: " << lrepair.stats().cells_changed
+  std::cout << "  cells changed: " << lrepair_report.value().cells_changed
             << " (cRepair agrees: "
             << (by_crepair.RowsEqual(by_lrepair) ? "yes" : "NO")
             << ")\n";

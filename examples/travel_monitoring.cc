@@ -4,8 +4,8 @@
 // monitoring") as the place where per-tuple repair shines: fix records
 // before they enter the database instead of cleaning the database later.
 // Fixing rules do this without a user in the loop. This example feeds a
-// stream of Travel bookings through one FastRepairer and prints an audit
-// line for every automatic correction.
+// batch of Travel bookings through one RepairSession and prints an
+// audit line for every automatic correction.
 //
 // Run: ./travel_monitoring
 
@@ -13,11 +13,11 @@
 #include <vector>
 
 #include "datagen/travel.h"
-#include "repair/lrepair.h"
+#include "repair/session.h"
 
 int main() {
   fixrep::TravelExample example;
-  fixrep::FastRepairer repairer(&example.rules);
+  fixrep::RepairSession session(&example.rules);
   std::cout << "monitoring with " << example.rules.size()
             << " fixing rules\n\n";
 
@@ -28,12 +28,16 @@ int main() {
   stream.AppendRowStrings({"Wei", "Japan", "Tokyo", "Tokyo", "ICDE"});
   stream.AppendRowStrings({"Eva", "Canada", "Ottawa", "Toronto", "ICDE"});
 
+  // Keep the as-arrived records for the audit diff, then repair the
+  // whole batch in place.
+  const fixrep::Table arrived = stream;
+  session.Repair(&stream).value();
+
   size_t accepted_clean = 0;
   size_t repaired = 0;
   for (size_t r = 0; r < stream.num_rows(); ++r) {
-    const fixrep::Tuple before = stream.row(r).ToTuple();
-    const size_t changes = repairer.RepairTuple(stream.WriteRow(r));
-    if (changes == 0) {
+    const fixrep::TupleRef before = arrived.row(r);
+    if (before == stream.row(r)) {
       ++accepted_clean;
       std::cout << "accept  " << stream.FormatRow(r) << "\n";
       continue;

@@ -21,7 +21,7 @@
 #include "datagen/uis.h"
 #include "eval/metrics.h"
 #include "eval/text_table.h"
-#include "repair/lrepair.h"
+#include "repair/session.h"
 #include "rulegen/rulegen.h"
 
 namespace {
@@ -62,9 +62,9 @@ int main(int argc, char** argv) {
 
   {
     fixrep::Table repaired = dirty;
-    fixrep::FastRepairer repairer(&rules);
+    fixrep::RepairSession session(&rules);
     timer.Restart();
-    repairer.RepairTable(&repaired);
+    session.Repair(&repaired).value();
     Report(&table, "Fix (lRepair)",
            EvaluateRepair(data.clean, dirty, repaired),
            timer.ElapsedMillis());

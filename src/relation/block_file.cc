@@ -1,0 +1,161 @@
+#include "relation/block_file.h"
+
+#include <fcntl.h>
+#include <sys/mman.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "common/fault.h"
+#include "common/logging.h"
+#include "common/metrics.h"
+
+namespace fixrep {
+
+namespace {
+
+std::string TempDir() {
+  const char* env = std::getenv("TMPDIR");
+  return (env != nullptr && *env != '\0') ? env : "/tmp";
+}
+
+std::string ErrnoText() { return std::strerror(errno); }
+
+}  // namespace
+
+BlockFile::BlockFile(size_t block_bytes) : block_bytes_(block_bytes) {
+  FIXREP_CHECK_GT(block_bytes_, 0u);
+  const size_t page = static_cast<size_t>(sysconf(_SC_PAGESIZE));
+  FIXREP_CHECK_EQ(block_bytes_ % page, 0u)
+      << "spill block size must be page-aligned for mmap";
+}
+
+BlockFile::~BlockFile() {
+  if (fd_ >= 0) ::close(fd_);
+}
+
+Status BlockFile::EnsureOpen() {
+  if (fd_ >= 0) return Status::Ok();
+  const std::string dir = TempDir();
+  if (FIXREP_FAULT("block_file.open")) {
+    return Status::IoError("injected failure opening spill file in " + dir);
+  }
+#ifdef O_TMPFILE
+  fd_ = ::open(dir.c_str(), O_TMPFILE | O_RDWR | O_CLOEXEC, 0600);
+#endif
+  if (fd_ < 0) {
+    // Portable fallback: a named temp file unlinked before first use.
+    std::string path = dir + "/fixrep-spill-XXXXXX";
+    std::vector<char> buf(path.begin(), path.end());
+    buf.push_back('\0');
+    fd_ = ::mkstemp(buf.data());
+    if (fd_ < 0) {
+      return Status::IoError("cannot create spill file in " + dir + ": " +
+                             ErrnoText());
+    }
+    ::unlink(buf.data());
+  }
+  MetricsRegistry::Global().GetCounter("fixrep.spill.files_created")->Add(1);
+  return Status::Ok();
+}
+
+Status BlockFile::WriteBlock(uint32_t block, const void* data) {
+  FIXREP_CHECK_LE(block, num_blocks_);
+  const Status open = EnsureOpen();
+  if (!open.ok()) return open;
+  if (FIXREP_FAULT("block_file.write")) {
+    return Status::IoError("injected failure writing spill block " +
+                           std::to_string(block));
+  }
+  const char* src = static_cast<const char*>(data);
+  size_t remaining = block_bytes_;
+  off_t offset = static_cast<off_t>(block) * static_cast<off_t>(block_bytes_);
+  while (remaining > 0) {
+    const ssize_t n = ::pwrite(fd_, src, remaining, offset);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return Status::IoError("spill write failed at block " +
+                             std::to_string(block) + ": " + ErrnoText());
+    }
+    src += n;
+    offset += n;
+    remaining -= static_cast<size_t>(n);
+  }
+  if (block == num_blocks_) ++num_blocks_;
+  MetricsRegistry::Global()
+      .GetCounter("fixrep.spill.blocks_written")
+      ->Add(1);
+  return Status::Ok();
+}
+
+StatusOr<const void*> BlockFile::MapBlock(uint32_t block) const {
+  FIXREP_CHECK_LT(block, num_blocks_);
+  if (FIXREP_FAULT("block_file.map")) {
+    return Status::IoError("injected failure mapping spill block " +
+                           std::to_string(block));
+  }
+  const off_t offset =
+      static_cast<off_t>(block) * static_cast<off_t>(block_bytes_);
+  void* addr =
+      ::mmap(nullptr, block_bytes_, PROT_READ, MAP_SHARED, fd_, offset);
+  if (addr == MAP_FAILED) {
+    return Status::IoError("mmap of spill block " + std::to_string(block) +
+                           " failed: " + ErrnoText());
+  }
+  // The store scans rows of a mapped block front to back (repair, CSV
+  // emission); tell the readahead machinery so and fault the block in
+  // eagerly rather than one page at a time.
+  ::madvise(addr, block_bytes_, MADV_SEQUENTIAL);
+  ::madvise(addr, block_bytes_, MADV_WILLNEED);
+  MetricsRegistry::Global().GetCounter("fixrep.spill.blocks_mapped")->Add(1);
+  return static_cast<const void*>(addr);
+}
+
+void BlockFile::UnmapBlock(const void* addr) const {
+  if (addr == nullptr) return;
+  ::munmap(const_cast<void*>(addr), block_bytes_);
+}
+
+Status BlockFile::ReadBlock(uint32_t block, void* out) const {
+  FIXREP_CHECK_LT(block, num_blocks_);
+  if (FIXREP_FAULT("block_file.read")) {
+    return Status::IoError("injected failure reading spill block " +
+                           std::to_string(block));
+  }
+  char* dst = static_cast<char*>(out);
+  size_t remaining = block_bytes_;
+  off_t offset = static_cast<off_t>(block) * static_cast<off_t>(block_bytes_);
+  while (remaining > 0) {
+    const ssize_t n = ::pread(fd_, dst, remaining, offset);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return Status::IoError("spill read failed at block " +
+                             std::to_string(block) + ": " + ErrnoText());
+    }
+    if (n == 0) {
+      return Status::IoError("spill file truncated at block " +
+                             std::to_string(block));
+    }
+    dst += n;
+    offset += n;
+    remaining -= static_cast<size_t>(n);
+  }
+  MetricsRegistry::Global().GetCounter("fixrep.spill.blocks_loaded")->Add(1);
+  return Status::Ok();
+}
+
+void BlockFile::Reset() {
+  num_blocks_ = 0;
+  if (fd_ >= 0) {
+    // Give the space back eagerly; the descriptor (and the O_TMPFILE
+    // anonymity) is kept for the next chunk.
+    (void)::ftruncate(fd_, 0);
+  }
+}
+
+}  // namespace fixrep

@@ -1,0 +1,77 @@
+#ifndef FIXREP_RELATION_BLOCK_FILE_H_
+#define FIXREP_RELATION_BLOCK_FILE_H_
+
+#include <cstddef>
+#include <cstdint>
+
+#include "common/status.h"
+
+namespace fixrep {
+
+// Temp-backed spill file of fixed-size blocks — the disk side of the
+// out-of-core RowStore (docs/storage.md).
+//
+// The file is created lazily on the first write, in $TMPDIR (default
+// /tmp), as an anonymous O_TMPFILE when the kernel supports it and as an
+// immediately-unlinked mkstemp file otherwise; either way nothing ever
+// appears in a directory listing and the space is reclaimed the moment
+// the process (or the BlockFile) dies. Block i lives at byte offset
+// i * block_bytes. block_bytes must be a multiple of the page size so
+// every block offset is mmap-able; the RowStore's blocks
+// (kRowsPerBlock * arity * sizeof(ValueId) = arity * 16 KiB) always are.
+//
+// Reads come back either as a read-only shared mapping (MapBlock — the
+// zero-copy path for scans) or as a pread into caller memory (ReadBlock —
+// the load-for-write path). Mapped views stay valid until UnmapBlock,
+// including across WriteBlock to *other* blocks; rewriting a mapped
+// block's slot is legal but the mapping then observes the new bytes
+// (MAP_SHARED), so the RowStore never keeps a mapping of a block it is
+// rewriting.
+//
+// Not thread-safe: the owning RowStore serializes all calls behind its
+// spill mutex.
+class BlockFile {
+ public:
+  explicit BlockFile(size_t block_bytes);
+  ~BlockFile();
+
+  BlockFile(const BlockFile&) = delete;
+  BlockFile& operator=(const BlockFile&) = delete;
+
+  size_t block_bytes() const { return block_bytes_; }
+  // Blocks ever written (the file's length in blocks).
+  uint32_t num_blocks() const { return num_blocks_; }
+  size_t bytes_on_disk() const {
+    return static_cast<size_t>(num_blocks_) * block_bytes_;
+  }
+
+  // Writes one full block at slot `block` (appending when block ==
+  // num_blocks(), overwriting when smaller). Creates the temp file on
+  // first use.
+  Status WriteBlock(uint32_t block, const void* data);
+
+  // Maps block `block` read-only and hints the kernel that the caller
+  // will scan it (MADV_WILLNEED + MADV_SEQUENTIAL). The returned view is
+  // valid until UnmapBlock.
+  StatusOr<const void*> MapBlock(uint32_t block) const;
+  void UnmapBlock(const void* addr) const;
+
+  // Copies block `block` into caller-owned memory (the un-spill-for-write
+  // path).
+  Status ReadBlock(uint32_t block, void* out) const;
+
+  // Forgets every block and truncates the file, keeping the descriptor —
+  // the streaming pipeline reuses one spill file across chunks.
+  void Reset();
+
+ private:
+  Status EnsureOpen();
+
+  size_t block_bytes_;
+  uint32_t num_blocks_ = 0;
+  int fd_ = -1;
+};
+
+}  // namespace fixrep
+
+#endif  // FIXREP_RELATION_BLOCK_FILE_H_

@@ -127,9 +127,13 @@ StatusOr<CsvChunkReader> CsvChunkReader::Open(std::istream& in,
   return CsvChunkReader(&in, std::move(schema), std::move(pool), options);
 }
 
-StatusOr<size_t> CsvChunkReader::ReadChunk(Table* chunk, size_t max_rows) {
+StatusOr<size_t> CsvChunkReader::ReadChunk(Table* chunk, size_t max_rows,
+                                           ColumnSidecar* sidecar) {
   FIXREP_CHECK(chunk != nullptr);
   FIXREP_CHECK_EQ(chunk->num_columns(), schema_->arity());
+  if (sidecar != nullptr) {
+    FIXREP_CHECK_EQ(sidecar->columns.size(), schema_->arity());
+  }
   const bool lenient = options_.on_error != OnErrorPolicy::kAbort;
   // Raw text is only captured when a record can end up quarantined.
   std::string* raw =
@@ -167,7 +171,16 @@ StatusOr<size_t> CsvChunkReader::ReadChunk(Table* chunk, size_t max_rows) {
       ++record_;
       continue;
     }
-    chunk->AppendRowStrings(fields_);
+    if (sidecar == nullptr) {
+      chunk->AppendRowStrings(fields_);
+    } else {
+      chunk->AppendRowStringsMasked(fields_, sidecar->materialized);
+      for (size_t a = 0; a < fields_.size(); ++a) {
+        if (sidecar->pruned(static_cast<AttrId>(a))) {
+          sidecar->columns[a].push_back(fields_[a]);
+        }
+      }
+    }
     ++record_;
     ++appended;
   }
@@ -243,6 +256,29 @@ void WriteCsvRows(const Table& table, std::ostream& out, size_t begin_row) {
     for (size_t a = 0; a < schema.arity(); ++a) {
       if (a > 0) out << ',';
       WriteField(table.CellString(r, static_cast<AttrId>(a)), out);
+    }
+    out << '\n';
+  }
+}
+
+void WriteCsvRowsPruned(const Table& table, const ColumnSidecar& sidecar,
+                        std::ostream& out) {
+  const Schema& schema = table.schema();
+  FIXREP_CHECK_EQ(sidecar.columns.size(), schema.arity());
+  for (size_t a = 0; a < schema.arity(); ++a) {
+    if (sidecar.pruned(static_cast<AttrId>(a))) {
+      FIXREP_CHECK_EQ(sidecar.columns[a].size(), table.num_rows());
+    }
+  }
+  for (size_t r = 0; r < table.num_rows(); ++r) {
+    for (size_t a = 0; a < schema.arity(); ++a) {
+      if (a > 0) out << ',';
+      const AttrId attr = static_cast<AttrId>(a);
+      if (sidecar.pruned(attr)) {
+        WriteField(sidecar.columns[a][r], out);
+      } else {
+        WriteField(table.CellString(r, attr), out);
+      }
     }
     out << '\n';
   }

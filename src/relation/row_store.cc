@@ -1,0 +1,359 @@
+#include "relation/row_store.h"
+
+#include <cstring>
+#include <limits>
+#include <mutex>
+
+#include "common/logging.h"
+#include "common/metrics.h"
+#include "relation/block_file.h"
+
+namespace fixrep {
+
+namespace {
+constexpr uint32_t kNoFileBlock = std::numeric_limits<uint32_t>::max();
+}  // namespace
+
+// Spill-mode state. A block is in exactly one of three states:
+//
+//   kHeap    — writable heap buffer; counts against the budget. Heap
+//              blocks are implicitly dirty (their disk copy, if any, is
+//              stale), so evicting one costs a WriteBlock.
+//   kMapped  — read-only mmap view of the block's spill-file slot; counts
+//              against the budget but eviction is a free munmap.
+//   kSpilled — on disk only; not addressable.
+//
+// Transitions (append, map-for-read, load-for-write, evict) happen only
+// under `mu` and only in single-threaded phases of the pipeline; the
+// parallel repair drivers pin + MakeBlockWritable a block up front so
+// every worker access is the lock-free kHeap fast path in row_store.h.
+// LRU stamps advance on transitions and pin/unpin, not per row access —
+// per-access stamping would put a shared write on the read path.
+struct RowStoreSpill {
+  enum class State { kHeap, kMapped, kSpilled };
+
+  struct Block {
+    std::unique_ptr<ValueId[]> heap;
+    const ValueId* mapped = nullptr;
+    State state = State::kHeap;
+    uint32_t file_block = kNoFileBlock;  // slot assigned on first spill
+    int pins = 0;
+    uint64_t stamp = 0;
+  };
+
+  RowStoreSpill(size_t arity, size_t budget)
+      : block_cells(RowStore::kRowsPerBlock * arity),
+        block_bytes(block_cells * sizeof(ValueId)),
+        budget_bytes(budget),
+        file(block_bytes) {}
+
+  const size_t block_cells;
+  const size_t block_bytes;
+  const size_t budget_bytes;  // 0 = never evict
+  // `mutable` members below (file included) are guarded by `mu`; const
+  // methods like Readable()/SpillToDisk() transition block state.
+  mutable BlockFile file;
+
+  mutable std::mutex mu;
+  mutable std::vector<Block> blocks;
+  mutable uint64_t next_stamp = 1;
+  mutable size_t resident = 0;       // bytes in kHeap + kMapped blocks
+  mutable size_t peak_resident = 0;
+  size_t pinned_blocks = 0;
+
+  uint64_t Stamp() const { return next_stamp++; }
+
+  void NoteResident(size_t delta) const {
+    resident += delta;
+    if (resident > peak_resident) peak_resident = resident;
+  }
+
+  // Floor below which eviction gives up: the tail stays writable, the
+  // block being accessed must stay addressable, and pins are promises.
+  size_t FloorBytes() const { return (pinned_blocks + 2) * block_bytes; }
+
+  size_t EffectiveBudget() const {
+    return budget_bytes == 0 ? std::numeric_limits<size_t>::max()
+                             : std::max(budget_bytes, FloorBytes());
+  }
+
+  // All four helpers below require `mu` held.
+
+  void SpillToDisk(size_t b) const {
+    Block& blk = blocks[b];
+    FIXREP_CHECK(blk.state == State::kHeap);
+    if (blk.file_block == kNoFileBlock) blk.file_block = file.num_blocks();
+    const Status s = file.WriteBlock(blk.file_block, blk.heap.get());
+    FIXREP_CHECK(s.ok()) << "spill write failed: " << s.message();
+    blk.heap.reset();
+    blk.state = State::kSpilled;
+    resident -= block_bytes;
+  }
+
+  void Unmap(size_t b) const {
+    Block& blk = blocks[b];
+    FIXREP_CHECK(blk.state == State::kMapped);
+    file.UnmapBlock(blk.mapped);
+    blk.mapped = nullptr;
+    blk.state = State::kSpilled;
+    resident -= block_bytes;
+  }
+
+  // Evicts coldest unpinned non-tail blocks (other than `keep`) until the
+  // resident set fits the effective budget or no victim remains. Mapped
+  // blocks go first — dropping a read-only view is free, flushing a heap
+  // block costs a write.
+  void EnforceBudget(size_t keep) const {
+    const size_t budget = EffectiveBudget();
+    const size_t tail = blocks.empty() ? 0 : blocks.size() - 1;
+    while (resident > budget) {
+      size_t victim = blocks.size();
+      bool victim_mapped = false;
+      uint64_t victim_stamp = 0;
+      for (size_t b = 0; b < blocks.size(); ++b) {
+        const Block& blk = blocks[b];
+        if (blk.state == State::kSpilled || blk.pins > 0 || b == keep ||
+            b == tail) {
+          continue;
+        }
+        const bool mapped = blk.state == State::kMapped;
+        if (victim == blocks.size() || (mapped && !victim_mapped) ||
+            (mapped == victim_mapped && blk.stamp < victim_stamp)) {
+          victim = b;
+          victim_mapped = mapped;
+          victim_stamp = blk.stamp;
+        }
+      }
+      if (victim == blocks.size()) return;  // everything left is pinned
+      if (victim_mapped) {
+        Unmap(victim);
+      } else {
+        SpillToDisk(victim);
+      }
+      MetricsRegistry::Global()
+          .GetCounter("fixrep.spill.blocks_evicted")
+          ->Add(1);
+    }
+  }
+
+  // Returns a readable pointer to block `b`, mapping it in if spilled.
+  const ValueId* Readable(size_t b) const {
+    Block& blk = blocks[b];
+    switch (blk.state) {
+      case State::kHeap:
+        return blk.heap.get();
+      case State::kMapped:
+        return blk.mapped;
+      case State::kSpilled:
+        break;
+    }
+    StatusOr<const void*> mapped = file.MapBlock(blk.file_block);
+    FIXREP_CHECK(mapped.ok()) << "spill map failed: "
+                              << mapped.status().message();
+    blk.mapped = static_cast<const ValueId*>(mapped.value());
+    blk.state = State::kMapped;
+    blk.stamp = Stamp();
+    NoteResident(block_bytes);
+    EnforceBudget(b);
+    return blk.mapped;
+  }
+
+  // Returns a writable heap pointer to block `b`, loading it back from
+  // disk (or copying out of its mapping) if needed.
+  ValueId* Writable(size_t b) {
+    Block& blk = blocks[b];
+    if (blk.state == State::kHeap) return blk.heap.get();
+    std::unique_ptr<ValueId[]> heap(new ValueId[block_cells]);
+    if (blk.state == State::kMapped) {
+      std::memcpy(heap.get(), blk.mapped, block_bytes);
+      file.UnmapBlock(blk.mapped);
+      blk.mapped = nullptr;
+    } else {
+      const Status s = file.ReadBlock(blk.file_block, heap.get());
+      FIXREP_CHECK(s.ok()) << "spill read failed: " << s.message();
+      NoteResident(block_bytes);
+    }
+    blk.heap = std::move(heap);
+    blk.state = State::kHeap;
+    blk.stamp = Stamp();
+    EnforceBudget(b);
+    return blk.heap.get();
+  }
+};
+
+RowStore::RowStore(size_t arity) : arity_(arity) {}
+RowStore::~RowStore() = default;
+
+RowStore::RowStore(const RowStore& other)
+    : arity_(other.arity_),
+      num_rows_(other.num_rows_),
+      cells_(other.cells_) {
+  FIXREP_CHECK(other.spill_ == nullptr)
+      << "out-of-core RowStore cannot be copied";
+}
+
+RowStore& RowStore::operator=(const RowStore& other) {
+  FIXREP_CHECK(other.spill_ == nullptr)
+      << "out-of-core RowStore cannot be copied";
+  FIXREP_CHECK(spill_ == nullptr)
+      << "cannot assign over an out-of-core RowStore";
+  arity_ = other.arity_;
+  num_rows_ = other.num_rows_;
+  cells_ = other.cells_;
+  return *this;
+}
+
+RowStore::RowStore(RowStore&&) noexcept = default;
+RowStore& RowStore::operator=(RowStore&&) noexcept = default;
+
+Status RowStore::EnableSpill(size_t resident_budget_bytes) {
+  FIXREP_CHECK_EQ(num_rows_, 0u) << "EnableSpill requires an empty store";
+  if (arity_ == 0) {
+    return Status::MalformedInput("cannot spill a zero-arity relation");
+  }
+  if (spill_ != nullptr) return Status::Ok();
+  cells_.clear();
+  cells_.shrink_to_fit();
+  spill_ = std::make_unique<RowStoreSpill>(arity_, resident_budget_bytes);
+  return Status::Ok();
+}
+
+void RowStore::Clear() {
+  num_rows_ = 0;
+  if (spill_ == nullptr) {
+    cells_.clear();
+    return;
+  }
+  std::lock_guard<std::mutex> lock(spill_->mu);
+  for (size_t b = 0; b < spill_->blocks.size(); ++b) {
+    if (spill_->blocks[b].state == RowStoreSpill::State::kMapped) {
+      spill_->file.UnmapBlock(spill_->blocks[b].mapped);
+    }
+  }
+  spill_->blocks.clear();
+  spill_->resident = 0;
+  spill_->pinned_blocks = 0;
+  spill_->file.Reset();
+}
+
+size_t RowStore::bytes() const {
+  if (spill_ == nullptr) return cells_.capacity() * sizeof(ValueId);
+  std::lock_guard<std::mutex> lock(spill_->mu);
+  return spill_->resident;
+}
+
+void RowStore::PinBlock(size_t block) {
+  FIXREP_CHECK(spill_ != nullptr);
+  std::lock_guard<std::mutex> lock(spill_->mu);
+  FIXREP_CHECK_LT(block, spill_->blocks.size());
+  RowStoreSpill::Block& blk = spill_->blocks[block];
+  if (blk.pins == 0) ++spill_->pinned_blocks;
+  ++blk.pins;
+  blk.stamp = spill_->Stamp();
+  (void)spill_->Readable(block);  // pins imply addressability
+}
+
+void RowStore::UnpinBlock(size_t block) {
+  FIXREP_CHECK(spill_ != nullptr);
+  std::lock_guard<std::mutex> lock(spill_->mu);
+  FIXREP_CHECK_LT(block, spill_->blocks.size());
+  RowStoreSpill::Block& blk = spill_->blocks[block];
+  FIXREP_CHECK_GT(blk.pins, 0);
+  --blk.pins;
+  if (blk.pins == 0) {
+    --spill_->pinned_blocks;
+    spill_->EnforceBudget(block);
+  }
+}
+
+void RowStore::MakeBlockWritable(size_t block) {
+  FIXREP_CHECK(spill_ != nullptr);
+  std::lock_guard<std::mutex> lock(spill_->mu);
+  FIXREP_CHECK_LT(block, spill_->blocks.size());
+  (void)spill_->Writable(block);
+}
+
+size_t RowStore::resident_bytes() const {
+  if (spill_ == nullptr) return 0;
+  std::lock_guard<std::mutex> lock(spill_->mu);
+  return spill_->resident;
+}
+
+size_t RowStore::peak_resident_bytes() const {
+  if (spill_ == nullptr) return 0;
+  std::lock_guard<std::mutex> lock(spill_->mu);
+  return spill_->peak_resident;
+}
+
+size_t RowStore::effective_budget_bytes() const {
+  if (spill_ == nullptr) return 0;
+  std::lock_guard<std::mutex> lock(spill_->mu);
+  return spill_->budget_bytes == 0 ? 0 : spill_->EffectiveBudget();
+}
+
+size_t RowStore::spilled_blocks() const {
+  if (spill_ == nullptr) return 0;
+  std::lock_guard<std::mutex> lock(spill_->mu);
+  size_t n = 0;
+  for (const RowStoreSpill::Block& blk : spill_->blocks) {
+    if (blk.state == RowStoreSpill::State::kSpilled) ++n;
+  }
+  return n;
+}
+
+size_t RowStore::spill_file_bytes() const {
+  if (spill_ == nullptr) return 0;
+  std::lock_guard<std::mutex> lock(spill_->mu);
+  return spill_->file.bytes_on_disk();
+}
+
+const ValueId* RowStore::SpillReadPtr(size_t row) const {
+  const size_t block = row / kRowsPerBlock;
+  const size_t offset = (row % kRowsPerBlock) * arity_;
+  // Lock-free fast path: during parallel phases every accessed block is
+  // heap-resident and pinned, so no transition can race this load.
+  const RowStoreSpill::Block& blk = spill_->blocks[block];
+  if (blk.state == RowStoreSpill::State::kHeap) {
+    return blk.heap.get() + offset;
+  }
+  std::lock_guard<std::mutex> lock(spill_->mu);
+  return spill_->Readable(block) + offset;
+}
+
+ValueId* RowStore::SpillWritePtr(size_t row) {
+  const size_t block = row / kRowsPerBlock;
+  const size_t offset = (row % kRowsPerBlock) * arity_;
+  RowStoreSpill::Block& blk = spill_->blocks[block];
+  if (blk.state == RowStoreSpill::State::kHeap) {
+    return blk.heap.get() + offset;
+  }
+  std::lock_guard<std::mutex> lock(spill_->mu);
+  return spill_->Writable(block) + offset;
+}
+
+TupleSpan RowStore::SpillAppendUninit() {
+  RowStoreSpill& sp = *spill_;
+  std::lock_guard<std::mutex> lock(sp.mu);
+  const size_t row = num_rows_;
+  const size_t block = row / kRowsPerBlock;
+  const size_t offset = (row % kRowsPerBlock) * arity_;
+  if (block == sp.blocks.size()) {
+    // New tail block. The previous tail just became complete and
+    // evictable, so enforce the budget with the new tail protected.
+    sp.blocks.emplace_back();
+    RowStoreSpill::Block& blk = sp.blocks.back();
+    blk.heap.reset(new ValueId[sp.block_cells]);
+    std::fill(blk.heap.get(), blk.heap.get() + sp.block_cells, kNullValue);
+    blk.state = RowStoreSpill::State::kHeap;
+    blk.stamp = sp.Stamp();
+    sp.NoteResident(sp.block_bytes);
+    sp.EnforceBudget(block);
+  }
+  RowStoreSpill::Block& blk = sp.blocks[block];
+  FIXREP_CHECK(blk.state == RowStoreSpill::State::kHeap)
+      << "tail block must stay heap-resident";
+  ++num_rows_;
+  return TupleSpan(blk.heap.get() + offset, arity_);
+}
+
+}  // namespace fixrep

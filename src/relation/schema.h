@@ -12,6 +12,50 @@ namespace fixrep {
 using AttrId = int32_t;
 inline constexpr AttrId kInvalidAttr = -1;
 
+// Set of attributes of one schema, stored as a bitmask. Schemas in this
+// library are bounded to 64 attributes (checked at construction sites),
+// which covers hosp (17) and uis (11) with room to spare and keeps the
+// assured-attribute bookkeeping of the chase a single integer.
+class AttrSet {
+ public:
+  AttrSet() = default;
+
+  static AttrSet Of(const std::vector<AttrId>& attrs) {
+    AttrSet s;
+    for (const AttrId a : attrs) s.Add(a);
+    return s;
+  }
+
+  static AttrSet FromBits(uint64_t bits) {
+    AttrSet s;
+    s.bits_ = bits;
+    return s;
+  }
+
+  // Every attribute of an arity-`arity` schema.
+  static AttrSet All(size_t arity) {
+    AttrSet s;
+    s.bits_ = arity >= 64 ? ~uint64_t{0} : (uint64_t{1} << arity) - 1;
+    return s;
+  }
+
+  void Add(AttrId attr) { bits_ |= (uint64_t{1} << attr); }
+  bool Contains(AttrId attr) const {
+    return (bits_ >> attr) & uint64_t{1};
+  }
+  void UnionWith(const AttrSet& other) { bits_ |= other.bits_; }
+  bool Intersects(const AttrSet& other) const {
+    return (bits_ & other.bits_) != 0;
+  }
+  bool empty() const { return bits_ == 0; }
+  uint64_t bits() const { return bits_; }
+
+  bool operator==(const AttrSet&) const = default;
+
+ private:
+  uint64_t bits_ = 0;
+};
+
 // A relation schema R: an ordered list of named attributes. Attribute
 // names are unique (case-sensitive). Schemas are immutable after
 // construction and cheap to copy by shared_ptr at the Table level.

@@ -28,6 +28,17 @@ void Table::AppendRowStrings(const std::vector<std::string>& fields) {
   }
 }
 
+void Table::AppendRowStringsMasked(const std::vector<std::string>& fields,
+                                   AttrSet materialize) {
+  FIXREP_CHECK_EQ(fields.size(), schema_->arity());
+  const TupleSpan row = store_.AppendRowUninit();
+  for (size_t i = 0; i < fields.size(); ++i) {
+    row[i] = materialize.Contains(static_cast<AttrId>(i))
+                 ? pool_->Intern(fields[i])
+                 : kNullValue;
+  }
+}
+
 const std::string& Table::CellString(size_t row, AttrId attr) const {
   // Function-local static: one empty string for every table and every
   // null cell, alive for the whole process, so the returned reference

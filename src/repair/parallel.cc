@@ -15,20 +15,30 @@
 
 namespace fixrep {
 
-RepairStats ParallelRepairTable(const CompiledRuleIndex& index, Table* table,
-                                const ParallelRepairOptions& options) {
+RepairStats ParallelRepairRows(const CompiledRuleIndex& index, Table* table,
+                               size_t begin_row, size_t end_row,
+                               const ParallelRepairOptions& options) {
   FIXREP_CHECK(table != nullptr);
+  FIXREP_CHECK(begin_row <= end_row && end_row <= table->num_rows());
   ThreadPool& pool = ThreadPool::Global();
   size_t threads = options.threads;
   if (threads == 0) threads = pool.num_workers() + 1;
-  const size_t rows = table->num_rows();
+  const size_t rows = end_row - begin_row;
   threads = std::min(threads, std::max<size_t>(rows, 1));
 
   if (threads <= 1 || rows == 0) {
     FastRepairer repairer(&index);
     MemoCache memo(options.memo_capacity);
     if (options.use_memo) repairer.set_memo(&memo);
-    repairer.RepairTable(table);  // flushes fixrep.lrepair.* itself
+    if (begin_row == 0 && end_row == table->num_rows()) {
+      repairer.RepairTable(table);  // flushes fixrep.lrepair.* itself
+    } else {
+      FIXREP_TRACE_SPAN("lrepair.chase");
+      for (size_t r = begin_row; r < end_row; ++r) {
+        repairer.RepairTuple(table->WriteRow(r));
+      }
+      repairer.FlushMetrics();
+    }
     return repairer.stats();
   }
 
@@ -65,7 +75,7 @@ RepairStats ParallelRepairTable(const CompiledRuleIndex& index, Table* table,
                    [&](size_t begin, size_t end, size_t slot) {
                      FastRepairer& repairer = *repairers[slot];
                      for (size_t r = begin; r < end; ++r) {
-                       repairer.RepairTuple(table->WriteRow(r));
+                       repairer.RepairTuple(table->WriteRow(begin_row + r));
                      }
                    });
 
@@ -81,6 +91,12 @@ RepairStats ParallelRepairTable(const CompiledRuleIndex& index, Table* table,
   return merged;
 }
 
+RepairStats ParallelRepairTable(const CompiledRuleIndex& index, Table* table,
+                                const ParallelRepairOptions& options) {
+  FIXREP_CHECK(table != nullptr);
+  return ParallelRepairRows(index, table, 0, table->num_rows(), options);
+}
+
 RepairStats ParallelRepairTable(const RuleSet& rules, Table* table,
                                 size_t threads) {
   const CompiledRuleIndex index(&rules);
@@ -89,17 +105,18 @@ RepairStats ParallelRepairTable(const RuleSet& rules, Table* table,
   return ParallelRepairTable(index, table, options);
 }
 
-LenientRepairResult ParallelRepairTableLenient(
-    const CompiledRuleIndex& index, Table* table,
-    const LenientRepairOptions& options) {
+LenientRepairResult ParallelRepairRowsLenient(
+    const CompiledRuleIndex& index, Table* table, size_t begin_row,
+    size_t end_row, const LenientRepairOptions& options) {
   FIXREP_CHECK(table != nullptr);
+  FIXREP_CHECK(begin_row <= end_row && end_row <= table->num_rows());
   FIXREP_CHECK(options.on_error != OnErrorPolicy::kAbort)
       << "lenient repair supports skip|quarantine; use ParallelRepairTable "
          "for fail-fast semantics";
   ThreadPool& pool = ThreadPool::Global();
   size_t threads = options.parallel.threads;
   if (threads == 0) threads = pool.num_workers() + 1;
-  const size_t rows = table->num_rows();
+  const size_t rows = end_row - begin_row;
   threads = std::min(threads, std::max<size_t>(rows, 1));
 
   FIXREP_TRACE_SPAN("parallel.repair_table_lenient");
@@ -127,7 +144,8 @@ LenientRepairResult ParallelRepairTableLenient(
   pool.ParallelFor(rows, grain, threads,
                    [&](size_t begin, size_t end, size_t slot) {
                      FastRepairer& repairer = *repairers[slot];
-                     for (size_t r = begin; r < end; ++r) {
+                     for (size_t i = begin; i < end; ++i) {
+                       const size_t r = begin_row + i;
                        size_t cells_changed = 0;
                        const Status status = repairer.TryRepairTuple(
                            table->WriteRow(r), &cells_changed);
@@ -173,6 +191,14 @@ LenientRepairResult ParallelRepairTableLenient(
   result.stats.PublishDelta(empty, "lrepair");
   result.tuples_quarantined = merged_failures.size();
   return result;
+}
+
+LenientRepairResult ParallelRepairTableLenient(
+    const CompiledRuleIndex& index, Table* table,
+    const LenientRepairOptions& options) {
+  FIXREP_CHECK(table != nullptr);
+  return ParallelRepairRowsLenient(index, table, 0, table->num_rows(),
+                                   options);
 }
 
 }  // namespace fixrep

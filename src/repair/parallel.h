@@ -15,6 +15,10 @@ namespace fixrep {
 
 // Multi-threaded whole-table repair.
 //
+// New call sites should go through RepairSession (repair/session.h) —
+// the functions here are its engine layer and stay public for drivers
+// that need range-level control (block-wise spill repair).
+//
 // Fixing-rule repair is embarrassingly parallel: each tuple is chased
 // independently (Section 6 repairs one tuple at a time), so row ranges
 // are claimed dynamically from the persistent ThreadPool's atomic
@@ -37,6 +41,15 @@ struct ParallelRepairOptions {
 // counts match a serial run).
 RepairStats ParallelRepairTable(const CompiledRuleIndex& index, Table* table,
                                 const ParallelRepairOptions& options = {});
+
+// Row-range variant: repairs rows [begin_row, end_row) only. The
+// block-wise driver for spilling stores (repair/streaming.h): pin one
+// RowStore block, repair exactly its rows, unpin. Identical per-row
+// behavior to ParallelRepairTable; metrics are published per call, so a
+// sequence of range calls covering a table sums to one whole-table call.
+RepairStats ParallelRepairRows(const CompiledRuleIndex& index, Table* table,
+                               size_t begin_row, size_t end_row,
+                               const ParallelRepairOptions& options = {});
 
 // Convenience overload: compiles the index for `rules` (once per call),
 // then repairs. Callers repairing many tables against one rule set should
@@ -78,6 +91,13 @@ struct LenientRepairResult {
 LenientRepairResult ParallelRepairTableLenient(
     const CompiledRuleIndex& index, Table* table,
     const LenientRepairOptions& options = {});
+
+// Row-range variant of the lenient path (see ParallelRepairRows).
+// Diagnostic::line values are absolute row indices in `table`, so range
+// calls compose into the same diagnostic stream as a whole-table call.
+LenientRepairResult ParallelRepairRowsLenient(
+    const CompiledRuleIndex& index, Table* table, size_t begin_row,
+    size_t end_row, const LenientRepairOptions& options = {});
 
 }  // namespace fixrep
 

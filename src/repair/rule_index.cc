@@ -30,6 +30,7 @@ CompiledRuleIndex::CompiledRuleIndex(const RuleSet* rules) : rules_(rules) {
     target_[i] = rule.target;
     fact_[i] = rule.fact;
     assured_bits_[i] = rule.AssuredSet().bits();
+    mentioned_attrs_.UnionWith(rule.AssuredSet());
     if (rule.evidence_attrs.empty()) {
       empty_evidence_rules_.push_back(i);
       continue;

@@ -77,6 +77,12 @@ class CompiledRuleIndex {
     return empty_evidence_rules_;
   }
 
+  // Union of every rule's evidence and target attributes — the attribute
+  // closure the chase can ever read or write. Columns outside this set
+  // are invisible to repair, which is what makes streaming column
+  // pruning (repair/streaming.h) safe.
+  AttrSet mentioned_attrs() const { return mentioned_attrs_; }
+
   size_t num_keys() const { return num_keys_; }
   size_t num_postings() const { return postings_.size(); }
   // Total heap footprint of the compiled structures, in bytes.
@@ -119,6 +125,7 @@ class CompiledRuleIndex {
   std::vector<ValueId> fact_;
   std::vector<uint64_t> assured_bits_;
   std::vector<uint32_t> empty_evidence_rules_;
+  AttrSet mentioned_attrs_;
 };
 
 }  // namespace fixrep

@@ -1,0 +1,129 @@
+#include "repair/session.h"
+
+#include <string>
+
+#include "common/logging.h"
+#include "common/metrics.h"
+#include "repair/crepair.h"
+#include "repair/lrepair.h"
+#include "repair/parallel.h"
+#include "repair/streaming.h"
+
+namespace fixrep {
+
+RepairSession::RepairSession(const RuleSet* rules, const RepairConfig& config)
+    : rules_(rules), config_(config) {
+  FIXREP_CHECK(rules_ != nullptr);
+  if (config_.engine == RepairEngine::kLRepair) {
+    index_ = std::make_unique<const CompiledRuleIndex>(rules_);
+  }
+}
+
+Status RepairSession::ValidateForTable() const {
+  if (config_.engine == RepairEngine::kCRepair && config_.threads != 1) {
+    return Status::MalformedInput(
+        "cRepair is serial-only; set threads=1 or use kLRepair");
+  }
+  return Status::Ok();
+}
+
+StatusOr<RepairReport> RepairSession::Repair(Table* table) {
+  FIXREP_CHECK(table != nullptr);
+  const Status valid = ValidateForTable();
+  if (!valid.ok()) return valid;
+
+  RepairReport report;
+  report.rows = table->num_rows();
+
+  if (config_.engine == RepairEngine::kCRepair) {
+    ChaseRepairer repairer(rules_);
+    repairer.set_max_chase_steps(config_.max_chase_steps);
+    if (config_.on_error == OnErrorPolicy::kAbort) {
+      repairer.RepairTable(table);
+      report.cells_changed = repairer.stats().cells_changed;
+      return report;
+    }
+    // Serial lenient chase: isolate each tuple, mirroring the lRepair
+    // lenient path's diagnostics and counters.
+    const bool quarantining = config_.on_error == OnErrorPolicy::kQuarantine &&
+                              config_.quarantine != nullptr;
+    for (size_t r = 0; r < table->num_rows(); ++r) {
+      size_t changed = 0;
+      const Status status = repairer.TryRepairTuple(table->WriteRow(r),
+                                                    &changed);
+      if (status.ok()) {
+        report.cells_changed += changed;
+        continue;
+      }
+      ++report.tuples_quarantined;
+      if (quarantining) {
+        config_.quarantine->Add(Diagnostic{r, status.code(), status.message(),
+                                           table->FormatRow(r)});
+      }
+    }
+    if (report.tuples_quarantined > 0) {
+      MetricsRegistry::Global()
+          .GetCounter("fixrep.quarantine.tuples")
+          ->Add(report.tuples_quarantined);
+    }
+    repairer.FlushMetrics();
+    return report;
+  }
+
+  if (config_.on_error == OnErrorPolicy::kAbort) {
+    // Serial widths short-circuit inside ParallelRepairRows to the
+    // carried FastRepairer path, so one call covers both.
+    ParallelRepairOptions options;
+    options.threads = config_.threads;
+    options.use_memo = config_.use_memo;
+    options.memo_capacity = config_.memo_capacity;
+    report.cells_changed =
+        ParallelRepairTable(*index_, table, options).cells_changed;
+    return report;
+  }
+
+  LenientRepairOptions options;
+  options.parallel.threads = config_.threads;
+  options.on_error = config_.on_error;
+  options.quarantine = config_.quarantine;
+  options.max_chase_steps = config_.max_chase_steps;
+  const LenientRepairResult result =
+      ParallelRepairTableLenient(*index_, table, options);
+  report.cells_changed = result.stats.cells_changed;
+  report.tuples_quarantined = result.tuples_quarantined;
+  return report;
+}
+
+StatusOr<RepairReport> RepairSession::RepairStream(CsvChunkReader* reader,
+                                                   std::ostream& out) {
+  FIXREP_CHECK(reader != nullptr);
+  if (config_.engine != RepairEngine::kLRepair) {
+    return Status::MalformedInput(
+        "streaming repair requires the lRepair engine");
+  }
+  StreamingRepairOptions options;
+  options.chunk_rows = config_.chunk_rows;
+  options.repair.parallel.threads = config_.threads;
+  options.repair.parallel.use_memo = config_.use_memo;
+  options.repair.parallel.memo_capacity = config_.memo_capacity;
+  options.repair.on_error = config_.on_error;
+  options.repair.quarantine = config_.quarantine;
+  options.repair.max_chase_steps = config_.max_chase_steps;
+  options.memory_budget_bytes = config_.memory_budget_bytes;
+  options.prune_columns = config_.prune_columns;
+
+  StreamingRepairSession session(index_.get(), options);
+  StatusOr<StreamingRepairResult> result = session.Run(reader, out);
+  if (!result.ok()) return result.status();
+
+  RepairReport report;
+  report.rows = result.value().rows_emitted;
+  report.cells_changed = result.value().cells_changed;
+  report.tuples_quarantined = result.value().tuples_quarantined;
+  report.chunks = result.value().chunks;
+  report.peak_resident_bytes = result.value().peak_resident_bytes;
+  report.columns_pruned = result.value().columns_pruned;
+  return report;
+}
+
+}  // namespace fixrep

@@ -1,0 +1,119 @@
+#ifndef FIXREP_REPAIR_SESSION_H_
+#define FIXREP_REPAIR_SESSION_H_
+
+#include <cstddef>
+#include <iosfwd>
+#include <memory>
+
+#include "common/quarantine.h"
+#include "common/status.h"
+#include "relation/csv.h"
+#include "relation/table.h"
+#include "repair/memo_cache.h"
+#include "repair/rule_index.h"
+#include "rules/rule_set.h"
+
+namespace fixrep {
+
+// The unified repair entry point (docs/api.md).
+//
+// Historically each capability grew its own signature — serial chase
+// (ChaseRepairer::RepairTable), serial/parallel lRepair
+// (FastRepairer::RepairTable, ParallelRepairTable), failure isolation
+// (ParallelRepairTableLenient), and out-of-core streaming
+// (StreamingRepairSession) — five entry points whose knobs overlap but
+// don't compose. RepairSession collapses them behind one RepairConfig:
+// pick an engine, a width, an error policy, and (for streams) the
+// memory knobs, and the session routes to the same engines underneath.
+// Behavior per configuration is bit-identical to calling the engine
+// layer directly; the engine entry points remain public for callers
+// that need one engine's extras (provenance, incremental sessions,
+// custom flush granularity).
+
+// Which repair algorithm drives the chase.
+enum class RepairEngine {
+  // lRepair (Fig. 7): O(size(Σ)) per tuple over a CompiledRuleIndex.
+  // Supports every RepairConfig knob. The default.
+  kLRepair,
+  // cRepair (Fig. 6): the reference chase, O(size(Σ)·|R|) per tuple.
+  // Serial whole-table only (abort or lenient) — kept for
+  // cross-validation; threads != 1 and streaming are rejected.
+  kCRepair,
+};
+
+struct RepairConfig {
+  RepairEngine engine = RepairEngine::kLRepair;
+  // 1 = serial (the default); 0 = the pool's full width; >1 = that many
+  // workers (ParallelRepairOptions::threads semantics).
+  size_t threads = 1;
+  // Tuple-signature memoization (abort mode only; lenient repair never
+  // memoizes). Output is bit-identical either way.
+  bool use_memo = true;
+  size_t memo_capacity = MemoCache::kDefaultCapacity;
+  // kAbort fails fast; kSkip/kQuarantine restore failing tuples to
+  // their original values and keep going.
+  OnErrorPolicy on_error = OnErrorPolicy::kAbort;
+  // Receives one Diagnostic per failed tuple when on_error is
+  // kQuarantine. Diagnostic::line is the row index (global output-row
+  // index for streams).
+  QuarantineSink* quarantine = nullptr;
+  // Per-tuple chase-step budget in lenient mode (0 = unlimited).
+  size_t max_chase_steps = 0;
+
+  // --- streaming-only knobs (RepairStream) ---
+  // Rows per chunk. kWholeFile reads the entire input as one chunk
+  // (useful with a memory budget: spilling, not chunking, bounds RAM).
+  static constexpr size_t kWholeFile = ~size_t{0};
+  size_t chunk_rows = size_t{64} * 1024;
+  // > 0: chunk cell blocks past this many resident bytes spill to a
+  // temp-backed mmap file (relation/row_store.h).
+  size_t memory_budget_bytes = 0;
+  // Intern only rule-mentioned columns; pass the rest through as raw
+  // CSV text (byte-identical output either way).
+  bool prune_columns = false;
+};
+
+struct RepairReport {
+  size_t rows = 0;  // rows repaired (streams: rows emitted)
+  size_t cells_changed = 0;
+  size_t tuples_quarantined = 0;
+  // Streaming only:
+  size_t chunks = 0;
+  size_t peak_resident_bytes = 0;  // spill mode high-water mark
+  size_t columns_pruned = 0;
+};
+
+class RepairSession {
+ public:
+  // Borrows `rules`, which must outlive the session and must not be
+  // mutated afterwards. For kLRepair the compiled index is built here,
+  // once, and shared by every Repair/RepairStream call.
+  explicit RepairSession(const RuleSet* rules, const RepairConfig& config = {});
+
+  RepairSession(const RepairSession&) = delete;
+  RepairSession& operator=(const RepairSession&) = delete;
+
+  const RepairConfig& config() const { return config_; }
+  // Non-null iff the engine is kLRepair.
+  const CompiledRuleIndex* index() const { return index_.get(); }
+
+  // Repairs `table` in place per the config. Returns kMalformedInput
+  // for knob combinations the engine cannot honor (see RepairEngine).
+  StatusOr<RepairReport> Repair(Table* table);
+
+  // Streams `reader` through chunked repair into `out` (CSV header +
+  // repaired rows). kLRepair only.
+  StatusOr<RepairReport> RepairStream(CsvChunkReader* reader,
+                                      std::ostream& out);
+
+ private:
+  Status ValidateForTable() const;
+
+  const RuleSet* rules_;
+  RepairConfig config_;
+  std::unique_ptr<const CompiledRuleIndex> index_;
+};
+
+}  // namespace fixrep
+
+#endif  // FIXREP_REPAIR_SESSION_H_

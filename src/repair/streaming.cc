@@ -1,5 +1,6 @@
 #include "repair/streaming.h"
 
+#include <algorithm>
 #include <ostream>
 #include <string>
 #include <utility>
@@ -8,9 +9,33 @@
 #include "common/logging.h"
 #include "common/metrics.h"
 #include "common/trace.h"
+#include "relation/row_store.h"
 #include "repair/lrepair.h"
 
 namespace fixrep {
+
+namespace {
+
+// Diagnostic rendering that survives column pruning: pruned cells are
+// kNullValue in the table (FormatRow would show them empty), so their
+// text comes from the sidecar. Failed tuples are restored to their
+// original values before diagnostics are built, so this renders exactly
+// what an unpruned run's FormatRow would.
+std::string FormatRowWithSidecar(const Table& chunk,
+                                 const ColumnSidecar* sidecar, size_t row) {
+  if (sidecar == nullptr) return chunk.FormatRow(row);
+  std::string out = "(";
+  for (size_t a = 0; a < chunk.num_columns(); ++a) {
+    if (a > 0) out += ", ";
+    const AttrId attr = static_cast<AttrId>(a);
+    out += sidecar->pruned(attr) ? sidecar->columns[a][row]
+                                 : chunk.CellString(row, attr);
+  }
+  out += ")";
+  return out;
+}
+
+}  // namespace
 
 StreamingRepairSession::StreamingRepairSession(
     const CompiledRuleIndex* index, const StreamingRepairOptions& options)
@@ -28,47 +53,73 @@ StatusOr<StreamingRepairResult> StreamingRepairSession::Run(
         " does not match rule arity " + std::to_string(index_->arity()));
   }
   FIXREP_TRACE_SPAN("streaming.run");
-  const bool lenient = options_.on_error != OnErrorPolicy::kAbort;
+  const size_t threads = options_.repair.parallel.threads;
+  const bool lenient = options_.repair.on_error != OnErrorPolicy::kAbort;
   const bool quarantining =
-      options_.on_error == OnErrorPolicy::kQuarantine &&
-      options_.quarantine != nullptr;
+      options_.repair.on_error == OnErrorPolicy::kQuarantine &&
+      options_.repair.quarantine != nullptr;
   FIXREP_LOG(Debug) << "streaming repair"
                     << Kv("chunk_rows", options_.chunk_rows)
-                    << Kv("threads", options_.threads)
-                    << Kv("rules", index_->num_rules());
+                    << Kv("threads", threads)
+                    << Kv("rules", index_->num_rules())
+                    << Kv("budget_bytes", options_.memory_budget_bytes)
+                    << Kv("prune", options_.prune_columns ? 1 : 0);
 
   // Serial runs carry the repairer (and the memo, in abort mode) across
   // chunks so chunking is invisible to memoization.
-  const bool serial = options_.threads == 1;
+  const bool serial = threads == 1;
   FastRepairer serial_repairer(index_);
-  MemoCache serial_memo(options_.memo_capacity);
-  if (serial && !lenient && options_.use_memo) {
+  MemoCache serial_memo(options_.repair.parallel.memo_capacity);
+  if (serial && !lenient && options_.repair.parallel.use_memo) {
     serial_repairer.set_memo(&serial_memo);
   }
-  serial_repairer.set_max_chase_steps(options_.max_chase_steps);
+  serial_repairer.set_max_chase_steps(options_.repair.max_chase_steps);
 
   WriteCsvHeader(*reader->schema(), out);
 
   StreamingRepairResult result;
   Table chunk = reader->MakeChunkTable();
-  chunk.Reserve(options_.chunk_rows);
-  auto& registry = MetricsRegistry::Global();
-  while (true) {
-    chunk.Clear();
-    StatusOr<size_t> read = reader->ReadChunk(&chunk, options_.chunk_rows);
-    if (!read.ok()) return read.status();
-    if (read.value() == 0 && reader->at_end()) break;
-    ++result.chunks;
+  const bool spilling = options_.memory_budget_bytes > 0;
+  if (spilling) {
+    const Status enabled = chunk.EnableSpill(options_.memory_budget_bytes);
+    if (!enabled.ok()) return enabled;
+  } else {
+    // Pre-size only sensible chunk sizes; a whole-file sentinel like
+    // SIZE_MAX must not try to reserve.
+    chunk.Reserve(std::min(options_.chunk_rows, size_t{1} << 20));
+  }
 
+  // Column pruning: intern only the attribute closure the rules can
+  // touch; everything else rides in the sidecar as raw text.
+  const AttrSet materialize =
+      options_.prune_columns ? index_->mentioned_attrs()
+                             : AttrSet::All(index_->arity());
+  ColumnSidecar sidecar_storage;
+  sidecar_storage.Init(index_->arity(), materialize);
+  ColumnSidecar* sidecar =
+      options_.prune_columns && sidecar_storage.num_pruned() > 0
+          ? &sidecar_storage
+          : nullptr;
+  result.columns_pruned = sidecar != nullptr ? sidecar->num_pruned() : 0;
+
+  auto& registry = MetricsRegistry::Global();
+
+  // Repairs chunk rows [begin, end) in the configured mode, accumulating
+  // totals (and diagnostics at global row indices) into `result`.
+  // `base_row` is the global index of chunk row 0.
+  auto repair_range = [&](size_t begin, size_t end,
+                          size_t base_row) -> Status {
     if (serial && !lenient) {
-      for (size_t r = 0; r < chunk.num_rows(); ++r) {
+      for (size_t r = begin; r < end; ++r) {
         result.cells_changed += serial_repairer.RepairTuple(chunk.WriteRow(r));
       }
-    } else if (serial) {
+      return Status::Ok();
+    }
+    if (serial) {
       // Serial lenient: isolate each tuple, reporting failures at their
       // global output-row index so diagnostics match a whole-table run.
       size_t failed = 0;
-      for (size_t r = 0; r < chunk.num_rows(); ++r) {
+      for (size_t r = begin; r < end; ++r) {
         size_t changed = 0;
         const Status status =
             serial_repairer.TryRepairTuple(chunk.WriteRow(r), &changed);
@@ -78,53 +129,99 @@ StatusOr<StreamingRepairResult> StreamingRepairSession::Run(
         }
         ++failed;
         if (quarantining) {
-          options_.quarantine->Add(
-              Diagnostic{result.rows_emitted + r, status.code(),
-                         status.message(), chunk.FormatRow(r)});
+          options_.repair.quarantine->Add(
+              Diagnostic{base_row + r, status.code(), status.message(),
+                         FormatRowWithSidecar(chunk, sidecar, r)});
         }
       }
       if (failed > 0) {
         registry.GetCounter("fixrep.quarantine.tuples")->Add(failed);
       }
       result.tuples_quarantined += failed;
-    } else if (!lenient) {
-      ParallelRepairOptions parallel;
-      parallel.threads = options_.threads;
-      parallel.use_memo = options_.use_memo;
-      parallel.memo_capacity = options_.memo_capacity;
+      return Status::Ok();
+    }
+    if (!lenient) {
       result.cells_changed +=
-          ParallelRepairTable(*index_, &chunk, parallel).cells_changed;
-    } else {
-      // Parallel lenient: collect per-chunk diagnostics locally, then
-      // rebase their chunk-local rows onto the global output offset.
-      VectorQuarantineSink chunk_sink;
-      LenientRepairOptions lenient_options;
-      lenient_options.parallel.threads = options_.threads;
-      lenient_options.on_error = options_.on_error;
-      lenient_options.quarantine = quarantining ? &chunk_sink : nullptr;
-      lenient_options.max_chase_steps = options_.max_chase_steps;
-      const LenientRepairResult chunk_result =
-          ParallelRepairTableLenient(*index_, &chunk, lenient_options);
-      result.cells_changed += chunk_result.stats.cells_changed;
-      result.tuples_quarantined += chunk_result.tuples_quarantined;
-      for (const Diagnostic& d : chunk_sink.diagnostics()) {
-        options_.quarantine->Add(Diagnostic{
-            result.rows_emitted + d.line, d.code, d.message, d.raw_text});
+          ParallelRepairRows(*index_, &chunk, begin, end,
+                             options_.repair.parallel)
+              .cells_changed;
+      return Status::Ok();
+    }
+    // Parallel lenient: collect per-range diagnostics locally, then
+    // rebase their chunk-local rows onto the global output offset (and,
+    // when pruning, re-render raw text through the sidecar — failed
+    // tuples are restored, so this reproduces the original values).
+    VectorQuarantineSink range_sink;
+    LenientRepairOptions lenient_options = options_.repair;
+    lenient_options.quarantine = quarantining ? &range_sink : nullptr;
+    const LenientRepairResult range_result = ParallelRepairRowsLenient(
+        *index_, &chunk, begin, end, lenient_options);
+    result.cells_changed += range_result.stats.cells_changed;
+    result.tuples_quarantined += range_result.tuples_quarantined;
+    for (const Diagnostic& d : range_sink.diagnostics()) {
+      options_.repair.quarantine->Add(Diagnostic{
+          base_row + d.line, d.code, d.message,
+          sidecar == nullptr ? d.raw_text
+                             : FormatRowWithSidecar(chunk, sidecar, d.line)});
+    }
+    return Status::Ok();
+  };
+
+  while (true) {
+    chunk.Clear();
+    if (sidecar != nullptr) sidecar->Clear();
+    StatusOr<size_t> read =
+        reader->ReadChunk(&chunk, options_.chunk_rows, sidecar);
+    if (!read.ok()) return read.status();
+    if (read.value() == 0 && reader->at_end()) break;
+    ++result.chunks;
+
+    if (!serial && chunk.store().spilling()) {
+      // Pooled workers must never race a block state transition, so the
+      // parallel engines drive a spilling chunk block-wise: pin a block,
+      // make it writable once, repair exactly its rows, unpin. Worker
+      // row views then live entirely inside an addressable, pinned
+      // block.
+      RowStore& store = chunk.store();
+      for (size_t b = 0; b < store.num_blocks(); ++b) {
+        store.PinBlock(b);
+        store.MakeBlockWritable(b);
+        const size_t begin = b * RowStore::kRowsPerBlock;
+        const Status status = repair_range(
+            begin, begin + store.rows_in_block(b), result.rows_emitted);
+        store.UnpinBlock(b);
+        if (!status.ok()) return status;
       }
+    } else {
+      const Status status =
+          repair_range(0, chunk.num_rows(), result.rows_emitted);
+      if (!status.ok()) return status;
     }
 
-    WriteCsvRows(chunk, out);
+    if (sidecar != nullptr) {
+      WriteCsvRowsPruned(chunk, *sidecar, out);
+    } else {
+      WriteCsvRows(chunk, out);
+    }
     result.rows_emitted += chunk.num_rows();
+    result.peak_resident_bytes =
+        std::max(result.peak_resident_bytes,
+                 chunk.store().peak_resident_bytes());
   }
 
   if (serial) serial_repairer.FlushMetrics();
   registry.GetCounter("fixrep.streaming.chunks")->Add(result.chunks);
   registry.GetCounter("fixrep.streaming.rows")->Add(result.rows_emitted);
+  if (sidecar != nullptr) {
+    registry.GetCounter("fixrep.streaming.columns_pruned")
+        ->Add(result.columns_pruned);
+  }
   FIXREP_LOG(Debug) << "streaming repair done"
                     << Kv("rows", result.rows_emitted)
                     << Kv("chunks", result.chunks)
                     << Kv("cells_changed", result.cells_changed)
-                    << Kv("quarantined", result.tuples_quarantined);
+                    << Kv("quarantined", result.tuples_quarantined)
+                    << Kv("peak_resident", result.peak_resident_bytes);
   return result;
 }
 

@@ -16,6 +16,10 @@ namespace fixrep {
 // Chunked streaming repair: CSV in, repaired CSV out, with peak memory
 // proportional to one chunk instead of the whole relation.
 //
+// New call sites should go through RepairSession::RepairStream
+// (repair/session.h), which forwards here; this class stays public as
+// the engine layer for callers that manage their own CompiledRuleIndex.
+//
 // The pipeline (docs/storage.md) is
 //
 //   CsvChunkReader --chunk--> repair in place --rows--> std::ostream
@@ -31,27 +35,43 @@ namespace fixrep {
 // alive across all chunks, so memoization works across chunk boundaries
 // exactly as it does across rows of a whole-table run. Parallel runs
 // repair each chunk with the pooled engine over the shared index.
+//
+// Two out-of-core knobs stack on top of chunking:
+// * memory_budget_bytes > 0 puts the chunk table's RowStore in spill
+//   mode (relation/row_store.h): cell blocks past the resident budget
+//   live in a temp-backed mmap file. Parallel runs then repair
+//   block-wise — pin a block, repair exactly its rows, unpin — so
+//   worker views never see a block transition.
+// * prune_columns interns only the attributes some rule mentions
+//   (CompiledRuleIndex::mentioned_attrs); every other column's raw CSV
+//   text bypasses the ValuePool via a ColumnSidecar and is re-emitted
+//   verbatim. The chase never reads or writes an unmentioned column, so
+//   output stays byte-identical to the unpruned run.
 struct StreamingRepairOptions {
   // Rows per chunk; the peak-memory knob. 64K rows * arity * 4 bytes of
   // cells plus the interned strings.
   size_t chunk_rows = size_t{64} * 1024;
-  // 1 = serial (the default); 0 or >1 = pooled parallel per chunk with
-  // ParallelRepairOptions::threads semantics.
-  size_t threads = 1;
-  // Tuple-signature memoization (abort mode only; the lenient path never
-  // memoizes, matching ParallelRepairTableLenient).
-  bool use_memo = true;
-  size_t memo_capacity = MemoCache::kDefaultCapacity;
-  // kAbort fails fast on a malformed record; kSkip/kQuarantine drop
-  // failing tuples (restored to their original values) and keep going.
-  OnErrorPolicy on_error = OnErrorPolicy::kAbort;
-  // Receives one Diagnostic per failed *tuple* when on_error is
-  // kQuarantine. Diagnostic::line is the global output-row index (the
-  // same index a whole-table run would report); malformed *CSV records*
-  // flow through the CsvChunkReader's own sink instead.
-  QuarantineSink* quarantine = nullptr;
-  // Per-tuple chase budget in lenient mode (0 = unlimited).
-  size_t max_chase_steps = 0;
+  // Engine configuration, composed from the batch layer instead of
+  // duplicating its fields:
+  // * repair.parallel.threads: 1 = serial (the default here); 0 or >1 =
+  //   pooled parallel per chunk with ParallelRepairOptions semantics.
+  // * repair.parallel.use_memo/memo_capacity: abort mode only (the
+  //   lenient path never memoizes, matching ParallelRepairTableLenient).
+  // * repair.on_error: unlike the batch lenient path, kAbort is allowed
+  //   and is the streaming default — fail fast on the first bad tuple.
+  // * repair.quarantine: one Diagnostic per failed *tuple* when
+  //   on_error is kQuarantine; Diagnostic::line is the global
+  //   output-row index (the same index a whole-table run would report).
+  //   Malformed *CSV records* flow through the CsvChunkReader's own
+  //   sink instead.
+  // * repair.max_chase_steps: per-tuple chase budget in lenient mode.
+  LenientRepairOptions repair{.parallel = {.threads = 1},
+                              .on_error = OnErrorPolicy::kAbort};
+  // > 0: spill chunk cell blocks past this many resident bytes to a
+  // temp-backed file (see class comment). 0 = fully in-memory chunks.
+  size_t memory_budget_bytes = 0;
+  // Intern only rule-mentioned columns; carry the rest as raw text.
+  bool prune_columns = false;
 };
 
 struct StreamingRepairResult {
@@ -59,6 +79,11 @@ struct StreamingRepairResult {
   size_t chunks = 0;
   size_t cells_changed = 0;
   size_t tuples_quarantined = 0;
+  // High-water mark of resident chunk-store bytes (spill mode only; 0
+  // otherwise). The number the memory budget governs.
+  size_t peak_resident_bytes = 0;
+  // Columns never interned thanks to prune_columns.
+  size_t columns_pruned = 0;
 };
 
 class StreamingRepairSession {

@@ -12,42 +12,9 @@
 
 namespace fixrep {
 
-// Set of attributes of one schema, stored as a bitmask. Schemas in this
-// library are bounded to 64 attributes (checked at construction sites),
-// which covers hosp (17) and uis (11) with room to spare and keeps the
-// assured-attribute bookkeeping of the chase a single integer.
-class AttrSet {
- public:
-  AttrSet() = default;
-
-  static AttrSet Of(const std::vector<AttrId>& attrs) {
-    AttrSet s;
-    for (const AttrId a : attrs) s.Add(a);
-    return s;
-  }
-
-  static AttrSet FromBits(uint64_t bits) {
-    AttrSet s;
-    s.bits_ = bits;
-    return s;
-  }
-
-  void Add(AttrId attr) { bits_ |= (uint64_t{1} << attr); }
-  bool Contains(AttrId attr) const {
-    return (bits_ >> attr) & uint64_t{1};
-  }
-  void UnionWith(const AttrSet& other) { bits_ |= other.bits_; }
-  bool Intersects(const AttrSet& other) const {
-    return (bits_ & other.bits_) != 0;
-  }
-  bool empty() const { return bits_ == 0; }
-  uint64_t bits() const { return bits_; }
-
-  bool operator==(const AttrSet&) const = default;
-
- private:
-  uint64_t bits_ = 0;
-};
+// AttrSet (the bitmask attribute-set type) lives in relation/schema.h
+// next to AttrId; it is re-exported here because every rules/ consumer
+// historically included it from this header.
 
 // A fixing rule (Section 3.1):
 //

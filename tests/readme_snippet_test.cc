@@ -7,7 +7,7 @@
 
 #include <gtest/gtest.h>
 
-#include "repair/lrepair.h"
+#include "repair/session.h"
 #include "rules/consistency.h"
 #include "rules/rule_io.h"
 
@@ -34,12 +34,12 @@ END
   Table data(schema, pool);
   data.AppendRowStrings({"Ian", "China", "Shanghai", "Hongkong", "ICDE"});
 
-  FastRepairer repairer(&rules);
-  repairer.RepairTable(&data);
+  RepairSession session(&rules);
+  auto report = session.Repair(&data);
+  ASSERT_TRUE(report.ok() && report->cells_changed == 1);
 
   EXPECT_EQ(data.CellString(0, schema->AttributeIndex("capital")),
             "Beijing");
-  EXPECT_EQ(repairer.stats().cells_changed, 1u);
 }
 
 TEST(ReadmeSnippetTest, ClaimedComplexityParametersAreExposed) {

@@ -1,0 +1,233 @@
+// Out-of-core RowStore: block spilling, mmap read-back, LRU eviction,
+// pins, and budget-floor semantics (docs/storage.md).
+
+#include <gtest/gtest.h>
+
+#include <thread>
+#include <vector>
+
+#include "common/metrics.h"
+#include "relation/row_store.h"
+
+namespace fixrep {
+namespace {
+
+constexpr size_t kArity = 3;
+constexpr size_t kBlockBytes =
+    RowStore::kRowsPerBlock * kArity * sizeof(ValueId);
+
+// Deterministic cell pattern so any lost or torn block is detected.
+ValueId CellValue(size_t row, size_t attr) {
+  return static_cast<ValueId>(row * 31 + attr * 7 + 1);
+}
+
+void AppendRows(RowStore* store, size_t rows) {
+  for (size_t i = 0; i < rows; ++i) {
+    const size_t r = store->num_rows();
+    TupleSpan span = store->AppendRowUninit();
+    for (size_t a = 0; a < kArity; ++a) span[a] = CellValue(r, a);
+  }
+}
+
+void ExpectAllRows(const RowStore& store) {
+  for (size_t r = 0; r < store.num_rows(); ++r) {
+    const TupleRef row = store.row(r);
+    for (size_t a = 0; a < kArity; ++a) {
+      ASSERT_EQ(row[a], CellValue(r, a)) << "row " << r << " attr " << a;
+    }
+  }
+}
+
+TEST(SpillTest, FlatStoreReportsNoSpillState) {
+  RowStore store(kArity);
+  AppendRows(&store, 10);
+  EXPECT_FALSE(store.spilling());
+  EXPECT_EQ(store.resident_bytes(), 0u);
+  EXPECT_EQ(store.spilled_blocks(), 0u);
+  EXPECT_EQ(store.spill_file_bytes(), 0u);
+}
+
+TEST(SpillTest, ZeroArityCannotSpill) {
+  RowStore store(0);
+  EXPECT_FALSE(store.EnableSpill(1).ok());
+  EXPECT_FALSE(store.spilling());
+}
+
+TEST(SpillTest, UnlimitedBudgetKeepsEverythingResident) {
+  RowStore store(kArity);
+  ASSERT_TRUE(store.EnableSpill(0).ok());  // 0 = machinery on, no eviction
+  AppendRows(&store, 3 * RowStore::kRowsPerBlock + 17);
+  EXPECT_TRUE(store.spilling());
+  EXPECT_EQ(store.spilled_blocks(), 0u);
+  EXPECT_EQ(store.spill_file_bytes(), 0u);
+  EXPECT_EQ(store.resident_bytes(), 4 * kBlockBytes);
+  ExpectAllRows(store);
+}
+
+TEST(SpillTest, TinyBudgetDegradesToWorkingSetFloor) {
+  // A 1-byte budget cannot be honored; the effective budget is the floor
+  // (tail + one in-flight block, no pins), never a deadlock.
+  RowStore store(kArity);
+  ASSERT_TRUE(store.EnableSpill(1).ok());
+  AppendRows(&store, 4 * RowStore::kRowsPerBlock);
+  EXPECT_EQ(store.effective_budget_bytes(), 2 * kBlockBytes);
+  EXPECT_LE(store.resident_bytes(), store.effective_budget_bytes());
+  EXPECT_GT(store.spilled_blocks(), 0u);
+  EXPECT_GT(store.spill_file_bytes(), 0u);
+  // Sequential re-read maps each spilled block back in and must still
+  // respect the budget afterwards.
+  ExpectAllRows(store);
+  EXPECT_LE(store.resident_bytes(), store.effective_budget_bytes());
+}
+
+TEST(SpillTest, BudgetBoundsResidencyDuringFillAndScan) {
+  RowStore store(kArity);
+  const size_t budget = 4 * kBlockBytes;
+  ASSERT_TRUE(store.EnableSpill(budget).ok());
+  AppendRows(&store, 8 * RowStore::kRowsPerBlock + 5);
+  EXPECT_EQ(store.effective_budget_bytes(), budget);
+  EXPECT_LE(store.resident_bytes(), budget);
+  EXPECT_LE(store.peak_resident_bytes(), budget + kBlockBytes);
+  ExpectAllRows(store);
+  EXPECT_LE(store.resident_bytes(), budget);
+  EXPECT_GE(store.spilled_blocks(), 8u + 1u - budget / kBlockBytes);
+}
+
+TEST(SpillTest, WritesSurviveEvictionRoundTrip) {
+  RowStore store(kArity);
+  ASSERT_TRUE(store.EnableSpill(1).ok());
+  AppendRows(&store, 5 * RowStore::kRowsPerBlock);
+  // Rewrite one cell in block 0 (long since spilled): the write loads the
+  // block back into heap memory.
+  const ValueId sentinel = static_cast<ValueId>(999999);
+  store.WriteCell(7, 1, sentinel);
+  // Force block 0 out again by touching every other block.
+  for (size_t b = 1; b < store.num_blocks(); ++b) {
+    (void)store.row(b * RowStore::kRowsPerBlock);
+  }
+  EXPECT_EQ(store.cell(7, 1), sentinel);  // mapped back from disk
+  EXPECT_EQ(store.cell(7, 0), CellValue(7, 0));
+  EXPECT_EQ(store.cell(7, 2), CellValue(7, 2));
+}
+
+TEST(SpillTest, PinRaisesFloorAndNestsAcrossEviction) {
+  RowStore store(kArity);
+  ASSERT_TRUE(store.EnableSpill(1).ok());
+  AppendRows(&store, 6 * RowStore::kRowsPerBlock);
+  EXPECT_EQ(store.effective_budget_bytes(), 2 * kBlockBytes);
+
+  store.PinBlock(0);
+  EXPECT_EQ(store.effective_budget_bytes(), 3 * kBlockBytes);
+  store.PinBlock(0);  // pins nest; floor counts blocks, not pin count
+  EXPECT_EQ(store.effective_budget_bytes(), 3 * kBlockBytes);
+
+  // Scan everything: block 0 must stay addressable (and correct) while
+  // every other block pages through the tiny budget.
+  ExpectAllRows(store);
+  const TupleRef pinned_row = store.row(5);
+  for (size_t b = 1; b < store.num_blocks(); ++b) {
+    (void)store.row(b * RowStore::kRowsPerBlock);
+  }
+  // The view taken while pinned is still valid: no transition evicted it.
+  EXPECT_EQ(pinned_row[0], CellValue(5, 0));
+
+  store.UnpinBlock(0);
+  store.UnpinBlock(0);
+  EXPECT_EQ(store.effective_budget_bytes(), 2 * kBlockBytes);
+}
+
+TEST(SpillTest, MakeBlockWritableGivesPlainStoresUnderPins) {
+  // The block-wise parallel driver contract: pin + MakeBlockWritable up
+  // front, then concurrent lock-free reads/writes inside the block.
+  RowStore store(kArity);
+  ASSERT_TRUE(store.EnableSpill(1).ok());
+  const size_t rows = 3 * RowStore::kRowsPerBlock;
+  AppendRows(&store, rows);
+
+  for (size_t b = 0; b < store.num_blocks(); ++b) {
+    store.PinBlock(b);
+    store.MakeBlockWritable(b);
+    const size_t begin = b * RowStore::kRowsPerBlock;
+    const size_t end = begin + store.rows_in_block(b);
+    std::vector<std::thread> workers;
+    for (int w = 0; w < 4; ++w) {
+      workers.emplace_back([&, w] {
+        for (size_t r = begin + w; r < end; r += 4) {
+          TupleSpan span = store.WriteRow(r);
+          span[2] = static_cast<ValueId>(span[0] + span[1]);
+        }
+      });
+    }
+    for (std::thread& t : workers) t.join();
+    store.UnpinBlock(b);
+  }
+  for (size_t r = 0; r < rows; ++r) {
+    ASSERT_EQ(store.cell(r, 2),
+              static_cast<ValueId>(CellValue(r, 0) + CellValue(r, 1)));
+  }
+}
+
+TEST(SpillTest, PartialTailBlockGeometry) {
+  RowStore store(kArity);
+  ASSERT_TRUE(store.EnableSpill(0).ok());
+  AppendRows(&store, RowStore::kRowsPerBlock + 3);
+  EXPECT_EQ(store.num_blocks(), 2u);
+  EXPECT_EQ(store.rows_in_block(0), RowStore::kRowsPerBlock);
+  EXPECT_EQ(store.rows_in_block(1), 3u);
+  EXPECT_EQ(store.capacity_rows(), 2 * RowStore::kRowsPerBlock);
+}
+
+TEST(SpillTest, ClearReusesSpillFileAcrossChunks) {
+  // The streaming pipeline Clear()s one chunk store between chunks; the
+  // spill file resets instead of growing without bound.
+  RowStore store(kArity);
+  ASSERT_TRUE(store.EnableSpill(1).ok());
+  for (int chunk = 0; chunk < 3; ++chunk) {
+    AppendRows(&store, 4 * RowStore::kRowsPerBlock);
+    ExpectAllRows(store);
+    EXPECT_LE(store.spill_file_bytes(), 4 * kBlockBytes);
+    store.Clear();
+    EXPECT_EQ(store.num_rows(), 0u);
+    EXPECT_EQ(store.resident_bytes(), 0u);
+    EXPECT_EQ(store.spilled_blocks(), 0u);
+    EXPECT_EQ(store.spill_file_bytes(), 0u);
+  }
+}
+
+TEST(SpillTest, PeakResidentTracksHighWaterMark) {
+  RowStore store(kArity);
+  ASSERT_TRUE(store.EnableSpill(2 * kBlockBytes).ok());
+  AppendRows(&store, 5 * RowStore::kRowsPerBlock);
+  EXPECT_GE(store.peak_resident_bytes(), store.resident_bytes());
+  EXPECT_GE(store.peak_resident_bytes(), 2 * kBlockBytes);
+  const size_t peak = store.peak_resident_bytes();
+  ExpectAllRows(store);  // paging within budget must not raise the peak
+  EXPECT_LE(store.peak_resident_bytes(), peak + kBlockBytes);
+}
+
+TEST(SpillTest, EvictionPublishesMetrics) {
+  if (!kMetricsEnabled) {
+    GTEST_SKIP() << "built with FIXREP_DISABLE_METRICS";
+  }
+  auto& registry = MetricsRegistry::Global();
+  const uint64_t before =
+      registry.GetCounter("fixrep.spill.blocks_evicted")->Value();
+  RowStore store(kArity);
+  ASSERT_TRUE(store.EnableSpill(1).ok());
+  AppendRows(&store, 4 * RowStore::kRowsPerBlock);
+  EXPECT_GT(registry.GetCounter("fixrep.spill.blocks_evicted")->Value(),
+            before);
+}
+
+TEST(SpillTest, MoveTransfersSpillState) {
+  RowStore store(kArity);
+  ASSERT_TRUE(store.EnableSpill(1).ok());
+  AppendRows(&store, 3 * RowStore::kRowsPerBlock);
+  RowStore moved(std::move(store));
+  EXPECT_TRUE(moved.spilling());
+  EXPECT_EQ(moved.num_rows(), 3 * RowStore::kRowsPerBlock);
+  ExpectAllRows(moved);
+}
+
+}  // namespace
+}  // namespace fixrep

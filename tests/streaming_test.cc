@@ -19,6 +19,7 @@
 #include "datagen/travel.h"
 #include "datagen/uis.h"
 #include "relation/csv.h"
+#include "relation/row_store.h"
 #include "relation/table.h"
 #include "repair/lrepair.h"
 #include "repair/parallel.h"
@@ -56,6 +57,8 @@ struct StreamConfig {
   OnErrorPolicy on_error = OnErrorPolicy::kAbort;
   size_t max_chase_steps = 0;
   OnErrorPolicy csv_policy = OnErrorPolicy::kAbort;
+  size_t memory_budget_bytes = 0;  // > 0: spill chunk blocks to disk
+  bool prune_columns = false;
 };
 
 StatusOr<StreamRun> RunStream(const std::string& csv_text,
@@ -76,12 +79,14 @@ StatusOr<StreamRun> RunStream(const std::string& csv_text,
 
   StreamingRepairOptions options;
   options.chunk_rows = config.chunk_rows;
-  options.threads = config.threads;
-  options.on_error = config.on_error;
+  options.repair.parallel.threads = config.threads;
+  options.repair.on_error = config.on_error;
   if (config.on_error == OnErrorPolicy::kQuarantine) {
-    options.quarantine = &tuple_sink;
+    options.repair.quarantine = &tuple_sink;
   }
-  options.max_chase_steps = config.max_chase_steps;
+  options.repair.max_chase_steps = config.max_chase_steps;
+  options.memory_budget_bytes = config.memory_budget_bytes;
+  options.prune_columns = config.prune_columns;
   StreamingRepairSession session(&index, options);
   std::ostringstream out;
   StatusOr<StreamingRepairResult> result = session.Run(&reader.value(), out);
@@ -425,6 +430,244 @@ TEST_F(StreamingQuarantineTest, StreamingCountersTickPerChunkAndRow) {
   EXPECT_EQ(run->result.cells_changed, 5u);
   EXPECT_EQ(CounterValue("fixrep.streaming.chunks"), 3u);
   EXPECT_EQ(CounterValue("fixrep.streaming.rows"), 5u);
+}
+
+// ------------------------------------------------------- out-of-core spill --
+
+// Property: with the whole input as one chunk, every spill budget — tiny
+// (degrades to the working-set floor), a few blocks, unlimited — emits
+// exactly the bytes of an in-memory run, serial and pooled.
+void ExpectSpillConfigsMatch(const std::string& input_csv,
+                             std::shared_ptr<ValuePool> pool,
+                             const CompiledRuleIndex& index,
+                             const std::string& want, size_t num_rows) {
+  const size_t block_bytes =
+      RowStore::kRowsPerBlock * index.arity() * sizeof(ValueId);
+  for (const size_t budget : {size_t{1}, 4 * block_bytes, size_t{0}}) {
+    for (const size_t threads : {size_t{1}, size_t{4}}) {
+      const std::string context = "budget=" + std::to_string(budget) +
+                                  " threads=" + std::to_string(threads);
+      const StatusOr<StreamRun> run =
+          RunStream(input_csv, pool, index,
+                    {.chunk_rows = ~size_t{0},  // spilling, not chunking,
+                     .threads = threads,        // bounds resident memory
+                     .memory_budget_bytes = budget});
+      ASSERT_TRUE(run.ok()) << context << ": " << run.status().message();
+      ASSERT_EQ(run->csv, want) << context;
+      EXPECT_EQ(run->result.rows_emitted, num_rows) << context;
+      if (budget == 1) {
+        // Floor: tail + in-flight + (parallel) one pinned block, plus one
+        // transient block between NoteResident and eviction.
+        EXPECT_LE(run->result.peak_resident_bytes, 4 * block_bytes)
+            << context;
+      } else if (budget > 0) {
+        EXPECT_LE(run->result.peak_resident_bytes, budget + block_bytes)
+            << context;
+      }
+    }
+  }
+}
+
+TEST_F(StreamingTest, SpillBudgetsBitIdenticalOnTravelExample) {
+  // Single-block table: exercises the spill machinery (budget floor, file
+  // lifecycle) without eviction pressure.
+  TravelExample example;
+  const CompiledRuleIndex index(&example.rules);
+  ExpectSpillConfigsMatch(ToCsv(example.dirty), example.pool, index,
+                          ToCsv(example.clean), example.dirty.num_rows());
+}
+
+TEST_F(StreamingTest, SpillBudgetsBitIdenticalOnGeneratedHosp) {
+  // Five blocks of rows: a tiny budget forces real eviction and mmap
+  // read-back mid-repair.
+  HospOptions options;
+  options.rows = 4 * RowStore::kRowsPerBlock + 1500;
+  options.num_hospitals = 120;
+  const GeneratedData data = GenerateHosp(options);
+  Table dirty = data.clean;
+  InjectNoise(&dirty, ConstraintAttributes(*data.schema, data.fds), {});
+  RuleGenOptions rulegen;
+  rulegen.max_rules = 150;
+  const RuleSet rules = GenerateRules(data.clean, dirty, data.fds, rulegen);
+  ASSERT_GT(rules.size(), 0u);
+
+  Table reference = dirty;
+  FastRepairer repairer(&rules);
+  repairer.RepairTable(&reference);
+  const CompiledRuleIndex index(&rules);
+  ExpectSpillConfigsMatch(ToCsv(dirty), data.pool, index, ToCsv(reference),
+                          dirty.num_rows());
+}
+
+TEST_F(StreamingTest, SpillBudgetsBitIdenticalOnGeneratedUis) {
+  UisOptions options;
+  options.rows = 600;
+  options.duplicate_ratio = 0.4;
+  options.num_zips = 40;
+  const GeneratedData data = GenerateUis(options);
+  Table dirty = data.clean;
+  InjectNoise(&dirty, ConstraintAttributes(*data.schema, data.fds), {});
+  RuleGenOptions rulegen;
+  rulegen.max_rules = 100;
+  const RuleSet rules = GenerateRules(data.clean, dirty, data.fds, rulegen);
+  ASSERT_GT(rules.size(), 0u);
+
+  Table reference = dirty;
+  FastRepairer repairer(&rules);
+  repairer.RepairTable(&reference);
+  const CompiledRuleIndex index(&rules);
+  ExpectSpillConfigsMatch(ToCsv(dirty), data.pool, index, ToCsv(reference),
+                          dirty.num_rows());
+}
+
+// Spilled blocks under the lenient block-wise driver: quarantine
+// diagnostics and bytes still match the in-memory lenient run, with
+// failing tuples scattered across block boundaries.
+TEST_F(StreamingQuarantineTest, SpillWithQuarantineMatchesInMemory) {
+  const size_t rows = 2 * RowStore::kRowsPerBlock + 700;
+  Table table(schema_, pool_);
+  for (size_t r = 0; r < rows; ++r) {
+    switch (r % 5) {
+      case 0:
+        table.AppendRowStrings({"China", "Shanghai", "x"});
+        break;
+      case 3:  // cascade: budget-exhausted under max_chase_steps = 1
+        table.AppendRowStrings({"Chn", "Hongkong", "flag"});
+        break;
+      default:
+        table.AppendRowStrings({"France", "Paris", "y"});
+        break;
+    }
+  }
+  const std::string input_csv = ToCsv(table);
+  const CompiledRuleIndex index(&rules_);
+
+  Table reference = table;
+  VectorQuarantineSink reference_sink;
+  LenientRepairOptions reference_options;
+  reference_options.parallel.threads = 1;
+  reference_options.quarantine = &reference_sink;
+  reference_options.max_chase_steps = 1;
+  const LenientRepairResult reference_result =
+      ParallelRepairTableLenient(index, &reference, reference_options);
+  ASSERT_GT(reference_result.tuples_quarantined, 0u);
+  const std::string want = ToCsv(reference);
+
+  for (const size_t threads : {size_t{1}, size_t{4}}) {
+    const std::string context = "threads=" + std::to_string(threads);
+    const StatusOr<StreamRun> run =
+        RunStream(input_csv, pool_, index,
+                  {.chunk_rows = ~size_t{0},
+                   .threads = threads,
+                   .on_error = OnErrorPolicy::kQuarantine,
+                   .max_chase_steps = 1,
+                   .memory_budget_bytes = 1});
+    ASSERT_TRUE(run.ok()) << context << ": " << run.status().message();
+    ASSERT_EQ(run->csv, want) << context;
+    EXPECT_EQ(run->result.tuples_quarantined,
+              reference_result.tuples_quarantined)
+        << context;
+    ExpectSameDiagnostics(run->tuple_diagnostics,
+                          reference_sink.diagnostics(), context);
+  }
+}
+
+// -------------------------------------------------------- column pruning --
+
+// A schema with one column no rule mentions, whose raw text needs CSV
+// requoting — the pass-through sidecar must reproduce it byte for byte.
+class StreamingPruneTest : public StreamingTest {
+ protected:
+  std::shared_ptr<ValuePool> pool_ = std::make_shared<ValuePool>();
+  std::shared_ptr<const Schema> schema_ = std::make_shared<Schema>(
+      "R",
+      std::vector<std::string>{"country", "capital", "name", "note"});
+  RuleSet rules_ = CascadeRules(schema_, pool_);
+
+  Table MakeTable() {
+    Table table(schema_, pool_);
+    table.AppendRowStrings({"China", "Shanghai", "x", "plain"});
+    table.AppendRowStrings({"China", "Hongkong", "y", "needs,quoting"});
+    table.AppendRowStrings({"France", "Paris", "z", "embedded \"quote\""});
+    table.AppendRowStrings({"China", "Shanghai", "w", ""});
+    table.AppendRowStrings({"Chn", "Hongkong", "flag", "multi\nline"});
+    return table;
+  }
+};
+
+TEST_F(StreamingPruneTest, PrunedStreamBitIdenticalToUnpruned) {
+  Table reference = MakeTable();
+  const CompiledRuleIndex index(&rules_);
+  ASSERT_FALSE(index.mentioned_attrs().Contains(3));  // note: unmentioned
+  FastRepairer repairer(&rules_);
+  repairer.RepairTable(&reference);
+  const std::string want = ToCsv(reference);
+  const std::string input_csv = ToCsv(MakeTable());
+
+  for (const size_t chunk_rows : {size_t{1}, size_t{2}, size_t{100}}) {
+    for (const size_t threads : {size_t{1}, size_t{4}}) {
+      const std::string context = "chunk_rows=" + std::to_string(chunk_rows) +
+                                  " threads=" + std::to_string(threads);
+      const StatusOr<StreamRun> run =
+          RunStream(input_csv, pool_, index,
+                    {.chunk_rows = chunk_rows,
+                     .threads = threads,
+                     .prune_columns = true});
+      ASSERT_TRUE(run.ok()) << context << ": " << run.status().message();
+      ASSERT_EQ(run->csv, want) << context;
+      EXPECT_EQ(run->result.columns_pruned, 1u) << context;
+    }
+  }
+}
+
+TEST_F(StreamingPruneTest, PruneWithQuarantineKeepsFullRawText) {
+  // Diagnostics must carry the complete original tuple — including the
+  // pruned column's raw text — exactly as an unpruned run renders it.
+  const std::string input_csv = ToCsv(MakeTable());
+  const CompiledRuleIndex index(&rules_);
+
+  Table reference = MakeTable();
+  VectorQuarantineSink reference_sink;
+  LenientRepairOptions reference_options;
+  reference_options.parallel.threads = 1;
+  reference_options.quarantine = &reference_sink;
+  reference_options.max_chase_steps = 1;
+  ParallelRepairTableLenient(index, &reference, reference_options);
+  ASSERT_EQ(reference_sink.size(), 1u);  // the cascade row
+  const std::string want = ToCsv(reference);
+
+  for (const size_t threads : {size_t{1}, size_t{4}}) {
+    const std::string context = "threads=" + std::to_string(threads);
+    const StatusOr<StreamRun> run =
+        RunStream(input_csv, pool_, index,
+                  {.chunk_rows = 2,
+                   .threads = threads,
+                   .on_error = OnErrorPolicy::kQuarantine,
+                   .max_chase_steps = 1,
+                   .prune_columns = true});
+    ASSERT_TRUE(run.ok()) << context << ": " << run.status().message();
+    ASSERT_EQ(run->csv, want) << context;
+    ExpectSameDiagnostics(run->tuple_diagnostics,
+                          reference_sink.diagnostics(), context);
+  }
+}
+
+TEST_F(StreamingPruneTest, PruningComposesWithSpill) {
+  const std::string input_csv = ToCsv(MakeTable());
+  const CompiledRuleIndex index(&rules_);
+  Table reference = MakeTable();
+  FastRepairer repairer(&rules_);
+  repairer.RepairTable(&reference);
+  const StatusOr<StreamRun> run =
+      RunStream(input_csv, pool_, index,
+                {.chunk_rows = ~size_t{0},
+                 .threads = 4,
+                 .memory_budget_bytes = 1,
+                 .prune_columns = true});
+  ASSERT_TRUE(run.ok()) << run.status().message();
+  EXPECT_EQ(run->csv, ToCsv(reference));
+  EXPECT_EQ(run->result.columns_pruned, 1u);
+  EXPECT_EQ(CounterValue("fixrep.streaming.columns_pruned"), 1u);
 }
 
 }  // namespace
