@@ -12,8 +12,21 @@
 // (rows/s, per-phase ns, memo hit rate, thread count) so the perf
 // trajectory is tracked across PRs. Flags: --threads=N, --no-memo (env:
 // FIXREP_THREADS, FIXREP_NO_MEMO).
+//
+// Telemetry (docs/observability.md): FIXREP_TELEMETRY_OUT=<path> writes
+// the JSONL event journal for the run (heartbeats + the streaming
+// sections' chunk events — check it with check_regression.py --journal);
+// FIXREP_METRICS_PORT=<port|0> serves GET /metrics for the duration and
+// self-scrapes once mid-bench as an endpoint smoke test.
 
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
 #include <cstdint>
+#include <cstdlib>
+#include <cstring>
 #include <iostream>
 #include <memory>
 #include <sstream>
@@ -22,6 +35,8 @@
 #include <benchmark/benchmark.h>
 
 #include "bench_util.h"
+#include "common/metrics_server.h"
+#include "common/telemetry.h"
 #include "common/thread_pool.h"
 #include "eval/text_table.h"
 #include "relation/csv.h"
@@ -413,14 +428,114 @@ void WriteRepairJson() {
   MaybeDumpMetrics();
 }
 
+// One GET /metrics against our own endpoint, mid-run: the smoke test
+// check_perf_regression relies on. Returns false (after printing why)
+// when the scrape fails — a broken endpoint must fail the bench.
+bool SelfScrape(int port) {
+  const int fd = socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) {
+    std::cerr << "self-scrape: socket: " << std::strerror(errno) << "\n";
+    return false;
+  }
+  sockaddr_in addr = {};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(static_cast<uint16_t>(port));
+  if (connect(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) !=
+      0) {
+    std::cerr << "self-scrape: connect: " << std::strerror(errno) << "\n";
+    close(fd);
+    return false;
+  }
+  const std::string request = "GET /metrics HTTP/1.0\r\n\r\n";
+  if (send(fd, request.data(), request.size(), 0) !=
+      static_cast<ssize_t>(request.size())) {
+    std::cerr << "self-scrape: send failed\n";
+    close(fd);
+    return false;
+  }
+  std::string response;
+  char buf[4096];
+  ssize_t n;
+  while ((n = read(fd, buf, sizeof(buf))) > 0) {
+    response.append(buf, static_cast<size_t>(n));
+  }
+  close(fd);
+  if (response.find("200 OK") == std::string::npos ||
+      response.find("fixrep_") == std::string::npos) {
+    std::cerr << "self-scrape: unexpected response:\n" << response << "\n";
+    return false;
+  }
+  std::cout << "self-scrape ok: " << response.size()
+            << " bytes from 127.0.0.1:" << port << "/metrics\n";
+  return true;
+}
+
 }  // namespace
 }  // namespace fixrep::bench
 
 int main(int argc, char** argv) {
   fixrep::bench::g_config = fixrep::ParseBenchRepairConfig(argc, argv);
-  ::benchmark::Initialize(&argc, argv);
-  ::benchmark::RunSpecifiedBenchmarks();
-  fixrep::bench::WriteRepairJson();
-  ::benchmark::Shutdown();
-  return 0;
+
+  // FIXREP_TELEMETRY_OUT: journal the run (heartbeats + chunk events).
+  std::unique_ptr<fixrep::TelemetryJournal> journal;
+  std::unique_ptr<fixrep::HeartbeatSampler> sampler;
+  const char* journal_path = std::getenv("FIXREP_TELEMETRY_OUT");
+  if (journal_path != nullptr && *journal_path != '\0') {
+    auto opened = fixrep::TelemetryJournal::Open(journal_path);
+    if (!opened.ok()) {
+      std::cerr << opened.status().message() << "\n";
+      return 1;
+    }
+    journal = std::move(opened).value();
+    journal->Append(fixrep::TelemetryEvent("run_start")
+                        .SetString("command", "bench_fig13_repair"));
+    fixrep::SetGlobalJournal(journal.get());
+    fixrep::HeartbeatOptions heartbeat;
+    heartbeat.interval_ms = 250;  // streaming sections run ~1s each
+    heartbeat.journal = journal.get();
+    sampler = std::make_unique<fixrep::HeartbeatSampler>(heartbeat);
+    sampler->Start();
+  }
+
+  // FIXREP_METRICS_PORT: serve GET /metrics (0 = ephemeral).
+  std::unique_ptr<fixrep::MetricsServer> server;
+  const char* port_env = std::getenv("FIXREP_METRICS_PORT");
+  int exit_code = 0;
+  if (port_env != nullptr && *port_env != '\0') {
+    fixrep::MetricsServerOptions options;
+    options.tcp_port = std::atoi(port_env);
+    auto started = fixrep::MetricsServer::Start(std::move(options));
+    if (!started.ok()) {
+      std::cerr << started.status().message() << "\n";
+      exit_code = 1;
+    } else {
+      server = std::move(started).value();
+      std::cout << "serving /metrics on 127.0.0.1:" << server->port()
+                << "\n";
+    }
+  }
+
+  if (exit_code == 0) {
+    ::benchmark::Initialize(&argc, argv);
+    ::benchmark::RunSpecifiedBenchmarks();
+    fixrep::bench::WriteRepairJson();
+    // The measured pass has run but the endpoint is still live — the
+    // scrape must see the run's counters, not an empty registry.
+    if (server != nullptr && !fixrep::bench::SelfScrape(server->port())) {
+      exit_code = 1;
+    }
+  }
+
+  if (sampler != nullptr) sampler->Stop();  // emits the final heartbeat
+  if (server != nullptr) server->Stop();
+  if (journal != nullptr) {
+    fixrep::SetGlobalJournal(nullptr);
+    journal->Append(
+        fixrep::TelemetryEvent("run_end")
+            .Set("exit_code", static_cast<uint64_t>(exit_code))
+            .Set("rss_peak_bytes", fixrep::TelemetryPeakRssBytes()));
+  }
+  if (exit_code == 0) ::benchmark::Shutdown();
+  return exit_code;
 }

@@ -178,7 +178,7 @@ inline double SpanTotalNanos(const std::string& span_name) {
 template <typename Fn>
 double TimedMs(const char* label, Fn&& fn) {
   const ScopedTimer scoped(MetricsRegistry::Global().GetHistogram(
-      std::string("fixrep.bench.") + label + "_ns"));
+      std::string("fixrep.bench.") + label + "_ns", "ns"));
   fn();
   return scoped.timer().ElapsedMillis();
 }

@@ -18,9 +18,19 @@ exceeds the requested budget by more than --rss-tolerance (default 15%)
 — the spill machinery must actually honor its memory budget, not just
 stay fast.
 
+With --journal, additionally validates the telemetry journal the bench
+run wrote (FIXREP_TELEMETRY_OUT, see docs/observability.md): every line
+must be a JSON object carrying "event" and "t_ms", the journal must open
+with journal_open and contain at least one heartbeat, t_ms and the
+heartbeat rows counter must be nondecreasing, chunk rows_total must be
+nondecreasing within each streaming section, and any sample reporting a
+spill budget must keep peak_resident_bytes within the same
+--rss-tolerance gate as the BENCH_repair.json audit.
+
 Usage:
   check_regression.py --baseline BENCH_repair.json \
                       --current build/BENCH_repair.json \
+                      [--journal build/BENCH_telemetry.jsonl] \
                       [--tolerance 0.25] [--rss-tolerance 0.15]
 
 Or via the CMake target, which regenerates the current file first:
@@ -42,6 +52,89 @@ def load(path):
         sys.exit(f"check_regression: {path} is not valid JSON: {e}")
 
 
+def check_journal(path, rss_tolerance):
+    """Schema/monotonicity audit of a telemetry journal. Returns a list
+    of failure strings (empty = pass)."""
+    failures = []
+    events = []
+    try:
+        with open(path, "r", encoding="utf-8") as f:
+            for lineno, line in enumerate(f, 1):
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    event = json.loads(line)
+                except json.JSONDecodeError as e:
+                    sys.exit(f"check_regression: {path}:{lineno} is not "
+                             f"valid JSON: {e}")
+                if not isinstance(event, dict) or "event" not in event \
+                        or "t_ms" not in event:
+                    sys.exit(f"check_regression: {path}:{lineno} lacks the "
+                             f"event/t_ms envelope: {line}")
+                events.append((lineno, event))
+    except OSError as e:
+        sys.exit(f"check_regression: cannot read {path}: {e}")
+
+    if not events or events[0][1]["event"] != "journal_open":
+        failures.append("journal does not start with a journal_open event")
+        return failures
+
+    heartbeats = 0
+    last_t_ms = 0
+    last_rows = 0
+    last_chunk_index = 0
+    last_rows_total = 0
+    for lineno, event in events:
+        t_ms = event["t_ms"]
+        if t_ms < last_t_ms:
+            failures.append(f"line {lineno}: t_ms ran backwards "
+                            f"({t_ms} < {last_t_ms})")
+        last_t_ms = t_ms
+        kind = event["event"]
+        if kind == "heartbeat":
+            heartbeats += 1
+            for key in ("seq", "rows", "rows_per_s", "rss_peak_bytes"):
+                if key not in event:
+                    failures.append(f"line {lineno}: heartbeat lacks {key}")
+            rows = event.get("rows", 0)
+            if rows < last_rows:
+                failures.append(f"line {lineno}: heartbeat rows ran "
+                                f"backwards ({rows} < {last_rows})")
+            last_rows = rows
+        elif kind == "chunk":
+            for key in ("index", "rows", "rows_total"):
+                if key not in event:
+                    failures.append(f"line {lineno}: chunk lacks {key}")
+            index = event.get("index", 0)
+            rows_total = event.get("rows_total", 0)
+            # A bench run streams several sections; index restarting at 1
+            # marks a new section, which resets the rows_total baseline.
+            if index > last_chunk_index and rows_total < last_rows_total:
+                failures.append(f"line {lineno}: chunk rows_total ran "
+                                f"backwards within a section "
+                                f"({rows_total} < {last_rows_total})")
+            last_chunk_index = index
+            last_rows_total = rows_total
+        # Any sample reporting a spill budget must honor it — the same
+        # gate the BENCH_repair.json audit applies.
+        budget = event.get("budget_bytes", 0)
+        peak = event.get("peak_resident_bytes")
+        if budget > 0 and peak is not None:
+            if peak / budget > 1.0 + rss_tolerance:
+                over = (peak / budget - 1.0) * 100.0
+                failures.append(f"line {lineno}: peak resident "
+                                f"{peak:,.0f} B exceeds budget "
+                                f"{budget:,.0f} B ({over:+.1f}%)")
+    if heartbeats == 0:
+        failures.append("journal contains no heartbeat events — was the "
+                        "sampler running?")
+    if not failures:
+        print(f"   journal  {path}: {len(events)} events, "
+              f"{heartbeats} heartbeats, monotone, budgets honored")
+    return failures
+
+
 def main():
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--baseline", required=True,
@@ -54,6 +147,10 @@ def main():
                         help="allowed fractional overshoot of "
                              "peak_resident_bytes over budget_bytes "
                              "(default 0.15)")
+    parser.add_argument("--journal", default=None,
+                        help="telemetry journal (JSONL) written by the "
+                             "current bench run; checked for schema, "
+                             "monotonicity, and the budget gate")
     args = parser.parse_args()
 
     baseline = load(args.baseline)
@@ -104,9 +201,22 @@ def main():
         print(f"{status:>10}  {section}: budget {budget:,.0f} B, "
               f"peak resident {peak:,.0f} B ({over:+.1f}%)")
 
+    journal_failures = []
+    if args.journal is not None:
+        journal_failures = check_journal(args.journal, args.rss_tolerance)
+
     if checked == 0:
         sys.exit("check_regression: no rows_per_sec entries in common — "
                  "wrong baseline/current pairing?")
+    if journal_failures:
+        print()
+        print("=" * 64)
+        print(f"TELEMETRY JOURNAL CHECK FAILED: {len(journal_failures)} "
+              f"problem(s) in {args.journal}:")
+        for failure in journal_failures:
+            print(f"  {failure}")
+        print("=" * 64)
+        sys.exit(1)
     if rss_failures:
         print()
         print("=" * 64)
@@ -131,9 +241,10 @@ def main():
               "build/bench/bench_fig13_repair")
         print("=" * 64)
         sys.exit(1)
+    journal_note = "" if args.journal is None else "; telemetry journal ok"
     print(f"perf check passed: {checked} throughput entries within "
           f"{args.tolerance:.0%} of baseline; memory budgets within "
-          f"{args.rss_tolerance:.0%}")
+          f"{args.rss_tolerance:.0%}{journal_note}")
 
 
 if __name__ == "__main__":

@@ -50,11 +50,26 @@
 //                                           (default: $FIXREP_LOG_LEVEL)
 //   --metrics-out=metrics.json   dump the metrics registry and the span
 //                                timeline as JSON on exit
+//   --telemetry-out=run.jsonl    write the live JSONL event journal
+//                                (heartbeats, trace spans, per-chunk
+//                                stats — docs/observability.md)
+//   --heartbeat-ms=1000          heartbeat sampler interval; the sampler
+//                                starts whenever --telemetry-out,
+//                                --progress, or this flag is given
+//   --metrics-socket=PATH        serve GET /metrics (Prometheus text
+//                                format) on a unix-domain socket
+//   --metrics-port=9464          same, on loopback TCP (0 = ephemeral;
+//                                the bound port is printed to stderr)
+//   --progress                   live one-line progress display on
+//                                stderr (chunk, rows/s, resident vs
+//                                budget) for streaming runs
 //
 // CSV files are self-describing (header row = schema); the rule and FD
 // files use the formats of rules/rule_io.h and deps/fd.h. All inputs of
 // one invocation share a value pool, so cross-file cell comparisons are
 // exact.
+
+#include <sys/stat.h>
 
 #include <fstream>
 #include <iostream>
@@ -66,8 +81,10 @@
 
 #include "common/log.h"
 #include "common/metrics.h"
+#include "common/metrics_server.h"
 #include "common/quarantine.h"
 #include "common/status.h"
+#include "common/telemetry.h"
 #include "common/timer.h"
 #include "common/trace.h"
 #include "datagen/hosp.h"
@@ -367,6 +384,14 @@ int RepairStream(const Args& args, OnErrorPolicy policy) {
               << "\n";
     return 1;
   }
+  struct stat input_stat;
+  if (stat(args.Get("in").c_str(), &input_stat) == 0) {
+    // Lets --progress and heartbeats report percent-done: the streaming
+    // driver publishes input_bytes_read as it goes.
+    MetricsRegistry::Global()
+        .GetGauge("fixrep.progress.input_bytes_total")
+        ->Set(static_cast<int64_t>(input_stat.st_size));
+  }
   CsvReadOptions csv_options;
   csv_options.on_error = policy;
   csv_options.quarantine = quarantining ? &row_sink : nullptr;
@@ -660,7 +685,70 @@ int Main(int argc, char** argv) {
     }
     SetGlobalLogLevel(*level);
   }
+  // Live telemetry wraps the whole command: the journal captures every
+  // span from load to flush, and the endpoint stays scrapeable until the
+  // run exits.
+  std::unique_ptr<TelemetryJournal> journal;
+  if (args.Has("telemetry-out")) {
+    StatusOr<std::unique_ptr<TelemetryJournal>> journal_or =
+        TelemetryJournal::Open(args.Require("telemetry-out"));
+    if (!journal_or.ok()) {
+      std::cerr << "--telemetry-out: " << journal_or.status() << "\n";
+      return 2;
+    }
+    journal = std::move(journal_or).value();
+    journal->Append(TelemetryEvent("run_start")
+                        .SetString("command", args.command()));
+    SetGlobalJournal(journal.get());
+  }
+  std::unique_ptr<MetricsServer> server;
+  if (args.Has("metrics-socket") || args.Has("metrics-port")) {
+    if (args.Has("metrics-socket") && args.Has("metrics-port")) {
+      std::cerr << "pick one of --metrics-socket and --metrics-port\n";
+      return 2;
+    }
+    MetricsServerOptions options;
+    if (args.Has("metrics-socket")) {
+      options.unix_socket_path = args.Require("metrics-socket");
+    } else {
+      options.tcp_port = static_cast<int>(args.GetSizeT("metrics-port", 0));
+    }
+    StatusOr<std::unique_ptr<MetricsServer>> server_or =
+        MetricsServer::Start(std::move(options));
+    if (!server_or.ok()) {
+      std::cerr << "metrics endpoint: " << server_or.status() << "\n";
+      return 2;
+    }
+    server = std::move(server_or).value();
+    if (args.Has("metrics-port")) {
+      std::cerr << "[fixrep] serving /metrics on 127.0.0.1:"
+                << server->port() << "\n";
+    } else {
+      std::cerr << "[fixrep] serving /metrics on "
+                << server->socket_path() << "\n";
+    }
+  }
+  std::unique_ptr<HeartbeatSampler> sampler;
+  if (journal != nullptr || args.Has("progress") ||
+      args.Has("heartbeat-ms")) {
+    HeartbeatOptions options;
+    options.interval_ms = args.GetSizeT("heartbeat-ms", 1000);
+    options.journal = journal.get();
+    options.progress = args.Has("progress");
+    sampler = std::make_unique<HeartbeatSampler>(options);
+    sampler->Start();
+  }
+
   const int rc = Dispatch(args);
+
+  if (sampler != nullptr) sampler->Stop();  // emits the final sample
+  if (server != nullptr) server->Stop();
+  if (journal != nullptr) {
+    SetGlobalJournal(nullptr);
+    journal->Append(TelemetryEvent("run_end")
+                        .Set("exit_code", static_cast<int64_t>(rc))
+                        .Set("rss_peak_bytes", TelemetryPeakRssBytes()));
+  }
   if (args.Has("metrics-out")) {
     const std::string path = args.Require("metrics-out");
     std::ofstream out(path);

@@ -1,0 +1,81 @@
+#include "common/metric_names.h"
+
+#include <utility>
+
+namespace fixrep {
+
+namespace {
+
+bool IsLower(char c) { return c >= 'a' && c <= 'z'; }
+bool IsSegmentChar(char c) {
+  return IsLower(c) || (c >= '0' && c <= '9') || c == '_';
+}
+
+}  // namespace
+
+bool IsExposableMetricName(const std::string& name) {
+  if (name.empty()) return false;
+  bool segment_start = true;
+  for (const char c : name) {
+    if (c == '.') {
+      if (segment_start) return false;  // empty segment ("a..b", ".a")
+      segment_start = true;
+      continue;
+    }
+    if (segment_start) {
+      if (!IsLower(c)) return false;  // segments start with a letter
+      segment_start = false;
+    } else if (!IsSegmentChar(c)) {
+      return false;
+    }
+  }
+  return !segment_start;  // trailing dot
+}
+
+Status SanitizeMetricName(const std::string& name, std::string* out) {
+  if (!IsExposableMetricName(name)) {
+    return Status::MalformedInput("metric name not exposable: \"" + name +
+                                  "\"");
+  }
+  std::string sanitized = name;
+  for (char& c : sanitized) {
+    if (c == '.') c = '_';
+  }
+  *out = std::move(sanitized);
+  return Status::Ok();
+}
+
+Status MetricNameMap::Add(const std::string& name) {
+  const auto it = forward_.find(name);
+  if (it != forward_.end()) {
+    if (!it->second.empty()) return Status::Ok();
+    return Status::MalformedInput("metric name rejected for exposition: \"" +
+                                  name + "\"");
+  }
+  std::string sanitized;
+  Status status = SanitizeMetricName(name, &sanitized);
+  if (status.ok()) {
+    const auto [owner, inserted] = reverse_.emplace(sanitized, name);
+    if (!inserted) {
+      status = Status::MalformedInput(
+          "metric name \"" + name + "\" sanitizes to \"" + sanitized +
+          "\", already owned by \"" + owner->second + "\"");
+    }
+  }
+  forward_.emplace(name, status.ok() ? std::move(sanitized) : std::string());
+  return status;
+}
+
+const std::string* MetricNameMap::Sanitized(const std::string& name) const {
+  const auto it = forward_.find(name);
+  if (it == forward_.end() || it->second.empty()) return nullptr;
+  return &it->second;
+}
+
+const std::string* MetricNameMap::Original(
+    const std::string& sanitized) const {
+  const auto it = reverse_.find(sanitized);
+  return it == reverse_.end() ? nullptr : &it->second;
+}
+
+}  // namespace fixrep

@@ -1,0 +1,57 @@
+#ifndef FIXREP_COMMON_METRIC_NAMES_H_
+#define FIXREP_COMMON_METRIC_NAMES_H_
+
+#include <map>
+#include <string>
+
+#include "common/status.h"
+
+// Registry names are dotted (fixrep.lrepair.index_builds); Prometheus
+// exposition replaces the dots with underscores
+// (fixrep_lrepair_index_builds). Because '_' is legal inside a segment,
+// sanitization is not invertible in general — fixrep.index_builds and
+// fixrep.index.builds collide — so exposition goes through a
+// bidirectional map that rejects the second name of any colliding pair
+// instead of silently aliasing two metrics into one series.
+
+namespace fixrep {
+
+// True when `name` can round-trip through exposition: one or more
+// nonempty '.'-separated segments, each starting with a lowercase letter
+// and containing only [a-z0-9_].
+bool IsExposableMetricName(const std::string& name);
+
+// Rewrites dots to underscores. kMalformedInput when the name is not
+// exposable; `*out` is untouched on error.
+Status SanitizeMetricName(const std::string& name, std::string* out);
+
+// Bidirectional registry-name <-> exposition-name map with collision
+// detection. Not thread-safe; MetricsRegistry holds one under its own
+// lock.
+class MetricNameMap {
+ public:
+  // Registers `name`. Idempotent per name; kMalformedInput when the name
+  // is not exposable, or when its sanitized form already belongs to a
+  // *different* registry name. Rejected names are remembered so lookups
+  // stay O(log n) and repeated Adds return the same error.
+  Status Add(const std::string& name);
+
+  // The exposition name for a registry name, or nullptr when `name` was
+  // never added or was rejected. The pointer stays valid across later
+  // insertions (node-based map).
+  const std::string* Sanitized(const std::string& name) const;
+
+  // The registry name owning an exposition name, or nullptr.
+  const std::string* Original(const std::string& sanitized) const;
+
+ private:
+  // Registry name -> sanitized ("" = rejected, kept to make Add
+  // idempotent without re-validating).
+  std::map<std::string, std::string> forward_;
+  // Sanitized -> registry name, for Original() and collision detection.
+  std::map<std::string, std::string> reverse_;
+};
+
+}  // namespace fixrep
+
+#endif  // FIXREP_COMMON_METRIC_NAMES_H_

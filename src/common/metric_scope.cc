@@ -1,0 +1,37 @@
+#include "common/metric_scope.h"
+
+#include "common/logging.h"
+
+namespace fixrep {
+
+namespace {
+
+// Innermost active scope's registry for this thread; nullptr = global.
+thread_local MetricsRegistry* tls_current_registry = nullptr;
+
+}  // namespace
+
+MetricsRegistry& CurrentMetrics() {
+  MetricsRegistry* current = tls_current_registry;
+  return current != nullptr ? *current : MetricsRegistry::Global();
+}
+
+MetricScope::MetricScope(MetricsRegistry* parent)
+    : parent_(parent), registry_(std::make_unique<MetricsRegistry>()) {
+  FIXREP_CHECK(parent_ != nullptr);
+  FIXREP_CHECK(parent_ != registry_.get());
+}
+
+MetricScope::~MetricScope() { Flush(); }
+
+void MetricScope::Flush() { registry_->FlushInto(parent_); }
+
+MetricScope::Activation::Activation(MetricScope* scope)
+    : previous_(tls_current_registry) {
+  FIXREP_CHECK(scope != nullptr);
+  tls_current_registry = &scope->registry();
+}
+
+MetricScope::Activation::~Activation() { tls_current_registry = previous_; }
+
+}  // namespace fixrep

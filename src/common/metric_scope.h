@@ -1,0 +1,72 @@
+#ifndef FIXREP_COMMON_METRIC_SCOPE_H_
+#define FIXREP_COMMON_METRIC_SCOPE_H_
+
+#include <memory>
+
+#include "common/metrics.h"
+
+// Session-scoped metric domains. The library's instrumentation sites
+// publish to CurrentMetrics(), which is the process-wide registry unless
+// the calling thread has an active MetricScope — then it is that scope's
+// private registry. A RepairSession configured with scoped_metrics
+// activates its scope around every repair call, so two concurrent
+// sessions accumulate into disjoint registries (attributable per-tenant
+// metrics, the daemon prerequisite) and roll up into the global registry
+// on flush.
+//
+// The publication discipline that makes a *thread-local* current
+// registry sufficient: engines accumulate into plain structs and publish
+// deltas from the calling thread only — pool workers never touch the
+// registry (see ParallelRepairRows) — so activating a scope on the
+// session's calling thread captures everything the session publishes.
+
+namespace fixrep {
+
+// The calling thread's publication registry: the innermost active
+// MetricScope's, or MetricsRegistry::Global().
+MetricsRegistry& CurrentMetrics();
+
+class MetricScope {
+ public:
+  // Values flushed out of this scope roll up into `parent` (the global
+  // registry by default).
+  explicit MetricScope(MetricsRegistry* parent = &MetricsRegistry::Global());
+  // Flushes whatever is still accumulated, so no counts are dropped.
+  ~MetricScope();
+
+  MetricScope(const MetricScope&) = delete;
+  MetricScope& operator=(const MetricScope&) = delete;
+
+  // The scope's private registry — inspect it directly for per-session
+  // values before they roll up.
+  MetricsRegistry& registry() { return *registry_; }
+  const MetricsRegistry& registry() const { return *registry_; }
+
+  // Rolls accumulated values up into the parent and resets the local
+  // ones; repeated flushes never double-count.
+  void Flush();
+
+  // While an Activation lives, CurrentMetrics() on its thread resolves
+  // to the scope's registry. Nests (inner scope wins) and restores the
+  // previous registry on destruction; must be destroyed on the thread
+  // that created it.
+  class Activation {
+   public:
+    explicit Activation(MetricScope* scope);
+    ~Activation();
+
+    Activation(const Activation&) = delete;
+    Activation& operator=(const Activation&) = delete;
+
+   private:
+    MetricsRegistry* previous_;
+  };
+
+ private:
+  MetricsRegistry* parent_;
+  std::unique_ptr<MetricsRegistry> registry_;
+};
+
+}  // namespace fixrep
+
+#endif  // FIXREP_COMMON_METRIC_SCOPE_H_

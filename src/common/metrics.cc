@@ -2,7 +2,11 @@
 
 #include <algorithm>
 #include <bit>
+#include <cmath>
 #include <cstdio>
+
+#include "common/log.h"
+#include "common/logging.h"
 
 namespace fixrep {
 
@@ -27,6 +31,28 @@ void AtomicMax(std::atomic<uint64_t>* target, uint64_t value) {
 }
 
 }  // namespace
+
+double HistogramSnapshot::Quantile(double q) const {
+  if (count == 0) return 0.0;
+  q = std::clamp(q, 0.0, 1.0);
+  const double target = q * static_cast<double>(count);
+  double cum = 0.0;
+  for (size_t i = 0; i < buckets.size(); ++i) {
+    const double in_bucket = static_cast<double>(buckets[i]);
+    if (in_bucket == 0.0) continue;
+    if (cum + in_bucket >= target) {
+      // Bucket i spans [2^(i-1), 2^i); interpolate the rank's position.
+      const double lo =
+          i == 0 ? 0.0 : std::ldexp(1.0, static_cast<int>(i) - 1);
+      const double hi = std::ldexp(1.0, static_cast<int>(i));
+      const double frac = std::max(target - cum, 0.0) / in_bucket;
+      return std::clamp(lo + (hi - lo) * frac, static_cast<double>(min),
+                        static_cast<double>(max));
+    }
+    cum += in_bucket;
+  }
+  return static_cast<double>(max);
+}
 
 void Histogram::Observe(uint64_t value) {
 #ifndef FIXREP_DISABLE_METRICS
@@ -62,6 +88,42 @@ std::vector<uint64_t> Histogram::BucketCounts() const {
     out[i] = buckets_[i].load(std::memory_order_relaxed);
   }
   return out;
+}
+
+HistogramSnapshot Histogram::Snapshot() const {
+  HistogramSnapshot snap;
+  snap.count = Count();
+  snap.sum = Sum();
+  snap.min = Min();
+  snap.max = Max();
+  snap.unit = unit();
+  snap.buckets = BucketCounts();
+  return snap;
+}
+
+void Histogram::set_unit(const char* unit) {
+  if (unit == nullptr || unit[0] == '\0') return;
+  const char* expected = nullptr;
+  unit_.compare_exchange_strong(expected, unit, std::memory_order_relaxed);
+}
+
+void Histogram::MergeFrom(const HistogramSnapshot& snapshot) {
+#ifndef FIXREP_DISABLE_METRICS
+  set_unit(snapshot.unit);
+  if (snapshot.count == 0) return;
+  const size_t n = std::min<size_t>(snapshot.buckets.size(), kNumBuckets);
+  for (size_t i = 0; i < n; ++i) {
+    if (snapshot.buckets[i] != 0) {
+      buckets_[i].fetch_add(snapshot.buckets[i], std::memory_order_relaxed);
+    }
+  }
+  count_.fetch_add(snapshot.count, std::memory_order_relaxed);
+  sum_.fetch_add(snapshot.sum, std::memory_order_relaxed);
+  AtomicMin(&min_, snapshot.min);
+  AtomicMax(&max_, snapshot.max);
+#else
+  (void)snapshot;
+#endif
 }
 
 void Histogram::Reset() {
@@ -121,14 +183,17 @@ MetricsRegistry& MetricsRegistry::Global() {
 namespace {
 
 // Find-or-create on a name-keyed map of unique_ptrs; the map node gives
-// the returned pointer stability across rehashes and later insertions.
+// the returned pointer stability across later insertions. Caller holds
+// the registry lock; `*created` reports first-time registration so the
+// registry can record the exposition mapping.
 template <typename T>
-T* FindOrCreate(std::mutex* mu,
-                std::map<std::string, std::unique_ptr<T>>* map,
-                const std::string& name) {
-  const std::lock_guard<std::mutex> lock(*mu);
+T* FindOrCreate(std::map<std::string, std::unique_ptr<T>>* map,
+                const std::string& name, bool* created) {
   auto& slot = (*map)[name];
-  if (slot == nullptr) slot = std::make_unique<T>();
+  if (slot == nullptr) {
+    slot = std::make_unique<T>();
+    *created = true;
+  }
   return slot.get();
 }
 
@@ -143,20 +208,53 @@ const T* FindOnly(std::mutex* mu,
 
 }  // namespace
 
+void MetricsRegistry::RegisterNameLocked(const std::string& name) {
+  const Status status = exposition_names_.Add(name);
+  if (!status.ok()) {
+    // Still registered — local use (JSON dump, tests) keeps working —
+    // but ExportPrometheus will skip it.
+    FIXREP_LOG(Warn) << "metric hidden from exposition"
+                     << Kv("reason", status.message());
+  }
+}
+
 Counter* MetricsRegistry::GetCounter(const std::string& name) {
-  return FindOrCreate(&mu_, &counters_, name);
+  const std::lock_guard<std::mutex> lock(mu_);
+  bool created = false;
+  Counter* counter = FindOrCreate(&counters_, name, &created);
+  if (created) RegisterNameLocked(name);
+  return counter;
 }
 
 Gauge* MetricsRegistry::GetGauge(const std::string& name) {
-  return FindOrCreate(&mu_, &gauges_, name);
+  const std::lock_guard<std::mutex> lock(mu_);
+  bool created = false;
+  Gauge* gauge = FindOrCreate(&gauges_, name, &created);
+  if (created) RegisterNameLocked(name);
+  return gauge;
 }
 
 Histogram* MetricsRegistry::GetHistogram(const std::string& name) {
-  return FindOrCreate(&mu_, &histograms_, name);
+  const std::lock_guard<std::mutex> lock(mu_);
+  bool created = false;
+  Histogram* histogram = FindOrCreate(&histograms_, name, &created);
+  if (created) RegisterNameLocked(name);
+  return histogram;
+}
+
+Histogram* MetricsRegistry::GetHistogram(const std::string& name,
+                                         const char* unit) {
+  Histogram* histogram = GetHistogram(name);
+  histogram->set_unit(unit);
+  return histogram;
 }
 
 CounterVector* MetricsRegistry::GetCounterVector(const std::string& name) {
-  return FindOrCreate(&mu_, &counter_vectors_, name);
+  const std::lock_guard<std::mutex> lock(mu_);
+  bool created = false;
+  CounterVector* vec = FindOrCreate(&counter_vectors_, name, &created);
+  if (created) RegisterNameLocked(name);
+  return vec;
 }
 
 const Counter* MetricsRegistry::FindCounter(const std::string& name) const {
@@ -175,6 +273,91 @@ const Histogram* MetricsRegistry::FindHistogram(
 const CounterVector* MetricsRegistry::FindCounterVector(
     const std::string& name) const {
   return FindOnly(&mu_, counter_vectors_, name);
+}
+
+std::vector<std::pair<std::string, uint64_t>>
+MetricsRegistry::SnapshotCounters() const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  std::vector<std::pair<std::string, uint64_t>> out;
+  out.reserve(counters_.size());
+  for (const auto& [name, counter] : counters_) {
+    out.emplace_back(name, counter->Value());
+  }
+  return out;
+}
+
+std::vector<std::pair<std::string, int64_t>> MetricsRegistry::SnapshotGauges()
+    const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  std::vector<std::pair<std::string, int64_t>> out;
+  out.reserve(gauges_.size());
+  for (const auto& [name, gauge] : gauges_) {
+    out.emplace_back(name, gauge->Value());
+  }
+  return out;
+}
+
+std::vector<std::pair<std::string, HistogramSnapshot>>
+MetricsRegistry::SnapshotHistograms() const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  std::vector<std::pair<std::string, HistogramSnapshot>> out;
+  out.reserve(histograms_.size());
+  for (const auto& [name, histogram] : histograms_) {
+    out.emplace_back(name, histogram->Snapshot());
+  }
+  return out;
+}
+
+std::vector<std::pair<std::string, std::vector<uint64_t>>>
+MetricsRegistry::SnapshotCounterVectors() const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  std::vector<std::pair<std::string, std::vector<uint64_t>>> out;
+  out.reserve(counter_vectors_.size());
+  for (const auto& [name, vec] : counter_vectors_) {
+    out.emplace_back(name, vec->Values());
+  }
+  return out;
+}
+
+void MetricsRegistry::MergeInto(MetricsRegistry* target) const {
+  FIXREP_CHECK(target != nullptr && target != this);
+  // Snapshot under this registry's lock, publish under the target's —
+  // the locks are never held together.
+  const auto counters = SnapshotCounters();
+  const auto gauges = SnapshotGauges();
+  const auto histograms = SnapshotHistograms();
+  const auto vectors = SnapshotCounterVectors();
+  for (const auto& [name, value] : counters) {
+    if (value != 0) target->GetCounter(name)->Add(value);
+  }
+  for (const auto& [name, value] : gauges) {
+    // Gauges are last-write-wins; a scope that never touched one (0)
+    // must not clobber the parent's value.
+    if (value != 0) target->GetGauge(name)->Set(value);
+  }
+  for (const auto& [name, snapshot] : histograms) {
+    if (snapshot.count != 0 || snapshot.unit[0] != '\0') {
+      target->GetHistogram(name)->MergeFrom(snapshot);
+    }
+  }
+  for (const auto& [name, values] : vectors) {
+    if (values.empty()) continue;
+    target->GetCounterVector(name)->AddAll(
+        std::vector<size_t>(values.begin(), values.end()));
+  }
+}
+
+void MetricsRegistry::FlushInto(MetricsRegistry* target) {
+  MergeInto(target);
+  const std::lock_guard<std::mutex> lock(mu_);
+  ResetAllLocked();
+}
+
+const std::string* MetricsRegistry::PrometheusName(
+    const std::string& name) const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  // The pointer targets a map node, stable across later registrations.
+  return exposition_names_.Sanitized(name);
 }
 
 std::string JsonEscape(const std::string& text) {
@@ -237,18 +420,25 @@ void MetricsRegistry::WriteJson(std::ostream& os) const {
   os << (first ? "" : "\n  ") << "},\n  \"histograms\": {";
   first = true;
   for (const auto& [name, histogram] : histograms_) {
+    const HistogramSnapshot snap = histogram->Snapshot();
     os << (first ? "\n" : ",\n") << "    \"" << JsonEscape(name)
-       << "\": {\"count\": " << histogram->Count()
-       << ", \"sum\": " << histogram->Sum()
-       << ", \"min\": " << histogram->Min()
-       << ", \"max\": " << histogram->Max() << ", \"buckets\": [";
-    const auto buckets = histogram->BucketCounts();
+       << "\": {\"count\": " << snap.count << ", \"sum\": " << snap.sum
+       << ", \"min\": " << snap.min << ", \"max\": " << snap.max;
+    if (snap.unit[0] != '\0') {
+      os << ", \"unit\": \"" << JsonEscape(snap.unit) << "\"";
+    }
+    if (snap.count > 0) {
+      os << ", \"p50\": " << static_cast<uint64_t>(std::llround(snap.P50()))
+         << ", \"p95\": " << static_cast<uint64_t>(std::llround(snap.P95()))
+         << ", \"p99\": " << static_cast<uint64_t>(std::llround(snap.P99()));
+    }
+    os << ", \"buckets\": [";
     bool first_bucket = true;
-    for (size_t i = 0; i < buckets.size(); ++i) {
-      if (buckets[i] == 0) continue;
+    for (size_t i = 0; i < snap.buckets.size(); ++i) {
+      if (snap.buckets[i] == 0) continue;
       os << (first_bucket ? "" : ", ") << "{\"le\": "
-         << Histogram::BucketUpperBound(i) << ", \"count\": " << buckets[i]
-         << "}";
+         << Histogram::BucketUpperBound(i)
+         << ", \"count\": " << snap.buckets[i] << "}";
       first_bucket = false;
     }
     os << "]}";
@@ -257,12 +447,16 @@ void MetricsRegistry::WriteJson(std::ostream& os) const {
   os << (first ? "" : "\n  ") << "}\n}";
 }
 
-void MetricsRegistry::ResetAllForTest() {
-  const std::lock_guard<std::mutex> lock(mu_);
+void MetricsRegistry::ResetAllLocked() {
   for (auto& [name, counter] : counters_) counter->Reset();
   for (auto& [name, gauge] : gauges_) gauge->Reset();
   for (auto& [name, histogram] : histograms_) histogram->Reset();
   for (auto& [name, vec] : counter_vectors_) vec->Reset();
+}
+
+void MetricsRegistry::ResetAllForTest() {
+  const std::lock_guard<std::mutex> lock(mu_);
+  ResetAllLocked();
 }
 
 }  // namespace fixrep

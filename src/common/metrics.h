@@ -8,7 +8,10 @@
 #include <mutex>
 #include <ostream>
 #include <string>
+#include <utility>
 #include <vector>
+
+#include "common/metric_names.h"
 
 // Process-wide metrics registry, cheap enough to stay enabled in release
 // builds: counters and histograms are relaxed atomics, name lookup is a
@@ -64,6 +67,28 @@ class Gauge {
   std::atomic<int64_t> value_{0};
 };
 
+// One consistent-enough read of a histogram (each field is loaded once;
+// concurrent observations may straddle the reads). Quantiles are
+// estimated by linear interpolation inside the power-of-two bucket that
+// holds the requested rank, clamped to [min, max] — exact enough to make
+// a latency distribution readable, which raw bucket counts are not.
+struct HistogramSnapshot {
+  uint64_t count = 0;
+  uint64_t sum = 0;
+  uint64_t min = 0;
+  uint64_t max = 0;
+  // Unit tag from registration ("" when untagged, "ns" for span/timer
+  // histograms). Always a string literal.
+  const char* unit = "";
+  std::vector<uint64_t> buckets;
+
+  // q in [0, 1]; 0 when the histogram is empty.
+  double Quantile(double q) const;
+  double P50() const { return Quantile(0.50); }
+  double P95() const { return Quantile(0.95); }
+  double P99() const { return Quantile(0.99); }
+};
+
 // Fixed power-of-two-bucket histogram for latencies in nanoseconds (or
 // any nonnegative value). Bucket i counts observations whose bit width is
 // i, i.e. values in [2^(i-1), 2^i); the last bucket absorbs overflow.
@@ -81,7 +106,23 @@ class Histogram {
   // Upper bound (exclusive) of bucket i.
   static uint64_t BucketUpperBound(size_t i);
   std::vector<uint64_t> BucketCounts() const;
+  HistogramSnapshot Snapshot() const;
   void Reset();
+
+  // Unit tag ("ns", "bytes", ...). Must be a string literal — stored by
+  // pointer so concurrent readers need no lock. Set once at registration
+  // (MetricsRegistry::GetHistogram(name, unit)); later calls with a
+  // different unit are ignored, first writer wins.
+  const char* unit() const {
+    const char* u = unit_.load(std::memory_order_relaxed);
+    return u == nullptr ? "" : u;
+  }
+  void set_unit(const char* unit);
+
+  // Folds a snapshot delta (cur - prev of the same histogram, or a whole
+  // snapshot vs an empty prev) into this histogram — how scoped metric
+  // domains roll up into their parent registry.
+  void MergeFrom(const HistogramSnapshot& snapshot);
 
  private:
   std::atomic<uint64_t> buckets_[kNumBuckets] = {};
@@ -89,6 +130,7 @@ class Histogram {
   std::atomic<uint64_t> sum_{0};
   std::atomic<uint64_t> min_{UINT64_MAX};
   std::atomic<uint64_t> max_{0};
+  std::atomic<const char*> unit_{nullptr};
 };
 
 // A fixed set of counters addressed by index — used for per-rule
@@ -118,10 +160,17 @@ class MetricsRegistry {
   MetricsRegistry& operator=(const MetricsRegistry&) = delete;
 
   // Find-or-create. Returned pointers stay valid for the registry's
-  // lifetime (the Global() registry is never destroyed).
+  // lifetime (the Global() registry is never destroyed). Names that are
+  // not exposable (common/metric_names.h: bad charset, or a Prometheus
+  // sanitization collision with an earlier registration) still register —
+  // local use keeps working — but are skipped by ExportPrometheus and
+  // logged once at registration.
   Counter* GetCounter(const std::string& name);
   Gauge* GetGauge(const std::string& name);
   Histogram* GetHistogram(const std::string& name);
+  // Tags the histogram's value unit at registration; `unit` must be a
+  // string literal ("ns", "bytes"). First writer wins.
+  Histogram* GetHistogram(const std::string& name, const char* unit);
   CounterVector* GetCounterVector(const std::string& name);
 
   // nullptr when the name was never registered.
@@ -130,22 +179,57 @@ class MetricsRegistry {
   const Histogram* FindHistogram(const std::string& name) const;
   const CounterVector* FindCounterVector(const std::string& name) const;
 
+  // Name-sorted value snapshots, for exposition and samplers. Each value
+  // is read once; concurrent updates may or may not be seen.
+  std::vector<std::pair<std::string, uint64_t>> SnapshotCounters() const;
+  std::vector<std::pair<std::string, int64_t>> SnapshotGauges() const;
+  std::vector<std::pair<std::string, HistogramSnapshot>> SnapshotHistograms()
+      const;
+  std::vector<std::pair<std::string, std::vector<uint64_t>>>
+  SnapshotCounterVectors() const;
+
+  // Accumulates every value of this registry into `target` (counters and
+  // counter vectors add, histograms merge bucket-wise with unit
+  // propagation, nonzero gauges overwrite) without resetting this
+  // registry. The roll-up primitive behind MetricScope::Flush. The two
+  // locks are never held together (values are snapshotted first, then
+  // published), so any merge topology is deadlock-free.
+  void MergeInto(MetricsRegistry* target) const;
+
+  // MergeInto followed by a reset of every local value (registrations
+  // stay), so repeated flushes never double-count. Observations racing
+  // with the flush may land after the merge and before the reset and be
+  // lost — callers flush at quiescent points (session end, post-join).
+  void FlushInto(MetricsRegistry* target);
+
   // Writes every metric as one JSON object: {"counters": {...},
   // "gauges": {...}, "counter_vectors": {...}, "histograms": {...}}.
   // Histograms list only their nonzero buckets. The output is a snapshot:
   // each value is read once, concurrent updates may or may not be seen.
   void WriteJson(std::ostream& os) const;
 
+  // The Prometheus exposition name of a registered metric, or nullptr
+  // when the name was rejected at registration (invalid charset, or its
+  // sanitized form collides with an earlier registration — see
+  // common/metric_names.h). ExportPrometheus skips rejected names.
+  const std::string* PrometheusName(const std::string& name) const;
+
   // Zeroes every registered value, keeping registrations (and therefore
   // pointers held by instrumentation sites) intact. For tests.
   void ResetAllForTest();
 
  private:
+  // Called under mu_ for every first-time registration: computes and
+  // records the exposition mapping, logging rejected names once.
+  void RegisterNameLocked(const std::string& name);
+  void ResetAllLocked();
+
   mutable std::mutex mu_;
   std::map<std::string, std::unique_ptr<Counter>> counters_;
   std::map<std::string, std::unique_ptr<Gauge>> gauges_;
   std::map<std::string, std::unique_ptr<Histogram>> histograms_;
   std::map<std::string, std::unique_ptr<CounterVector>> counter_vectors_;
+  MetricNameMap exposition_names_;
 };
 
 // Minimal JSON string escaping for metric/span names and log text.

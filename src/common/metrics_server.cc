@@ -1,0 +1,242 @@
+#include "common/metrics_server.h"
+
+#include <netinet/in.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cmath>
+#include <cstdio>
+#include <cstring>
+#include <sstream>
+#include <utility>
+#include <vector>
+
+namespace fixrep {
+
+namespace {
+
+std::string FormatQuantile(double value) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.1f", value);
+  return buf;
+}
+
+}  // namespace
+
+void ExportPrometheus(std::ostream& os, const MetricsRegistry& registry) {
+  size_t skipped = 0;
+  const auto exposition_name =
+      [&registry, &skipped](const std::string& name) -> const std::string* {
+    const std::string* sanitized = registry.PrometheusName(name);
+    if (sanitized == nullptr) ++skipped;
+    return sanitized;
+  };
+
+  for (const auto& [name, value] : registry.SnapshotCounters()) {
+    const std::string* prom = exposition_name(name);
+    if (prom == nullptr) continue;
+    os << "# TYPE " << *prom << " counter\n" << *prom << " " << value << "\n";
+  }
+  for (const auto& [name, value] : registry.SnapshotGauges()) {
+    const std::string* prom = exposition_name(name);
+    if (prom == nullptr) continue;
+    os << "# TYPE " << *prom << " gauge\n" << *prom << " " << value << "\n";
+  }
+  for (const auto& [name, values] : registry.SnapshotCounterVectors()) {
+    const std::string* prom = exposition_name(name);
+    if (prom == nullptr) continue;
+    os << "# TYPE " << *prom << " counter\n";
+    for (size_t i = 0; i < values.size(); ++i) {
+      os << *prom << "{index=\"" << i << "\"} " << values[i] << "\n";
+    }
+  }
+  for (const auto& [name, snap] : registry.SnapshotHistograms()) {
+    const std::string* prom = exposition_name(name);
+    if (prom == nullptr) continue;
+    if (snap.unit[0] != '\0') {
+      os << "# UNIT " << *prom << " " << snap.unit << "\n";
+    }
+    os << "# TYPE " << *prom << " histogram\n";
+    uint64_t cumulative = 0;
+    for (size_t i = 0; i < snap.buckets.size(); ++i) {
+      if (snap.buckets[i] == 0) continue;
+      cumulative += snap.buckets[i];
+      os << *prom << "_bucket{le=\"" << Histogram::BucketUpperBound(i)
+         << "\"} " << cumulative << "\n";
+    }
+    os << *prom << "_bucket{le=\"+Inf\"} " << snap.count << "\n"
+       << *prom << "_sum " << snap.sum << "\n"
+       << *prom << "_count " << snap.count << "\n";
+    if (snap.count > 0) {
+      os << "# TYPE " << *prom << "_p50 gauge\n"
+         << *prom << "_p50 " << FormatQuantile(snap.P50()) << "\n"
+         << "# TYPE " << *prom << "_p95 gauge\n"
+         << *prom << "_p95 " << FormatQuantile(snap.P95()) << "\n"
+         << "# TYPE " << *prom << "_p99 gauge\n"
+         << *prom << "_p99 " << FormatQuantile(snap.P99()) << "\n";
+    }
+  }
+  if (skipped > 0) {
+    os << "# fixrep: " << skipped
+       << " metric(s) hidden (non-exposable registry names)\n";
+  }
+}
+
+MetricsServer::MetricsServer(MetricsServerOptions options)
+    : options_(std::move(options)) {
+  if (options_.registry == nullptr) {
+    options_.registry = &MetricsRegistry::Global();
+  }
+}
+
+StatusOr<std::unique_ptr<MetricsServer>> MetricsServer::Start(
+    MetricsServerOptions options) {
+  const bool want_unix = !options.unix_socket_path.empty();
+  const bool want_tcp = options.tcp_port >= 0;
+  if (want_unix == want_tcp) {
+    return Status::MalformedInput(
+        "metrics server needs exactly one of unix_socket_path or tcp_port");
+  }
+  auto server = std::unique_ptr<MetricsServer>(
+      new MetricsServer(std::move(options)));
+  const Status status = server->Bind();
+  if (!status.ok()) return status;
+  server->thread_ = std::thread([raw = server.get()]() { raw->Run(); });
+  return server;
+}
+
+Status MetricsServer::Bind() {
+  if (pipe(wake_fds_) != 0) {
+    return Status::IoError(std::string("pipe: ") + std::strerror(errno));
+  }
+  if (!options_.unix_socket_path.empty()) {
+    sockaddr_un addr = {};
+    addr.sun_family = AF_UNIX;
+    if (options_.unix_socket_path.size() >= sizeof(addr.sun_path)) {
+      return Status::MalformedInput("unix socket path too long: " +
+                                    options_.unix_socket_path);
+    }
+    std::strncpy(addr.sun_path, options_.unix_socket_path.c_str(),
+                 sizeof(addr.sun_path) - 1);
+    listen_fd_ = socket(AF_UNIX, SOCK_STREAM, 0);
+    if (listen_fd_ < 0) {
+      return Status::IoError(std::string("socket: ") + std::strerror(errno));
+    }
+    // A stale socket file from a dead process blocks bind; remove it.
+    unlink(options_.unix_socket_path.c_str());
+    if (bind(listen_fd_, reinterpret_cast<const sockaddr*>(&addr),
+             sizeof(addr)) != 0) {
+      return Status::IoError("bind " + options_.unix_socket_path + ": " +
+                             std::strerror(errno));
+    }
+  } else {
+    listen_fd_ = socket(AF_INET, SOCK_STREAM, 0);
+    if (listen_fd_ < 0) {
+      return Status::IoError(std::string("socket: ") + std::strerror(errno));
+    }
+    const int enable = 1;
+    setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &enable, sizeof(enable));
+    sockaddr_in addr = {};
+    addr.sin_family = AF_INET;
+    addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);  // scrape-only: loopback
+    addr.sin_port = htons(static_cast<uint16_t>(options_.tcp_port));
+    if (bind(listen_fd_, reinterpret_cast<const sockaddr*>(&addr),
+             sizeof(addr)) != 0) {
+      return Status::IoError("bind port " +
+                             std::to_string(options_.tcp_port) + ": " +
+                             std::strerror(errno));
+    }
+    sockaddr_in bound = {};
+    socklen_t len = sizeof(bound);
+    if (getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&bound), &len) ==
+        0) {
+      port_ = ntohs(bound.sin_port);
+    }
+  }
+  if (listen(listen_fd_, 4) != 0) {
+    return Status::IoError(std::string("listen: ") + std::strerror(errno));
+  }
+  return Status::Ok();
+}
+
+void MetricsServer::Run() {
+  while (!stop_requested_.load(std::memory_order_acquire)) {
+    pollfd fds[2] = {{listen_fd_, POLLIN, 0}, {wake_fds_[0], POLLIN, 0}};
+    const int ready = poll(fds, 2, /*timeout_ms=*/-1);
+    if (ready < 0) {
+      if (errno == EINTR) continue;
+      break;
+    }
+    if (stop_requested_.load(std::memory_order_acquire)) break;
+    if ((fds[0].revents & POLLIN) == 0) continue;
+    const int conn = accept(listen_fd_, nullptr, nullptr);
+    if (conn < 0) continue;
+    ServeConnection(conn);
+    close(conn);
+  }
+}
+
+void MetricsServer::ServeConnection(int fd) {
+  // One small read is enough for a scrape request line; a client that
+  // dribbles bytes gets cut off by the receive timeout rather than
+  // wedging the accept loop.
+  timeval timeout = {2, 0};
+  setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &timeout, sizeof(timeout));
+  setsockopt(fd, SOL_SOCKET, SO_SNDTIMEO, &timeout, sizeof(timeout));
+  char request[1024] = {};
+  const ssize_t n = recv(fd, request, sizeof(request) - 1, 0);
+  if (n <= 0) return;
+
+  std::string body;
+  std::string header;
+  if (std::strncmp(request, "GET /metrics", 12) == 0) {
+    std::ostringstream out;
+    ExportPrometheus(out, *options_.registry);
+    body = out.str();
+    header =
+        "HTTP/1.1 200 OK\r\n"
+        "Content-Type: text/plain; version=0.0.4; charset=utf-8\r\n"
+        "Connection: close\r\n"
+        "Content-Length: " +
+        std::to_string(body.size()) + "\r\n\r\n";
+  } else {
+    body = "only GET /metrics is served\n";
+    header =
+        "HTTP/1.1 404 Not Found\r\n"
+        "Content-Type: text/plain; charset=utf-8\r\n"
+        "Connection: close\r\n"
+        "Content-Length: " +
+        std::to_string(body.size()) + "\r\n\r\n";
+  }
+  const std::string response = header + body;
+  size_t sent = 0;
+  while (sent < response.size()) {
+    const ssize_t w = send(fd, response.data() + sent, response.size() - sent,
+                           MSG_NOSIGNAL);
+    if (w <= 0) break;
+    sent += static_cast<size_t>(w);
+  }
+}
+
+void MetricsServer::Stop() {
+  if (!thread_.joinable()) return;
+  stop_requested_.store(true, std::memory_order_release);
+  const char byte = 'x';
+  [[maybe_unused]] const ssize_t written = write(wake_fds_[1], &byte, 1);
+  thread_.join();
+}
+
+MetricsServer::~MetricsServer() {
+  Stop();
+  if (listen_fd_ >= 0) close(listen_fd_);
+  if (wake_fds_[0] >= 0) close(wake_fds_[0]);
+  if (wake_fds_[1] >= 0) close(wake_fds_[1]);
+  if (!options_.unix_socket_path.empty()) {
+    unlink(options_.unix_socket_path.c_str());
+  }
+}
+
+}  // namespace fixrep

@@ -1,0 +1,77 @@
+#ifndef FIXREP_COMMON_METRICS_SERVER_H_
+#define FIXREP_COMMON_METRICS_SERVER_H_
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <ostream>
+#include <string>
+#include <thread>
+
+#include "common/metrics.h"
+#include "common/status.h"
+
+// Prometheus text exposition (format 0.0.4) over a MetricsRegistry, and
+// a minimal single-threaded accept-loop HTTP server for `GET /metrics`
+// on a unix socket or loopback TCP port — the repo's first networking
+// scaffold toward the repair-as-a-service daemon. One connection at a
+// time, read-only, no TLS: scrape-grade, not internet-grade.
+
+namespace fixrep {
+
+// Writes every exposable metric of `registry` (defaults to the global
+// registry). Registry names that were rejected at registration (see
+// common/metric_names.h) are skipped and tallied in a trailing comment.
+// Counters/gauges map 1:1; counter vectors become one series per index
+// (name{index="i"}); histograms emit cumulative le-labeled buckets plus
+// _sum/_count and p50/p95/p99 estimate gauges. Histogram unit tags
+// surface as "# UNIT" comment lines.
+void ExportPrometheus(std::ostream& os,
+                      const MetricsRegistry& registry = MetricsRegistry::Global());
+
+struct MetricsServerOptions {
+  // Exactly one of the two listeners: a unix-domain socket path, or a
+  // loopback TCP port (0 = ephemeral, query the bound port with port()).
+  std::string unix_socket_path;
+  int tcp_port = -1;  // -1 = no TCP listener
+  // Registry to serve; the global registry when null.
+  const MetricsRegistry* registry = nullptr;
+};
+
+class MetricsServer {
+ public:
+  // Binds, listens, and starts the accept-loop thread. kIoError on any
+  // socket failure (path too long, port in use, ...).
+  static StatusOr<std::unique_ptr<MetricsServer>> Start(
+      MetricsServerOptions options);
+
+  ~MetricsServer();  // stops and joins
+
+  MetricsServer(const MetricsServer&) = delete;
+  MetricsServer& operator=(const MetricsServer&) = delete;
+
+  void Stop();
+
+  // The bound TCP port (meaningful after Start with tcp_port >= 0).
+  int port() const { return port_; }
+  const std::string& socket_path() const {
+    return options_.unix_socket_path;
+  }
+
+ private:
+  explicit MetricsServer(MetricsServerOptions options);
+  Status Bind();
+  void Run();
+  void ServeConnection(int fd);
+
+  MetricsServerOptions options_;
+  int listen_fd_ = -1;
+  int wake_fds_[2] = {-1, -1};  // self-pipe to interrupt poll on Stop
+  int port_ = -1;
+  std::atomic<bool> stop_requested_{false};
+  std::thread thread_;
+};
+
+}  // namespace fixrep
+
+#endif  // FIXREP_COMMON_METRICS_SERVER_H_

@@ -4,6 +4,7 @@
 #include <atomic>
 
 #include "common/logging.h"
+#include "common/metric_scope.h"
 #include "common/metrics.h"
 
 namespace fixrep {
@@ -115,7 +116,7 @@ void ThreadPool::ParallelFor(
   }
 
   if (kMetricsEnabled) {
-    auto& registry = MetricsRegistry::Global();
+    auto& registry = CurrentMetrics();
     registry.GetCounter("fixrep.pool.parallel_fors")->Add(1);
     registry.GetCounter("fixrep.pool.tasks")->Add(n);
     registry.GetCounter("fixrep.pool.chunks_claimed")

@@ -4,6 +4,9 @@
 #include <chrono>
 #include <utility>
 
+#include "common/metric_scope.h"
+#include "common/telemetry.h"
+
 namespace fixrep {
 
 namespace {
@@ -87,14 +90,27 @@ void TraceTimeline::WriteJson(std::ostream& os) const {
 TraceSpan::TraceSpan(const char* name)
     : name_(name),
       start_ns_(TraceNowNanos()),
-      depth_(ThreadSpanDepth()++) {}
+      depth_(ThreadSpanDepth()++) {
+  if (TelemetryJournal* journal = GetGlobalJournal()) {
+    journal->Append(TelemetryEvent("span_open")
+                        .SetString("name", name_)
+                        .Set("depth", static_cast<uint64_t>(depth_))
+                        .Set("start_ns", start_ns_));
+  }
+}
 
 TraceSpan::~TraceSpan() {
   const uint64_t duration = TraceNowNanos() - start_ns_;
   --ThreadSpanDepth();
-  MetricsRegistry::Global()
-      .GetHistogram(std::string("fixrep.span.") + name_ + "_ns")
+  CurrentMetrics()
+      .GetHistogram(std::string("fixrep.span.") + name_ + "_ns", "ns")
       ->Observe(duration);
+  if (TelemetryJournal* journal = GetGlobalJournal()) {
+    journal->Append(TelemetryEvent("span_close")
+                        .SetString("name", name_)
+                        .Set("depth", static_cast<uint64_t>(depth_))
+                        .Set("duration_ns", duration));
+  }
   TraceTimeline::Span span;
   span.name = name_;
   span.thread = CurrentThreadIndex();

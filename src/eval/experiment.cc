@@ -79,6 +79,23 @@ std::string DescribeMetrics() {
                   hit_rate);
     out += buffer;
   }
+  // Phase latency distributions: quantile estimates with the unit tagged
+  // at registration, instead of the raw power-of-two buckets.
+  const auto append_histogram = [&](const char* name) {
+    const Histogram* histogram = registry.FindHistogram(name);
+    if (histogram == nullptr || histogram->Count() == 0) return;
+    const HistogramSnapshot snap = histogram->Snapshot();
+    if (!out.empty()) out += ' ';
+    char buffer[160];
+    std::snprintf(buffer, sizeof(buffer),
+                  "%s{count=%llu p50=%.0f%s p95=%.0f%s p99=%.0f%s}", name,
+                  static_cast<unsigned long long>(snap.count), snap.P50(),
+                  snap.unit, snap.P95(), snap.unit, snap.P99(), snap.unit);
+    out += buffer;
+  };
+  append_histogram("fixrep.span.lrepair.chase_ns");
+  append_histogram("fixrep.span.streaming.run_ns");
+  append_histogram("fixrep.span.parallel.repair_table_ns");
   return out.empty() ? out : "metrics: " + out;
 }
 

@@ -13,6 +13,7 @@
 
 #include "common/fault.h"
 #include "common/logging.h"
+#include "common/metric_scope.h"
 #include "common/metrics.h"
 
 namespace fixrep {
@@ -60,7 +61,7 @@ Status BlockFile::EnsureOpen() {
     }
     ::unlink(buf.data());
   }
-  MetricsRegistry::Global().GetCounter("fixrep.spill.files_created")->Add(1);
+  CurrentMetrics().GetCounter("fixrep.spill.files_created")->Add(1);
   return Status::Ok();
 }
 
@@ -87,7 +88,7 @@ Status BlockFile::WriteBlock(uint32_t block, const void* data) {
     remaining -= static_cast<size_t>(n);
   }
   if (block == num_blocks_) ++num_blocks_;
-  MetricsRegistry::Global()
+  CurrentMetrics()
       .GetCounter("fixrep.spill.blocks_written")
       ->Add(1);
   return Status::Ok();
@@ -112,7 +113,7 @@ StatusOr<const void*> BlockFile::MapBlock(uint32_t block) const {
   // eagerly rather than one page at a time.
   ::madvise(addr, block_bytes_, MADV_SEQUENTIAL);
   ::madvise(addr, block_bytes_, MADV_WILLNEED);
-  MetricsRegistry::Global().GetCounter("fixrep.spill.blocks_mapped")->Add(1);
+  CurrentMetrics().GetCounter("fixrep.spill.blocks_mapped")->Add(1);
   return static_cast<const void*>(addr);
 }
 
@@ -145,7 +146,7 @@ Status BlockFile::ReadBlock(uint32_t block, void* out) const {
     offset += n;
     remaining -= static_cast<size_t>(n);
   }
-  MetricsRegistry::Global().GetCounter("fixrep.spill.blocks_loaded")->Add(1);
+  CurrentMetrics().GetCounter("fixrep.spill.blocks_loaded")->Add(1);
   return Status::Ok();
 }
 

@@ -12,6 +12,7 @@
 
 #include "common/fault.h"
 #include "common/logging.h"
+#include "common/metric_scope.h"
 #include "common/metrics.h"
 
 namespace fixrep {
@@ -139,7 +140,7 @@ StatusOr<size_t> CsvChunkReader::ReadChunk(Table* chunk, size_t max_rows,
   std::string* raw =
       options_.on_error == OnErrorPolicy::kQuarantine ? &raw_ : nullptr;
   Counter* quarantined_rows =
-      MetricsRegistry::Global().GetCounter("fixrep.quarantine.rows");
+      CurrentMetrics().GetCounter("fixrep.quarantine.rows");
 
   size_t appended = 0;
   bool unterminated = false;

@@ -110,6 +110,12 @@ class CsvChunkReader {
   bool at_end() const { return at_end_; }
   // Data records consumed so far, including dropped ones.
   size_t records_read() const { return record_; }
+  // Stream position in bytes (tellg), for input-progress reporting; 0
+  // when the stream cannot tell (pipes, failed state at EOF).
+  uint64_t bytes_read() const {
+    const auto pos = in_->tellg();
+    return pos < 0 ? 0 : static_cast<uint64_t>(pos);
+  }
 
  private:
   CsvChunkReader(std::istream* in, std::shared_ptr<const Schema> schema,

@@ -5,6 +5,7 @@
 #include <mutex>
 
 #include "common/logging.h"
+#include "common/metric_scope.h"
 #include "common/metrics.h"
 #include "relation/block_file.h"
 
@@ -130,7 +131,7 @@ struct RowStoreSpill {
       } else {
         SpillToDisk(victim);
       }
-      MetricsRegistry::Global()
+      CurrentMetrics()
           .GetCounter("fixrep.spill.blocks_evicted")
           ->Add(1);
     }

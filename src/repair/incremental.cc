@@ -3,6 +3,7 @@
 #include <utility>
 
 #include "common/logging.h"
+#include "common/metric_scope.h"
 #include "common/metrics.h"
 
 namespace fixrep {
@@ -10,7 +11,7 @@ namespace fixrep {
 namespace {
 
 Counter* IncrementalCounter(const char* name) {
-  return MetricsRegistry::Global().GetCounter(
+  return CurrentMetrics().GetCounter(
       std::string("fixrep.incremental.") + name);
 }
 

@@ -4,6 +4,7 @@
 #include <utility>
 
 #include "common/logging.h"
+#include "common/metric_scope.h"
 #include "common/metrics.h"
 
 namespace fixrep {
@@ -54,7 +55,7 @@ void MemoCache::Insert(uint64_t hash, Tuple key, std::vector<Write> writes) {
 
 void MemoCache::FlushMetrics() {
   if (!kMetricsEnabled) return;
-  auto& registry = MetricsRegistry::Global();
+  auto& registry = CurrentMetrics();
   const auto publish = [&](const char* name, uint64_t cur, uint64_t old) {
     FIXREP_DCHECK(cur >= old);
     if (cur > old) {

@@ -8,6 +8,7 @@
 
 #include "common/log.h"
 #include "common/logging.h"
+#include "common/metric_scope.h"
 #include "common/metrics.h"
 #include "common/thread_pool.h"
 #include "common/trace.h"
@@ -43,7 +44,7 @@ RepairStats ParallelRepairRows(const CompiledRuleIndex& index, Table* table,
   }
 
   FIXREP_TRACE_SPAN("parallel.repair_table");
-  auto& registry = MetricsRegistry::Global();
+  auto& registry = CurrentMetrics();
   registry.GetCounter("fixrep.parallel.tables_repaired")->Add(1);
   registry.GetGauge("fixrep.parallel.workers")
       ->Set(static_cast<int64_t>(threads));
@@ -120,7 +121,7 @@ LenientRepairResult ParallelRepairRowsLenient(
   threads = std::min(threads, std::max<size_t>(rows, 1));
 
   FIXREP_TRACE_SPAN("parallel.repair_table_lenient");
-  auto& registry = MetricsRegistry::Global();
+  auto& registry = CurrentMetrics();
   if (threads > 1) {
     registry.GetCounter("fixrep.parallel.tables_repaired")->Add(1);
     registry.GetGauge("fixrep.parallel.workers")

@@ -3,6 +3,7 @@
 #include <string>
 
 #include "common/logging.h"
+#include "common/metric_scope.h"
 #include "common/metrics.h"
 
 namespace fixrep {
@@ -28,7 +29,7 @@ void RepairStats::MergeFrom(const RepairStats& other) {
 void RepairStats::PublishDelta(const RepairStats& prev,
                                const char* engine) const {
   if (!kMetricsEnabled) return;
-  auto& registry = MetricsRegistry::Global();
+  auto& registry = CurrentMetrics();
   const std::string prefix = std::string("fixrep.") + engine + ".";
   const auto publish = [&](const char* name, size_t cur, size_t old) {
     FIXREP_DCHECK(cur >= old);

@@ -4,6 +4,7 @@
 #include <utility>
 
 #include "common/logging.h"
+#include "common/metric_scope.h"
 #include "common/metrics.h"
 #include "common/trace.h"
 
@@ -57,7 +58,7 @@ CompiledRuleIndex::CompiledRuleIndex(const RuleSet* rules) : rules_(rules) {
     slots_[slot].end = static_cast<uint32_t>(postings_.size());
   }
 
-  auto& registry = MetricsRegistry::Global();
+  auto& registry = CurrentMetrics();
   // fixrep.lrepair.index_builds must tick once per rule set — sharing one
   // CompiledRuleIndex across engines/workers is the whole point;
   // parallel_test asserts it stays at 1 for a multi-worker repair.

@@ -3,6 +3,7 @@
 #include <string>
 
 #include "common/logging.h"
+#include "common/metric_scope.h"
 #include "common/metrics.h"
 #include "repair/crepair.h"
 #include "repair/lrepair.h"
@@ -14,9 +15,24 @@ namespace fixrep {
 RepairSession::RepairSession(const RuleSet* rules, const RepairConfig& config)
     : rules_(rules), config_(config) {
   FIXREP_CHECK(rules_ != nullptr);
+  if (config_.scoped_metrics) scope_ = std::make_unique<MetricScope>();
   if (config_.engine == RepairEngine::kLRepair) {
+    // Scoped so the one-time index-build cost is attributed to this
+    // session, like everything else it publishes.
+    std::unique_ptr<MetricScope::Activation> active;
+    if (scope_ != nullptr) {
+      active = std::make_unique<MetricScope::Activation>(scope_.get());
+    }
     index_ = std::make_unique<const CompiledRuleIndex>(rules_);
   }
+}
+
+const MetricsRegistry& RepairSession::metrics() const {
+  return scope_ != nullptr ? scope_->registry() : MetricsRegistry::Global();
+}
+
+void RepairSession::FlushMetrics() {
+  if (scope_ != nullptr) scope_->Flush();
 }
 
 Status RepairSession::ValidateForTable() const {
@@ -31,6 +47,13 @@ StatusOr<RepairReport> RepairSession::Repair(Table* table) {
   FIXREP_CHECK(table != nullptr);
   const Status valid = ValidateForTable();
   if (!valid.ok()) return valid;
+
+  // Route every publication below (engines publish from this thread
+  // only; pool workers never touch the registry) into the session scope.
+  std::unique_ptr<MetricScope::Activation> active;
+  if (scope_ != nullptr) {
+    active = std::make_unique<MetricScope::Activation>(scope_.get());
+  }
 
   RepairReport report;
   report.rows = table->num_rows();
@@ -62,7 +85,7 @@ StatusOr<RepairReport> RepairSession::Repair(Table* table) {
       }
     }
     if (report.tuples_quarantined > 0) {
-      MetricsRegistry::Global()
+      CurrentMetrics()
           .GetCounter("fixrep.quarantine.tuples")
           ->Add(report.tuples_quarantined);
     }
@@ -100,6 +123,10 @@ StatusOr<RepairReport> RepairSession::RepairStream(CsvChunkReader* reader,
   if (config_.engine != RepairEngine::kLRepair) {
     return Status::MalformedInput(
         "streaming repair requires the lRepair engine");
+  }
+  std::unique_ptr<MetricScope::Activation> active;
+  if (scope_ != nullptr) {
+    active = std::make_unique<MetricScope::Activation>(scope_.get());
   }
   StreamingRepairOptions options;
   options.chunk_rows = config_.chunk_rows;

@@ -5,6 +5,7 @@
 #include <iosfwd>
 #include <memory>
 
+#include "common/metric_scope.h"
 #include "common/quarantine.h"
 #include "common/status.h"
 #include "relation/csv.h"
@@ -71,6 +72,13 @@ struct RepairConfig {
   // Intern only rule-mentioned columns; pass the rest through as raw
   // CSV text (byte-identical output either way).
   bool prune_columns = false;
+
+  // Accumulate this session's metrics in a private MetricScope instead
+  // of the process-wide registry, so concurrent sessions stay
+  // attributable (inspect via RepairSession::metrics()); everything
+  // rolls up into the global registry when the session is destroyed (or
+  // on FlushMetrics). Repair output is identical either way.
+  bool scoped_metrics = false;
 };
 
 struct RepairReport {
@@ -97,6 +105,13 @@ class RepairSession {
   // Non-null iff the engine is kLRepair.
   const CompiledRuleIndex* index() const { return index_.get(); }
 
+  // The session's private registry when scoped_metrics is set (counts
+  // accumulated since the last flush), the global registry otherwise.
+  const MetricsRegistry& metrics() const;
+  // Rolls scoped counts up into the global registry now (no-op without
+  // scoped_metrics; also runs automatically at destruction).
+  void FlushMetrics();
+
   // Repairs `table` in place per the config. Returns kMalformedInput
   // for knob combinations the engine cannot honor (see RepairEngine).
   StatusOr<RepairReport> Repair(Table* table);
@@ -112,6 +127,9 @@ class RepairSession {
   const RuleSet* rules_;
   RepairConfig config_;
   std::unique_ptr<const CompiledRuleIndex> index_;
+  // Present iff config_.scoped_metrics; activated on the calling thread
+  // for the duration of each Repair/RepairStream call.
+  std::unique_ptr<MetricScope> scope_;
 };
 
 }  // namespace fixrep

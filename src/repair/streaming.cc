@@ -7,7 +7,9 @@
 
 #include "common/log.h"
 #include "common/logging.h"
+#include "common/metric_scope.h"
 #include "common/metrics.h"
+#include "common/telemetry.h"
 #include "common/trace.h"
 #include "relation/row_store.h"
 #include "repair/lrepair.h"
@@ -15,6 +17,56 @@
 namespace fixrep {
 
 namespace {
+
+// Rows between live fixrep.progress.rows publications. Small enough that
+// an endpoint scrape mid-chunk sees movement even in whole-file spill
+// mode (where one "chunk" is the entire input), large enough to keep the
+// counter off the per-tuple path.
+constexpr size_t kProgressStride = 2048;
+
+// Live progress state, published from the calling thread only. Counters
+// are cumulative across the run; gauges reflect the latest chunk.
+struct LiveProgress {
+  Counter* rows = nullptr;
+  Gauge* chunk = nullptr;
+  Gauge* resident = nullptr;
+  Gauge* peak_resident = nullptr;
+  Gauge* budget = nullptr;
+  Gauge* spilled_blocks = nullptr;
+  Gauge* spill_file = nullptr;
+  Gauge* input_bytes = nullptr;
+  size_t pending_rows = 0;
+
+  explicit LiveProgress(MetricsRegistry* registry) {
+    rows = registry->GetCounter("fixrep.progress.rows");
+    chunk = registry->GetGauge("fixrep.progress.chunk");
+    resident = registry->GetGauge("fixrep.progress.resident_bytes");
+    peak_resident = registry->GetGauge("fixrep.progress.peak_resident_bytes");
+    budget = registry->GetGauge("fixrep.progress.budget_bytes");
+    spilled_blocks = registry->GetGauge("fixrep.progress.spilled_blocks");
+    spill_file = registry->GetGauge("fixrep.progress.spill_file_bytes");
+    input_bytes = registry->GetGauge("fixrep.progress.input_bytes_read");
+  }
+
+  void AddRows(size_t n) {
+    pending_rows += n;
+    if (pending_rows >= kProgressStride) FlushRows();
+  }
+
+  void FlushRows() {
+    if (pending_rows == 0) return;
+    rows->Add(pending_rows);
+    pending_rows = 0;
+  }
+
+  void PublishResidency(const RowStore& store) {
+    resident->Set(static_cast<int64_t>(store.resident_bytes()));
+    peak_resident->Set(static_cast<int64_t>(store.peak_resident_bytes()));
+    budget->Set(static_cast<int64_t>(store.effective_budget_bytes()));
+    spilled_blocks->Set(static_cast<int64_t>(store.spilled_blocks()));
+    spill_file->Set(static_cast<int64_t>(store.spill_file_bytes()));
+  }
+};
 
 // Diagnostic rendering that survives column pruning: pruned cells are
 // kNullValue in the table (FormatRow would show them empty), so their
@@ -102,7 +154,8 @@ StatusOr<StreamingRepairResult> StreamingRepairSession::Run(
           : nullptr;
   result.columns_pruned = sidecar != nullptr ? sidecar->num_pruned() : 0;
 
-  auto& registry = MetricsRegistry::Global();
+  auto& registry = CurrentMetrics();
+  LiveProgress progress(&registry);
 
   // Repairs chunk rows [begin, end) in the configured mode, accumulating
   // totals (and diagnostics at global row indices) into `result`.
@@ -112,6 +165,7 @@ StatusOr<StreamingRepairResult> StreamingRepairSession::Run(
     if (serial && !lenient) {
       for (size_t r = begin; r < end; ++r) {
         result.cells_changed += serial_repairer.RepairTuple(chunk.WriteRow(r));
+        progress.AddRows(1);
       }
       return Status::Ok();
     }
@@ -123,6 +177,7 @@ StatusOr<StreamingRepairResult> StreamingRepairSession::Run(
         size_t changed = 0;
         const Status status =
             serial_repairer.TryRepairTuple(chunk.WriteRow(r), &changed);
+        progress.AddRows(1);
         if (status.ok()) {
           result.cells_changed += changed;
           continue;
@@ -145,6 +200,7 @@ StatusOr<StreamingRepairResult> StreamingRepairSession::Run(
           ParallelRepairRows(*index_, &chunk, begin, end,
                              options_.repair.parallel)
               .cells_changed;
+      progress.AddRows(end - begin);
       return Status::Ok();
     }
     // Parallel lenient: collect per-range diagnostics locally, then
@@ -156,6 +212,7 @@ StatusOr<StreamingRepairResult> StreamingRepairSession::Run(
     lenient_options.quarantine = quarantining ? &range_sink : nullptr;
     const LenientRepairResult range_result = ParallelRepairRowsLenient(
         *index_, &chunk, begin, end, lenient_options);
+    progress.AddRows(end - begin);
     result.cells_changed += range_result.stats.cells_changed;
     result.tuples_quarantined += range_result.tuples_quarantined;
     for (const Diagnostic& d : range_sink.diagnostics()) {
@@ -175,6 +232,9 @@ StatusOr<StreamingRepairResult> StreamingRepairSession::Run(
     if (!read.ok()) return read.status();
     if (read.value() == 0 && reader->at_end()) break;
     ++result.chunks;
+    const uint64_t chunk_start_ns = TraceNowNanos();
+    progress.chunk->Set(static_cast<int64_t>(result.chunks));
+    progress.input_bytes->Set(static_cast<int64_t>(reader->bytes_read()));
 
     if (!serial && chunk.store().spilling()) {
       // Pooled workers must never race a block state transition, so the
@@ -191,6 +251,10 @@ StatusOr<StreamingRepairResult> StreamingRepairSession::Run(
             begin, begin + store.rows_in_block(b), result.rows_emitted);
         store.UnpinBlock(b);
         if (!status.ok()) return status;
+        // Block-granularity residency so a scrape mid-chunk (one chunk
+        // may be the whole input in spill mode) sees live values.
+        progress.FlushRows();
+        progress.PublishResidency(store);
       }
     } else {
       const Status status =
@@ -207,9 +271,35 @@ StatusOr<StreamingRepairResult> StreamingRepairSession::Run(
     result.peak_resident_bytes =
         std::max(result.peak_resident_bytes,
                  chunk.store().peak_resident_bytes());
+    progress.FlushRows();
+    progress.PublishResidency(chunk.store());
+    if (TelemetryJournal* journal = GetGlobalJournal()) {
+      const uint64_t duration_ns = TraceNowNanos() - chunk_start_ns;
+      TelemetryEvent event("chunk");
+      event.Set("index", static_cast<uint64_t>(result.chunks))
+          .Set("rows", static_cast<uint64_t>(chunk.num_rows()))
+          .Set("rows_total", static_cast<uint64_t>(result.rows_emitted))
+          .Set("cells_changed_total",
+               static_cast<uint64_t>(result.cells_changed))
+          .Set("duration_ns", duration_ns)
+          .Set("resident_bytes",
+               static_cast<uint64_t>(chunk.store().resident_bytes()))
+          .Set("peak_resident_bytes",
+               static_cast<uint64_t>(chunk.store().peak_resident_bytes()))
+          .Set("budget_bytes",
+               static_cast<uint64_t>(chunk.store().effective_budget_bytes()))
+          .Set("spilled_blocks",
+               static_cast<uint64_t>(chunk.store().spilled_blocks()));
+      if (duration_ns > 0) {
+        event.Set("rows_per_s", static_cast<double>(chunk.num_rows()) * 1e9 /
+                                    static_cast<double>(duration_ns));
+      }
+      journal->Append(event);
+    }
   }
 
   if (serial) serial_repairer.FlushMetrics();
+  progress.FlushRows();
   registry.GetCounter("fixrep.streaming.chunks")->Add(result.chunks);
   registry.GetCounter("fixrep.streaming.rows")->Add(result.rows_emitted);
   if (sidecar != nullptr) {

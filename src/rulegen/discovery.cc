@@ -7,6 +7,7 @@
 
 #include "common/log.h"
 #include "common/logging.h"
+#include "common/metric_scope.h"
 #include "common/metrics.h"
 #include "common/trace.h"
 #include "deps/violation.h"
@@ -123,7 +124,7 @@ RuleSet DiscoverRules(const Table& dirty,
   }
   if (options.resolve_conflicts) ResolveByPruning(&rules);
 
-  auto& registry = MetricsRegistry::Global();
+  auto& registry = CurrentMetrics();
   registry.GetCounter("fixrep.discovery.runs")->Add(1);
   registry.GetCounter("fixrep.discovery.groups_examined")
       ->Add(groups_examined);

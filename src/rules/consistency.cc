@@ -4,6 +4,7 @@
 #include <unordered_set>
 
 #include "common/logging.h"
+#include "common/metric_scope.h"
 #include "common/metrics.h"
 #include "common/trace.h"
 
@@ -295,7 +296,7 @@ bool CheckAllPairs(const RuleSet& rules, std::vector<Conflict>* conflicts,
   size_t conflicts_detected = 0;
   // Publish once on every exit path, including the early return.
   const auto publish = [&]() {
-    auto& registry = MetricsRegistry::Global();
+    auto& registry = CurrentMetrics();
     registry.GetCounter("fixrep.consistency.pairs_checked")
         ->Add(pairs_checked);
     registry.GetCounter("fixrep.consistency.conflicts_detected")

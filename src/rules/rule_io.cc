@@ -10,6 +10,7 @@
 
 #include "common/fault.h"
 #include "common/logging.h"
+#include "common/metric_scope.h"
 #include "common/metrics.h"
 #include "common/string_util.h"
 
@@ -137,7 +138,7 @@ StatusOr<RuleSet> ParseRulesLenient(std::istream& in,
   RuleSet rules(schema, std::move(pool));
   const bool lenient = options.on_error != OnErrorPolicy::kAbort;
   Counter* quarantined_rules =
-      MetricsRegistry::Global().GetCounter("fixrep.quarantine.rules");
+      CurrentMetrics().GetCounter("fixrep.quarantine.rules");
 
   PendingRule pending;
   bool in_rule = false;
