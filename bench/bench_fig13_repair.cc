@@ -36,6 +36,7 @@
 
 #include "bench_util.h"
 #include "common/metrics_server.h"
+#include "common/simd.h"
 #include "common/telemetry.h"
 #include "common/thread_pool.h"
 #include "eval/text_table.h"
@@ -225,11 +226,31 @@ void WriteRepairJson() {
     return best;
   };
 
+  // Probe-kernel A/B: serial_baseline is always measured with the scalar
+  // kernel pinned, so it stays comparable across machines and across the
+  // FIXREP_SIMD settings check_perf_regression sweeps — and so
+  // speedup_vs_scalar below is an honest same-process ratio.
+  const SimdKernel active_kernel = ActiveSimdKernel();
+  SetSimdKernel(SimdKernel::kScalar);
   const RunCost baseline = best_of("fig13_baseline", [&](Table* copy) {
     FastRepairer repairer(&index);
     repairer.RepairTable(copy);
   });
+  SetSimdKernel(active_kernel);
   const double baseline_ms = baseline.ms;
+
+  // The same serial non-memoized chase under the active SIMD kernel —
+  // the tentpole number. Skipped entirely when the active kernel IS
+  // scalar (FIXREP_SIMD=off, non-x86): the section would duplicate
+  // serial_baseline, and its absence lets the regression checker skip
+  // the key on scalar-only runs.
+  RunCost simd;
+  if (active_kernel != SimdKernel::kScalar) {
+    simd = best_of("fig13_simd", [&](Table* copy) {
+      FastRepairer repairer(&index);
+      repairer.RepairTable(copy);
+    });
+  }
   const RunCost memo = best_of("fig13_memo", [&](Table* copy) {
     FastRepairer repairer(&index);
     MemoCache memo_cache;
@@ -377,9 +398,16 @@ void WriteRepairJson() {
            static_cast<double>(std::max<size_t>(rows / 32, 1)));
   json.Set("workload", "thread_count", static_cast<double>(threads));
   json.Set("workload", "memo_enabled", g_config.use_memo ? 1.0 : 0.0);
+  json.SetString("workload", "simd_kernel", SimdKernelName(active_kernel));
   json.Set("serial_baseline", "ms", baseline_ms);
   json.Set("serial_baseline", "rows_per_sec", rows / (baseline_ms / 1e3));
   json.Set("serial_baseline", "allocations", baseline.allocations);
+  if (active_kernel != SimdKernel::kScalar) {
+    json.Set("serial_nomemo_simd", "ms", simd.ms);
+    json.Set("serial_nomemo_simd", "rows_per_sec", rows / (simd.ms / 1e3));
+    json.Set("serial_nomemo_simd", "allocations", simd.allocations);
+    json.Set("serial_nomemo_simd", "speedup_vs_scalar", baseline_ms / simd.ms);
+  }
   json.Set("serial_memo", "ms", memo_ms);
   json.Set("serial_memo", "rows_per_sec", rows / (memo_ms / 1e3));
   json.Set("serial_memo", "allocations", memo.allocations);
@@ -421,7 +449,13 @@ void WriteRepairJson() {
   if (json.Write()) {
     std::cout << "wrote " << json.path() << " (speedup "
               << FormatDouble(baseline_ms / pooled_ms, 2) << "x, memo hit "
-              << FormatDouble(hit_rate * 100.0, 1) << "%)\n";
+              << FormatDouble(hit_rate * 100.0, 1) << "%, kernel "
+              << SimdKernelName(active_kernel);
+    if (active_kernel != SimdKernel::kScalar) {
+      std::cout << ", simd speedup "
+                << FormatDouble(baseline_ms / simd.ms, 2) << "x";
+    }
+    std::cout << ")\n";
   }
   const std::string metrics = DescribeMetrics();
   if (!metrics.empty()) std::cout << metrics << "\n";

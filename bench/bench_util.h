@@ -9,6 +9,7 @@
 #include <cstdlib>
 #include <fstream>
 #include <map>
+#include <set>
 #include <string>
 #include <utility>
 
@@ -119,22 +120,49 @@ class BenchJson {
     sections_[section][key] = value;
   }
 
+  // Non-numeric annotations (e.g. which SIMD kernel produced the run).
+  // check_regression.py only gates *rows_per_sec* keys, so string entries
+  // are documentation, never thresholds.
+  void SetString(const std::string& section, const std::string& key,
+                 const std::string& value) {
+    string_sections_[section][key] = value;
+  }
+
   bool Write() const {
     std::ofstream out(path_);
     if (!out) return false;
+    std::set<std::string> section_names;
+    for (const auto& [section, entries] : sections_) {
+      section_names.insert(section);
+    }
+    for (const auto& [section, entries] : string_sections_) {
+      section_names.insert(section);
+    }
     out << "{\n";
     bool first_section = true;
-    for (const auto& [section, entries] : sections_) {
+    for (const std::string& section : section_names) {
       if (!first_section) out << ",\n";
       first_section = false;
       out << "  \"" << JsonEscape(section) << "\": {";
       bool first_entry = true;
-      for (const auto& [key, value] : entries) {
-        if (!first_entry) out << ", ";
-        first_entry = false;
-        char buffer[64];
-        std::snprintf(buffer, sizeof(buffer), "%.6g", value);
-        out << "\"" << JsonEscape(key) << "\": " << buffer;
+      const auto strings = string_sections_.find(section);
+      if (strings != string_sections_.end()) {
+        for (const auto& [key, value] : strings->second) {
+          if (!first_entry) out << ", ";
+          first_entry = false;
+          out << "\"" << JsonEscape(key) << "\": \"" << JsonEscape(value)
+              << "\"";
+        }
+      }
+      const auto numbers = sections_.find(section);
+      if (numbers != sections_.end()) {
+        for (const auto& [key, value] : numbers->second) {
+          if (!first_entry) out << ", ";
+          first_entry = false;
+          char buffer[64];
+          std::snprintf(buffer, sizeof(buffer), "%.6g", value);
+          out << "\"" << JsonEscape(key) << "\": " << buffer;
+        }
       }
       out << "}";
     }
@@ -147,6 +175,7 @@ class BenchJson {
  private:
   std::string path_;
   std::map<std::string, std::map<std::string, double>> sections_;
+  std::map<std::string, std::map<std::string, std::string>> string_sections_;
 };
 
 // Defined in alloc_counter.cc (linked into every bench binary): number

@@ -63,6 +63,11 @@
 //   --progress                   live one-line progress display on
 //                                stderr (chunk, rows/s, resident vs
 //                                budget) for streaming runs
+//   --no-simd                    pin the scalar probe kernel — disables
+//                                the SIMD batched evidence-matching path
+//                                (equivalent to FIXREP_SIMD=off; output
+//                                is byte-identical either way, see
+//                                docs/performance.md)
 //
 // CSV files are self-describing (header row = schema); the rule and FD
 // files use the formats of rules/rule_io.h and deps/fd.h. All inputs of
@@ -83,6 +88,7 @@
 #include "common/metrics.h"
 #include "common/metrics_server.h"
 #include "common/quarantine.h"
+#include "common/simd.h"
 #include "common/status.h"
 #include "common/telemetry.h"
 #include "common/timer.h"
@@ -685,6 +691,9 @@ int Main(int argc, char** argv) {
     }
     SetGlobalLogLevel(*level);
   }
+  // Pin the scalar kernel before any repair work runs; beats FIXREP_SIMD
+  // since SetSimdKernel overrides the env-derived default.
+  if (args.Has("no-simd")) SetSimdKernel(SimdKernel::kScalar);
   // Live telemetry wraps the whole command: the journal captures every
   // span from load to flush, and the endpoint stays scrapeable until the
   // run exits.

@@ -1,0 +1,137 @@
+#include "common/simd.h"
+
+#include <atomic>
+#include <cstdlib>
+#include <string>
+
+#include "common/log.h"
+
+namespace fixrep {
+
+#if FIXREP_SIMD_X86
+// Defined in the per-file-flag TUs (simd_kernels_sse.cc / _avx2.cc);
+// callable only on CPUs that pass SimdKernelSupported.
+void HashBatchSse(const uint64_t* keys, size_t n, uint64_t* hashes);
+void HashBatchAvx2(const uint64_t* keys, size_t n, uint64_t* hashes);
+#endif
+
+namespace {
+
+void HashBatchScalar(const uint64_t* keys, size_t n, uint64_t* hashes) {
+  for (size_t i = 0; i < n; ++i) hashes[i] = SplitMix64(keys[i]);
+}
+
+bool CpuSupports(SimdKernel kernel) {
+#if FIXREP_SIMD_X86
+  // __builtin_cpu_init is idempotent and cheap; glibc targets run it
+  // before main anyway, but static-init-order callers should not rely on
+  // that.
+  __builtin_cpu_init();
+  switch (kernel) {
+    case SimdKernel::kScalar:
+      return true;
+    case SimdKernel::kSse:
+      return __builtin_cpu_supports("sse4.2");
+    case SimdKernel::kAvx2:
+      return __builtin_cpu_supports("avx2");
+  }
+  return false;
+#else
+  return kernel == SimdKernel::kScalar;
+#endif
+}
+
+// -1 = not yet initialized from FIXREP_SIMD.
+std::atomic<int> g_active_kernel{-1};
+
+SimdKernel ParseEnvKernel() {
+  const char* raw = std::getenv("FIXREP_SIMD");
+  const std::string value = raw == nullptr ? "" : raw;
+  SimdKernel requested = BestSupportedSimdKernel();
+  if (value == "off" || value == "scalar") {
+    requested = SimdKernel::kScalar;
+  } else if (value == "sse") {
+    requested = SimdKernel::kSse;
+  } else if (value == "avx2") {
+    requested = SimdKernel::kAvx2;
+  } else if (!value.empty() && value != "auto") {
+    FIXREP_LOG(Warn) << "unknown FIXREP_SIMD value, using auto"
+                     << Kv("value", value);
+  }
+  if (!SimdKernelSupported(requested)) {
+    const SimdKernel fallback = BestSupportedSimdKernel();
+    FIXREP_LOG(Warn) << "requested SIMD kernel unsupported on this machine"
+                     << Kv("requested", SimdKernelName(requested))
+                     << Kv("using", SimdKernelName(fallback));
+    requested = fallback;
+  }
+  return requested;
+}
+
+}  // namespace
+
+const char* SimdKernelName(SimdKernel kernel) {
+  switch (kernel) {
+    case SimdKernel::kScalar:
+      return "scalar";
+    case SimdKernel::kSse:
+      return "sse";
+    case SimdKernel::kAvx2:
+      return "avx2";
+  }
+  return "unknown";
+}
+
+bool SimdKernelSupported(SimdKernel kernel) { return CpuSupports(kernel); }
+
+SimdKernel BestSupportedSimdKernel() {
+  if (CpuSupports(SimdKernel::kAvx2)) return SimdKernel::kAvx2;
+  if (CpuSupports(SimdKernel::kSse)) return SimdKernel::kSse;
+  return SimdKernel::kScalar;
+}
+
+SimdKernel ActiveSimdKernel() {
+  int kernel = g_active_kernel.load(std::memory_order_relaxed);
+  if (kernel < 0) {
+    // First use: adopt FIXREP_SIMD. A racing first use computes the same
+    // value, so last-writer-wins is benign.
+    kernel = static_cast<int>(ParseEnvKernel());
+    g_active_kernel.store(kernel, std::memory_order_relaxed);
+  }
+  return static_cast<SimdKernel>(kernel);
+}
+
+void SetSimdKernel(SimdKernel kernel) {
+  if (!SimdKernelSupported(kernel)) {
+    const SimdKernel fallback = BestSupportedSimdKernel();
+    FIXREP_LOG(Warn) << "requested SIMD kernel unsupported on this machine"
+                     << Kv("requested", SimdKernelName(kernel))
+                     << Kv("using", SimdKernelName(fallback));
+    kernel = fallback;
+  }
+  g_active_kernel.store(static_cast<int>(kernel),
+                        std::memory_order_relaxed);
+}
+
+void HashBatch(SimdKernel kernel, const uint64_t* keys, size_t n,
+               uint64_t* hashes) {
+  switch (kernel) {
+    case SimdKernel::kScalar:
+      HashBatchScalar(keys, n, hashes);
+      return;
+#if FIXREP_SIMD_X86
+    case SimdKernel::kSse:
+      HashBatchSse(keys, n, hashes);
+      return;
+    case SimdKernel::kAvx2:
+      HashBatchAvx2(keys, n, hashes);
+      return;
+#else
+    default:
+      HashBatchScalar(keys, n, hashes);
+      return;
+#endif
+  }
+}
+
+}  // namespace fixrep

@@ -1,0 +1,52 @@
+// AVX2 probe-hash kernel: SplitMix64 over four 64-bit keys per vector.
+// This TU alone is compiled with -mavx2 (see src/common/CMakeLists.txt);
+// the dispatcher in simd.cc only calls in after
+// __builtin_cpu_supports("avx2") passed.
+
+#include "common/simd.h"
+
+#if FIXREP_SIMD_X86
+
+#include <immintrin.h>
+
+namespace fixrep {
+
+namespace {
+
+// 64x64->64 multiply from 32-bit halves (AVX2 has no 64-bit multiply):
+// lo(a)*lo(b) + ((lo(a)*hi(b) + hi(a)*lo(b)) << 32).
+inline __m256i Mul64(__m256i a, __m256i b) {
+  const __m256i a_hi = _mm256_srli_epi64(a, 32);
+  const __m256i b_hi = _mm256_srli_epi64(b, 32);
+  const __m256i lo = _mm256_mul_epu32(a, b);
+  const __m256i cross = _mm256_add_epi64(_mm256_mul_epu32(a_hi, b),
+                                         _mm256_mul_epu32(a, b_hi));
+  return _mm256_add_epi64(lo, _mm256_slli_epi64(cross, 32));
+}
+
+inline __m256i XorShr33(__m256i x) {
+  return _mm256_xor_si256(x, _mm256_srli_epi64(x, 33));
+}
+
+}  // namespace
+
+void HashBatchAvx2(const uint64_t* keys, size_t n, uint64_t* hashes) {
+  const __m256i c1 = _mm256_set1_epi64x(
+      static_cast<long long>(0xff51afd7ed558ccdULL));
+  const __m256i c2 = _mm256_set1_epi64x(
+      static_cast<long long>(0xc4ceb9fe1a85ec53ULL));
+  size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    __m256i x =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(keys + i));
+    x = Mul64(XorShr33(x), c1);
+    x = Mul64(XorShr33(x), c2);
+    x = XorShr33(x);
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(hashes + i), x);
+  }
+  for (; i < n; ++i) hashes[i] = SplitMix64(keys[i]);
+}
+
+}  // namespace fixrep
+
+#endif  // FIXREP_SIMD_X86

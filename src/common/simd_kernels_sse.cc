@@ -1,0 +1,52 @@
+// SSE probe-hash kernel: SplitMix64 over two 64-bit keys per vector.
+// This TU alone is compiled with -msse4.2 (see src/common/CMakeLists.txt)
+// so the rest of the library keeps the baseline ISA; the dispatcher in
+// simd.cc only calls in after __builtin_cpu_supports("sse4.2") passed.
+
+#include "common/simd.h"
+
+#if FIXREP_SIMD_X86
+
+#include <emmintrin.h>
+
+namespace fixrep {
+
+namespace {
+
+// 64x64->64 multiply from 32-bit halves (no 64-bit vector multiply below
+// AVX-512): lo(a)*lo(b) + ((lo(a)*hi(b) + hi(a)*lo(b)) << 32).
+inline __m128i Mul64(__m128i a, __m128i b) {
+  const __m128i a_hi = _mm_srli_epi64(a, 32);
+  const __m128i b_hi = _mm_srli_epi64(b, 32);
+  const __m128i lo = _mm_mul_epu32(a, b);
+  const __m128i cross = _mm_add_epi64(_mm_mul_epu32(a_hi, b),
+                                      _mm_mul_epu32(a, b_hi));
+  return _mm_add_epi64(lo, _mm_slli_epi64(cross, 32));
+}
+
+inline __m128i XorShr33(__m128i x) {
+  return _mm_xor_si128(x, _mm_srli_epi64(x, 33));
+}
+
+}  // namespace
+
+void HashBatchSse(const uint64_t* keys, size_t n, uint64_t* hashes) {
+  const __m128i c1 = _mm_set1_epi64x(
+      static_cast<long long>(0xff51afd7ed558ccdULL));
+  const __m128i c2 = _mm_set1_epi64x(
+      static_cast<long long>(0xc4ceb9fe1a85ec53ULL));
+  size_t i = 0;
+  for (; i + 2 <= n; i += 2) {
+    __m128i x =
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(keys + i));
+    x = Mul64(XorShr33(x), c1);
+    x = Mul64(XorShr33(x), c2);
+    x = XorShr33(x);
+    _mm_storeu_si128(reinterpret_cast<__m128i*>(hashes + i), x);
+  }
+  for (; i < n; ++i) hashes[i] = SplitMix64(keys[i]);
+}
+
+}  // namespace fixrep
+
+#endif  // FIXREP_SIMD_X86

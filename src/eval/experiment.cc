@@ -64,6 +64,8 @@ std::string DescribeMetrics() {
   append("fixrep.lrepair.tuples_examined");
   append("fixrep.lrepair.cells_changed");
   append("fixrep.lrepair.index_builds");
+  append("fixrep.lrepair.batch_probes");
+  append("fixrep.lrepair.batch_keys");
   append("fixrep.crepair.tuples_examined");
   append("fixrep.crepair.cells_changed");
   append("fixrep.consistency.pairs_checked");

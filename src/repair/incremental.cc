@@ -31,6 +31,18 @@ size_t IncrementalRepairer::Insert(Tuple row) {
   return table_.num_rows() - 1;
 }
 
+size_t IncrementalRepairer::InsertBatch(std::vector<Tuple> rows) {
+  const size_t first = table_.num_rows();
+  for (Tuple& row : rows) {
+    FIXREP_CHECK_EQ(row.size(), table_.schema().arity());
+    table_.AppendRow(row);
+  }
+  repairer_.RepairRows(&table_, first, table_.num_rows());
+  IncrementalCounter("inserts")->Add(rows.size());
+  repairer_.FlushMetrics();
+  return first;
+}
+
 size_t IncrementalRepairer::UpdateCell(size_t row, AttrId attr,
                                        ValueId value) {
   FIXREP_CHECK_LT(row, table_.num_rows());

@@ -2,6 +2,7 @@
 #define FIXREP_REPAIR_INCREMENTAL_H_
 
 #include <cstddef>
+#include <vector>
 
 #include "relation/table.h"
 #include "repair/lrepair.h"
@@ -30,6 +31,13 @@ class IncrementalRepairer {
 
   // Inserts a tuple (repairing it first); returns its row index.
   size_t Insert(Tuple row);
+
+  // Bulk insert: appends every tuple, then repairs the appended range
+  // through the row-group driver (one batched probe per group instead of
+  // per-tuple init). Bit-identical to Insert called once per row —
+  // repair is per tuple, so batching changes the probe schedule only.
+  // Returns the row index of the first inserted tuple.
+  size_t InsertBatch(std::vector<Tuple> rows);
 
   // Applies a user edit to one cell and re-chases that row. The edited
   // value participates in the chase like any other dirty value (it may

@@ -1,11 +1,13 @@
 #include "repair/lrepair.h"
 
+#include <algorithm>
 #include <string>
 #include <utility>
 
 #include "common/fault.h"
 #include "common/logging.h"
 #include "common/metrics.h"
+#include "common/simd.h"
 #include "common/trace.h"
 
 namespace fixrep {
@@ -15,11 +17,13 @@ namespace {
 void InitScratch(size_t num_rules, std::vector<uint32_t>* counter,
                  std::vector<uint32_t>* counter_epoch,
                  std::vector<uint32_t>* queued_epoch,
-                 std::vector<uint32_t>* checked_epoch) {
+                 std::vector<uint32_t>* checked_epoch,
+                 std::vector<uint64_t>* flag_cache) {
   counter->assign(num_rules, 0);
   counter_epoch->assign(num_rules, 0);
   queued_epoch->assign(num_rules, 0);
   checked_epoch->assign(num_rules, 0);
+  flag_cache->assign(num_rules, UINT64_MAX);
 }
 
 }  // namespace
@@ -28,7 +32,7 @@ FastRepairer::FastRepairer(const RuleSet* rules)
     : owned_index_(std::make_unique<CompiledRuleIndex>(rules)),
       index_(owned_index_.get()) {
   InitScratch(index_->num_rules(), &counter_, &counter_epoch_,
-              &queued_epoch_, &checked_epoch_);
+              &queued_epoch_, &checked_epoch_, &flag_cache_);
   stats_.Reset(index_->num_rules());
   published_.Reset(index_->num_rules());
 }
@@ -36,7 +40,7 @@ FastRepairer::FastRepairer(const RuleSet* rules)
 FastRepairer::FastRepairer(const CompiledRuleIndex* index) : index_(index) {
   FIXREP_CHECK(index_ != nullptr);
   InitScratch(index_->num_rules(), &counter_, &counter_epoch_,
-              &queued_epoch_, &checked_epoch_);
+              &queued_epoch_, &checked_epoch_, &flag_cache_);
   stats_.Reset(index_->num_rules());
   published_.Reset(index_->num_rules());
 }
@@ -116,7 +120,9 @@ Status FastRepairer::TryRepairTuple(TupleSpan t, size_t* cells_changed) {
 }
 
 size_t FastRepairer::ChaseTuple(TupleSpan t, size_t max_steps,
-                                bool* exhausted) {
+                                bool* exhausted,
+                                const PostingRange* init_ranges,
+                                size_t num_init_ranges) {
   ++stats_.tuples_examined;
   ++epoch_;
   if (epoch_ == 0) {
@@ -128,33 +134,162 @@ size_t FastRepairer::ChaseTuple(TupleSpan t, size_t max_steps,
   }
   queue_.clear();
 
+  bool have_ranges = init_ranges != nullptr;
+  if (!have_ranges && max_steps == 0) {
+    const SimdKernel kernel = ActiveSimdKernel();
+    if (kernel != SimdKernel::kScalar) {
+      // Per-tuple batched init (the memoized path, which must stay
+      // tuple-at-a-time): pack this tuple's non-null evidence-attribute
+      // cells and probe them with one LookupBatch.
+      probe_keys_.clear();
+      for (const AttrId a : index_->evidence_attrs()) {
+        const ValueId v = t[a];
+        if (v == kNullValue) continue;
+        probe_keys_.push_back(CompiledRuleIndex::PackKey(a, v));
+      }
+      probe_ranges_.resize(probe_keys_.size());
+      index_->LookupBatch(kernel, probe_keys_.data(), probe_keys_.size(),
+                          probe_ranges_.data());
+      ++stats_.batch_probes;
+      stats_.batch_keys += probe_keys_.size();
+      init_ranges = probe_ranges_.data();
+      num_init_ranges = probe_ranges_.size();
+      have_ranges = true;
+    }
+  }
+  // Budgeted chases always take the legacy pop loop: a prescreen-flagged
+  // pop and a verified-and-rejected pop both cost one step, but the
+  // zero-survivor shortcut below would not, and budget exhaustion must
+  // trip on exactly the pop the scalar path trips on.
+  const bool prescreen = have_ranges && max_steps == 0;
+
   // Lines 2-7 of Fig. 7: initialize counters from the tuple's cells and
   // seed Ω with fully-counted rules.
-  for (uint32_t rule_index : index_->empty_evidence_rules()) {
-    queued_epoch_[rule_index] = epoch_;
-    ++stats_.candidates_enqueued;
-    queue_.push_back(rule_index);
-  }
-  const auto arity = static_cast<AttrId>(t.size());
-  for (AttrId a = 0; a < arity; ++a) {
-    const ValueId v = t[a];
-    if (v == kNullValue) continue;
-    const PostingRange range = index_->Lookup(a, v);
-    if (range.empty()) continue;
-    ++stats_.index_hits;
-    for (const uint32_t* p = range.begin; p != range.end; ++p) {
-      BumpCounter(*p);
+  uint32_t survivors = 0;
+  if (prescreen) {
+    // The batched hot loop. Scratch pointers and stat tallies live in
+    // locals so queue_.push_back's potential reallocation cannot force
+    // them back to memory every iteration; the tallies fold into stats_
+    // once per tuple. Semantically this bumps the exact counters, in
+    // the exact order, the legacy loops below would — |X|=1 rules just
+    // skip the counter read-modify-write (one posting entry means one
+    // init bump: the counter trivially fills, and a propagation bump
+    // re-deriving it from a stale epoch reaches the same guards).
+    uint32_t* const counter = counter_.data();
+    uint32_t* const counter_epoch = counter_epoch_.data();
+    uint32_t* const queued_epoch = queued_epoch_.data();
+    const uint32_t* const checked_epoch = checked_epoch_.data();
+    uint64_t* const flag_cache = flag_cache_.data();
+    const CompiledRuleIndex& index = *index_;
+    const uint32_t epoch = epoch_;
+    size_t hits = 0;
+    size_t bumps = 0;
+    size_t enqueued = 0;
+    const auto flag_of = [&](uint32_t rule) -> uint32_t {
+      // Enqueue-time applicability: counter full on the untouched tuple
+      // proves the evidence clause, so the verdict is the negative
+      // clause alone — a pure function of (rule, t[B]) for an immutable
+      // index, memoized per rule in flag_cache (UINT64_MAX = empty).
+      const ValueId v = t[index.target(rule)];
+      const uint64_t cached = flag_cache[rule];
+      if ((cached >> 1) == static_cast<uint32_t>(v)) {
+        return (cached & 1) ? 0u : kRejectedBit;
+      }
+      const bool neg = index.NegativeMatch(rule, v);
+      flag_cache[rule] =
+          (static_cast<uint64_t>(static_cast<uint32_t>(v)) << 1) |
+          (neg ? 1u : 0u);
+      return neg ? 0u : kRejectedBit;
+    };
+    for (uint32_t rule_index : index.empty_evidence_rules()) {
+      queued_epoch[rule_index] = epoch;
+      ++enqueued;
+      const uint32_t flag = flag_of(rule_index);
+      queue_.push_back(rule_index | flag);
+      survivors += flag == 0;
     }
+    for (size_t k = 0; k < num_init_ranges; ++k) {
+      const PostingRange range = init_ranges[k];
+      if (range.empty()) continue;
+      ++hits;
+      bumps += range.size();
+      for (const uint32_t* p = range.begin; p != range.end; ++p) {
+        const uint32_t rule = *p;
+        const uint32_t evc = index.evidence_count(rule);
+        if (evc != 1) {
+          if (counter_epoch[rule] != epoch) {
+            counter_epoch[rule] = epoch;
+            counter[rule] = 0;
+          }
+          if (++counter[rule] != evc) continue;
+        }
+        if (queued_epoch[rule] == epoch || checked_epoch[rule] == epoch) {
+          continue;
+        }
+        queued_epoch[rule] = epoch;
+        ++enqueued;
+        const uint32_t flag = flag_of(rule);
+        queue_.push_back(rule | flag);
+        survivors += flag == 0;
+      }
+    }
+    stats_.index_hits += hits;
+    stats_.counter_bumps += bumps;
+    stats_.candidates_enqueued += enqueued;
+  } else {
+    for (uint32_t rule_index : index_->empty_evidence_rules()) {
+      queued_epoch_[rule_index] = epoch_;
+      ++stats_.candidates_enqueued;
+      queue_.push_back(rule_index);
+    }
+    if (have_ranges) {
+      // Pre-probed ranges arrive in attribute order with misses as
+      // empty ranges — this loop bumps the exact counters, in the exact
+      // order, the scalar loop below would.
+      for (size_t k = 0; k < num_init_ranges; ++k) {
+        const PostingRange range = init_ranges[k];
+        if (range.empty()) continue;
+        ++stats_.index_hits;
+        for (const uint32_t* p = range.begin; p != range.end; ++p) {
+          BumpCounter(*p);
+        }
+      }
+    } else {
+      // The scalar fallback: one Lookup per non-null cell, each probe's
+      // cache misses served serially.
+      const auto arity = static_cast<AttrId>(t.size());
+      for (AttrId a = 0; a < arity; ++a) {
+        const ValueId v = t[a];
+        if (v == kNullValue) continue;
+        const PostingRange range = index_->Lookup(a, v);
+        if (range.empty()) continue;
+        ++stats_.index_hits;
+        for (const uint32_t* p = range.begin; p != range.end; ++p) {
+          BumpCounter(*p);
+        }
+      }
+    }
+  }
+
+  if (prescreen && survivors == 0) {
+    // Every candidate is pre-rejected and nothing can cascade: charge
+    // the rejections in bulk and skip the pop loop. The checked stamps
+    // the loop would have written are only ever read within this epoch,
+    // and this epoch is over.
+    stats_.candidates_rejected += queue_.size();
+    return 0;
   }
 
   // Lines 8-16: chase over the candidate set.
   const bool log_writes = memo_ != nullptr || max_steps > 0;
   AttrSet assured;
+  bool dirty = false;
   size_t steps = 0;
   size_t cells_changed = 0;
   while (!queue_.empty()) {
-    const uint32_t rule_index = queue_.back();
+    const uint32_t entry = queue_.back();
     queue_.pop_back();
+    const uint32_t rule_index = entry & ~kRejectedBit;
     if (checked_epoch_[rule_index] == epoch_) continue;
     if (max_steps > 0 && ++steps > max_steps) {
       // Budget blown: roll the rule-application stats back (cells/tuple
@@ -167,15 +302,27 @@ size_t FastRepairer::ChaseTuple(TupleSpan t, size_t max_steps,
       return 0;
     }
     checked_epoch_[rule_index] = epoch_;  // removed from Ω once and for all
+    if (entry & kRejectedBit) {
+      // Prescreen verdict from enqueue time: the negative clause failed
+      // on the init tuple, so this pop rejects under the legacy check
+      // too (target untouched — same test; target written — assured).
+      ++stats_.candidates_rejected;
+      continue;
+    }
     const AttrId target = index_->target(rule_index);
-    if (assured.Contains(target) ||
-        !index_->rules().rule(rule_index).Matches(t)) {
+    // A prescreen survivor popped before the first write needs no
+    // verification: its counter filled on the untouched tuple (evidence
+    // clause) and its flag cleared (negative clause), so Matches holds.
+    if ((dirty || !prescreen) &&
+        (assured.Contains(target) ||
+         !index_->MatchesFlat(rule_index, t))) {
       ++stats_.candidates_rejected;
       continue;
     }
     const ValueId fact = index_->fact(rule_index);
     t[target] = fact;
     assured.UnionWith(index_->assured(rule_index));
+    dirty = true;
     ++cells_changed;
     ++stats_.rule_applications;
     ++stats_.per_rule_applications[rule_index];
@@ -196,11 +343,60 @@ size_t FastRepairer::ChaseTuple(TupleSpan t, size_t max_steps,
   return cells_changed;
 }
 
+void FastRepairer::RepairRows(Table* table, size_t begin, size_t end) {
+  const SimdKernel kernel = ActiveSimdKernel();
+  if (memo_ != nullptr || kernel == SimdKernel::kScalar) {
+    // Memoized rows stay interleaved (Find, chase, Insert in row order)
+    // so intra-group duplicates hit the memo exactly as they always
+    // have; the scalar kernel IS the legacy loop.
+    for (size_t r = begin; r < end; ++r) {
+      RepairTuple(table->WriteRow(r));
+    }
+    return;
+  }
+
+  // 64 rows per group: the key/range scratch stays in L1 and the
+  // prefetched posting lines are still resident when their row's bump
+  // loop runs. Only evidence-mentioned attributes are gathered — every
+  // other column's probe would miss by construction.
+  constexpr size_t kRowGroup = 64;
+  const size_t arity = index_->arity();
+  const std::vector<AttrId>& ev_attrs = index_->evidence_attrs();
+  for (size_t group = begin; group < end; group += kRowGroup) {
+    const size_t limit = std::min(end, group + kRowGroup);
+    probe_keys_.clear();
+    group_offsets_.clear();
+    for (size_t r = group; r < limit; ++r) {
+      group_offsets_.push_back(static_cast<uint32_t>(probe_keys_.size()));
+      const TupleRef t = table->row(r);
+      FIXREP_CHECK_EQ(t.size(), arity);
+      for (const AttrId a : ev_attrs) {
+        // The value is packed into the key right here — row views must
+        // not be held across later row() / WriteRow() calls, which can
+        // recycle spilled blocks.
+        const ValueId v = t[a];
+        if (v == kNullValue) continue;
+        probe_keys_.push_back(CompiledRuleIndex::PackKey(a, v));
+      }
+    }
+    group_offsets_.push_back(static_cast<uint32_t>(probe_keys_.size()));
+    probe_ranges_.resize(probe_keys_.size());
+    index_->LookupBatch(kernel, probe_keys_.data(), probe_keys_.size(),
+                        probe_ranges_.data());
+    ++stats_.batch_probes;
+    stats_.batch_keys += probe_keys_.size();
+    for (size_t r = group; r < limit; ++r) {
+      const uint32_t lo = group_offsets_[r - group];
+      const uint32_t hi = group_offsets_[r - group + 1];
+      ChaseTuple(table->WriteRow(r), /*max_steps=*/0, /*exhausted=*/nullptr,
+                 probe_ranges_.data() + lo, hi - lo);
+    }
+  }
+}
+
 void FastRepairer::RepairTable(Table* table) {
   FIXREP_TRACE_SPAN("lrepair.chase");
-  for (size_t r = 0; r < table->num_rows(); ++r) {
-    RepairTuple(table->WriteRow(r));
-  }
+  RepairRows(table, 0, table->num_rows());
   FlushMetrics();
 }
 

@@ -76,6 +76,23 @@ class FastRepairer {
   void set_max_chase_steps(size_t max_steps) { max_chase_steps_ = max_steps; }
   size_t max_chase_steps() const { return max_chase_steps_; }
 
+  // Repairs rows [begin, end) of `table` in place — the row-group driver
+  // every engine (serial, pooled parallel, streaming) funnels through.
+  //
+  // With a SIMD kernel active and no memo attached, rows are processed
+  // in cache-sized groups: gather the group's non-null cells of the
+  // evidence-mentioned attributes (cells of any other column can never
+  // hit a posting list), probe them with one LookupBatch (vector
+  // hashing plus slot/posting prefetch), then chase each tuple off its
+  // precomputed ranges with the counter bumps running back-to-back on
+  // warm postings. With the scalar kernel this is exactly the legacy
+  // per-tuple loop. With a memo the rows stay per-tuple and interleaved
+  // (Find, chase, Insert in row order) so the memo hit/miss sequence —
+  // and therefore fixrep.memo.* — is byte-for-byte what the scalar path
+  // produces. Repaired output is bit-identical on every path; only the
+  // probe schedule differs.
+  void RepairRows(Table* table, size_t begin, size_t end);
+
   // Repairs every row of `table` in place.
   void RepairTable(Table* table);
 
@@ -97,16 +114,48 @@ class FastRepairer {
   void SeedEpochForTest(uint32_t epoch) { epoch_ = epoch; }
 
  private:
+  // Queue entries are the rule id with bit 31 carrying the prescreen
+  // verdict on the batched path (set = provably rejected; the index
+  // build checks num_rules < 2^31).
+  static constexpr uint32_t kRejectedBit = uint32_t{1} << 31;
+
   // Bumps the counter of `rule_index` for the current epoch; enqueues the
-  // rule when its evidence counter becomes full.
+  // rule when its evidence counter becomes full. The prescreened batched
+  // chase inlines its own variant of this inside ChaseTuple (flagged
+  // enqueues, |X|=1 counter skip, local stat tallies); this out-of-line
+  // form serves the legacy init loops and propagation bumps.
   void BumpCounter(uint32_t rule_index);
 
   // The non-memoized chase (Fig. 7 proper). A non-zero `max_steps`
   // bounds Ω pops; on exhaustion sets *exhausted, rolls the
   // rule-application stats back, and returns 0 (the caller restores the
   // tuple itself).
+  //
+  // `init_ranges` optionally carries the tuple's pre-probed posting
+  // ranges — one per non-null evidence-attribute cell, in attribute
+  // order (misses as empty ranges) — produced by LookupBatch over a row
+  // group. When null, the chase probes the cells itself: batched
+  // per-tuple when a SIMD kernel is active, with the legacy per-cell
+  // Lookup loop otherwise. All three init paths bump identical counters
+  // in identical order.
+  //
+  // On the batched paths with max_steps == 0 the chase is *prescreened*:
+  // each candidate's applicability is decided at enqueue time (counter
+  // full proves the evidence clause on the untouched tuple; the
+  // negative clause is one cached NegativeMatch) and carried in the
+  // queue entry's flag bit, so pops skip MatchesFlat until the first
+  // write dirties the tuple — and a tuple with no surviving candidate
+  // skips its pop loop wholesale. This is exact, not heuristic: a
+  // flagged candidate is rejected by the legacy chase too (its target
+  // untouched at pop means the same negative test fails; its target
+  // written means the applier's assured set covers it), so outputs,
+  // stat totals, and queue order are bit-identical to the scalar path.
+  // Budgeted chases (max_steps > 0) stay on the legacy pop loop so a
+  // step counts exactly what the scalar path counts.
   size_t ChaseTuple(TupleSpan t, size_t max_steps = 0,
-                    bool* exhausted = nullptr);
+                    bool* exhausted = nullptr,
+                    const PostingRange* init_ranges = nullptr,
+                    size_t num_init_ranges = 0);
 
   std::unique_ptr<const CompiledRuleIndex> owned_index_;
   const CompiledRuleIndex* index_;
@@ -119,8 +168,22 @@ class FastRepairer {
   std::vector<uint32_t> counter_epoch_;
   std::vector<uint32_t> queued_epoch_;   // rule has entered Ω this epoch
   std::vector<uint32_t> checked_epoch_;  // rule was popped and consumed
-  std::vector<uint32_t> queue_;          // Ω
+  std::vector<uint32_t> queue_;          // Ω (id | kRejectedBit when flagged)
   std::vector<MemoCache::Write> writes_scratch_;  // chase log for the memo
+
+  // The prescreen verdict memo: per rule, the last (t[B], verdict) pair
+  // packed (value << 1) | is_negative with UINT64_MAX as "empty". The
+  // verdict is a pure function of (rule, value) for an immutable index,
+  // so the cache never expires — on duplicate-heavy data almost every
+  // enqueue-time check is one load + compare.
+  std::vector<uint64_t> flag_cache_;
+
+  // Batched-probe scratch (RepairRows row groups and per-tuple batched
+  // init): packed keys for every non-null cell, their resolved posting
+  // ranges, and each row's [begin, end) offsets into them.
+  std::vector<uint64_t> probe_keys_;
+  std::vector<PostingRange> probe_ranges_;
+  std::vector<uint32_t> group_offsets_;
 
   RepairStats stats_;
   RepairStats published_;  // snapshot of stats_ at the last FlushMetrics

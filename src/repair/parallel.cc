@@ -35,9 +35,7 @@ RepairStats ParallelRepairRows(const CompiledRuleIndex& index, Table* table,
       repairer.RepairTable(table);  // flushes fixrep.lrepair.* itself
     } else {
       FIXREP_TRACE_SPAN("lrepair.chase");
-      for (size_t r = begin_row; r < end_row; ++r) {
-        repairer.RepairTuple(table->WriteRow(r));
-      }
+      repairer.RepairRows(table, begin_row, end_row);
       repairer.FlushMetrics();
     }
     return repairer.stats();
@@ -74,10 +72,11 @@ RepairStats ParallelRepairRows(const CompiledRuleIndex& index, Table* table,
       std::clamp<size_t>(rows / (threads * 8), size_t{16}, size_t{2048});
   pool.ParallelFor(rows, grain, threads,
                    [&](size_t begin, size_t end, size_t slot) {
-                     FastRepairer& repairer = *repairers[slot];
-                     for (size_t r = begin; r < end; ++r) {
-                       repairer.RepairTuple(table->WriteRow(begin_row + r));
-                     }
+                     // Each claimed chunk runs through the row-group
+                     // driver, so pooled workers get the same batched
+                     // probes as a serial repair.
+                     repairers[slot]->RepairRows(table, begin_row + begin,
+                                                 begin_row + end);
                    });
 
   // Workers never flush — the merged stats are published once so registry

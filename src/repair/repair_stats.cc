@@ -17,6 +17,8 @@ void RepairStats::MergeFrom(const RepairStats& other) {
   counter_bumps += other.counter_bumps;
   candidates_enqueued += other.candidates_enqueued;
   candidates_rejected += other.candidates_rejected;
+  batch_probes += other.batch_probes;
+  batch_keys += other.batch_keys;
   chase_iterations += other.chase_iterations;
   if (per_rule_applications.size() < other.per_rule_applications.size()) {
     per_rule_applications.resize(other.per_rule_applications.size(), 0);
@@ -45,6 +47,8 @@ void RepairStats::PublishDelta(const RepairStats& prev,
           prev.candidates_enqueued);
   publish("candidates_rejected", candidates_rejected,
           prev.candidates_rejected);
+  publish("batch_probes", batch_probes, prev.batch_probes);
+  publish("batch_keys", batch_keys, prev.batch_keys);
   publish("chase_iterations", chase_iterations, prev.chase_iterations);
 
   std::vector<size_t> deltas(per_rule_applications.size(), 0);

@@ -25,6 +25,11 @@ struct RepairStats {
   size_t counter_bumps = 0;
   size_t candidates_enqueued = 0;
   size_t candidates_rejected = 0;
+  // Vectorized-probe internals: LookupBatch calls issued and packed keys
+  // hashed through them. Both stay 0 when the scalar kernel is active;
+  // every chase-semantic counter above is kernel-independent.
+  size_t batch_probes = 0;
+  size_t batch_keys = 0;
   // cRepair internals: outer chase passes over the rule list.
   size_t chase_iterations = 0;
   // per_rule_applications[i] = number of tuples rule i was applied to.
@@ -39,6 +44,8 @@ struct RepairStats {
     counter_bumps = 0;
     candidates_enqueued = 0;
     candidates_rejected = 0;
+    batch_probes = 0;
+    batch_keys = 0;
     chase_iterations = 0;
     per_rule_applications.assign(num_rules, 0);
   }

@@ -15,11 +15,16 @@ CompiledRuleIndex::CompiledRuleIndex(const RuleSet* rules) : rules_(rules) {
   FIXREP_TRACE_SPAN("lrepair.index_build");
   arity_ = rules_->schema().arity();
   const size_t n = rules_->size();
+  // The batched chase packs the rule id and a prescreen flag into one
+  // uint32 queue entry; bit 31 is the flag.
+  FIXREP_CHECK_LT(n, size_t{1} << 31);
 
   evidence_count_.resize(n);
   target_.resize(n);
   fact_.resize(n);
   assured_bits_.resize(n);
+  ev_offsets_.reserve(n + 1);
+  neg_offsets_.reserve(n + 1);
 
   // Gather postings per key, then pack. The scratch map only lives during
   // the build; lookups afterwards touch the flat structures exclusively.
@@ -32,15 +37,33 @@ CompiledRuleIndex::CompiledRuleIndex(const RuleSet* rules) : rules_(rules) {
     fact_[i] = rule.fact;
     assured_bits_[i] = rule.AssuredSet().bits();
     mentioned_attrs_.UnionWith(rule.AssuredSet());
+    // CSR-pack the full patterns for MatchesFlat. negative_patterns is
+    // sorted/deduped by Validate(), so the packed slice binary-searches.
+    ev_offsets_.push_back(static_cast<uint32_t>(ev_attrs_.size()));
+    ev_attrs_.insert(ev_attrs_.end(), rule.evidence_attrs.begin(),
+                     rule.evidence_attrs.end());
+    ev_values_.insert(ev_values_.end(), rule.evidence_values.begin(),
+                      rule.evidence_values.end());
+    neg_offsets_.push_back(static_cast<uint32_t>(neg_values_.size()));
+    neg_values_.insert(neg_values_.end(), rule.negative_patterns.begin(),
+                       rule.negative_patterns.end());
     if (rule.evidence_attrs.empty()) {
       empty_evidence_rules_.push_back(i);
       continue;
     }
     for (size_t e = 0; e < rule.evidence_attrs.size(); ++e) {
-      gathered[Key(rule.evidence_attrs[e], rule.evidence_values[e])]
+      gathered[PackKey(rule.evidence_attrs[e], rule.evidence_values[e])]
           .push_back(i);
       ++total_postings;
     }
+  }
+  ev_offsets_.push_back(static_cast<uint32_t>(ev_attrs_.size()));
+  neg_offsets_.push_back(static_cast<uint32_t>(neg_values_.size()));
+
+  uint64_t ev_attr_mask = 0;
+  for (const AttrId a : ev_attrs_) ev_attr_mask |= uint64_t{1} << a;
+  for (AttrId a = 0; a < static_cast<AttrId>(arity_); ++a) {
+    if (ev_attr_mask & (uint64_t{1} << a)) evidence_attr_list_.push_back(a);
   }
 
   num_keys_ = gathered.size();
@@ -73,6 +96,31 @@ CompiledRuleIndex::CompiledRuleIndex(const RuleSet* rules) : rules_(rules) {
   registry.GetGauge("fixrep.index.bytes")->Set(static_cast<int64_t>(bytes()));
 }
 
+void CompiledRuleIndex::LookupBatch(SimdKernel kernel, const uint64_t* keys,
+                                    size_t n, PostingRange* out) const {
+  // Sub-batch of 16: big enough to fill the load buffers with independent
+  // slot fetches, small enough that the hash scratch stays in registers /
+  // L1 and the prefetched lines are still resident when resolved.
+  constexpr size_t kSubBatch = 16;
+  uint64_t hashes[kSubBatch];
+  for (size_t base = 0; base < n; base += kSubBatch) {
+    const size_t m = std::min(kSubBatch, n - base);
+    HashBatch(kernel, keys + base, m, hashes);
+    // Issue all home-slot prefetches before any probe resolves: the
+    // independent cache misses overlap instead of serializing.
+    for (size_t i = 0; i < m; ++i) {
+      PrefetchRead(&slots_[hashes[i] & mask_]);
+    }
+    for (size_t i = 0; i < m; ++i) {
+      const PostingRange r = Resolve(keys[base + i], hashes[i]);
+      out[base + i] = r;
+      // A hit's postings are consumed by the caller's bump loop right
+      // after this returns — start those lines now.
+      if (r.begin != r.end) PrefetchRead(r.begin);
+    }
+  }
+}
+
 size_t CompiledRuleIndex::bytes() const {
   return slots_.capacity() * sizeof(Slot) +
          postings_.capacity() * sizeof(uint32_t) +
@@ -80,7 +128,13 @@ size_t CompiledRuleIndex::bytes() const {
          target_.capacity() * sizeof(AttrId) +
          fact_.capacity() * sizeof(ValueId) +
          assured_bits_.capacity() * sizeof(uint64_t) +
-         empty_evidence_rules_.capacity() * sizeof(uint32_t);
+         empty_evidence_rules_.capacity() * sizeof(uint32_t) +
+         ev_offsets_.capacity() * sizeof(uint32_t) +
+         ev_attrs_.capacity() * sizeof(AttrId) +
+         ev_values_.capacity() * sizeof(ValueId) +
+         neg_offsets_.capacity() * sizeof(uint32_t) +
+         neg_values_.capacity() * sizeof(ValueId) +
+         evidence_attr_list_.capacity() * sizeof(AttrId);
 }
 
 }  // namespace fixrep

@@ -1,9 +1,11 @@
 #ifndef FIXREP_REPAIR_RULE_INDEX_H_
 #define FIXREP_REPAIR_RULE_INDEX_H_
 
+#include <algorithm>
 #include <cstdint>
 #include <vector>
 
+#include "common/simd.h"
 #include "relation/table.h"
 #include "rules/rule_set.h"
 
@@ -34,6 +36,9 @@ struct PostingRange {
 // * Flat side arrays mirror the per-rule fields the chase touches
 //   (|X_phi|, target attribute, fact value, assured bitmask), so counter
 //   bumps and propagation never dereference a FixingRule.
+// * The full evidence patterns and negative-pattern sets are CSR-packed
+//   too (MatchesFlat), so candidate re-verification walks flat
+//   (attr, value) pairs instead of chasing RuleSet/FixingRule pointers.
 //
 // The rule set must outlive the index and must not be mutated afterwards.
 class CompiledRuleIndex {
@@ -47,19 +52,31 @@ class CompiledRuleIndex {
   size_t num_rules() const { return evidence_count_.size(); }
   size_t arity() const { return arity_; }
 
+  // The packed probe key for one cell. attr < 64 (schemas are bounded to
+  // 64 attributes) and interned values are non-negative, so every valid
+  // key has its top bits clear and UINT64_MAX can mark an empty slot.
+  static uint64_t PackKey(AttrId attr, ValueId value) {
+    return (static_cast<uint64_t>(static_cast<uint32_t>(attr)) << 32) |
+           static_cast<uint32_t>(value);
+  }
+
   // Rules phi with attr in X_phi and tp_phi[attr] == value. Empty range
   // when no rule mentions the cell.
   PostingRange Lookup(AttrId attr, ValueId value) const {
-    const uint64_t key = Key(attr, value);
-    size_t slot = Hash(key) & mask_;
-    while (true) {
-      const Slot& s = slots_[slot];
-      if (s.key == key) {
-        return {postings_.data() + s.begin, postings_.data() + s.end};
-      }
-      if (s.key == kEmptyKey) return {};
-      slot = (slot + 1) & mask_;
-    }
+    return Resolve(PackKey(attr, value), Hash(PackKey(attr, value)));
+  }
+
+  // Batched probe (the lRepair counter-initialization hot path): hashes
+  // `n` packed keys with `kernel`, prefetches every probed Slot
+  // cacheline, resolves the probes, and prefetches each hit's posting
+  // range before returning — by the time the caller's bump loop runs,
+  // the postings are (usually) already in flight. out[i] is exactly what
+  // Lookup on key i returns, for every kernel: batching buys
+  // memory-level parallelism, never different results.
+  void LookupBatch(SimdKernel kernel, const uint64_t* keys, size_t n,
+                   PostingRange* out) const;
+  void LookupBatch(const uint64_t* keys, size_t n, PostingRange* out) const {
+    LookupBatch(ActiveSimdKernel(), keys, n, out);
   }
 
   // |X_phi| — the evidence counter threshold for rule i.
@@ -72,9 +89,43 @@ class CompiledRuleIndex {
     return AttrSet::FromBits(assured_bits_[rule]);
   }
 
+  // v in Tp[B_phi] — the negative-pattern clause of Matches alone,
+  // evaluated by binary search of rule i's flat sorted slice. The
+  // prescreened batched chase uses this at enqueue time: right after
+  // counter initialization the tuple is untouched, so a full counter
+  // proves the evidence clause and applicability reduces to this test.
+  bool NegativeMatch(uint32_t rule, ValueId v) const {
+    const ValueId* neg_begin = neg_values_.data() + neg_offsets_[rule];
+    const ValueId* neg_end = neg_values_.data() + neg_offsets_[rule + 1];
+    return std::binary_search(neg_begin, neg_end, v);
+  }
+
+  // t |- phi, evaluated over the CSR side arrays: t[B] in Tp[B] (binary
+  // search of the flat sorted slice) and t[X] = tp[X] (flat pair walk).
+  // Semantically identical to rules().rule(i).Matches(t) — the chase
+  // uses this form so candidate verification never leaves the index's
+  // contiguous arrays.
+  bool MatchesFlat(uint32_t rule, TupleRef t) const {
+    if (!NegativeMatch(rule, t[target_[rule]])) return false;
+    const uint32_t ev_end = ev_offsets_[rule + 1];
+    for (uint32_t e = ev_offsets_[rule]; e < ev_end; ++e) {
+      if (t[ev_attrs_[e]] != ev_values_[e]) return false;
+    }
+    return true;
+  }
+
   // Rules with empty evidence (always candidates).
   const std::vector<uint32_t>& empty_evidence_rules() const {
     return empty_evidence_rules_;
+  }
+
+  // The distinct attributes appearing in any rule's evidence pattern,
+  // ascending. Cells of any other attribute can never hit a posting
+  // list, so the batched gather probes only these columns; the legacy
+  // scalar loop still probes every cell and gets the same (empty)
+  // answers for the rest.
+  const std::vector<AttrId>& evidence_attrs() const {
+    return evidence_attr_list_;
   }
 
   // Union of every rule's evidence and target attributes — the attribute
@@ -95,23 +146,25 @@ class CompiledRuleIndex {
     uint32_t end = 0;
   };
 
-  // attr < 64 (schemas are bounded to 64 attributes), so every valid key
-  // has its top bits clear and UINT64_MAX can serve as the empty marker.
   static constexpr uint64_t kEmptyKey = UINT64_MAX;
 
-  static uint64_t Key(AttrId attr, ValueId value) {
-    return (static_cast<uint64_t>(static_cast<uint32_t>(attr)) << 32) |
-           static_cast<uint32_t>(value);
-  }
+  // SplitMix64 finalizer (common/simd.h): full avalanche so linear
+  // probing stays short. HashBatch computes the same function 2-4 keys
+  // at a time.
+  static uint64_t Hash(uint64_t x) { return SplitMix64(x); }
 
-  // SplitMix64 finalizer: full avalanche so linear probing stays short.
-  static uint64_t Hash(uint64_t x) {
-    x ^= x >> 33;
-    x *= 0xff51afd7ed558ccdULL;
-    x ^= x >> 33;
-    x *= 0xc4ceb9fe1a85ec53ULL;
-    x ^= x >> 33;
-    return x;
+  // The shared probe tail: walk from the hashed home slot to the key's
+  // slot or the first empty one.
+  PostingRange Resolve(uint64_t key, uint64_t hash) const {
+    size_t slot = hash & mask_;
+    while (true) {
+      const Slot& s = slots_[slot];
+      if (s.key == key) {
+        return {postings_.data() + s.begin, postings_.data() + s.end};
+      }
+      if (s.key == kEmptyKey) return {};
+      slot = (slot + 1) & mask_;
+    }
   }
 
   const RuleSet* rules_;
@@ -125,6 +178,16 @@ class CompiledRuleIndex {
   std::vector<ValueId> fact_;
   std::vector<uint64_t> assured_bits_;
   std::vector<uint32_t> empty_evidence_rules_;
+  // CSR evidence patterns and negative-pattern sets (MatchesFlat):
+  // rule i's evidence pairs are (ev_attrs_, ev_values_)[ev_offsets_[i]
+  // .. ev_offsets_[i+1]), its sorted negative patterns
+  // neg_values_[neg_offsets_[i] .. neg_offsets_[i+1]).
+  std::vector<uint32_t> ev_offsets_;
+  std::vector<AttrId> ev_attrs_;
+  std::vector<ValueId> ev_values_;
+  std::vector<uint32_t> neg_offsets_;
+  std::vector<ValueId> neg_values_;
+  std::vector<AttrId> evidence_attr_list_;
   AttrSet mentioned_attrs_;
 };
 

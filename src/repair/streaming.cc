@@ -163,10 +163,16 @@ StatusOr<StreamingRepairResult> StreamingRepairSession::Run(
   auto repair_range = [&](size_t begin, size_t end,
                           size_t base_row) -> Status {
     if (serial && !lenient) {
-      for (size_t r = begin; r < end; ++r) {
-        result.cells_changed += serial_repairer.RepairTuple(chunk.WriteRow(r));
-        progress.AddRows(1);
+      // Row-group driver in progress-stride sub-ranges: batched probes
+      // inside, live fixrep.progress.rows updates between.
+      const size_t cells_before = serial_repairer.stats().cells_changed;
+      for (size_t sub = begin; sub < end; sub += kProgressStride) {
+        const size_t sub_end = std::min(end, sub + kProgressStride);
+        serial_repairer.RepairRows(&chunk, sub, sub_end);
+        progress.AddRows(sub_end - sub);
       }
+      result.cells_changed +=
+          serial_repairer.stats().cells_changed - cells_before;
       return Status::Ok();
     }
     if (serial) {

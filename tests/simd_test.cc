@@ -1,0 +1,370 @@
+// Kernel-independence suite for the vectorized evidence-matching path
+// (common/simd.h, CompiledRuleIndex::LookupBatch, FastRepairer row
+// groups): every SIMD kernel must produce bit-identical hashes, probe
+// results, repaired output, and chase-semantic metrics. The scalar
+// kernel always participates, so the fallback path is exercised even on
+// AVX2 machines. Labeled `simd` (also `repair`) — run the label under
+// TSan to vet the pooled row-group path.
+
+#include <algorithm>
+#include <cstdint>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+#include "common/simd.h"
+#include "datagen/hosp.h"
+#include "datagen/noise.h"
+#include "datagen/travel.h"
+#include "datagen/uis.h"
+#include "relation/csv.h"
+#include "repair/lrepair.h"
+#include "repair/parallel.h"
+#include "repair/rule_index.h"
+#include "repair/streaming.h"
+#include "rulegen/rulegen.h"
+#include "testing_util.h"
+
+namespace fixrep {
+namespace {
+
+std::vector<SimdKernel> SupportedKernels() {
+  std::vector<SimdKernel> kernels = {SimdKernel::kScalar};
+  if (SimdKernelSupported(SimdKernel::kSse)) {
+    kernels.push_back(SimdKernel::kSse);
+  }
+  if (SimdKernelSupported(SimdKernel::kAvx2)) {
+    kernels.push_back(SimdKernel::kAvx2);
+  }
+  return kernels;
+}
+
+// Restores the process-wide active kernel on scope exit so tests that
+// pin a kernel cannot leak it into later tests in the binary.
+class SimdKernelGuard {
+ public:
+  SimdKernelGuard() : saved_(ActiveSimdKernel()) {}
+  ~SimdKernelGuard() { SetSimdKernel(saved_); }
+
+ private:
+  SimdKernel saved_;
+};
+
+TEST(SimdDispatchTest, ScalarAlwaysSupported) {
+  EXPECT_TRUE(SimdKernelSupported(SimdKernel::kScalar));
+  EXPECT_STREQ(SimdKernelName(SimdKernel::kScalar), "scalar");
+  EXPECT_STREQ(SimdKernelName(SimdKernel::kSse), "sse");
+  EXPECT_STREQ(SimdKernelName(SimdKernel::kAvx2), "avx2");
+  // Best is one of the supported kernels by definition.
+  EXPECT_TRUE(SimdKernelSupported(BestSupportedSimdKernel()));
+}
+
+TEST(SimdDispatchTest, SetSimdKernelRoundTrips) {
+  SimdKernelGuard guard;
+  for (const SimdKernel kernel : SupportedKernels()) {
+    SetSimdKernel(kernel);
+    EXPECT_EQ(ActiveSimdKernel(), kernel);
+  }
+}
+
+// HashBatch is the function the kernels actually vectorize; everything
+// downstream is shared scalar code. Bit-identity here, across sizes that
+// straddle the SSE (2-wide) and AVX2 (4-wide) vector tails, is the core
+// guarantee.
+TEST(HashBatchTest, BitIdenticalAcrossKernelsAndSizes) {
+  const std::vector<SimdKernel> kernels = SupportedKernels();
+  for (const size_t n : {size_t{0}, size_t{1}, size_t{2}, size_t{3},
+                         size_t{4}, size_t{5}, size_t{7}, size_t{8},
+                         size_t{15}, size_t{16}, size_t{17}, size_t{31},
+                         size_t{33}, size_t{64}, size_t{100}}) {
+    std::vector<uint64_t> keys(n);
+    for (size_t i = 0; i < n; ++i) {
+      // Half realistic packed keys (small attr, small value), half
+      // arbitrary bit patterns.
+      keys[i] = (i % 2 == 0)
+                    ? CompiledRuleIndex::PackKey(
+                          static_cast<AttrId>(i % 64),
+                          static_cast<ValueId>(i * 13))
+                    : SplitMix64(0x9e3779b97f4a7c15ULL * (i + 1));
+    }
+    std::vector<uint64_t> expected(n);
+    for (size_t i = 0; i < n; ++i) expected[i] = SplitMix64(keys[i]);
+    for (const SimdKernel kernel : kernels) {
+      std::vector<uint64_t> got(n, 0);
+      HashBatch(kernel, keys.data(), n, got.data());
+      EXPECT_EQ(got, expected)
+          << "kernel " << SimdKernelName(kernel) << " n=" << n;
+    }
+  }
+}
+
+// LookupBatch fuzz: random rule universe, probe keys mixing real
+// evidence cells, absent values, and packed null cells, at batch sizes
+// straddling the 16-key sub-batch boundary. Every kernel must return
+// exactly what per-key Lookup returns.
+TEST(LookupBatchTest, MatchesScalarLookupOnFuzzedKeys) {
+  testing::RandomRuleUniverse universe;
+  Rng rng(0x51a7);
+  RuleSet rules(universe.schema, universe.pool);
+  for (int i = 0; i < 200; ++i) rules.Add(universe.RandomRule(&rng));
+  const CompiledRuleIndex index(&rules);
+  const auto arity = static_cast<AttrId>(universe.schema->arity());
+  const std::vector<SimdKernel> kernels = SupportedKernels();
+
+  for (const size_t n : {size_t{1}, size_t{2}, size_t{15}, size_t{16},
+                         size_t{17}, size_t{33}, size_t{64}, size_t{129}}) {
+    std::vector<uint64_t> keys(n);
+    for (size_t i = 0; i < n; ++i) {
+      const AttrId attr = static_cast<AttrId>(rng.Uniform(arity));
+      ValueId value;
+      const uint64_t mix = rng.Uniform(4);
+      if (mix == 0) {
+        value = kNullValue;  // a null cell's packed key
+      } else if (mix == 1) {
+        value = static_cast<ValueId>(1000000 + rng.Uniform(1000));  // absent
+      } else {
+        value = universe.Value(
+            attr, static_cast<int>(
+                      rng.Uniform(universe.values_per_attribute)));
+      }
+      keys[i] = CompiledRuleIndex::PackKey(attr, value);
+    }
+    for (const SimdKernel kernel : kernels) {
+      std::vector<PostingRange> out(n);
+      index.LookupBatch(kernel, keys.data(), n, out.data());
+      for (size_t i = 0; i < n; ++i) {
+        const AttrId attr = static_cast<AttrId>(keys[i] >> 32);
+        const ValueId value = static_cast<ValueId>(
+            static_cast<uint32_t>(keys[i]));
+        const PostingRange expected = index.Lookup(attr, value);
+        EXPECT_EQ(out[i].begin, expected.begin)
+            << "kernel " << SimdKernelName(kernel) << " key " << i;
+        EXPECT_EQ(out[i].end, expected.end)
+            << "kernel " << SimdKernelName(kernel) << " key " << i;
+      }
+    }
+  }
+}
+
+// MatchesFlat must agree with FixingRule::Matches on random tuples —
+// it is the chase's candidate re-verification, flattened.
+TEST(MatchesFlatTest, AgreesWithRuleMatches) {
+  testing::RandomRuleUniverse universe;
+  Rng rng(0xf1a7);
+  RuleSet rules(universe.schema, universe.pool);
+  for (int i = 0; i < 100; ++i) rules.Add(universe.RandomRule(&rng));
+  const CompiledRuleIndex index(&rules);
+  for (int trial = 0; trial < 500; ++trial) {
+    const Tuple t = universe.RandomTuple(&rng);
+    for (uint32_t i = 0; i < rules.size(); ++i) {
+      ASSERT_EQ(index.MatchesFlat(i, TupleRef(t)),
+                rules.rule(i).Matches(TupleRef(t)))
+          << "rule " << i;
+    }
+  }
+}
+
+// --- cross-kernel end-to-end property: byte-identical repairs and
+// identical chase-semantic metrics on every engine/policy combo. ---
+
+// The chase-semantic counters every kernel must reproduce exactly.
+// batch_probes/batch_keys are deliberately absent: they count probe
+// *mechanics* (zero on the scalar path) and differ by design.
+std::vector<size_t> ChaseSignature(const RepairStats& stats) {
+  return {stats.tuples_examined,     stats.tuples_changed,
+          stats.cells_changed,       stats.rule_applications,
+          stats.index_hits,          stats.counter_bumps,
+          stats.candidates_enqueued, stats.candidates_rejected};
+}
+
+std::string TableCsv(const Table& table) {
+  std::ostringstream out;
+  WriteCsv(table, out);
+  return out.str();
+}
+
+struct EngineRun {
+  std::string output;            // repaired bytes
+  std::vector<size_t> metrics;   // ChaseSignature
+};
+
+// One workload, one engine configuration, run under `kernel`.
+using EngineFn = EngineRun (*)(const Table& dirty, const RuleSet& rules);
+
+EngineRun RunSerial(const Table& dirty, const RuleSet& rules) {
+  Table copy = dirty;
+  FastRepairer repairer(&rules);
+  repairer.RepairTable(&copy);
+  return {TableCsv(copy), ChaseSignature(repairer.stats())};
+}
+
+EngineRun RunSerialMemo(const Table& dirty, const RuleSet& rules) {
+  Table copy = dirty;
+  FastRepairer repairer(&rules);
+  MemoCache memo;
+  repairer.set_memo(&memo);
+  repairer.RepairTable(&copy);
+  return {TableCsv(copy), ChaseSignature(repairer.stats())};
+}
+
+EngineRun RunPooled(const Table& dirty, const RuleSet& rules) {
+  Table copy = dirty;
+  const CompiledRuleIndex index(&rules);
+  ParallelRepairOptions options;
+  options.threads = 3;
+  options.use_memo = false;
+  const RepairStats stats = ParallelRepairTable(index, &copy, options);
+  return {TableCsv(copy), ChaseSignature(stats)};
+}
+
+EngineRun RunLenientBudget(const Table& dirty, const RuleSet& rules) {
+  Table copy = dirty;
+  FastRepairer repairer(&rules);
+  repairer.set_max_chase_steps(2);  // small enough to trip on cascades
+  size_t quarantined = 0;
+  for (size_t r = 0; r < copy.num_rows(); ++r) {
+    size_t changed = 0;
+    if (!repairer.TryRepairTuple(copy.WriteRow(r), &changed).ok()) {
+      ++quarantined;
+    }
+  }
+  EngineRun run = {TableCsv(copy), ChaseSignature(repairer.stats())};
+  run.metrics.push_back(quarantined);
+  return run;
+}
+
+EngineRun StreamRun(const Table& dirty, const RuleSet& rules,
+                    size_t budget_bytes) {
+  const std::string input = TableCsv(dirty);
+  const CompiledRuleIndex index(&rules);
+  StreamingRepairOptions options;
+  options.chunk_rows = budget_bytes > 0 ? ~size_t{0} : 512;
+  options.memory_budget_bytes = budget_bytes;
+  std::istringstream in(input);
+  std::ostringstream out;
+  StatusOr<CsvChunkReader> reader =
+      CsvChunkReader::Open(in, "simd_test", dirty.pool_ptr(), {});
+  EXPECT_TRUE(reader.ok());
+  StreamingRepairSession session(&index, options);
+  const StatusOr<StreamingRepairResult> result =
+      session.Run(&reader.value(), out);
+  EXPECT_TRUE(result.ok());
+  return {out.str(),
+          {result.value().rows_emitted, result.value().cells_changed}};
+}
+
+EngineRun RunStreamChunked(const Table& dirty, const RuleSet& rules) {
+  return StreamRun(dirty, rules, 0);
+}
+
+EngineRun RunStreamBudget(const Table& dirty, const RuleSet& rules) {
+  // A few blocks of budget: the whole-file chunk must spill and the
+  // row-group gather must survive block eviction between probe and
+  // chase.
+  const size_t block_bytes =
+      RowStore::kRowsPerBlock * dirty.num_columns() * sizeof(ValueId);
+  return StreamRun(dirty, rules, 4 * block_bytes);
+}
+
+void ExpectKernelIndependent(const Table& dirty, const RuleSet& rules,
+                             const char* workload) {
+  SimdKernelGuard guard;
+  const struct {
+    const char* name;
+    EngineFn run;
+  } engines[] = {
+      {"serial", RunSerial},           {"serial_memo", RunSerialMemo},
+      {"pooled", RunPooled},           {"lenient_budget", RunLenientBudget},
+      {"stream", RunStreamChunked},    {"stream_budget", RunStreamBudget},
+  };
+  for (const auto& engine : engines) {
+    SetSimdKernel(SimdKernel::kScalar);
+    const EngineRun reference = engine.run(dirty, rules);
+    EXPECT_FALSE(reference.output.empty());
+    for (const SimdKernel kernel : SupportedKernels()) {
+      if (kernel == SimdKernel::kScalar) continue;
+      SetSimdKernel(kernel);
+      const EngineRun run = engine.run(dirty, rules);
+      EXPECT_EQ(run.output, reference.output)
+          << workload << "/" << engine.name << " output diverged under "
+          << SimdKernelName(kernel);
+      EXPECT_EQ(run.metrics, reference.metrics)
+          << workload << "/" << engine.name << " metrics diverged under "
+          << SimdKernelName(kernel);
+    }
+  }
+}
+
+TEST(SimdKernelIndependenceTest, Travel) {
+  const TravelExample example;
+  ExpectKernelIndependent(example.dirty, example.rules, "travel");
+}
+
+TEST(SimdKernelIndependenceTest, Hosp) {
+  HospOptions hosp;
+  hosp.rows = 2000;
+  hosp.num_hospitals = 70;
+  hosp.seed = 0x4051;
+  GeneratedData data = GenerateHosp(hosp);
+  Table dirty = data.clean;
+  NoiseOptions noise;
+  noise.seed = 0x77;
+  InjectNoise(&dirty, ConstraintAttributes(*data.schema, data.fds), noise);
+  RuleGenOptions rulegen;
+  rulegen.max_rules = 300;
+  rulegen.seed = 0x9e37;
+  const RuleSet rules = GenerateRules(data.clean, dirty, data.fds, rulegen);
+  ExpectKernelIndependent(dirty, rules, "hosp");
+}
+
+TEST(SimdKernelIndependenceTest, Uis) {
+  UisOptions uis;
+  uis.rows = 1500;
+  uis.seed = 0x0715;
+  GeneratedData data = GenerateUis(uis);
+  Table dirty = data.clean;
+  NoiseOptions noise;
+  noise.seed = 0x78;
+  InjectNoise(&dirty, ConstraintAttributes(*data.schema, data.fds), noise);
+  RuleGenOptions rulegen;
+  rulegen.max_rules = 60;
+  rulegen.seed = 0x9e38;
+  const RuleSet rules = GenerateRules(data.clean, dirty, data.fds, rulegen);
+  ExpectKernelIndependent(dirty, rules, "uis");
+}
+
+// The batch metrics do tick on the batched path — otherwise the
+// telemetry satellite is wiring to dead counters.
+TEST(SimdMetricsTest, BatchCountersTickOnBatchedPathOnly) {
+  SimdKernelGuard guard;
+  const TravelExample example;
+
+  SetSimdKernel(SimdKernel::kScalar);
+  {
+    Table copy = example.dirty;
+    FastRepairer repairer(&example.rules);
+    repairer.RepairTable(&copy);
+    EXPECT_EQ(repairer.stats().batch_probes, 0u);
+    EXPECT_EQ(repairer.stats().batch_keys, 0u);
+  }
+
+  const SimdKernel best = BestSupportedSimdKernel();
+  if (best == SimdKernel::kScalar) {
+    GTEST_SKIP() << "no SIMD kernel available on this machine/build";
+  }
+  SetSimdKernel(best);
+  Table copy = example.dirty;
+  FastRepairer repairer(&example.rules);
+  repairer.RepairTable(&copy);
+  EXPECT_GT(repairer.stats().batch_probes, 0u);
+  EXPECT_GT(repairer.stats().batch_keys, 0u);
+  // Row-group batching probes each non-null cell exactly once.
+  EXPECT_LE(repairer.stats().batch_keys,
+            example.dirty.num_rows() * example.dirty.num_columns());
+}
+
+}  // namespace
+}  // namespace fixrep
