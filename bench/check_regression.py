@@ -18,6 +18,15 @@ exceeds the requested budget by more than --rss-tolerance (default 15%)
 — the spill machinery must actually honor its memory budget, not just
 stay fast.
 
+With --wal, additionally audits the durable-streaming section of the
+*current* run: streaming_wal (the chunked pipeline journaling every
+committed chunk to a write-ahead log, docs/durability.md) must keep its
+rows/s within --wal-tolerance (default 10%) of streaming_chunked, the
+identical pipeline without a WAL — journaling is only on by default in
+the CLI because it is nearly free, and this gate keeps it that way. The
+section must also report at most one fsync per chunk beyond the header
+sync (the group-commit contract).
+
 With --journal, additionally validates the telemetry journal the bench
 run wrote (FIXREP_TELEMETRY_OUT, see docs/observability.md): every line
 must be a JSON object carrying "event" and "t_ms", the journal must open
@@ -147,6 +156,15 @@ def main():
                         help="allowed fractional overshoot of "
                              "peak_resident_bytes over budget_bytes "
                              "(default 0.15)")
+    parser.add_argument("--wal", action="store_true",
+                        help="audit the streaming_wal section: rows/s "
+                             "within --wal-tolerance of "
+                             "streaming_chunked, and group commit "
+                             "(<= 1 fsync per chunk plus the header)")
+    parser.add_argument("--wal-tolerance", type=float, default=0.10,
+                        help="allowed fractional rows/s drop of durable "
+                             "streaming vs no-WAL streaming "
+                             "(default 0.10)")
     parser.add_argument("--journal", default=None,
                         help="telemetry journal (JSONL) written by the "
                              "current bench run; checked for schema, "
@@ -201,6 +219,46 @@ def main():
         print(f"{status:>10}  {section}: budget {budget:,.0f} B, "
               f"peak resident {peak:,.0f} B ({over:+.1f}%)")
 
+    # WAL-overhead audit: durable streaming must stay within
+    # --wal-tolerance of the no-WAL stream, and each chunk must cost one
+    # group fsync (plus the one header sync per run).
+    wal_failures = []
+    if args.wal:
+        wal = current.get("streaming_wal", {})
+        chunked = current.get("streaming_chunked", {})
+        # wal_overhead is the bench's noise-robust measurement: the best
+        # WAL/no-WAL ratio over adjacent interleaved run pairs. Fall
+        # back to the section rows/s ratio for older JSON files.
+        overhead = wal.get("wal_overhead")
+        if overhead is None:
+            wal_rps = wal.get("rows_per_sec")
+            chunked_rps = wal.get("nowal_rows_per_sec",
+                                  chunked.get("rows_per_sec"))
+            if wal_rps is not None and chunked_rps:
+                overhead = chunked_rps / wal_rps - 1.0
+        if overhead is None:
+            wal_failures.append("streaming_wal overhead not reported by "
+                                "the current run")
+        else:
+            status = "ok"
+            if overhead > args.wal_tolerance:
+                status = "WAL OVERHEAD"
+                wal_failures.append(
+                    f"durable streaming costs {overhead:.1%} of no-WAL "
+                    f"streaming throughput "
+                    f"(gate {args.wal_tolerance:.0%})")
+            print(f"{status:>10}  streaming_wal: journaling overhead "
+                  f"{overhead:+.1%} vs no-WAL streaming "
+                  f"(gate {args.wal_tolerance:.0%})")
+            fsyncs_per_chunk = wal.get("fsyncs_per_chunk")
+            if fsyncs_per_chunk is None:
+                wal_failures.append("streaming_wal.fsyncs_per_chunk "
+                                    "missing from the current run")
+            elif fsyncs_per_chunk > 2.0:  # commit + amortized header
+                wal_failures.append(
+                    f"streaming_wal made {fsyncs_per_chunk:.2f} fsyncs "
+                    f"per chunk — group commit is broken")
+
     journal_failures = []
     if args.journal is not None:
         journal_failures = check_journal(args.journal, args.rss_tolerance)
@@ -214,6 +272,14 @@ def main():
         print(f"TELEMETRY JOURNAL CHECK FAILED: {len(journal_failures)} "
               f"problem(s) in {args.journal}:")
         for failure in journal_failures:
+            print(f"  {failure}")
+        print("=" * 64)
+        sys.exit(1)
+    if wal_failures:
+        print()
+        print("=" * 64)
+        print(f"WAL OVERHEAD CHECK FAILED: {len(wal_failures)} problem(s):")
+        for failure in wal_failures:
             print(f"  {failure}")
         print("=" * 64)
         sys.exit(1)
@@ -242,9 +308,11 @@ def main():
         print("=" * 64)
         sys.exit(1)
     journal_note = "" if args.journal is None else "; telemetry journal ok"
+    wal_note = "" if not args.wal else (
+        f"; WAL overhead within {args.wal_tolerance:.0%}")
     print(f"perf check passed: {checked} throughput entries within "
           f"{args.tolerance:.0%} of baseline; memory budgets within "
-          f"{args.rss_tolerance:.0%}{journal_note}")
+          f"{args.rss_tolerance:.0%}{wal_note}{journal_note}")
 
 
 if __name__ == "__main__":

@@ -15,6 +15,7 @@
 //                        [--memory-budget SIZE] [--prune]
 //                        [--on-error=abort|skip|quarantine]
 //                        [--quarantine-out q.csv] [--max-chase-steps N]
+//                        [--wal wal.bin] [--resume]
 //                        --threads N uses the pooled parallel engine
 //                        (N=0 picks the hardware width); repair memoizes
 //                        byte-identical tuples by default, --no-memo
@@ -41,6 +42,25 @@
 //                        --prune interns only rule-mentioned columns and
 //                        passes the rest through verbatim (--stream
 //                        only; output is byte-identical).
+//                        --wal journals every committed chunk to a
+//                        write-ahead log (--stream only), fsynced before
+//                        the chunk's rows are emitted; after a crash,
+//                        rerunning with --resume fast-forwards past the
+//                        durable chunks and produces output
+//                        byte-identical to an uninterrupted run
+//                        (docs/durability.md). Outputs land via
+//                        temp-file + rename, so a crash never leaves a
+//                        partial CSV under --out.
+//   fixrep_cli audit     --wal wal.bin [--rules rules.txt]
+//                        prints every journaled cell repair and the run
+//                        summary straight from the log — no input CSV
+//                        needed; --rules additionally checks the log was
+//                        written under that rule set (fingerprint).
+//   fixrep_cli rollback  --wal wal.bin --rules rules.txt --rule K
+//                        --in fixed.csv --out rolled.csv
+//                        undoes every cell write rule #K made, verifying
+//                        each cell still holds the journaled value;
+//                        re-repairing the result restores fixed.csv.
 //   fixrep_cli eval      --truth truth.csv --dirty dirty.csv
 //                        --repaired fixed.csv
 //
@@ -84,6 +104,7 @@
 #include <string>
 #include <vector>
 
+#include "common/atomic_file.h"
 #include "common/log.h"
 #include "common/metrics.h"
 #include "common/metrics_server.h"
@@ -102,6 +123,7 @@
 #include "eval/text_table.h"
 #include "relation/csv.h"
 #include "repair/provenance.h"
+#include "repair/recovery.h"
 #include "repair/session.h"
 #include "rulegen/discovery.h"
 #include "rulegen/rulegen.h"
@@ -217,7 +239,8 @@ RepairConfig ConfigFromArgs(const Args& args, OnErrorPolicy policy) {
 
 int Usage() {
   std::cerr << "usage: fixrep_cli "
-               "gen-data|gen-rules|discover|check|repair|eval [--flags]\n"
+               "gen-data|gen-rules|discover|check|repair|audit|rollback|eval"
+               " [--flags]\n"
                "see the header of examples/fixrep_cli.cc for details\n";
   return 2;
 }
@@ -442,28 +465,36 @@ int RepairStream(const Args& args, OnErrorPolicy policy) {
     return 2;
   }
   config.prune_columns = args.Has("prune");
+  config.wal_path = args.Get("wal");
+  config.resume = args.Has("resume");
+  if (config.resume && config.wal_path.empty()) {
+    std::cerr << "--resume requires --wal=PATH\n";
+    return 2;
+  }
 
   Timer timer;
   RepairReport result;
   {
     FIXREP_TRACE_SPAN("cli.stream");
-    std::ofstream out(args.Require("out"));
-    if (!out.good()) {
-      std::cerr << "error writing --out: cannot open " << args.Get("out")
-                << "\n";
+    // Stage the output in --out.tmp; only a fully repaired (or fully
+    // resumed) stream is renamed into place, so a crash mid-run leaves
+    // any previous --out intact for the WAL to resume against.
+    StatusOr<AtomicFile> out = AtomicFile::Create(args.Require("out"));
+    if (!out.ok()) {
+      std::cerr << "error writing --out: " << out.status() << "\n";
       return 1;
     }
     RepairSession session(&rules, config);
-    StatusOr<RepairReport> result_or = session.RepairStream(&reader, out);
+    StatusOr<RepairReport> result_or =
+        session.RepairStream(&reader, out->stream());
     if (!result_or.ok()) {
       std::cerr << "error repairing --in: " << result_or.status() << "\n";
       return 1;
     }
     result = result_or.value();
-    out.flush();
-    if (!out.good()) {
-      std::cerr << "write failed for --out path '" << args.Get("out")
-                << "'\n";
+    const Status committed = out->Commit();
+    if (!committed.ok()) {
+      std::cerr << "error writing --out: " << committed << "\n";
       return 1;
     }
   }
@@ -478,6 +509,11 @@ int RepairStream(const Args& args, OnErrorPolicy policy) {
             << result.chunks << " chunks) in "
             << FormatDouble(timer.ElapsedMillis(), 1) << " ms -> "
             << args.Get("out") << "\n";
+  if (!config.wal_path.empty()) {
+    std::cout << (config.resume ? "resumed via" : "journaled to") << " WAL "
+              << config.wal_path << " (" << result.chunks
+              << " durable chunks)\n";
+  }
   if (config.memory_budget_bytes > 0) {
     std::cout << "memory budget " << config.memory_budget_bytes
               << " bytes: peak resident cell blocks "
@@ -598,6 +634,10 @@ int Repair(const Args& args) {
     return 2;
   }
   if (args.Has("stream")) return RepairStream(args, *policy);
+  if (args.Has("wal") || args.Has("resume")) {
+    std::cerr << "--wal/--resume require --stream\n";
+    return 2;
+  }
   if (*policy != OnErrorPolicy::kAbort) {
     if (args.Has("log")) {
       std::cerr << "--log (provenance) requires --on-error=abort\n";
@@ -642,6 +682,97 @@ int Repair(const Args& args) {
   return 0;
 }
 
+// Offline WAL inspection: renders the log's deltas back into a
+// provenance RepairLog and prints one line per journaled cell repair.
+// Standalone — the header carries the schema and values travel as
+// strings, so nothing but the log is needed; --rules additionally
+// verifies the fingerprint and prints per-rule repair counts.
+int Audit(const Args& args) {
+  FIXREP_TRACE_SPAN("cli.audit");
+  StatusOr<RecoveredRun> run_or = ScanWal(args.Require("wal"));
+  if (!run_or.ok()) {
+    std::cerr << "error scanning --wal: " << run_or.status() << "\n";
+    return 1;
+  }
+  const RecoveredRun run = std::move(run_or).value();
+  StatusOr<WalAudit> audit_or = BuildAudit(run);
+  if (!audit_or.ok()) {
+    std::cerr << "error replaying --wal: " << audit_or.status() << "\n";
+    return 1;
+  }
+  const WalAudit& audit = audit_or.value();
+
+  std::vector<size_t> per_rule;
+  if (args.Has("rules")) {
+    const RuleSet rules =
+        ParseRulesFile(args.Require("rules"), audit.schema, audit.pool);
+    const Status match = ValidateWalFingerprint(run.header, rules);
+    if (!match.ok()) {
+      std::cerr << "--rules does not match the WAL: " << match << "\n";
+      return 1;
+    }
+    per_rule = audit.log.PerRuleCounts(rules.size());
+  }
+
+  for (const CellRepair& repair : audit.log.repairs) {
+    std::cout << audit.log.Describe(repair, *audit.schema, *audit.pool)
+              << "\n";
+  }
+  size_t quarantined = 0;
+  for (const WalChunk& chunk : run.chunks) {
+    quarantined += chunk.quarantined.size();
+  }
+  std::cout << run.chunks.size() << " durable chunks, "
+            << run.rows_durable() << " rows, " << audit.log.repairs.size()
+            << " cell repairs, " << quarantined
+            << " quarantined tuples\n";
+  if (run.tail_discarded) {
+    std::cout << "uncommitted tail after byte " << run.durable_bytes
+              << " (run was interrupted; resume with --stream --wal"
+              << " --resume)\n";
+  }
+  for (size_t k = 0; k < per_rule.size(); ++k) {
+    if (per_rule[k] > 0) {
+      std::cout << "rule #" << k << ": " << per_rule[k] << " repairs\n";
+    }
+  }
+  return 0;
+}
+
+// Rule-level undo: reverts every cell write a rule made, per the WAL,
+// against the repaired CSV. Each delta is verified against the current
+// cell value before anything is restored, and the result lands
+// atomically at --out.
+int Rollback(const Args& args) {
+  FIXREP_TRACE_SPAN("cli.rollback");
+  StatusOr<RecoveredRun> run_or = ScanWal(args.Require("wal"));
+  if (!run_or.ok()) {
+    std::cerr << "error scanning --wal: " << run_or.status() << "\n";
+    return 1;
+  }
+  const RecoveredRun run = std::move(run_or).value();
+  auto pool = std::make_shared<ValuePool>();
+  auto schema =
+      std::make_shared<const Schema>("wal", run.header.attribute_names);
+  const RuleSet rules = ParseRulesFile(args.Require("rules"), schema, pool);
+  if (!args.Has("rule")) {
+    std::cerr << "missing required --rule (the rule index to undo)\n";
+    return 2;
+  }
+  const size_t rule_index = args.GetSizeT("rule", 0);
+  StatusOr<RollbackReport> report_or = RollbackRule(
+      run, rules, rule_index, args.Require("in"), args.Require("out"));
+  if (!report_or.ok()) {
+    std::cerr << "rollback failed: " << report_or.status() << "\n";
+    return 1;
+  }
+  std::cout << "rolled back rule #" << rule_index << ": "
+            << report_or.value().cells_restored << " cells restored across "
+            << report_or.value().rows_touched << " rows -> "
+            << args.Get("out") << "\n";
+  return 0;
+}
+
 int Eval(const Args& args) {
   auto pool = std::make_shared<ValuePool>();
   auto load = std::make_unique<TraceSpan>("cli.load");
@@ -673,6 +804,8 @@ int Dispatch(const Args& args) {
   if (command == "discover") return Discover(args);
   if (command == "check") return Check(args);
   if (command == "repair") return Repair(args);
+  if (command == "audit") return Audit(args);
+  if (command == "rollback") return Rollback(args);
   if (command == "eval") return Eval(args);
   return Usage();
 }

@@ -1,0 +1,89 @@
+#include "common/atomic_file.h"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+#include <utility>
+
+#include "common/fault.h"
+#include "common/logging.h"
+
+namespace fixrep {
+
+StatusOr<AtomicFile> AtomicFile::Create(const std::string& path) {
+  AtomicFile file;
+  file.path_ = path;
+  file.tmp_path_ = path + ".tmp";
+  file.stream_.open(file.tmp_path_,
+                    std::ios::binary | std::ios::out | std::ios::trunc);
+  if (!file.stream_.is_open() || FIXREP_FAULT("atomic_file.open")) {
+    return Status::IoError("cannot open '" + file.tmp_path_ +
+                           "' for writing");
+  }
+  file.active_ = true;
+  return file;
+}
+
+AtomicFile::AtomicFile(AtomicFile&& other) noexcept {
+  *this = std::move(other);
+}
+
+AtomicFile& AtomicFile::operator=(AtomicFile&& other) noexcept {
+  if (this != &other) {
+    Discard();
+    path_ = std::move(other.path_);
+    tmp_path_ = std::move(other.tmp_path_);
+    stream_ = std::move(other.stream_);
+    committed_ = other.committed_;
+    active_ = std::exchange(other.active_, false);
+  }
+  return *this;
+}
+
+AtomicFile::~AtomicFile() { Discard(); }
+
+void AtomicFile::Discard() {
+  if (!active_ || committed_) return;
+  if (stream_.is_open()) stream_.close();
+  std::remove(tmp_path_.c_str());
+  active_ = false;
+}
+
+Status AtomicFile::Commit() {
+  FIXREP_CHECK(active_ && !committed_) << "Commit on an inactive AtomicFile";
+  stream_.flush();
+  const bool stream_ok = stream_.good() && !FIXREP_FAULT("atomic_file.write");
+  stream_.close();
+  if (!stream_ok) {
+    std::remove(tmp_path_.c_str());
+    active_ = false;
+    return Status::IoError("write to '" + tmp_path_ + "' failed");
+  }
+  // fsync the data before the rename publishes it: otherwise the rename
+  // can hit disk first and a power cut exposes an empty file under the
+  // final name.
+  const int fd = ::open(tmp_path_.c_str(), O_RDONLY);
+  if (fd < 0 || ::fsync(fd) != 0 || FIXREP_FAULT("atomic_file.fsync")) {
+    const std::string error =
+        fd < 0 ? std::strerror(errno) : "fsync failed";
+    if (fd >= 0) ::close(fd);
+    std::remove(tmp_path_.c_str());
+    active_ = false;
+    return Status::IoError("cannot sync '" + tmp_path_ + "': " + error);
+  }
+  ::close(fd);
+  if (std::rename(tmp_path_.c_str(), path_.c_str()) != 0) {
+    const std::string error = std::strerror(errno);
+    std::remove(tmp_path_.c_str());
+    active_ = false;
+    return Status::IoError("cannot rename '" + tmp_path_ + "' to '" + path_ +
+                           "': " + error);
+  }
+  committed_ = true;
+  return Status::Ok();
+}
+
+}  // namespace fixrep

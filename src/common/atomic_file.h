@@ -1,0 +1,56 @@
+#ifndef FIXREP_COMMON_ATOMIC_FILE_H_
+#define FIXREP_COMMON_ATOMIC_FILE_H_
+
+#include <fstream>
+#include <string>
+
+#include "common/status.h"
+
+// Crash-atomic file replacement. Output written in place becomes a
+// truncated-but-valid-looking file if the process dies mid-write; an
+// AtomicFile stages everything in `path.tmp` and only a successful
+// Commit() — flush, fsync, rename(2) — makes it visible under the final
+// name. A crash at any earlier point leaves the previous version of
+// `path` (or its absence) untouched, and the destructor unlinks an
+// uncommitted temp file.
+//
+//   auto out = AtomicFile::Create(path);
+//   if (!out.ok()) return out.status();
+//   out->stream() << header << rows;
+//   FIXREP_RETURN_IF_ERROR(out->Commit());
+
+namespace fixrep {
+
+class AtomicFile {
+ public:
+  // Opens `path`.tmp for writing (truncating any stale temp file).
+  static StatusOr<AtomicFile> Create(const std::string& path);
+
+  AtomicFile(AtomicFile&& other) noexcept;
+  AtomicFile& operator=(AtomicFile&& other) noexcept;
+  AtomicFile(const AtomicFile&) = delete;
+  AtomicFile& operator=(const AtomicFile&) = delete;
+  // Unlinks the temp file if Commit was never (successfully) called.
+  ~AtomicFile();
+
+  std::ofstream& stream() { return stream_; }
+  const std::string& path() const { return path_; }
+
+  // Flushes, fsyncs, and renames the temp file onto `path`. After a
+  // failed Commit the temp file is removed and `path` is unchanged.
+  Status Commit();
+
+ private:
+  AtomicFile() = default;
+  void Discard();
+
+  std::string path_;
+  std::string tmp_path_;
+  std::ofstream stream_;
+  bool committed_ = false;
+  bool active_ = false;
+};
+
+}  // namespace fixrep
+
+#endif  // FIXREP_COMMON_ATOMIC_FILE_H_

@@ -1,9 +1,66 @@
 #include "common/fault.h"
 
+#include <cstdlib>
+#include <string>
+
 namespace fixrep {
 
+namespace {
+
+// Arms points named in the FIXREP_FAULT environment variable:
+//
+//   FIXREP_FAULT=point[:skip=N][:max=N][:p=X][:seed=N][,point...]
+//
+// This is how a *child* process (the kill-and-resume harness spawning
+// fixrep_cli) gets faults armed — it has no test code running inside it
+// to call Arm(). Unparseable options are ignored rather than fatal: a
+// stray env var must never take down a production run.
+void ArmFromEnvironment(FaultRegistry& registry) {
+  const char* spec = std::getenv("FIXREP_FAULT");
+  if (spec == nullptr || *spec == '\0') return;
+  std::string entry;
+  for (const char* p = spec;; ++p) {
+    if (*p != ',' && *p != '\0') {
+      entry.push_back(*p);
+      if (*p != '\0') continue;
+    }
+    if (!entry.empty()) {
+      FaultPlan plan;
+      size_t colon = entry.find(':');
+      const std::string point = entry.substr(0, colon);
+      while (colon != std::string::npos) {
+        const size_t start = colon + 1;
+        colon = entry.find(':', start);
+        const std::string opt = entry.substr(
+            start, colon == std::string::npos ? colon : colon - start);
+        const size_t eq = opt.find('=');
+        if (eq == std::string::npos) continue;
+        const std::string key = opt.substr(0, eq);
+        const std::string value = opt.substr(eq + 1);
+        try {
+          if (key == "skip") plan.skip_hits = std::stoull(value);
+          else if (key == "max") plan.max_fires = std::stoull(value);
+          else if (key == "p") plan.probability = std::stod(value);
+          else if (key == "seed") plan.seed = std::stoull(value);
+        } catch (...) {
+          // Malformed number: leave the default.
+        }
+      }
+      if (!point.empty()) registry.Arm(point, plan);
+      entry.clear();
+    }
+    if (*p == '\0') break;
+  }
+}
+
+}  // namespace
+
 FaultRegistry& FaultRegistry::Global() {
-  static FaultRegistry* registry = new FaultRegistry();  // never destroyed
+  static FaultRegistry* registry = [] {
+    auto* r = new FaultRegistry();  // never destroyed
+    ArmFromEnvironment(*r);
+    return r;
+  }();
   return *registry;
 }
 

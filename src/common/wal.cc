@@ -1,0 +1,321 @@
+#include "common/wal.h"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <array>
+#include <cerrno>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <utility>
+
+#include "common/fault.h"
+#include "common/logging.h"
+#include "common/metrics.h"
+
+namespace fixrep {
+
+namespace {
+
+constexpr char kMagic[8] = {'F', 'X', 'R', 'E', 'P', 'W', 'A', 'L'};
+constexpr size_t kMagicSize = sizeof(kMagic);
+// Frame overhead: u32 length + u8 type + u32 crc.
+constexpr size_t kFrameOverhead = 4 + 1 + 4;
+// Buffered bytes before Append writes through to the descriptor.
+constexpr size_t kWriteThroughBytes = size_t{256} * 1024;
+
+const std::array<uint32_t, 256>& Crc32Table() {
+  static const std::array<uint32_t, 256> table = [] {
+    std::array<uint32_t, 256> t{};
+    for (uint32_t i = 0; i < 256; ++i) {
+      uint32_t c = i;
+      for (int k = 0; k < 8; ++k) {
+        c = (c & 1) ? 0xEDB88320u ^ (c >> 1) : c >> 1;
+      }
+      t[i] = c;
+    }
+    return t;
+  }();
+  return table;
+}
+
+uint32_t ReadU32(const char* p) {
+  return static_cast<uint32_t>(static_cast<unsigned char>(p[0])) |
+         static_cast<uint32_t>(static_cast<unsigned char>(p[1])) << 8 |
+         static_cast<uint32_t>(static_cast<unsigned char>(p[2])) << 16 |
+         static_cast<uint32_t>(static_cast<unsigned char>(p[3])) << 24;
+}
+
+// Writes all of `data` to fd, honoring the injected short-write fault
+// (which truncates the write to half and reports an IO error, like a
+// full disk mid-record).
+Status WriteAll(int fd, const char* data, size_t size,
+                const std::string& path) {
+  if (FIXREP_FAULT("wal.append")) {
+    const size_t half = size / 2;
+    size_t off = 0;
+    while (off < half) {
+      const ssize_t n = ::write(fd, data + off, half - off);
+      if (n <= 0) break;
+      off += static_cast<size_t>(n);
+    }
+    return Status::IoError("injected short write on WAL '" + path + "'");
+  }
+  size_t off = 0;
+  while (off < size) {
+    const ssize_t n = ::write(fd, data + off, size - off);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return Status::IoError("write failed on WAL '" + path +
+                             "': " + std::strerror(errno));
+    }
+    off += static_cast<size_t>(n);
+  }
+  return Status::Ok();
+}
+
+}  // namespace
+
+uint32_t Crc32(const void* data, size_t size, uint32_t seed) {
+  const auto& table = Crc32Table();
+  const auto* p = static_cast<const unsigned char*>(data);
+  uint32_t c = seed ^ 0xFFFFFFFFu;
+  for (size_t i = 0; i < size; ++i) {
+    c = table[(c ^ p[i]) & 0xFFu] ^ (c >> 8);
+  }
+  return c ^ 0xFFFFFFFFu;
+}
+
+void WalPutU8(std::string* out, uint8_t v) {
+  out->push_back(static_cast<char>(v));
+}
+
+void WalPutU32(std::string* out, uint32_t v) {
+  for (int i = 0; i < 4; ++i) {
+    out->push_back(static_cast<char>((v >> (8 * i)) & 0xFFu));
+  }
+}
+
+void WalPutU64(std::string* out, uint64_t v) {
+  for (int i = 0; i < 8; ++i) {
+    out->push_back(static_cast<char>((v >> (8 * i)) & 0xFFu));
+  }
+}
+
+void WalPutString(std::string* out, std::string_view s) {
+  WalPutU32(out, static_cast<uint32_t>(s.size()));
+  out->append(s.data(), s.size());
+}
+
+bool WalCursor::GetU8(uint8_t* v) {
+  if (!ok_ || pos_ + 1 > data_.size()) return ok_ = false;
+  *v = static_cast<uint8_t>(data_[pos_++]);
+  return true;
+}
+
+bool WalCursor::GetU32(uint32_t* v) {
+  if (!ok_ || pos_ + 4 > data_.size()) return ok_ = false;
+  *v = ReadU32(data_.data() + pos_);
+  pos_ += 4;
+  return true;
+}
+
+bool WalCursor::GetU64(uint64_t* v) {
+  uint32_t lo = 0;
+  uint32_t hi = 0;
+  if (!GetU32(&lo) || !GetU32(&hi)) return false;
+  *v = static_cast<uint64_t>(hi) << 32 | lo;
+  return true;
+}
+
+bool WalCursor::GetString(std::string* s) {
+  uint32_t size = 0;
+  if (!GetU32(&size)) return false;
+  if (pos_ + size > data_.size()) return ok_ = false;
+  s->assign(data_.data() + pos_, size);
+  pos_ += size;
+  return true;
+}
+
+StatusOr<WalWriter> WalWriter::Create(const std::string& path) {
+  if (FIXREP_FAULT("wal.open")) {
+    return Status::IoError("injected open failure on WAL '" + path + "'");
+  }
+  const int fd = ::open(path.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+  if (fd < 0) {
+    return Status::IoError("cannot create WAL '" + path +
+                           "': " + std::strerror(errno));
+  }
+  WalWriter writer;
+  writer.fd_ = fd;
+  writer.path_ = path;
+  writer.buffer_.assign(kMagic, kMagicSize);
+  writer.appended_bytes_ = kMagicSize;
+  return writer;
+}
+
+StatusOr<WalWriter> WalWriter::OpenForAppend(const std::string& path,
+                                             uint64_t durable_bytes) {
+  if (FIXREP_FAULT("wal.open")) {
+    return Status::IoError("injected open failure on WAL '" + path + "'");
+  }
+  if (durable_bytes < kMagicSize) {
+    return Status::MalformedInput("WAL '" + path +
+                                  "' durable prefix shorter than the magic");
+  }
+  const int fd = ::open(path.c_str(), O_WRONLY, 0644);
+  if (fd < 0) {
+    return Status::IoError("cannot open WAL '" + path +
+                           "': " + std::strerror(errno));
+  }
+  // Drop the torn tail, then make the truncation itself durable before
+  // new records land after it.
+  if (::ftruncate(fd, static_cast<off_t>(durable_bytes)) != 0 ||
+      ::fsync(fd) != 0 ||
+      ::lseek(fd, 0, SEEK_END) != static_cast<off_t>(durable_bytes)) {
+    const std::string error = std::strerror(errno);
+    ::close(fd);
+    return Status::IoError("cannot truncate WAL '" + path + "' to " +
+                           std::to_string(durable_bytes) +
+                           " durable bytes: " + error);
+  }
+  WalWriter writer;
+  writer.fd_ = fd;
+  writer.path_ = path;
+  writer.appended_bytes_ = durable_bytes;
+  return writer;
+}
+
+WalWriter::WalWriter(WalWriter&& other) noexcept { *this = std::move(other); }
+
+WalWriter& WalWriter::operator=(WalWriter&& other) noexcept {
+  if (this != &other) {
+    if (fd_ >= 0) ::close(fd_);
+    fd_ = std::exchange(other.fd_, -1);
+    path_ = std::move(other.path_);
+    buffer_ = std::move(other.buffer_);
+    appended_bytes_ = other.appended_bytes_;
+    fsync_count_ = other.fsync_count_;
+    sticky_error_ = std::move(other.sticky_error_);
+  }
+  return *this;
+}
+
+WalWriter::~WalWriter() {
+  if (fd_ >= 0) ::close(fd_);
+}
+
+Status WalWriter::Append(uint8_t type, std::string_view payload) {
+  FIXREP_RETURN_IF_ERROR(sticky_error_);
+  FIXREP_CHECK(fd_ >= 0) << "append on a closed WAL";
+  std::string frame;
+  frame.reserve(kFrameOverhead + payload.size());
+  WalPutU32(&frame, static_cast<uint32_t>(payload.size()));
+  WalPutU8(&frame, type);
+  frame.append(payload.data(), payload.size());
+  uint32_t crc = Crc32(&type, 1);
+  crc = Crc32(payload.data(), payload.size(), crc);
+  WalPutU32(&frame, crc);
+  buffer_ += frame;
+  appended_bytes_ += frame.size();
+  if (buffer_.size() >= kWriteThroughBytes) {
+    sticky_error_ = FlushNoSync();
+    return sticky_error_;
+  }
+  return Status::Ok();
+}
+
+Status WalWriter::FlushNoSync() {
+  FIXREP_RETURN_IF_ERROR(sticky_error_);
+  if (buffer_.empty()) return Status::Ok();
+  sticky_error_ = WriteAll(fd_, buffer_.data(), buffer_.size(), path_);
+  if (sticky_error_.ok()) buffer_.clear();
+  return sticky_error_;
+}
+
+void WalWriter::WriteTornBufferForCrash() {
+  size_t off = 0;
+  const size_t half = buffer_.size() / 2;
+  while (off < half) {
+    const ssize_t n = ::write(fd_, buffer_.data() + off, half - off);
+    if (n <= 0) break;
+    off += static_cast<size_t>(n);
+  }
+}
+
+Status WalWriter::Sync() {
+  FIXREP_RETURN_IF_ERROR(FlushNoSync());
+  if (FIXREP_FAULT("wal.fsync")) {
+    sticky_error_ =
+        Status::IoError("injected fsync failure on WAL '" + path_ + "'");
+    return sticky_error_;
+  }
+  if (::fsync(fd_) != 0) {
+    sticky_error_ = Status::IoError("fsync failed on WAL '" + path_ +
+                                    "': " + std::strerror(errno));
+    return sticky_error_;
+  }
+  ++fsync_count_;
+  MetricsRegistry::Global().GetCounter("fixrep.wal.fsyncs")->Add(1);
+  return Status::Ok();
+}
+
+Status WalWriter::Close() {
+  const Status flushed = Sync();
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+  return flushed;
+}
+
+StatusOr<WalReader> WalReader::Open(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in.is_open()) {
+    return Status::IoError("cannot open WAL '" + path + "'");
+  }
+  std::ostringstream contents;
+  contents << in.rdbuf();
+  WalReader reader;
+  reader.data_ = std::move(contents).str();
+  if (reader.data_.size() < kMagicSize ||
+      std::memcmp(reader.data_.data(), kMagic, kMagicSize) != 0) {
+    return Status::MalformedInput("'" + path +
+                                  "' is not a fixrep WAL (bad magic)");
+  }
+  reader.pos_ = kMagicSize;
+  reader.durable_bytes_ = kMagicSize;
+  return reader;
+}
+
+bool WalReader::Next(WalRecord* record) {
+  if (tail_truncated_) return false;
+  if (pos_ == data_.size()) return false;  // clean EOF
+  // Anything from here on that does not parse as a whole, CRC-clean
+  // frame is a torn tail: stop and report the durable prefix.
+  if (pos_ + 4 + 1 > data_.size()) {
+    tail_truncated_ = true;
+    return false;
+  }
+  const uint32_t payload_size = ReadU32(data_.data() + pos_);
+  const size_t frame_size = kFrameOverhead + payload_size;
+  if (payload_size > data_.size() || pos_ + frame_size > data_.size()) {
+    tail_truncated_ = true;
+    return false;
+  }
+  const char* frame = data_.data() + pos_;
+  const uint32_t stored_crc = ReadU32(frame + 4 + 1 + payload_size);
+  const uint32_t crc = Crc32(frame + 4, 1 + payload_size);
+  if (crc != stored_crc) {
+    tail_truncated_ = true;
+    return false;
+  }
+  record->type = static_cast<uint8_t>(frame[4]);
+  record->payload.assign(frame + 5, payload_size);
+  pos_ += frame_size;
+  durable_bytes_ = pos_;
+  return true;
+}
+
+}  // namespace fixrep

@@ -10,6 +10,7 @@
 #include <utility>
 #include <vector>
 
+#include "common/atomic_file.h"
 #include "common/fault.h"
 #include "common/logging.h"
 #include "common/metric_scope.h"
@@ -291,18 +292,18 @@ void WriteCsv(const Table& table, std::ostream& out) {
 }
 
 Status TryWriteCsvFile(const Table& table, const std::string& path) {
-  std::ofstream out(path);
-  if (FIXREP_FAULT("csv.open_write") || !out.good()) {
+  if (FIXREP_FAULT("csv.open_write")) {
     return Status::IoError("cannot open " + path + " for writing");
   }
-  WriteCsv(table, out);
-  if (FIXREP_FAULT("csv.write_flush")) out.setstate(std::ios::badbit);
-  out.flush();
-  if (!out.good()) {
-    return Status::IoError("write failed for " + path +
-                           " (disk full or stream error)");
+  // Stage in path.tmp and rename into place on Commit, so a crash or a
+  // failed write never leaves a truncated CSV under the final name.
+  StatusOr<AtomicFile> out = AtomicFile::Create(path);
+  if (!out.ok()) return out.status();
+  WriteCsv(table, out->stream());
+  if (FIXREP_FAULT("csv.write_flush")) {
+    out->stream().setstate(std::ios::badbit);
   }
-  return Status::Ok();
+  return out->Commit();
 }
 
 Table ReadCsv(std::istream& in, const std::string& relation_name,

@@ -73,6 +73,10 @@ size_t FastRepairer::RepairTuple(TupleSpan t) {
     // that skipped work is the win.
     ++stats_.tuples_examined;
     for (const MemoCache::Write& write : *writes) {
+      if (write_log_ != nullptr) {
+        write_log_->push_back({write_log_row_, write.attr, t[write.attr],
+                               write.value, write.rule});
+      }
       t[write.attr] = write.value;
       ++stats_.rule_applications;
       ++stats_.per_rule_applications[write.rule];
@@ -124,6 +128,7 @@ size_t FastRepairer::ChaseTuple(TupleSpan t, size_t max_steps,
                                 const PostingRange* init_ranges,
                                 size_t num_init_ranges) {
   ++stats_.tuples_examined;
+  const size_t log_mark = write_log_ != nullptr ? write_log_->size() : 0;
   ++epoch_;
   if (epoch_ == 0) {
     // uint32 wrap-around after ~4B tuples: hard-reset the stamps.
@@ -298,6 +303,7 @@ size_t FastRepairer::ChaseTuple(TupleSpan t, size_t max_steps,
         --stats_.rule_applications;
         --stats_.per_rule_applications[write.rule];
       }
+      if (write_log_ != nullptr) write_log_->resize(log_mark);
       *exhausted = true;
       return 0;
     }
@@ -320,6 +326,10 @@ size_t FastRepairer::ChaseTuple(TupleSpan t, size_t max_steps,
       continue;
     }
     const ValueId fact = index_->fact(rule_index);
+    if (write_log_ != nullptr) {
+      write_log_->push_back(
+          {write_log_row_, target, t[target], fact, rule_index});
+    }
     t[target] = fact;
     assured.UnionWith(index_->assured(rule_index));
     dirty = true;
@@ -350,6 +360,7 @@ void FastRepairer::RepairRows(Table* table, size_t begin, size_t end) {
     // so intra-group duplicates hit the memo exactly as they always
     // have; the scalar kernel IS the legacy loop.
     for (size_t r = begin; r < end; ++r) {
+      write_log_row_ = r;
       RepairTuple(table->WriteRow(r));
     }
     return;
@@ -388,6 +399,7 @@ void FastRepairer::RepairRows(Table* table, size_t begin, size_t end) {
     for (size_t r = group; r < limit; ++r) {
       const uint32_t lo = group_offsets_[r - group];
       const uint32_t hi = group_offsets_[r - group + 1];
+      write_log_row_ = r;
       ChaseTuple(table->WriteRow(r), /*max_steps=*/0, /*exhausted=*/nullptr,
                  probe_ranges_.data() + lo, hi - lo);
     }

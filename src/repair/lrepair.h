@@ -8,6 +8,7 @@
 #include "common/status.h"
 #include "relation/table.h"
 #include "repair/memo_cache.h"
+#include "repair/provenance.h"
 #include "repair/repair_stats.h"
 #include "repair/rule_index.h"
 #include "rules/rule_set.h"
@@ -53,6 +54,18 @@ class FastRepairer {
   // repairers.
   void set_memo(MemoCache* memo) { memo_ = memo; }
   MemoCache* memo() const { return memo_; }
+
+  // Attaches a rule-attributed write capture (nullptr detaches): every
+  // committed cell write — chase application or memo replay — appends one
+  // CellRepair{row, attr, old, new, rule} to `log`, in write order. The
+  // row recorded is whatever set_write_log_row last saw; RepairRows
+  // maintains it itself, drivers calling RepairTuple/TryRepairTuple
+  // directly set it per call. A chase that fails (budget exhausted,
+  // restored tuple) leaves no entries. Borrowed and single-owner like the
+  // memo: never share one log across concurrently-running repairers.
+  void set_write_log(std::vector<CellRepair>* log) { write_log_ = log; }
+  std::vector<CellRepair>* write_log() const { return write_log_; }
+  void set_write_log_row(size_t row) { write_log_row_ = row; }
 
   // Repairs one tuple in place through the view; returns the number of
   // cells changed. Accepts a Table::WriteRow span or (implicitly) an
@@ -160,6 +173,8 @@ class FastRepairer {
   std::unique_ptr<const CompiledRuleIndex> owned_index_;
   const CompiledRuleIndex* index_;
   MemoCache* memo_ = nullptr;
+  std::vector<CellRepair>* write_log_ = nullptr;
+  size_t write_log_row_ = 0;
   size_t max_chase_steps_ = 0;
 
   // Per-tuple scratch state, epoch-stamped.

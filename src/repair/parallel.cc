@@ -16,6 +16,29 @@
 
 namespace fixrep {
 
+namespace {
+
+// Appends the per-slot capture vectors to `out` in row order. Each slot's
+// vector is already row-sorted (workers claim ranges off a monotone
+// cursor and log rows in claim order), and a row is chased by exactly one
+// slot, so a stable sort on row reproduces the serial capture: rows
+// ascending, intra-row entries in chase order.
+void MergeWriteLogs(std::vector<std::vector<CellRepair>>* slot_logs,
+                    std::vector<CellRepair>* out) {
+  if (out == nullptr) return;
+  const size_t mark = out->size();
+  for (auto& slot_log : *slot_logs) {
+    out->insert(out->end(), std::make_move_iterator(slot_log.begin()),
+                std::make_move_iterator(slot_log.end()));
+  }
+  std::stable_sort(out->begin() + mark, out->end(),
+                   [](const CellRepair& a, const CellRepair& b) {
+                     return a.row < b.row;
+                   });
+}
+
+}  // namespace
+
 RepairStats ParallelRepairRows(const CompiledRuleIndex& index, Table* table,
                                size_t begin_row, size_t end_row,
                                const ParallelRepairOptions& options) {
@@ -31,6 +54,7 @@ RepairStats ParallelRepairRows(const CompiledRuleIndex& index, Table* table,
     FastRepairer repairer(&index);
     MemoCache memo(options.memo_capacity);
     if (options.use_memo) repairer.set_memo(&memo);
+    repairer.set_write_log(options.write_log);
     if (begin_row == 0 && end_row == table->num_rows()) {
       repairer.RepairTable(table);  // flushes fixrep.lrepair.* itself
     } else {
@@ -56,6 +80,8 @@ RepairStats ParallelRepairRows(const CompiledRuleIndex& index, Table* table,
   // claimed-chunk lambda allocation-free.
   std::vector<std::unique_ptr<FastRepairer>> repairers;
   std::vector<std::unique_ptr<MemoCache>> memos;
+  std::vector<std::vector<CellRepair>> slot_logs(
+      options.write_log != nullptr ? threads : 0);
   repairers.reserve(threads);
   memos.reserve(threads);
   for (size_t w = 0; w < threads; ++w) {
@@ -63,6 +89,9 @@ RepairStats ParallelRepairRows(const CompiledRuleIndex& index, Table* table,
     if (options.use_memo) {
       memos.push_back(std::make_unique<MemoCache>(options.memo_capacity));
       repairers.back()->set_memo(memos.back().get());
+    }
+    if (options.write_log != nullptr) {
+      repairers.back()->set_write_log(&slot_logs[w]);
     }
   }
 
@@ -88,6 +117,7 @@ RepairStats ParallelRepairRows(const CompiledRuleIndex& index, Table* table,
   empty.Reset(index.num_rules());
   merged.PublishDelta(empty, "lrepair");
   for (const auto& memo : memos) memo->FlushMetrics();
+  MergeWriteLogs(&slot_logs, options.write_log);
   return merged;
 }
 
@@ -133,10 +163,15 @@ LenientRepairResult ParallelRepairRowsLenient(
 
   std::vector<std::unique_ptr<FastRepairer>> repairers;
   std::vector<std::vector<Diagnostic>> failures(threads);
+  std::vector<std::vector<CellRepair>> slot_logs(
+      options.write_log != nullptr ? threads : 0);
   repairers.reserve(threads);
   for (size_t w = 0; w < threads; ++w) {
     repairers.push_back(std::make_unique<FastRepairer>(&index));
     repairers.back()->set_max_chase_steps(options.max_chase_steps);
+    if (options.write_log != nullptr) {
+      repairers.back()->set_write_log(&slot_logs[w]);
+    }
   }
 
   const size_t grain =
@@ -147,6 +182,7 @@ LenientRepairResult ParallelRepairRowsLenient(
                      for (size_t i = begin; i < end; ++i) {
                        const size_t r = begin_row + i;
                        size_t cells_changed = 0;
+                       repairer.set_write_log_row(r);
                        const Status status = repairer.TryRepairTuple(
                            table->WriteRow(r), &cells_changed);
                        if (status.ok()) continue;
@@ -190,6 +226,7 @@ LenientRepairResult ParallelRepairRowsLenient(
   empty.Reset(index.num_rules());
   result.stats.PublishDelta(empty, "lrepair");
   result.tuples_quarantined = merged_failures.size();
+  MergeWriteLogs(&slot_logs, options.write_log);
   return result;
 }
 

@@ -3,10 +3,13 @@
 
 #include <cstddef>
 
+#include <vector>
+
 #include "common/quarantine.h"
 #include "common/status.h"
 #include "relation/table.h"
 #include "repair/memo_cache.h"
+#include "repair/provenance.h"
 #include "repair/repair_stats.h"
 #include "repair/rule_index.h"
 #include "rules/rule_set.h"
@@ -34,6 +37,12 @@ struct ParallelRepairOptions {
   // with it on.
   bool use_memo = true;
   size_t memo_capacity = MemoCache::kDefaultCapacity;
+  // Optional rule-attributed write capture (WAL journaling, provenance):
+  // every committed cell write is appended as a CellRepair with an
+  // absolute row index in `table`. Workers capture per slot; the merged
+  // entries are appended after the join sorted by row with intra-row
+  // chase order preserved — identical to what a serial run appends.
+  std::vector<CellRepair>* write_log = nullptr;
 };
 
 // Repairs `table` against a pre-built shared index. Returns the merged
@@ -76,6 +85,9 @@ struct LenientRepairOptions {
   // Per-tuple chase-step budget forwarded to FastRepairer (0 =
   // unlimited).
   size_t max_chase_steps = 0;
+  // Write capture, semantics of ParallelRepairOptions::write_log; failed
+  // (restored) tuples contribute no entries.
+  std::vector<CellRepair>* write_log = nullptr;
 };
 
 struct LenientRepairResult {

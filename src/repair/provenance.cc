@@ -20,9 +20,14 @@ std::string RepairLog::Describe(const CellRepair& repair,
 }
 
 std::vector<size_t> RepairLog::PerRuleCounts(size_t num_rules) const {
+  // A log can outlive the rule set that produced it (a WAL audited
+  // against a reloaded, possibly smaller rule file), so out-of-range
+  // indices are left unattributed instead of CHECK-crashing the caller.
+  // Attribution that must be exact validates the rule-set fingerprint
+  // first (repair/recovery.h) and refuses on mismatch.
   std::vector<size_t> counts(num_rules, 0);
   for (const auto& repair : repairs) {
-    FIXREP_CHECK_LT(repair.rule_index, num_rules);
+    if (repair.rule_index >= num_rules) continue;
     ++counts[repair.rule_index];
   }
   return counts;

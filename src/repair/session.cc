@@ -8,6 +8,7 @@
 #include "repair/crepair.h"
 #include "repair/lrepair.h"
 #include "repair/parallel.h"
+#include "repair/recovery.h"
 #include "repair/streaming.h"
 
 namespace fixrep {
@@ -139,9 +140,43 @@ StatusOr<RepairReport> RepairSession::RepairStream(CsvChunkReader* reader,
   options.memory_budget_bytes = config_.memory_budget_bytes;
   options.prune_columns = config_.prune_columns;
 
+  // Durable run: open (or resume) the WAL before any row is repaired.
+  // The journal pointer is borrowed by the streaming session; keeping
+  // it here ties its lifetime to this call.
+  std::unique_ptr<ChunkJournal> journal;
+  RecoveredRun recovered;
+  if (!config_.wal_path.empty()) {
+    const uint64_t fingerprint = RuleSetFingerprint(*rules_);
+    if (config_.resume) {
+      StatusOr<RecoveredRun> scanned = ScanWal(config_.wal_path);
+      if (!scanned.ok()) return scanned.status();
+      recovered = std::move(scanned.value());
+      FIXREP_RETURN_IF_ERROR(ValidateWalHeader(
+          recovered.header, fingerprint, reader->schema()->attribute_names(),
+          config_.chunk_rows, config_.on_error));
+      StatusOr<ChunkJournal> resumed =
+          ChunkJournal::Resume(config_.wal_path, recovered.durable_bytes);
+      if (!resumed.ok()) return resumed.status();
+      journal = std::make_unique<ChunkJournal>(std::move(resumed.value()));
+      options.resume = &recovered;
+    } else {
+      WalRunHeader header;
+      header.rule_fingerprint = fingerprint;
+      header.attribute_names = reader->schema()->attribute_names();
+      header.chunk_rows = config_.chunk_rows;
+      header.on_error = static_cast<uint8_t>(config_.on_error);
+      StatusOr<ChunkJournal> created =
+          ChunkJournal::Create(config_.wal_path, header);
+      if (!created.ok()) return created.status();
+      journal = std::make_unique<ChunkJournal>(std::move(created.value()));
+    }
+    options.journal = journal.get();
+  }
+
   StreamingRepairSession session(index_.get(), options);
   StatusOr<StreamingRepairResult> result = session.Run(reader, out);
   if (!result.ok()) return result.status();
+  if (journal != nullptr) FIXREP_RETURN_IF_ERROR(journal->Close());
 
   RepairReport report;
   report.rows = result.value().rows_emitted;

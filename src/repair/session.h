@@ -4,6 +4,7 @@
 #include <cstddef>
 #include <iosfwd>
 #include <memory>
+#include <string>
 
 #include "common/metric_scope.h"
 #include "common/quarantine.h"
@@ -72,6 +73,19 @@ struct RepairConfig {
   // Intern only rule-mentioned columns; pass the rest through as raw
   // CSV text (byte-identical output either way).
   bool prune_columns = false;
+
+  // --- durability (docs/durability.md) ---
+  // Non-empty: journal every committed chunk of RepairStream to this
+  // write-ahead log, fsynced before the chunk's rows are emitted. The
+  // log carries the run configuration plus every cell delta and tuple
+  // diagnostic, so it also feeds `fixrep_cli audit` and `rollback`.
+  std::string wal_path;
+  // With wal_path set: scan the existing log, validate its header
+  // against this config and the reader's schema, truncate any
+  // uncommitted tail, fast-forward past the durable chunks (re-emitting
+  // their recorded output byte-identically), and resume repairing at
+  // the first non-durable chunk.
+  bool resume = false;
 
   // Accumulate this session's metrics in a private MetricScope instead
   // of the process-wide registry, so concurrent sessions stay

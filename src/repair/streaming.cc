@@ -127,6 +127,14 @@ StatusOr<StreamingRepairResult> StreamingRepairSession::Run(
   }
   serial_repairer.set_max_chase_steps(options_.repair.max_chase_steps);
 
+  // Journaling scratch: the chunk's rule-attributed deltas (chunk-local
+  // rows, from the engines' write logs) and its tuple diagnostics, both
+  // cleared per chunk and written to the WAL at commit time.
+  const bool journaling = options_.journal != nullptr;
+  std::vector<CellRepair> chunk_deltas;
+  std::vector<Diagnostic> chunk_diags;
+  if (serial && journaling) serial_repairer.set_write_log(&chunk_deltas);
+
   WriteCsvHeader(*reader->schema(), out);
 
   StreamingRepairResult result;
@@ -181,6 +189,7 @@ StatusOr<StreamingRepairResult> StreamingRepairSession::Run(
       size_t failed = 0;
       for (size_t r = begin; r < end; ++r) {
         size_t changed = 0;
+        serial_repairer.set_write_log_row(r);
         const Status status =
             serial_repairer.TryRepairTuple(chunk.WriteRow(r), &changed);
         progress.AddRows(1);
@@ -190,9 +199,10 @@ StatusOr<StreamingRepairResult> StreamingRepairSession::Run(
         }
         ++failed;
         if (quarantining) {
-          options_.repair.quarantine->Add(
-              Diagnostic{base_row + r, status.code(), status.message(),
-                         FormatRowWithSidecar(chunk, sidecar, r)});
+          Diagnostic diagnostic{base_row + r, status.code(), status.message(),
+                                FormatRowWithSidecar(chunk, sidecar, r)};
+          options_.repair.quarantine->Add(diagnostic);
+          if (journaling) chunk_diags.push_back(std::move(diagnostic));
         }
       }
       if (failed > 0) {
@@ -202,9 +212,10 @@ StatusOr<StreamingRepairResult> StreamingRepairSession::Run(
       return Status::Ok();
     }
     if (!lenient) {
+      ParallelRepairOptions parallel_options = options_.repair.parallel;
+      if (journaling) parallel_options.write_log = &chunk_deltas;
       result.cells_changed +=
-          ParallelRepairRows(*index_, &chunk, begin, end,
-                             options_.repair.parallel)
+          ParallelRepairRows(*index_, &chunk, begin, end, parallel_options)
               .cells_changed;
       progress.AddRows(end - begin);
       return Status::Ok();
@@ -216,19 +227,99 @@ StatusOr<StreamingRepairResult> StreamingRepairSession::Run(
     VectorQuarantineSink range_sink;
     LenientRepairOptions lenient_options = options_.repair;
     lenient_options.quarantine = quarantining ? &range_sink : nullptr;
+    if (journaling) lenient_options.write_log = &chunk_deltas;
     const LenientRepairResult range_result = ParallelRepairRowsLenient(
         *index_, &chunk, begin, end, lenient_options);
     progress.AddRows(end - begin);
     result.cells_changed += range_result.stats.cells_changed;
     result.tuples_quarantined += range_result.tuples_quarantined;
     for (const Diagnostic& d : range_sink.diagnostics()) {
-      options_.repair.quarantine->Add(Diagnostic{
+      Diagnostic rebased{
           base_row + d.line, d.code, d.message,
           sidecar == nullptr ? d.raw_text
-                             : FormatRowWithSidecar(chunk, sidecar, d.line)});
+                             : FormatRowWithSidecar(chunk, sidecar, d.line)};
+      options_.repair.quarantine->Add(rebased);
+      if (journaling) chunk_diags.push_back(std::move(rebased));
     }
     return Status::Ok();
   };
+
+  // Crash recovery: fast-forward over the durable chunks of a previous
+  // run. Each is re-read from the input (the reader regenerates any
+  // CSV-level diagnostics deterministically), its journaled deltas are
+  // applied by interning the recorded strings — no re-chase — its
+  // journaled tuple diagnostics are forwarded, and its rows re-emitted.
+  // Byte-identical to the uninterrupted run because the chase is a pure
+  // per-tuple function: same input chunk + same deltas = same rows.
+  if (options_.resume != nullptr) {
+    for (const WalChunk& durable : options_.resume->chunks) {
+      chunk.Clear();
+      if (sidecar != nullptr) sidecar->Clear();
+      StatusOr<size_t> read =
+          reader->ReadChunk(&chunk, options_.chunk_rows, sidecar);
+      if (!read.ok()) return read.status();
+      if (read.value() != durable.rows ||
+          durable.base_row != result.rows_emitted) {
+        return Status::MalformedInput(
+            "resume divergence at chunk " +
+            std::to_string(durable.chunk_index) + ": WAL recorded " +
+            std::to_string(durable.rows) + " rows at base " +
+            std::to_string(durable.base_row) + ", re-reading gave " +
+            std::to_string(read.value()) + " at base " +
+            std::to_string(result.rows_emitted) +
+            " — was the input modified since the journaled run?");
+      }
+      ValuePool& pool = *chunk.pool_ptr();
+      for (const WalCellDelta& delta : durable.deltas) {
+        if (delta.row >= chunk.num_rows() ||
+            delta.attr >= chunk.num_columns()) {
+          return Status::MalformedInput(
+              "resume divergence: journaled delta addresses row " +
+              std::to_string(delta.row) + " attr " +
+              std::to_string(delta.attr) + " outside chunk " +
+              std::to_string(durable.chunk_index));
+        }
+        chunk.WriteCell(static_cast<size_t>(delta.row),
+                        static_cast<AttrId>(delta.attr),
+                        pool.Intern(delta.new_value));
+      }
+      if (quarantining) {
+        for (const Diagnostic& diagnostic : durable.quarantined) {
+          options_.repair.quarantine->Add(diagnostic);
+        }
+      }
+      if (durable.tuples_quarantined > 0) {
+        registry.GetCounter("fixrep.quarantine.tuples")
+            ->Add(durable.tuples_quarantined);
+      }
+      if (sidecar != nullptr) {
+        WriteCsvRowsPruned(chunk, *sidecar, out);
+      } else {
+        WriteCsvRows(chunk, out);
+      }
+      ++result.chunks;
+      result.rows_emitted += chunk.num_rows();
+      result.cells_changed += durable.cells_changed;
+      result.tuples_quarantined += durable.tuples_quarantined;
+      progress.AddRows(chunk.num_rows());
+      progress.chunk->Set(static_cast<int64_t>(result.chunks));
+    }
+    progress.FlushRows();
+    registry.GetCounter("fixrep.wal.chunks_replayed")->Add(result.chunks);
+    registry.GetCounter("fixrep.wal.rows_replayed")->Add(result.rows_emitted);
+    FIXREP_LOG(Info) << "resumed from WAL"
+                     << Kv("chunks_replayed", result.chunks)
+                     << Kv("rows_replayed", result.rows_emitted);
+    if (TelemetryJournal* journal = GetGlobalJournal()) {
+      TelemetryEvent event("resume");
+      event.Set("chunks_replayed", static_cast<uint64_t>(result.chunks))
+          .Set("rows_replayed", static_cast<uint64_t>(result.rows_emitted))
+          .Set("cells_changed_replayed",
+               static_cast<uint64_t>(result.cells_changed))
+          .Set("durable_bytes", options_.resume->durable_bytes);
+      journal->Append(event);
+    }
+  }
 
   while (true) {
     chunk.Clear();
@@ -238,6 +329,10 @@ StatusOr<StreamingRepairResult> StreamingRepairSession::Run(
     if (!read.ok()) return read.status();
     if (read.value() == 0 && reader->at_end()) break;
     ++result.chunks;
+    const size_t chunk_cells_before = result.cells_changed;
+    const size_t chunk_quarantined_before = result.tuples_quarantined;
+    chunk_deltas.clear();
+    chunk_diags.clear();
     const uint64_t chunk_start_ns = TraceNowNanos();
     progress.chunk->Set(static_cast<int64_t>(result.chunks));
     progress.input_bytes->Set(static_cast<int64_t>(reader->bytes_read()));
@@ -266,6 +361,52 @@ StatusOr<StreamingRepairResult> StreamingRepairSession::Run(
       const Status status =
           repair_range(0, chunk.num_rows(), result.rows_emitted);
       if (!status.ok()) return status;
+    }
+
+    // Commit the chunk to the WAL BEFORE emitting its rows: once a row
+    // is in the output stream it is covered by a durable chunk, so a
+    // crash at any point resumes to byte-identical output.
+    if (journaling) {
+      ChunkJournal& journal = *options_.journal;
+      Status journaled = journal.BeginChunk(
+          result.chunks, result.rows_emitted, chunk.num_rows());
+      const ValuePool& pool = *chunk.pool_ptr();
+      for (const CellRepair& repair : chunk_deltas) {
+        if (!journaled.ok()) break;
+        WalCellDelta delta;
+        delta.row = repair.row;
+        delta.attr = static_cast<uint32_t>(repair.attr);
+        delta.old_is_null = repair.old_value == kNullValue;
+        if (!delta.old_is_null) {
+          delta.old_value = pool.GetString(repair.old_value);
+        }
+        delta.new_value = pool.GetString(repair.new_value);
+        delta.rule_index = repair.rule_index;
+        journaled = journal.AddDelta(delta);
+      }
+      for (const Diagnostic& diagnostic : chunk_diags) {
+        if (!journaled.ok()) break;
+        journaled = journal.AddQuarantine(diagnostic);
+      }
+      if (journaled.ok()) {
+        journaled = journal.Commit(
+            result.chunks, chunk.num_rows(),
+            result.cells_changed - chunk_cells_before,
+            result.tuples_quarantined - chunk_quarantined_before);
+      }
+      if (!journaled.ok()) return journaled.WithContext("WAL journaling");
+      registry.GetCounter("fixrep.wal.chunks_committed")->Add(1);
+      registry.GetCounter("fixrep.wal.deltas_journaled")
+          ->Add(chunk_deltas.size());
+      if (TelemetryJournal* telemetry = GetGlobalJournal()) {
+        TelemetryEvent event("wal_commit");
+        event.Set("chunk", static_cast<uint64_t>(result.chunks))
+            .Set("deltas", static_cast<uint64_t>(chunk_deltas.size()))
+            .Set("quarantined", static_cast<uint64_t>(chunk_diags.size()))
+            .Set("wal_bytes", journal.appended_bytes())
+            .Set("fsyncs", journal.fsync_count());
+        telemetry->Append(event);
+      }
     }
 
     if (sidecar != nullptr) {

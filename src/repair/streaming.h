@@ -9,6 +9,7 @@
 #include "relation/csv.h"
 #include "repair/memo_cache.h"
 #include "repair/parallel.h"
+#include "repair/recovery.h"
 #include "repair/rule_index.h"
 
 namespace fixrep {
@@ -72,6 +73,20 @@ struct StreamingRepairOptions {
   size_t memory_budget_bytes = 0;
   // Intern only rule-mentioned columns; carry the rest as raw text.
   bool prune_columns = false;
+
+  // --- durability (docs/durability.md) ---
+  // Non-null: journal each chunk to this WAL as chunk_begin /
+  // cell_delta* / quarantine* / chunk_commit, committing (group fsync)
+  // BEFORE the chunk's rows are emitted, so a crash anywhere leaves
+  // every emitted row covered by a durable chunk. Borrowed.
+  ChunkJournal* journal = nullptr;
+  // Non-null: fast-forward over this scanned run's committed chunks
+  // before repairing — each is re-read from the input, its recorded
+  // deltas and diagnostics replayed, and its rows re-emitted, so resumed
+  // output is byte-identical to an uninterrupted run. The caller has
+  // already validated the header against this run's configuration
+  // (ValidateWalHeader) and reopened `journal` with ChunkJournal::Resume.
+  const RecoveredRun* resume = nullptr;
 };
 
 struct StreamingRepairResult {

@@ -5,6 +5,7 @@
 
 #include <algorithm>
 #include <cstdint>
+#include <cstdio>
 #include <fstream>
 #include <memory>
 #include <sstream>
@@ -21,6 +22,7 @@
 #include "repair/crepair.h"
 #include "repair/lrepair.h"
 #include "repair/parallel.h"
+#include "repair/recovery.h"
 #include "rules/rule_io.h"
 
 namespace fixrep {
@@ -179,10 +181,14 @@ TEST_F(FaultInjectionTest, CsvWriteFaults) {
   EXPECT_NE(status.message().find("cannot open"), std::string::npos);
   FaultRegistry::Global().Disarm("csv.open_write");
 
+  std::remove(path.c_str());
   FaultRegistry::Global().Arm("csv.write_flush", FaultPlan{});
   status = TryWriteCsvFile(table, path);
   EXPECT_EQ(status.code(), StatusCode::kIoError);
-  EXPECT_NE(status.message().find("write failed"), std::string::npos);
+  // Writes stage through path.tmp (common/atomic_file.h): the failure
+  // names the staging file and the final path never appears.
+  EXPECT_NE(status.message().find(".tmp' failed"), std::string::npos);
+  EXPECT_FALSE(std::ifstream(path).good());
   FaultRegistry::Global().Disarm("csv.write_flush");
   EXPECT_TRUE(TryWriteCsvFile(table, path).ok());
 }
@@ -228,7 +234,7 @@ TEST_F(FaultInjectionTest, StrictWrappersDieOnWriteFaults) {
         FaultRegistry::Global().Arm("csv.write_flush", FaultPlan{});
         WriteCsvFile(table, TempPath("strict.csv"));
       },
-      "write failed");
+      "failed");
   EXPECT_DEATH(
       {
         FaultRegistry::Global().Arm("rules.write_flush", FaultPlan{});
@@ -349,11 +355,27 @@ TEST_F(FaultInjectionTest, AllFaultSitesSeen) {
   ASSERT_TRUE(
       repairer.TryRepairTuple(table.WriteRow(0), &changed).ok());
 
+  // Durable-streaming sites: one journaled chunk commit walks the WAL
+  // open/append/fsync paths and all three crash sites
+  // (docs/durability.md).
+  const std::string wal_path = TempPath("coverage.wal");
+  WalRunHeader header;
+  header.attribute_names = {"country", "capital"};
+  header.chunk_rows = 1;
+  StatusOr<ChunkJournal> journal = ChunkJournal::Create(wal_path, header);
+  ASSERT_TRUE(journal.ok());
+  ASSERT_TRUE(journal->BeginChunk(1, 0, 1).ok());
+  ASSERT_TRUE(journal->Commit(1, 1, 0, 0).ok());
+  ASSERT_TRUE(journal->Close().ok());
+
   const std::vector<std::string> seen = FaultRegistry::Global().SeenPoints();
   for (const char* point :
        {"csv.open_read", "csv.append_row", "csv.open_write",
         "csv.write_flush", "rules.open_read", "rules.open_write",
-        "rules.write_flush", "repair.tuple"}) {
+        "rules.write_flush", "repair.tuple", "atomic_file.open",
+        "atomic_file.write", "atomic_file.fsync", "wal.open", "wal.append",
+        "wal.fsync", "wal.crash_after_append", "wal.crash_before_commit",
+        "wal.crash_after_commit"}) {
     EXPECT_NE(std::find(seen.begin(), seen.end(), point), seen.end())
         << "fault site never exercised: " << point;
   }
