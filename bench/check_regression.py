@@ -27,6 +27,19 @@ the CLI because it is nearly free, and this gate keeps it that way. The
 section must also report at most one fsync per chunk beyond the header
 sync (the group-commit contract).
 
+With --ruledict, additionally audits the on-disk rule dictionary
+sections of the *current* run (docs/rules.md): ruledict_warm (serial
+chase through the memory-mapped dictionary with a primed hot posting
+cache) must keep its rows/s within --ruledict-tolerance (default 15%)
+of ruledict_inram, the same chase over the in-RAM compiled index
+measured seconds earlier in the same process — the mmap seam must cost
+(nearly) nothing once warm. And ruledict_budget (corpus-scale
+dictionary streamed under a spill budget) must keep the RSS the run
+itself added (rss_delta_bytes, measured from a reset VmHWM) below its
+dictionary's file size — the corpus must stay on disk, not become
+resident; its peak_resident_bytes/budget_bytes pair is gated by the
+standing memory-budget audit like any spilled section.
+
 With --journal, additionally validates the telemetry journal the bench
 run wrote (FIXREP_TELEMETRY_OUT, see docs/observability.md): every line
 must be a JSON object carrying "event" and "t_ms", the journal must open
@@ -165,6 +178,15 @@ def main():
                         help="allowed fractional rows/s drop of durable "
                              "streaming vs no-WAL streaming "
                              "(default 0.10)")
+    parser.add_argument("--ruledict", action="store_true",
+                        help="audit the ruledict sections: warm mmap "
+                             "chase within --ruledict-tolerance of the "
+                             "in-RAM index, and the budget run's RSS "
+                             "delta below the dictionary file size")
+    parser.add_argument("--ruledict-tolerance", type=float, default=0.15,
+                        help="allowed fractional rows/s drop of the "
+                             "warm dictionary chase vs the in-RAM index "
+                             "(default 0.15)")
     parser.add_argument("--journal", default=None,
                         help="telemetry journal (JSONL) written by the "
                              "current bench run; checked for schema, "
@@ -259,6 +281,61 @@ def main():
                     f"streaming_wal made {fsyncs_per_chunk:.2f} fsyncs "
                     f"per chunk — group commit is broken")
 
+    # Dictionary audit: the mmap seam must be free once warm, and the
+    # corpus-scale budget run must not pull the corpus into RSS.
+    ruledict_failures = []
+    if args.ruledict:
+        warm = current.get("ruledict_warm", {})
+        inram = current.get("ruledict_inram", {})
+        warm_rps = warm.get("rows_per_sec")
+        inram_rps = inram.get("rows_per_sec")
+        if warm_rps is None or not inram_rps:
+            ruledict_failures.append("ruledict_warm/ruledict_inram "
+                                     "rows_per_sec missing from the "
+                                     "current run")
+        else:
+            ratio = warm_rps / inram_rps
+            delta = (ratio - 1.0) * 100.0
+            status = "ok"
+            if ratio < 1.0 - args.ruledict_tolerance:
+                status = "DICT SLOW"
+                ruledict_failures.append(
+                    f"warm dictionary chase runs at {ratio:.2f}x the "
+                    f"in-RAM index ({delta:+.1f}%, gate "
+                    f"-{args.ruledict_tolerance:.0%})")
+            print(f"{status:>10}  ruledict_warm: {warm_rps:,.0f} rows/s "
+                  f"vs in-RAM {inram_rps:,.0f} rows/s ({delta:+.1f}%, "
+                  f"hot-cache hit rate "
+                  f"{warm.get('hot_cache_hit_rate', 0.0):.1%})")
+        budget = current.get("ruledict_budget", {})
+        dict_bytes = budget.get("dict_bytes")
+        rss_delta = budget.get("rss_delta_bytes")
+        if dict_bytes is None or rss_delta is None:
+            ruledict_failures.append("ruledict_budget dict_bytes/"
+                                     "rss_delta_bytes missing from the "
+                                     "current run")
+        elif budget.get("rss_reset", 0.0) == 0.0:
+            # /proc/self/clear_refs was unwritable (non-Linux sandbox):
+            # rss_delta_bytes includes every earlier section's peak, so
+            # the bound would be meaningless. Report, don't fail.
+            print(f"      skip  ruledict_budget: VmHWM reset "
+                  f"unavailable, rss_delta_bytes not comparable")
+        else:
+            ratio = rss_delta / dict_bytes if dict_bytes > 0 else 0.0
+            status = "ok"
+            if ratio > 1.0:
+                status = "DICT RESIDENT"
+                ruledict_failures.append(
+                    f"budget run added {rss_delta:,.0f} B of RSS "
+                    f"against a {dict_bytes:,.0f} B dictionary "
+                    f"({ratio:.2f}x) — the corpus is being pulled "
+                    f"into memory")
+            print(f"{status:>10}  ruledict_budget: rss delta "
+                  f"{rss_delta:,.0f} B vs dictionary "
+                  f"{dict_bytes:,.0f} B ({ratio:.2f}x), table peak "
+                  f"{budget.get('peak_resident_bytes', 0):,.0f} B "
+                  f"under budget {budget.get('budget_bytes', 0):,.0f} B")
+
     journal_failures = []
     if args.journal is not None:
         journal_failures = check_journal(args.journal, args.rss_tolerance)
@@ -280,6 +357,15 @@ def main():
         print("=" * 64)
         print(f"WAL OVERHEAD CHECK FAILED: {len(wal_failures)} problem(s):")
         for failure in wal_failures:
+            print(f"  {failure}")
+        print("=" * 64)
+        sys.exit(1)
+    if ruledict_failures:
+        print()
+        print("=" * 64)
+        print(f"RULE DICTIONARY CHECK FAILED: {len(ruledict_failures)} "
+              f"problem(s):")
+        for failure in ruledict_failures:
             print(f"  {failure}")
         print("=" * 64)
         sys.exit(1)

@@ -5,6 +5,22 @@
 //                        [--noise 0.1] [--typos 0.5] [--fds-out fds.txt]
 //   fixrep_cli gen-rules --clean clean.csv --dirty dirty.csv
 //                        --fds fds.txt --out rules.txt [--max N]
+//   fixrep_cli gen-rules --scale N --attrs a,b,c|--clean clean.csv
+//                        --out rules.txt [--seed S]
+//                        emits N synthetic CFD-derived rules (rule-unique
+//                        constants, consistent by construction) for
+//                        dictionary-scale benches and tests
+//   fixrep_cli rules compile --rules rules.txt --attrs a,b,c|--data d.csv
+//                        --out dict.frd [--scale N --seed S]
+//                        compiles the rule set into the mmap-able
+//                        dictionary artifact (rules/rule_dict.h);
+//                        --scale appends N synthetic rules before
+//                        compiling, so a million-rule corpus needs no
+//                        intermediate text file
+//   fixrep_cli rules inspect --dict dict.frd
+//                        prints the validated header (version,
+//                        fingerprint, rule/string counts) and the
+//                        per-section offset/size table
 //   fixrep_cli discover  --dirty dirty.csv --fds fds.txt --out rules.txt
 //                        [--max N] [--confidence 0.8]
 //   fixrep_cli check     --rules rules.txt --data any.csv [--strict]
@@ -16,6 +32,13 @@
 //                        [--on-error=abort|skip|quarantine]
 //                        [--quarantine-out q.csv] [--max-chase-steps N]
 //                        [--wal wal.bin] [--resume]
+//                        [--rules-dict dict.frd] [--shards N]
+//                        --rules-dict repairs against a compiled
+//                        dictionary (mmap, demand-paged) instead of
+//                        --rules; output is byte-identical. --shards
+//                        routes tuples to N workers by content hash
+//                        (repair/sharded.h) instead of claiming row
+//                        ranges; output is byte-identical either way.
 //                        --threads N uses the pooled parallel engine
 //                        (N=0 picks the hardware width); repair memoizes
 //                        byte-identical tuples by default, --no-memo
@@ -127,8 +150,10 @@
 #include "repair/session.h"
 #include "rulegen/discovery.h"
 #include "rulegen/rulegen.h"
+#include "rulegen/scale.h"
 #include "rules/consistency.h"
 #include "rules/resolution.h"
+#include "rules/rule_dict.h"
 #include "rules/rule_io.h"
 
 namespace fixrep::cli {
@@ -148,6 +173,11 @@ class Args {
           command_ = key;
           continue;
         }
+        // Command groups take one subcommand ("rules compile").
+        if (subcommand_.empty() && command_ == "rules") {
+          subcommand_ = key;
+          continue;
+        }
         std::cerr << "unexpected argument '" << key << "'\n";
         std::exit(2);
       }
@@ -165,6 +195,7 @@ class Args {
   }
 
   const std::string& command() const { return command_; }
+  const std::string& subcommand() const { return subcommand_; }
 
   bool Has(const std::string& key) const { return values_.count(key) > 0; }
 
@@ -194,6 +225,7 @@ class Args {
 
  private:
   std::string command_;
+  std::string subcommand_;
   std::map<std::string, std::string> values_;
 };
 
@@ -232,15 +264,50 @@ RepairConfig ConfigFromArgs(const Args& args, OnErrorPolicy policy) {
   // No --threads: serial. --threads 0: hardware width.
   config.threads = args.Has("threads") ? args.GetSizeT("threads", 0) : 1;
   config.use_memo = !args.Has("no-memo");
+  config.shards = args.GetSizeT("shards", 0);
+  config.rules_dict = args.Get("rules-dict");
   config.on_error = policy;
   config.max_chase_steps = args.GetSizeT("max-chase-steps", 0);
   return config;
 }
 
+std::vector<std::string> SplitCommaList(const std::string& text) {
+  std::vector<std::string> out;
+  std::string token;
+  for (const char c : text) {
+    if (c == ',') {
+      out.push_back(token);
+      token.clear();
+    } else {
+      token.push_back(c);
+    }
+  }
+  out.push_back(token);
+  return out;
+}
+
+// Schema for schema-less commands (gen-rules --scale, rules compile):
+// --attrs a,b,c names it directly; --data file.csv borrows a CSV header.
+std::shared_ptr<const Schema> SchemaFromArgs(
+    const Args& args, const std::string& csv_flag,
+    const std::shared_ptr<ValuePool>& pool) {
+  if (args.Has("attrs")) {
+    return std::make_shared<const Schema>("data",
+                                          SplitCommaList(args.Require("attrs")));
+  }
+  if (args.Has(csv_flag)) {
+    const Table data = ReadCsvFile(args.Require(csv_flag), "data", pool);
+    return data.schema_ptr();
+  }
+  std::cerr << "need --attrs a,b,c or --" << csv_flag
+            << " file.csv for the schema\n";
+  std::exit(2);
+}
+
 int Usage() {
   std::cerr << "usage: fixrep_cli "
-               "gen-data|gen-rules|discover|check|repair|audit|rollback|eval"
-               " [--flags]\n"
+               "gen-data|gen-rules|rules compile|rules inspect|discover|"
+               "check|repair|audit|rollback|eval [--flags]\n"
                "see the header of examples/fixrep_cli.cc for details\n";
   return 2;
 }
@@ -303,6 +370,21 @@ int GenData(const Args& args) {
 
 int GenRules(const Args& args) {
   FIXREP_TRACE_SPAN("cli.gen_rules");
+  if (args.Has("scale")) {
+    auto pool = std::make_shared<ValuePool>();
+    const std::shared_ptr<const Schema> schema =
+        SchemaFromArgs(args, "clean", pool);
+    ScaleRuleGenOptions options;
+    options.scale = args.GetSizeT("scale", options.scale);
+    options.seed = args.GetSizeT("seed", options.seed);
+    Timer timer;
+    const RuleSet rules = GenerateScaleRules(schema, pool, options);
+    WriteRulesFile(rules, args.Require("out"));
+    std::cout << "wrote " << rules.size() << " synthetic rules (seed "
+              << options.seed << ") to " << args.Get("out") << " in "
+              << FormatDouble(timer.ElapsedMillis(), 1) << " ms\n";
+    return 0;
+  }
   auto pool = std::make_shared<ValuePool>();
   const Table clean = ReadCsvFile(args.Require("clean"), "data", pool);
   const Table dirty = ReadCsvFile(args.Require("dirty"), "data", pool);
@@ -356,6 +438,88 @@ int Check(const Args& args) {
               << args.Get("resolve") << "\n";
   }
   return consistent ? 0 : 1;
+}
+
+// Compiles a rule set (parsed from text and/or synthesized at --scale)
+// into the mmap-able dictionary artifact, then reopens it to confirm the
+// written file validates.
+int RulesCompile(const Args& args) {
+  FIXREP_TRACE_SPAN("cli.rules_compile");
+  auto pool = std::make_shared<ValuePool>();
+  const std::shared_ptr<const Schema> schema =
+      SchemaFromArgs(args, "data", pool);
+  RuleSet rules(schema, pool);
+  if (args.Has("rules")) {
+    rules = ParseRulesFile(args.Require("rules"), schema, pool);
+  }
+  if (args.Has("scale")) {
+    ScaleRuleGenOptions options;
+    options.scale = args.GetSizeT("scale", options.scale);
+    options.seed = args.GetSizeT("seed", options.seed);
+    AppendScaleRules(&rules, options);
+  }
+  if (rules.empty()) {
+    std::cerr << "nothing to compile: pass --rules and/or --scale\n";
+    return 2;
+  }
+  const std::string out_path = args.Require("out");
+  Timer timer;
+  const Status compiled = CompileRuleDict(rules, out_path);
+  if (!compiled.ok()) {
+    std::cerr << "compile failed: " << compiled << "\n";
+    return 1;
+  }
+  StatusOr<std::unique_ptr<RuleDict>> dict_or = RuleDict::Open(out_path);
+  if (!dict_or.ok()) {
+    std::cerr << "written dictionary fails validation: " << dict_or.status()
+              << "\n";
+    return 1;
+  }
+  const RuleDict& dict = *dict_or.value();
+  std::cout << "compiled " << dict.num_rules() << " rules ("
+            << dict.header().num_strings << " strings, "
+            << dict.file_bytes() << " bytes, fingerprint "
+            << std::hex << dict.fingerprint() << std::dec << ") in "
+            << FormatDouble(timer.ElapsedMillis(), 1) << " ms -> "
+            << out_path << "\n";
+  return 0;
+}
+
+// Prints the validated header and the per-section layout of a compiled
+// dictionary. Touches only the header pages — O(1) in corpus size.
+int RulesInspect(const Args& args) {
+  FIXREP_TRACE_SPAN("cli.rules_inspect");
+  StatusOr<std::unique_ptr<RuleDict>> dict_or =
+      RuleDict::Open(args.Require("dict"));
+  if (!dict_or.ok()) {
+    std::cerr << "error opening --dict: " << dict_or.status() << "\n";
+    return 1;
+  }
+  const RuleDict& dict = *dict_or.value();
+  const RuleDictHeader& header = dict.header();
+  std::cout << dict.path() << ": rule dictionary v" << header.version
+            << ", " << dict.file_bytes() << " bytes\n";
+  std::cout << "fingerprint " << std::hex << header.fingerprint << std::dec
+            << "\n";
+  std::cout << header.num_rules << " rules over " << header.arity
+            << " attributes (";
+  for (size_t a = 0; a < dict.attribute_names().size(); ++a) {
+    if (a > 0) std::cout << ", ";
+    std::cout << dict.attribute_names()[a];
+  }
+  std::cout << ")\n";
+  std::cout << header.num_keys << " probe keys, " << header.num_postings
+            << " postings, " << header.num_strings << " interned strings, "
+            << header.num_ev_pairs << " evidence pairs, "
+            << header.num_neg_values << " negative patterns\n";
+  TextTable table({"section", "offset", "bytes"});
+  for (size_t s = 0; s < kNumDictSections; ++s) {
+    table.AddRow({DictSectionName(static_cast<DictSection>(s)),
+                  std::to_string(header.section_offset[s]),
+                  std::to_string(header.section_bytes[s])});
+  }
+  table.Print(std::cout);
+  return 0;
 }
 
 // Writes the grouped dead-letter file (csv records, then rule blocks,
@@ -431,16 +595,19 @@ int RepairStream(const Args& args, OnErrorPolicy policy) {
     return 1;
   }
   CsvChunkReader reader = std::move(reader_or).value();
-  RuleParseOptions rule_options;
-  rule_options.on_error = policy;
-  rule_options.quarantine = quarantining ? &rule_sink : nullptr;
-  StatusOr<RuleSet> rules_or = ParseRulesFileLenient(
-      args.Require("rules"), reader.schema(), pool, rule_options);
-  if (!rules_or.ok()) {
-    std::cerr << "error reading --rules: " << rules_or.status() << "\n";
-    return 1;
+  std::optional<RuleSet> rules;
+  if (!args.Has("rules-dict")) {
+    RuleParseOptions rule_options;
+    rule_options.on_error = policy;
+    rule_options.quarantine = quarantining ? &rule_sink : nullptr;
+    StatusOr<RuleSet> rules_or = ParseRulesFileLenient(
+        args.Require("rules"), reader.schema(), pool, rule_options);
+    if (!rules_or.ok()) {
+      std::cerr << "error reading --rules: " << rules_or.status() << "\n";
+      return 1;
+    }
+    rules.emplace(std::move(rules_or).value());
   }
-  const RuleSet rules = std::move(rules_or).value();
   load.reset();
 
   RepairConfig config = ConfigFromArgs(args, policy);
@@ -484,7 +651,7 @@ int RepairStream(const Args& args, OnErrorPolicy policy) {
       std::cerr << "error writing --out: " << out.status() << "\n";
       return 1;
     }
-    RepairSession session(&rules, config);
+    RepairSession session(rules ? &*rules : nullptr, config);
     StatusOr<RepairReport> result_or =
         session.RepairStream(&reader, out->stream());
     if (!result_or.ok()) {
@@ -565,22 +732,25 @@ int RepairLenient(const Args& args, OnErrorPolicy policy) {
     return 1;
   }
   Table table = std::move(table_or).value();
-  RuleParseOptions rule_options;
-  rule_options.on_error = policy;
-  rule_options.quarantine = quarantining ? &rule_sink : nullptr;
-  StatusOr<RuleSet> rules_or = ParseRulesFileLenient(
-      args.Require("rules"), table.schema_ptr(), pool, rule_options);
-  if (!rules_or.ok()) {
-    std::cerr << "error reading --rules: " << rules_or.status() << "\n";
-    return 1;
+  std::optional<RuleSet> rules;
+  if (!args.Has("rules-dict")) {
+    RuleParseOptions rule_options;
+    rule_options.on_error = policy;
+    rule_options.quarantine = quarantining ? &rule_sink : nullptr;
+    StatusOr<RuleSet> rules_or = ParseRulesFileLenient(
+        args.Require("rules"), table.schema_ptr(), pool, rule_options);
+    if (!rules_or.ok()) {
+      std::cerr << "error reading --rules: " << rules_or.status() << "\n";
+      return 1;
+    }
+    rules.emplace(std::move(rules_or).value());
   }
-  const RuleSet rules = std::move(rules_or).value();
   load.reset();
 
   Timer timer;
   RepairConfig config = ConfigFromArgs(args, policy);
   config.quarantine = quarantining ? &tuple_sink : nullptr;
-  RepairSession session(&rules, config);
+  RepairSession session(rules ? &*rules : nullptr, config);
   StatusOr<RepairReport> report_or = session.Repair(&table);
   if (!report_or.ok()) {
     std::cerr << "error repairing --in: " << report_or.status() << "\n";
@@ -638,6 +808,10 @@ int Repair(const Args& args) {
     std::cerr << "--wal/--resume require --stream\n";
     return 2;
   }
+  if (args.Has("log") && args.Has("rules-dict")) {
+    std::cerr << "--log (provenance) is incompatible with --rules-dict\n";
+    return 2;
+  }
   if (*policy != OnErrorPolicy::kAbort) {
     if (args.Has("log")) {
       std::cerr << "--log (provenance) requires --on-error=abort\n";
@@ -651,19 +825,23 @@ int Repair(const Args& args) {
   // the dumped timeline accounts for the total wall time.
   auto load = std::make_unique<TraceSpan>("cli.load");
   Table table = ReadCsvFile(args.Require("in"), "data", pool);
-  const RuleSet rules =
-      ParseRulesFile(args.Require("rules"), table.schema_ptr(), pool);
+  std::optional<RuleSet> rules;
+  if (!args.Has("rules-dict")) {
+    rules.emplace(
+        ParseRulesFile(args.Require("rules"), table.schema_ptr(), pool));
+  }
   load.reset();
   Timer timer;
   size_t cells_changed = 0;
   if (args.Has("log")) {
-    const RepairLog log = RepairWithProvenance(rules, &table);
+    const RepairLog log = RepairWithProvenance(*rules, &table);
     cells_changed = log.repairs.size();
     for (const auto& repair : log.repairs) {
       std::cout << log.Describe(repair, table.schema(), *pool) << "\n";
     }
   } else {
-    RepairSession session(&rules, ConfigFromArgs(args, OnErrorPolicy::kAbort));
+    RepairSession session(rules ? &*rules : nullptr,
+                          ConfigFromArgs(args, OnErrorPolicy::kAbort));
     StatusOr<RepairReport> report_or = session.Repair(&table);
     if (!report_or.ok()) {
       std::cerr << "error repairing --in: " << report_or.status() << "\n";
@@ -799,6 +977,12 @@ int Eval(const Args& args) {
 
 int Dispatch(const Args& args) {
   const std::string& command = args.command();
+  if (command == "rules") {
+    if (args.subcommand() == "compile") return RulesCompile(args);
+    if (args.subcommand() == "inspect") return RulesInspect(args);
+    std::cerr << "usage: fixrep_cli rules compile|inspect [--flags]\n";
+    return 2;
+  }
   if (command == "gen-data") return GenData(args);
   if (command == "gen-rules") return GenRules(args);
   if (command == "discover") return Discover(args);

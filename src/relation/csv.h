@@ -110,6 +110,16 @@ class CsvChunkReader {
   bool at_end() const { return at_end_; }
   // Data records consumed so far, including dropped ones.
   size_t records_read() const { return record_; }
+  // The current quarantine sink (may be null). Streaming WAL journaling
+  // swaps a capture sink in around a ReadChunk to see exactly the
+  // diagnostics one chunk produced; error policy and record ordinals
+  // are unaffected by the swap.
+  QuarantineSink* quarantine() const { return options_.quarantine; }
+  QuarantineSink* SwapQuarantine(QuarantineSink* sink) {
+    QuarantineSink* previous = options_.quarantine;
+    options_.quarantine = sink;
+    return previous;
+  }
   // Stream position in bytes (tellg), for input-progress reporting; 0
   // when the stream cannot tell (pipes, failed state at EOF).
   uint64_t bytes_read() const {

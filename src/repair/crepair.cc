@@ -9,14 +9,20 @@
 
 namespace fixrep {
 
-ChaseRepairer::ChaseRepairer(const RuleSet* rules) : rules_(rules) {
-  FIXREP_CHECK(rules_ != nullptr);
-  stats_.Reset(rules_->size());
-  published_.Reset(rules_->size());
+ChaseRepairer::ChaseRepairer(const RuleSet* rules)
+    : owned_index_(std::make_unique<CompiledRuleIndex>(rules)),
+      source_(owned_index_->MakeSource()) {
+  stats_.Reset(source_.num_rules());
+  published_.Reset(source_.num_rules());
+}
+
+ChaseRepairer::ChaseRepairer(const RuleSource& source) : source_(source) {
+  stats_.Reset(source_.num_rules());
+  published_.Reset(source_.num_rules());
 }
 
 size_t ChaseRepairer::RepairTuple(TupleSpan t) {
-  FIXREP_CHECK_EQ(t.size(), rules_->schema().arity());
+  FIXREP_CHECK_EQ(t.size(), source_.arity());
   size_t cells_changed = 0;
   const Status status = ChaseWithBudget(t, /*max_steps=*/0, &cells_changed);
   FIXREP_CHECK(status.ok()) << status.message();
@@ -25,12 +31,11 @@ size_t ChaseRepairer::RepairTuple(TupleSpan t) {
 
 Status ChaseRepairer::TryRepairTuple(TupleSpan t, size_t* cells_changed) {
   *cells_changed = 0;
-  if (t.size() != rules_->schema().arity()) {
+  if (t.size() != source_.arity()) {
     ++stats_.tuples_examined;  // every attempt counts, even a failed one
     return Status::MalformedInput(
         "tuple arity " + std::to_string(t.size()) +
-        " does not match schema arity " +
-        std::to_string(rules_->schema().arity()));
+        " does not match schema arity " + std::to_string(source_.arity()));
   }
   if (FIXREP_FAULT("repair.tuple")) {
     ++stats_.tuples_examined;
@@ -42,10 +47,11 @@ Status ChaseRepairer::TryRepairTuple(TupleSpan t, size_t* cells_changed) {
 Status ChaseRepairer::ChaseWithBudget(TupleSpan t, size_t max_steps,
                                       size_t* cells_changed_out) {
   ++stats_.tuples_examined;
+  const size_t num_rules = source_.num_rules();
   AttrSet assured;
   // Γ: rules not yet applied. Applied rules leave the set (Fig. 6 line 7);
   // non-matching rules are re-examined on the next outer iteration.
-  std::vector<bool> applied(rules_->size(), false);
+  std::vector<bool> applied(num_rules, false);
   // Budgeted chases keep an undo log so a kBudgetExhausted tuple leaves
   // both the tuple and the outcome stats untouched.
   Tuple original;
@@ -57,7 +63,7 @@ Status ChaseRepairer::ChaseWithBudget(TupleSpan t, size_t max_steps,
   while (updated) {
     updated = false;
     ++stats_.chase_iterations;
-    for (size_t i = 0; i < rules_->size(); ++i) {
+    for (uint32_t i = 0; i < num_rules; ++i) {
       if (applied[i]) continue;
       if (max_steps > 0 && ++steps > max_steps) {
         t.CopyFrom(original);
@@ -69,16 +75,17 @@ Status ChaseRepairer::ChaseWithBudget(TupleSpan t, size_t max_steps,
             "chase exceeded its budget of " + std::to_string(max_steps) +
             " rule examinations");
       }
-      const FixingRule& rule = rules_->rule(i);
-      if (assured.Contains(rule.target) || !rule.Matches(t)) continue;
-      rule.Apply(t);
-      assured.UnionWith(rule.AssuredSet());
+      if (assured.Contains(source_.target(i)) || !source_.MatchesFlat(i, t)) {
+        continue;
+      }
+      t[source_.target(i)] = source_.fact(i);
+      assured.UnionWith(source_.assured(i));
       applied[i] = true;
       updated = true;
       ++cells_changed;
       ++stats_.rule_applications;
       ++stats_.per_rule_applications[i];
-      if (max_steps > 0) applied_order.push_back(static_cast<uint32_t>(i));
+      if (max_steps > 0) applied_order.push_back(i);
     }
   }
   stats_.cells_changed += cells_changed;

@@ -1,10 +1,14 @@
 #ifndef FIXREP_REPAIR_CREPAIR_H_
 #define FIXREP_REPAIR_CREPAIR_H_
 
+#include <memory>
+
 #include "common/status.h"
 #include "relation/table.h"
 #include "repair/repair_stats.h"
+#include "repair/rule_index.h"
 #include "rules/rule_set.h"
+#include "rules/rule_source.h"
 
 namespace fixrep {
 
@@ -14,11 +18,19 @@ namespace fixrep {
 // consistent Σ follows from the Church-Rosser property: any maximal
 // sequence of proper applications reaches the unique fix.
 //
-// The repairer borrows the rule set; the rule set must outlive it and
-// must not be mutated while repairing.
+// The scan reads rules through the RuleSource seam (MatchesFlat is
+// FixingRule::Matches over the compiled CSR patterns), so the reference
+// chase runs against either backend — in-RAM index or mmap dictionary —
+// and stays the cross-validation oracle for both.
 class ChaseRepairer {
  public:
+  // Compiles a private index for `rules`. The rule set must outlive the
+  // repairer and must not be mutated afterwards.
   explicit ChaseRepairer(const RuleSet* rules);
+
+  // Chases against an arbitrary source view (see FastRepairer). The
+  // view's backing store and scratch must outlive the repairer.
+  explicit ChaseRepairer(const RuleSource& source);
 
   // Chases one tuple to its fix in place through the view. Returns the
   // number of cells changed. Accepts a Table::WriteRow span or
@@ -46,8 +58,8 @@ class ChaseRepairer {
 
   const RepairStats& stats() const { return stats_; }
   void ResetStats() {
-    stats_.Reset(rules_->size());
-    published_.Reset(rules_->size());
+    stats_.Reset(source_.num_rules());
+    published_.Reset(source_.num_rules());
   }
 
   // Publishes stats accumulated since the last flush into the global
@@ -59,7 +71,8 @@ class ChaseRepairer {
   Status ChaseWithBudget(TupleSpan t, size_t max_steps,
                          size_t* cells_changed);
 
-  const RuleSet* rules_;
+  std::unique_ptr<const CompiledRuleIndex> owned_index_;
+  RuleSource source_;
   size_t max_chase_steps_ = 0;
   RepairStats stats_;
   RepairStats published_;  // snapshot of stats_ at the last FlushMetrics

@@ -22,6 +22,14 @@ IncrementalRepairer::IncrementalRepairer(const RuleSet* rules, Table table)
   repairer_.RepairTable(&table_);
 }
 
+IncrementalRepairer::IncrementalRepairer(const RuleRepository* repo,
+                                         Table table)
+    : table_(std::move(table)),
+      handle_(repo->MakeHandle()),
+      repairer_(handle_->source()) {
+  repairer_.RepairTable(&table_);
+}
+
 size_t IncrementalRepairer::Insert(Tuple row) {
   FIXREP_CHECK_EQ(row.size(), table_.schema().arity());
   repairer_.RepairTuple(row);

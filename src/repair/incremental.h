@@ -2,11 +2,13 @@
 #define FIXREP_REPAIR_INCREMENTAL_H_
 
 #include <cstddef>
+#include <memory>
 #include <vector>
 
 #include "relation/table.h"
 #include "repair/lrepair.h"
 #include "rules/rule_set.h"
+#include "rules/rule_source.h"
 
 namespace fixrep {
 
@@ -26,6 +28,10 @@ class IncrementalRepairer {
  public:
   // Takes ownership of `table` (moved in) and repairs all rows.
   IncrementalRepairer(const RuleSet* rules, Table table);
+
+  // Repository-backed variant (in-RAM index or mapped dictionary, which
+  // must be bound to the table's pool and outlive the session).
+  IncrementalRepairer(const RuleRepository* repo, Table table);
 
   const Table& table() const { return table_; }
 
@@ -50,6 +56,9 @@ class IncrementalRepairer {
 
  private:
   Table table_;
+  // Present on the repository-backed path only; declared before the
+  // repairer, whose source view borrows the handle's scratch.
+  std::unique_ptr<RuleSourceHandle> handle_;
   FastRepairer repairer_;
 };
 

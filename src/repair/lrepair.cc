@@ -30,19 +30,26 @@ void InitScratch(size_t num_rules, std::vector<uint32_t>* counter,
 
 FastRepairer::FastRepairer(const RuleSet* rules)
     : owned_index_(std::make_unique<CompiledRuleIndex>(rules)),
-      index_(owned_index_.get()) {
-  InitScratch(index_->num_rules(), &counter_, &counter_epoch_,
+      source_(owned_index_->MakeSource()) {
+  InitScratch(source_.num_rules(), &counter_, &counter_epoch_,
               &queued_epoch_, &checked_epoch_, &flag_cache_);
-  stats_.Reset(index_->num_rules());
-  published_.Reset(index_->num_rules());
+  stats_.Reset(source_.num_rules());
+  published_.Reset(source_.num_rules());
 }
 
-FastRepairer::FastRepairer(const CompiledRuleIndex* index) : index_(index) {
-  FIXREP_CHECK(index_ != nullptr);
-  InitScratch(index_->num_rules(), &counter_, &counter_epoch_,
+FastRepairer::FastRepairer(const CompiledRuleIndex* index)
+    : source_(index->MakeSource()) {
+  InitScratch(source_.num_rules(), &counter_, &counter_epoch_,
               &queued_epoch_, &checked_epoch_, &flag_cache_);
-  stats_.Reset(index_->num_rules());
-  published_.Reset(index_->num_rules());
+  stats_.Reset(source_.num_rules());
+  published_.Reset(source_.num_rules());
+}
+
+FastRepairer::FastRepairer(const RuleSource& source) : source_(source) {
+  InitScratch(source_.num_rules(), &counter_, &counter_epoch_,
+              &queued_epoch_, &checked_epoch_, &flag_cache_);
+  stats_.Reset(source_.num_rules());
+  published_.Reset(source_.num_rules());
 }
 
 void FastRepairer::BumpCounter(uint32_t rule_index) {
@@ -52,7 +59,7 @@ void FastRepairer::BumpCounter(uint32_t rule_index) {
     counter_[rule_index] = 0;
   }
   ++counter_[rule_index];
-  if (counter_[rule_index] == index_->evidence_count(rule_index) &&
+  if (counter_[rule_index] == source_.evidence_count(rule_index) &&
       queued_epoch_[rule_index] != epoch_ &&
       checked_epoch_[rule_index] != epoch_) {
     queued_epoch_[rule_index] = epoch_;
@@ -62,7 +69,7 @@ void FastRepairer::BumpCounter(uint32_t rule_index) {
 }
 
 size_t FastRepairer::RepairTuple(TupleSpan t) {
-  FIXREP_CHECK_EQ(t.size(), index_->arity());
+  FIXREP_CHECK_EQ(t.size(), source_.arity());
   if (memo_ == nullptr) return ChaseTuple(t);
 
   const uint64_t hash = MemoCache::HashTuple(t);
@@ -95,11 +102,11 @@ size_t FastRepairer::RepairTuple(TupleSpan t) {
 
 Status FastRepairer::TryRepairTuple(TupleSpan t, size_t* cells_changed) {
   *cells_changed = 0;
-  if (t.size() != index_->arity()) {
+  if (t.size() != source_.arity()) {
     ++stats_.tuples_examined;  // every attempt counts, even a failed one
     return Status::MalformedInput(
         "tuple arity " + std::to_string(t.size()) +
-        " does not match schema arity " + std::to_string(index_->arity()));
+        " does not match schema arity " + std::to_string(source_.arity()));
   }
   if (FIXREP_FAULT("repair.tuple")) {
     ++stats_.tuples_examined;
@@ -147,13 +154,13 @@ size_t FastRepairer::ChaseTuple(TupleSpan t, size_t max_steps,
       // tuple-at-a-time): pack this tuple's non-null evidence-attribute
       // cells and probe them with one LookupBatch.
       probe_keys_.clear();
-      for (const AttrId a : index_->evidence_attrs()) {
+      for (const AttrId a : source_.evidence_attrs()) {
         const ValueId v = t[a];
         if (v == kNullValue) continue;
-        probe_keys_.push_back(CompiledRuleIndex::PackKey(a, v));
+        probe_keys_.push_back(source_.ProbeKey(a, v));
       }
       probe_ranges_.resize(probe_keys_.size());
-      index_->LookupBatch(kernel, probe_keys_.data(), probe_keys_.size(),
+      source_.LookupBatch(kernel, probe_keys_.data(), probe_keys_.size(),
                           probe_ranges_.data());
       ++stats_.batch_probes;
       stats_.batch_keys += probe_keys_.size();
@@ -185,7 +192,7 @@ size_t FastRepairer::ChaseTuple(TupleSpan t, size_t max_steps,
     uint32_t* const queued_epoch = queued_epoch_.data();
     const uint32_t* const checked_epoch = checked_epoch_.data();
     uint64_t* const flag_cache = flag_cache_.data();
-    const CompiledRuleIndex& index = *index_;
+    const RuleSource& index = source_;
     const uint32_t epoch = epoch_;
     size_t hits = 0;
     size_t bumps = 0;
@@ -242,7 +249,7 @@ size_t FastRepairer::ChaseTuple(TupleSpan t, size_t max_steps,
     stats_.counter_bumps += bumps;
     stats_.candidates_enqueued += enqueued;
   } else {
-    for (uint32_t rule_index : index_->empty_evidence_rules()) {
+    for (uint32_t rule_index : source_.empty_evidence_rules()) {
       queued_epoch_[rule_index] = epoch_;
       ++stats_.candidates_enqueued;
       queue_.push_back(rule_index);
@@ -266,7 +273,7 @@ size_t FastRepairer::ChaseTuple(TupleSpan t, size_t max_steps,
       for (AttrId a = 0; a < arity; ++a) {
         const ValueId v = t[a];
         if (v == kNullValue) continue;
-        const PostingRange range = index_->Lookup(a, v);
+        const PostingRange range = source_.Lookup(a, v);
         if (range.empty()) continue;
         ++stats_.index_hits;
         for (const uint32_t* p = range.begin; p != range.end; ++p) {
@@ -315,23 +322,23 @@ size_t FastRepairer::ChaseTuple(TupleSpan t, size_t max_steps,
       ++stats_.candidates_rejected;
       continue;
     }
-    const AttrId target = index_->target(rule_index);
+    const AttrId target = source_.target(rule_index);
     // A prescreen survivor popped before the first write needs no
     // verification: its counter filled on the untouched tuple (evidence
     // clause) and its flag cleared (negative clause), so Matches holds.
     if ((dirty || !prescreen) &&
         (assured.Contains(target) ||
-         !index_->MatchesFlat(rule_index, t))) {
+         !source_.MatchesFlat(rule_index, t))) {
       ++stats_.candidates_rejected;
       continue;
     }
-    const ValueId fact = index_->fact(rule_index);
+    const ValueId fact = source_.fact(rule_index);
     if (write_log_ != nullptr) {
       write_log_->push_back(
           {write_log_row_, target, t[target], fact, rule_index});
     }
     t[target] = fact;
-    assured.UnionWith(index_->assured(rule_index));
+    assured.UnionWith(source_.assured(rule_index));
     dirty = true;
     ++cells_changed;
     ++stats_.rule_applications;
@@ -340,7 +347,7 @@ size_t FastRepairer::ChaseTuple(TupleSpan t, size_t max_steps,
       writes_scratch_.push_back({target, fact, rule_index});
     }
     // Propagate the new value through the inverted lists (lines 13-15).
-    const PostingRange range = index_->Lookup(target, fact);
+    const PostingRange range = source_.Lookup(target, fact);
     if (range.empty()) continue;
     ++stats_.index_hits;
     for (const uint32_t* p = range.begin; p != range.end; ++p) {
@@ -371,8 +378,8 @@ void FastRepairer::RepairRows(Table* table, size_t begin, size_t end) {
   // loop runs. Only evidence-mentioned attributes are gathered — every
   // other column's probe would miss by construction.
   constexpr size_t kRowGroup = 64;
-  const size_t arity = index_->arity();
-  const std::vector<AttrId>& ev_attrs = index_->evidence_attrs();
+  const size_t arity = source_.arity();
+  const auto ev_attrs = source_.evidence_attrs();
   for (size_t group = begin; group < end; group += kRowGroup) {
     const size_t limit = std::min(end, group + kRowGroup);
     probe_keys_.clear();
@@ -387,12 +394,12 @@ void FastRepairer::RepairRows(Table* table, size_t begin, size_t end) {
         // recycle spilled blocks.
         const ValueId v = t[a];
         if (v == kNullValue) continue;
-        probe_keys_.push_back(CompiledRuleIndex::PackKey(a, v));
+        probe_keys_.push_back(source_.ProbeKey(a, v));
       }
     }
     group_offsets_.push_back(static_cast<uint32_t>(probe_keys_.size()));
     probe_ranges_.resize(probe_keys_.size());
-    index_->LookupBatch(kernel, probe_keys_.data(), probe_keys_.size(),
+    source_.LookupBatch(kernel, probe_keys_.data(), probe_keys_.size(),
                         probe_ranges_.data());
     ++stats_.batch_probes;
     stats_.batch_keys += probe_keys_.size();

@@ -17,11 +17,13 @@ namespace fixrep {
 
 // lRepair (Fig. 7): the fast repair algorithm, O(size(Σ)) per tuple.
 //
-// The rule-set-derived structures live in CompiledRuleIndex (flat hash
-// over (attribute, constant) keys into CSR-packed inverted lists, plus
-// flat per-rule side arrays) — built once per rule set and shared
-// immutably by every engine. A FastRepairer is only the per-thread
-// scratch on top of it:
+// The rule-set-derived structures live behind the RuleSource seam
+// (rules/rule_source.h): a flat hash over (attribute, constant) keys
+// into CSR-packed inverted lists plus flat per-rule side arrays,
+// backed either by the in-RAM CompiledRuleIndex or by a memory-mapped
+// RuleDict — built/opened once per rule set and shared immutably by
+// every engine. A FastRepairer is only the per-thread scratch on top
+// of one worker's source view:
 // * Hash counters c(phi) count how many evidence attributes the current
 //   tuple agrees with. When c(phi) reaches |X_phi| the rule *may* match
 //   and enters the candidate set Ω; applicability is re-verified on pop
@@ -47,7 +49,12 @@ class FastRepairer {
   // the repairer.
   explicit FastRepairer(const CompiledRuleIndex* index);
 
-  const CompiledRuleIndex& index() const { return *index_; }
+  // Chases against an arbitrary source view (the dictionary-backed
+  // path): typically one worker's RuleSourceHandle::source(). The view's
+  // backing store and scratch must outlive the repairer.
+  explicit FastRepairer(const RuleSource& source);
+
+  const RuleSource& source() const { return source_; }
 
   // Attaches a memo cache (nullptr detaches). Borrowed; the cache is
   // single-owner, so never share one across concurrently-running
@@ -111,8 +118,8 @@ class FastRepairer {
 
   const RepairStats& stats() const { return stats_; }
   void ResetStats() {
-    stats_.Reset(index_->num_rules());
-    published_.Reset(index_->num_rules());
+    stats_.Reset(source_.num_rules());
+    published_.Reset(source_.num_rules());
   }
 
   // Publishes stats accumulated since the last flush into the global
@@ -171,7 +178,7 @@ class FastRepairer {
                     size_t num_init_ranges = 0);
 
   std::unique_ptr<const CompiledRuleIndex> owned_index_;
-  const CompiledRuleIndex* index_;
+  RuleSource source_;
   MemoCache* memo_ = nullptr;
   std::vector<CellRepair>* write_log_ = nullptr;
   size_t write_log_row_ = 0;

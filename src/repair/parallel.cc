@@ -39,7 +39,7 @@ void MergeWriteLogs(std::vector<std::vector<CellRepair>>* slot_logs,
 
 }  // namespace
 
-RepairStats ParallelRepairRows(const CompiledRuleIndex& index, Table* table,
+RepairStats ParallelRepairRows(const RuleRepository& repo, Table* table,
                                size_t begin_row, size_t end_row,
                                const ParallelRepairOptions& options) {
   FIXREP_CHECK(table != nullptr);
@@ -51,7 +51,8 @@ RepairStats ParallelRepairRows(const CompiledRuleIndex& index, Table* table,
   threads = std::min(threads, std::max<size_t>(rows, 1));
 
   if (threads <= 1 || rows == 0) {
-    FastRepairer repairer(&index);
+    const std::unique_ptr<RuleSourceHandle> handle = repo.MakeHandle();
+    FastRepairer repairer(handle->source());
     MemoCache memo(options.memo_capacity);
     if (options.use_memo) repairer.set_memo(&memo);
     repairer.set_write_log(options.write_log);
@@ -71,21 +72,26 @@ RepairStats ParallelRepairRows(const CompiledRuleIndex& index, Table* table,
   registry.GetGauge("fixrep.parallel.workers")
       ->Set(static_cast<int64_t>(threads));
   FIXREP_LOG(Debug) << "parallel repair" << Kv("rows", rows)
-                    << Kv("rules", index.num_rules())
+                    << Kv("rules", repo.num_rules())
                     << Kv("workers", threads)
                     << Kv("memo", options.use_memo ? 1 : 0);
 
-  // Per-slot scratch, created up front: repairers are cheap now that the
-  // index is shared (four O(|Σ|) vectors), and pre-creation keeps the
-  // claimed-chunk lambda allocation-free.
+  // Per-slot scratch, created up front and serially (MakeHandle is
+  // serial-only): repairers are cheap now that the backend is shared
+  // (four O(|Σ|) vectors), and pre-creation keeps the claimed-chunk
+  // lambda allocation-free.
+  std::vector<std::unique_ptr<RuleSourceHandle>> handles;
   std::vector<std::unique_ptr<FastRepairer>> repairers;
   std::vector<std::unique_ptr<MemoCache>> memos;
   std::vector<std::vector<CellRepair>> slot_logs(
       options.write_log != nullptr ? threads : 0);
+  handles.reserve(threads);
   repairers.reserve(threads);
   memos.reserve(threads);
   for (size_t w = 0; w < threads; ++w) {
-    repairers.push_back(std::make_unique<FastRepairer>(&index));
+    handles.push_back(repo.MakeHandle());
+    repairers.push_back(
+        std::make_unique<FastRepairer>(handles[w]->source()));
     if (options.use_memo) {
       memos.push_back(std::make_unique<MemoCache>(options.memo_capacity));
       repairers.back()->set_memo(memos.back().get());
@@ -111,20 +117,20 @@ RepairStats ParallelRepairRows(const CompiledRuleIndex& index, Table* table,
   // Workers never flush — the merged stats are published once so registry
   // counts match the single-threaded run exactly.
   RepairStats merged;
-  merged.Reset(index.num_rules());
+  merged.Reset(repo.num_rules());
   for (const auto& repairer : repairers) merged.MergeFrom(repairer->stats());
   RepairStats empty;
-  empty.Reset(index.num_rules());
+  empty.Reset(repo.num_rules());
   merged.PublishDelta(empty, "lrepair");
   for (const auto& memo : memos) memo->FlushMetrics();
   MergeWriteLogs(&slot_logs, options.write_log);
   return merged;
 }
 
-RepairStats ParallelRepairTable(const CompiledRuleIndex& index, Table* table,
+RepairStats ParallelRepairTable(const RuleRepository& repo, Table* table,
                                 const ParallelRepairOptions& options) {
   FIXREP_CHECK(table != nullptr);
-  return ParallelRepairRows(index, table, 0, table->num_rows(), options);
+  return ParallelRepairRows(repo, table, 0, table->num_rows(), options);
 }
 
 RepairStats ParallelRepairTable(const RuleSet& rules, Table* table,
@@ -136,7 +142,7 @@ RepairStats ParallelRepairTable(const RuleSet& rules, Table* table,
 }
 
 LenientRepairResult ParallelRepairRowsLenient(
-    const CompiledRuleIndex& index, Table* table, size_t begin_row,
+    const RuleRepository& repo, Table* table, size_t begin_row,
     size_t end_row, const LenientRepairOptions& options) {
   FIXREP_CHECK(table != nullptr);
   FIXREP_CHECK(begin_row <= end_row && end_row <= table->num_rows());
@@ -157,17 +163,21 @@ LenientRepairResult ParallelRepairRowsLenient(
         ->Set(static_cast<int64_t>(threads));
   }
   FIXREP_LOG(Debug) << "lenient repair" << Kv("rows", rows)
-                    << Kv("rules", index.num_rules())
+                    << Kv("rules", repo.num_rules())
                     << Kv("workers", threads)
                     << Kv("budget", options.max_chase_steps);
 
+  std::vector<std::unique_ptr<RuleSourceHandle>> handles;
   std::vector<std::unique_ptr<FastRepairer>> repairers;
   std::vector<std::vector<Diagnostic>> failures(threads);
   std::vector<std::vector<CellRepair>> slot_logs(
       options.write_log != nullptr ? threads : 0);
+  handles.reserve(threads);
   repairers.reserve(threads);
   for (size_t w = 0; w < threads; ++w) {
-    repairers.push_back(std::make_unique<FastRepairer>(&index));
+    handles.push_back(repo.MakeHandle());
+    repairers.push_back(
+        std::make_unique<FastRepairer>(handles[w]->source()));
     repairers.back()->set_max_chase_steps(options.max_chase_steps);
     if (options.write_log != nullptr) {
       repairers.back()->set_write_log(&slot_logs[w]);
@@ -218,12 +228,12 @@ LenientRepairResult ParallelRepairRowsLenient(
   }
 
   LenientRepairResult result;
-  result.stats.Reset(index.num_rules());
+  result.stats.Reset(repo.num_rules());
   for (const auto& repairer : repairers) {
     result.stats.MergeFrom(repairer->stats());
   }
   RepairStats empty;
-  empty.Reset(index.num_rules());
+  empty.Reset(repo.num_rules());
   result.stats.PublishDelta(empty, "lrepair");
   result.tuples_quarantined = merged_failures.size();
   MergeWriteLogs(&slot_logs, options.write_log);
@@ -231,10 +241,10 @@ LenientRepairResult ParallelRepairRowsLenient(
 }
 
 LenientRepairResult ParallelRepairTableLenient(
-    const CompiledRuleIndex& index, Table* table,
+    const RuleRepository& repo, Table* table,
     const LenientRepairOptions& options) {
   FIXREP_CHECK(table != nullptr);
-  return ParallelRepairRowsLenient(index, table, 0, table->num_rows(),
+  return ParallelRepairRowsLenient(repo, table, 0, table->num_rows(),
                                    options);
 }
 

@@ -25,10 +25,15 @@ namespace fixrep {
 // Fixing-rule repair is embarrassingly parallel: each tuple is chased
 // independently (Section 6 repairs one tuple at a time), so row ranges
 // are claimed dynamically from the persistent ThreadPool's atomic
-// cursor. All workers share one immutable CompiledRuleIndex; each owns a
-// FastRepairer scratch (and, when memoization is on, a worker-local
-// MemoCache). The result is bit-identical to the serial engine in every
-// configuration.
+// cursor. All workers share one immutable rule backend (a RuleRepository
+// — the in-RAM CompiledRuleIndex or a mapped RuleDict); each owns a
+// RuleSourceHandle plus a FastRepairer scratch (and, when memoization is
+// on, a worker-local MemoCache). The result is bit-identical to the
+// serial engine in every configuration.
+//
+// Content-routed sharding (repair/sharded.h) is the sibling engine:
+// same contract, but rows are partitioned by value instead of claimed
+// by position, concentrating duplicate tuples onto one worker's caches.
 struct ParallelRepairOptions {
   // 0 picks the pool's full width (caller + all pool workers).
   size_t threads = 0;
@@ -45,10 +50,10 @@ struct ParallelRepairOptions {
   std::vector<CellRepair>* write_log = nullptr;
 };
 
-// Repairs `table` against a pre-built shared index. Returns the merged
-// stats of all workers (published once into fixrep.lrepair.* so registry
-// counts match a serial run).
-RepairStats ParallelRepairTable(const CompiledRuleIndex& index, Table* table,
+// Repairs `table` against a pre-built shared rule backend. Returns the
+// merged stats of all workers (published once into fixrep.lrepair.* so
+// registry counts match a serial run).
+RepairStats ParallelRepairTable(const RuleRepository& repo, Table* table,
                                 const ParallelRepairOptions& options = {});
 
 // Row-range variant: repairs rows [begin_row, end_row) only. The
@@ -56,7 +61,7 @@ RepairStats ParallelRepairTable(const CompiledRuleIndex& index, Table* table,
 // RowStore block, repair exactly its rows, unpin. Identical per-row
 // behavior to ParallelRepairTable; metrics are published per call, so a
 // sequence of range calls covering a table sums to one whole-table call.
-RepairStats ParallelRepairRows(const CompiledRuleIndex& index, Table* table,
+RepairStats ParallelRepairRows(const RuleRepository& repo, Table* table,
                                size_t begin_row, size_t end_row,
                                const ParallelRepairOptions& options = {});
 
@@ -101,14 +106,14 @@ struct LenientRepairResult {
 // serial and parallel runs of the same input produce identical tables,
 // stats, and diagnostics.
 LenientRepairResult ParallelRepairTableLenient(
-    const CompiledRuleIndex& index, Table* table,
+    const RuleRepository& repo, Table* table,
     const LenientRepairOptions& options = {});
 
 // Row-range variant of the lenient path (see ParallelRepairRows).
 // Diagnostic::line values are absolute row indices in `table`, so range
 // calls compose into the same diagnostic stream as a whole-table call.
 LenientRepairResult ParallelRepairRowsLenient(
-    const CompiledRuleIndex& index, Table* table, size_t begin_row,
+    const RuleRepository& repo, Table* table, size_t begin_row,
     size_t end_row, const LenientRepairOptions& options = {});
 
 }  // namespace fixrep

@@ -125,47 +125,6 @@ Status MalformedWal(const std::string& path, const std::string& detail) {
 
 }  // namespace
 
-uint64_t RuleSetFingerprint(const RuleSet& rules) {
-  // Canonical text, NOT SerializeRules: negative_patterns is sorted by
-  // ValueId, and ids depend on the pool's interning history, so the
-  // serialized order of a rule's negatives varies with which pool
-  // parsed the file. Render negatives sorted by string instead so the
-  // fingerprint is a property of the rules alone. '\x1f'/'\x1e' unit
-  // separators keep adjacent fields from aliasing each other.
-  const Schema& schema = rules.schema();
-  const ValuePool& pool = rules.pool();
-  std::string text;
-  std::vector<std::string_view> negatives;
-  for (size_t i = 0; i < rules.size(); ++i) {
-    const FixingRule& rule = rules.rule(i);
-    for (size_t e = 0; e < rule.evidence_attrs.size(); ++e) {
-      text += schema.attribute_name(rule.evidence_attrs[e]);
-      text += '\x1f';
-      text += pool.GetString(rule.evidence_values[e]);
-      text += '\x1f';
-    }
-    text += schema.attribute_name(rule.target);
-    text += '\x1f';
-    negatives.clear();
-    for (const ValueId v : rule.negative_patterns) {
-      negatives.push_back(pool.GetString(v));
-    }
-    std::sort(negatives.begin(), negatives.end());
-    for (const std::string_view v : negatives) {
-      text += v;
-      text += '\x1f';
-    }
-    text += pool.GetString(rule.fact);
-    text += '\x1e';
-  }
-  uint64_t h = 14695981039346656037ull;  // FNV-1a 64
-  for (const char c : text) {
-    h ^= static_cast<unsigned char>(c);
-    h *= 1099511628211ull;
-  }
-  return h;
-}
-
 StatusOr<ChunkJournal> ChunkJournal::Create(const std::string& path,
                                             const WalRunHeader& header) {
   StatusOr<WalWriter> writer = WalWriter::Create(path);
@@ -199,6 +158,11 @@ Status ChunkJournal::AddDelta(const WalCellDelta& delta) {
 
 Status ChunkJournal::AddQuarantine(const Diagnostic& diagnostic) {
   return writer_.Append(static_cast<uint8_t>(WalRec::kQuarantine),
+                        EncodeQuarantine(diagnostic));
+}
+
+Status ChunkJournal::AddCsvQuarantine(const Diagnostic& diagnostic) {
+  return writer_.Append(static_cast<uint8_t>(WalRec::kCsvQuarantine),
                         EncodeQuarantine(diagnostic));
 }
 
@@ -249,10 +213,12 @@ StatusOr<RecoveredRun> ScanWal(const std::string& path) {
         if (!DecodeHeader(record.payload, &run.header)) {
           return MalformedWal(path, "undecodable header record");
         }
-        if (run.header.version != kWalFormatVersion) {
+        if (run.header.version < kMinWalFormatVersion ||
+            run.header.version > kWalFormatVersion) {
           return MalformedWal(
               path, "format version " + std::to_string(run.header.version) +
-                        " (this build reads version " +
+                        " (this build reads versions " +
+                        std::to_string(kMinWalFormatVersion) + ".." +
                         std::to_string(kWalFormatVersion) + ")");
         }
         have_header = true;
@@ -295,6 +261,22 @@ StatusOr<RecoveredRun> ScanWal(const std::string& path) {
           return MalformedWal(path, "undecodable quarantine record");
         }
         pending->quarantined.push_back(std::move(diagnostic));
+        break;
+      }
+      case WalRec::kCsvQuarantine: {
+        if (run.header.version < kCsvQuarantineWalVersion) {
+          return MalformedWal(path,
+                              "csv_quarantine record in a version-" +
+                                  std::to_string(run.header.version) + " log");
+        }
+        if (!pending.has_value()) {
+          return MalformedWal(path, "csv_quarantine outside a chunk");
+        }
+        Diagnostic diagnostic;
+        if (!DecodeQuarantine(record.payload, &diagnostic)) {
+          return MalformedWal(path, "undecodable csv_quarantine record");
+        }
+        pending->csv_quarantined.push_back(std::move(diagnostic));
         break;
       }
       case WalRec::kChunkCommit: {

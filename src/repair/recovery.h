@@ -12,6 +12,7 @@
 #include "relation/schema.h"
 #include "relation/value_pool.h"
 #include "repair/provenance.h"
+#include "rules/fingerprint.h"
 #include "rules/rule_set.h"
 
 // Durable streaming repair (docs/durability.md): the record layer over
@@ -20,7 +21,8 @@
 //
 // Record protocol — one header, then per committed chunk:
 //
-//   header | chunk_begin cell_delta* quarantine* chunk_commit | ...
+//   header | chunk_begin cell_delta* csv_quarantine* quarantine*
+//            chunk_commit | ...
 //
 // ChunkJournal appends the records; each Commit group-fsyncs, so the
 // durable prefix of the file always ends at a chunk_commit. The
@@ -48,7 +50,16 @@
 
 namespace fixrep {
 
-inline constexpr uint32_t kWalFormatVersion = 1;
+// Version 2 added kCsvQuarantine: CSV-level diagnostics are journaled
+// per chunk, so resume validates re-rendered input diagnostics against
+// the log instead of silently trusting the input file. Version-1 logs
+// are still scanned and resumed (they carry no CSV records, so resume
+// falls back to re-rendering from the input, as version 1 always did).
+inline constexpr uint32_t kWalFormatVersion = 2;
+// The oldest version this build still reads.
+inline constexpr uint32_t kMinWalFormatVersion = 1;
+// The version that introduced CSV-level quarantine journaling.
+inline constexpr uint32_t kCsvQuarantineWalVersion = 2;
 
 // Record types inside the frame layer of common/wal.h.
 enum class WalRec : uint8_t {
@@ -57,6 +68,7 @@ enum class WalRec : uint8_t {
   kCellDelta = 3,
   kQuarantine = 4,
   kChunkCommit = 5,
+  kCsvQuarantine = 6,
 };
 
 // The run configuration a WAL was written under. Resume refuses a
@@ -93,17 +105,19 @@ struct WalChunk {
   uint64_t cells_changed = 0;
   uint64_t tuples_quarantined = 0;
   std::vector<WalCellDelta> deltas;
-  // Tuple-level diagnostics at global rows. CSV-level diagnostics are
-  // not journaled: re-reading the input regenerates them exactly.
+  // Tuple-level diagnostics at global rows.
   std::vector<Diagnostic> quarantined;
+  // CSV-level diagnostics the reader produced while this chunk's records
+  // were consumed (version >= 2; global record ordinals). Resume
+  // forwards these instead of the re-rendered ones and refuses when the
+  // two disagree — the loud alternative to assuming the input file is
+  // still present and unchanged.
+  std::vector<Diagnostic> csv_quarantined;
 };
 
-// Stable identity of a rule set: FNV-1a 64 over a canonical rendering.
-// Pool-independent: negative patterns are ordered by *string*, not by
-// ValueId (a rule's negative_patterns vector is ValueId-sorted, and ids
-// depend on what the pool interned before the rules), so the same rule
-// file fingerprints identically no matter which pool parsed it.
-uint64_t RuleSetFingerprint(const RuleSet& rules);
+// RuleSetFingerprint — the rule-set identity WAL headers carry — lives
+// in rules/fingerprint.h (included above): the same identity stamps
+// compiled rule dictionaries, so it belongs to the rules layer.
 
 // Appends the chunk protocol to a WAL file. Create/Resume sync the
 // header position immediately, so even a run killed inside its first
@@ -120,6 +134,9 @@ class ChunkJournal {
   Status BeginChunk(uint64_t chunk_index, uint64_t base_row, uint64_t rows);
   Status AddDelta(const WalCellDelta& delta);
   Status AddQuarantine(const Diagnostic& diagnostic);
+  // CSV-level (reader) diagnostic. Do not append to a log resumed from
+  // a version-1 header: old scanners refuse the record type.
+  Status AddCsvQuarantine(const Diagnostic& diagnostic);
   // Appends the commit record and group-fsyncs everything since the
   // last Commit. The chunk is durable iff this returns ok.
   Status Commit(uint64_t chunk_index, uint64_t rows, uint64_t cells_changed,

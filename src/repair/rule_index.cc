@@ -7,6 +7,7 @@
 #include "common/metric_scope.h"
 #include "common/metrics.h"
 #include "common/trace.h"
+#include "rules/fingerprint.h"
 
 namespace fixrep {
 
@@ -70,16 +71,38 @@ CompiledRuleIndex::CompiledRuleIndex(const RuleSet* rules) : rules_(rules) {
   size_t capacity = 16;
   while (capacity < num_keys_ * 2) capacity <<= 1;
   mask_ = capacity - 1;
-  slots_.assign(capacity, Slot{});
+  slots_.assign(capacity, RuleSlot{});
   postings_.reserve(total_postings);
   for (auto& [key, rule_ids] : gathered) {
-    size_t slot = Hash(key) & mask_;
-    while (slots_[slot].key != kEmptyKey) slot = (slot + 1) & mask_;
+    size_t slot = SplitMix64(key) & mask_;
+    while (slots_[slot].key != kEmptyRuleKey) slot = (slot + 1) & mask_;
     slots_[slot].key = key;
     slots_[slot].begin = static_cast<uint32_t>(postings_.size());
     postings_.insert(postings_.end(), rule_ids.begin(), rule_ids.end());
     slots_[slot].end = static_cast<uint32_t>(postings_.size());
   }
+
+  RuleSource::Init init;
+  init.slots = slots_.data();
+  init.slot_mask = mask_;
+  init.postings = postings_.data();
+  init.evidence_count = evidence_count_.data();
+  init.target = target_.data();
+  init.fact = fact_.data();
+  init.assured_bits = assured_bits_.data();
+  init.ev_offsets = ev_offsets_.data();
+  init.ev_attrs = ev_attrs_.data();
+  init.ev_values = ev_values_.data();
+  init.neg_offsets = neg_offsets_.data();
+  init.neg_values = neg_values_.data();
+  init.empty_evidence_rules = empty_evidence_rules_.data();
+  init.num_empty_evidence_rules = empty_evidence_rules_.size();
+  init.evidence_attr_list = evidence_attr_list_.data();
+  init.num_evidence_attrs = evidence_attr_list_.size();
+  init.mentioned_attrs = mentioned_attrs_;
+  init.num_rules = n;
+  init.arity = arity_;
+  view_ = RuleSource(init);
 
   auto& registry = CurrentMetrics();
   // fixrep.lrepair.index_builds must tick once per rule set — sharing one
@@ -96,33 +119,16 @@ CompiledRuleIndex::CompiledRuleIndex(const RuleSet* rules) : rules_(rules) {
   registry.GetGauge("fixrep.index.bytes")->Set(static_cast<int64_t>(bytes()));
 }
 
-void CompiledRuleIndex::LookupBatch(SimdKernel kernel, const uint64_t* keys,
-                                    size_t n, PostingRange* out) const {
-  // Sub-batch of 16: big enough to fill the load buffers with independent
-  // slot fetches, small enough that the hash scratch stays in registers /
-  // L1 and the prefetched lines are still resident when resolved.
-  constexpr size_t kSubBatch = 16;
-  uint64_t hashes[kSubBatch];
-  for (size_t base = 0; base < n; base += kSubBatch) {
-    const size_t m = std::min(kSubBatch, n - base);
-    HashBatch(kernel, keys + base, m, hashes);
-    // Issue all home-slot prefetches before any probe resolves: the
-    // independent cache misses overlap instead of serializing.
-    for (size_t i = 0; i < m; ++i) {
-      PrefetchRead(&slots_[hashes[i] & mask_]);
-    }
-    for (size_t i = 0; i < m; ++i) {
-      const PostingRange r = Resolve(keys[base + i], hashes[i]);
-      out[base + i] = r;
-      // A hit's postings are consumed by the caller's bump loop right
-      // after this returns — start those lines now.
-      if (r.begin != r.end) PrefetchRead(r.begin);
-    }
-  }
+uint64_t CompiledRuleIndex::fingerprint() const {
+  // Lazy: rendering the canonical text is O(corpus), and most indexes
+  // never need their identity (only WAL and dictionary flows do).
+  std::call_once(fingerprint_once_,
+                 [this] { fingerprint_ = RuleSetFingerprint(*rules_); });
+  return fingerprint_;
 }
 
 size_t CompiledRuleIndex::bytes() const {
-  return slots_.capacity() * sizeof(Slot) +
+  return slots_.capacity() * sizeof(RuleSlot) +
          postings_.capacity() * sizeof(uint32_t) +
          evidence_count_.capacity() * sizeof(uint32_t) +
          target_.capacity() * sizeof(AttrId) +

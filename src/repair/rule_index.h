@@ -1,35 +1,27 @@
 #ifndef FIXREP_REPAIR_RULE_INDEX_H_
 #define FIXREP_REPAIR_RULE_INDEX_H_
 
-#include <algorithm>
 #include <cstdint>
+#include <memory>
+#include <mutex>
 #include <vector>
 
 #include "common/simd.h"
 #include "relation/table.h"
 #include "rules/rule_set.h"
+#include "rules/rule_source.h"
 
 namespace fixrep {
 
-// Contiguous slice of a CSR postings array: the indices of every rule
-// whose evidence pattern contains one (attribute, value) cell.
-struct PostingRange {
-  const uint32_t* begin = nullptr;
-  const uint32_t* end = nullptr;
-
-  size_t size() const { return static_cast<size_t>(end - begin); }
-  bool empty() const { return begin == end; }
-};
-
 // Immutable, cache-friendly compilation of a RuleSet for the lRepair hot
 // path. Built once per rule set and shared read-only by every repair
-// engine (serial, pooled parallel, incremental) — the per-call,
+// engine (serial, pooled parallel, sharded, incremental) — the per-call,
 // per-worker index rebuild of the old design is gone.
 //
 // Layout:
 // * An open-addressing flat hash (linear probing, power-of-two capacity,
 //   <=50% load) maps the packed key (attr << 32 | value) to a postings
-//   range. Probing touches one contiguous Slot array — no node
+//   range. Probing touches one contiguous RuleSlot array — no node
 //   allocations, no pointer chasing.
 // * Postings are CSR-packed: one contiguous uint32_t rule-id array; each
 //   hash slot stores its [begin, end) offsets.
@@ -40,8 +32,17 @@ struct PostingRange {
 //   too (MatchesFlat), so candidate re-verification walks flat
 //   (attr, value) pairs instead of chasing RuleSet/FixingRule pointers.
 //
+// This is the in-RAM RuleSource backend (rules/rule_source.h): engines
+// chase against MakeSource()'s span view, and MakeHandle() plugs the
+// index into any RuleRepository-driven engine. Because the index is
+// built from the run's own ValuePool, its view needs no value
+// translation and no posting cache — every accessor is exactly the load
+// the pre-seam code performed. The direct probe methods below delegate
+// to the same view and remain for callers and tests that address the
+// index concretely.
+//
 // The rule set must outlive the index and must not be mutated afterwards.
-class CompiledRuleIndex {
+class CompiledRuleIndex : public RuleRepository {
  public:
   explicit CompiledRuleIndex(const RuleSet* rules);
 
@@ -49,34 +50,38 @@ class CompiledRuleIndex {
   CompiledRuleIndex& operator=(const CompiledRuleIndex&) = delete;
 
   const RuleSet& rules() const { return *rules_; }
-  size_t num_rules() const { return evidence_count_.size(); }
-  size_t arity() const { return arity_; }
+  size_t num_rules() const override { return evidence_count_.size(); }
+  size_t arity() const override { return arity_; }
 
-  // The packed probe key for one cell. attr < 64 (schemas are bounded to
-  // 64 attributes) and interned values are non-negative, so every valid
-  // key has its top bits clear and UINT64_MAX can mark an empty slot.
+  // The span view every engine chases against. Valid for the life of
+  // the index; copies are cheap.
+  RuleSource MakeSource() const { return view_; }
+
+  // RuleRepository: a handle is just the view (no per-worker scratch).
+  std::unique_ptr<RuleSourceHandle> MakeHandle() const override {
+    return std::make_unique<RuleSourceHandle>(view_);
+  }
+
+  // RuleSetFingerprint of the compiled set, computed on first use.
+  uint64_t fingerprint() const override;
+
   static uint64_t PackKey(AttrId attr, ValueId value) {
-    return (static_cast<uint64_t>(static_cast<uint32_t>(attr)) << 32) |
-           static_cast<uint32_t>(value);
+    return RuleSource::PackKey(attr, value);
   }
 
   // Rules phi with attr in X_phi and tp_phi[attr] == value. Empty range
   // when no rule mentions the cell.
   PostingRange Lookup(AttrId attr, ValueId value) const {
-    return Resolve(PackKey(attr, value), Hash(PackKey(attr, value)));
+    return view_.Lookup(attr, value);
   }
 
-  // Batched probe (the lRepair counter-initialization hot path): hashes
-  // `n` packed keys with `kernel`, prefetches every probed Slot
-  // cacheline, resolves the probes, and prefetches each hit's posting
-  // range before returning — by the time the caller's bump loop runs,
-  // the postings are (usually) already in flight. out[i] is exactly what
-  // Lookup on key i returns, for every kernel: batching buys
-  // memory-level parallelism, never different results.
+  // Batched probe (see RuleSource::LookupBatch).
   void LookupBatch(SimdKernel kernel, const uint64_t* keys, size_t n,
-                   PostingRange* out) const;
+                   PostingRange* out) const {
+    view_.LookupBatch(kernel, keys, n, out);
+  }
   void LookupBatch(const uint64_t* keys, size_t n, PostingRange* out) const {
-    LookupBatch(ActiveSimdKernel(), keys, n, out);
+    view_.LookupBatch(keys, n, out);
   }
 
   // |X_phi| — the evidence counter threshold for rule i.
@@ -89,29 +94,15 @@ class CompiledRuleIndex {
     return AttrSet::FromBits(assured_bits_[rule]);
   }
 
-  // v in Tp[B_phi] — the negative-pattern clause of Matches alone,
-  // evaluated by binary search of rule i's flat sorted slice. The
-  // prescreened batched chase uses this at enqueue time: right after
-  // counter initialization the tuple is untouched, so a full counter
-  // proves the evidence clause and applicability reduces to this test.
+  // v in Tp[B_phi] — the negative-pattern clause of Matches alone.
   bool NegativeMatch(uint32_t rule, ValueId v) const {
-    const ValueId* neg_begin = neg_values_.data() + neg_offsets_[rule];
-    const ValueId* neg_end = neg_values_.data() + neg_offsets_[rule + 1];
-    return std::binary_search(neg_begin, neg_end, v);
+    return view_.NegativeMatch(rule, v);
   }
 
-  // t |- phi, evaluated over the CSR side arrays: t[B] in Tp[B] (binary
-  // search of the flat sorted slice) and t[X] = tp[X] (flat pair walk).
-  // Semantically identical to rules().rule(i).Matches(t) — the chase
-  // uses this form so candidate verification never leaves the index's
-  // contiguous arrays.
+  // t |- phi, evaluated over the CSR side arrays. Semantically identical
+  // to rules().rule(i).Matches(t).
   bool MatchesFlat(uint32_t rule, TupleRef t) const {
-    if (!NegativeMatch(rule, t[target_[rule]])) return false;
-    const uint32_t ev_end = ev_offsets_[rule + 1];
-    for (uint32_t e = ev_offsets_[rule]; e < ev_end; ++e) {
-      if (t[ev_attrs_[e]] != ev_values_[e]) return false;
-    }
-    return true;
+    return view_.MatchesFlat(rule, t);
   }
 
   // Rules with empty evidence (always candidates).
@@ -120,10 +111,7 @@ class CompiledRuleIndex {
   }
 
   // The distinct attributes appearing in any rule's evidence pattern,
-  // ascending. Cells of any other attribute can never hit a posting
-  // list, so the batched gather probes only these columns; the legacy
-  // scalar loop still probes every cell and gets the same (empty)
-  // answers for the rest.
+  // ascending.
   const std::vector<AttrId>& evidence_attrs() const {
     return evidence_attr_list_;
   }
@@ -132,7 +120,7 @@ class CompiledRuleIndex {
   // closure the chase can ever read or write. Columns outside this set
   // are invisible to repair, which is what makes streaming column
   // pruning (repair/streaming.h) safe.
-  AttrSet mentioned_attrs() const { return mentioned_attrs_; }
+  AttrSet mentioned_attrs() const override { return mentioned_attrs_; }
 
   size_t num_keys() const { return num_keys_; }
   size_t num_postings() const { return postings_.size(); }
@@ -140,38 +128,11 @@ class CompiledRuleIndex {
   size_t bytes() const;
 
  private:
-  struct Slot {
-    uint64_t key = kEmptyKey;
-    uint32_t begin = 0;
-    uint32_t end = 0;
-  };
-
-  static constexpr uint64_t kEmptyKey = UINT64_MAX;
-
-  // SplitMix64 finalizer (common/simd.h): full avalanche so linear
-  // probing stays short. HashBatch computes the same function 2-4 keys
-  // at a time.
-  static uint64_t Hash(uint64_t x) { return SplitMix64(x); }
-
-  // The shared probe tail: walk from the hashed home slot to the key's
-  // slot or the first empty one.
-  PostingRange Resolve(uint64_t key, uint64_t hash) const {
-    size_t slot = hash & mask_;
-    while (true) {
-      const Slot& s = slots_[slot];
-      if (s.key == key) {
-        return {postings_.data() + s.begin, postings_.data() + s.end};
-      }
-      if (s.key == kEmptyKey) return {};
-      slot = (slot + 1) & mask_;
-    }
-  }
-
   const RuleSet* rules_;
   size_t arity_ = 0;
   size_t num_keys_ = 0;
   size_t mask_ = 0;
-  std::vector<Slot> slots_;
+  std::vector<RuleSlot> slots_;
   std::vector<uint32_t> postings_;
   std::vector<uint32_t> evidence_count_;
   std::vector<AttrId> target_;
@@ -189,6 +150,10 @@ class CompiledRuleIndex {
   std::vector<ValueId> neg_values_;
   std::vector<AttrId> evidence_attr_list_;
   AttrSet mentioned_attrs_;
+  RuleSource view_;  // spans over the vectors above, wired in the ctor
+
+  mutable std::once_flag fingerprint_once_;
+  mutable uint64_t fingerprint_ = 0;
 };
 
 }  // namespace fixrep

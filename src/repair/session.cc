@@ -9,15 +9,16 @@
 #include "repair/lrepair.h"
 #include "repair/parallel.h"
 #include "repair/recovery.h"
+#include "repair/sharded.h"
 #include "repair/streaming.h"
 
 namespace fixrep {
 
 RepairSession::RepairSession(const RuleSet* rules, const RepairConfig& config)
     : rules_(rules), config_(config) {
-  FIXREP_CHECK(rules_ != nullptr);
+  FIXREP_CHECK(rules_ != nullptr || !config_.rules_dict.empty());
   if (config_.scoped_metrics) scope_ = std::make_unique<MetricScope>();
-  if (config_.engine == RepairEngine::kLRepair) {
+  if (config_.engine == RepairEngine::kLRepair && config_.rules_dict.empty()) {
     // Scoped so the one-time index-build cost is attributed to this
     // session, like everything else it publishes.
     std::unique_ptr<MetricScope::Activation> active;
@@ -26,6 +27,22 @@ RepairSession::RepairSession(const RuleSet* rules, const RepairConfig& config)
     }
     index_ = std::make_unique<const CompiledRuleIndex>(rules_);
   }
+}
+
+RepairSession::RepairSession(const RepairConfig& config)
+    : RepairSession(nullptr, config) {}
+
+StatusOr<const RuleRepository*> RepairSession::Backend(
+    const Schema& schema, const std::shared_ptr<ValuePool>& pool) {
+  if (config_.rules_dict.empty()) return index_.get();
+  if (dict_ == nullptr) {
+    StatusOr<std::unique_ptr<RuleDict>> opened =
+        RuleDict::Open(config_.rules_dict);
+    if (!opened.ok()) return opened.status();
+    dict_ = std::move(opened.value());
+  }
+  FIXREP_RETURN_IF_ERROR(dict_->Bind(schema, pool));
+  return dict_.get();
 }
 
 const MetricsRegistry& RepairSession::metrics() const {
@@ -37,9 +54,10 @@ void RepairSession::FlushMetrics() {
 }
 
 Status RepairSession::ValidateForTable() const {
-  if (config_.engine == RepairEngine::kCRepair && config_.threads != 1) {
+  if (config_.engine == RepairEngine::kCRepair &&
+      (config_.threads != 1 || config_.shards != 0)) {
     return Status::MalformedInput(
-        "cRepair is serial-only; set threads=1 or use kLRepair");
+        "cRepair is serial-only; set threads=1 and shards=0 or use kLRepair");
   }
   return Status::Ok();
 }
@@ -59,8 +77,21 @@ StatusOr<RepairReport> RepairSession::Repair(Table* table) {
   RepairReport report;
   report.rows = table->num_rows();
 
+  StatusOr<const RuleRepository*> backend =
+      Backend(table->schema(), table->pool_ptr());
+  if (!backend.ok()) return backend.status();
+  const RuleRepository* repo = backend.value();
+
   if (config_.engine == RepairEngine::kCRepair) {
-    ChaseRepairer repairer(rules_);
+    // Dictionary-backed reference chase runs over the handle's source
+    // view; the rules-backed one compiles its private index as before.
+    std::unique_ptr<RuleSourceHandle> handle;
+    if (repo != nullptr && !config_.rules_dict.empty()) {
+      handle = repo->MakeHandle();
+    }
+    ChaseRepairer repairer =
+        handle != nullptr ? ChaseRepairer(handle->source())
+                          : ChaseRepairer(rules_);
     repairer.set_max_chase_steps(config_.max_chase_steps);
     if (config_.on_error == OnErrorPolicy::kAbort) {
       repairer.RepairTable(table);
@@ -94,6 +125,22 @@ StatusOr<RepairReport> RepairSession::Repair(Table* table) {
     return report;
   }
 
+  if (config_.shards > 0) {
+    // Content-routed engine; handles abort and lenient modes itself.
+    ShardedRepairOptions options;
+    options.shards = config_.shards;
+    options.use_memo = config_.use_memo;
+    options.memo_capacity = config_.memo_capacity;
+    options.on_error = config_.on_error;
+    options.quarantine = config_.quarantine;
+    options.max_chase_steps = config_.max_chase_steps;
+    const ShardedRepairResult result = ShardedRepairTable(*repo, table,
+                                                          options);
+    report.cells_changed = result.stats.cells_changed;
+    report.tuples_quarantined = result.tuples_quarantined;
+    return report;
+  }
+
   if (config_.on_error == OnErrorPolicy::kAbort) {
     // Serial widths short-circuit inside ParallelRepairRows to the
     // carried FastRepairer path, so one call covers both.
@@ -102,7 +149,7 @@ StatusOr<RepairReport> RepairSession::Repair(Table* table) {
     options.use_memo = config_.use_memo;
     options.memo_capacity = config_.memo_capacity;
     report.cells_changed =
-        ParallelRepairTable(*index_, table, options).cells_changed;
+        ParallelRepairTable(*repo, table, options).cells_changed;
     return report;
   }
 
@@ -112,7 +159,7 @@ StatusOr<RepairReport> RepairSession::Repair(Table* table) {
   options.quarantine = config_.quarantine;
   options.max_chase_steps = config_.max_chase_steps;
   const LenientRepairResult result =
-      ParallelRepairTableLenient(*index_, table, options);
+      ParallelRepairTableLenient(*repo, table, options);
   report.cells_changed = result.stats.cells_changed;
   report.tuples_quarantined = result.tuples_quarantined;
   return report;
@@ -129,6 +176,11 @@ StatusOr<RepairReport> RepairSession::RepairStream(CsvChunkReader* reader,
   if (scope_ != nullptr) {
     active = std::make_unique<MetricScope::Activation>(scope_.get());
   }
+  StatusOr<const RuleRepository*> backend =
+      Backend(*reader->schema(), reader->pool());
+  if (!backend.ok()) return backend.status();
+  const RuleRepository* repo = backend.value();
+
   StreamingRepairOptions options;
   options.chunk_rows = config_.chunk_rows;
   options.repair.parallel.threads = config_.threads;
@@ -137,6 +189,7 @@ StatusOr<RepairReport> RepairSession::RepairStream(CsvChunkReader* reader,
   options.repair.on_error = config_.on_error;
   options.repair.quarantine = config_.quarantine;
   options.repair.max_chase_steps = config_.max_chase_steps;
+  options.shards = config_.shards;
   options.memory_budget_bytes = config_.memory_budget_bytes;
   options.prune_columns = config_.prune_columns;
 
@@ -146,7 +199,9 @@ StatusOr<RepairReport> RepairSession::RepairStream(CsvChunkReader* reader,
   std::unique_ptr<ChunkJournal> journal;
   RecoveredRun recovered;
   if (!config_.wal_path.empty()) {
-    const uint64_t fingerprint = RuleSetFingerprint(*rules_);
+    // Both backends journal the same identity: a dictionary header
+    // carries RuleSetFingerprint of the set it compiled.
+    const uint64_t fingerprint = repo->fingerprint();
     if (config_.resume) {
       StatusOr<RecoveredRun> scanned = ScanWal(config_.wal_path);
       if (!scanned.ok()) return scanned.status();
@@ -173,7 +228,7 @@ StatusOr<RepairReport> RepairSession::RepairStream(CsvChunkReader* reader,
     options.journal = journal.get();
   }
 
-  StreamingRepairSession session(index_.get(), options);
+  StreamingRepairSession session(repo, options);
   StatusOr<StreamingRepairResult> result = session.Run(reader, out);
   if (!result.ok()) return result.status();
   if (journal != nullptr) FIXREP_RETURN_IF_ERROR(journal->Close());

@@ -13,6 +13,7 @@
 #include "relation/table.h"
 #include "repair/memo_cache.h"
 #include "repair/rule_index.h"
+#include "rules/rule_dict.h"
 #include "rules/rule_set.h"
 
 namespace fixrep {
@@ -48,6 +49,19 @@ struct RepairConfig {
   // 1 = serial (the default); 0 = the pool's full width; >1 = that many
   // workers (ParallelRepairOptions::threads semantics).
   size_t threads = 1;
+  // > 0: route table repair (and each streamed chunk) through the
+  // content-routed sharded engine (repair/sharded.h) with this many
+  // shards instead of the position-claiming pooled engine; `threads` is
+  // then ignored. kLRepair only. Output is bit-identical either way.
+  size_t shards = 0;
+  // Non-empty: repair against the compiled on-disk rule dictionary
+  // (rules/rule_dict.h) at this path instead of an index built from the
+  // borrowed RuleSet. The dictionary is opened on the first
+  // Repair/RepairStream call and bound to that call's schema and value
+  // pool; open/bind failures (bad magic, truncation, CRC or schema
+  // mismatch) surface as that call's Status. Output is byte-identical
+  // to an in-RAM run over the same rules.
+  std::string rules_dict;
   // Tuple-signature memoization (abort mode only; lenient repair never
   // memoizes). Output is bit-identical either way.
   bool use_memo = true;
@@ -109,15 +123,22 @@ class RepairSession {
  public:
   // Borrows `rules`, which must outlive the session and must not be
   // mutated afterwards. For kLRepair the compiled index is built here,
-  // once, and shared by every Repair/RepairStream call.
+  // once, and shared by every Repair/RepairStream call — unless
+  // config.rules_dict is set, in which case the dictionary is the
+  // backend and `rules` goes unused.
   explicit RepairSession(const RuleSet* rules, const RepairConfig& config = {});
+
+  // Dictionary-only session: config.rules_dict must be non-empty.
+  explicit RepairSession(const RepairConfig& config);
 
   RepairSession(const RepairSession&) = delete;
   RepairSession& operator=(const RepairSession&) = delete;
 
   const RepairConfig& config() const { return config_; }
-  // Non-null iff the engine is kLRepair.
+  // Non-null iff the engine is kLRepair and the backend is in-RAM.
   const CompiledRuleIndex* index() const { return index_.get(); }
+  // Non-null once a rules_dict-backed call has opened the dictionary.
+  const RuleDict* dict() const { return dict_.get(); }
 
   // The session's private registry when scoped_metrics is set (counts
   // accumulated since the last flush), the global registry otherwise.
@@ -137,10 +158,16 @@ class RepairSession {
 
  private:
   Status ValidateForTable() const;
+  // The rule backend for one call: the session's compiled index, or —
+  // with config_.rules_dict set — the dictionary, opened once and bound
+  // to the call's schema and pool.
+  StatusOr<const RuleRepository*> Backend(
+      const Schema& schema, const std::shared_ptr<ValuePool>& pool);
 
   const RuleSet* rules_;
   RepairConfig config_;
   std::unique_ptr<const CompiledRuleIndex> index_;
+  std::unique_ptr<RuleDict> dict_;
   // Present iff config_.scoped_metrics; activated on the calling thread
   // for the duration of each Repair/RepairStream call.
   std::unique_ptr<MetricScope> scope_;

@@ -1,6 +1,7 @@
 #include "repair/streaming.h"
 
 #include <algorithm>
+#include <memory>
 #include <ostream>
 #include <string>
 #include <utility>
@@ -13,6 +14,7 @@
 #include "common/trace.h"
 #include "relation/row_store.h"
 #include "repair/lrepair.h"
+#include "repair/sharded.h"
 
 namespace fixrep {
 
@@ -90,22 +92,23 @@ std::string FormatRowWithSidecar(const Table& chunk,
 }  // namespace
 
 StreamingRepairSession::StreamingRepairSession(
-    const CompiledRuleIndex* index, const StreamingRepairOptions& options)
-    : index_(index), options_(options) {
-  FIXREP_CHECK(index_ != nullptr);
+    const RuleRepository* repo, const StreamingRepairOptions& options)
+    : repo_(repo), options_(options) {
+  FIXREP_CHECK(repo_ != nullptr);
   FIXREP_CHECK_GT(options_.chunk_rows, 0u);
 }
 
 StatusOr<StreamingRepairResult> StreamingRepairSession::Run(
     CsvChunkReader* reader, std::ostream& out) {
   FIXREP_CHECK(reader != nullptr);
-  if (reader->schema()->arity() != index_->arity()) {
+  if (reader->schema()->arity() != repo_->arity()) {
     return Status::MalformedInput(
         "stream arity " + std::to_string(reader->schema()->arity()) +
-        " does not match rule arity " + std::to_string(index_->arity()));
+        " does not match rule arity " + std::to_string(repo_->arity()));
   }
   FIXREP_TRACE_SPAN("streaming.run");
   const size_t threads = options_.repair.parallel.threads;
+  const bool sharded = options_.shards > 0;
   const bool lenient = options_.repair.on_error != OnErrorPolicy::kAbort;
   const bool quarantining =
       options_.repair.on_error == OnErrorPolicy::kQuarantine &&
@@ -113,14 +116,16 @@ StatusOr<StreamingRepairResult> StreamingRepairSession::Run(
   FIXREP_LOG(Debug) << "streaming repair"
                     << Kv("chunk_rows", options_.chunk_rows)
                     << Kv("threads", threads)
-                    << Kv("rules", index_->num_rules())
+                    << Kv("shards", options_.shards)
+                    << Kv("rules", repo_->num_rules())
                     << Kv("budget_bytes", options_.memory_budget_bytes)
                     << Kv("prune", options_.prune_columns ? 1 : 0);
 
   // Serial runs carry the repairer (and the memo, in abort mode) across
   // chunks so chunking is invisible to memoization.
-  const bool serial = threads == 1;
-  FastRepairer serial_repairer(index_);
+  const bool serial = threads == 1 && !sharded;
+  const std::unique_ptr<RuleSourceHandle> serial_handle = repo_->MakeHandle();
+  FastRepairer serial_repairer(serial_handle->source());
   MemoCache serial_memo(options_.repair.parallel.memo_capacity);
   if (serial && !lenient && options_.repair.parallel.use_memo) {
     serial_repairer.set_memo(&serial_memo);
@@ -134,6 +139,18 @@ StatusOr<StreamingRepairResult> StreamingRepairSession::Run(
   std::vector<CellRepair> chunk_deltas;
   std::vector<Diagnostic> chunk_diags;
   if (serial && journaling) serial_repairer.set_write_log(&chunk_deltas);
+
+  // CSV-level quarantine journaling (WAL version >= 2): a capture sink
+  // interposed around each ReadChunk sees exactly the reader
+  // diagnostics one chunk produced, so they land in the chunk's WAL
+  // records and resume can validate the re-read input against the log
+  // instead of silently trusting it. Appending to a resumed version-1
+  // log keeps the old record set (old scanners refuse the new type).
+  const bool journal_csv =
+      journaling && (options_.resume == nullptr ||
+                     options_.resume->header.version >=
+                         kCsvQuarantineWalVersion);
+  VectorQuarantineSink csv_capture;
 
   WriteCsvHeader(*reader->schema(), out);
 
@@ -152,10 +169,10 @@ StatusOr<StreamingRepairResult> StreamingRepairSession::Run(
   // Column pruning: intern only the attribute closure the rules can
   // touch; everything else rides in the sidecar as raw text.
   const AttrSet materialize =
-      options_.prune_columns ? index_->mentioned_attrs()
-                             : AttrSet::All(index_->arity());
+      options_.prune_columns ? repo_->mentioned_attrs()
+                             : AttrSet::All(repo_->arity());
   ColumnSidecar sidecar_storage;
-  sidecar_storage.Init(index_->arity(), materialize);
+  sidecar_storage.Init(repo_->arity(), materialize);
   ColumnSidecar* sidecar =
       options_.prune_columns && sidecar_storage.num_pruned() > 0
           ? &sidecar_storage
@@ -170,6 +187,33 @@ StatusOr<StreamingRepairResult> StreamingRepairSession::Run(
   // `base_row` is the global index of chunk row 0.
   auto repair_range = [&](size_t begin, size_t end,
                           size_t base_row) -> Status {
+    if (sharded) {
+      // Content-routed engine: diagnostics come back at chunk-local rows
+      // via a range sink and are rebased like the pooled lenient path.
+      ShardedRepairOptions shard_options;
+      shard_options.shards = options_.shards;
+      shard_options.use_memo = options_.repair.parallel.use_memo;
+      shard_options.memo_capacity = options_.repair.parallel.memo_capacity;
+      shard_options.on_error = options_.repair.on_error;
+      shard_options.max_chase_steps = options_.repair.max_chase_steps;
+      if (journaling) shard_options.write_log = &chunk_deltas;
+      VectorQuarantineSink range_sink;
+      if (lenient && quarantining) shard_options.quarantine = &range_sink;
+      const ShardedRepairResult range_result =
+          ShardedRepairRows(*repo_, &chunk, begin, end, shard_options);
+      progress.AddRows(end - begin);
+      result.cells_changed += range_result.stats.cells_changed;
+      result.tuples_quarantined += range_result.tuples_quarantined;
+      for (const Diagnostic& d : range_sink.diagnostics()) {
+        Diagnostic rebased{base_row + d.line, d.code, d.message,
+                           sidecar == nullptr
+                               ? d.raw_text
+                               : FormatRowWithSidecar(chunk, sidecar, d.line)};
+        options_.repair.quarantine->Add(rebased);
+        if (journaling) chunk_diags.push_back(std::move(rebased));
+      }
+      return Status::Ok();
+    }
     if (serial && !lenient) {
       // Row-group driver in progress-stride sub-ranges: batched probes
       // inside, live fixrep.progress.rows updates between.
@@ -215,7 +259,7 @@ StatusOr<StreamingRepairResult> StreamingRepairSession::Run(
       ParallelRepairOptions parallel_options = options_.repair.parallel;
       if (journaling) parallel_options.write_log = &chunk_deltas;
       result.cells_changed +=
-          ParallelRepairRows(*index_, &chunk, begin, end, parallel_options)
+          ParallelRepairRows(*repo_, &chunk, begin, end, parallel_options)
               .cells_changed;
       progress.AddRows(end - begin);
       return Status::Ok();
@@ -229,7 +273,7 @@ StatusOr<StreamingRepairResult> StreamingRepairSession::Run(
     lenient_options.quarantine = quarantining ? &range_sink : nullptr;
     if (journaling) lenient_options.write_log = &chunk_deltas;
     const LenientRepairResult range_result = ParallelRepairRowsLenient(
-        *index_, &chunk, begin, end, lenient_options);
+        *repo_, &chunk, begin, end, lenient_options);
     progress.AddRows(end - begin);
     result.cells_changed += range_result.stats.cells_changed;
     result.tuples_quarantined += range_result.tuples_quarantined;
@@ -252,12 +296,46 @@ StatusOr<StreamingRepairResult> StreamingRepairSession::Run(
   // Byte-identical to the uninterrupted run because the chase is a pure
   // per-tuple function: same input chunk + same deltas = same rows.
   if (options_.resume != nullptr) {
+    // Version >= 2 logs carry the reader diagnostics each chunk
+    // produced: re-render them into a capture sink, refuse on any
+    // disagreement with the log (the input changed since the journaled
+    // run), and forward the journaled records — never the silently
+    // trusted re-rendering — to the live sink. Version-1 logs keep the
+    // historical behavior (re-rendered diagnostics flow straight
+    // through).
+    const bool validate_csv =
+        options_.resume->header.version >= kCsvQuarantineWalVersion;
     for (const WalChunk& durable : options_.resume->chunks) {
       chunk.Clear();
       if (sidecar != nullptr) sidecar->Clear();
+      QuarantineSink* live_sink = nullptr;
+      if (validate_csv) {
+        csv_capture.Clear();
+        live_sink = reader->SwapQuarantine(&csv_capture);
+      }
       StatusOr<size_t> read =
           reader->ReadChunk(&chunk, options_.chunk_rows, sidecar);
+      if (validate_csv) {
+        reader->SwapQuarantine(live_sink);
+      }
       if (!read.ok()) return read.status();
+      if (validate_csv) {
+        if (csv_capture.diagnostics() != durable.csv_quarantined) {
+          return Status::MalformedInput(
+              "resume divergence at chunk " +
+              std::to_string(durable.chunk_index) + ": WAL journaled " +
+              std::to_string(durable.csv_quarantined.size()) +
+              " CSV-level diagnostics, re-reading the input rendered " +
+              std::to_string(csv_capture.size()) +
+              " (or their contents differ) — was the input modified since "
+              "the journaled run?");
+        }
+        if (live_sink != nullptr) {
+          for (const Diagnostic& diagnostic : durable.csv_quarantined) {
+            live_sink->Add(diagnostic);
+          }
+        }
+      }
       if (read.value() != durable.rows ||
           durable.base_row != result.rows_emitted) {
         return Status::MalformedInput(
@@ -324,8 +402,22 @@ StatusOr<StreamingRepairResult> StreamingRepairSession::Run(
   while (true) {
     chunk.Clear();
     if (sidecar != nullptr) sidecar->Clear();
+    QuarantineSink* live_sink = nullptr;
+    if (journal_csv) {
+      csv_capture.Clear();
+      live_sink = reader->SwapQuarantine(&csv_capture);
+    }
     StatusOr<size_t> read =
         reader->ReadChunk(&chunk, options_.chunk_rows, sidecar);
+    if (journal_csv) {
+      reader->SwapQuarantine(live_sink);
+      // The capture must be invisible to the caller's sink.
+      if (live_sink != nullptr) {
+        for (const Diagnostic& diagnostic : csv_capture.diagnostics()) {
+          live_sink->Add(diagnostic);
+        }
+      }
+    }
     if (!read.ok()) return read.status();
     if (read.value() == 0 && reader->at_end()) break;
     ++result.chunks;
@@ -383,6 +475,12 @@ StatusOr<StreamingRepairResult> StreamingRepairSession::Run(
         delta.new_value = pool.GetString(repair.new_value);
         delta.rule_index = repair.rule_index;
         journaled = journal.AddDelta(delta);
+      }
+      if (journal_csv) {
+        for (const Diagnostic& diagnostic : csv_capture.diagnostics()) {
+          if (!journaled.ok()) break;
+          journaled = journal.AddCsvQuarantine(diagnostic);
+        }
       }
       for (const Diagnostic& diagnostic : chunk_diags) {
         if (!journaled.ok()) break;

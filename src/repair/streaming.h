@@ -19,7 +19,8 @@ namespace fixrep {
 //
 // New call sites should go through RepairSession::RepairStream
 // (repair/session.h), which forwards here; this class stays public as
-// the engine layer for callers that manage their own CompiledRuleIndex.
+// the engine layer for callers that manage their own rule backend (any
+// RuleRepository — the in-RAM CompiledRuleIndex or a mapped RuleDict).
 //
 // The pipeline (docs/storage.md) is
 //
@@ -68,6 +69,12 @@ struct StreamingRepairOptions {
   // * repair.max_chase_steps: per-tuple chase budget in lenient mode.
   LenientRepairOptions repair{.parallel = {.threads = 1},
                               .on_error = OnErrorPolicy::kAbort};
+  // > 0: repair each chunk (or pinned spill block) with the
+  // content-routed sharded engine (repair/sharded.h) over this many
+  // shards instead of the position-claiming pooled engine;
+  // repair.parallel.threads is then ignored. Output is bit-identical
+  // either way.
+  size_t shards = 0;
   // > 0: spill chunk cell blocks past this many resident bytes to a
   // temp-backed file (see class comment). 0 = fully in-memory chunks.
   size_t memory_budget_bytes = 0;
@@ -103,18 +110,18 @@ struct StreamingRepairResult {
 
 class StreamingRepairSession {
  public:
-  // The index is borrowed and must outlive the session.
-  explicit StreamingRepairSession(const CompiledRuleIndex* index,
+  // The repository is borrowed and must outlive the session.
+  explicit StreamingRepairSession(const RuleRepository* repo,
                                   const StreamingRepairOptions& options = {});
 
   // Drains `reader` chunk by chunk, writing the CSV header and every
   // repaired row to `out`. Returns the totals, or the first error in
-  // abort mode. The reader's schema must match the index's arity.
+  // abort mode. The reader's schema must match the rules' arity.
   StatusOr<StreamingRepairResult> Run(CsvChunkReader* reader,
                                       std::ostream& out);
 
  private:
-  const CompiledRuleIndex* index_;
+  const RuleRepository* repo_;
   StreamingRepairOptions options_;
 };
 

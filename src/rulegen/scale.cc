@@ -1,0 +1,105 @@
+#include "rulegen/scale.h"
+
+#include <algorithm>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/logging.h"
+#include "common/random.h"
+#include "rules/fixing_rule.h"
+
+namespace fixrep {
+
+namespace {
+
+// Compact base-36 rendering keeps a million-rule corpus's string pool in
+// the tens of megabytes instead of hundreds.
+std::string Base36(uint64_t v) {
+  static const char kDigits[] = "0123456789abcdefghijklmnopqrstuvwxyz";
+  char buf[16];
+  size_t n = 0;
+  do {
+    buf[n++] = kDigits[v % 36];
+    v /= 36;
+  } while (v != 0);
+  std::string out;
+  out.reserve(n);
+  while (n > 0) out.push_back(buf[--n]);
+  return out;
+}
+
+struct FdTemplate {
+  std::vector<AttrId> lhs;  // sorted
+  AttrId rhs = kInvalidAttr;
+};
+
+}  // namespace
+
+void AppendScaleRules(RuleSet* rules, const ScaleRuleGenOptions& options) {
+  FIXREP_CHECK(rules != nullptr);
+  const Schema& schema = rules->schema();
+  const size_t arity = schema.arity();
+  FIXREP_CHECK_GE(arity, 2u);
+  ValuePool& pool = rules->pool();
+  Rng rng(options.seed);
+
+  const size_t evidence_arity =
+      std::max<size_t>(1, std::min(options.evidence_arity, arity - 1));
+  const size_t negatives =
+      std::max<size_t>(1, options.negatives_per_rule);
+  const size_t num_templates = std::max<size_t>(1, options.num_templates);
+
+  // Synthetic FD templates (LHS attribute set -> RHS attribute), drawn
+  // once up front so instantiation below is a flat loop.
+  std::vector<FdTemplate> templates;
+  templates.reserve(num_templates);
+  std::vector<AttrId> attrs(arity);
+  for (size_t a = 0; a < arity; ++a) attrs[a] = static_cast<AttrId>(a);
+  for (size_t t = 0; t < num_templates; ++t) {
+    std::vector<AttrId> deck = attrs;
+    rng.Shuffle(&deck);
+    FdTemplate tmpl;
+    tmpl.rhs = deck[0];
+    tmpl.lhs.assign(deck.begin() + 1,
+                    deck.begin() + 1 + static_cast<long>(evidence_arity));
+    std::sort(tmpl.lhs.begin(), tmpl.lhs.end());
+    templates.push_back(std::move(tmpl));
+  }
+
+  // One instantiation per rule, round-robin over the templates. Every
+  // constant embeds the rule's global ordinal, so it appears in exactly
+  // one rule — the consistency-by-construction property documented in
+  // the header.
+  const size_t base = rules->size();
+  for (size_t i = 0; i < options.scale; ++i) {
+    const FdTemplate& tmpl = templates[i % templates.size()];
+    const std::string tag = Base36(base + i);
+    FixingRule rule;
+    rule.target = tmpl.rhs;
+    rule.evidence_attrs = tmpl.lhs;
+    rule.evidence_values.reserve(tmpl.lhs.size());
+    for (size_t e = 0; e < tmpl.lhs.size(); ++e) {
+      rule.evidence_values.push_back(pool.Intern("sv" + tag + "e" +
+                                                 Base36(e)));
+    }
+    rule.negative_patterns.reserve(negatives);
+    for (size_t n = 0; n < negatives; ++n) {
+      rule.negative_patterns.push_back(pool.Intern("sn" + tag + "x" +
+                                                   Base36(n)));
+    }
+    std::sort(rule.negative_patterns.begin(), rule.negative_patterns.end());
+    rule.fact = pool.Intern("sf" + tag);
+    rules->Add(std::move(rule));
+  }
+}
+
+RuleSet GenerateScaleRules(std::shared_ptr<const Schema> schema,
+                           std::shared_ptr<ValuePool> pool,
+                           const ScaleRuleGenOptions& options) {
+  RuleSet rules(std::move(schema), std::move(pool));
+  AppendScaleRules(&rules, options);
+  return rules;
+}
+
+}  // namespace fixrep

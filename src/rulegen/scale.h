@@ -1,0 +1,59 @@
+#ifndef FIXREP_RULEGEN_SCALE_H_
+#define FIXREP_RULEGEN_SCALE_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+
+#include "relation/schema.h"
+#include "relation/value_pool.h"
+#include "rules/rule_set.h"
+
+namespace fixrep {
+
+// Deterministic large-corpus rule generator (`fixrep_cli gen-rules
+// --scale=N`). The oracle workflow in rulegen.h tops out at the few
+// thousand rules real FD-violation groups yield; benches and tests for
+// the on-disk rule dictionary (rules/rule_dict.h) need corpora of a
+// million rules and more — deliberately bigger than what should sit
+// resident next to the data being repaired.
+//
+// The shape mimics a CFD tableau expansion: a small set of synthetic FD
+// templates (LHS attribute pairs -> RHS attribute, drawn from the
+// schema) is instantiated `scale` times, each instantiation binding the
+// template to rule-unique constants — evidence values for the LHS,
+// known-wrong values plus the correct fact for the RHS. Constants are
+// unique to their rule, which makes the corpus consistent by
+// construction (no tuple can match two rules' evidence, and an applied
+// fact appears in no other rule's patterns — the chase terminates after
+// one application per tuple), so abort-mode repair is safe against it.
+//
+// Determinism: the same (schema, options) produce the same rule list in
+// the same order with the same strings. Appending to a set that already
+// holds organically generated rules is the intended way to build a
+// corpus that both exercises real repairs and carries dictionary bulk.
+struct ScaleRuleGenOptions {
+  // Number of synthetic rules to emit.
+  size_t scale = 1'000'000;
+  uint64_t seed = 0x5ca1e;
+  // FD templates instantiated round-robin; more templates spread the
+  // evidence attributes wider. Capped by what the schema arity allows.
+  size_t num_templates = 64;
+  // Evidence cells per rule (capped at arity - 1).
+  size_t evidence_arity = 2;
+  // Negative patterns per rule.
+  size_t negatives_per_rule = 2;
+};
+
+// Appends `options.scale` synthetic rules to `rules` (which supplies
+// the schema and pool). The schema needs arity >= 2.
+void AppendScaleRules(RuleSet* rules, const ScaleRuleGenOptions& options);
+
+// Convenience: a fresh set holding only the synthetic corpus.
+RuleSet GenerateScaleRules(std::shared_ptr<const Schema> schema,
+                           std::shared_ptr<ValuePool> pool,
+                           const ScaleRuleGenOptions& options);
+
+}  // namespace fixrep
+
+#endif  // FIXREP_RULEGEN_SCALE_H_

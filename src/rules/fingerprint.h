@@ -1,0 +1,25 @@
+#ifndef FIXREP_RULES_FINGERPRINT_H_
+#define FIXREP_RULES_FINGERPRINT_H_
+
+#include <cstdint>
+
+#include "rules/rule_set.h"
+
+namespace fixrep {
+
+// Stable identity of a rule set: FNV-1a 64 over a canonical rendering.
+// Pool-independent: negative patterns are ordered by *string*, not by
+// ValueId (a rule's negative_patterns vector is ValueId-sorted, and ids
+// depend on what the pool interned before the rules), so the same rule
+// file fingerprints identically no matter which pool parsed it.
+//
+// This is the identity that ties a rule set to its derived artifacts:
+// WAL headers (repair/recovery.h) refuse resume under a different rule
+// set, and a compiled rule dictionary (rules/rule_dict.h) carries the
+// fingerprint of the set it was compiled from, so a dictionary-backed
+// run journals the same identity an in-memory run does.
+uint64_t RuleSetFingerprint(const RuleSet& rules);
+
+}  // namespace fixrep
+
+#endif  // FIXREP_RULES_FINGERPRINT_H_

@@ -640,6 +640,159 @@ TEST_F(RecoveryTest, ResumeDetectsADivergentInput) {
             std::string::npos);
 }
 
+// -------------------------------------- CSV-level quarantine journaling --
+
+TEST_F(RecoveryTest, CsvQuarantineRoundTripsThroughTheJournal) {
+  const std::string path = TempPath("csvq.wal");
+  WalRunHeader header;
+  header.attribute_names = {"a", "b"};
+  header.chunk_rows = 4;
+  Diagnostic csv_diag{3, StatusCode::kMalformedInput, "record has 1 field",
+                      "bad"};
+  Diagnostic tuple_diag{5, StatusCode::kBudgetExhausted, "chase budget",
+                        "(x, y)"};
+  {
+    StatusOr<ChunkJournal> journal = ChunkJournal::Create(path, header);
+    ASSERT_TRUE(journal.ok()) << journal.status().message();
+    ASSERT_TRUE(journal->BeginChunk(1, 0, 4).ok());
+    ASSERT_TRUE(journal->AddCsvQuarantine(csv_diag).ok());
+    ASSERT_TRUE(journal->AddQuarantine(tuple_diag).ok());
+    ASSERT_TRUE(journal->Commit(1, 4, 0, 1).ok());
+    ASSERT_TRUE(journal->Close().ok());
+  }
+  StatusOr<RecoveredRun> run = ScanWal(path);
+  ASSERT_TRUE(run.ok()) << run.status().message();
+  EXPECT_EQ(run->header.version, kWalFormatVersion);
+  ASSERT_EQ(run->chunks.size(), 1u);
+  ASSERT_EQ(run->chunks[0].csv_quarantined.size(), 1u);
+  EXPECT_EQ(run->chunks[0].csv_quarantined[0], csv_diag);
+  ASSERT_EQ(run->chunks[0].quarantined.size(), 1u);
+  EXPECT_EQ(run->chunks[0].quarantined[0], tuple_diag);
+}
+
+TEST_F(RecoveryTest, CsvQuarantineRecordIsRefusedInAVersion1Log) {
+  const std::string path = TempPath("csvq_v1.wal");
+  WalRunHeader header;
+  header.version = 1;
+  header.attribute_names = {"a", "b"};
+  {
+    StatusOr<ChunkJournal> journal = ChunkJournal::Create(path, header);
+    ASSERT_TRUE(journal.ok()) << journal.status().message();
+    ASSERT_TRUE(journal->BeginChunk(1, 0, 1).ok());
+    ASSERT_TRUE(journal->AddCsvQuarantine(
+                            Diagnostic{0, StatusCode::kMalformedInput,
+                                       "bad", "bad"})
+                    .ok());
+    ASSERT_TRUE(journal->Commit(1, 1, 0, 0).ok());
+    ASSERT_TRUE(journal->Close().ok());
+  }
+  StatusOr<RecoveredRun> run = ScanWal(path);
+  ASSERT_FALSE(run.ok());
+  EXPECT_EQ(run.status().code(), StatusCode::kMalformedInput);
+  EXPECT_NE(run.status().message().find("csv_quarantine"),
+            std::string::npos);
+}
+
+// RunDurable with the reader in quarantine mode, capturing the
+// CSV-level diagnostics the reader (or, on resume, the log) delivers.
+StatusOr<DurableRun> RunDurableCsvQuarantine(
+    const std::string& csv_text, std::shared_ptr<ValuePool> pool,
+    const RuleSet& rules, const DurableConfig& config,
+    std::vector<Diagnostic>* csv_diagnostics) {
+  VectorQuarantineSink csv_sink;
+  VectorQuarantineSink tuple_sink;
+  std::istringstream in(csv_text);
+  CsvReadOptions csv_options;
+  csv_options.on_error = config.on_error;
+  csv_options.quarantine = &csv_sink;
+  StatusOr<CsvChunkReader> reader =
+      CsvChunkReader::Open(in, "stream", std::move(pool), csv_options);
+  if (!reader.ok()) return reader.status();
+  RepairConfig repair;
+  repair.on_error = config.on_error;
+  repair.quarantine = &tuple_sink;
+  repair.chunk_rows = config.chunk_rows;
+  repair.wal_path = config.wal_path;
+  repair.resume = config.resume;
+  RepairSession session(&rules, repair);
+  std::ostringstream out;
+  StatusOr<RepairReport> report = session.RepairStream(&reader.value(), out);
+  if (!report.ok()) return report.status();
+  *csv_diagnostics = csv_sink.diagnostics();
+  DurableRun run;
+  run.csv = out.str();
+  run.report = report.value();
+  run.tuple_diagnostics = tuple_sink.diagnostics();
+  return run;
+}
+
+// A dirty travel CSV with one malformed (wrong-arity) record in the
+// middle, so the reader quarantines exactly one CSV-level diagnostic.
+std::string TravelCsvWithBadRecord(const TravelExample& example,
+                                   const std::string& bad_record) {
+  std::string csv = ToCsv(example.dirty);
+  const size_t second_line = csv.find('\n', csv.find('\n') + 1) + 1;
+  return csv.substr(0, second_line) + bad_record + "\n" +
+         csv.substr(second_line);
+}
+
+TEST_F(RecoveryTest, ResumeForwardsJournaledCsvDiagnostics) {
+  TravelExample example;
+  const std::string wal = TempPath("csvq_resume.wal");
+  const std::string dirty_csv = TravelCsvWithBadRecord(example, "bad");
+  DurableConfig config{.chunk_rows = 2,
+                       .on_error = OnErrorPolicy::kQuarantine,
+                       .wal_path = wal};
+  std::vector<Diagnostic> original_csv_diags;
+  const StatusOr<DurableRun> full = RunDurableCsvQuarantine(
+      dirty_csv, example.pool, example.rules, config, &original_csv_diags);
+  ASSERT_TRUE(full.ok()) << full.status().message();
+  ASSERT_EQ(original_csv_diags.size(), 1u);
+
+  // The journal carries the reader diagnostics chunk by chunk.
+  StatusOr<RecoveredRun> scanned = ScanWal(wal);
+  ASSERT_TRUE(scanned.ok()) << scanned.status().message();
+  size_t journaled = 0;
+  for (const WalChunk& chunk : scanned->chunks) {
+    journaled += chunk.csv_quarantined.size();
+  }
+  EXPECT_EQ(journaled, 1u);
+
+  // Resuming the complete run forwards the journaled records to the
+  // live sink and re-emits identical output.
+  config.resume = true;
+  std::vector<Diagnostic> resumed_csv_diags;
+  const StatusOr<DurableRun> resumed = RunDurableCsvQuarantine(
+      dirty_csv, example.pool, example.rules, config, &resumed_csv_diags);
+  ASSERT_TRUE(resumed.ok()) << resumed.status().message();
+  EXPECT_EQ(resumed->csv, full->csv);
+  ExpectSameDiagnostics(resumed_csv_diags, original_csv_diags, "csv resume");
+}
+
+TEST_F(RecoveryTest, ResumeRefusesWhenCsvDiagnosticsDiverge) {
+  TravelExample example;
+  const std::string wal = TempPath("csvq_diverge.wal");
+  DurableConfig config{.chunk_rows = 2,
+                       .on_error = OnErrorPolicy::kQuarantine,
+                       .wal_path = wal};
+  std::vector<Diagnostic> csv_diags;
+  const StatusOr<DurableRun> full = RunDurableCsvQuarantine(
+      TravelCsvWithBadRecord(example, "bad"), example.pool, example.rules,
+      config, &csv_diags);
+  ASSERT_TRUE(full.ok()) << full.status().message();
+
+  // The malformed record's text changed but it is still malformed at
+  // the same position: committed row counts line up, so only the
+  // journaled CSV diagnostics expose that the input was modified.
+  config.resume = true;
+  const StatusOr<DurableRun> resumed = RunDurableCsvQuarantine(
+      TravelCsvWithBadRecord(example, "bad,worse"), example.pool,
+      example.rules, config, &csv_diags);
+  ASSERT_FALSE(resumed.ok());
+  EXPECT_EQ(resumed.status().code(), StatusCode::kMalformedInput);
+  EXPECT_NE(resumed.status().message().find("CSV-level"), std::string::npos);
+}
+
 // ------------------------------------------------- kill-and-resume harness --
 
 // The end-to-end version of the property above: a real fixrep_cli child

@@ -10,7 +10,9 @@
 #include "eval/metrics.h"
 #include "repair/lrepair.h"
 #include "rulegen/rulegen.h"
+#include "rulegen/scale.h"
 #include "rules/consistency.h"
+#include "rules/fingerprint.h"
 
 namespace fixrep {
 namespace {
@@ -142,6 +144,78 @@ TEST(RuleGenTest, WorksOnUis) {
                                       pipeline.data.fds, options);
   EXPECT_GT(rules.size(), 0u);
   EXPECT_TRUE(IsConsistentChar(rules));
+}
+
+// ----------------------------------------------- scale rule generator --
+
+std::shared_ptr<const Schema> ScaleSchema() {
+  return std::make_shared<Schema>(
+      "S", std::vector<std::string>{"a", "b", "c", "d", "e"});
+}
+
+TEST(ScaleRuleGenTest, IsDeterministicAcrossPools) {
+  ScaleRuleGenOptions options;
+  options.scale = 500;
+  const auto schema = ScaleSchema();
+  const RuleSet first =
+      GenerateScaleRules(schema, std::make_shared<ValuePool>(), options);
+  EXPECT_EQ(first.size(), 500u);
+
+  // A pool that interned other strings first shifts every ValueId; the
+  // corpus identity must not depend on that.
+  auto salted = std::make_shared<ValuePool>();
+  salted->Intern("unrelated");
+  const RuleSet second = GenerateScaleRules(schema, salted, options);
+  EXPECT_EQ(RuleSetFingerprint(first), RuleSetFingerprint(second));
+
+  ScaleRuleGenOptions other_seed = options;
+  other_seed.seed = options.seed + 1;
+  const RuleSet third = GenerateScaleRules(
+      schema, std::make_shared<ValuePool>(), other_seed);
+  EXPECT_NE(RuleSetFingerprint(first), RuleSetFingerprint(third));
+}
+
+TEST(ScaleRuleGenTest, CorpusIsConsistentByConstruction) {
+  ScaleRuleGenOptions options;
+  options.scale = 400;
+  const RuleSet rules = GenerateScaleRules(
+      ScaleSchema(), std::make_shared<ValuePool>(), options);
+  EXPECT_TRUE(IsConsistentChar(rules));
+}
+
+TEST(ScaleRuleGenTest, AppendsToAnOrganicSet) {
+  Pipeline pipeline = SmallHospPipeline();
+  RuleGenOptions organic;
+  organic.max_rules = 50;
+  RuleSet rules = GenerateRules(pipeline.data.clean, pipeline.dirty,
+                                pipeline.data.fds, organic);
+  const size_t organic_count = rules.size();
+  ASSERT_GT(organic_count, 0u);
+
+  ScaleRuleGenOptions options;
+  options.scale = 300;
+  AppendScaleRules(&rules, options);
+  EXPECT_EQ(rules.size(), organic_count + 300);
+
+  // Synthetic constants are rule-unique, so the combined set still
+  // repairs the organic dirt exactly as the organic set alone would.
+  Table organic_only = pipeline.dirty;
+  {
+    RuleSet baseline = GenerateRules(pipeline.data.clean, pipeline.dirty,
+                                     pipeline.data.fds, organic);
+    FastRepairer repairer(&baseline);
+    repairer.RepairTable(&organic_only);
+  }
+  Table combined = pipeline.dirty;
+  FastRepairer repairer(&rules);
+  repairer.RepairTable(&combined);
+  ASSERT_EQ(combined.num_rows(), organic_only.num_rows());
+  for (size_t r = 0; r < combined.num_rows(); ++r) {
+    for (AttrId a = 0; a < combined.schema().arity(); ++a) {
+      EXPECT_EQ(combined.cell(r, a), organic_only.cell(r, a))
+          << "row " << r << " attr " << static_cast<int>(a);
+    }
+  }
 }
 
 }  // namespace

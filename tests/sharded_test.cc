@@ -1,0 +1,422 @@
+// Sharded repair (repair/sharded.h) and the acceptance matrix of the
+// rule-dictionary refactor: repair output must be byte-identical between
+// the in-RAM CompiledRuleIndex and the compiled on-disk dictionary
+// across datasets (travel/hosp/uis) × engines (serial, memo-off,
+// pooled, sharded) × error policies (abort/skip/quarantine) ×
+// whole-table/stream/spill.
+
+#include "repair/sharded.h"
+
+#include <memory>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/quarantine.h"
+#include "common/random.h"
+#include "common/status.h"
+#include "datagen/hosp.h"
+#include "datagen/noise.h"
+#include "datagen/travel.h"
+#include "datagen/uis.h"
+#include "relation/csv.h"
+#include "relation/table.h"
+#include "repair/lrepair.h"
+#include "repair/session.h"
+#include "rulegen/rulegen.h"
+#include "rules/rule_dict.h"
+#include "rules/rule_io.h"
+#include "rules/rule_set.h"
+#include "testing_util.h"
+
+namespace fixrep {
+namespace {
+
+using ::fixrep::testing::RandomRuleUniverse;
+
+std::string TestPath(const std::string& name) {
+  return ::testing::TempDir() + "fixrep_sharded_" + name;
+}
+
+std::string ToCsv(const Table& table) {
+  std::ostringstream out;
+  WriteCsv(table, out);
+  return out.str();
+}
+
+void ExpectSameRows(const Table& got, const Table& want,
+                    const std::string& context) {
+  ASSERT_EQ(got.num_rows(), want.num_rows()) << context;
+  for (size_t r = 0; r < want.num_rows(); ++r) {
+    ASSERT_EQ(got.row(r), want.row(r)) << context << " row " << r;
+  }
+}
+
+void ExpectSameDiagnostics(const std::vector<Diagnostic>& got,
+                           const std::vector<Diagnostic>& want,
+                           const std::string& context) {
+  ASSERT_EQ(got.size(), want.size()) << context;
+  for (size_t i = 0; i < want.size(); ++i) {
+    EXPECT_EQ(got[i], want[i]) << context << " #" << i;
+  }
+}
+
+// ------------------------------------------------------ engine level --
+
+TEST(ShardedRepair, ByteIdenticalToSerialAcrossShardCounts) {
+  Rng rng(0x5a4d);
+  for (int trial = 0; trial < 8; ++trial) {
+    RandomRuleUniverse universe;
+    RuleSet rules(universe.schema, universe.pool);
+    const size_t num_rules = 1 + rng.Uniform(10);
+    for (size_t i = 0; i < num_rules; ++i) {
+      rules.Add(universe.RandomRule(&rng));
+    }
+    const CompiledRuleIndex index(&rules);
+
+    Table base(universe.schema, universe.pool);
+    for (int r = 0; r < 120; ++r) base.AppendRow(universe.RandomTuple(&rng));
+
+    // Random universes can hold conflicting rules, so the reference runs
+    // in lenient (skip) mode — every engine must agree anyway.
+    Table expected = base;
+    size_t expected_quarantined = 0;
+    {
+      const std::unique_ptr<RuleSourceHandle> handle = index.MakeHandle();
+      FastRepairer serial(handle->source());
+      for (size_t r = 0; r < expected.num_rows(); ++r) {
+        size_t changed = 0;
+        if (!serial.TryRepairTuple(expected.WriteRow(r), &changed).ok()) {
+          ++expected_quarantined;
+        }
+      }
+    }
+
+    for (const size_t shards : {size_t{0}, size_t{1}, size_t{2}, size_t{5}}) {
+      Table actual = base;
+      ShardedRepairOptions options;
+      options.shards = shards;
+      options.on_error = OnErrorPolicy::kSkip;
+      const ShardedRepairResult result =
+          ShardedRepairTable(index, &actual, options);
+      const std::string context =
+          "trial " + std::to_string(trial) + " shards " +
+          std::to_string(shards);
+      ExpectSameRows(actual, expected, context);
+      EXPECT_EQ(result.tuples_quarantined, expected_quarantined) << context;
+      EXPECT_GE(result.shards_used, 1u) << context;
+    }
+  }
+}
+
+// Cascading fixture from the streaming quarantine suite: (name = flag)
+// tuples need two chase pops, so max_chase_steps = 1 fails exactly them.
+RuleSet CascadeRules(std::shared_ptr<const Schema> schema,
+                     std::shared_ptr<ValuePool> pool) {
+  const std::string text =
+      "RULE\n"
+      "  IF country = China\n"
+      "  WRONG capital IN Shanghai | Hongkong\n"
+      "  THEN capital = Beijing\n"
+      "END\n"
+      "RULE\n"
+      "  IF name = flag\n"
+      "  WRONG country IN Chn\n"
+      "  THEN country = China\n"
+      "END\n";
+  return ParseRulesFromString(text, std::move(schema), std::move(pool));
+}
+
+TEST(ShardedRepair, LenientDiagnosticsAndWriteLogMatchSerial) {
+  auto pool = std::make_shared<ValuePool>();
+  auto schema = std::make_shared<Schema>(
+      "R", std::vector<std::string>{"country", "capital", "name"});
+  const RuleSet rules = CascadeRules(schema, pool);
+  const CompiledRuleIndex index(&rules);
+
+  Table base(schema, pool);
+  for (int i = 0; i < 40; ++i) {
+    base.AppendRowStrings({"China", "Shanghai", "x" + std::to_string(i)});
+    base.AppendRowStrings({"Chn", "Hongkong", "flag"});
+    base.AppendRowStrings({"France", "Paris", "y" + std::to_string(i)});
+  }
+
+  // Serial reference: per-tuple isolation with the same step budget,
+  // write log captured row by row.
+  Table expected = base;
+  std::vector<Diagnostic> expected_diags;
+  std::vector<CellRepair> expected_log;
+  {
+    const std::unique_ptr<RuleSourceHandle> handle = index.MakeHandle();
+    FastRepairer serial(handle->source());
+    serial.set_max_chase_steps(1);
+    serial.set_write_log(&expected_log);
+    for (size_t r = 0; r < expected.num_rows(); ++r) {
+      size_t changed = 0;
+      serial.set_write_log_row(r);
+      const Status status =
+          serial.TryRepairTuple(expected.WriteRow(r), &changed);
+      if (!status.ok()) {
+        expected_diags.push_back(Diagnostic{r, status.code(),
+                                            status.message(),
+                                            expected.FormatRow(r)});
+      }
+    }
+  }
+  ASSERT_FALSE(expected_diags.empty());
+  ASSERT_FALSE(expected_log.empty());
+
+  for (const size_t shards : {size_t{2}, size_t{3}, size_t{7}}) {
+    Table actual = base;
+    VectorQuarantineSink sink;
+    std::vector<CellRepair> log;
+    ShardedRepairOptions options;
+    options.shards = shards;
+    options.on_error = OnErrorPolicy::kQuarantine;
+    options.quarantine = &sink;
+    options.max_chase_steps = 1;
+    options.write_log = &log;
+    const ShardedRepairResult result =
+        ShardedRepairTable(index, &actual, options);
+    const std::string context = "shards " + std::to_string(shards);
+    ExpectSameRows(actual, expected, context);
+    EXPECT_EQ(result.tuples_quarantined, expected_diags.size()) << context;
+    ExpectSameDiagnostics(sink.diagnostics(), expected_diags, context);
+    ASSERT_EQ(log.size(), expected_log.size()) << context;
+    for (size_t i = 0; i < expected_log.size(); ++i) {
+      EXPECT_EQ(log[i].row, expected_log[i].row) << context << " #" << i;
+      EXPECT_EQ(log[i].attr, expected_log[i].attr) << context << " #" << i;
+      EXPECT_EQ(log[i].new_value, expected_log[i].new_value)
+          << context << " #" << i;
+      EXPECT_EQ(log[i].rule_index, expected_log[i].rule_index)
+          << context << " #" << i;
+    }
+  }
+}
+
+TEST(ShardedRepair, DictionaryBackendMatchesIndexBackend) {
+  Rng rng(0xd1c7);
+  RandomRuleUniverse universe;
+  RuleSet rules(universe.schema, universe.pool);
+  for (size_t i = 0; i < 9; ++i) rules.Add(universe.RandomRule(&rng));
+  const CompiledRuleIndex index(&rules);
+
+  const std::string path = TestPath("engine_dict.frd");
+  ASSERT_TRUE(CompileRuleDict(rules, path).ok());
+  auto dict = RuleDict::Open(path);
+  ASSERT_TRUE(dict.ok()) << dict.status();
+  ASSERT_TRUE((*dict)->Bind(*universe.schema, universe.pool).ok());
+
+  Table base(universe.schema, universe.pool);
+  for (int r = 0; r < 200; ++r) base.AppendRow(universe.RandomTuple(&rng));
+
+  ShardedRepairOptions options;
+  options.shards = 4;
+  options.on_error = OnErrorPolicy::kSkip;
+
+  Table via_index = base;
+  Table via_dict = base;
+  const ShardedRepairResult index_result =
+      ShardedRepairTable(index, &via_index, options);
+  const ShardedRepairResult dict_result =
+      ShardedRepairTable(**dict, &via_dict, options);
+  ExpectSameRows(via_dict, via_index, "dict vs index");
+  EXPECT_EQ(dict_result.stats.cells_changed, index_result.stats.cells_changed);
+  EXPECT_EQ(dict_result.stats.per_rule_applications,
+            index_result.stats.per_rule_applications);
+  EXPECT_EQ(dict_result.tuples_quarantined, index_result.tuples_quarantined);
+}
+
+// ----------------------------------------------------- session matrix --
+
+struct Dataset {
+  std::string name;
+  std::shared_ptr<ValuePool> pool;
+  std::shared_ptr<const Schema> schema;
+  Table dirty;
+  RuleSet rules;
+
+  Dataset(std::string name_, std::shared_ptr<ValuePool> pool_,
+          std::shared_ptr<const Schema> schema_, Table dirty_, RuleSet rules_)
+      : name(std::move(name_)),
+        pool(std::move(pool_)),
+        schema(std::move(schema_)),
+        dirty(std::move(dirty_)),
+        rules(std::move(rules_)) {}
+};
+
+Dataset TravelDataset() {
+  TravelExample example;
+  return {"travel", example.pool, example.schema, example.dirty,
+          std::move(example.rules)};
+}
+
+Dataset HospDataset() {
+  HospOptions options;
+  options.rows = 400;
+  options.num_hospitals = 40;
+  GeneratedData data = GenerateHosp(options);
+  Table dirty = data.clean;
+  InjectNoise(&dirty, ConstraintAttributes(*data.schema, data.fds), {});
+  RuleGenOptions rulegen;
+  rulegen.max_rules = 150;
+  RuleSet rules = GenerateRules(data.clean, dirty, data.fds, rulegen);
+  return {"hosp", data.pool, data.schema, std::move(dirty), std::move(rules)};
+}
+
+Dataset UisDataset() {
+  UisOptions options;
+  options.rows = 300;
+  options.duplicate_ratio = 0.4;
+  options.num_zips = 30;
+  GeneratedData data = GenerateUis(options);
+  Table dirty = data.clean;
+  InjectNoise(&dirty, ConstraintAttributes(*data.schema, data.fds), {});
+  RuleGenOptions rulegen;
+  rulegen.max_rules = 100;
+  RuleSet rules = GenerateRules(data.clean, dirty, data.fds, rulegen);
+  return {"uis", data.pool, data.schema, std::move(dirty), std::move(rules)};
+}
+
+// One whole-table repair through the facade.
+struct MatrixRun {
+  Table table;
+  RepairReport report;
+  std::vector<Diagnostic> diagnostics;
+};
+
+MatrixRun RunMatrix(const Dataset& data, const std::string& dict_path,
+                    size_t threads, size_t shards, bool use_memo,
+                    OnErrorPolicy policy) {
+  MatrixRun run{data.dirty, {}, {}};
+  VectorQuarantineSink sink;
+  RepairConfig config;
+  config.threads = threads;
+  config.shards = shards;
+  config.use_memo = use_memo;
+  config.on_error = policy;
+  config.max_chase_steps = policy == OnErrorPolicy::kAbort ? 0 : 1;
+  if (policy == OnErrorPolicy::kQuarantine) config.quarantine = &sink;
+  config.rules_dict = dict_path;  // empty = in-RAM index backend
+  RepairSession session(&data.rules, config);
+  StatusOr<RepairReport> report = session.Repair(&run.table);
+  EXPECT_TRUE(report.ok()) << report.status();
+  if (report.ok()) run.report = report.value();
+  run.diagnostics = sink.diagnostics();
+  return run;
+}
+
+TEST(ShardedSessionMatrix, DictAndShardsByteIdenticalAcrossDatasets) {
+  for (Dataset (*make)() : {TravelDataset, HospDataset, UisDataset}) {
+    const Dataset data = make();
+    ASSERT_GT(data.rules.size(), 0u) << data.name;
+    const std::string dict_path = TestPath(data.name + "_matrix.frd");
+    ASSERT_TRUE(CompileRuleDict(data.rules, dict_path).ok()) << data.name;
+
+    for (const OnErrorPolicy policy :
+         {OnErrorPolicy::kAbort, OnErrorPolicy::kSkip,
+          OnErrorPolicy::kQuarantine}) {
+      // Reference: serial, in-RAM index.
+      const MatrixRun reference =
+          RunMatrix(data, "", /*threads=*/1, /*shards=*/0, true, policy);
+
+      for (const bool dict_backed : {false, true}) {
+        const std::string dict = dict_backed ? dict_path : "";
+        struct Mode {
+          const char* tag;
+          size_t threads;
+          size_t shards;
+          bool use_memo;
+        };
+        for (const Mode& mode :
+             {Mode{"serial", 1, 0, true}, Mode{"memo_off", 1, 0, false},
+              Mode{"pooled", 3, 0, true}, Mode{"sharded", 1, 3, true}}) {
+          const std::string context =
+              data.name + " " + OnErrorPolicyName(policy) + " " + mode.tag +
+              (dict_backed ? " dict" : " index");
+          const MatrixRun run = RunMatrix(data, dict, mode.threads,
+                                          mode.shards, mode.use_memo, policy);
+          ExpectSameRows(run.table, reference.table, context);
+          EXPECT_EQ(run.report.cells_changed, reference.report.cells_changed)
+              << context;
+          EXPECT_EQ(run.report.tuples_quarantined,
+                    reference.report.tuples_quarantined)
+              << context;
+          ExpectSameDiagnostics(run.diagnostics, reference.diagnostics,
+                                context);
+        }
+      }
+    }
+  }
+}
+
+// One streaming run through the facade; output as a string for exact
+// byte comparison.
+std::string RunStreamMatrix(const Dataset& data, const std::string& dict_path,
+                            size_t shards, size_t chunk_rows,
+                            size_t memory_budget, OnErrorPolicy policy) {
+  std::istringstream in(ToCsv(data.dirty));
+  StatusOr<CsvChunkReader> reader =
+      CsvChunkReader::Open(in, "stream", data.pool, {});
+  EXPECT_TRUE(reader.ok()) << reader.status();
+  if (!reader.ok()) return {};
+  VectorQuarantineSink sink;
+  RepairConfig config;
+  config.shards = shards;
+  config.on_error = policy;
+  config.max_chase_steps = policy == OnErrorPolicy::kAbort ? 0 : 1;
+  if (policy == OnErrorPolicy::kQuarantine) config.quarantine = &sink;
+  config.rules_dict = dict_path;
+  config.chunk_rows = chunk_rows;
+  config.memory_budget_bytes = memory_budget;
+  RepairSession session(&data.rules, config);
+  std::ostringstream out;
+  StatusOr<RepairReport> report = session.RepairStream(&reader.value(), out);
+  EXPECT_TRUE(report.ok()) << report.status();
+  return out.str();
+}
+
+TEST(ShardedSessionMatrix, StreamAndSpillByteIdenticalAcrossBackends) {
+  for (Dataset (*make)() : {TravelDataset, HospDataset, UisDataset}) {
+    const Dataset data = make();
+    ASSERT_GT(data.rules.size(), 0u) << data.name;
+    const std::string dict_path = TestPath(data.name + "_stream.frd");
+    ASSERT_TRUE(CompileRuleDict(data.rules, dict_path).ok()) << data.name;
+
+    for (const OnErrorPolicy policy :
+         {OnErrorPolicy::kAbort, OnErrorPolicy::kQuarantine}) {
+      // Reference: serial whole-table repair, in-RAM index.
+      const MatrixRun reference =
+          RunMatrix(data, "", /*threads=*/1, /*shards=*/0, true, policy);
+      const std::string want = ToCsv(reference.table);
+
+      struct StreamMode {
+        const char* tag;
+        size_t shards;
+        size_t chunk_rows;
+        size_t memory_budget;
+      };
+      for (const StreamMode& mode :
+           {StreamMode{"chunked", 0, 97, 0},
+            StreamMode{"chunked_sharded", 3, 97, 0},
+            StreamMode{"spill", 0, RepairConfig::kWholeFile, 16 * 1024},
+            StreamMode{"spill_sharded", 3, RepairConfig::kWholeFile,
+                       16 * 1024}}) {
+        for (const bool dict_backed : {false, true}) {
+          const std::string context =
+              data.name + " " + OnErrorPolicyName(policy) + " " + mode.tag +
+              (dict_backed ? " dict" : " index");
+          const std::string got =
+              RunStreamMatrix(data, dict_backed ? dict_path : "", mode.shards,
+                              mode.chunk_rows, mode.memory_budget, policy);
+          EXPECT_EQ(got, want) << context;
+        }
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace fixrep
