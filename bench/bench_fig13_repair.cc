@@ -44,6 +44,7 @@
 #include "eval/text_table.h"
 #include "relation/csv.h"
 #include "relation/row_store.h"
+#include "repair/config.h"
 #include "repair/crepair.h"
 #include "repair/lrepair.h"
 #include "repair/parallel.h"
@@ -52,6 +53,10 @@
 #include "repair/streaming.h"
 #include "rulegen/scale.h"
 #include "rules/rule_dict.h"
+#include "rules/rule_io.h"
+#include "serve/client.h"
+#include "serve/daemon.h"
+#include "serve/registry.h"
 
 namespace fixrep::bench {
 namespace {
@@ -679,6 +684,82 @@ void WriteRepairJson() {
   std::remove(scale_csv_path.c_str());
   std::remove(scale_out_path.c_str());
 
+  // Daemon overhead: the duplicate-heavy batch repaired through the
+  // serve stack (unix-socket round trip, frame CRC, config headers,
+  // CSV re-parse on the worker) vs. directly against the prebuilt
+  // compiled index. Both sides skip index construction — the tenant
+  // compiles once at Load() and the direct runs borrow `index` — so
+  // the ratio isolates the wire + dispatch tax. check_regression.py
+  // --daemon gates daemon_rows_per_sec >= 0.85 x direct_rows_per_sec.
+  const std::string serve_rules_path = "BENCH_repair_serve.rules";
+  const std::string serve_socket_path = "BENCH_repair_serve.sock";
+  if (!TryWriteRulesFile(workload.rules, serve_rules_path).ok()) {
+    std::abort();
+  }
+  std::string serve_csv;
+  {
+    std::ostringstream render;
+    WriteCsv(dup, render);
+    serve_csv = render.str();
+  }
+  const RepairConfig serve_config;  // serial defaults on both sides
+  constexpr int kServeRuns = 5;
+  double direct_serve_ms = 0;
+  std::string direct_serve_out;
+  for (int i = 0; i < kServeRuns; ++i) {
+    std::string out;
+    const double ms = TimedMs("fig13_daemon_direct", [&] {
+      std::istringstream in(serve_csv);
+      StatusOr<Table> table =
+          ReadCsvLenient(in, "bench", workload.data.pool, {});
+      if (!table.ok()) std::abort();
+      RepairSession session(&index, serve_config);
+      if (!session.Repair(&table.value()).ok()) std::abort();
+      std::ostringstream rendered;
+      WriteCsv(table.value(), rendered);
+      out = rendered.str();
+    });
+    if (i == 0 || ms < direct_serve_ms) direct_serve_ms = ms;
+    direct_serve_out = std::move(out);
+  }
+  double daemon_ms = 0;
+  bool daemon_identical = true;
+  {
+    serve::TenantRegistry serve_registry;
+    std::string spec = serve_rules_path + "@";
+    const auto& attrs = workload.data.schema->attribute_names();
+    for (size_t a = 0; a < attrs.size(); ++a) {
+      if (a != 0) spec += ',';
+      spec += attrs[a];
+    }
+    if (!serve_registry.Load("bench", spec).ok()) std::abort();
+    std::remove(serve_socket_path.c_str());
+    serve::DaemonOptions daemon_options;
+    daemon_options.unix_socket_path = serve_socket_path;
+    auto daemon = serve::RepairDaemon::Start(&serve_registry,
+                                             std::move(daemon_options));
+    if (!daemon.ok()) std::abort();
+    serve::ClientOptions client_options;
+    client_options.unix_socket_path = serve_socket_path;
+    auto client = serve::Client::Connect(client_options);
+    if (!client.ok()) std::abort();
+    const auto config_headers = FormatRepairConfig(serve_config);
+    for (int i = 0; i < kServeRuns; ++i) {
+      std::string out;
+      const double ms = TimedMs("fig13_daemon_submit", [&] {
+        auto result =
+            client.value().Submit("bench", config_headers, serve_csv);
+        if (!result.ok()) std::abort();
+        out = std::move(result.value().csv);
+      });
+      if (i == 0 || ms < daemon_ms) daemon_ms = ms;
+      if (out != direct_serve_out) daemon_identical = false;
+    }
+    daemon.value()->Shutdown();
+  }
+  std::remove(serve_rules_path.c_str());
+  std::remove(serve_socket_path.c_str());
+
   BenchJson json("BENCH_repair.json");
   json.Set("workload", "rows", static_cast<double>(rows));
   json.Set("workload", "rules", static_cast<double>(workload.rules.size()));
@@ -775,6 +856,15 @@ void WriteRepairJson() {
            static_cast<double>(rss_peak));
   json.Set("ruledict_budget", "rss_delta_bytes",
            static_cast<double>(rss_delta));
+  json.Set("daemon_overhead", "direct_ms", direct_serve_ms);
+  json.Set("daemon_overhead", "direct_rows_per_sec",
+           rows / (direct_serve_ms / 1e3));
+  json.Set("daemon_overhead", "daemon_ms", daemon_ms);
+  json.Set("daemon_overhead", "daemon_rows_per_sec",
+           rows / (daemon_ms / 1e3));
+  json.Set("daemon_overhead", "throughput_ratio",
+           direct_serve_ms / daemon_ms);
+  json.Set("daemon_overhead", "byte_identical", daemon_identical ? 1.0 : 0.0);
   json.Set("process", "peak_rss_bytes", PeakRssBytes());
   json.Set("process", "allocations_total",
            static_cast<double>(AllocationCount()));

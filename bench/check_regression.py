@@ -40,6 +40,16 @@ dictionary's file size — the corpus must stay on disk, not become
 resident; its peak_resident_bytes/budget_bytes pair is gated by the
 standing memory-budget audit like any spilled section.
 
+With --daemon, additionally audits the daemon_overhead section of the
+*current* run (docs/serving.md): daemon_rows_per_sec (the hosp batch
+submitted to an in-process repair daemon over a unix socket — framing,
+CRC, config-header parse, CSV re-parse on a pool worker) must stay
+within --daemon-tolerance (default 15%) of direct_rows_per_sec, the
+same batch repaired in-process against the same prebuilt compiled
+index — the serve stack must be a thin veneer, not a second engine.
+The served bytes must also be identical to the direct output
+(byte_identical).
+
 With --journal, additionally validates the telemetry journal the bench
 run wrote (FIXREP_TELEMETRY_OUT, see docs/observability.md): every line
 must be a JSON object carrying "event" and "t_ms", the journal must open
@@ -187,6 +197,16 @@ def main():
                         help="allowed fractional rows/s drop of the "
                              "warm dictionary chase vs the in-RAM index "
                              "(default 0.15)")
+    parser.add_argument("--daemon", action="store_true",
+                        help="audit the daemon_overhead section: "
+                             "daemon-served throughput within "
+                             "--daemon-tolerance of the direct "
+                             "in-process path, and byte-identical "
+                             "output")
+    parser.add_argument("--daemon-tolerance", type=float, default=0.15,
+                        help="allowed fractional rows/s drop of "
+                             "daemon-served repairs vs the direct "
+                             "in-process path (default 0.15)")
     parser.add_argument("--journal", default=None,
                         help="telemetry journal (JSONL) written by the "
                              "current bench run; checked for schema, "
@@ -336,6 +356,35 @@ def main():
                   f"{budget.get('peak_resident_bytes', 0):,.0f} B "
                   f"under budget {budget.get('budget_bytes', 0):,.0f} B")
 
+    # Daemon audit: the serve stack (socket round trip, framing, CSV
+    # re-parse) must stay a thin veneer over the direct repair path and
+    # must return exactly the bytes the direct path produces.
+    daemon_failures = []
+    if args.daemon:
+        overhead = current.get("daemon_overhead", {})
+        daemon_rps = overhead.get("daemon_rows_per_sec")
+        direct_rps = overhead.get("direct_rows_per_sec")
+        if daemon_rps is None or not direct_rps:
+            daemon_failures.append("daemon_overhead daemon/direct "
+                                   "rows_per_sec missing from the "
+                                   "current run")
+        else:
+            ratio = daemon_rps / direct_rps
+            delta = (ratio - 1.0) * 100.0
+            status = "ok"
+            if ratio < 1.0 - args.daemon_tolerance:
+                status = "DAEMON SLOW"
+                daemon_failures.append(
+                    f"daemon-served repair runs at {ratio:.2f}x the "
+                    f"direct path ({delta:+.1f}%, gate "
+                    f"-{args.daemon_tolerance:.0%})")
+            print(f"{status:>10}  daemon_overhead: {daemon_rps:,.0f} "
+                  f"rows/s vs direct {direct_rps:,.0f} rows/s "
+                  f"({delta:+.1f}%)")
+        if overhead and overhead.get("byte_identical", 0.0) == 0.0:
+            daemon_failures.append("daemon responses diverged from the "
+                                   "direct repair output")
+
     journal_failures = []
     if args.journal is not None:
         journal_failures = check_journal(args.journal, args.rss_tolerance)
@@ -357,6 +406,15 @@ def main():
         print("=" * 64)
         print(f"WAL OVERHEAD CHECK FAILED: {len(wal_failures)} problem(s):")
         for failure in wal_failures:
+            print(f"  {failure}")
+        print("=" * 64)
+        sys.exit(1)
+    if daemon_failures:
+        print()
+        print("=" * 64)
+        print(f"DAEMON OVERHEAD CHECK FAILED: {len(daemon_failures)} "
+              f"problem(s):")
+        for failure in daemon_failures:
             print(f"  {failure}")
         print("=" * 64)
         sys.exit(1)

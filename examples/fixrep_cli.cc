@@ -86,6 +86,39 @@
 //                        re-repairing the result restores fixed.csv.
 //   fixrep_cli eval      --truth truth.csv --dirty dirty.csv
 //                        --repaired fixed.csv
+//   fixrep_cli serve     --socket /run/fixrep.sock|--port N
+//                        --ruleset NAME=PATH[@a,b,c] [--ruleset ...]
+//                        [--max-pending N] [--port-file p.txt]
+//                        long-running multi-tenant repair daemon
+//                        (docs/serving.md): every --ruleset names a rule
+//                        set compiled exactly once — a text rules file
+//                        with its schema attrs, or a compiled .frd
+//                        dictionary (the file's magic decides) — and
+//                        served to concurrent clients over a
+//                        length-prefixed binary protocol. --port 0
+//                        binds an ephemeral loopback port (see
+//                        --port-file); --max-pending bounds admitted
+//                        in-flight requests — past it the daemon answers
+//                        UNAVAILABLE immediately instead of queueing.
+//                        SIGTERM/SIGINT drain in-flight requests to
+//                        completion before exit.
+//   fixrep_cli submit    --socket S|--port N --tenant NAME --in d.csv
+//                        --out fixed.csv [--quarantine-out q.csv]
+//                        [--engine ...] [--threads N] [--shards N]
+//                        [--no-memo] [--memo-capacity N]
+//                        [--on-error=...] [--max-chase-steps N]
+//                        repairs one CSV batch through a running
+//                        daemon; the repair knobs travel as config
+//                        headers (repair/config.h grammar) and the
+//                        output is byte-identical to a direct `repair`
+//                        run against the tenant's rules
+//   fixrep_cli ping      --socket S|--port N
+//                        lists the daemon's rule sets (rules,
+//                        generation, backend) and request counters
+//   fixrep_cli reload    --socket S|--port N --ruleset NAME=SPEC
+//                        hot-swaps one rule set; requests in flight
+//                        finish on the old rules, later ones see the
+//                        new generation — nothing is dropped
 //
 // Global flags (any command, before or after it; --flag=value and
 // --flag value are both accepted):
@@ -103,6 +136,11 @@
 //                                format) on a unix-domain socket
 //   --metrics-port=9464          same, on loopback TCP (0 = ephemeral;
 //                                the bound port is printed to stderr)
+//   --port-file=PATH             atomically write the bound TCP port to
+//                                PATH: the daemon's port under `serve`,
+//                                the /metrics port otherwise — pairs
+//                                with --port=0 / --metrics-port=0 so
+//                                scripts need not scrape stderr
 //   --progress                   live one-line progress display on
 //                                stderr (chunk, rows/s, resident vs
 //                                budget) for streaming runs
@@ -119,12 +157,16 @@
 
 #include <sys/stat.h>
 
+#include <atomic>
+#include <csignal>
 #include <fstream>
 #include <iostream>
 #include <map>
 #include <memory>
 #include <optional>
+#include <sstream>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "common/atomic_file.h"
@@ -145,6 +187,7 @@
 #include "eval/metrics.h"
 #include "eval/text_table.h"
 #include "relation/csv.h"
+#include "repair/config.h"
 #include "repair/provenance.h"
 #include "repair/recovery.h"
 #include "repair/session.h"
@@ -155,6 +198,9 @@
 #include "rules/resolution.h"
 #include "rules/rule_dict.h"
 #include "rules/rule_io.h"
+#include "serve/client.h"
+#include "serve/daemon.h"
+#include "serve/registry.h"
 
 namespace fixrep::cli {
 namespace {
@@ -184,12 +230,12 @@ class Args {
       key = key.substr(2);
       const size_t eq = key.find('=');
       if (eq != std::string::npos) {
-        values_[key.substr(0, eq)] = key.substr(eq + 1);
+        Add(key.substr(0, eq), key.substr(eq + 1));
       } else if (i + 1 < argc &&
                  std::string(argv[i + 1]).rfind("--", 0) != 0) {
-        values_[key] = argv[++i];
+        Add(key, argv[++i]);
       } else {
-        values_[key] = "";  // boolean flag
+        Add(key, "");  // boolean flag
       }
     }
   }
@@ -223,51 +269,55 @@ class Args {
     return Has(key) ? std::strtod(Get(key).c_str(), nullptr) : fallback;
   }
 
+  // Every value given for a repeated flag (serve takes one --ruleset per
+  // hosted rule set), in command-line order. Get/Require keep their
+  // last-one-wins semantics for the scalar flags.
+  std::vector<std::string> GetAll(const std::string& key) const {
+    std::vector<std::string> out;
+    for (const auto& [flag, value] : ordered_) {
+      if (flag == key) out.push_back(value);
+    }
+    return out;
+  }
+
  private:
+  void Add(std::string key, std::string value) {
+    ordered_.emplace_back(key, value);
+    values_[std::move(key)] = std::move(value);
+  }
+
   std::string command_;
   std::string subcommand_;
   std::map<std::string, std::string> values_;
+  std::vector<std::pair<std::string, std::string>> ordered_;
 };
 
-// Parses "64MB" / "512K" / "1G" / plain bytes into a byte count.
-// Returns false on garbage.
-bool ParseByteSize(const std::string& text, size_t* bytes) {
-  if (text.empty()) return false;
-  char* end = nullptr;
-  const unsigned long long value = std::strtoull(text.c_str(), &end, 10);
-  if (end == text.c_str()) return false;
-  std::string suffix(end);
-  if (!suffix.empty() && (suffix.back() == 'B' || suffix.back() == 'b')) {
-    suffix.pop_back();
+// Applies one --flag through the shared key/value grammar of
+// repair/config.h; a parse failure is a usage error.
+void ApplyConfigFlag(const Args& args, const std::string& key,
+                     RepairConfig* config) {
+  std::string value = args.Get(key);
+  // Bare --threads means "the pool's full width", as it always has.
+  if (key == "threads" && value.empty()) value = "0";
+  const Status status = ParseRepairConfig(key, value, config);
+  if (!status.ok()) {
+    std::cerr << "bad --" << key << ": " << status << "\n";
+    std::exit(2);
   }
-  size_t scale = 1;
-  if (suffix == "K" || suffix == "k") {
-    scale = size_t{1} << 10;
-  } else if (suffix == "M" || suffix == "m") {
-    scale = size_t{1} << 20;
-  } else if (suffix == "G" || suffix == "g") {
-    scale = size_t{1} << 30;
-  } else if (!suffix.empty()) {
-    return false;
-  }
-  *bytes = static_cast<size_t>(value) * scale;
-  return true;
 }
 
 // Builds the RepairConfig shared by all repair flows from the command
-// line; the per-flow callers fill in quarantine sinks and chunking.
+// line. Every knob funnels through ParseRepairConfig — the same grammar
+// the daemon applies to wire-request config headers — so a flag behaves
+// identically on both surfaces. The per-flow callers fill in quarantine
+// sinks and chunking.
 RepairConfig ConfigFromArgs(const Args& args, OnErrorPolicy policy) {
   RepairConfig config;
-  config.engine = args.Get("engine", "lrepair") == "crepair"
-                      ? RepairEngine::kCRepair
-                      : RepairEngine::kLRepair;
-  // No --threads: serial. --threads 0: hardware width.
-  config.threads = args.Has("threads") ? args.GetSizeT("threads", 0) : 1;
-  config.use_memo = !args.Has("no-memo");
-  config.shards = args.GetSizeT("shards", 0);
-  config.rules_dict = args.Get("rules-dict");
+  for (const char* key : {"engine", "threads", "shards", "rules-dict",
+                          "no-memo", "memo-capacity", "max-chase-steps"}) {
+    if (args.Has(key)) ApplyConfigFlag(args, key, &config);
+  }
   config.on_error = policy;
-  config.max_chase_steps = args.GetSizeT("max-chase-steps", 0);
   return config;
 }
 
@@ -307,7 +357,8 @@ std::shared_ptr<const Schema> SchemaFromArgs(
 int Usage() {
   std::cerr << "usage: fixrep_cli "
                "gen-data|gen-rules|rules compile|rules inspect|discover|"
-               "check|repair|audit|rollback|eval [--flags]\n"
+               "check|repair|serve|submit|ping|reload|audit|rollback|eval"
+               " [--flags]\n"
                "see the header of examples/fixrep_cli.cc for details\n";
   return 2;
 }
@@ -612,28 +663,15 @@ int RepairStream(const Args& args, OnErrorPolicy policy) {
 
   RepairConfig config = ConfigFromArgs(args, policy);
   config.quarantine = quarantining ? &tuple_sink : nullptr;
-  if (args.Has("memory-budget")) {
-    if (!ParseByteSize(args.Require("memory-budget"),
-                       &config.memory_budget_bytes) ||
-        config.memory_budget_bytes == 0) {
-      std::cerr << "bad --memory-budget '" << args.Get("memory-budget")
-                << "' (want e.g. 64MB, 512K, 1G)\n";
-      return 2;
-    }
+  for (const char* key : {"memory-budget", "chunk-rows", "prune", "wal",
+                          "resume"}) {
+    if (args.Has(key)) ApplyConfigFlag(args, key, &config);
   }
-  // A budget with no explicit chunking means "let the spill file, not
-  // the chunk size, bound memory": one whole-file chunk.
-  const size_t default_chunk = config.memory_budget_bytes > 0
-                                   ? RepairConfig::kWholeFile
-                                   : size_t{64} * 1024;
-  config.chunk_rows = args.GetSizeT("chunk-rows", default_chunk);
-  if (config.chunk_rows == 0) {
-    std::cerr << "--chunk-rows must be positive\n";
-    return 2;
+  if (!args.Has("chunk-rows") && config.memory_budget_bytes > 0) {
+    // A budget with no explicit chunking means "let the spill file, not
+    // the chunk size, bound memory": one whole-file chunk.
+    config.chunk_rows = RepairConfig::kWholeFile;
   }
-  config.prune_columns = args.Has("prune");
-  config.wal_path = args.Get("wal");
-  config.resume = args.Has("resume");
   if (config.resume && config.wal_path.empty()) {
     std::cerr << "--resume requires --wal=PATH\n";
     return 2;
@@ -975,6 +1013,260 @@ int Eval(const Args& args) {
   return 0;
 }
 
+// ---- daemon verbs (docs/serving.md) ----
+
+// Atomically (temp + rename) writes the bound TCP port to `path`, so a
+// --port=0 / --metrics-port=0 ephemeral listener is discoverable by
+// scripts without scraping stderr.
+int WritePortFile(const std::string& path, int port) {
+  StatusOr<AtomicFile> file = AtomicFile::Create(path);
+  if (!file.ok()) {
+    std::cerr << "--port-file: " << file.status() << "\n";
+    return 1;
+  }
+  file->stream() << port << "\n";
+  const Status committed = file->Commit();
+  if (!committed.ok()) {
+    std::cerr << "--port-file: " << committed << "\n";
+    return 1;
+  }
+  return 0;
+}
+
+// SIGTERM/SIGINT land here while `serve` runs; RequestShutdown is one
+// async-signal-safe pipe write that unparks the main thread, which then
+// drains gracefully.
+std::atomic<serve::RepairDaemon*> g_serving_daemon{nullptr};
+
+void OnShutdownSignal(int) {
+  serve::RepairDaemon* daemon =
+      g_serving_daemon.load(std::memory_order_acquire);
+  if (daemon != nullptr) daemon->RequestShutdown();
+}
+
+int Serve(const Args& args) {
+  const std::vector<std::string> rulesets = args.GetAll("ruleset");
+  if (rulesets.empty()) {
+    std::cerr << "serve needs at least one --ruleset NAME=PATH[@a,b,c]\n";
+    return 2;
+  }
+  serve::TenantRegistry registry;
+  for (const std::string& entry : rulesets) {
+    const size_t eq = entry.find('=');
+    if (eq == std::string::npos || eq == 0) {
+      std::cerr << "bad --ruleset '" << entry
+                << "' (want NAME=DICT.frd for a compiled dictionary or "
+                   "NAME=RULES.txt@a,b,c for a text rules file)\n";
+      return 2;
+    }
+    const std::string name = entry.substr(0, eq);
+    const Status loaded = registry.Load(name, entry.substr(eq + 1));
+    if (!loaded.ok()) {
+      std::cerr << "cannot load rule set '" << name << "': " << loaded
+                << "\n";
+      return 1;
+    }
+    const auto snapshot = registry.Find(name);
+    std::cerr << "[fixrep] rule set '" << name << "': "
+              << snapshot->num_rules() << " rules ("
+              << (snapshot->dict_backed() ? "dictionary" : "text") << ")\n";
+  }
+
+  if (args.Has("socket") == args.Has("port")) {
+    std::cerr << "serve needs exactly one of --socket PATH and --port N\n";
+    return 2;
+  }
+  serve::DaemonOptions options;
+  if (args.Has("socket")) {
+    options.unix_socket_path = args.Require("socket");
+  } else {
+    options.tcp_port = static_cast<int>(args.GetSizeT("port", 0));
+  }
+  options.max_pending = args.GetSizeT("max-pending", options.max_pending);
+  StatusOr<std::unique_ptr<serve::RepairDaemon>> daemon_or =
+      serve::RepairDaemon::Start(&registry, std::move(options));
+  if (!daemon_or.ok()) {
+    std::cerr << "cannot start daemon: " << daemon_or.status() << "\n";
+    return 1;
+  }
+  const std::unique_ptr<serve::RepairDaemon> daemon =
+      std::move(daemon_or).value();
+  if (args.Has("socket")) {
+    std::cerr << "[fixrep] serving " << registry.size() << " rule sets on "
+              << daemon->socket_path() << "\n";
+  } else {
+    std::cerr << "[fixrep] serving " << registry.size()
+              << " rule sets on 127.0.0.1:" << daemon->port() << "\n";
+    if (args.Has("port-file")) {
+      const int rc = WritePortFile(args.Require("port-file"),
+                                   daemon->port());
+      if (rc != 0) return rc;
+    }
+  }
+
+  g_serving_daemon.store(daemon.get(), std::memory_order_release);
+  std::signal(SIGTERM, OnShutdownSignal);
+  std::signal(SIGINT, OnShutdownSignal);
+  daemon->WaitForShutdownRequest();
+  std::cerr << "[fixrep] shutdown requested; draining in-flight"
+               " requests\n";
+  daemon->Shutdown();
+  std::signal(SIGTERM, SIG_DFL);
+  std::signal(SIGINT, SIG_DFL);
+  g_serving_daemon.store(nullptr, std::memory_order_release);
+  std::cout << "served " << daemon->requests_served()
+            << " requests, rejected " << daemon->requests_rejected()
+            << " at admission\n";
+  return 0;
+}
+
+serve::ClientOptions ClientOptionsFromArgs(const Args& args) {
+  if (args.Has("socket") == args.Has("port")) {
+    std::cerr << "need exactly one of --socket PATH and --port N for the"
+                 " daemon endpoint\n";
+    std::exit(2);
+  }
+  serve::ClientOptions options;
+  if (args.Has("socket")) {
+    options.unix_socket_path = args.Require("socket");
+  } else {
+    options.tcp_port = static_cast<int>(args.GetSizeT("port", 0));
+  }
+  return options;
+}
+
+StatusOr<serve::Client> ConnectOrExplain(const Args& args) {
+  StatusOr<serve::Client> client =
+      serve::Client::Connect(ClientOptionsFromArgs(args));
+  if (!client.ok()) {
+    std::cerr << "cannot reach daemon: " << client.status() << "\n";
+  }
+  return client;
+}
+
+int Ping(const Args& args) {
+  StatusOr<serve::Client> client = ConnectOrExplain(args);
+  if (!client.ok()) return 1;
+  const StatusOr<serve::PingInfo> info = client->Ping();
+  if (!info.ok()) {
+    std::cerr << "ping failed: " << info.status() << "\n";
+    return 1;
+  }
+  StatusOr<std::vector<serve::RuleSetInfo>> sets = client->List();
+  if (!sets.ok()) {
+    std::cerr << "list failed: " << sets.status() << "\n";
+    return 1;
+  }
+  TextTable table({"rule set", "rules", "generation", "backend"});
+  for (const serve::RuleSetInfo& info_row : sets.value()) {
+    table.AddRow({info_row.name, std::to_string(info_row.num_rules),
+                  std::to_string(info_row.generation),
+                  info_row.dict_backed ? "dictionary" : "text"});
+  }
+  table.Print(std::cout);
+  std::cout << info->requests_served << " requests served, "
+            << info->requests_rejected << " rejected at admission\n";
+  return 0;
+}
+
+// One CSV batch through a running daemon: the repair knobs serialize as
+// config headers (FormatRepairConfig), the repaired bytes land via
+// temp + rename, and the quarantine file has the same format as the
+// local repair flows'.
+int Submit(const Args& args) {
+  const std::string on_error = args.Get("on-error", "abort");
+  const std::optional<OnErrorPolicy> policy =
+      TryParseOnErrorPolicy(on_error);
+  if (!policy.has_value()) {
+    std::cerr << "unknown --on-error '" << on_error
+              << "' (want abort|skip|quarantine)\n";
+    return 2;
+  }
+  std::ifstream in(args.Require("in"), std::ios::binary);
+  if (!in.good()) {
+    std::cerr << "error reading --in: cannot open " << args.Get("in")
+              << "\n";
+    return 1;
+  }
+  std::ostringstream csv;
+  csv << in.rdbuf();
+
+  StatusOr<serve::Client> client = ConnectOrExplain(args);
+  if (!client.ok()) return 1;
+  Timer timer;
+  const StatusOr<serve::RepairResult> result = client->Submit(
+      args.Require("tenant"),
+      FormatRepairConfig(ConfigFromArgs(args, *policy)), csv.str());
+  if (!result.ok()) {
+    std::cerr << "submit failed: " << result.status() << "\n";
+    return 1;
+  }
+  StatusOr<AtomicFile> out = AtomicFile::Create(args.Require("out"));
+  if (!out.ok()) {
+    std::cerr << "error writing --out: " << out.status() << "\n";
+    return 1;
+  }
+  out->stream() << result->csv;
+  const Status committed = out->Commit();
+  if (!committed.ok()) {
+    std::cerr << "error writing --out: " << committed << "\n";
+    return 1;
+  }
+  if (args.Has("quarantine-out")) {
+    StatusOr<AtomicFile> quarantine =
+        AtomicFile::Create(args.Require("quarantine-out"));
+    if (!quarantine.ok()) {
+      std::cerr << "error writing --quarantine-out: " << quarantine.status()
+                << "\n";
+      return 1;
+    }
+    quarantine->stream() << result->quarantine;
+    const Status q_committed = quarantine->Commit();
+    if (!q_committed.ok()) {
+      std::cerr << "error writing --quarantine-out: " << q_committed
+                << "\n";
+      return 1;
+    }
+  }
+  std::cout << "repaired " << result->rows << " rows ("
+            << result->cells_changed << " cells changed) in "
+            << FormatDouble(timer.ElapsedMillis(), 1) << " ms -> "
+            << args.Get("out") << "\n";
+  if (*policy != OnErrorPolicy::kAbort) {
+    std::cout << "on-error=" << OnErrorPolicyName(*policy)
+              << ": quarantined " << result->tuples_quarantined
+              << " tuples";
+    if (args.Has("quarantine-out")) {
+      std::cout << " -> " << args.Get("quarantine-out");
+    }
+    std::cout << "\n";
+  }
+  return 0;
+}
+
+int Reload(const Args& args) {
+  const std::string entry = args.Require("ruleset");
+  const size_t eq = entry.find('=');
+  if (eq == std::string::npos || eq == 0) {
+    std::cerr << "bad --ruleset '" << entry
+              << "' (want NAME=DICT.frd or NAME=RULES.txt@a,b,c)\n";
+    return 2;
+  }
+  StatusOr<serve::Client> client = ConnectOrExplain(args);
+  if (!client.ok()) return 1;
+  const std::string name = entry.substr(0, eq);
+  const StatusOr<serve::ReloadResult> result =
+      client->Reload(name, entry.substr(eq + 1));
+  if (!result.ok()) {
+    std::cerr << "reload failed: " << result.status() << "\n";
+    return 1;
+  }
+  std::cout << "rule set '" << name << "' now generation "
+            << result->generation << " (" << result->num_rules
+            << " rules)\n";
+  return 0;
+}
+
 int Dispatch(const Args& args) {
   const std::string& command = args.command();
   if (command == "rules") {
@@ -988,6 +1280,10 @@ int Dispatch(const Args& args) {
   if (command == "discover") return Discover(args);
   if (command == "check") return Check(args);
   if (command == "repair") return Repair(args);
+  if (command == "serve") return Serve(args);
+  if (command == "submit") return Submit(args);
+  if (command == "ping") return Ping(args);
+  if (command == "reload") return Reload(args);
   if (command == "audit") return Audit(args);
   if (command == "rollback") return Rollback(args);
   if (command == "eval") return Eval(args);
@@ -1049,6 +1345,13 @@ int Main(int argc, char** argv) {
     if (args.Has("metrics-port")) {
       std::cerr << "[fixrep] serving /metrics on 127.0.0.1:"
                 << server->port() << "\n";
+      // Under `serve` the daemon port owns --port-file; everywhere else
+      // it publishes the /metrics port (pairs with --metrics-port=0).
+      if (args.Has("port-file") && args.command() != "serve") {
+        const int rc = WritePortFile(args.Require("port-file"),
+                                     server->port());
+        if (rc != 0) return rc;
+      }
     } else {
       std::cerr << "[fixrep] serving /metrics on "
                 << server->socket_path() << "\n";

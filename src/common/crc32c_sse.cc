@@ -1,0 +1,40 @@
+// SSE 4.2 hardware kernel for CRC-32C (common/crc32c.h). This TU alone
+// is compiled with -msse4.2 (see src/common/CMakeLists.txt); the
+// dispatcher calls in only after __builtin_cpu_supports("sse4.2").
+
+#include "common/crc32c.h"
+
+#if FIXREP_SIMD_X86
+
+#include <nmmintrin.h>
+
+#include <cstring>
+
+namespace fixrep {
+
+uint32_t Crc32cHardware(const void* data, size_t size, uint32_t seed) {
+  const uint8_t* p = static_cast<const uint8_t*>(data);
+  uint32_t crc = ~seed;
+  while (size > 0 && (reinterpret_cast<uintptr_t>(p) & 7) != 0) {
+    crc = _mm_crc32_u8(crc, *p++);
+    --size;
+  }
+  uint64_t crc64 = crc;
+  while (size >= 8) {
+    uint64_t word = 0;
+    std::memcpy(&word, p, sizeof(word));
+    crc64 = _mm_crc32_u64(crc64, word);
+    p += 8;
+    size -= 8;
+  }
+  crc = static_cast<uint32_t>(crc64);
+  while (size > 0) {
+    crc = _mm_crc32_u8(crc, *p++);
+    --size;
+  }
+  return ~crc;
+}
+
+}  // namespace fixrep
+
+#endif  // FIXREP_SIMD_X86

@@ -1,18 +1,13 @@
 #include "common/metrics_server.h"
 
-#include <netinet/in.h>
-#include <poll.h>
 #include <sys/socket.h>
-#include <sys/un.h>
-#include <unistd.h>
+#include <sys/time.h>
 
-#include <cerrno>
 #include <cmath>
 #include <cstdio>
 #include <cstring>
 #include <sstream>
 #include <utility>
-#include <vector>
 
 namespace fixrep {
 
@@ -102,93 +97,29 @@ StatusOr<std::unique_ptr<MetricsServer>> MetricsServer::Start(
   }
   auto server = std::unique_ptr<MetricsServer>(
       new MetricsServer(std::move(options)));
-  const Status status = server->Bind();
-  if (!status.ok()) return status;
-  server->thread_ = std::thread([raw = server.get()]() { raw->Run(); });
+  net::SocketServerOptions socket_options;
+  socket_options.unix_socket_path = server->options_.unix_socket_path;
+  socket_options.tcp_port = server->options_.tcp_port;
+  socket_options.backlog = 4;
+  auto inner = net::SocketServer::Start(server.get(), socket_options);
+  if (!inner.ok()) return inner.status();
+  server->server_ = std::move(inner).value();
   return server;
 }
 
-Status MetricsServer::Bind() {
-  if (pipe(wake_fds_) != 0) {
-    return Status::IoError(std::string("pipe: ") + std::strerror(errno));
-  }
-  if (!options_.unix_socket_path.empty()) {
-    sockaddr_un addr = {};
-    addr.sun_family = AF_UNIX;
-    if (options_.unix_socket_path.size() >= sizeof(addr.sun_path)) {
-      return Status::MalformedInput("unix socket path too long: " +
-                                    options_.unix_socket_path);
-    }
-    std::strncpy(addr.sun_path, options_.unix_socket_path.c_str(),
-                 sizeof(addr.sun_path) - 1);
-    listen_fd_ = socket(AF_UNIX, SOCK_STREAM, 0);
-    if (listen_fd_ < 0) {
-      return Status::IoError(std::string("socket: ") + std::strerror(errno));
-    }
-    // A stale socket file from a dead process blocks bind; remove it.
-    unlink(options_.unix_socket_path.c_str());
-    if (bind(listen_fd_, reinterpret_cast<const sockaddr*>(&addr),
-             sizeof(addr)) != 0) {
-      return Status::IoError("bind " + options_.unix_socket_path + ": " +
-                             std::strerror(errno));
-    }
-  } else {
-    listen_fd_ = socket(AF_INET, SOCK_STREAM, 0);
-    if (listen_fd_ < 0) {
-      return Status::IoError(std::string("socket: ") + std::strerror(errno));
-    }
-    const int enable = 1;
-    setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &enable, sizeof(enable));
-    sockaddr_in addr = {};
-    addr.sin_family = AF_INET;
-    addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);  // scrape-only: loopback
-    addr.sin_port = htons(static_cast<uint16_t>(options_.tcp_port));
-    if (bind(listen_fd_, reinterpret_cast<const sockaddr*>(&addr),
-             sizeof(addr)) != 0) {
-      return Status::IoError("bind port " +
-                             std::to_string(options_.tcp_port) + ": " +
-                             std::strerror(errno));
-    }
-    sockaddr_in bound = {};
-    socklen_t len = sizeof(bound);
-    if (getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&bound), &len) ==
-        0) {
-      port_ = ntohs(bound.sin_port);
-    }
-  }
-  if (listen(listen_fd_, 4) != 0) {
-    return Status::IoError(std::string("listen: ") + std::strerror(errno));
-  }
-  return Status::Ok();
-}
-
-void MetricsServer::Run() {
-  while (!stop_requested_.load(std::memory_order_acquire)) {
-    pollfd fds[2] = {{listen_fd_, POLLIN, 0}, {wake_fds_[0], POLLIN, 0}};
-    const int ready = poll(fds, 2, /*timeout_ms=*/-1);
-    if (ready < 0) {
-      if (errno == EINTR) continue;
-      break;
-    }
-    if (stop_requested_.load(std::memory_order_acquire)) break;
-    if ((fds[0].revents & POLLIN) == 0) continue;
-    const int conn = accept(listen_fd_, nullptr, nullptr);
-    if (conn < 0) continue;
-    ServeConnection(conn);
-    close(conn);
-  }
-}
-
-void MetricsServer::ServeConnection(int fd) {
+bool MetricsServer::OnAccept(int fd) {
   // One small read is enough for a scrape request line; a client that
-  // dribbles bytes gets cut off by the receive timeout rather than
-  // wedging the accept loop.
+  // dribbles bytes gets its response cut off by the send timeout rather
+  // than wedging the loop.
   timeval timeout = {2, 0};
-  setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &timeout, sizeof(timeout));
   setsockopt(fd, SOL_SOCKET, SO_SNDTIMEO, &timeout, sizeof(timeout));
+  return true;
+}
+
+net::SocketServer::ReadResult MetricsServer::OnReadable(int fd) {
   char request[1024] = {};
-  const ssize_t n = recv(fd, request, sizeof(request) - 1, 0);
-  if (n <= 0) return;
+  const ssize_t n = recv(fd, request, sizeof(request) - 1, MSG_DONTWAIT);
+  if (n <= 0) return net::SocketServer::ReadResult::kClose;
 
   std::string body;
   std::string header;
@@ -219,24 +150,13 @@ void MetricsServer::ServeConnection(int fd) {
     if (w <= 0) break;
     sent += static_cast<size_t>(w);
   }
+  return net::SocketServer::ReadResult::kClose;
 }
 
 void MetricsServer::Stop() {
-  if (!thread_.joinable()) return;
-  stop_requested_.store(true, std::memory_order_release);
-  const char byte = 'x';
-  [[maybe_unused]] const ssize_t written = write(wake_fds_[1], &byte, 1);
-  thread_.join();
+  if (server_ != nullptr) server_->Stop();
 }
 
-MetricsServer::~MetricsServer() {
-  Stop();
-  if (listen_fd_ >= 0) close(listen_fd_);
-  if (wake_fds_[0] >= 0) close(wake_fds_[0]);
-  if (wake_fds_[1] >= 0) close(wake_fds_[1]);
-  if (!options_.unix_socket_path.empty()) {
-    unlink(options_.unix_socket_path.c_str());
-  }
-}
+MetricsServer::~MetricsServer() { Stop(); }
 
 }  // namespace fixrep

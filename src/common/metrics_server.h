@@ -1,21 +1,22 @@
 #ifndef FIXREP_COMMON_METRICS_SERVER_H_
 #define FIXREP_COMMON_METRICS_SERVER_H_
 
-#include <atomic>
 #include <cstdint>
 #include <memory>
 #include <ostream>
 #include <string>
-#include <thread>
 
 #include "common/metrics.h"
+#include "common/socket_server.h"
 #include "common/status.h"
 
 // Prometheus text exposition (format 0.0.4) over a MetricsRegistry, and
-// a minimal single-threaded accept-loop HTTP server for `GET /metrics`
-// on a unix socket or loopback TCP port — the repo's first networking
-// scaffold toward the repair-as-a-service daemon. One connection at a
-// time, read-only, no TLS: scrape-grade, not internet-grade.
+// a minimal HTTP responder for `GET /metrics` on a unix socket or
+// loopback TCP port. Originally the repo's first networking scaffold;
+// its poll + self-pipe accept loop now lives in net::SocketServer
+// (shared with the repair daemon) and MetricsServer is a thin
+// connection handler on top: one request per connection, read-only, no
+// TLS — scrape-grade, not internet-grade.
 
 namespace fixrep {
 
@@ -38,7 +39,7 @@ struct MetricsServerOptions {
   const MetricsRegistry* registry = nullptr;
 };
 
-class MetricsServer {
+class MetricsServer : private net::SocketServer::Handler {
  public:
   // Binds, listens, and starts the accept-loop thread. kIoError on any
   // socket failure (path too long, port in use, ...).
@@ -53,23 +54,20 @@ class MetricsServer {
   void Stop();
 
   // The bound TCP port (meaningful after Start with tcp_port >= 0).
-  int port() const { return port_; }
+  int port() const { return server_ != nullptr ? server_->port() : -1; }
   const std::string& socket_path() const {
     return options_.unix_socket_path;
   }
 
  private:
   explicit MetricsServer(MetricsServerOptions options);
-  Status Bind();
-  void Run();
-  void ServeConnection(int fd);
+
+  // net::SocketServer::Handler (loop-thread context).
+  bool OnAccept(int fd) override;
+  net::SocketServer::ReadResult OnReadable(int fd) override;
 
   MetricsServerOptions options_;
-  int listen_fd_ = -1;
-  int wake_fds_[2] = {-1, -1};  // self-pipe to interrupt poll on Stop
-  int port_ = -1;
-  std::atomic<bool> stop_requested_{false};
-  std::thread thread_;
+  std::unique_ptr<net::SocketServer> server_;
 };
 
 }  // namespace fixrep

@@ -1,0 +1,234 @@
+#include "common/socket_server.h"
+
+#include <netinet/in.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <utility>
+
+namespace fixrep::net {
+
+SocketServer::SocketServer(Handler* handler, SocketServerOptions options)
+    : handler_(handler), options_(std::move(options)) {}
+
+StatusOr<std::unique_ptr<SocketServer>> SocketServer::Start(
+    Handler* handler, SocketServerOptions options) {
+  const bool want_unix = !options.unix_socket_path.empty();
+  const bool want_tcp = options.tcp_port >= 0;
+  if (want_unix == want_tcp) {
+    return Status::MalformedInput(
+        "socket server needs exactly one of unix_socket_path or tcp_port");
+  }
+  auto server = std::unique_ptr<SocketServer>(
+      new SocketServer(handler, std::move(options)));
+  const Status status = server->Bind();
+  if (!status.ok()) return status;
+  server->thread_ = std::thread([raw = server.get()]() { raw->Run(); });
+  return server;
+}
+
+Status SocketServer::Bind() {
+  if (pipe(wake_fds_) != 0) {
+    return Status::IoError(std::string("pipe: ") + std::strerror(errno));
+  }
+  if (!options_.unix_socket_path.empty()) {
+    sockaddr_un addr = {};
+    addr.sun_family = AF_UNIX;
+    if (options_.unix_socket_path.size() >= sizeof(addr.sun_path)) {
+      return Status::MalformedInput("unix socket path too long: " +
+                                    options_.unix_socket_path);
+    }
+    std::strncpy(addr.sun_path, options_.unix_socket_path.c_str(),
+                 sizeof(addr.sun_path) - 1);
+    listen_fd_ = socket(AF_UNIX, SOCK_STREAM, 0);
+    if (listen_fd_ < 0) {
+      return Status::IoError(std::string("socket: ") + std::strerror(errno));
+    }
+    // A stale socket file from a dead process blocks bind; remove it.
+    unlink(options_.unix_socket_path.c_str());
+    if (bind(listen_fd_, reinterpret_cast<const sockaddr*>(&addr),
+             sizeof(addr)) != 0) {
+      return Status::IoError("bind " + options_.unix_socket_path + ": " +
+                             std::strerror(errno));
+    }
+  } else {
+    listen_fd_ = socket(AF_INET, SOCK_STREAM, 0);
+    if (listen_fd_ < 0) {
+      return Status::IoError(std::string("socket: ") + std::strerror(errno));
+    }
+    const int enable = 1;
+    setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &enable, sizeof(enable));
+    sockaddr_in addr = {};
+    addr.sin_family = AF_INET;
+    addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);  // local-first: loopback
+    addr.sin_port = htons(static_cast<uint16_t>(options_.tcp_port));
+    if (bind(listen_fd_, reinterpret_cast<const sockaddr*>(&addr),
+             sizeof(addr)) != 0) {
+      return Status::IoError("bind port " + std::to_string(options_.tcp_port) +
+                             ": " + std::strerror(errno));
+    }
+    sockaddr_in bound = {};
+    socklen_t len = sizeof(bound);
+    if (getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&bound), &len) ==
+        0) {
+      port_ = ntohs(bound.sin_port);
+    }
+  }
+  if (listen(listen_fd_, options_.backlog) != 0) {
+    return Status::IoError(std::string("listen: ") + std::strerror(errno));
+  }
+  return Status::Ok();
+}
+
+void SocketServer::Wake() {
+  const char byte = 'x';
+  [[maybe_unused]] const ssize_t written = write(wake_fds_[1], &byte, 1);
+}
+
+void SocketServer::Resume(int fd) {
+  {
+    std::lock_guard<std::mutex> lock(command_mu_);
+    commands_.push_back({Command::kResume, fd});
+  }
+  Wake();
+}
+
+void SocketServer::CloseConnection(int fd) {
+  {
+    std::lock_guard<std::mutex> lock(command_mu_);
+    commands_.push_back({Command::kClose, fd});
+  }
+  Wake();
+}
+
+void SocketServer::StopAccepting() {
+  accepting_.store(false, std::memory_order_release);
+  Wake();
+}
+
+void SocketServer::CloseFd(int fd) {
+  auto it = connections_.find(fd);
+  if (it == connections_.end()) return;
+  connections_.erase(it);
+  handler_->OnClose(fd);
+  close(fd);
+}
+
+void SocketServer::AcceptOne() {
+  const int conn = accept(listen_fd_, nullptr, nullptr);
+  if (conn < 0) return;
+  if (!handler_->OnAccept(conn)) {
+    close(conn);
+    return;
+  }
+  connections_[conn] = /*suspended=*/false;
+}
+
+void SocketServer::HandleReadable(int fd) {
+  switch (handler_->OnReadable(fd)) {
+    case ReadResult::kKeepWatching:
+      break;
+    case ReadResult::kSuspend: {
+      auto it = connections_.find(fd);
+      if (it != connections_.end()) it->second = true;
+      break;
+    }
+    case ReadResult::kClose:
+      CloseFd(fd);
+      break;
+  }
+}
+
+void SocketServer::Run() {
+  bool listener_open = true;
+  std::vector<pollfd> fds;
+  std::vector<Command> pending;
+  while (!stop_requested_.load(std::memory_order_acquire)) {
+    if (listener_open && !accepting_.load(std::memory_order_acquire)) {
+      // Drain phase: refuse new connects, keep serving established ones.
+      close(listen_fd_);
+      listen_fd_ = -1;
+      listener_open = false;
+    }
+
+    fds.clear();
+    fds.push_back({wake_fds_[0], POLLIN, 0});
+    if (listener_open) fds.push_back({listen_fd_, POLLIN, 0});
+    const size_t first_conn = fds.size();
+    for (const auto& [fd, suspended] : connections_) {
+      if (!suspended) fds.push_back({fd, POLLIN, 0});
+    }
+
+    const int ready = poll(fds.data(), fds.size(), /*timeout_ms=*/-1);
+    if (ready < 0) {
+      if (errno == EINTR) continue;
+      break;
+    }
+    if (stop_requested_.load(std::memory_order_acquire)) break;
+
+    if (fds[0].revents & POLLIN) {
+      char buf[64];
+      while (read(wake_fds_[0], buf, sizeof(buf)) == sizeof(buf)) {
+      }
+      {
+        std::lock_guard<std::mutex> lock(command_mu_);
+        pending.swap(commands_);
+      }
+      for (const Command& command : pending) {
+        auto it = connections_.find(command.fd);
+        if (it == connections_.end()) continue;  // already closed
+        if (command.kind == Command::kClose) {
+          CloseFd(command.fd);
+        } else {
+          // Re-deliver OnReadable so a frame the handler already has
+          // buffered is processed even if the peer never sends another
+          // byte.
+          it->second = false;
+          HandleReadable(command.fd);
+        }
+      }
+      pending.clear();
+    }
+
+    if (listener_open && fds.size() > 1 && (fds[1].revents & POLLIN) != 0) {
+      AcceptOne();
+    }
+
+    for (size_t i = first_conn; i < fds.size(); ++i) {
+      if ((fds[i].revents & (POLLIN | POLLHUP | POLLERR)) == 0) continue;
+      // The connection set may have changed while handling an earlier
+      // fd in this same poll round; skip entries that are gone.
+      if (connections_.find(fds[i].fd) == connections_.end()) continue;
+      HandleReadable(fds[i].fd);
+    }
+  }
+
+  // Loop exit: close every remaining connection on the loop thread so
+  // OnClose always runs in loop-thread context.
+  while (!connections_.empty()) {
+    CloseFd(connections_.begin()->first);
+  }
+}
+
+void SocketServer::Stop() {
+  if (!thread_.joinable()) return;
+  stop_requested_.store(true, std::memory_order_release);
+  Wake();
+  thread_.join();
+}
+
+SocketServer::~SocketServer() {
+  Stop();
+  if (listen_fd_ >= 0) close(listen_fd_);
+  if (wake_fds_[0] >= 0) close(wake_fds_[0]);
+  if (wake_fds_[1] >= 0) close(wake_fds_[1]);
+  if (!options_.unix_socket_path.empty()) {
+    unlink(options_.unix_socket_path.c_str());
+  }
+}
+
+}  // namespace fixrep::net

@@ -1,0 +1,136 @@
+#ifndef FIXREP_COMMON_SOCKET_SERVER_H_
+#define FIXREP_COMMON_SOCKET_SERVER_H_
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/status.h"
+
+// Reusable single-threaded poll + self-pipe accept loop, generalized out
+// of the original MetricsServer so the `/metrics` endpoint and the
+// repair daemon share one networking scaffold. One loop thread owns
+// every file descriptor: it accepts, polls readable connections, and
+// invokes a Handler's callbacks in loop-thread context. Handlers that
+// process requests elsewhere (e.g. on the global ThreadPool) suspend a
+// connection — the loop stops polling it — and later Resume() it from
+// any thread; the loop re-delivers OnReadable so bytes already buffered
+// by the handler (a pipelined second frame) are processed even when no
+// new packet ever arrives.
+//
+// Listeners are deliberately modest: one unix-domain socket or one
+// loopback TCP port, level-triggered poll(2), no TLS — local-first
+// plumbing, not internet-grade.
+
+namespace fixrep::net {
+
+struct SocketServerOptions {
+  // Exactly one of the two listeners: a unix-domain socket path, or a
+  // loopback TCP port (0 = ephemeral, query the bound port with port()).
+  std::string unix_socket_path;
+  int tcp_port = -1;  // -1 = no TCP listener
+  int backlog = 16;
+};
+
+class SocketServer {
+ public:
+  enum class ReadResult {
+    kKeepWatching,  // keep polling this connection for more bytes
+    kSuspend,       // stop polling until Resume(fd); fd stays open
+    kClose,         // close the connection now (OnClose fires)
+  };
+
+  // All callbacks run on the server's loop thread. A connection that is
+  // suspended is owned by the handler until it calls Resume() or
+  // CloseConnection(); Stop() force-closes suspended fds too, so
+  // handlers must drain any cross-thread work before stopping the
+  // server.
+  class Handler {
+   public:
+    virtual ~Handler() = default;
+    // A new connection was accepted. Return false to reject (the fd is
+    // closed immediately and OnClose does not fire).
+    virtual bool OnAccept(int fd) {
+      (void)fd;
+      return true;
+    }
+    // The connection has bytes (or EOF) pending, or was just resumed.
+    virtual ReadResult OnReadable(int fd) = 0;
+    // The loop is about to close the fd (peer EOF, handler said kClose,
+    // CloseConnection, or Stop). Last chance to drop per-fd state.
+    virtual void OnClose(int fd) { (void)fd; }
+  };
+
+  // Binds, listens, and starts the loop thread. kIoError on any socket
+  // failure, kMalformedInput unless exactly one listener is configured.
+  // The handler must outlive the server.
+  static StatusOr<std::unique_ptr<SocketServer>> Start(
+      Handler* handler, SocketServerOptions options);
+
+  ~SocketServer();  // Stop() + join + unlink unix socket
+
+  SocketServer(const SocketServer&) = delete;
+  SocketServer& operator=(const SocketServer&) = delete;
+
+  // Closes the listener so new connects are refused; established
+  // connections keep being served. Idempotent, callable from any
+  // thread. The drain half of graceful shutdown.
+  void StopAccepting();
+
+  // Stops the loop, closes every remaining connection (OnClose fires
+  // for each), and joins the thread. Idempotent.
+  void Stop();
+
+  // Re-watches a connection previously suspended by OnReadable and
+  // re-delivers OnReadable on the loop thread. Thread-safe; a stale fd
+  // (already closed) is ignored.
+  void Resume(int fd);
+
+  // Asks the loop thread to close a connection (OnClose fires).
+  // Thread-safe; a stale fd is ignored.
+  void CloseConnection(int fd);
+
+  // The bound TCP port (meaningful after Start with tcp_port >= 0).
+  int port() const { return port_; }
+  const std::string& socket_path() const { return options_.unix_socket_path; }
+
+ private:
+  struct Command {
+    enum Kind { kResume, kClose } kind;
+    int fd;
+  };
+
+  SocketServer(Handler* handler, SocketServerOptions options);
+  Status Bind();
+  void Run();
+  void AcceptOne();
+  void HandleReadable(int fd);
+  void CloseFd(int fd);  // loop thread only
+  void Wake();
+
+  Handler* handler_;
+  SocketServerOptions options_;
+  int listen_fd_ = -1;
+  int wake_fds_[2] = {-1, -1};  // self-pipe to interrupt poll
+  int port_ = -1;
+
+  std::atomic<bool> stop_requested_{false};
+  std::atomic<bool> accepting_{true};
+
+  std::mutex command_mu_;
+  std::vector<Command> commands_;
+
+  // Loop-thread state: fd -> suspended?
+  std::map<int, bool> connections_;
+
+  std::thread thread_;
+};
+
+}  // namespace fixrep::net
+
+#endif  // FIXREP_COMMON_SOCKET_SERVER_H_

@@ -14,6 +14,8 @@ const char* StatusCodeName(StatusCode code) {
       return "BUDGET_EXHAUSTED";
     case StatusCode::kInternal:
       return "INTERNAL";
+    case StatusCode::kUnavailable:
+      return "UNAVAILABLE";
   }
   return "UNKNOWN";
 }

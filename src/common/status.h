@@ -30,6 +30,7 @@ enum class StatusCode {
   kIoError = 2,          // file open/read/write/flush failure
   kBudgetExhausted = 3,  // a bounded computation hit its step budget
   kInternal = 4,         // unexpected internal failure (incl. injected)
+  kUnavailable = 5,      // service overloaded or shutting down; retry later
 };
 
 // Stable upper-case token for a code, e.g. "MALFORMED_INPUT".
@@ -59,6 +60,9 @@ class Status {
   }
   static Status Internal(std::string message) {
     return Status(StatusCode::kInternal, std::move(message));
+  }
+  static Status Unavailable(std::string message) {
+    return Status(StatusCode::kUnavailable, std::move(message));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

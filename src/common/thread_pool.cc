@@ -17,6 +17,7 @@ struct ThreadPool::Job {
   std::atomic<size_t> cursor{0};     // next unclaimed row
   std::atomic<size_t> next_slot{1};  // slot 0 is the calling thread
   std::atomic<uint64_t> chunks{0};
+  size_t active_runners = 0;  // workers inside the job; guarded by pool mu_
 };
 
 ThreadPool::ThreadPool(size_t num_workers) {
@@ -59,12 +60,24 @@ void ThreadPool::WorkerLoop() {
   uint64_t seen_seq = 0;
   while (true) {
     std::shared_ptr<Job> job;
+    std::function<void()> task;
     {
       std::unique_lock<std::mutex> lock(mu_);
-      work_cv_.wait(lock, [&] { return stop_ || job_seq_ != seen_seq; });
+      work_cv_.wait(lock, [&] {
+        return stop_ || job_seq_ != seen_seq || !tasks_.empty();
+      });
       if (stop_) return;
-      seen_seq = job_seq_;
-      job = job_;
+      if (job_seq_ != seen_seq) {
+        // A job published since we last looked. It may already have been
+        // retired (the caller drained the cursor alone) — then job_ is
+        // null and there is nothing to join.
+        seen_seq = job_seq_;
+        job = job_;
+        if (job != nullptr) ++job->active_runners;
+      } else {
+        task = std::move(tasks_.front());
+        tasks_.pop_front();
+      }
     }
     if (job != nullptr) {
       // Slots beyond the participant cap leave the job untouched — the
@@ -73,11 +86,29 @@ void ThreadPool::WorkerLoop() {
       const size_t slot =
           job->next_slot.fetch_add(1, std::memory_order_relaxed);
       if (slot < job->max_participants) RunChunks(job.get(), slot);
-    }
-    {
       std::lock_guard<std::mutex> lock(mu_);
-      if (--workers_in_flight_ == 0) done_cv_.notify_all();
+      if (--job->active_runners == 0) done_cv_.notify_all();
+    } else if (task) {
+      task();
     }
+  }
+}
+
+void ThreadPool::Submit(std::function<void()> task) {
+  if (workers_.empty()) {
+    task();
+    return;
+  }
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    tasks_.push_back(std::move(task));
+  }
+  // notify_all, not notify_one: a single woken worker prefers a pending
+  // job over the task queue, which would strand the task until the next
+  // wakeup.
+  work_cv_.notify_all();
+  if (kMetricsEnabled) {
+    CurrentMetrics().GetCounter("fixrep.pool.submitted")->Add(1);
   }
 }
 
@@ -103,16 +134,19 @@ void ThreadPool::ParallelFor(
     std::lock_guard<std::mutex> lock(mu_);
     job_ = job;
     ++job_seq_;
-    workers_in_flight_ = workers_.size();
   }
   work_cv_.notify_all();
 
   RunChunks(job.get(), /*slot=*/0);
 
+  // The cursor is drained: any worker that joins from here on claims no
+  // chunk and never dereferences `body`. Wait only for workers that
+  // actually entered the job — a worker wedged in a Submit task (or one
+  // running its own nested work) simply never joined and owes nothing.
   {
     std::unique_lock<std::mutex> lock(mu_);
-    done_cv_.wait(lock, [&] { return workers_in_flight_ == 0; });
-    job_.reset();
+    job_.reset();  // late wakers see a retired job and skip it
+    done_cv_.wait(lock, [&] { return job->active_runners == 0; });
   }
 
   if (kMetricsEnabled) {

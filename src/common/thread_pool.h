@@ -3,6 +3,7 @@
 
 #include <condition_variable>
 #include <cstddef>
+#include <deque>
 #include <functional>
 #include <memory>
 #include <mutex>
@@ -26,8 +27,16 @@ namespace fixrep {
 // workers degrades to an inline loop. One ParallelFor runs at a time;
 // concurrent callers serialize on an internal mutex.
 //
-// Instrumented as fixrep.pool.{parallel_fors,chunks_claimed,tasks} and
-// the fixrep.pool.workers gauge.
+// Besides data-parallel jobs, the pool runs free-standing tasks
+// (Submit): idle workers drain a FIFO task queue between jobs. A
+// ParallelFor never waits on the full worker complement — completion is
+// tracked per job by the workers that actually joined it — so a worker
+// stuck inside a long Submit task (or a task that itself calls
+// ParallelFor) only shrinks the effective participant count; it can
+// never deadlock the barrier. Jobs take priority over queued tasks.
+//
+// Instrumented as fixrep.pool.{parallel_fors,chunks_claimed,tasks,
+// submitted} and the fixrep.pool.workers gauge.
 class ThreadPool {
  public:
   // Starts `num_workers` parked worker threads (0 is valid).
@@ -54,6 +63,12 @@ class ThreadPool {
                    const std::function<void(size_t begin, size_t end,
                                             size_t slot)>& body);
 
+  // Enqueues a free-standing task for any idle worker; returns
+  // immediately. Tasks run in FIFO order relative to each other but
+  // interleave arbitrarily with ParallelFor jobs (which take priority).
+  // A zero-worker pool runs the task inline. Tasks must not throw.
+  void Submit(std::function<void()> task);
+
  private:
   struct Job;
 
@@ -67,7 +82,7 @@ class ThreadPool {
   std::condition_variable done_cv_;
   uint64_t job_seq_ = 0;            // bumped per published job
   std::shared_ptr<Job> job_;        // non-null while a job is live
-  size_t workers_in_flight_ = 0;    // pool workers yet to finish job_
+  std::deque<std::function<void()>> tasks_;  // Submit queue
   bool stop_ = false;
   std::vector<std::thread> workers_;
 };

@@ -138,6 +138,15 @@ bool WalCursor::GetString(std::string* s) {
   return true;
 }
 
+bool WalCursor::GetStringView(std::string_view* s) {
+  uint32_t size = 0;
+  if (!GetU32(&size)) return false;
+  if (pos_ + size > data_.size()) return ok_ = false;
+  *s = std::string_view(data_.data() + pos_, size);
+  pos_ += size;
+  return true;
+}
+
 StatusOr<WalWriter> WalWriter::Create(const std::string& path) {
   if (FIXREP_FAULT("wal.open")) {
     return Status::IoError("injected open failure on WAL '" + path + "'");

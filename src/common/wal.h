@@ -63,6 +63,10 @@ class WalCursor {
   bool GetU32(uint32_t* v);
   bool GetU64(uint64_t* v);
   bool GetString(std::string* s);
+  // Like GetString but yields a view into the cursor's payload — valid
+  // only while the payload outlives the view. Lets a decoder of a
+  // multi-MB field defer (or entirely avoid) the copy.
+  bool GetStringView(std::string_view* s);
 
   bool ok() const { return ok_; }
   bool at_end() const { return ok_ && pos_ == data_.size(); }

@@ -30,10 +30,20 @@ RepairSession::RepairSession(const RuleSet* rules, const RepairConfig& config)
 }
 
 RepairSession::RepairSession(const RepairConfig& config)
-    : RepairSession(nullptr, config) {}
+    : RepairSession(static_cast<const RuleSet*>(nullptr), config) {}
+
+RepairSession::RepairSession(const RuleRepository* repository,
+                             const RepairConfig& config)
+    : rules_(nullptr), config_(config), external_repo_(repository) {
+  FIXREP_CHECK(external_repo_ != nullptr);
+  FIXREP_CHECK(config_.rules_dict.empty())
+      << "a shared-repository session already has its backend";
+  if (config_.scoped_metrics) scope_ = std::make_unique<MetricScope>();
+}
 
 StatusOr<const RuleRepository*> RepairSession::Backend(
     const Schema& schema, const std::shared_ptr<ValuePool>& pool) {
+  if (external_repo_ != nullptr) return external_repo_;
   if (config_.rules_dict.empty()) return index_.get();
   if (dict_ == nullptr) {
     StatusOr<std::unique_ptr<RuleDict>> opened =
@@ -83,10 +93,12 @@ StatusOr<RepairReport> RepairSession::Repair(Table* table) {
   const RuleRepository* repo = backend.value();
 
   if (config_.engine == RepairEngine::kCRepair) {
-    // Dictionary-backed reference chase runs over the handle's source
-    // view; the rules-backed one compiles its private index as before.
+    // Dictionary- and shared-repository-backed reference chases run over
+    // the handle's source view; the rules-backed one compiles its
+    // private index as before.
     std::unique_ptr<RuleSourceHandle> handle;
-    if (repo != nullptr && !config_.rules_dict.empty()) {
+    if (repo != nullptr &&
+        (external_repo_ != nullptr || !config_.rules_dict.empty())) {
       handle = repo->MakeHandle();
     }
     ChaseRepairer repairer =

@@ -131,6 +131,14 @@ class RepairSession {
   // Dictionary-only session: config.rules_dict must be non-empty.
   explicit RepairSession(const RepairConfig& config);
 
+  // Shared-repository session: chases through `repository` (a
+  // CompiledRuleIndex or bound RuleDict compiled once elsewhere and
+  // borrowed here) without building any per-session index — the
+  // daemon's per-request path, where N concurrent sessions share one
+  // immutable backend. config.rules_dict must be empty; the caller
+  // keeps `repository` alive and bound for the session's lifetime.
+  RepairSession(const RuleRepository* repository, const RepairConfig& config);
+
   RepairSession(const RepairSession&) = delete;
   RepairSession& operator=(const RepairSession&) = delete;
 
@@ -168,6 +176,9 @@ class RepairSession {
   RepairConfig config_;
   std::unique_ptr<const CompiledRuleIndex> index_;
   std::unique_ptr<RuleDict> dict_;
+  // Borrowed prebuilt backend (shared-repository constructor); wins over
+  // index_/dict_ in Backend().
+  const RuleRepository* external_repo_ = nullptr;
   // Present iff config_.scoped_metrics; activated on the calling thread
   // for the duration of each Repair/RepairStream call.
   std::unique_ptr<MetricScope> scope_;

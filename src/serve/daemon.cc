@@ -1,0 +1,387 @@
+#include "serve/daemon.h"
+
+#include <sys/socket.h>
+#include <sys/time.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <sstream>
+#include <utility>
+
+#include "common/metric_scope.h"
+#include "common/metrics.h"
+#include "common/quarantine.h"
+#include "common/thread_pool.h"
+#include "relation/csv.h"
+#include "repair/config.h"
+#include "repair/session.h"
+
+namespace fixrep::serve {
+
+namespace {
+
+void TickServeCounter(const char* name, uint64_t n = 1) {
+  if (kMetricsEnabled) {
+    MetricsRegistry::Global().GetCounter(name)->Add(n);
+  }
+}
+
+// Read-only streambuf over a request's CSV bytes: ReadCsvLenient takes
+// an istream, and an istringstream would copy the multi-MB batch first.
+class ViewBuf : public std::streambuf {
+ public:
+  explicit ViewBuf(const std::string& s) {
+    char* p = const_cast<char*>(s.data());
+    setg(p, p, p + s.size());
+  }
+};
+
+}  // namespace
+
+RepairDaemon::RepairDaemon(TenantRegistry* registry, DaemonOptions options)
+    : registry_(registry), options_(std::move(options)) {}
+
+StatusOr<std::unique_ptr<RepairDaemon>> RepairDaemon::Start(
+    TenantRegistry* registry, DaemonOptions options) {
+  if (registry == nullptr || registry->size() == 0) {
+    return Status::MalformedInput(
+        "the daemon needs at least one loaded rule set");
+  }
+  auto daemon = std::unique_ptr<RepairDaemon>(
+      new RepairDaemon(registry, std::move(options)));
+  if (pipe(daemon->shutdown_pipe_) != 0) {
+    return Status::IoError(std::string("pipe: ") + std::strerror(errno));
+  }
+  net::SocketServerOptions socket_options;
+  socket_options.unix_socket_path = daemon->options_.unix_socket_path;
+  socket_options.tcp_port = daemon->options_.tcp_port;
+  auto server = net::SocketServer::Start(daemon.get(), socket_options);
+  if (!server.ok()) return server.status();
+  daemon->server_ = std::move(server).value();
+  return daemon;
+}
+
+RepairDaemon::~RepairDaemon() {
+  Shutdown();
+  if (shutdown_pipe_[0] >= 0) close(shutdown_pipe_[0]);
+  if (shutdown_pipe_[1] >= 0) close(shutdown_pipe_[1]);
+}
+
+void RepairDaemon::RequestShutdown() {
+  const char byte = 's';
+  [[maybe_unused]] const ssize_t written =
+      write(shutdown_pipe_[1], &byte, 1);
+}
+
+void RepairDaemon::WaitForShutdownRequest() {
+  char byte = 0;
+  while (read(shutdown_pipe_[0], &byte, 1) < 0 && errno == EINTR) {
+  }
+}
+
+void RepairDaemon::Shutdown() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (shutdown_done_) return;
+    shutdown_done_ = true;
+    draining_ = true;  // no further admissions from here on
+  }
+  // Refuse new connections; established ones get kUnavailable per frame.
+  server_->StopAccepting();
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    drain_cv_.wait(lock,
+                   [&] { return in_flight_ == 0 && busy_workers_ == 0; });
+  }
+  // Every admitted request has written its response; now the loop (and
+  // any idle connections) can go.
+  server_->Stop();
+  RequestShutdown();  // unblock WaitForShutdownRequest, if parked
+}
+
+bool RepairDaemon::OnAccept(int fd) {
+  timeval timeout = {options_.send_timeout_ms / 1000,
+                     (options_.send_timeout_ms % 1000) * 1000};
+  setsockopt(fd, SOL_SOCKET, SO_SNDTIMEO, &timeout, sizeof(timeout));
+  connections_[fd];  // fresh buffer
+  TickServeCounter("fixrep.serve.connections");
+  return true;
+}
+
+void RepairDaemon::OnClose(int fd) { connections_.erase(fd); }
+
+net::SocketServer::ReadResult RepairDaemon::OnReadable(int fd) {
+  Connection& conn = connections_[fd];
+  // Drain what the socket has right now (level-triggered poll re-arms
+  // if the client keeps sending). Received straight into the buffer
+  // tail — a multi-MB request would otherwise pay a second copy out of
+  // a bounce buffer per chunk.
+  constexpr size_t kReadChunk = 256 * 1024;
+  while (true) {
+    const size_t filled = conn.buffer.size();
+    conn.buffer.resize(filled + kReadChunk);
+    const ssize_t n =
+        recv(fd, conn.buffer.data() + filled, kReadChunk, MSG_DONTWAIT);
+    conn.buffer.resize(filled + (n > 0 ? static_cast<size_t>(n) : 0));
+    if (n > 0) {
+      if (static_cast<size_t>(n) < kReadChunk) break;
+      continue;
+    }
+    if (n == 0) {
+      // Peer EOF. Anything still buffered is an incomplete frame.
+      return net::SocketServer::ReadResult::kClose;
+    }
+    if (errno == EAGAIN || errno == EWOULDBLOCK || errno == EINTR) break;
+    return net::SocketServer::ReadResult::kClose;
+  }
+
+  while (true) {
+    std::string payload;
+    uint32_t crc = 0;
+    switch (ExtractFrame(&conn.buffer, &payload, &crc)) {
+      case FrameParse::kNeedMore:
+        return net::SocketServer::ReadResult::kKeepWatching;
+      case FrameParse::kBadMagic:
+      case FrameParse::kTooLarge:
+        // Garbage stream: no way to resynchronize a length-prefixed
+        // protocol, drop the connection.
+        return net::SocketServer::ReadResult::kClose;
+      case FrameParse::kFrame:
+        break;
+    }
+
+    // Admission control: the gate is checked here, on the loop thread,
+    // so a full queue answers immediately — the request never blocks
+    // behind the pool.
+    bool admitted = false;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (!draining_ && in_flight_ < options_.max_pending) {
+        ++in_flight_;
+        ++busy_workers_;
+        admitted = true;
+      }
+    }
+    if (!admitted) {
+      requests_rejected_.fetch_add(1, std::memory_order_relaxed);
+      TickServeCounter("fixrep.serve.rejected");
+      bool draining;
+      {
+        std::lock_guard<std::mutex> lock(mu_);
+        draining = draining_;
+      }
+      SendResponse(fd, ErrorResponse(
+          Verb::kPing,
+          Status::Unavailable(draining
+                                  ? "daemon is draining for shutdown"
+                                  : "request queue is full; retry later")));
+      continue;  // the connection survives rejection
+    }
+
+    // Suspend until the pool task writes the response and resumes us;
+    // one outstanding request per connection keeps responses ordered.
+    ThreadPool::Global().Submit(
+        [this, fd, payload = std::move(payload), crc]() mutable {
+          HandleFrame(fd, std::move(payload), crc);
+        });
+    return net::SocketServer::ReadResult::kSuspend;
+  }
+}
+
+void RepairDaemon::HandleFrame(int fd, std::string payload, uint32_t crc) {
+  if (options_.request_stall_for_test) options_.request_stall_for_test();
+
+  Response response;
+  const Status frame_ok = VerifyFrame(payload, crc);
+  if (!frame_ok.ok()) {
+    response = ErrorResponse(Verb::kPing, frame_ok);
+  } else {
+    StatusOr<Request> request = DecodeRequest(std::move(payload));
+    if (!request.ok()) {
+      response = ErrorResponse(Verb::kPing, request.status());
+    } else {
+      response = HandleRequest(request.value());
+    }
+  }
+  // Count and free the admission slot before the write lands: a client
+  // that has its response in hand must already see itself in
+  // requests_served() and must find the slot free — its next request
+  // (or another client's) cannot bounce off a queue this one no longer
+  // occupies. The slot bounds concurrent repair work; the response
+  // write that follows is covered by busy_workers_, so the shutdown
+  // drain still waits for it.
+  requests_served_.fetch_add(1, std::memory_order_relaxed);
+  TickServeCounter("fixrep.serve.requests");
+  {
+    // Notify under the lock: the drain waiter may destroy this object
+    // the moment it observes the predicate, and a notify outside the
+    // lock could still be touching drain_cv_ at that point.
+    std::lock_guard<std::mutex> lock(mu_);
+    --in_flight_;
+    drain_cv_.notify_all();
+  }
+  SendResponse(fd, response);
+  // Re-deliver any pipelined frame the connection already buffered.
+  // Last touch of server_: busy_workers_ stays held across it so the
+  // drain cannot tear the server down underneath this call.
+  server_->Resume(fd);
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    --busy_workers_;
+    drain_cv_.notify_all();  // under the lock — see the note above
+  }
+}
+
+Response RepairDaemon::HandleRequest(const Request& request) {
+  switch (request.verb) {
+    case Verb::kPing: {
+      Response response;
+      response.verb = Verb::kPing;
+      response.ping.rule_sets = registry_->size();
+      response.ping.requests_served =
+          requests_served_.load(std::memory_order_relaxed);
+      response.ping.requests_rejected =
+          requests_rejected_.load(std::memory_order_relaxed);
+      return response;
+    }
+    case Verb::kList: {
+      Response response;
+      response.verb = Verb::kList;
+      response.rule_sets = registry_->List();
+      return response;
+    }
+    case Verb::kRepair:
+      return HandleRepair(request.repair);
+    case Verb::kReload:
+      return HandleReload(request.reload);
+  }
+  return ErrorResponse(Verb::kPing,
+                       Status::MalformedInput("unhandled request verb"));
+}
+
+Response RepairDaemon::HandleRepair(const RepairRequest& request) {
+  const std::shared_ptr<const TenantSnapshot> snapshot =
+      registry_->Find(request.tenant);
+  if (snapshot == nullptr) {
+    return ErrorResponse(
+        Verb::kRepair,
+        Status::MalformedInput("unknown rule set '" + request.tenant + "'"));
+  }
+
+  RepairConfig config;
+  for (const auto& [key, value] : request.config) {
+    if (RepairConfigKeyIsSessionLocal(key)) {
+      return ErrorResponse(
+          Verb::kRepair,
+          Status::MalformedInput("config key '" + key +
+                                 "' is session-local and not accepted "
+                                 "over the wire"));
+    }
+    const Status parsed = ParseRepairConfig(key, value, &config);
+    if (!parsed.ok()) return ErrorResponse(Verb::kRepair, parsed);
+  }
+
+  // Attribute this request's engine metrics to the tenant.
+  MetricScope* scope = registry_->Scope(request.tenant);
+  std::unique_ptr<MetricScope::Activation> active;
+  if (scope != nullptr) {
+    active = std::make_unique<MetricScope::Activation>(scope);
+  }
+
+  const bool quarantining = config.on_error == OnErrorPolicy::kQuarantine;
+  VectorQuarantineSink row_sink;
+  VectorQuarantineSink tuple_sink;
+  if (quarantining) config.quarantine = &tuple_sink;
+
+  // Parse the request batch into the tenant's pool. Interning mutates
+  // the pool (single-writer rule), so parsing takes the writer side
+  // while concurrent chases hold the reader side.
+  ViewBuf csv_buf(request.csv);
+  std::istream csv_in(&csv_buf);
+  CsvReadOptions csv_options;
+  csv_options.on_error = config.on_error;
+  csv_options.quarantine = quarantining ? &row_sink : nullptr;
+  StatusOr<Table> table_or = [&] {
+    std::unique_lock<std::shared_mutex> writer(snapshot->pool_mutex());
+    return ReadCsvLenient(csv_in, "data", snapshot->pool(), csv_options);
+  }();
+  if (!table_or.ok()) {
+    return ErrorResponse(Verb::kRepair,
+                         table_or.status().WithContext("request csv"));
+  }
+  Table table = std::move(table_or).value();
+  if (table.schema().attribute_names() !=
+      snapshot->schema()->attribute_names()) {
+    return ErrorResponse(
+        Verb::kRepair,
+        Status::MalformedInput("request csv header does not match rule set '" +
+                               request.tenant + "' schema"));
+  }
+
+  RepairReport report;
+  {
+    std::shared_lock<std::shared_mutex> reader(snapshot->pool_mutex());
+    RepairSession session(snapshot->repository(), config);
+    StatusOr<RepairReport> report_or = session.Repair(&table);
+    if (!report_or.ok()) return ErrorResponse(Verb::kRepair,
+                                              report_or.status());
+    report = report_or.value();
+  }
+
+  Response response;
+  response.verb = Verb::kRepair;
+  response.repair.rows = report.rows;
+  response.repair.cells_changed = report.cells_changed;
+  response.repair.tuples_quarantined = report.tuples_quarantined;
+  std::ostringstream out;
+  WriteCsv(table, out);
+  response.repair.csv = std::move(out).str();
+  if (quarantining &&
+      (!row_sink.diagnostics().empty() || !tuple_sink.diagnostics().empty())) {
+    std::ostringstream quarantine;
+    WriteQuarantineHeader(quarantine);
+    for (const Diagnostic& d : row_sink.diagnostics()) {
+      WriteQuarantineRecord(quarantine, "csv", d);
+    }
+    for (const Diagnostic& d : tuple_sink.diagnostics()) {
+      WriteQuarantineRecord(quarantine, "repair", d);
+    }
+    response.repair.quarantine = quarantine.str();
+  }
+  return response;
+}
+
+Response RepairDaemon::HandleReload(const ReloadRequest& request) {
+  const Status loaded = registry_->Load(request.tenant, request.spec);
+  if (!loaded.ok()) return ErrorResponse(Verb::kReload, loaded);
+  TickServeCounter("fixrep.serve.reloads");
+  const std::shared_ptr<const TenantSnapshot> snapshot =
+      registry_->Find(request.tenant);
+  Response response;
+  response.verb = Verb::kReload;
+  response.reload.generation = snapshot->generation();
+  response.reload.num_rules = snapshot->num_rules();
+  return response;
+}
+
+Response RepairDaemon::ErrorResponse(Verb verb, Status status) const {
+  Response response;
+  response.verb = verb;
+  response.status = std::move(status);
+  return response;
+}
+
+void RepairDaemon::SendResponse(int fd, const Response& response) {
+  // Best-effort gathered writes; on failure (peer gone, send timeout)
+  // the poll loop reaps the fd. A successful repair response carries
+  // the multi-MB batch, so it goes out part-wise without ever being
+  // staged as one contiguous payload.
+  if (response.verb == Verb::kRepair && response.status.ok()) {
+    (void)WriteRepairResponseTo(fd, response.repair);
+  } else {
+    (void)WriteFrameTo(fd, EncodeResponse(response));
+  }
+}
+
+}  // namespace fixrep::serve

@@ -1,0 +1,463 @@
+#include "serve/protocol.h"
+
+#include <sys/socket.h>
+#include <sys/uio.h>
+
+#include <cerrno>
+#include <cstring>
+#include <string_view>
+#include <utility>
+
+#include "common/crc32c.h"
+#include "common/wal.h"
+
+namespace fixrep::serve {
+
+namespace {
+
+constexpr size_t kHeaderBytes = 8;   // magic + payload_len
+constexpr size_t kTrailerBytes = 4;  // crc32
+
+uint32_t ReadU32(const char* p) {
+  uint32_t v = 0;
+  std::memcpy(&v, p, sizeof(v));
+  return v;  // little-endian hosts only, like the WAL
+}
+
+Status Truncated(const char* what) {
+  return Status::MalformedInput(std::string("truncated ") + what +
+                                " payload");
+}
+
+}  // namespace
+
+void AppendFrame(std::string* out, const std::string& payload) {
+  out->reserve(out->size() + kHeaderBytes + payload.size() + kTrailerBytes);
+  out->append(kFrameMagic, sizeof(kFrameMagic));
+  WalPutU32(out, static_cast<uint32_t>(payload.size()));
+  out->append(payload);
+  WalPutU32(out, Crc32c(payload.data(), payload.size()));
+}
+
+FrameParse ExtractFrame(std::string* buffer, std::string* payload,
+                        uint32_t* crc) {
+  if (buffer->size() < sizeof(kFrameMagic)) {
+    // Reject a wrong prefix as soon as the bytes we do have disagree.
+    if (std::memcmp(buffer->data(), kFrameMagic, buffer->size()) != 0) {
+      return FrameParse::kBadMagic;
+    }
+    return FrameParse::kNeedMore;
+  }
+  if (std::memcmp(buffer->data(), kFrameMagic, sizeof(kFrameMagic)) != 0) {
+    return FrameParse::kBadMagic;
+  }
+  if (buffer->size() < kHeaderBytes) return FrameParse::kNeedMore;
+  const uint32_t payload_len = ReadU32(buffer->data() + sizeof(kFrameMagic));
+  if (payload_len > kMaxFramePayload) return FrameParse::kTooLarge;
+  const size_t total = kHeaderBytes + payload_len + kTrailerBytes;
+  if (buffer->size() < total) return FrameParse::kNeedMore;
+  *crc = ReadU32(buffer->data() + kHeaderBytes + payload_len);
+  if (buffer->size() == total) {
+    // Common case — the buffer holds exactly one frame (a multi-MB CSV
+    // batch, usually): strip it in place instead of copying the payload
+    // into a second multi-MB allocation.
+    *payload = std::move(*buffer);
+    payload->resize(kHeaderBytes + payload_len);
+    payload->erase(0, kHeaderBytes);
+    buffer->clear();
+  } else {
+    payload->assign(buffer->data() + kHeaderBytes, payload_len);
+    buffer->erase(0, total);
+  }
+  return FrameParse::kFrame;
+}
+
+Status VerifyFrame(const std::string& payload, uint32_t crc) {
+  if (Crc32c(payload.data(), payload.size()) != crc) {
+    return Status::MalformedInput("frame CRC mismatch");
+  }
+  return Status::Ok();
+}
+
+Status WriteFrameTo(int fd, std::initializer_list<std::string_view> parts) {
+  // Header, up to four payload parts, trailer.
+  constexpr size_t kMaxParts = 4;
+  if (parts.size() > kMaxParts) {
+    return Status::Internal("too many frame parts");
+  }
+  size_t payload_len = 0;
+  uint32_t crc = 0;
+  for (const std::string_view part : parts) {
+    payload_len += part.size();
+    crc = Crc32c(part.data(), part.size(), crc);
+  }
+  char header[kHeaderBytes];
+  std::memcpy(header, kFrameMagic, sizeof(kFrameMagic));
+  std::string prefix;  // u32 length, little-endian like the rest
+  WalPutU32(&prefix, static_cast<uint32_t>(payload_len));
+  std::memcpy(header + sizeof(kFrameMagic), prefix.data(), prefix.size());
+  std::string trailer;
+  WalPutU32(&trailer, crc);
+
+  iovec iov[kMaxParts + 2];
+  size_t chunks = 0;
+  iov[chunks++] = {header, kHeaderBytes};
+  for (const std::string_view part : parts) {
+    if (part.empty()) continue;
+    iov[chunks++] = {const_cast<char*>(part.data()), part.size()};
+  }
+  iov[chunks++] = {const_cast<char*>(trailer.data()), trailer.size()};
+
+  size_t idx = 0;
+  while (idx < chunks) {
+    msghdr msg = {};
+    msg.msg_iov = iov + idx;
+    msg.msg_iovlen = chunks - idx;
+    const ssize_t w = sendmsg(fd, &msg, MSG_NOSIGNAL);
+    if (w < 0 && errno == EINTR) continue;
+    if (w <= 0) {
+      if (w < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
+        return Status::IoError("frame send timed out");
+      }
+      return Status::IoError(std::string("sendmsg: ") +
+                             (w == 0 ? "connection closed"
+                                     : std::strerror(errno)));
+    }
+    // Advance the iovec past the bytes the kernel took.
+    size_t taken = static_cast<size_t>(w);
+    while (idx < chunks && taken >= iov[idx].iov_len) {
+      taken -= iov[idx].iov_len;
+      ++idx;
+    }
+    if (idx < chunks && taken > 0) {
+      iov[idx].iov_base = static_cast<char*>(iov[idx].iov_base) + taken;
+      iov[idx].iov_len -= taken;
+    }
+  }
+  return Status::Ok();
+}
+
+Status WriteFrameTo(int fd, const std::string& payload) {
+  return WriteFrameTo(fd, {std::string_view(payload)});
+}
+
+Status WriteRepairRequestTo(
+    int fd, const std::string& tenant,
+    const std::vector<std::pair<std::string, std::string>>& config,
+    std::string_view csv) {
+  // Everything up to (and including) the CSV's length prefix; the CSV
+  // bytes themselves ride as their own iovec part.
+  std::string head;
+  WalPutU8(&head, kProtocolVersion);
+  WalPutU8(&head, static_cast<uint8_t>(Verb::kRepair));
+  WalPutString(&head, tenant);
+  WalPutU32(&head, static_cast<uint32_t>(config.size()));
+  for (const auto& [key, value] : config) {
+    WalPutString(&head, key);
+    WalPutString(&head, value);
+  }
+  WalPutU32(&head, static_cast<uint32_t>(csv.size()));
+  return WriteFrameTo(fd, {head, csv});
+}
+
+Status WriteRepairResponseTo(int fd, const RepairResult& result) {
+  std::string head;
+  WalPutU8(&head, kProtocolVersion);
+  WalPutU8(&head, static_cast<uint8_t>(StatusCode::kOk));
+  WalPutString(&head, "");  // ok status carries no message
+  WalPutU8(&head, static_cast<uint8_t>(Verb::kRepair));
+  WalPutU64(&head, result.rows);
+  WalPutU64(&head, result.cells_changed);
+  WalPutU64(&head, result.tuples_quarantined);
+  WalPutU32(&head, static_cast<uint32_t>(result.csv.size()));
+  std::string tail;
+  WalPutU32(&tail, static_cast<uint32_t>(result.quarantine.size()));
+  tail += result.quarantine;
+  return WriteFrameTo(fd, {head, result.csv, tail});
+}
+
+std::string EncodeRepairRequest(
+    const std::string& tenant,
+    const std::vector<std::pair<std::string, std::string>>& config,
+    std::string_view csv) {
+  std::string out;
+  out.reserve(csv.size() + 256);
+  WalPutU8(&out, kProtocolVersion);
+  WalPutU8(&out, static_cast<uint8_t>(Verb::kRepair));
+  WalPutString(&out, tenant);
+  WalPutU32(&out, static_cast<uint32_t>(config.size()));
+  for (const auto& [key, value] : config) {
+    WalPutString(&out, key);
+    WalPutString(&out, value);
+  }
+  WalPutString(&out, csv);
+  return out;
+}
+
+std::string EncodeRequest(const Request& request) {
+  if (request.verb == Verb::kRepair) {
+    return EncodeRepairRequest(request.repair.tenant, request.repair.config,
+                               request.repair.csv);
+  }
+  std::string out;
+  WalPutU8(&out, kProtocolVersion);
+  WalPutU8(&out, static_cast<uint8_t>(request.verb));
+  switch (request.verb) {
+    case Verb::kPing:
+    case Verb::kList:
+    case Verb::kRepair:  // handled above
+      break;
+    case Verb::kReload:
+      WalPutString(&out, request.reload.tenant);
+      WalPutString(&out, request.reload.spec);
+      break;
+  }
+  return out;
+}
+
+namespace {
+
+// Shared parse core. The repair CSV — the payload's final, often
+// multi-MB field — comes back as a view into `payload`; each public
+// overload decides whether to copy it or reclaim the buffer in place.
+StatusOr<Request> DecodeRequestCore(std::string_view payload,
+                                    std::string_view* csv) {
+  WalCursor cursor(payload);
+  uint8_t version = 0;
+  uint8_t verb = 0;
+  if (!cursor.GetU8(&version)) return Truncated("request");
+  if (version != kProtocolVersion) {
+    return Status::MalformedInput("unsupported protocol version " +
+                                  std::to_string(version) + " (speak " +
+                                  std::to_string(kProtocolVersion) + ")");
+  }
+  if (!cursor.GetU8(&verb)) return Truncated("request");
+  Request request;
+  switch (verb) {
+    case static_cast<uint8_t>(Verb::kPing):
+    case static_cast<uint8_t>(Verb::kList):
+      request.verb = static_cast<Verb>(verb);
+      break;
+    case static_cast<uint8_t>(Verb::kRepair): {
+      request.verb = Verb::kRepair;
+      uint32_t pairs = 0;
+      if (!cursor.GetString(&request.repair.tenant) ||
+          !cursor.GetU32(&pairs)) {
+        return Truncated("repair request");
+      }
+      request.repair.config.reserve(pairs);
+      for (uint32_t i = 0; i < pairs; ++i) {
+        std::string key;
+        std::string value;
+        if (!cursor.GetString(&key) || !cursor.GetString(&value)) {
+          return Truncated("repair request config");
+        }
+        request.repair.config.emplace_back(std::move(key), std::move(value));
+      }
+      if (!cursor.GetStringView(csv)) {
+        return Truncated("repair request");
+      }
+      break;
+    }
+    case static_cast<uint8_t>(Verb::kReload):
+      request.verb = Verb::kReload;
+      if (!cursor.GetString(&request.reload.tenant) ||
+          !cursor.GetString(&request.reload.spec)) {
+        return Truncated("reload request");
+      }
+      break;
+    default:
+      return Status::MalformedInput("unknown request verb " +
+                                    std::to_string(verb));
+  }
+  if (!cursor.at_end()) {
+    return Status::MalformedInput("trailing bytes after request payload");
+  }
+  return request;
+}
+
+}  // namespace
+
+StatusOr<Request> DecodeRequest(const std::string& payload) {
+  std::string_view csv;
+  StatusOr<Request> request = DecodeRequestCore(payload, &csv);
+  if (request.ok() && request->verb == Verb::kRepair) {
+    request->repair.csv.assign(csv.data(), csv.size());
+  }
+  return request;
+}
+
+StatusOr<Request> DecodeRequest(std::string&& payload) {
+  std::string_view csv;
+  StatusOr<Request> request = DecodeRequestCore(payload, &csv);
+  if (request.ok() && request->verb == Verb::kRepair) {
+    // The CSV is the payload's last field (at_end() above proved it):
+    // slide it to the front and shrink — a memmove, not a second
+    // multi-MB allocation — then hand the buffer itself to the request.
+    payload.erase(0, static_cast<size_t>(csv.data() - payload.data()));
+    payload.resize(csv.size());
+    request->repair.csv = std::move(payload);
+  }
+  return request;
+}
+
+std::string EncodeResponse(const Response& response) {
+  std::string out;
+  WalPutU8(&out, kProtocolVersion);
+  WalPutU8(&out, static_cast<uint8_t>(response.status.code()));
+  WalPutString(&out, response.status.message());
+  WalPutU8(&out, static_cast<uint8_t>(response.verb));
+  if (!response.status.ok()) return out;
+  switch (response.verb) {
+    case Verb::kPing:
+      WalPutU64(&out, response.ping.rule_sets);
+      WalPutU64(&out, response.ping.requests_served);
+      WalPutU64(&out, response.ping.requests_rejected);
+      break;
+    case Verb::kRepair:
+      out.reserve(out.size() + response.repair.csv.size() +
+                  response.repair.quarantine.size() + 64);
+      WalPutU64(&out, response.repair.rows);
+      WalPutU64(&out, response.repair.cells_changed);
+      WalPutU64(&out, response.repair.tuples_quarantined);
+      WalPutString(&out, response.repair.csv);
+      WalPutString(&out, response.repair.quarantine);
+      break;
+    case Verb::kReload:
+      WalPutU64(&out, response.reload.generation);
+      WalPutU64(&out, response.reload.num_rules);
+      break;
+    case Verb::kList:
+      WalPutU32(&out, static_cast<uint32_t>(response.rule_sets.size()));
+      for (const RuleSetInfo& info : response.rule_sets) {
+        WalPutString(&out, info.name);
+        WalPutU64(&out, info.num_rules);
+        WalPutU64(&out, info.generation);
+        WalPutU8(&out, info.dict_backed ? 1 : 0);
+      }
+      break;
+  }
+  return out;
+}
+
+namespace {
+
+// Shared parse core, mirroring DecodeRequestCore: the repaired CSV is
+// returned as a view into `payload`. The quarantine text that follows
+// it is copied eagerly — it is empty unless the request opted into
+// on-error=quarantine, and small next to the batch when it is not.
+StatusOr<Response> DecodeResponseCore(std::string_view payload,
+                                      std::string_view* csv) {
+  WalCursor cursor(payload);
+  uint8_t version = 0;
+  if (!cursor.GetU8(&version)) return Truncated("response");
+  if (version != kProtocolVersion) {
+    return Status::MalformedInput("unsupported protocol version " +
+                                  std::to_string(version));
+  }
+  uint8_t code = 0;
+  std::string message;
+  uint8_t verb = 0;
+  if (!cursor.GetU8(&code) || !cursor.GetString(&message) ||
+      !cursor.GetU8(&verb)) {
+    return Truncated("response");
+  }
+  if (code > static_cast<uint8_t>(StatusCode::kUnavailable)) {
+    return Status::MalformedInput("unknown response status code " +
+                                  std::to_string(code));
+  }
+  Response response;
+  if (code != 0) {
+    response.status = Status(static_cast<StatusCode>(code),
+                             std::move(message));
+  }
+  switch (verb) {
+    case static_cast<uint8_t>(Verb::kPing):
+    case static_cast<uint8_t>(Verb::kRepair):
+    case static_cast<uint8_t>(Verb::kReload):
+    case static_cast<uint8_t>(Verb::kList):
+      response.verb = static_cast<Verb>(verb);
+      break;
+    default:
+      return Status::MalformedInput("unknown response verb " +
+                                    std::to_string(verb));
+  }
+  if (!response.status.ok()) {
+    if (!cursor.at_end()) {
+      return Status::MalformedInput("trailing bytes after error response");
+    }
+    return response;
+  }
+  switch (response.verb) {
+    case Verb::kPing:
+      if (!cursor.GetU64(&response.ping.rule_sets) ||
+          !cursor.GetU64(&response.ping.requests_served) ||
+          !cursor.GetU64(&response.ping.requests_rejected)) {
+        return Truncated("ping response");
+      }
+      break;
+    case Verb::kRepair:
+      if (!cursor.GetU64(&response.repair.rows) ||
+          !cursor.GetU64(&response.repair.cells_changed) ||
+          !cursor.GetU64(&response.repair.tuples_quarantined) ||
+          !cursor.GetStringView(csv) ||
+          !cursor.GetString(&response.repair.quarantine)) {
+        return Truncated("repair response");
+      }
+      break;
+    case Verb::kReload:
+      if (!cursor.GetU64(&response.reload.generation) ||
+          !cursor.GetU64(&response.reload.num_rules)) {
+        return Truncated("reload response");
+      }
+      break;
+    case Verb::kList: {
+      uint32_t count = 0;
+      if (!cursor.GetU32(&count)) return Truncated("list response");
+      response.rule_sets.reserve(count);
+      for (uint32_t i = 0; i < count; ++i) {
+        RuleSetInfo info;
+        uint8_t dict_backed = 0;
+        if (!cursor.GetString(&info.name) || !cursor.GetU64(&info.num_rules) ||
+            !cursor.GetU64(&info.generation) || !cursor.GetU8(&dict_backed)) {
+          return Truncated("list response");
+        }
+        info.dict_backed = dict_backed != 0;
+        response.rule_sets.push_back(std::move(info));
+      }
+      break;
+    }
+  }
+  if (!cursor.at_end()) {
+    return Status::MalformedInput("trailing bytes after response payload");
+  }
+  return response;
+}
+
+}  // namespace
+
+StatusOr<Response> DecodeResponse(const std::string& payload) {
+  std::string_view csv;
+  StatusOr<Response> response = DecodeResponseCore(payload, &csv);
+  if (response.ok() && response->verb == Verb::kRepair &&
+      response->status.ok()) {
+    response->repair.csv.assign(csv.data(), csv.size());
+  }
+  return response;
+}
+
+StatusOr<Response> DecodeResponse(std::string&& payload) {
+  std::string_view csv;
+  StatusOr<Response> response = DecodeResponseCore(payload, &csv);
+  if (response.ok() && response->verb == Verb::kRepair &&
+      response->status.ok()) {
+    // The quarantine tail was already copied out by the core, so the
+    // buffer is free to become the CSV: slide and shrink in place.
+    payload.erase(0, static_cast<size_t>(csv.data() - payload.data()));
+    payload.resize(csv.size());
+    response->repair.csv = std::move(payload);
+  }
+  return response;
+}
+
+}  // namespace fixrep::serve
